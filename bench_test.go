@@ -1,0 +1,141 @@
+package hawq_test
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"hawq/internal/bench"
+	"hawq/internal/hdfs"
+	"hawq/internal/stinger"
+)
+
+// benchConfig is a deliberately tiny configuration so the full set of
+// figure benchmarks completes in minutes. cmd/hawq-bench runs the same
+// experiments at larger scales.
+func benchConfig(b *testing.B) bench.Config {
+	cfg := bench.Config{
+		Segments: 2,
+		SFSmall:  0.0005,
+		SFLarge:  0.002,
+		SpillDir: b.TempDir(),
+		Stinger: stinger.Config{
+			MapTasks:         2,
+			ReduceTasks:      2,
+			Workers:          4,
+			ContainerStartup: 5 * time.Millisecond,
+			SpillDir:         os.TempDir(),
+		},
+	}
+	cfg.Defaults()
+	return cfg
+}
+
+// runFigure executes one experiment per benchmark iteration (experiments
+// exceed the default benchtime, so b.N is typically 1) and logs the
+// report table.
+func runFigure(b *testing.B, run func(bench.Config) (*bench.Report, error)) {
+	cfg := benchConfig(b)
+	b.ResetTimer()
+	var report *bench.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		report, err = run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.Log("\n" + report.String())
+}
+
+// BenchmarkFig6_Overall_CPUBound regenerates Figure 6: overall TPC-H
+// time, CPU-bound regime, Stinger vs HAWQ AO/CO/Parquet.
+func BenchmarkFig6_Overall_CPUBound(b *testing.B) {
+	runFigure(b, bench.Fig6)
+}
+
+// BenchmarkFig7_Overall_IOBound regenerates Figure 7: overall TPC-H
+// time with the simulated-disk IO model.
+func BenchmarkFig7_Overall_IOBound(b *testing.B) {
+	runFigure(b, bench.Fig7)
+}
+
+// BenchmarkFig8_SimpleSelection regenerates Figure 8: per-query times of
+// the simple selection group, HAWQ vs Stinger.
+func BenchmarkFig8_SimpleSelection(b *testing.B) {
+	runFigure(b, bench.Fig8)
+}
+
+// BenchmarkFig9_ComplexJoins regenerates Figure 9: per-query times of
+// the complex join group.
+func BenchmarkFig9_ComplexJoins(b *testing.B) {
+	runFigure(b, bench.Fig9)
+}
+
+// BenchmarkFig10_Distribution regenerates Figure 10: hash vs random
+// distribution over AO and CO storage.
+func BenchmarkFig10_Distribution(b *testing.B) {
+	runFigure(b, bench.Fig10)
+}
+
+// BenchmarkFig11_Compression_CPUBound regenerates Figure 11(a):
+// compression sweep in the in-memory regime.
+func BenchmarkFig11_Compression_CPUBound(b *testing.B) {
+	runFigure(b, func(cfg bench.Config) (*bench.Report, error) {
+		cfg.Queries = []int{1, 5, 6}
+		return bench.Fig11(cfg, cfg.SFSmall, nil, "CPU-bound")
+	})
+}
+
+// BenchmarkFig11_Compression_IOBound regenerates Figure 11(b):
+// compression sweep under the disk IO model.
+func BenchmarkFig11_Compression_IOBound(b *testing.B) {
+	runFigure(b, func(cfg bench.Config) (*bench.Report, error) {
+		cfg.Queries = []int{1, 5, 6}
+		return bench.Fig11(cfg, cfg.SFLarge, bench.IOModel(), "IO-bound")
+	})
+}
+
+// BenchmarkFig12_Interconnect regenerates Figure 12: TCP vs UDP
+// interconnect under hash and random distribution.
+func BenchmarkFig12_Interconnect(b *testing.B) {
+	runFigure(b, bench.Fig12)
+}
+
+// BenchmarkFig13a_ScaleOut regenerates Figure 13(a): fixed data per
+// node, growing cluster.
+func BenchmarkFig13a_ScaleOut(b *testing.B) {
+	runFigure(b, func(cfg bench.Config) (*bench.Report, error) {
+		return bench.Fig13(cfg, true)
+	})
+}
+
+// BenchmarkFig13b_SpeedUp regenerates Figure 13(b): fixed total data,
+// growing cluster.
+func BenchmarkFig13b_SpeedUp(b *testing.B) {
+	runFigure(b, func(cfg bench.Config) (*bench.Report, error) {
+		return bench.Fig13(cfg, false)
+	})
+}
+
+// BenchmarkAblations measures direct dispatch, partition elimination and
+// join colocation on vs off (DESIGN.md §4).
+func BenchmarkAblations(b *testing.B) {
+	runFigure(b, bench.AblationReport)
+}
+
+// BenchmarkHDFSWriteDelete is a micro-benchmark of the simulated HDFS
+// metadata path (the interconnect and storage micro-benchmarks live in
+// their packages: BenchmarkUDPInterconnectThroughput,
+// BenchmarkAOWriteScan, ...).
+func BenchmarkHDFSWriteDelete(b *testing.B) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		fs.WriteFile("/bench", []byte("x"), hdfs.CreateOptions{})
+		fs.Delete("/bench", false)
+	}
+}

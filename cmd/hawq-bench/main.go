@@ -1,0 +1,70 @@
+// Command hawq-bench regenerates the paper's evaluation artifacts
+// (Figures 6-13 of §8) at laptop scale and prints the same series the
+// paper reports.
+//
+// Usage:
+//
+//	hawq-bench -exp fig6            # one experiment
+//	hawq-bench -exp all             # everything (slow)
+//	hawq-bench -exp fig8 -segments 8 -sf-small 0.005
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hawq/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13a fig13b ablations all")
+	segments := flag.Int("segments", 4, "HAWQ segments")
+	sfSmall := flag.Float64("sf-small", 0.002, "TPC-H scale factor for the CPU-bound regime")
+	sfLarge := flag.Float64("sf-large", 0.01, "TPC-H scale factor for the IO-bound regime")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Segments: *segments,
+		SFSmall:  *sfSmall,
+		SFLarge:  *sfLarge,
+		SpillDir: os.TempDir(),
+	}
+	cfg.Defaults()
+
+	type experiment struct {
+		name string
+		run  func() (*bench.Report, error)
+	}
+	experiments := []experiment{
+		{"fig6", func() (*bench.Report, error) { return bench.Fig6(cfg) }},
+		{"fig7", func() (*bench.Report, error) { return bench.Fig7(cfg) }},
+		{"fig8", func() (*bench.Report, error) { return bench.Fig8(cfg) }},
+		{"fig9", func() (*bench.Report, error) { return bench.Fig9(cfg) }},
+		{"fig10", func() (*bench.Report, error) { return bench.Fig10(cfg) }},
+		{"fig11a", func() (*bench.Report, error) { return bench.Fig11(cfg, cfg.SFSmall, nil, "CPU-bound") }},
+		{"fig11b", func() (*bench.Report, error) { return bench.Fig11(cfg, cfg.SFLarge, bench.IOModel(), "IO-bound") }},
+		{"fig12", func() (*bench.Report, error) { return bench.Fig12(cfg) }},
+		{"fig13a", func() (*bench.Report, error) { return bench.Fig13(cfg, true) }},
+		{"fig13b", func() (*bench.Report, error) { return bench.Fig13(cfg, false) }},
+		{"ablations", func() (*bench.Report, error) { return bench.AblationReport(cfg) }},
+	}
+	ran := false
+	for _, ex := range experiments {
+		if *exp != "all" && *exp != ex.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("running %s...\n", ex.name)
+		report, err := ex.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,89 @@
+// Command hawq-dbgen generates TPC-H data as delimited text files
+// (dbgen's tbl format), for loading into HAWQ or any other system.
+//
+//	hawq-dbgen -sf 0.01 -out /tmp/tpch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hawq/internal/tpch"
+	"hawq/internal/types"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 0, "generator seed (0 = default)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := tpch.NewGen(tpch.Scale{SF: *sf, Seed: *seed})
+	write := func(name string, rows []types.Row) {
+		path := filepath.Join(*out, name+".tbl")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		for _, row := range rows {
+			cells := make([]string, len(row))
+			for i, d := range row {
+				cells[i] = d.String()
+			}
+			fmt.Fprintln(w, strings.Join(cells, "|"))
+		}
+		w.Flush()
+		f.Close()
+		fmt.Printf("%s: %d rows\n", path, len(rows))
+	}
+	write("region", g.Region())
+	write("nation", g.Nation())
+	write("supplier", g.Supplier())
+	write("part", g.Part())
+	write("partsupp", g.PartSupp())
+	write("customer", g.Customer())
+
+	of, err := os.Create(filepath.Join(*out, "orders.tbl"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	lf, err := os.Create(filepath.Join(*out, "lineitem.tbl"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ow, lw := bufio.NewWriter(of), bufio.NewWriter(lf)
+	nOrders, nLines := 0, 0
+	emit := func(w *bufio.Writer, row types.Row) {
+		cells := make([]string, len(row))
+		for i, d := range row {
+			cells[i] = d.String()
+		}
+		fmt.Fprintln(w, strings.Join(cells, "|"))
+	}
+	g.OrderAndLines(func(o types.Row, lines []types.Row) {
+		emit(ow, o)
+		nOrders++
+		for _, l := range lines {
+			emit(lw, l)
+			nLines++
+		}
+	})
+	ow.Flush()
+	lw.Flush()
+	of.Close()
+	lf.Close()
+	fmt.Printf("%s: %d rows\n", filepath.Join(*out, "orders.tbl"), nOrders)
+	fmt.Printf("%s: %d rows\n", filepath.Join(*out, "lineitem.tbl"), nLines)
+}

@@ -1,0 +1,157 @@
+// Command hawq boots a single-process HAWQ cluster (master, segments,
+// simulated HDFS) and serves SQL: interactively on stdin, as a one-shot
+// -c query, or over the libpq-style wire protocol with -listen.
+//
+//	hawq -segments 4                        # interactive shell
+//	hawq -c "SELECT 1 + 1"                  # one-shot
+//	hawq -listen 127.0.0.1:5432             # wire-protocol server
+//	hawq -tpch 0.01                         # preload TPC-H at SF 0.01
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hawq/internal/client"
+	"hawq/internal/engine"
+	"hawq/internal/pxf"
+	"hawq/internal/tpch"
+	"hawq/internal/types"
+)
+
+func main() {
+	segments := flag.Int("segments", 4, "number of compute segments")
+	interconnect := flag.String("interconnect", "udp", "interconnect: udp or tcp")
+	listen := flag.String("listen", "", "serve the wire protocol on this address instead of a shell")
+	command := flag.String("c", "", "run this SQL and exit")
+	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
+	flag.Parse()
+
+	eng, err := engine.New(engine.Config{
+		Segments:     *segments,
+		Interconnect: *interconnect,
+		SpillDir:     os.TempDir(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+	// Bind PXF so external tables work out of the box.
+	eng.Cluster().External = pxf.NewEngine(eng.Cluster().FS)
+
+	if *tpchSF > 0 {
+		fmt.Fprintf(os.Stderr, "loading TPC-H at SF %g...\n", *tpchSF)
+		if _, err := tpch.Load(eng, tpch.LoadOptions{Scale: tpch.Scale{SF: *tpchSF}, Orientation: "row", CompressType: "quicklz"}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *listen != "" {
+		srv, err := client.NewServer(eng, *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("hawq listening on %s (%d segments, %s interconnect)\n", srv.Addr(), *segments, *interconnect)
+		select {} // serve until killed
+	}
+
+	sess := eng.NewSession()
+	if *command != "" {
+		if err := runSQL(sess, *command); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("hawq shell — %d segments, %s interconnect. End statements with ';', \\q to quit.\n", *segments, *interconnect)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("hawq=# ")
+		} else {
+			fmt.Print("hawq-# ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == `\q` || trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			if err := runSQL(sess, buf.String()); err != nil {
+				fmt.Fprintln(os.Stderr, "ERROR:", err)
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// runSQL executes SQL and prints psql-style output.
+func runSQL(sess *engine.Session, sql string) error {
+	results, err := sess.Execute(sql)
+	for _, res := range results {
+		printResult(res)
+	}
+	return err
+}
+
+func printResult(res *engine.Result) {
+	if res.Schema == nil {
+		fmt.Println(res.Tag)
+		return
+	}
+	names := res.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	rendered := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, d := range row {
+			cells[i] = datumString(d)
+			if len(cells[i]) > widths[i] {
+				widths[i] = len(cells[i])
+			}
+		}
+		rendered[ri] = cells
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf(" %-*s ", widths[i], c)
+		}
+		fmt.Println(strings.Join(parts, "|"))
+	}
+	line(names)
+	seps := make([]string, len(names))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i]+2)
+	}
+	fmt.Println(strings.Join(seps, "+"))
+	for _, cells := range rendered {
+		line(cells)
+	}
+	fmt.Printf("(%d rows)\n\n", len(res.Rows))
+}
+
+func datumString(d types.Datum) string {
+	if d.IsNull() {
+		return ""
+	}
+	return d.String()
+}

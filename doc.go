@@ -1,0 +1,16 @@
+// Package hawq is a from-scratch Go reproduction of "HAWQ: A Massively
+// Parallel Processing SQL Engine in Hadoop" (Chang et al., SIGMOD 2014).
+//
+// The public entry points live in the sub-packages:
+//
+//   - internal/engine: the embedded HAWQ engine (sessions, SQL)
+//   - internal/client: the libpq-style wire protocol (server + driver)
+//   - internal/pxf: the extension framework for external data stores
+//   - internal/tpch: the TPC-H generator and query suite
+//   - internal/stinger: the Hive/Stinger-style MapReduce baseline
+//   - internal/bench: the harness regenerating Figures 6-13 of §8
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. bench_test.go in this
+// directory exposes one testing.B benchmark per paper figure.
+package hawq

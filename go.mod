@@ -1,0 +1,3 @@
+module hawq
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package bench is the experiment harness reproducing every figure of
+// the paper's evaluation (§8). Each Fig* function runs one experiment at
+// laptop scale and returns a Report with the same series the paper
+// plots; cmd/hawq-bench prints them and bench_test.go wraps them as
+// testing.B benchmarks. EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hawq/internal/engine"
+	"hawq/internal/hdfs"
+	"hawq/internal/stinger"
+	"hawq/internal/tpch"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// Segments is the HAWQ cluster size (the paper used 96 segments on
+	// 16 nodes; default 4 here).
+	Segments int
+	// SFSmall is the CPU-bound scale (paper: 160GB in memory).
+	SFSmall float64
+	// SFLarge is the IO-bound scale (paper: 1.6TB on disk).
+	SFLarge float64
+	// SpillDir is the scratch directory.
+	SpillDir string
+	// Stinger tunes the baseline runtime.
+	Stinger stinger.Config
+	// Queries restricts the suite (nil = all 22).
+	Queries []int
+}
+
+// Defaults fills zero fields.
+func (c *Config) Defaults() {
+	if c.Segments <= 0 {
+		c.Segments = 4
+	}
+	if c.SFSmall == 0 {
+		c.SFSmall = 0.002
+	}
+	if c.SFLarge == 0 {
+		c.SFLarge = 0.01
+	}
+	if c.Stinger.MapTasks == 0 {
+		c.Stinger = stinger.Config{
+			MapTasks:         4,
+			ReduceTasks:      4,
+			Workers:          4,
+			ContainerStartup: 15 * time.Millisecond,
+			SpillDir:         c.SpillDir,
+		}
+	}
+}
+
+func (c *Config) queries() []int {
+	if len(c.Queries) > 0 {
+		return c.Queries
+	}
+	return tpch.AllQueryNumbers()
+}
+
+// Report is one experiment's output table.
+type Report struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes record substitutions and context.
+	Notes []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Columns)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// seconds renders a duration as fractional seconds.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// newHAWQ boots an engine with the given storage/distribution and loads
+// TPC-H into it.
+func newHAWQ(cfg Config, sf float64, orientation, compress string, level int, dist string, io *hdfs.IOModel) (*engine.Engine, error) {
+	e, err := engine.New(engine.Config{
+		Segments: cfg.Segments,
+		SpillDir: cfg.SpillDir,
+		HDFS:     hdfs.Config{DataNodes: cfg.Segments, IO: io},
+	})
+	if err != nil {
+		return nil, err
+	}
+	_, err = tpch.Load(e, tpch.LoadOptions{
+		Scale:         tpch.Scale{SF: sf},
+		Orientation:   orientation,
+		CompressType:  compress,
+		CompressLevel: level,
+		Distribution:  dist,
+	})
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// runSuite executes the query list and returns the total wall time.
+func runSuite(e *engine.Engine, queries []int) (time.Duration, error) {
+	s := e.NewSession()
+	start := time.Now()
+	for _, q := range queries {
+		if _, err := s.Query(tpch.Queries[q]); err != nil {
+			return 0, fmt.Errorf("Q%d: %w", q, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// runSuiteStinger is the Stinger counterpart.
+func runSuiteStinger(se *stinger.Engine, queries []int) (time.Duration, error) {
+	start := time.Now()
+	for _, q := range queries {
+		if _, _, err := se.Query(tpch.Queries[q]); err != nil {
+			return 0, fmt.Errorf("Q%d: %w", q, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// newStinger boots the baseline with TPC-H loaded.
+func newStinger(cfg Config, sf float64, io *hdfs.IOModel) (*stinger.Engine, error) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: cfg.Segments, IO: io})
+	if err != nil {
+		return nil, err
+	}
+	se, err := stinger.NewEngine(fs, cfg.Stinger)
+	if err != nil {
+		return nil, err
+	}
+	if err := stinger.LoadTPCH(se, tpch.Scale{SF: sf}); err != nil {
+		se.Close()
+		return nil, err
+	}
+	return se, nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"hawq/internal/stinger"
+)
+
+// TestFig6Smoke runs the smallest possible Figure 6 end to end: both
+// engines load, the suite subset runs, and HAWQ comes out ahead.
+func TestFig6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is slow")
+	}
+	cfg := Config{
+		Segments: 2,
+		SFSmall:  0.0005,
+		SpillDir: t.TempDir(),
+		Stinger: stinger.Config{
+			MapTasks: 2, ReduceTasks: 2, Workers: 4,
+			ContainerStartup: 2 * time.Millisecond,
+			SpillDir:         t.TempDir(),
+		},
+		Queries: []int{1, 5, 6},
+	}
+	r, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0] != "Stinger" {
+		t.Fatalf("first row = %v", r.Rows[0])
+	}
+	if s := r.String(); s == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench smoke is slow")
+	}
+	cfg := Config{Segments: 2, SFLarge: 0.0005, SpillDir: t.TempDir()}
+	r, err := AblationReport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("ablation rows = %v", r.Rows)
+	}
+}

@@ -1,0 +1,531 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// Orientation names for StorageSpec.
+const (
+	OrientRow     = "row"     // AO: row-oriented append-only (§2.5)
+	OrientColumn  = "column"  // CO: column-per-file
+	OrientParquet = "parquet" // PAX-style row groups
+)
+
+// DistPolicy is a table's data distribution policy (§2.3).
+type DistPolicy struct {
+	// Random selects round-robin distribution.
+	Random bool
+	// Cols are the hash-distribution column indexes (ignored when
+	// Random).
+	Cols []int
+}
+
+// String renders the policy for EXPLAIN and pg_class-style output.
+func (d DistPolicy) String() string {
+	if d.Random {
+		return "RANDOMLY"
+	}
+	parts := make([]string, len(d.Cols))
+	for i, c := range d.Cols {
+		parts[i] = strconv.Itoa(c)
+	}
+	return "HASH(" + strings.Join(parts, ",") + ")"
+}
+
+// StorageSpec selects the on-disk format of a table (§2.5).
+type StorageSpec struct {
+	// Orientation is OrientRow, OrientColumn or OrientParquet.
+	Orientation string
+	// Codec is a compress codec name ("none", "quicklz", "zlib-5", ...).
+	Codec string
+}
+
+// PartitionKind classifies partitioned parents and their children.
+type PartitionKind uint8
+
+// Partition kinds.
+const (
+	PartNone PartitionKind = iota
+	PartRange
+	PartList
+)
+
+// TableDesc describes a table: the typed view assembled from the
+// hawq_class and hawq_attribute system tables.
+type TableDesc struct {
+	OID     int64
+	Name    string
+	Schema  *types.Schema
+	Dist    DistPolicy
+	Storage StorageSpec
+
+	// Partitioning. A parent has PartKind set and children pointing back
+	// via ParentOID; each child carries its bounds.
+	PartKind  PartitionKind
+	PartCol   int
+	ParentOID int64
+	// Range child bounds: [RangeLo, RangeHi).
+	RangeLo, RangeHi types.Datum
+	// List child values.
+	ListValues []types.Datum
+
+	// External tables (PXF, §6): Location is the pxf:// URI.
+	Location string
+	Format   string
+}
+
+// IsExternal reports whether this is a PXF external table.
+func (t *TableDesc) IsExternal() bool { return t.Location != "" }
+
+// IsPartitionParent reports whether the table is a partitioned parent.
+func (t *TableDesc) IsPartitionParent() bool { return t.PartKind != PartNone && t.ParentOID == 0 }
+
+// IsPartitionChild reports whether the table is a partition of a parent.
+func (t *TableDesc) IsPartitionChild() bool { return t.ParentOID != 0 }
+
+// SegFile is one HDFS data file of a table on one segment: the unit of
+// the swimming-lane concurrent insert protocol (§5.4). LogicalLen is the
+// committed length; bytes beyond it are garbage from aborted inserts.
+// Column-oriented tables store each column in a separate file, so they
+// carry one committed length per column in ColLens (Path is then the
+// common prefix; column i lives at Path + ".c" + i).
+type SegFile struct {
+	TableOID   int64
+	SegmentID  int
+	SegNo      int
+	Path       string
+	LogicalLen int64
+	Tuples     int64
+	ColLens    []int64
+}
+
+// RelStats carries planner statistics for a table (§6.3, ANALYZE).
+type RelStats struct {
+	Rows  int64
+	Bytes int64
+}
+
+// ColStats carries per-column statistics.
+type ColStats struct {
+	NDistinct float64
+	NullFrac  float64
+	Min, Max  types.Datum
+}
+
+// SegmentInfo describes one registered segment (system information
+// catalog, §2.2).
+type SegmentInfo struct {
+	ID     int
+	Host   string
+	Port   int
+	Status string // "up" or "down"
+}
+
+// Catalog is the unified catalog service. All access is by transaction
+// snapshot; all mutations are WAL-logged.
+type Catalog struct {
+	mu      sync.Mutex
+	wal     *tx.WAL
+	sys     map[string]*SysTable
+	nextOID int64
+}
+
+// System table names.
+const (
+	SysClass     = "hawq_class"
+	SysAttribute = "hawq_attribute"
+	SysAoseg     = "hawq_aoseg"
+	SysStatRel   = "hawq_stat_rel"
+	SysStatCol   = "hawq_stat_col"
+	SysSegment   = "hawq_segment"
+)
+
+// New creates a catalog with empty system tables. Mutations are logged to
+// wal (pass a fresh WAL for a primary, or nil for a standby replica that
+// is populated purely by ApplyRecord).
+func New(wal *tx.WAL) *Catalog {
+	c := &Catalog{wal: wal, sys: map[string]*SysTable{}, nextOID: 16384}
+	add := func(name string, cols ...types.Column) {
+		c.sys[name] = NewSysTable(name, types.NewSchema(cols...))
+	}
+	add(SysClass,
+		types.Column{Name: "oid", Kind: types.KindInt64},
+		types.Column{Name: "relname", Kind: types.KindString},
+		types.Column{Name: "distrandom", Kind: types.KindBool},
+		types.Column{Name: "distcols", Kind: types.KindString},
+		types.Column{Name: "orientation", Kind: types.KindString},
+		types.Column{Name: "codec", Kind: types.KindString},
+		types.Column{Name: "partkind", Kind: types.KindInt32},
+		types.Column{Name: "partcol", Kind: types.KindInt32},
+		types.Column{Name: "parentoid", Kind: types.KindInt64},
+		types.Column{Name: "rangelo", Kind: types.KindBytes},
+		types.Column{Name: "rangehi", Kind: types.KindBytes},
+		types.Column{Name: "listvals", Kind: types.KindBytes},
+		types.Column{Name: "location", Kind: types.KindString},
+		types.Column{Name: "format", Kind: types.KindString},
+	)
+	add(SysAttribute,
+		types.Column{Name: "tableoid", Kind: types.KindInt64},
+		types.Column{Name: "attnum", Kind: types.KindInt32},
+		types.Column{Name: "attname", Kind: types.KindString},
+		types.Column{Name: "kind", Kind: types.KindInt32},
+		types.Column{Name: "scale", Kind: types.KindInt32},
+		types.Column{Name: "notnull", Kind: types.KindBool},
+	)
+	add(SysAoseg,
+		types.Column{Name: "tableoid", Kind: types.KindInt64},
+		types.Column{Name: "segmentid", Kind: types.KindInt32},
+		types.Column{Name: "segno", Kind: types.KindInt32},
+		types.Column{Name: "path", Kind: types.KindString},
+		types.Column{Name: "logicallen", Kind: types.KindInt64},
+		types.Column{Name: "tuples", Kind: types.KindInt64},
+		types.Column{Name: "collens", Kind: types.KindString},
+	)
+	add(SysStatRel,
+		types.Column{Name: "tableoid", Kind: types.KindInt64},
+		types.Column{Name: "rows", Kind: types.KindInt64},
+		types.Column{Name: "bytes", Kind: types.KindInt64},
+	)
+	add(SysStatCol,
+		types.Column{Name: "tableoid", Kind: types.KindInt64},
+		types.Column{Name: "attnum", Kind: types.KindInt32},
+		types.Column{Name: "ndistinct", Kind: types.KindFloat64},
+		types.Column{Name: "nullfrac", Kind: types.KindFloat64},
+		types.Column{Name: "minval", Kind: types.KindBytes},
+		types.Column{Name: "maxval", Kind: types.KindBytes},
+	)
+	add(SysSegment,
+		types.Column{Name: "segmentid", Kind: types.KindInt32},
+		types.Column{Name: "host", Kind: types.KindString},
+		types.Column{Name: "port", Kind: types.KindInt32},
+		types.Column{Name: "status", Kind: types.KindString},
+	)
+	return c
+}
+
+// VacuumAll reclaims dead row versions in every system table, given the
+// transaction manager's horizon snapshot. It returns the number of
+// versions removed.
+func (c *Catalog) VacuumAll(horizon tx.Snapshot) int {
+	total := 0
+	for _, t := range c.sys {
+		total += t.Vacuum(horizon)
+	}
+	return total
+}
+
+// SysTable returns a system table by name (CaQL and tests).
+func (c *Catalog) SysTable(name string) (*SysTable, error) {
+	t, ok := c.sys[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no system table %q", name)
+	}
+	return t, nil
+}
+
+// insert writes a row to a system table and WAL-logs it.
+func (c *Catalog) insert(xid tx.XID, table string, row types.Row) uint64 {
+	t := c.sys[table]
+	id := t.Insert(xid, row)
+	if c.wal != nil {
+		c.wal.Append(tx.Record{Type: tx.RecInsert, XID: xid, Table: table, RowID: id, Data: types.EncodeRow(nil, row)})
+	}
+	return id
+}
+
+// delete stamps a row deleted and WAL-logs it.
+func (c *Catalog) delete(xid tx.XID, table string, id uint64) {
+	if c.sys[table].Delete(xid, id) && c.wal != nil {
+		c.wal.Append(tx.Record{Type: tx.RecDelete, XID: xid, Table: table, RowID: id})
+	}
+}
+
+// ApplyRecord replays a WAL record into this catalog replica: the standby
+// master's log-shipping apply loop (§2.6).
+func (c *Catalog) ApplyRecord(r tx.Record) error {
+	switch r.Type {
+	case tx.RecInsert:
+		t, ok := c.sys[r.Table]
+		if !ok {
+			return fmt.Errorf("catalog: replay into unknown table %q", r.Table)
+		}
+		row, _, err := types.DecodeRow(r.Data)
+		if err != nil {
+			return fmt.Errorf("catalog: replay decode: %w", err)
+		}
+		t.InsertWithID(r.XID, r.RowID, row)
+		if r.Table == SysClass {
+			c.mu.Lock()
+			if oid := row[0].Int(); oid >= c.nextOID {
+				c.nextOID = oid + 1
+			}
+			c.mu.Unlock()
+		}
+	case tx.RecDelete:
+		t, ok := c.sys[r.Table]
+		if !ok {
+			return fmt.Errorf("catalog: replay delete on unknown table %q", r.Table)
+		}
+		t.Delete(r.XID, r.RowID)
+	}
+	return nil
+}
+
+// allocOID hands out a new object ID.
+func (c *Catalog) allocOID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	oid := c.nextOID
+	c.nextOID++
+	return oid
+}
+
+// CreateTable registers a table. For partitioned parents, callers create
+// the children separately via CreateTable with ParentOID set (the planner
+// DDL path builds them from the PARTITION BY clause). Returns the
+// assigned OID.
+func (c *Catalog) CreateTable(t *tx.Tx, desc *TableDesc) (int64, error) {
+	snap := t.Snapshot()
+	if existing, _ := c.LookupTable(snap, desc.Name); existing != nil {
+		return 0, fmt.Errorf("catalog: table %q already exists", desc.Name)
+	}
+	if desc.Storage.Orientation == "" {
+		desc.Storage.Orientation = OrientRow
+	}
+	if desc.Storage.Codec == "" {
+		desc.Storage.Codec = "none"
+	}
+	oid := desc.OID
+	if oid == 0 {
+		oid = c.allocOID()
+	}
+	desc.OID = oid
+	distCols := make([]string, len(desc.Dist.Cols))
+	for i, col := range desc.Dist.Cols {
+		distCols[i] = strconv.Itoa(col)
+	}
+	var listVals []byte
+	if len(desc.ListValues) > 0 {
+		listVals = types.EncodeRow(nil, desc.ListValues)
+	}
+	var rangeLo, rangeHi []byte
+	if !desc.RangeLo.IsNull() {
+		rangeLo = types.EncodeDatum(nil, desc.RangeLo)
+	}
+	if !desc.RangeHi.IsNull() {
+		rangeHi = types.EncodeDatum(nil, desc.RangeHi)
+	}
+	c.insert(t.XID(), SysClass, types.Row{
+		types.NewInt64(oid),
+		types.NewString(desc.Name),
+		types.NewBool(desc.Dist.Random),
+		types.NewString(strings.Join(distCols, ",")),
+		types.NewString(desc.Storage.Orientation),
+		types.NewString(desc.Storage.Codec),
+		types.NewInt32(int32(desc.PartKind)),
+		types.NewInt32(int32(desc.PartCol)),
+		types.NewInt64(desc.ParentOID),
+		types.NewBytes(rangeLo),
+		types.NewBytes(rangeHi),
+		types.NewBytes(listVals),
+		types.NewString(desc.Location),
+		types.NewString(desc.Format),
+	})
+	for i, col := range desc.Schema.Columns {
+		c.insert(t.XID(), SysAttribute, types.Row{
+			types.NewInt64(oid),
+			types.NewInt32(int32(i)),
+			types.NewString(col.Name),
+			types.NewInt32(int32(col.Kind)),
+			types.NewInt32(int32(col.Scale)),
+			types.NewBool(col.NotNull),
+		})
+	}
+	return oid, nil
+}
+
+// DropTable removes a table (and its partitions when it is a parent).
+func (c *Catalog) DropTable(t *tx.Tx, name string) error {
+	snap := t.Snapshot()
+	desc, err := c.LookupTable(snap, name)
+	if err != nil {
+		return err
+	}
+	victims := []*TableDesc{desc}
+	if desc.IsPartitionParent() {
+		kids, err := c.PartitionChildren(snap, desc.OID)
+		if err != nil {
+			return err
+		}
+		victims = append(victims, kids...)
+	}
+	for _, v := range victims {
+		c.dropOne(t, snap, v.OID)
+	}
+	return nil
+}
+
+func (c *Catalog) dropOne(t *tx.Tx, snap tx.Snapshot, oid int64) {
+	collect := func(table string, oidCol int) []uint64 {
+		var ids []uint64
+		c.sys[table].Scan(snap, func(id uint64, row types.Row) bool {
+			if row[oidCol].Int() == oid {
+				ids = append(ids, id)
+			}
+			return true
+		})
+		return ids
+	}
+	for _, table := range []string{SysClass, SysAttribute, SysAoseg, SysStatRel, SysStatCol} {
+		oidCol := 0
+		if table != SysClass {
+			oidCol = 0 // all these key on tableoid in column 0 except SysClass's oid, also 0
+		}
+		for _, id := range collect(table, oidCol) {
+			c.delete(t.XID(), table, id)
+		}
+	}
+}
+
+// decodeClassRow turns a hawq_class row into a TableDesc (schema filled
+// in by the caller).
+func decodeClassRow(row types.Row) *TableDesc {
+	desc := &TableDesc{
+		OID:  row[0].Int(),
+		Name: row[1].Str(),
+		Dist: DistPolicy{Random: row[2].Bool()},
+		Storage: StorageSpec{
+			Orientation: row[4].Str(),
+			Codec:       row[5].Str(),
+		},
+		PartKind:  PartitionKind(row[6].Int()),
+		PartCol:   int(row[7].Int()),
+		ParentOID: row[8].Int(),
+		Location:  row[12].Str(),
+		Format:    row[13].Str(),
+	}
+	if s := row[3].Str(); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			n, _ := strconv.Atoi(part)
+			desc.Dist.Cols = append(desc.Dist.Cols, n)
+		}
+	}
+	if b := row[9].Str(); b != "" {
+		if d, _, err := types.DecodeDatum([]byte(b)); err == nil {
+			desc.RangeLo = d
+		}
+	}
+	if b := row[10].Str(); b != "" {
+		if d, _, err := types.DecodeDatum([]byte(b)); err == nil {
+			desc.RangeHi = d
+		}
+	}
+	if b := row[11].Str(); b != "" {
+		if vals, _, err := types.DecodeRow([]byte(b)); err == nil {
+			desc.ListValues = vals
+		}
+	}
+	return desc
+}
+
+// loadSchema reads hawq_attribute rows for a table.
+func (c *Catalog) loadSchema(snap tx.Snapshot, oid int64) *types.Schema {
+	type att struct {
+		num int
+		col types.Column
+	}
+	var atts []att
+	c.sys[SysAttribute].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == oid {
+			atts = append(atts, att{
+				num: int(row[1].Int()),
+				col: types.Column{
+					Name:    row[2].Str(),
+					Kind:    types.Kind(row[3].Int()),
+					Scale:   int8(row[4].Int()),
+					NotNull: row[5].Bool(),
+				},
+			})
+		}
+		return true
+	})
+	sort.Slice(atts, func(i, j int) bool { return atts[i].num < atts[j].num })
+	cols := make([]types.Column, len(atts))
+	for i, a := range atts {
+		cols[i] = a.col
+	}
+	return &types.Schema{Columns: cols}
+}
+
+// LookupTable resolves a table by name under a snapshot. Returns
+// (nil, error) when absent.
+func (c *Catalog) LookupTable(snap tx.Snapshot, name string) (*TableDesc, error) {
+	var desc *TableDesc
+	c.sys[SysClass].Scan(snap, func(_ uint64, row types.Row) bool {
+		if strings.EqualFold(row[1].Str(), name) {
+			desc = decodeClassRow(row)
+			return false
+		}
+		return true
+	})
+	if desc == nil {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	desc.Schema = c.loadSchema(snap, desc.OID)
+	return desc, nil
+}
+
+// LookupTableByOID resolves a table by OID.
+func (c *Catalog) LookupTableByOID(snap tx.Snapshot, oid int64) (*TableDesc, error) {
+	var desc *TableDesc
+	c.sys[SysClass].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == oid {
+			desc = decodeClassRow(row)
+			return false
+		}
+		return true
+	})
+	if desc == nil {
+		return nil, fmt.Errorf("catalog: no table with oid %d", oid)
+	}
+	desc.Schema = c.loadSchema(snap, desc.OID)
+	return desc, nil
+}
+
+// ListTables returns all visible tables sorted by name.
+func (c *Catalog) ListTables(snap tx.Snapshot) []*TableDesc {
+	var out []*TableDesc
+	c.sys[SysClass].Scan(snap, func(_ uint64, row types.Row) bool {
+		out = append(out, decodeClassRow(row))
+		return true
+	})
+	for _, d := range out {
+		d.Schema = c.loadSchema(snap, d.OID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PartitionChildren returns the child partitions of a parent, ordered by
+// OID (creation order).
+func (c *Catalog) PartitionChildren(snap tx.Snapshot, parentOID int64) ([]*TableDesc, error) {
+	var out []*TableDesc
+	c.sys[SysClass].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[8].Int() == parentOID {
+			out = append(out, decodeClassRow(row))
+		}
+		return true
+	})
+	for _, d := range out {
+		d.Schema = c.loadSchema(snap, d.OID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].OID < out[j].OID })
+	return out, nil
+}

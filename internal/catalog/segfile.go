@@ -1,0 +1,269 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// AddSegFile registers a new data file for (table, segment, segno) with
+// zero logical length. Each concurrent writer transaction claims its own
+// segno — the swimming lanes of §5.4.
+func (c *Catalog) AddSegFile(t *tx.Tx, f SegFile) {
+	lens := make([]string, len(f.ColLens))
+	for i, l := range f.ColLens {
+		lens[i] = strconv.FormatInt(l, 10)
+	}
+	c.insert(t.XID(), SysAoseg, types.Row{
+		types.NewInt64(f.TableOID),
+		types.NewInt32(int32(f.SegmentID)),
+		types.NewInt32(int32(f.SegNo)),
+		types.NewString(f.Path),
+		types.NewInt64(f.LogicalLen),
+		types.NewInt64(f.Tuples),
+		types.NewString(strings.Join(lens, ",")),
+	})
+}
+
+// UpdateSegFile advances the committed logical length and tuple count of
+// a segment file: an MVCC update (delete old version + insert new) so
+// concurrent snapshots keep seeing the old length until this transaction
+// commits. This is exactly how aborted inserts stay invisible — the
+// logical length never moves (§5).
+func (c *Catalog) UpdateSegFile(t *tx.Tx, f SegFile) error {
+	sys := c.sys[SysAoseg]
+	snap := t.Snapshot()
+	var oldID uint64
+	found := false
+	sys.Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Int() == f.TableOID && row[1].Int() == int64(f.SegmentID) && row[2].Int() == int64(f.SegNo) {
+			oldID, found = id, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return fmt.Errorf("catalog: no segfile (table %d, segment %d, segno %d)", f.TableOID, f.SegmentID, f.SegNo)
+	}
+	c.delete(t.XID(), SysAoseg, oldID)
+	c.AddSegFile(t, f)
+	return nil
+}
+
+// SegFiles lists the files of a table on one segment visible to the
+// snapshot, ordered by segno.
+func (c *Catalog) SegFiles(snap tx.Snapshot, tableOID int64, segmentID int) []SegFile {
+	var out []SegFile
+	c.sys[SysAoseg].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == tableOID && row[1].Int() == int64(segmentID) {
+			out = append(out, decodeSegFile(row))
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].SegNo < out[j].SegNo })
+	return out
+}
+
+// AllSegFiles lists every file of a table across segments.
+func (c *Catalog) AllSegFiles(snap tx.Snapshot, tableOID int64) []SegFile {
+	var out []SegFile
+	c.sys[SysAoseg].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == tableOID {
+			out = append(out, decodeSegFile(row))
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SegmentID != out[j].SegmentID {
+			return out[i].SegmentID < out[j].SegmentID
+		}
+		return out[i].SegNo < out[j].SegNo
+	})
+	return out
+}
+
+// MaxSegNo returns the highest segno in use for (table, segment), or -1.
+func (c *Catalog) MaxSegNo(snap tx.Snapshot, tableOID int64, segmentID int) int {
+	max := -1
+	c.sys[SysAoseg].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == tableOID && row[1].Int() == int64(segmentID) {
+			if n := int(row[2].Int()); n > max {
+				max = n
+			}
+		}
+		return true
+	})
+	return max
+}
+
+func decodeSegFile(row types.Row) SegFile {
+	f := SegFile{
+		TableOID:   row[0].Int(),
+		SegmentID:  int(row[1].Int()),
+		SegNo:      int(row[2].Int()),
+		Path:       row[3].Str(),
+		LogicalLen: row[4].Int(),
+		Tuples:     row[5].Int(),
+	}
+	if s := row[6].Str(); s != "" {
+		for _, part := range strings.Split(s, ",") {
+			n, _ := strconv.ParseInt(part, 10, 64)
+			f.ColLens = append(f.ColLens, n)
+		}
+	}
+	return f
+}
+
+// SetRelStats stores (replacing) table-level statistics.
+func (c *Catalog) SetRelStats(t *tx.Tx, oid int64, s RelStats) {
+	snap := t.Snapshot()
+	var old []uint64
+	c.sys[SysStatRel].Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Int() == oid {
+			old = append(old, id)
+		}
+		return true
+	})
+	for _, id := range old {
+		c.delete(t.XID(), SysStatRel, id)
+	}
+	c.insert(t.XID(), SysStatRel, types.Row{
+		types.NewInt64(oid), types.NewInt64(s.Rows), types.NewInt64(s.Bytes),
+	})
+}
+
+// RelStatsFor returns table statistics; ok is false if never analyzed.
+func (c *Catalog) RelStatsFor(snap tx.Snapshot, oid int64) (RelStats, bool) {
+	var out RelStats
+	found := false
+	c.sys[SysStatRel].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == oid {
+			out = RelStats{Rows: row[1].Int(), Bytes: row[2].Int()}
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// SetColStats stores (replacing) one column's statistics.
+func (c *Catalog) SetColStats(t *tx.Tx, oid int64, attnum int, s ColStats) {
+	snap := t.Snapshot()
+	var old []uint64
+	c.sys[SysStatCol].Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Int() == oid && row[1].Int() == int64(attnum) {
+			old = append(old, id)
+		}
+		return true
+	})
+	for _, id := range old {
+		c.delete(t.XID(), SysStatCol, id)
+	}
+	c.insert(t.XID(), SysStatCol, types.Row{
+		types.NewInt64(oid),
+		types.NewInt32(int32(attnum)),
+		types.NewFloat64(s.NDistinct),
+		types.NewFloat64(s.NullFrac),
+		types.NewBytes(types.EncodeDatum(nil, s.Min)),
+		types.NewBytes(types.EncodeDatum(nil, s.Max)),
+	})
+}
+
+// ColStatsFor returns one column's statistics.
+func (c *Catalog) ColStatsFor(snap tx.Snapshot, oid int64, attnum int) (ColStats, bool) {
+	var out ColStats
+	found := false
+	c.sys[SysStatCol].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Int() == oid && row[1].Int() == int64(attnum) {
+			out.NDistinct = row[2].Float()
+			out.NullFrac = row[3].Float()
+			if d, _, err := types.DecodeDatum([]byte(row[4].Str())); err == nil {
+				out.Min = d
+			}
+			if d, _, err := types.DecodeDatum([]byte(row[5].Str())); err == nil {
+				out.Max = d
+			}
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// RegisterSegment records a compute segment in the system catalog.
+func (c *Catalog) RegisterSegment(t *tx.Tx, info SegmentInfo) {
+	c.insert(t.XID(), SysSegment, types.Row{
+		types.NewInt32(int32(info.ID)),
+		types.NewString(info.Host),
+		types.NewInt32(int32(info.Port)),
+		types.NewString(info.Status),
+	})
+}
+
+// SetSegmentStatus marks a segment "up" or "down" (fault detector, §2.6).
+func (c *Catalog) SetSegmentStatus(t *tx.Tx, segmentID int, status string) error {
+	snap := t.Snapshot()
+	var oldID uint64
+	var oldRow types.Row
+	found := false
+	c.sys[SysSegment].Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Int() == int64(segmentID) {
+			oldID, oldRow, found = id, row.Clone(), true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return fmt.Errorf("catalog: segment %d not registered", segmentID)
+	}
+	c.delete(t.XID(), SysSegment, oldID)
+	oldRow[3] = types.NewString(status)
+	c.insert(t.XID(), SysSegment, oldRow)
+	return nil
+}
+
+// Segments lists registered segments ordered by ID.
+func (c *Catalog) Segments(snap tx.Snapshot) []SegmentInfo {
+	var out []SegmentInfo
+	c.sys[SysSegment].Scan(snap, func(_ uint64, row types.Row) bool {
+		out = append(out, SegmentInfo{
+			ID:     int(row[0].Int()),
+			Host:   row[1].Str(),
+			Port:   int(row[2].Int()),
+			Status: row[3].Str(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DropSegFiles MVCC-deletes every segment-file entry of a table
+// (TRUNCATE TABLE). It returns the dropped entries so the caller can
+// remove the physical files after commit.
+func (c *Catalog) DropSegFiles(t *tx.Tx, oid int64) []SegFile {
+	snap := t.Snapshot()
+	type victim struct {
+		id uint64
+		sf SegFile
+	}
+	var victims []victim
+	c.sys[SysAoseg].Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Int() == oid {
+			victims = append(victims, victim{id: id, sf: decodeSegFile(row)})
+		}
+		return true
+	})
+	out := make([]SegFile, 0, len(victims))
+	for _, v := range victims {
+		c.delete(t.XID(), SysAoseg, v.id)
+		out = append(out, v.sf)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package catalog implements HAWQ's Unified Catalog Service (§2.2): MVCC
+// system tables describing every object in the system (tables, columns,
+// segment files, statistics, segments), typed accessors used by the
+// planner and executor, and CaQL — the internal catalog query language
+// supporting single-table SELECT, COUNT(), multi-row DELETE and
+// single-row INSERT/UPDATE.
+//
+// Catalog rows are versioned with xmin/xmax and judged against tx
+// snapshots, giving catalog readers snapshot isolation (§5). Every
+// mutation is logged to the WAL so a standby master can replay it (§2.6).
+package catalog
+
+import (
+	"fmt"
+	"sync"
+
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// SysTable is one MVCC catalog heap (pg_class-style).
+type SysTable struct {
+	Name   string
+	Schema *types.Schema
+
+	mu      sync.RWMutex
+	rows    []sysRow
+	nextRow uint64
+}
+
+type sysRow struct {
+	id   uint64
+	xmin tx.XID
+	xmax tx.XID
+	data types.Row
+}
+
+// NewSysTable creates an empty system table.
+func NewSysTable(name string, schema *types.Schema) *SysTable {
+	return &SysTable{Name: name, Schema: schema, nextRow: 1}
+}
+
+// Insert adds a row version created by xid and returns its row ID.
+func (t *SysTable) Insert(xid tx.XID, row types.Row) uint64 {
+	if len(row) != t.Schema.Len() {
+		panic(fmt.Sprintf("catalog: %s insert width %d, want %d", t.Name, len(row), t.Schema.Len()))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id := t.nextRow
+	t.nextRow++
+	t.rows = append(t.rows, sysRow{id: id, xmin: xid, data: row.Clone()})
+	return id
+}
+
+// InsertWithID adds a row with a caller-chosen ID (WAL replay on the
+// standby, where IDs must match the primary).
+func (t *SysTable) InsertWithID(xid tx.XID, id uint64, row types.Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id >= t.nextRow {
+		t.nextRow = id + 1
+	}
+	t.rows = append(t.rows, sysRow{id: id, xmin: xid, data: row.Clone()})
+}
+
+// Delete stamps xmax on the row version with the given ID. It reports
+// whether a live version was found.
+func (t *SysTable) Delete(xid tx.XID, id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.rows {
+		if t.rows[i].id == id && t.rows[i].xmax == tx.InvalidXID {
+			t.rows[i].xmax = xid
+			return true
+		}
+	}
+	return false
+}
+
+// Scan calls fn for every row version visible to the snapshot. Returning
+// false stops the scan.
+func (t *SysTable) Scan(snap tx.Snapshot, fn func(id uint64, row types.Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range t.rows {
+		r := &t.rows[i]
+		if snap.RowVisible(r.xmin, r.xmax) {
+			if !fn(r.id, r.data) {
+				return
+			}
+		}
+	}
+}
+
+// Vacuum removes versions deleted by transactions no longer visible to
+// anyone (the horizon). It returns the number of versions reclaimed.
+func (t *SysTable) Vacuum(horizon tx.Snapshot) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	removed := 0
+	for _, r := range t.rows {
+		if r.xmax != tx.InvalidXID && horizon.XidVisible(r.xmax) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	return removed
+}
+
+// Len returns the number of stored row versions (all, not just visible).
+func (t *SysTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"hawq/internal/types"
+)
+
+// Conn is a client connection to a HAWQ server.
+type Conn struct {
+	c  net.Conn
+	rw *bufio.ReadWriter
+}
+
+// Result is one statement's outcome on the client side.
+type Result struct {
+	Schema *types.Schema
+	Rows   []types.Row
+	Tag    string
+}
+
+// Connect dials the server and waits for ready.
+func Connect(addr string) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	conn := &Conn{
+		c:  c,
+		rw: bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c)),
+	}
+	typ, _, err := readMsg(conn.rw)
+	if err != nil || typ != MsgReady {
+		c.Close()
+		return nil, fmt.Errorf("client: bad greeting (%v)", err)
+	}
+	return conn, nil
+}
+
+// Query sends SQL (possibly several statements) and collects the
+// results, one per statement.
+func (c *Conn) Query(sql string) ([]*Result, error) {
+	if err := writeMsg(c.rw, MsgQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return nil, err
+	}
+	var out []*Result
+	cur := &Result{}
+	for {
+		typ, payload, err := readMsg(c.rw)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case MsgRowDesc:
+			schema, err := decodeSchema(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur.Schema = schema
+		case MsgDataRow:
+			row, _, err := types.DecodeRow(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur.Rows = append(cur.Rows, row)
+		case MsgComplete:
+			cur.Tag = string(payload)
+			out = append(out, cur)
+			cur = &Result{}
+		case MsgError:
+			// Drain to ready, then surface the error.
+			for {
+				t2, _, err2 := readMsg(c.rw)
+				if err2 != nil || t2 == MsgReady {
+					break
+				}
+			}
+			return out, fmt.Errorf("server: %s", payload)
+		case MsgReady:
+			return out, nil
+		default:
+			return nil, fmt.Errorf("client: unexpected message %q", typ)
+		}
+	}
+}
+
+// QueryOne runs SQL and returns the last statement's result.
+func (c *Conn) QueryOne(sql string) (*Result, error) {
+	res, err := c.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return &Result{}, nil
+	}
+	return res[len(res)-1], nil
+}
+
+// Close terminates the connection.
+func (c *Conn) Close() error {
+	writeMsg(c.rw, MsgTerminate, nil)
+	c.rw.Flush()
+	return c.c.Close()
+}

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hawq/internal/engine"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Segments: 2, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv, err := NewServer(eng, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestQueryOverWire(t *testing.T) {
+	srv := testServer(t)
+	conn, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	res, err := conn.Query("CREATE TABLE t (k INT8, v TEXT) DISTRIBUTED BY (k); INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Tag != "CREATE TABLE" || !strings.HasPrefix(res[1].Tag, "INSERT") {
+		t.Fatalf("results = %+v", res)
+	}
+	out, err := conn.QueryOne("SELECT k, v FROM t ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Len() != 2 || len(out.Rows) != 2 || out.Rows[1][1].Str() != "two" {
+		t.Fatalf("select = %+v", out)
+	}
+	if out.Tag != "SELECT 2" {
+		t.Errorf("tag = %q", out.Tag)
+	}
+}
+
+func TestErrorsKeepConnectionUsable(t *testing.T) {
+	srv := testServer(t)
+	conn, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("no error for missing table")
+	}
+	res, err := conn.QueryOne("SELECT 1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("recovery query = %v", res.Rows)
+	}
+}
+
+func TestTransactionsPerConnection(t *testing.T) {
+	srv := testServer(t)
+	a, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := a.Query("CREATE TABLE t (k INT8) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Query("BEGIN; INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.QueryOne("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("uncommitted insert visible across connections")
+	}
+	if _, err := a.Query("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = b.QueryOne("SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("committed insert invisible")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := testServer(t)
+	setup, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if _, err := setup.Query("CREATE TABLE c (k INT8) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := Connect(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for j := 0; j < 5; j++ {
+				if _, err := conn.QueryOne("SELECT count(*) FROM c"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+// Package client implements a libpq-style wire protocol for HAWQ (§2.1:
+// applications interact with the master through standard protocols;
+// libpq is the one PostgreSQL and Greenplum use). The server side wraps
+// an engine.Engine; the client side is a small Go driver. Message
+// framing follows the PostgreSQL convention: a one-byte type tag and a
+// 32-bit big-endian length, then the payload.
+//
+// Messages:
+//
+//	client → server:  'Q' simple query (SQL text)
+//	                  'X' terminate
+//	server → client:  'T' row description, 'D' data row,
+//	                  'C' command complete (tag), 'E' error, 'Z' ready
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hawq/internal/types"
+)
+
+// Message type tags.
+const (
+	MsgQuery     = 'Q'
+	MsgTerminate = 'X'
+	MsgRowDesc   = 'T'
+	MsgDataRow   = 'D'
+	MsgComplete  = 'C'
+	MsgError     = 'E'
+	MsgReady     = 'Z'
+)
+
+// maxMessage bounds a single protocol message.
+const maxMessage = 64 << 20
+
+// writeMsg frames and writes one message.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads one framed message.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxMessage {
+		return 0, nil, fmt.Errorf("client: message of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// encodeSchema renders a row description payload.
+func encodeSchema(s *types.Schema) []byte {
+	buf := binary.AppendUvarint(nil, uint64(s.Len()))
+	for _, c := range s.Columns {
+		buf = binary.AppendUvarint(buf, uint64(len(c.Name)))
+		buf = append(buf, c.Name...)
+		buf = append(buf, byte(c.Kind), byte(c.Scale))
+	}
+	return buf
+}
+
+// decodeSchema reverses encodeSchema.
+func decodeSchema(buf []byte) (*types.Schema, error) {
+	n, consumed := binary.Uvarint(buf)
+	if consumed <= 0 {
+		return nil, fmt.Errorf("client: bad row description")
+	}
+	pos := consumed
+	cols := make([]types.Column, n)
+	for i := range cols {
+		l, c := binary.Uvarint(buf[pos:])
+		if c <= 0 || pos+c+int(l)+2 > len(buf) {
+			return nil, fmt.Errorf("client: truncated row description")
+		}
+		pos += c
+		cols[i].Name = string(buf[pos : pos+int(l)])
+		pos += int(l)
+		cols[i].Kind = types.Kind(buf[pos])
+		cols[i].Scale = int8(buf[pos+1])
+		pos += 2
+	}
+	return &types.Schema{Columns: cols}, nil
+}

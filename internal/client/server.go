@@ -1,0 +1,110 @@
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"hawq/internal/engine"
+	"hawq/internal/types"
+)
+
+// Server exposes an engine over the wire protocol. Each connection gets
+// its own session (and therefore its own transaction state), as with the
+// postmaster forking a QD per connection (§2.4).
+type Server struct {
+	eng *engine.Engine
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts listening on addr ("127.0.0.1:0" for an ephemeral
+// port).
+func NewServer(eng *engine.Engine, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	s := &Server{eng: eng, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve runs one connection: a QD session loop.
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sess := s.eng.NewSession()
+	writeMsg(conn, MsgReady, nil)
+	for {
+		typ, payload, err := readMsg(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgTerminate:
+			return
+		case MsgQuery:
+			s.handleQuery(conn, sess, string(payload))
+		default:
+			writeMsg(conn, MsgError, []byte(fmt.Sprintf("unexpected message %q", typ)))
+			writeMsg(conn, MsgReady, nil)
+		}
+	}
+}
+
+func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, sql string) {
+	results, err := sess.Execute(sql)
+	if err != nil {
+		writeMsg(conn, MsgError, []byte(err.Error()))
+		writeMsg(conn, MsgReady, nil)
+		return
+	}
+	for _, res := range results {
+		if res.Schema != nil {
+			writeMsg(conn, MsgRowDesc, encodeSchema(res.Schema))
+			var buf []byte
+			for _, row := range res.Rows {
+				buf = types.EncodeRow(buf[:0], row)
+				writeMsg(conn, MsgDataRow, buf)
+			}
+		}
+		writeMsg(conn, MsgComplete, []byte(res.Tag))
+	}
+	writeMsg(conn, MsgReady, nil)
+}

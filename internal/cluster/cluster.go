@@ -1,0 +1,411 @@
+// Package cluster implements the HAWQ runtime topology (§2): a master
+// (QD side), stateless segments collocated with HDFS DataNodes, the
+// dispatcher that starts gangs of QEs and runs sliced plans, the fault
+// detector that marks failed segments "down" and fails sessions over to
+// the remaining segments, and the lane manager implementing the
+// swimming-lane concurrent insert protocol (§5.4).
+//
+// Everything runs in one process: hosts are goroutines, but the
+// interconnect uses real UDP/TCP sockets on loopback, so the transport
+// behaves like the paper's.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hawq/internal/catalog"
+	"hawq/internal/executor"
+	"hawq/internal/hdfs"
+	"hawq/internal/interconnect"
+	"hawq/internal/plan"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Segments is the number of compute segments.
+	Segments int
+	// DataNodes is the HDFS cluster size; 0 means one per segment.
+	DataNodes int
+	// Interconnect selects "udp" (default) or "tcp".
+	Interconnect string
+	// UDP tunes the UDP interconnect (loss injection etc.).
+	UDP interconnect.UDPConfig
+	// HDFS overrides the storage configuration; zero values get
+	// defaults matched to the cluster size.
+	HDFS hdfs.Config
+	// SpillDir is the base directory for segment-local spill files
+	// (empty: system temp).
+	SpillDir string
+}
+
+// Cluster is a running HAWQ cluster.
+type Cluster struct {
+	cfg   Config
+	FS    *hdfs.FileSystem
+	Cat   *catalog.Catalog
+	TxMgr *tx.Manager
+	Locks *tx.LockManager
+	WAL   *tx.WAL
+
+	book      *interconnect.AddrBook
+	qdNode    interconnect.Node
+	segments  []*Segment
+	nextQuery atomic.Uint64
+
+	lanes *laneManager
+	// External is the PXF binding used by external-table scans.
+	External executor.ExternalEngine
+
+	mu      sync.Mutex
+	standby *Standby
+	closed  bool
+}
+
+// Segment is one stateless compute segment (§2.6): it holds no private
+// persistent state, so any alive segment can substitute for a failed one.
+type Segment struct {
+	ID        int
+	LocalHost string // collocated DataNode
+
+	mu   sync.Mutex
+	node interconnect.Node
+	down bool
+}
+
+// New boots a cluster: HDFS, catalog+WAL, transaction machinery,
+// interconnect endpoints, and the segment registry.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Segments <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one segment")
+	}
+	if cfg.DataNodes <= 0 {
+		cfg.DataNodes = cfg.Segments
+	}
+	h := cfg.HDFS
+	if h.DataNodes == 0 {
+		h.DataNodes = cfg.DataNodes
+	}
+	fs, err := hdfs.New(h)
+	if err != nil {
+		return nil, err
+	}
+	wal := tx.NewWAL()
+	c := &Cluster{
+		cfg:   cfg,
+		FS:    fs,
+		Cat:   catalog.New(wal),
+		TxMgr: tx.NewManager(),
+		Locks: tx.NewLockManager(),
+		WAL:   wal,
+		book:  interconnect.NewAddrBook(),
+		lanes: newLaneManager(),
+	}
+	if c.qdNode, err = c.newNode(plan.QDSegment); err != nil {
+		return nil, err
+	}
+	boot := c.TxMgr.Begin(tx.ReadCommitted)
+	for i := 0; i < cfg.Segments; i++ {
+		seg := &Segment{ID: i, LocalHost: fmt.Sprintf("dn%d", i%cfg.DataNodes)}
+		if seg.node, err = c.newNode(interconnect.SegID(i)); err != nil {
+			boot.Abort()
+			return nil, err
+		}
+		c.segments = append(c.segments, seg)
+		c.Cat.RegisterSegment(boot, catalog.SegmentInfo{ID: i, Host: seg.LocalHost, Port: 0, Status: "up"})
+	}
+	if err := boot.Commit(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) newNode(id interconnect.SegID) (interconnect.Node, error) {
+	if c.cfg.Interconnect == "tcp" {
+		return interconnect.NewTCPNode(id, c.book)
+	}
+	return interconnect.NewUDPNode(id, c.book, c.cfg.UDP)
+}
+
+// NumSegments returns the segment count.
+func (c *Cluster) NumSegments() int { return len(c.segments) }
+
+// Segment returns the i'th segment.
+func (c *Cluster) Segment(i int) *Segment { return c.segments[i] }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.qdNode.Close()
+	for _, s := range c.segments {
+		s.mu.Lock()
+		if s.node != nil {
+			s.node.Close()
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Down reports whether the segment is marked down.
+func (s *Segment) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// Kill simulates a segment process failure: its interconnect endpoint
+// dies and future dispatches fail until the fault detector marks it down
+// and sessions fail over.
+func (s *Segment) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.node != nil {
+		s.node.Close()
+		s.node = nil
+	}
+}
+
+// Alive reports whether the segment process responds (the fault
+// detector's health probe).
+func (s *Segment) Alive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node != nil
+}
+
+// FaultCheck is the master's fault detector pass (§2.6): dead segments
+// are marked "down" in the system catalog, and future queries are not
+// dispatched to them — each session fails the segment's work over to a
+// replacement endpoint on a surviving host.
+func (c *Cluster) FaultCheck() []int {
+	var marked []int
+	for _, s := range c.segments {
+		if !s.Alive() && !s.Down() {
+			s.mu.Lock()
+			s.down = true
+			s.mu.Unlock()
+			t := c.TxMgr.Begin(tx.ReadCommitted)
+			if err := c.Cat.SetSegmentStatus(t, s.ID, "down"); err == nil {
+				t.Commit()
+			} else {
+				t.Abort()
+			}
+			marked = append(marked, s.ID)
+		}
+	}
+	return marked
+}
+
+// Recover restores a failed segment (the recovery utility of §2.6):
+// a fresh endpoint is created — on the original host — and the segment
+// is marked "up" again.
+func (c *Cluster) Recover(segID int) error {
+	s := c.segments[segID]
+	s.mu.Lock()
+	if s.node == nil {
+		node, err := c.newNode(interconnect.SegID(segID))
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.node = node
+	}
+	s.down = false
+	s.mu.Unlock()
+	t := c.TxMgr.Begin(tx.ReadCommitted)
+	if err := c.Cat.SetSegmentStatus(t, segID, "up"); err != nil {
+		t.Abort()
+		return err
+	}
+	return t.Commit()
+}
+
+// failover replaces a dead segment's endpoint with a fresh one so this
+// session's queries can proceed on a surviving host. Stateless segments
+// make this legal: all table data lives on HDFS (§2.6).
+func (c *Cluster) failover(s *Segment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.node != nil {
+		return nil
+	}
+	node, err := c.newNode(interconnect.SegID(s.ID))
+	if err != nil {
+		return err
+	}
+	s.node = node
+	// The replacement QE runs on some other host; data locality is lost
+	// but HDFS replication keeps the data readable.
+	alive := 0
+	for _, other := range c.segments {
+		if other != s && other.Alive() {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("cluster: no surviving segments for failover")
+	}
+	return nil
+}
+
+// QueryResult is what a dispatched statement returns to the session.
+type QueryResult struct {
+	Schema *types.Schema
+	Rows   []types.Row
+	// Updates are the piggybacked segment-file changes from DML (§3.1).
+	Updates []executor.SegFileUpdate
+}
+
+// Dispatch runs a sliced plan: gangs of QEs execute the non-top slices
+// on their segments while the QD consumes the top slice, gathering the
+// final result (§2.4).
+func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryResult, error) {
+	query := c.nextQuery.Add(1)
+	res := &QueryResult{Schema: p.Schema}
+
+	// Metadata dispatch (§3.1): serialize the self-described plan once;
+	// every QE decodes its own copy, proving no catalog access is
+	// needed beyond the plan itself.
+	encoded, err := plan.Encode(p)
+	if err != nil {
+		return nil, err
+	}
+
+	var updMu sync.Mutex
+	onUpdate := func(u executor.SegFileUpdate) {
+		updMu.Lock()
+		res.Updates = append(res.Updates, u)
+		updMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	var cancelOnce sync.Once
+	cancel := func() {
+		cancelOnce.Do(func() {
+			// Tear the whole query down: unblock every receiver so no
+			// QE (or the QD) waits on a gang member that died (§2.6:
+			// in-flight queries fail and restart).
+			c.qdNode.CancelQuery(query)
+			for _, seg := range c.segments {
+				seg.mu.Lock()
+				node := seg.node
+				seg.mu.Unlock()
+				if node != nil {
+					node.CancelQuery(query)
+				}
+			}
+		})
+	}
+	for si := 1; si < len(p.Slices); si++ {
+		slice := p.Slices[si]
+		for _, segID := range slice.Segments {
+			wg.Add(1)
+			go func(si, segID int) {
+				defer wg.Done()
+				if err := c.runQE(query, encoded, si, segID, onUpdate); err != nil {
+					select {
+					case errCh <- fmt.Errorf("segment %d slice %d: %w", segID, si, err):
+					default:
+					}
+					cancel()
+				}
+			}(si, segID)
+		}
+	}
+
+	// Top slice on the QD.
+	qdCtx := &executor.Context{
+		Query:           query,
+		Segment:         plan.QDSegment,
+		FS:              c.FS,
+		Net:             c.qdNode,
+		External:        c.External,
+		SpillDir:        c.cfg.SpillDir,
+		OnSegFileUpdate: onUpdate,
+	}
+	op, err := executor.Build(qdCtx, p.Slices[0].Root)
+	var topErr error
+	if err != nil {
+		topErr = err
+	} else {
+		topErr = executor.Drain(op, func(row types.Row) error {
+			if onRow != nil {
+				return onRow(row)
+			}
+			res.Rows = append(res.Rows, row.Clone())
+			return nil
+		})
+	}
+	if topErr != nil {
+		cancel()
+	}
+	wg.Wait()
+	close(errCh)
+	// A QE failure is the root cause; the QD error is usually just the
+	// cancellation it triggered.
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if topErr != nil {
+		return nil, topErr
+	}
+	return res, nil
+}
+
+// runQE executes one slice as a QE on one segment. The QE decodes the
+// self-described plan itself — stateless segment, no catalog round trip.
+func (c *Cluster) runQE(query uint64, encodedPlan []byte, sliceID, segID int, onUpdate func(executor.SegFileUpdate)) error {
+	var net interconnect.Node
+	var localHost string
+	if segID == plan.QDSegment {
+		net = c.qdNode
+	} else {
+		seg := c.segments[segID]
+		seg.mu.Lock()
+		if seg.node == nil {
+			if !seg.down {
+				// The process died but the fault detector has not seen
+				// it yet: this in-flight query fails; the session will
+				// run the detector and restart (§2.6).
+				seg.mu.Unlock()
+				return fmt.Errorf("segment %d is not responding", segID)
+			}
+			seg.mu.Unlock()
+			if err := c.failover(seg); err != nil {
+				return err
+			}
+			seg.mu.Lock()
+		}
+		net = seg.node
+		localHost = seg.LocalHost
+		seg.mu.Unlock()
+	}
+	decoded, err := plan.Decode(encodedPlan)
+	if err != nil {
+		return err
+	}
+	ctx := &executor.Context{
+		Query:           query,
+		Segment:         segID,
+		FS:              c.FS,
+		Net:             net,
+		External:        c.External,
+		SpillDir:        c.cfg.SpillDir,
+		OnSegFileUpdate: onUpdate,
+		LocalHost:       localHost,
+	}
+	return executor.RunSlice(ctx, decoded, sliceID)
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"hawq/internal/catalog"
+	"hawq/internal/tx"
+)
+
+// Standby is the warm standby master (§2.6): it holds a catalog replica
+// kept current by WAL log shipping. Since the master stores no user data,
+// replicating the catalog is all a failover needs.
+type Standby struct {
+	Cat *catalog.Catalog
+}
+
+// StartStandby attaches a standby master: it catches up on the WAL
+// backlog, then applies records as they stream.
+func (c *Cluster) StartStandby() *Standby {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.standby != nil {
+		return c.standby
+	}
+	sb := &Standby{Cat: catalog.New(nil)}
+	backlog := c.WAL.Subscribe(func(r tx.Record) {
+		sb.Cat.ApplyRecord(r)
+	})
+	for _, r := range backlog {
+		sb.Cat.ApplyRecord(r)
+	}
+	c.standby = sb
+	return sb
+}
+
+// Promote makes the standby's catalog the cluster's active catalog (the
+// failover path when the primary master host dies). A new WAL begins at
+// promotion; the old primary must be rebuilt as a standby before it can
+// return.
+func (c *Cluster) Promote() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.standby == nil {
+		return
+	}
+	c.Cat = c.standby.Cat
+	c.standby = nil
+}

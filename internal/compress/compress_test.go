@@ -1,0 +1,166 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var codecNames = []string{"none", "quicklz", "snappy", "rle", "zlib-1", "zlib-5", "zlib-9", "gzip-1", "gzip-5", "gzip-9"}
+
+func roundTrip(t *testing.T, name string, data []byte) {
+	t.Helper()
+	c, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := c.Compress(nil, data)
+	got, err := c.Decompress(nil, comp)
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", name, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("%s: round trip mismatch (%d -> %d -> %d bytes)", name, len(data), len(comp), len(got))
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("abcd"),
+		bytes.Repeat([]byte("x"), 10000),
+		[]byte(strings.Repeat("hello world, hello world! ", 500)),
+		randomBytes(1, 64*1024),
+		mixedBytes(2, 100000),
+	}
+	for _, name := range codecNames {
+		for _, in := range inputs {
+			roundTrip(t, name, in)
+		}
+	}
+}
+
+func randomBytes(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+// mixedBytes interleaves compressible runs with random stretches.
+func mixedBytes(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	var b []byte
+	for len(b) < n {
+		if r.Intn(2) == 0 {
+			b = append(b, bytes.Repeat([]byte{byte(r.Intn(256))}, r.Intn(200)+1)...)
+		} else {
+			chunk := make([]byte, r.Intn(100)+1)
+			r.Read(chunk)
+			b = append(b, chunk...)
+		}
+	}
+	return b[:n]
+}
+
+func TestQuickRoundTripLZ(t *testing.T) {
+	for _, name := range []string{"quicklz", "rle"} {
+		c, _ := Lookup(name)
+		f := func(data []byte) bool {
+			comp := c.Compress(nil, data)
+			got, err := c.Decompress(nil, comp)
+			return err == nil && bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCompressionRatioOnRepetitiveData(t *testing.T) {
+	data := []byte(strings.Repeat("2024-01-15|ALPHA|ship via truck|", 2000))
+	for _, name := range []string{"quicklz", "zlib-1", "zlib-9", "rle"} {
+		c, _ := Lookup(name)
+		comp := c.Compress(nil, data)
+		if name != "rle" && len(comp) > len(data)/3 {
+			t.Errorf("%s: ratio too weak: %d -> %d", name, len(data), len(comp))
+		}
+	}
+	// zlib-9 should not be worse than zlib-1 on this input.
+	z1, _ := Lookup("zlib-1")
+	z9, _ := Lookup("zlib-9")
+	if len(z9.Compress(nil, data)) > len(z1.Compress(nil, data)) {
+		t.Error("zlib-9 worse than zlib-1 on repetitive input")
+	}
+}
+
+func TestRLEOnRuns(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 100000)
+	c, _ := Lookup("rle")
+	comp := c.Compress(nil, data)
+	if len(comp) > 16 {
+		t.Errorf("rle on pure run: %d -> %d bytes", len(data), len(comp))
+	}
+}
+
+func TestDecompressAppendsToDst(t *testing.T) {
+	c, _ := Lookup("quicklz")
+	comp := c.Compress(nil, []byte("world"))
+	out, err := c.Decompress([]byte("hello "), comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello world" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestDecompressCorruptInput(t *testing.T) {
+	for _, name := range []string{"quicklz", "rle", "zlib-5", "gzip-5"} {
+		c, _ := Lookup(name)
+		comp := c.Compress(nil, []byte(strings.Repeat("abcdefg", 100)))
+		for _, cut := range []int{0, 1, len(comp) / 2} {
+			if _, err := c.Decompress(nil, comp[:cut]); err == nil && cut < len(comp) {
+				t.Errorf("%s: no error on truncation to %d bytes", name, cut)
+			}
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	if _, err := Lookup("bogus"); err == nil {
+		t.Error("lookup of bogus codec succeeded")
+	}
+	c, err := Lookup("")
+	if err != nil || c.Name() != "none" {
+		t.Errorf("empty name should resolve to none, got %v, %v", c, err)
+	}
+	names := Names()
+	if len(names) < len(codecNames) {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func BenchmarkQuicklzCompress(b *testing.B) {
+	data := mixedBytes(3, 1<<20)
+	c, _ := Lookup("quicklz")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(nil, data)
+	}
+}
+
+func BenchmarkZlib1Compress(b *testing.B) {
+	data := mixedBytes(3, 1<<20)
+	c, _ := Lookup("zlib-1")
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(nil, data)
+	}
+}

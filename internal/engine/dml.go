@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/catalog"
+	"hawq/internal/plan"
+	"hawq/internal/sqlparser"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// runInsert executes INSERT: lock, assign the transaction's swimming
+// lane(s) (§5.4), plan with redistribution to the target's distribution,
+// dispatch, and fold the piggybacked segment-file updates into the
+// catalog as MVCC updates. The rows become visible at commit; an abort
+// truncates the appended bytes away (§5.3).
+func (s *Session) runInsert(t *tx.Tx, stmt *sqlparser.InsertStmt) (*Result, error) {
+	cat := s.eng.cl.Cat
+	name := strings.ToLower(stmt.Table)
+	if isSystemTable(name) {
+		res, err := cat.CaQL(t, stmt.String())
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: int64(res.Affected), Tag: fmt.Sprintf("INSERT 0 %d", res.Affected)}, nil
+	}
+	desc, err := cat.LookupTable(t.Snapshot(), name)
+	if err != nil {
+		return nil, err
+	}
+	if desc.IsExternal() {
+		return nil, fmt.Errorf("engine: cannot insert into external table %s", name)
+	}
+	if desc.IsPartitionChild() {
+		return nil, fmt.Errorf("engine: insert into partition %s directly is not supported; use the parent", name)
+	}
+	if err := s.eng.cl.Locks.Acquire(t.XID(), name, tx.RowExclusive); err != nil {
+		return nil, err
+	}
+	if stmt.Select != nil {
+		tables := map[string]bool{}
+		collectTables(stmt.Select, tables)
+		if err := s.lockTables(t, tables, tx.AccessShare); err != nil {
+			return nil, err
+		}
+	}
+
+	targets, segno, err := s.insertTargets(t, desc)
+	if err != nil {
+		return nil, err
+	}
+	p := s.newPlanner(t)
+	pl, err := p.PlanInsert(stmt, targets, segno)
+	if err != nil {
+		return nil, err
+	}
+	return s.dispatchDML(t, pl)
+}
+
+// insertTargets builds the insert target list with per-segment lane
+// files (§5.4).
+func (s *Session) insertTargets(t *tx.Tx, desc *catalog.TableDesc) ([]plan.InsertTarget, int, error) {
+	cat := s.eng.cl.Cat
+	targets := []plan.InsertTarget{{Table: desc}}
+	if desc.IsPartitionParent() {
+		kids, err := cat.PartitionChildren(t.Snapshot(), desc.OID)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, kid := range kids {
+			targets = append(targets, plan.InsertTarget{Table: kid})
+		}
+	}
+	var segno int
+	for i := range targets {
+		if i == 0 && desc.IsPartitionParent() {
+			// The parent itself holds no data.
+			targets[i].Files = map[int]catalog.SegFile{}
+			continue
+		}
+		n, files, err := s.eng.cl.AcquireLane(t, targets[i].Table)
+		if err != nil {
+			return nil, 0, err
+		}
+		segno = n
+		targets[i].Files = files
+	}
+	return targets, segno, nil
+}
+
+// dispatchDML dispatches an INSERT/COPY plan and folds the piggybacked
+// metadata changes into the catalog (§3.1, §5.4).
+func (s *Session) dispatchDML(t *tx.Tx, pl *plan.Plan) (*Result, error) {
+	res, err := s.eng.cl.Dispatch(pl, nil)
+	if err != nil {
+		return nil, err
+	}
+	var affected int64
+	for _, row := range res.Rows {
+		affected += row[0].Int()
+	}
+	for _, u := range res.Updates {
+		if err := s.eng.cl.Cat.UpdateSegFile(t, u.File); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: affected, Tag: fmt.Sprintf("INSERT 0 %d", affected)}, nil
+}
+
+// CopyFrom bulk-loads rows into a table without going through the SQL
+// parser: the COPY path ETL tools use. Rows are cast to the table's
+// column kinds and routed by its distribution policy, through the same
+// transactional lane machinery as INSERT.
+func (s *Session) CopyFrom(table string, rows []types.Row) (int64, error) {
+	if s.cur != nil {
+		res, err := s.copyInTx(s.cur, table, rows)
+		if err != nil {
+			return 0, err
+		}
+		return res.Affected, nil
+	}
+	t := s.eng.cl.TxMgr.Begin(s.level)
+	res, err := s.copyInTx(t, table, rows)
+	if err != nil {
+		t.Abort()
+		s.releaseTx(t)
+		return 0, err
+	}
+	if err := t.Commit(); err != nil {
+		s.releaseTx(t)
+		return 0, err
+	}
+	s.releaseTx(t)
+	return res.Affected, nil
+}
+
+func (s *Session) copyInTx(t *tx.Tx, table string, rows []types.Row) (*Result, error) {
+	name := strings.ToLower(table)
+	desc, err := s.eng.cl.Cat.LookupTable(t.Snapshot(), name)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.cl.Locks.Acquire(t.XID(), name, tx.RowExclusive); err != nil {
+		return nil, err
+	}
+	targets, segno, err := s.insertTargets(t, desc)
+	if err != nil {
+		return nil, err
+	}
+	p := s.newPlanner(t)
+	pl, err := p.PlanCopy(rows, targets, segno)
+	if err != nil {
+		return nil, err
+	}
+	return s.dispatchDML(t, pl)
+}

@@ -1,0 +1,258 @@
+// Package engine is HAWQ's public embedded API: the session layer that
+// parses SQL, drives the transaction machinery and locking (§5), plans
+// statements (§3), dispatches them across the cluster (§2.4), and
+// returns results. cmd/hawq wraps it in an interactive shell, and
+// internal/client exposes it over a libpq-style wire protocol.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hawq/internal/cluster"
+	"hawq/internal/sqlparser"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// Config re-exports the cluster configuration.
+type Config = cluster.Config
+
+// PlannerFlags toggle optimizer features, for the ablation benchmarks
+// (§3's direct dispatch, §2.3's partition elimination and colocation).
+type PlannerFlags struct {
+	DisableDirectDispatch bool
+	DisablePartitionElim  bool
+	DisableColocation     bool
+}
+
+// Engine is an embedded HAWQ instance.
+type Engine struct {
+	cl    *cluster.Cluster
+	mu    sync.Mutex
+	flags PlannerFlags
+}
+
+// SetFlags replaces the planner ablation flags.
+func (e *Engine) SetFlags(f PlannerFlags) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flags = f
+}
+
+// Flags returns the current planner ablation flags.
+func (e *Engine) Flags() PlannerFlags {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flags
+}
+
+// New boots an engine.
+func New(cfg Config) (*Engine, error) {
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cl: cl}, nil
+}
+
+// Cluster exposes the underlying runtime (fault injection, PXF binding,
+// benchmarks).
+func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
+
+// Close shuts the engine down.
+func (e *Engine) Close() error { return e.cl.Close() }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Schema and Rows are set for row-returning statements.
+	Schema *types.Schema
+	Rows   []types.Row
+	// Affected is the row count for DML.
+	Affected int64
+	// Tag is the command tag ("SELECT 4", "CREATE TABLE", ...).
+	Tag string
+}
+
+// Session is one client session, owning at most one open transaction.
+// Sessions are not safe for concurrent use; open one per goroutine.
+type Session struct {
+	eng *Engine
+	// level is the session's default isolation level.
+	level tx.IsolationLevel
+	// cur is the open explicit transaction, nil in autocommit mode.
+	cur *tx.Tx
+}
+
+// NewSession opens a session.
+func (e *Engine) NewSession() *Session {
+	return &Session{eng: e, level: tx.ReadCommitted}
+}
+
+// Execute parses and runs a semicolon-separated SQL string, returning one
+// result per statement. On error, prior statements' effects stand
+// according to their own transactions (autocommit) or the session
+// transaction is aborted.
+func (s *Session) Execute(sql string) ([]*Result, error) {
+	stmts, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, stmt := range stmts {
+		res, err := s.executeStmt(stmt)
+		if err != nil {
+			if s.cur != nil {
+				s.cur.Abort()
+				s.releaseTx(s.cur)
+				s.cur = nil
+			}
+			return out, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Query runs a single statement and returns its result.
+func (s *Session) Query(sql string) (*Result, error) {
+	res, err := s.Execute(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return &Result{Tag: "EMPTY"}, nil
+	}
+	return res[len(res)-1], nil
+}
+
+func (s *Session) releaseTx(t *tx.Tx) {
+	s.eng.cl.Locks.ReleaseAll(t.XID())
+}
+
+func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
+	switch v := stmt.(type) {
+	case *sqlparser.BeginStmt:
+		if s.cur != nil {
+			return nil, fmt.Errorf("engine: a transaction is already in progress")
+		}
+		level := s.level
+		if v.Isolation != "" {
+			l, err := tx.ParseIsolationLevel(v.Isolation)
+			if err != nil {
+				return nil, err
+			}
+			level = l
+		}
+		s.cur = s.eng.cl.TxMgr.Begin(level)
+		return &Result{Tag: "BEGIN"}, nil
+	case *sqlparser.CommitStmt:
+		if s.cur == nil {
+			return &Result{Tag: "COMMIT"}, nil
+		}
+		err := s.cur.Commit()
+		s.releaseTx(s.cur)
+		s.cur = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "COMMIT"}, nil
+	case *sqlparser.RollbackStmt:
+		if s.cur != nil {
+			s.cur.Abort()
+			s.releaseTx(s.cur)
+			s.cur = nil
+		}
+		return &Result{Tag: "ROLLBACK"}, nil
+	case *sqlparser.SetStmt:
+		if v.Name == "transaction_isolation" {
+			l, err := tx.ParseIsolationLevel(v.Value)
+			if err != nil {
+				return nil, err
+			}
+			s.level = l
+			return &Result{Tag: "SET"}, nil
+		}
+		return &Result{Tag: "SET"}, nil
+	}
+	// Transactional statements: use the session transaction, or an
+	// implicit autocommit one.
+	t := s.cur
+	auto := false
+	if t == nil {
+		t = s.eng.cl.TxMgr.Begin(s.level)
+		auto = true
+	}
+	res, err := s.runInTx(t, stmt)
+	if auto {
+		if err != nil {
+			t.Abort()
+			s.releaseTx(t)
+			return nil, err
+		}
+		if cerr := t.Commit(); cerr != nil {
+			s.releaseTx(t)
+			return nil, cerr
+		}
+		s.releaseTx(t)
+		return res, nil
+	}
+	return res, err
+}
+
+func (s *Session) runInTx(t *tx.Tx, stmt sqlparser.Statement) (*Result, error) {
+	switch v := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return s.runSelect(t, v)
+	case *sqlparser.InsertStmt:
+		return s.runInsert(t, v)
+	case *sqlparser.CreateTableStmt:
+		return s.runCreateTable(t, v)
+	case *sqlparser.CreateExternalTableStmt:
+		return s.runCreateExternal(t, v)
+	case *sqlparser.DropTableStmt:
+		return s.runDropTable(t, v)
+	case *sqlparser.TruncateStmt:
+		return s.runTruncate(t, v)
+	case *sqlparser.AnalyzeStmt:
+		return s.runAnalyze(t, v)
+	case *sqlparser.ExplainStmt:
+		return s.runExplain(t, v)
+	case *sqlparser.ShowStmt:
+		return s.runShow(t, v)
+	case *sqlparser.DeleteStmt, *sqlparser.UpdateStmt:
+		return s.runCatalogDML(t, stmt)
+	case *sqlparser.VacuumStmt:
+		removed := s.eng.cl.Cat.VacuumAll(s.eng.cl.TxMgr.Horizon())
+		return &Result{Affected: int64(removed), Tag: fmt.Sprintf("VACUUM %d", removed)}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// isSystemTable reports whether a name refers to a catalog table, which
+// is served by CaQL rather than the parallel executor (§2.2).
+func isSystemTable(name string) bool {
+	return strings.HasPrefix(strings.ToLower(name), "hawq_")
+}
+
+// runCatalogDML routes DELETE/UPDATE on system tables through CaQL; user
+// tables are append-only (§5), so row-level DML on them is rejected.
+func (s *Session) runCatalogDML(t *tx.Tx, stmt sqlparser.Statement) (*Result, error) {
+	var table string
+	switch v := stmt.(type) {
+	case *sqlparser.DeleteStmt:
+		table = v.Table
+	case *sqlparser.UpdateStmt:
+		table = v.Table
+	}
+	if !isSystemTable(table) {
+		return nil, fmt.Errorf("engine: %s: user tables are append-only; use INSERT and TRUNCATE", table)
+	}
+	res, err := s.eng.cl.Cat.CaQL(t, stmt.String())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: int64(res.Affected), Tag: fmt.Sprintf("CAQL %d", res.Affected)}, nil
+}

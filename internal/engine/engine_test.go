@@ -1,0 +1,678 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hawq/internal/cluster"
+)
+
+func newTestEngine(t testing.TB, segments int) *Engine {
+	t.Helper()
+	e, err := New(Config{Segments: segments, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func mustExec(t testing.TB, s *Session, sql string) *Result {
+	t.Helper()
+	res, err := s.Query(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", sql, err)
+	}
+	return res
+}
+
+// rowsString renders result rows compactly for comparison.
+func rowsString(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func setupAccounts(t testing.TB, s *Session) {
+	mustExec(t, s, `CREATE TABLE accounts (
+		id INT8 NOT NULL, owner TEXT, balance DECIMAL(12,2), opened DATE
+	) DISTRIBUTED BY (id)`)
+	var values []string
+	for i := 1; i <= 100; i++ {
+		values = append(values, fmt.Sprintf("(%d, 'owner%d', %d.50, DATE '2013-0%d-15')",
+			i, i%10, i*100, i%9+1))
+	}
+	mustExec(t, s, "INSERT INTO accounts VALUES "+strings.Join(values, ", "))
+}
+
+func TestCreateInsertSelectRoundTrip(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count = %v", res.Rows[0])
+	}
+	res = mustExec(t, s, "SELECT id, owner, balance FROM accounts WHERE id = 42")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 42 || res.Rows[0][1].Str() != "owner2" {
+		t.Fatalf("point lookup = %v", rowsString(res))
+	}
+	res = mustExec(t, s, "SELECT sum(balance) FROM accounts WHERE id <= 10")
+	if got := res.Rows[0][0].String(); got != "5505.00" {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+func TestGroupByOrderByLimit(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	res := mustExec(t, s, `SELECT owner, count(*) AS n, sum(balance) AS total
+		FROM accounts GROUP BY owner ORDER BY owner LIMIT 3`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", rowsString(res))
+	}
+	if res.Rows[0][0].Str() != "owner0" || res.Rows[0][1].Int() != 10 {
+		t.Fatalf("group owner0 = %v", res.Rows[0])
+	}
+	// ORDER BY aggregate DESC.
+	res = mustExec(t, s, `SELECT owner, sum(balance) AS total FROM accounts
+		GROUP BY owner ORDER BY total DESC LIMIT 1`)
+	if res.Rows[0][0].Str() != "owner0" {
+		t.Fatalf("top owner = %v", res.Rows[0])
+	}
+	// avg via two-phase aggregation.
+	res = mustExec(t, s, "SELECT avg(balance) FROM accounts")
+	if got := res.Rows[0][0].Float(); got < 5050 || got > 5051 {
+		t.Fatalf("avg = %v", got)
+	}
+	// Scalar agg with no rows.
+	res = mustExec(t, s, "SELECT count(*), sum(balance) FROM accounts WHERE id > 1000000")
+	if res.Rows[0][0].Int() != 0 || !res.Rows[0][1].IsNull() {
+		t.Fatalf("empty agg = %v", res.Rows[0])
+	}
+	// Same under direct dispatch (regression: a partial scalar agg on an
+	// empty segment must still contribute its zero-count row).
+	res = mustExec(t, s, "SELECT count(*) FROM accounts WHERE id = -5")
+	if res.Rows[0][0].IsNull() || res.Rows[0][0].Int() != 0 {
+		t.Fatalf("direct-dispatch empty count = %v", res.Rows[0])
+	}
+}
+
+func TestJoinsAcrossDistributions(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE dept (dept_id INT8 NOT NULL, dept_name TEXT) DISTRIBUTED BY (dept_id)")
+	mustExec(t, s, "CREATE TABLE emp (emp_id INT8, dept_id INT8, salary INT8) DISTRIBUTED BY (emp_id)")
+	mustExec(t, s, "INSERT INTO dept VALUES (1, 'eng'), (2, 'sales'), (3, 'empty')")
+	mustExec(t, s, `INSERT INTO emp VALUES
+		(100, 1, 50), (101, 1, 60), (102, 2, 40), (103, 2, 45), (104, 2, 70)`)
+
+	// Colocated join on dept_id requires redistribution of emp.
+	res := mustExec(t, s, `SELECT dept_name, count(*), sum(salary)
+		FROM dept, emp WHERE dept.dept_id = emp.dept_id
+		GROUP BY dept_name ORDER BY dept_name`)
+	want := []string{"eng|2|110", "sales|3|155"}
+	got := rowsString(res)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("join = %v, want %v", got, want)
+	}
+	// Left outer join keeps the empty department.
+	res = mustExec(t, s, `SELECT dept_name, count(emp_id) FROM dept
+		LEFT JOIN emp ON dept.dept_id = emp.dept_id
+		GROUP BY dept_name ORDER BY dept_name`)
+	got = rowsString(res)
+	if len(got) != 3 || got[0] != "empty|0" {
+		t.Fatalf("left join = %v", got)
+	}
+	// Explicit JOIN syntax with extra ON predicate.
+	res = mustExec(t, s, `SELECT emp_id FROM emp JOIN dept
+		ON emp.dept_id = dept.dept_id AND dept_name = 'eng' ORDER BY emp_id`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 100 {
+		t.Fatalf("join extra pred = %v", rowsString(res))
+	}
+	// Non-equi join (broadcast + nested loop).
+	res = mustExec(t, s, `SELECT count(*) FROM emp e1, emp e2 WHERE e1.salary < e2.salary`)
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("non-equi count = %v", res.Rows[0])
+	}
+}
+
+func TestSubqueries(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	// Scalar subquery.
+	res := mustExec(t, s, "SELECT count(*) FROM accounts WHERE balance > (SELECT avg(balance) FROM accounts)")
+	if res.Rows[0][0].Int() != 50 {
+		t.Fatalf("scalar subquery count = %v", res.Rows[0])
+	}
+	// IN subquery (semi join).
+	mustExec(t, s, "CREATE TABLE vips (id INT8) DISTRIBUTED BY (id)")
+	mustExec(t, s, "INSERT INTO vips VALUES (1), (5), (500)")
+	res = mustExec(t, s, "SELECT count(*) FROM accounts WHERE id IN (SELECT id FROM vips)")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("IN subquery = %v", res.Rows[0])
+	}
+	res = mustExec(t, s, "SELECT count(*) FROM accounts WHERE id NOT IN (SELECT id FROM vips)")
+	if res.Rows[0][0].Int() != 98 {
+		t.Fatalf("NOT IN subquery = %v", res.Rows[0])
+	}
+	// Correlated EXISTS.
+	res = mustExec(t, s, `SELECT count(*) FROM accounts a
+		WHERE EXISTS (SELECT 1 FROM vips v WHERE v.id = a.id)`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("EXISTS = %v", res.Rows[0])
+	}
+	// Derived table.
+	res = mustExec(t, s, `SELECT max(total) FROM
+		(SELECT owner, sum(balance) AS total FROM accounts GROUP BY owner) q`)
+	if res.Rows[0][0].IsNull() {
+		t.Fatalf("derived table = %v", res.Rows[0])
+	}
+}
+
+func TestDistinctAndExpressions(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	res := mustExec(t, s, "SELECT DISTINCT owner FROM accounts ORDER BY owner")
+	if len(res.Rows) != 10 {
+		t.Fatalf("distinct owners = %d", len(res.Rows))
+	}
+	res = mustExec(t, s, "SELECT count(DISTINCT owner) FROM accounts")
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("count distinct = %v", res.Rows[0])
+	}
+	// CASE, EXTRACT, date arithmetic, LIKE.
+	res = mustExec(t, s, `SELECT
+		CASE WHEN balance > 5000 THEN 'rich' ELSE 'modest' END AS class,
+		count(*)
+		FROM accounts WHERE owner LIKE 'owner%' AND opened < DATE '2013-01-01' + INTERVAL '1' YEAR
+		GROUP BY CASE WHEN balance > 5000 THEN 'rich' ELSE 'modest' END
+		ORDER BY class`)
+	got := rowsString(res)
+	if len(got) != 2 || got[0] != "modest|49" || got[1] != "rich|51" {
+		t.Fatalf("case rows = %v", got)
+	}
+	res = mustExec(t, s, "SELECT extract(year FROM opened) AS y, count(*) FROM accounts GROUP BY extract(year FROM opened) ORDER BY y")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 2013 {
+		t.Fatalf("extract = %v", rowsString(res))
+	}
+}
+
+func TestTransactionsCommitAbortVisibility(t *testing.T) {
+	e := newTestEngine(t, 2)
+	writer := e.NewSession()
+	reader := e.NewSession()
+	mustExec(t, writer, "CREATE TABLE t (k INT8, v TEXT) DISTRIBUTED BY (k)")
+	mustExec(t, writer, "INSERT INTO t VALUES (1, 'committed')")
+
+	// Uncommitted insert invisible to other sessions.
+	mustExec(t, writer, "BEGIN")
+	mustExec(t, writer, "INSERT INTO t VALUES (2, 'pending')")
+	res := mustExec(t, writer, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("own tx sees %v rows", res.Rows[0])
+	}
+	res = mustExec(t, reader, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("reader sees %v rows before commit", res.Rows[0])
+	}
+	mustExec(t, writer, "COMMIT")
+	res = mustExec(t, reader, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("reader sees %v rows after commit", res.Rows[0])
+	}
+
+	// Aborted insert leaves no trace; the appended bytes are truncated.
+	mustExec(t, writer, "BEGIN")
+	mustExec(t, writer, "INSERT INTO t VALUES (3, 'doomed')")
+	mustExec(t, writer, "ROLLBACK")
+	res = mustExec(t, reader, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("rolled-back insert visible: %v", res.Rows[0])
+	}
+	// The table remains writable and consistent after the abort.
+	mustExec(t, writer, "INSERT INTO t VALUES (4, 'after')")
+	res = mustExec(t, reader, "SELECT k FROM t ORDER BY k")
+	if got := rowsString(res); len(got) != 3 || got[2] != "4" {
+		t.Fatalf("after abort+insert: %v", got)
+	}
+}
+
+func TestSerializableVsReadCommitted(t *testing.T) {
+	e := newTestEngine(t, 2)
+	a := e.NewSession()
+	b := e.NewSession()
+	mustExec(t, a, "CREATE TABLE t (k INT8) DISTRIBUTED BY (k)")
+	mustExec(t, a, "INSERT INTO t VALUES (1)")
+
+	mustExec(t, b, "BEGIN ISOLATION LEVEL SERIALIZABLE")
+	res := mustExec(t, b, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatal("initial count wrong")
+	}
+	mustExec(t, a, "INSERT INTO t VALUES (2)")
+	// Serializable: still sees the old snapshot.
+	res = mustExec(t, b, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("serializable tx saw concurrent commit: %v", res.Rows[0])
+	}
+	mustExec(t, b, "COMMIT")
+	// Read committed: a fresh statement sees it.
+	res = mustExec(t, b, "SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("after commit: %v", res.Rows[0])
+	}
+}
+
+func TestConcurrentInsertsSwimmingLanes(t *testing.T) {
+	e := newTestEngine(t, 2)
+	setup := e.NewSession()
+	mustExec(t, setup, "CREATE TABLE t (k INT8) DISTRIBUTED BY (k)")
+
+	// Two overlapping transactions insert concurrently; each gets its
+	// own lane so neither blocks or corrupts the other.
+	s1, s2 := e.NewSession(), e.NewSession()
+	mustExec(t, s1, "BEGIN")
+	mustExec(t, s2, "BEGIN")
+	mustExec(t, s1, "INSERT INTO t VALUES (1), (2), (3)")
+	mustExec(t, s2, "INSERT INTO t VALUES (10), (20)")
+	mustExec(t, s1, "COMMIT")
+	mustExec(t, s2, "COMMIT")
+	res := mustExec(t, setup, "SELECT count(*), sum(k) FROM t")
+	if res.Rows[0][0].Int() != 5 || res.Rows[0][1].Int() != 36 {
+		t.Fatalf("after concurrent inserts: %v", res.Rows[0])
+	}
+	// One committing, one aborting.
+	mustExec(t, s1, "BEGIN")
+	mustExec(t, s2, "BEGIN")
+	mustExec(t, s1, "INSERT INTO t VALUES (100)")
+	mustExec(t, s2, "INSERT INTO t VALUES (999)")
+	mustExec(t, s1, "COMMIT")
+	mustExec(t, s2, "ROLLBACK")
+	res = mustExec(t, setup, "SELECT count(*), sum(k) FROM t")
+	if res.Rows[0][0].Int() != 6 || res.Rows[0][1].Int() != 136 {
+		t.Fatalf("after mixed commit/abort: %v", res.Rows[0])
+	}
+}
+
+func TestDDLAndCatalogQueries(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE a (x INT8) DISTRIBUTED RANDOMLY")
+	mustExec(t, s, "CREATE TABLE IF NOT EXISTS a (x INT8)")
+	if _, err := s.Query("CREATE TABLE a (x INT8)"); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	res := mustExec(t, s, "SHOW tables")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "a" {
+		t.Fatalf("show tables = %v", rowsString(res))
+	}
+	res = mustExec(t, s, "SELECT relname FROM hawq_class WHERE relname = 'a'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("caql select = %v", rowsString(res))
+	}
+	mustExec(t, s, "INSERT INTO a VALUES (1), (2), (3)")
+	mustExec(t, s, "TRUNCATE TABLE a")
+	res = mustExec(t, s, "SELECT count(*) FROM a")
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatalf("after truncate = %v", res.Rows[0])
+	}
+	mustExec(t, s, "INSERT INTO a VALUES (9)")
+	res = mustExec(t, s, "SELECT count(*) FROM a")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("insert after truncate = %v", res.Rows[0])
+	}
+	mustExec(t, s, "DROP TABLE a")
+	if _, err := s.Query("SELECT * FROM a"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	mustExec(t, s, "DROP TABLE IF EXISTS a")
+	res = mustExec(t, s, "SHOW segments")
+	if len(res.Rows) != 2 {
+		t.Fatalf("segments = %v", rowsString(res))
+	}
+}
+
+func TestPartitionedTableAndElimination(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	mustExec(t, s, `CREATE TABLE sales (id INT8, date DATE, amt DECIMAL(10,2))
+		DISTRIBUTED BY (id)
+		PARTITION BY RANGE (date)
+		(START (DATE '2008-01-01') INCLUSIVE
+		 END (DATE '2008-07-01') EXCLUSIVE
+		 EVERY (INTERVAL '1 month'))`)
+	var vals []string
+	for m := 1; m <= 6; m++ {
+		for d := 0; d < 5; d++ {
+			vals = append(vals, fmt.Sprintf("(%d, DATE '2008-0%d-1%d', %d.00)", m*10+d, m, d, m*100))
+		}
+	}
+	mustExec(t, s, "INSERT INTO sales VALUES "+strings.Join(vals, ", "))
+	res := mustExec(t, s, "SELECT count(*) FROM sales")
+	if res.Rows[0][0].Int() != 30 {
+		t.Fatalf("partition scan = %v", res.Rows[0])
+	}
+	res = mustExec(t, s, "SELECT count(*) FROM sales WHERE date >= DATE '2008-03-01' AND date < DATE '2008-04-01'")
+	if res.Rows[0][0].Int() != 5 {
+		t.Fatalf("partition filter = %v", res.Rows[0])
+	}
+	// Partition elimination visible in EXPLAIN: only 1 child scanned.
+	res = mustExec(t, s, "EXPLAIN SELECT count(*) FROM sales WHERE date = DATE '2008-03-15'")
+	explain := strings.Join(rowsString(res), "\n")
+	if !strings.Contains(explain, "Append (1 parts)") {
+		t.Fatalf("no partition elimination:\n%s", explain)
+	}
+	// Rows went to the right partitions (child tables are queryable).
+	res = mustExec(t, s, "SELECT count(*) FROM sales_1_prt_3")
+	if res.Rows[0][0].Int() != 5 {
+		t.Fatalf("child partition rows = %v", res.Rows[0])
+	}
+	// Out-of-range insert is rejected.
+	if _, err := s.Query("INSERT INTO sales VALUES (999, DATE '2009-05-05', 1.00)"); err == nil {
+		t.Fatal("out-of-range partition insert accepted")
+	}
+}
+
+func TestStorageFormatsThroughSQL(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	for _, tc := range []struct{ name, with string }{
+		{"t_ao", "WITH (appendonly=true, orientation=row, compresstype=quicklz)"},
+		{"t_co", "WITH (appendonly=true, orientation=column, compresstype=zlib, compresslevel=5)"},
+		{"t_pq", "WITH (appendonly=true, orientation=parquet, compresstype=snappy)"},
+	} {
+		mustExec(t, s, fmt.Sprintf("CREATE TABLE %s (k INT8, v TEXT) %s DISTRIBUTED BY (k)", tc.name, tc.with))
+		var vals []string
+		for i := 0; i < 50; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, 'value-%d')", i, i))
+		}
+		mustExec(t, s, fmt.Sprintf("INSERT INTO %s VALUES %s", tc.name, strings.Join(vals, ", ")))
+		res := mustExec(t, s, fmt.Sprintf("SELECT count(*), min(v), max(k) FROM %s", tc.name))
+		if res.Rows[0][0].Int() != 50 || res.Rows[0][1].Str() != "value-0" || res.Rows[0][2].Int() != 49 {
+			t.Fatalf("%s: %v", tc.name, res.Rows[0])
+		}
+	}
+}
+
+func TestInsertSelectBetweenTables(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	mustExec(t, s, `CREATE TABLE rich (id INT8, balance DECIMAL(12,2)) DISTRIBUTED BY (id)`)
+	res := mustExec(t, s, "INSERT INTO rich SELECT id, balance FROM accounts WHERE balance > 5000")
+	if res.Affected != 51 {
+		t.Fatalf("insert-select affected = %d", res.Affected)
+	}
+	res = mustExec(t, s, "SELECT count(*) FROM rich")
+	if res.Rows[0][0].Int() != 51 {
+		t.Fatalf("rich count = %v", res.Rows[0])
+	}
+}
+
+func TestAnalyzeImprovesStats(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	mustExec(t, s, "ANALYZE accounts")
+	tr := e.cl.TxMgr.Begin(0)
+	defer tr.Commit()
+	desc, err := e.cl.Cat.LookupTable(tr.Snapshot(), "accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := e.cl.Cat.RelStatsFor(tr.Snapshot(), desc.OID)
+	if !ok || rs.Rows != 100 {
+		t.Fatalf("rel stats = %+v, %v", rs, ok)
+	}
+	cs, ok := e.cl.Cat.ColStatsFor(tr.Snapshot(), desc.OID, 1)
+	if !ok || cs.NDistinct != 10 {
+		t.Fatalf("col stats = %+v, %v", cs, ok)
+	}
+}
+
+func TestExplainShowsSlices(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	res := mustExec(t, s, "EXPLAIN SELECT owner, count(*) FROM accounts GROUP BY owner")
+	out := strings.Join(rowsString(res), "\n")
+	for _, want := range []string{"Slice 0 (QD)", "Gather Motion", "HashAggregate", "Table Scan (accounts)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSegmentFailureFailoverAndRecovery(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	// Kill a segment mid-flight: the next query fails over and restarts.
+	e.cl.Segment(1).Kill()
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after failover = %v", res.Rows[0])
+	}
+	// The fault detector marked it down in the catalog.
+	res = mustExec(t, s, "SHOW segments")
+	downs := 0
+	for _, r := range res.Rows {
+		if r[2].Str() == "down" {
+			downs++
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("segments down = %d, want 1", downs)
+	}
+	// Recovery brings it back.
+	if err := e.cl.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	res = mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after recovery = %v", res.Rows[0])
+	}
+	// Inserts still work after recovery.
+	mustExec(t, s, "INSERT INTO accounts VALUES (101, 'owner1', 1.00, DATE '2013-01-01')")
+	res = mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 101 {
+		t.Fatalf("count after insert = %v", res.Rows[0])
+	}
+}
+
+func TestStandbyMasterFailover(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	sb := e.cl.StartStandby()
+	setupAccounts(t, s)
+	// Standby replicated the DDL via log shipping.
+	tr := e.cl.TxMgr.Begin(0)
+	if _, err := sb.Cat.LookupTable(tr.Snapshot(), "accounts"); err != nil {
+		t.Fatalf("standby missing table: %v", err)
+	}
+	tr.Commit()
+	// Promote and keep serving queries.
+	e.cl.Promote()
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after promote = %v", res.Rows[0])
+	}
+}
+
+func TestMasterOnlyQueries(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	res := mustExec(t, s, "SELECT 1 + 2, 'x' || 'y'")
+	if res.Rows[0][0].Int() != 3 || res.Rows[0][1].Str() != "xy" {
+		t.Fatalf("master-only = %v", res.Rows[0])
+	}
+}
+
+func TestDirectDispatchInExplain(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+	res := mustExec(t, s, "EXPLAIN SELECT * FROM accounts WHERE id = 7")
+	out := strings.Join(rowsString(res), "\n")
+	if !strings.Contains(out, "segments [") {
+		t.Fatalf("no direct dispatch in plan:\n%s", out)
+	}
+}
+
+func TestErrorsSurfaceCleanly(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	for _, bad := range []string{
+		"SELECT * FROM missing",
+		"SELECT nocolumn FROM hawq_class",
+		"INSERT INTO missing VALUES (1)",
+		"SELECT a FROM (SELECT 1 AS b) q WHERE a > 0 GROUP",
+		"UPDATE usertab SET x = 1",
+	} {
+		if _, err := s.Query(bad); err == nil {
+			t.Errorf("no error for %q", bad)
+		}
+	}
+	// The session recovers after errors.
+	mustExec(t, s, "SELECT 1")
+}
+
+func TestRandomDistribution(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE r (k INT8, v INT8) DISTRIBUTED RANDOMLY")
+	var vals []string
+	for i := 0; i < 100; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d)", i, i))
+	}
+	mustExec(t, s, "INSERT INTO r VALUES "+strings.Join(vals, ", "))
+	res := mustExec(t, s, "SELECT count(*), sum(k) FROM r")
+	if res.Rows[0][0].Int() != 100 || res.Rows[0][1].Int() != 4950 {
+		t.Fatalf("random dist = %v", res.Rows[0])
+	}
+	// Join random with hash: forces redistribution.
+	mustExec(t, s, "CREATE TABLE h (k INT8, w TEXT) DISTRIBUTED BY (k)")
+	mustExec(t, s, "INSERT INTO h VALUES (1, 'one'), (2, 'two')")
+	res = mustExec(t, s, "SELECT w, v FROM r, h WHERE r.k = h.k ORDER BY w")
+	got := rowsString(res)
+	if len(got) != 2 || got[0] != "one|1" || got[1] != "two|2" {
+		t.Fatalf("random-hash join = %v", got)
+	}
+	rows := cluster.LanePath(1, 2, 3)
+	if rows != "/hawq/data/1/2/3" {
+		t.Fatalf("lane path = %s", rows)
+	}
+}
+
+func TestSQLLevelDeadlockDetection(t *testing.T) {
+	e := newTestEngine(t, 2)
+	setup := e.NewSession()
+	mustExec(t, setup, "CREATE TABLE d1 (k INT8) DISTRIBUTED BY (k)")
+	mustExec(t, setup, "CREATE TABLE d2 (k INT8) DISTRIBUTED BY (k)")
+
+	s1, s2 := e.NewSession(), e.NewSession()
+	mustExec(t, s1, "BEGIN")
+	mustExec(t, s2, "BEGIN")
+	mustExec(t, s1, "INSERT INTO d1 VALUES (1)") // RowExclusive on d1
+	mustExec(t, s2, "INSERT INTO d2 VALUES (2)") // RowExclusive on d2
+
+	// s1 wants d2 exclusively, s2 wants d1 exclusively: a cycle. The
+	// deadlock detector must abort one of them (§5.2).
+	errs := make(chan error, 2)
+	go func() { _, err := s1.Query("TRUNCATE TABLE d2"); errs <- err }()
+	go func() { _, err := s2.Query("TRUNCATE TABLE d1"); errs <- err }()
+	var failures int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				failures++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("deadlock not detected")
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("deadlock victims = %d, want exactly 1", failures)
+	}
+	// Both sessions recover.
+	mustExec(t, s1, "ROLLBACK")
+	mustExec(t, s2, "ROLLBACK")
+	mustExec(t, setup, "SELECT count(*) FROM d1")
+}
+
+func TestConcurrentSessionsStress(t *testing.T) {
+	e := newTestEngine(t, 2)
+	setup := e.NewSession()
+	mustExec(t, setup, "CREATE TABLE st (k INT8, v INT8) DISTRIBUTED BY (k)")
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := e.NewSession()
+			for i := 0; i < 5; i++ {
+				if _, err := s.Query(fmt.Sprintf("INSERT INTO st VALUES (%d, %d)", w*100+i, i)); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.Query("SELECT count(*), sum(v) FROM st"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	res := mustExec(t, setup, "SELECT count(*) FROM st")
+	if res.Rows[0][0].Int() != 20 {
+		t.Fatalf("rows = %v", res.Rows[0])
+	}
+}
+
+func TestVacuumReclaimsDeadCatalogVersions(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	mustExec(t, s, "CREATE TABLE v (k INT8) DISTRIBUTED BY (k)")
+	// Each insert MVCC-updates the segment-file rows, leaving dead
+	// versions behind.
+	for i := 0; i < 10; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO v VALUES (%d)", i))
+	}
+	res := mustExec(t, s, "VACUUM")
+	if res.Affected == 0 {
+		t.Fatal("vacuum reclaimed nothing")
+	}
+	// Data untouched.
+	res = mustExec(t, s, "SELECT count(*), sum(k) FROM v")
+	if res.Rows[0][0].Int() != 10 || res.Rows[0][1].Int() != 45 {
+		t.Fatalf("after vacuum: %v", res.Rows[0])
+	}
+	// A long-running snapshot holds the horizon back.
+	old := e.NewSession()
+	mustExec(t, old, "BEGIN ISOLATION LEVEL SERIALIZABLE")
+	mustExec(t, old, "SELECT count(*) FROM v")
+	mustExec(t, s, "INSERT INTO v VALUES (100)")
+	mustExec(t, s, "VACUUM")
+	res = mustExec(t, old, "SELECT count(*) FROM v")
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("old snapshot sees %v rows after vacuum, want 10", res.Rows[0])
+	}
+	mustExec(t, old, "COMMIT")
+}

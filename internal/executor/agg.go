@@ -1,0 +1,129 @@
+package executor
+
+import (
+	"sort"
+
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+	"hawq/internal/types"
+)
+
+// hashAggOp groups input rows by the group expressions and folds each
+// aggregate. It serves all three phases (§3's two-phase aggregation):
+// the planner arranges the specs so that a partial phase's outputs line
+// up with the final phase's inputs.
+type hashAggOp struct {
+	node *plan.HashAgg
+	in   Operator
+
+	groups   map[string]*aggGroup
+	order    []string
+	emitted  int
+	inClosed bool
+}
+
+type aggGroup struct {
+	keys types.Row
+	accs []expr.Accumulator
+}
+
+func newHashAggOp(ctx *Context, node *plan.HashAgg) (Operator, error) {
+	in, err := Build(ctx, node.Input)
+	if err != nil {
+		return nil, err
+	}
+	return &hashAggOp{node: node, in: in}, nil
+}
+
+// Open implements Operator: consumes the whole input.
+func (a *hashAggOp) Open() error {
+	if err := a.in.Open(); err != nil {
+		return err
+	}
+	a.groups = make(map[string]*aggGroup)
+	a.order = a.order[:0]
+	a.emitted = 0
+	for {
+		row, ok, err := a.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keys := make(types.Row, len(a.node.Groups))
+		var keyBuf []byte
+		for i, g := range a.node.Groups {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+			keyBuf = types.EncodeDatum(keyBuf, v)
+		}
+		key := string(keyBuf)
+		grp := a.groups[key]
+		if grp == nil {
+			grp = &aggGroup{keys: keys, accs: make([]expr.Accumulator, len(a.node.Aggs))}
+			for i, spec := range a.node.Aggs {
+				grp.accs[i] = expr.NewAccumulator(spec)
+			}
+			a.groups[key] = grp
+			a.order = append(a.order, key)
+		}
+		for i, spec := range a.node.Aggs {
+			if spec.Kind == expr.AggCountStar {
+				grp.accs[i].Add(types.NewInt64(1))
+				continue
+			}
+			v, err := spec.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+			grp.accs[i].Add(v)
+		}
+	}
+	// A scalar aggregate (no GROUP BY) over empty input yields one row of
+	// empty-input results in every phase: each segment's partial row
+	// carries count 0, so the final SUM over partial counts is 0 rather
+	// than NULL.
+	if len(a.node.Groups) == 0 && len(a.groups) == 0 {
+		grp := &aggGroup{accs: make([]expr.Accumulator, len(a.node.Aggs))}
+		for i, spec := range a.node.Aggs {
+			grp.accs[i] = expr.NewAccumulator(spec)
+		}
+		a.groups[""] = grp
+		a.order = append(a.order, "")
+	}
+	// Deterministic output order helps tests; production order is
+	// arbitrary anyway.
+	sort.Strings(a.order)
+	a.inClosed = true
+	return a.in.Close()
+}
+
+// Next implements Operator.
+func (a *hashAggOp) Next() (types.Row, bool, error) {
+	if a.emitted >= len(a.order) {
+		return nil, false, nil
+	}
+	grp := a.groups[a.order[a.emitted]]
+	a.emitted++
+	out := make(types.Row, 0, len(grp.keys)+len(grp.accs))
+	out = append(out, grp.keys...)
+	for _, acc := range grp.accs {
+		out = append(out, acc.Result())
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (a *hashAggOp) Close() error {
+	a.groups = nil
+	a.order = nil
+	if !a.inClosed {
+		a.inClosed = true
+		return a.in.Close()
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package executor implements HAWQ's pipelined query executor (§2.4, §3):
+// Volcano-style operators over types.Row, motion operators bound to the
+// interconnect, two-phase hash aggregation, hash and nested-loop joins,
+// an external sort that spills to segment-local disk (§2.6), and the
+// Insert operator that appends to HDFS segment files and piggybacks the
+// resulting catalog changes back to the master (§3.1).
+//
+// A QE executes exactly one slice of a self-described plan; it consults
+// no catalog — everything it needs is embedded in the plan.
+package executor
+
+import (
+	"fmt"
+
+	"hawq/internal/catalog"
+	"hawq/internal/hdfs"
+	"hawq/internal/interconnect"
+	"hawq/internal/plan"
+	"hawq/internal/types"
+)
+
+// SegFileUpdate is the piggybacked catalog change an Insert QE reports:
+// the new physical state of the lane it wrote. The master turns these
+// into MVCC catalog updates at statement end (§3.1, §5.4).
+type SegFileUpdate struct {
+	File catalog.SegFile
+}
+
+// ExternalEngine is the executor's binding to PXF (§6). The cluster
+// injects the implementation; plans only carry the external table
+// descriptor.
+type ExternalEngine interface {
+	// ScanExternal reads the fragments assigned to the given segment,
+	// invoking fn per row (already projected to scan.Proj order).
+	ScanExternal(scan *plan.ExternalScan, segment int, fn func(types.Row) error) error
+}
+
+// Context is everything a slice execution needs on one node.
+type Context struct {
+	// Query is the interconnect query ID (unique per dispatched
+	// statement).
+	Query uint64
+	// Segment is the executing segment, or plan.QDSegment on the master.
+	Segment int
+	// FS is the HDFS client.
+	FS *hdfs.FileSystem
+	// Net is this node's interconnect endpoint (nil for plans without
+	// motions).
+	Net interconnect.Node
+	// External resolves external-table scans (nil when unused).
+	External ExternalEngine
+	// SpillDir is the segment-local scratch directory for external
+	// sorts; empty disables spilling (all in memory).
+	SpillDir string
+	// SortMemRows caps in-memory sort buffers before a spill run is
+	// written (0 = default).
+	SortMemRows int
+	// OnSegFileUpdate receives piggybacked catalog changes from Insert.
+	OnSegFileUpdate func(SegFileUpdate)
+	// LocalHost is the DataNode collocated with this segment, used for
+	// write locality.
+	LocalHost string
+}
+
+// Operator is a Volcano-style iterator.
+type Operator interface {
+	// Open prepares the operator (and its children).
+	Open() error
+	// Next returns the next row; ok=false signals end of stream.
+	Next() (row types.Row, ok bool, err error)
+	// Close releases resources. Closing before exhaustion propagates
+	// cancellation (e.g. motion STOP) upstream.
+	Close() error
+}
+
+// Build constructs the operator tree for a plan node.
+func Build(ctx *Context, n plan.Node) (Operator, error) {
+	switch v := n.(type) {
+	case *plan.Scan:
+		return newScanOp(ctx, v), nil
+	case *plan.ExternalScan:
+		return newExternalScanOp(ctx, v)
+	case *plan.Append:
+		return newAppendOp(ctx, v)
+	case *plan.Select:
+		in, err := Build(ctx, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &selectOp{in: in, pred: v.Pred}, nil
+	case *plan.Project:
+		in, err := Build(ctx, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{in: in, exprs: v.Exprs}, nil
+	case *plan.HashJoin:
+		return newHashJoinOp(ctx, v)
+	case *plan.NestLoopJoin:
+		return newNestLoopOp(ctx, v)
+	case *plan.HashAgg:
+		return newHashAggOp(ctx, v)
+	case *plan.Sort:
+		in, err := Build(ctx, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newSortOp(ctx, in, v.Keys), nil
+	case *plan.Limit:
+		in, err := Build(ctx, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{in: in, n: v.N, offset: v.Offset}, nil
+	case *plan.Distinct:
+		in, err := Build(ctx, v.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{in: in}, nil
+	case *plan.Values:
+		return &valuesOp{rows: v.Rows}, nil
+	case *plan.Insert:
+		return newInsertOp(ctx, v)
+	case *plan.Motion:
+		return newMotionSendOp(ctx, v)
+	case *plan.MotionRecv:
+		return newMotionRecvOp(ctx, v)
+	default:
+		return nil, fmt.Errorf("executor: no operator for %T", n)
+	}
+}
+
+// RunSlice executes one slice to completion on this node, discarding
+// output (every non-top slice's root is a Motion whose side effect is
+// sending). The top slice is instead consumed through Build + Next by
+// the dispatcher.
+func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
+	s := p.Slices[sliceID]
+	op, err := Build(ctx, s.Root)
+	if err != nil {
+		return err
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return err
+	}
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	return op.Close()
+}
+
+// Drain pulls every row from an operator tree (used by the QD for the
+// top slice) and invokes fn per row.
+func Drain(op Operator, fn func(types.Row) error) error {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return err
+	}
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := fn(row); err != nil {
+			op.Close()
+			return err
+		}
+	}
+	return op.Close()
+}

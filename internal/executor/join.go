@@ -1,0 +1,293 @@
+package executor
+
+import (
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+	"hawq/internal/types"
+)
+
+// hashJoinOp builds a hash table on the right input and probes with the
+// left. NULL join keys never match (SQL semantics).
+type hashJoinOp struct {
+	node        *plan.HashJoin
+	left, right Operator
+
+	table map[string][]types.Row
+	// matched marks left semantics; for Left joins we emit null-extended
+	// rows for probe misses.
+	rightWidth int
+
+	// probe state
+	cur        types.Row
+	curMatches []types.Row
+	curIdx     int
+	curMatched bool
+}
+
+func newHashJoinOp(ctx *Context, node *plan.HashJoin) (Operator, error) {
+	l, err := Build(ctx, node.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(ctx, node.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoinOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}, nil
+}
+
+// joinKey encodes the key columns; the bool reports whether any key was
+// NULL (which never joins).
+func joinKey(row types.Row, cols []int) (string, bool) {
+	var buf []byte
+	for _, c := range cols {
+		if row[c].IsNull() {
+			return "", false
+		}
+		// Normalize numerics so INT32 7 joins INT64 7 across tables.
+		buf = types.EncodeDatum(buf, normalizeKey(row[c]))
+	}
+	return string(buf), true
+}
+
+func normalizeKey(d types.Datum) types.Datum {
+	switch d.K {
+	case types.KindInt32:
+		return types.NewInt64(d.I)
+	case types.KindDecimal:
+		if d.Scale == 0 {
+			return types.NewInt64(d.I)
+		}
+	}
+	return d
+}
+
+// Open implements Operator: drains the build side.
+func (j *hashJoinOp) Open() error {
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]types.Row)
+	for {
+		row, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, valid := joinKey(row, j.node.RightKeys)
+		if !valid {
+			continue
+		}
+		j.table[key] = append(j.table[key], row.Clone())
+	}
+	if err := j.right.Close(); err != nil {
+		return err
+	}
+	return j.left.Open()
+}
+
+// Next implements Operator.
+func (j *hashJoinOp) Next() (types.Row, bool, error) {
+	for {
+		// Emit pending matches of the current probe row.
+		for j.curIdx < len(j.curMatches) {
+			r := j.curMatches[j.curIdx]
+			j.curIdx++
+			out := concatRows(j.cur, r)
+			if j.node.ExtraPred != nil {
+				ok, err := expr.EvalBool(j.node.ExtraPred, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			switch j.node.Kind {
+			case plan.InnerJoin, plan.LeftJoin:
+				j.curMatched = true
+				return out, true, nil
+			case plan.SemiJoin:
+				row := j.cur
+				j.cur, j.curMatches = nil, nil
+				return row, true, nil
+			case plan.AntiJoin:
+				// A surviving match disqualifies the probe row.
+				j.cur, j.curMatches = nil, nil
+				goto nextProbe
+			}
+		}
+		// Current probe row exhausted without a surviving match.
+		if j.cur != nil {
+			switch j.node.Kind {
+			case plan.LeftJoin:
+				row := j.cur
+				matched := j.curMatched
+				j.cur = nil
+				if !matched {
+					nulls := make(types.Row, j.rightWidth)
+					return concatRows(row, nulls), true, nil
+				}
+			case plan.AntiJoin:
+				row := j.cur
+				j.cur = nil
+				return row, true, nil
+			}
+		}
+	nextProbe:
+		row, ok, err := j.left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		key, valid := joinKey(row, j.node.LeftKeys)
+		var matches []types.Row
+		if valid {
+			matches = j.table[key]
+		}
+		switch j.node.Kind {
+		case plan.InnerJoin, plan.SemiJoin:
+			if len(matches) == 0 {
+				goto nextProbe
+			}
+			j.cur, j.curMatches, j.curIdx, j.curMatched = row, matches, 0, false
+		case plan.LeftJoin:
+			j.cur, j.curMatches, j.curIdx, j.curMatched = row, matches, 0, false
+		case plan.AntiJoin:
+			if len(matches) == 0 {
+				return row, true, nil
+			}
+			j.cur, j.curMatches, j.curIdx, j.curMatched = row, matches, 0, false
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *hashJoinOp) Close() error {
+	err := j.left.Close()
+	if cerr := j.right.Close(); err == nil {
+		err = cerr
+	}
+	j.table = nil
+	return err
+}
+
+func concatRows(a, b types.Row) types.Row {
+	out := make(types.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// nestLoopOp materializes the right input and evaluates an arbitrary
+// predicate against each pair (non-equi joins over a broadcast input).
+type nestLoopOp struct {
+	node  *plan.NestLoopJoin
+	left  Operator
+	right Operator
+
+	inner      []types.Row
+	rightWidth int
+	cur        types.Row
+	idx        int
+	matched    bool
+}
+
+func newNestLoopOp(ctx *Context, node *plan.NestLoopJoin) (Operator, error) {
+	l, err := Build(ctx, node.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(ctx, node.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &nestLoopOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}, nil
+}
+
+// Open implements Operator.
+func (n *nestLoopOp) Open() error {
+	if err := n.right.Open(); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := n.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n.inner = append(n.inner, row.Clone())
+	}
+	if err := n.right.Close(); err != nil {
+		return err
+	}
+	return n.left.Open()
+}
+
+// Next implements Operator.
+func (n *nestLoopOp) Next() (types.Row, bool, error) {
+	for {
+		if n.cur == nil {
+			row, ok, err := n.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			n.cur, n.idx, n.matched = row, 0, false
+		}
+		for n.idx < len(n.inner) {
+			out := concatRows(n.cur, n.inner[n.idx])
+			n.idx++
+			pass := true
+			if n.node.Pred != nil {
+				var err error
+				pass, err = expr.EvalBool(n.node.Pred, out)
+				if err != nil {
+					return nil, false, err
+				}
+			}
+			if !pass {
+				continue
+			}
+			n.matched = true
+			switch n.node.Kind {
+			case plan.InnerJoin, plan.LeftJoin:
+				return out, true, nil
+			case plan.SemiJoin:
+				row := n.cur
+				n.cur = nil
+				return row, true, nil
+			case plan.AntiJoin:
+				n.idx = len(n.inner)
+			}
+		}
+		// Inner exhausted for this outer row.
+		row := n.cur
+		n.cur = nil
+		switch n.node.Kind {
+		case plan.LeftJoin:
+			if !n.matched {
+				return concatRows(row, make(types.Row, n.rightWidth)), true, nil
+			}
+		case plan.AntiJoin:
+			if !n.matched {
+				return row, true, nil
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (n *nestLoopOp) Close() error {
+	err := n.left.Close()
+	if cerr := n.right.Close(); err == nil {
+		err = cerr
+	}
+	n.inner = nil
+	return err
+}

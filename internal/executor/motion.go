@@ -1,0 +1,261 @@
+package executor
+
+import (
+	"fmt"
+
+	"hawq/internal/interconnect"
+	"hawq/internal/plan"
+	"hawq/internal/types"
+)
+
+// batchTarget is the payload size motions accumulate before sending; it
+// stays under the interconnect's max payload.
+const batchTarget = 7 * 1024
+
+// motionSendOp is the send half of a motion: it drives its input subtree
+// and routes encoded tuple batches to receiver streams. It is always the
+// root operator of a non-top slice.
+type motionSendOp struct {
+	ctx  *Context
+	node *plan.Motion
+
+	streams  []interconnect.SendStream
+	stopped  []bool
+	bufs     [][]byte
+	hashCols []int
+	rr       int
+	done     bool
+	inClosed bool
+	in       Operator
+}
+
+func newMotionSendOp(ctx *Context, node *plan.Motion) (Operator, error) {
+	if ctx.Net == nil {
+		return nil, fmt.Errorf("executor: motion without interconnect")
+	}
+	in, err := Build(ctx, node.Input)
+	if err != nil {
+		return nil, err
+	}
+	return &motionSendOp{ctx: ctx, node: node, in: in, hashCols: node.HashCols}, nil
+}
+
+// Open implements Operator: opens one stream per receiver.
+func (m *motionSendOp) Open() error {
+	for _, r := range m.node.Receivers {
+		s, err := m.ctx.Net.OpenSend(interconnect.StreamID{
+			Query:    m.ctx.Query,
+			Motion:   m.node.ID,
+			Sender:   interconnect.SegID(m.ctx.Segment),
+			Receiver: interconnect.SegID(r),
+		})
+		if err != nil {
+			return err
+		}
+		m.streams = append(m.streams, s)
+		m.bufs = append(m.bufs, nil)
+		m.stopped = append(m.stopped, false)
+	}
+	return m.in.Open()
+}
+
+// Next implements Operator: pumps the input through the router. The
+// returned rows are meaningless to the caller (RunSlice discards them);
+// end-of-stream flushes and closes every stream with EOS.
+func (m *motionSendOp) Next() (types.Row, bool, error) {
+	if m.done {
+		return nil, false, nil
+	}
+	row, ok, err := m.in.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		m.done = true
+		for i := range m.streams {
+			if m.stopped[i] {
+				continue
+			}
+			if err := m.flush(i); err != nil && err != interconnect.ErrStopped {
+				return nil, false, err
+			}
+			if err := m.streams[i].Close(); err != nil {
+				return nil, false, err
+			}
+		}
+		m.inClosed = true
+		return nil, false, m.in.Close()
+	}
+	if err := m.route(row); err != nil {
+		return nil, false, err
+	}
+	if m.allStopped() {
+		// Every receiver said stop: the slice can quit early.
+		m.done = true
+		m.inClosed = true
+		return nil, false, m.in.Close()
+	}
+	return row, true, nil
+}
+
+func (m *motionSendOp) allStopped() bool {
+	for _, s := range m.stopped {
+		if !s {
+			return false
+		}
+	}
+	return len(m.stopped) > 0
+}
+
+// route appends the row to the right receiver buffer(s).
+func (m *motionSendOp) route(row types.Row) error {
+	switch m.node.Type {
+	case plan.GatherMotion:
+		return m.add(0, row)
+	case plan.BroadcastMotion:
+		for i := range m.streams {
+			if err := m.add(i, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case plan.RedistributeMotion:
+		if len(m.hashCols) == 0 {
+			// RANDOMLY-distributed target: round-robin (§2.3).
+			m.rr++
+			return m.add(m.rr%len(m.streams), row)
+		}
+		h := hashRowForMotion(row, m.hashCols)
+		return m.add(int(h%uint64(len(m.streams))), row)
+	default:
+		return fmt.Errorf("executor: bad motion type %d", m.node.Type)
+	}
+}
+
+// hashRowForMotion normalizes key datums so redistribution agrees with
+// hash-distributed storage.
+func hashRowForMotion(row types.Row, cols []int) uint64 {
+	norm := make(types.Row, len(cols))
+	for i, c := range cols {
+		norm[i] = normalizeKey(row[c])
+	}
+	idx := make([]int, len(cols))
+	for i := range idx {
+		idx[i] = i
+	}
+	return types.HashRowCols(norm, idx)
+}
+
+func (m *motionSendOp) add(i int, row types.Row) error {
+	if m.stopped[i] {
+		return nil
+	}
+	m.bufs[i] = types.EncodeRow(m.bufs[i], row)
+	if len(m.bufs[i]) >= batchTarget {
+		return m.flush(i)
+	}
+	return nil
+}
+
+func (m *motionSendOp) flush(i int) error {
+	if len(m.bufs[i]) == 0 {
+		return nil
+	}
+	err := m.streams[i].Send(m.bufs[i])
+	m.bufs[i] = m.bufs[i][:0]
+	if err == interconnect.ErrStopped {
+		m.stopped[i] = true
+		return nil
+	}
+	return err
+}
+
+// Close implements Operator.
+func (m *motionSendOp) Close() error {
+	var err error
+	if !m.inClosed {
+		m.inClosed = true
+		err = m.in.Close()
+	}
+	for i, s := range m.streams {
+		if !m.done && !m.stopped[i] {
+			// Abnormal close: still deliver EOS so receivers finish.
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// motionRecvOp is the receive half of a motion: it decodes tuple batches
+// from the interconnect.
+type motionRecvOp struct {
+	ctx  *Context
+	node *plan.MotionRecv
+
+	stream interconnect.RecvStream
+	buf    []byte
+	pos    int
+	done   bool
+}
+
+func newMotionRecvOp(ctx *Context, node *plan.MotionRecv) (Operator, error) {
+	if ctx.Net == nil {
+		return nil, fmt.Errorf("executor: motion recv without interconnect")
+	}
+	return &motionRecvOp{ctx: ctx, node: node}, nil
+}
+
+// Open implements Operator.
+func (m *motionRecvOp) Open() error {
+	senders := make([]interconnect.SegID, len(m.node.Senders))
+	for i, s := range m.node.Senders {
+		senders[i] = interconnect.SegID(s)
+	}
+	st, err := m.ctx.Net.OpenRecv(m.ctx.Query, m.node.ID, senders)
+	if err != nil {
+		return err
+	}
+	m.stream = st
+	return nil
+}
+
+// Next implements Operator.
+func (m *motionRecvOp) Next() (types.Row, bool, error) {
+	for {
+		if m.pos < len(m.buf) {
+			row, n, err := types.DecodeRow(m.buf[m.pos:])
+			if err != nil {
+				return nil, false, err
+			}
+			m.pos += n
+			return row, true, nil
+		}
+		if m.done {
+			return nil, false, nil
+		}
+		item, done, err := m.stream.Recv()
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			m.done = true
+			return nil, false, nil
+		}
+		m.buf, m.pos = item.Data, 0
+	}
+}
+
+// Close implements Operator: an early close (LIMIT satisfied) stops the
+// senders.
+func (m *motionRecvOp) Close() error {
+	if m.stream != nil {
+		if !m.done {
+			m.stream.Stop()
+		}
+		m.stream.Close()
+		m.stream = nil
+	}
+	return nil
+}

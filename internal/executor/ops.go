@@ -1,0 +1,398 @@
+package executor
+
+import (
+	"errors"
+	"fmt"
+
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+	"hawq/internal/storage"
+	"hawq/internal/types"
+)
+
+// errScanStopped aborts a storage push-scan when the consumer closed.
+var errScanStopped = errors.New("executor: scan stopped")
+
+// scanOp streams the committed rows of the segment files belonging to
+// this segment. The push-style storage scan runs in a goroutine feeding a
+// bounded channel, which keeps the operator pull-based.
+type scanOp struct {
+	ctx  *Context
+	node *plan.Scan
+	ch   chan types.Row
+	errc chan error
+	stop chan struct{}
+	open bool
+}
+
+func newScanOp(ctx *Context, node *plan.Scan) *scanOp {
+	return &scanOp{ctx: ctx, node: node}
+}
+
+// Open implements Operator.
+func (s *scanOp) Open() error {
+	s.ch = make(chan types.Row, 256)
+	s.errc = make(chan error, 1)
+	s.stop = make(chan struct{})
+	s.open = true
+	go func() {
+		defer close(s.ch)
+		for _, sf := range s.node.SegFiles {
+			if sf.SegmentID != s.ctx.Segment {
+				continue
+			}
+			err := storage.Scan(s.ctx.FS, s.node.Table.Storage, s.node.Table.Schema, sf, s.node.Proj, func(row types.Row) error {
+				if s.node.Filter != nil {
+					ok, err := expr.EvalBool(s.node.Filter, row)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return nil
+					}
+				}
+				select {
+				case s.ch <- row:
+					return nil
+				case <-s.stop:
+					return errScanStopped
+				}
+			})
+			if err != nil && err != errScanStopped {
+				s.errc <- err
+				return
+			}
+			if err == errScanStopped {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (s *scanOp) Next() (types.Row, bool, error) {
+	row, ok := <-s.ch
+	if !ok {
+		select {
+		case err := <-s.errc:
+			return nil, false, err
+		default:
+			return nil, false, nil
+		}
+	}
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *scanOp) Close() error {
+	if s.open {
+		s.open = false
+		close(s.stop)
+		// Drain so the producer goroutine exits.
+		for range s.ch {
+		}
+	}
+	return nil
+}
+
+// externalScanOp bridges to the PXF engine.
+type externalScanOp struct {
+	scanOpBase
+	ctx  *Context
+	node *plan.ExternalScan
+}
+
+// scanOpBase shares the channel plumbing between scan-like operators.
+type scanOpBase struct {
+	ch   chan types.Row
+	errc chan error
+	stop chan struct{}
+	open bool
+}
+
+func (b *scanOpBase) init() {
+	b.ch = make(chan types.Row, 256)
+	b.errc = make(chan error, 1)
+	b.stop = make(chan struct{})
+	b.open = true
+}
+
+func (b *scanOpBase) next() (types.Row, bool, error) {
+	row, ok := <-b.ch
+	if !ok {
+		select {
+		case err := <-b.errc:
+			return nil, false, err
+		default:
+			return nil, false, nil
+		}
+	}
+	return row, true, nil
+}
+
+func (b *scanOpBase) close() {
+	if b.open {
+		b.open = false
+		close(b.stop)
+		for range b.ch {
+		}
+	}
+}
+
+func newExternalScanOp(ctx *Context, node *plan.ExternalScan) (Operator, error) {
+	if ctx.External == nil {
+		return nil, fmt.Errorf("executor: no external engine bound for %s", node.Table.Name)
+	}
+	return &externalScanOp{ctx: ctx, node: node}, nil
+}
+
+// Open implements Operator.
+func (e *externalScanOp) Open() error {
+	e.init()
+	go func() {
+		defer close(e.ch)
+		err := e.ctx.External.ScanExternal(e.node, e.ctx.Segment, func(row types.Row) error {
+			if e.node.Filter != nil {
+				ok, err := expr.EvalBool(e.node.Filter, row)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			select {
+			case e.ch <- row:
+				return nil
+			case <-e.stop:
+				return errScanStopped
+			}
+		})
+		if err != nil && err != errScanStopped {
+			e.errc <- err
+		}
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (e *externalScanOp) Next() (types.Row, bool, error) { return e.next() }
+
+// Close implements Operator.
+func (e *externalScanOp) Close() error {
+	e.close()
+	return nil
+}
+
+// appendOp concatenates children (partition scans).
+type appendOp struct {
+	ops []Operator
+	cur int
+}
+
+func newAppendOp(ctx *Context, node *plan.Append) (Operator, error) {
+	a := &appendOp{}
+	for _, c := range node.Inputs {
+		op, err := Build(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		a.ops = append(a.ops, op)
+	}
+	return a, nil
+}
+
+// Open implements Operator.
+func (a *appendOp) Open() error {
+	if len(a.ops) == 0 {
+		return nil
+	}
+	return a.ops[0].Open()
+}
+
+// Next implements Operator.
+func (a *appendOp) Next() (types.Row, bool, error) {
+	for a.cur < len(a.ops) {
+		row, ok, err := a.ops[a.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		if err := a.ops[a.cur].Close(); err != nil {
+			return nil, false, err
+		}
+		a.cur++
+		if a.cur < len(a.ops) {
+			if err := a.ops[a.cur].Open(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (a *appendOp) Close() error {
+	var err error
+	for i := a.cur; i < len(a.ops); i++ {
+		if cerr := a.ops[i].Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	a.cur = len(a.ops)
+	return err
+}
+
+// selectOp filters rows.
+type selectOp struct {
+	in   Operator
+	pred expr.Expr
+}
+
+// Open implements Operator.
+func (s *selectOp) Open() error { return s.in.Open() }
+
+// Next implements Operator.
+func (s *selectOp) Next() (types.Row, bool, error) {
+	for {
+		row, ok, err := s.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := expr.EvalBool(s.pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *selectOp) Close() error { return s.in.Close() }
+
+// projectOp computes expressions.
+type projectOp struct {
+	in    Operator
+	exprs []expr.Expr
+}
+
+// Open implements Operator.
+func (p *projectOp) Open() error { return p.in.Open() }
+
+// Next implements Operator.
+func (p *projectOp) Next() (types.Row, bool, error) {
+	row, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *projectOp) Close() error { return p.in.Close() }
+
+// limitOp implements LIMIT/OFFSET; closing early propagates STOP through
+// motion operators below.
+type limitOp struct {
+	in      Operator
+	n       int64
+	offset  int64
+	seen    int64
+	skipped int64
+	done    bool
+}
+
+// Open implements Operator.
+func (l *limitOp) Open() error { return l.in.Open() }
+
+// Next implements Operator.
+func (l *limitOp) Next() (types.Row, bool, error) {
+	if l.done || l.seen >= l.n {
+		return nil, false, nil
+	}
+	for {
+		row, ok, err := l.in.Next()
+		if err != nil || !ok {
+			l.done = true
+			return nil, false, err
+		}
+		if l.skipped < l.offset {
+			l.skipped++
+			continue
+		}
+		l.seen++
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (l *limitOp) Close() error { return l.in.Close() }
+
+// distinctOp removes duplicates by full-row encoding.
+type distinctOp struct {
+	in   Operator
+	seen map[string]struct{}
+}
+
+// Open implements Operator.
+func (d *distinctOp) Open() error {
+	d.seen = make(map[string]struct{})
+	return d.in.Open()
+}
+
+// Next implements Operator.
+func (d *distinctOp) Next() (types.Row, bool, error) {
+	for {
+		row, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := string(types.EncodeRow(nil, row))
+		if _, dup := d.seen[key]; dup {
+			continue
+		}
+		d.seen[key] = struct{}{}
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *distinctOp) Close() error { return d.in.Close() }
+
+// valuesOp emits literal rows.
+type valuesOp struct {
+	rows []types.Row
+	pos  int
+}
+
+// Open implements Operator.
+func (v *valuesOp) Open() error {
+	v.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (v *valuesOp) Next() (types.Row, bool, error) {
+	if v.pos >= len(v.rows) {
+		return nil, false, nil
+	}
+	row := v.rows[v.pos]
+	v.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (v *valuesOp) Close() error { return nil }

@@ -1,0 +1,227 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/types"
+)
+
+// AggKind enumerates the aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota // COUNT(expr): non-null inputs
+	AggCountStar
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"count", "count(*)", "sum", "avg", "min", "max"}
+
+// String returns the SQL name of the aggregate.
+func (k AggKind) String() string { return aggNames[k] }
+
+// AggKindByName resolves an aggregate function name; ok is false for
+// non-aggregates.
+func AggKindByName(name string) (AggKind, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// AggSpec describes one aggregate in a query: the function, its argument
+// expression (nil for COUNT(*)), and the DISTINCT flag.
+type AggSpec struct {
+	Kind     AggKind
+	Arg      Expr
+	Distinct bool
+}
+
+// ResultKind is the output kind of the aggregate.
+func (s AggSpec) ResultKind() types.Kind {
+	switch s.Kind {
+	case AggCount, AggCountStar:
+		return types.KindInt64
+	case AggAvg:
+		return types.KindFloat64
+	case AggSum:
+		switch s.Arg.Kind() {
+		case types.KindFloat64:
+			return types.KindFloat64
+		case types.KindDecimal:
+			return types.KindDecimal
+		default:
+			return types.KindInt64
+		}
+	default:
+		if s.Arg == nil {
+			return types.KindNull
+		}
+		return s.Arg.Kind()
+	}
+}
+
+// String renders the aggregate for EXPLAIN output.
+func (s AggSpec) String() string {
+	if s.Kind == AggCountStar {
+		return "count(*)"
+	}
+	d := ""
+	if s.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", s.Kind, d, s.Arg)
+}
+
+// Accumulator folds datums into an aggregate state. Partial aggregation
+// (the first phase of HAWQ's two-phase aggregates) uses the same
+// accumulators; the planner arranges for the final phase to re-aggregate
+// the partials (SUM of partial SUMs, SUM of partial COUNTs, MIN of
+// partial MINs, ...).
+type Accumulator interface {
+	Add(d types.Datum)
+	Result() types.Datum
+}
+
+// NewAccumulator builds the accumulator for a spec. DISTINCT is handled
+// by wrapping with a dedup set keyed on the datum's binary encoding.
+func NewAccumulator(s AggSpec) Accumulator {
+	var a Accumulator
+	switch s.Kind {
+	case AggCount, AggCountStar:
+		a = &countAcc{star: s.Kind == AggCountStar}
+	case AggSum:
+		a = &sumAcc{}
+	case AggAvg:
+		a = &avgAcc{}
+	case AggMin:
+		a = &minmaxAcc{want: -1}
+	case AggMax:
+		a = &minmaxAcc{want: 1}
+	default:
+		panic(fmt.Sprintf("expr: bad aggregate kind %d", s.Kind))
+	}
+	if s.Distinct {
+		return &distinctAcc{inner: a, seen: make(map[string]struct{})}
+	}
+	return a
+}
+
+type countAcc struct {
+	star bool
+	n    int64
+}
+
+func (c *countAcc) Add(d types.Datum) {
+	if c.star || !d.IsNull() {
+		c.n++
+	}
+}
+
+func (c *countAcc) Result() types.Datum { return types.NewInt64(c.n) }
+
+// sumAcc sums numerics, tracking the widest kind seen. SQL SUM over an
+// empty input is NULL.
+type sumAcc struct {
+	seen bool
+	cur  types.Datum
+}
+
+func (s *sumAcc) Add(d types.Datum) {
+	if d.IsNull() {
+		return
+	}
+	if !s.seen {
+		s.seen = true
+		s.cur = d
+		return
+	}
+	s.cur = types.Add(s.cur, d)
+}
+
+func (s *sumAcc) Result() types.Datum {
+	if !s.seen {
+		return types.Null
+	}
+	return s.cur
+}
+
+type avgAcc struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) Add(d types.Datum) {
+	if d.IsNull() {
+		return
+	}
+	a.sum += d.Float()
+	a.n++
+}
+
+func (a *avgAcc) Result() types.Datum {
+	if a.n == 0 {
+		return types.Null
+	}
+	return types.NewFloat64(a.sum / float64(a.n))
+}
+
+type minmaxAcc struct {
+	want int // -1 for min, 1 for max
+	seen bool
+	cur  types.Datum
+}
+
+func (m *minmaxAcc) Add(d types.Datum) {
+	if d.IsNull() {
+		return
+	}
+	if !m.seen {
+		m.seen, m.cur = true, d
+		return
+	}
+	if c := types.Compare(d, m.cur); (m.want < 0 && c < 0) || (m.want > 0 && c > 0) {
+		m.cur = d
+	}
+}
+
+func (m *minmaxAcc) Result() types.Datum {
+	if !m.seen {
+		return types.Null
+	}
+	return m.cur
+}
+
+type distinctAcc struct {
+	inner Accumulator
+	seen  map[string]struct{}
+}
+
+func (d *distinctAcc) Add(v types.Datum) {
+	if v.IsNull() {
+		// NULLs never contribute to DISTINCT aggregates.
+		return
+	}
+	key := string(types.EncodeDatum(nil, v))
+	if _, dup := d.seen[key]; dup {
+		return
+	}
+	d.seen[key] = struct{}{}
+	d.inner.Add(v)
+}
+
+func (d *distinctAcc) Result() types.Datum { return d.inner.Result() }

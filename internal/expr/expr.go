@@ -1,0 +1,513 @@
+// Package expr implements bound, executable expression trees: the form
+// the planner emits after resolving parsed SQL expressions against a
+// schema. Expressions evaluate over a types.Row with SQL three-valued
+// logic, and the package also provides the aggregate accumulators used by
+// the executor's hash-aggregation operators.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/types"
+)
+
+// Expr is a bound expression evaluable against a row.
+type Expr interface {
+	// Eval computes the expression over the row.
+	Eval(row types.Row) (types.Datum, error)
+	// Kind is the statically determined result kind.
+	Kind() types.Kind
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// ColRef references a column of the input row by position.
+type ColRef struct {
+	Idx  int
+	K    types.Kind
+	Name string
+}
+
+// Eval implements Expr.
+func (c *ColRef) Eval(row types.Row) (types.Datum, error) {
+	if c.Idx >= len(row) {
+		return types.Null, fmt.Errorf("expr: column %d out of range (row width %d)", c.Idx, len(row))
+	}
+	return row[c.Idx], nil
+}
+
+// Kind implements Expr.
+func (c *ColRef) Kind() types.Kind { return c.K }
+
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("$%d", c.Idx)
+}
+
+// Const is a literal.
+type Const struct {
+	D types.Datum
+}
+
+// NewConst wraps a datum as a constant expression.
+func NewConst(d types.Datum) *Const { return &Const{D: d} }
+
+// Eval implements Expr.
+func (c *Const) Eval(types.Row) (types.Datum, error) { return c.D, nil }
+
+// Kind implements Expr.
+func (c *Const) Kind() types.Kind { return c.D.K }
+
+func (c *Const) String() string {
+	if c.D.K == types.KindString {
+		return "'" + c.D.S + "'"
+	}
+	return c.D.String()
+}
+
+// BinOpKind enumerates binary operators.
+type BinOpKind uint8
+
+// Binary operators.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "||"}
+
+// String returns the SQL spelling of the operator.
+func (o BinOpKind) String() string { return binOpNames[o] }
+
+// IsComparison reports whether the operator yields a boolean from two
+// comparable operands.
+func (o BinOpKind) IsComparison() bool { return o >= OpEq && o <= OpGe }
+
+// BinOp applies a binary operator.
+type BinOp struct {
+	Op   BinOpKind
+	L, R Expr
+}
+
+// NewBinOp builds a binary operation node.
+func NewBinOp(op BinOpKind, l, r Expr) *BinOp { return &BinOp{Op: op, L: l, R: r} }
+
+// Kind implements Expr.
+func (b *BinOp) Kind() types.Kind {
+	switch {
+	case b.Op.IsComparison(), b.Op == OpAnd, b.Op == OpOr:
+		return types.KindBool
+	case b.Op == OpConcat:
+		return types.KindString
+	default:
+		lk, rk := b.L.Kind(), b.R.Kind()
+		if lk == types.KindDate || rk == types.KindDate {
+			if lk == rk {
+				return types.KindInt64
+			}
+			return types.KindDate
+		}
+		if lk == types.KindFloat64 || rk == types.KindFloat64 || b.Op == OpDiv && (lk == types.KindDecimal || rk == types.KindDecimal) {
+			return types.KindFloat64
+		}
+		if lk == types.KindDecimal || rk == types.KindDecimal {
+			return types.KindDecimal
+		}
+		return types.KindInt64
+	}
+}
+
+func (b *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Eval implements Expr with SQL three-valued logic for AND/OR and
+// NULL-propagation elsewhere.
+func (b *BinOp) Eval(row types.Row) (types.Datum, error) {
+	if b.Op == OpAnd || b.Op == OpOr {
+		return b.evalLogical(row)
+	}
+	l, err := b.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := b.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if b.Op.IsComparison() {
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		c := types.Compare(l, r)
+		switch b.Op {
+		case OpEq:
+			return types.NewBool(c == 0), nil
+		case OpNe:
+			return types.NewBool(c != 0), nil
+		case OpLt:
+			return types.NewBool(c < 0), nil
+		case OpLe:
+			return types.NewBool(c <= 0), nil
+		case OpGt:
+			return types.NewBool(c > 0), nil
+		case OpGe:
+			return types.NewBool(c >= 0), nil
+		}
+	}
+	switch b.Op {
+	case OpAdd:
+		return types.Add(l, r), nil
+	case OpSub:
+		return types.Sub(l, r), nil
+	case OpMul:
+		return types.Mul(l, r), nil
+	case OpDiv:
+		return types.Div(l, r), nil
+	case OpMod:
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		if r.Int() == 0 {
+			return types.Null, nil
+		}
+		return types.NewInt64(l.Int() % r.Int()), nil
+	case OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return types.Null, nil
+		}
+		return types.NewString(l.String() + r.String()), nil
+	}
+	return types.Null, fmt.Errorf("expr: bad binary op %d", b.Op)
+}
+
+func (b *BinOp) evalLogical(row types.Row) (types.Datum, error) {
+	l, err := b.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	// Short-circuit where 3VL permits.
+	if b.Op == OpAnd && !l.IsNull() && !l.Bool() {
+		return types.NewBool(false), nil
+	}
+	if b.Op == OpOr && !l.IsNull() && l.Bool() {
+		return types.NewBool(true), nil
+	}
+	r, err := b.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if b.Op == OpAnd {
+		switch {
+		case !r.IsNull() && !r.Bool():
+			return types.NewBool(false), nil
+		case l.IsNull() || r.IsNull():
+			return types.Null, nil
+		default:
+			return types.NewBool(true), nil
+		}
+	}
+	switch {
+	case !r.IsNull() && r.Bool():
+		return types.NewBool(true), nil
+	case l.IsNull() || r.IsNull():
+		return types.Null, nil
+	default:
+		return types.NewBool(false), nil
+	}
+}
+
+// Not negates a boolean expression (NULL stays NULL).
+type Not struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n *Not) Eval(row types.Row) (types.Datum, error) {
+	v, err := n.E.Eval(row)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	return types.NewBool(!v.Bool()), nil
+}
+
+// Kind implements Expr.
+func (n *Not) Kind() types.Kind { return types.KindBool }
+
+func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
+
+// Neg arithmetically negates a numeric expression.
+type Neg struct {
+	E Expr
+}
+
+// Eval implements Expr.
+func (n *Neg) Eval(row types.Row) (types.Datum, error) {
+	v, err := n.E.Eval(row)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	return types.Neg(v), nil
+}
+
+// Kind implements Expr.
+func (n *Neg) Kind() types.Kind { return n.E.Kind() }
+
+func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
+
+// IsNull tests for SQL NULL; with Negate it is IS NOT NULL.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (i *IsNull) Eval(row types.Row) (types.Datum, error) {
+	v, err := i.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool(v.IsNull() != i.Negate), nil
+}
+
+// Kind implements Expr.
+func (i *IsNull) Kind() types.Kind { return types.KindBool }
+
+func (i *IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.E)
+}
+
+// Like implements the SQL LIKE predicate with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Eval implements Expr.
+func (l *Like) Eval(row types.Row) (types.Datum, error) {
+	v, err := l.E.Eval(row)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	m := likeMatch(v.Str(), l.Pattern)
+	return types.NewBool(m != l.Negate), nil
+}
+
+// Kind implements Expr.
+func (l *Like) Kind() types.Kind { return types.KindBool }
+
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s '%s')", l.E, op, l.Pattern)
+}
+
+// likeMatch matches s against a SQL LIKE pattern using a two-pointer scan
+// with backtracking on '%' (the classic wildcard algorithm).
+func likeMatch(s, pat string) bool {
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, mark = pi, si
+			pi++
+		case star >= 0:
+			mark++
+			si = mark
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// InList implements "e IN (c1, c2, ...)" over constant or computed items.
+type InList struct {
+	E      Expr
+	Items  []Expr
+	Negate bool
+}
+
+// Eval implements Expr.
+func (in *InList) Eval(row types.Row) (types.Datum, error) {
+	v, err := in.E.Eval(row)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	sawNull := false
+	for _, item := range in.Items {
+		iv, err := item.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if types.Compare(v, iv) == 0 {
+			return types.NewBool(!in.Negate), nil
+		}
+	}
+	if sawNull {
+		return types.Null, nil
+	}
+	return types.NewBool(in.Negate), nil
+}
+
+// Kind implements Expr.
+func (in *InList) Kind() types.Kind { return types.KindBool }
+
+func (in *InList) String() string {
+	items := make([]string, len(in.Items))
+	for i, it := range in.Items {
+		items[i] = it.String()
+	}
+	op := "IN"
+	if in.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", in.E, op, strings.Join(items, ", "))
+}
+
+// Between implements "e BETWEEN lo AND hi".
+type Between struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+// Eval implements Expr.
+func (b *Between) Eval(row types.Row) (types.Datum, error) {
+	v, err := b.E.Eval(row)
+	if err != nil || v.IsNull() {
+		return types.Null, err
+	}
+	lo, err := b.Lo.Eval(row)
+	if err != nil || lo.IsNull() {
+		return types.Null, err
+	}
+	hi, err := b.Hi.Eval(row)
+	if err != nil || hi.IsNull() {
+		return types.Null, err
+	}
+	in := types.Compare(v, lo) >= 0 && types.Compare(v, hi) <= 0
+	return types.NewBool(in != b.Negate), nil
+}
+
+// Kind implements Expr.
+func (b *Between) Kind() types.Kind { return types.KindBool }
+
+func (b *Between) String() string {
+	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.E, b.Lo, b.Hi)
+}
+
+// When is one arm of a CASE expression.
+type When struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Case implements searched CASE WHEN ... THEN ... ELSE ... END.
+type Case struct {
+	Whens []When
+	Else  Expr // nil means ELSE NULL
+}
+
+// Eval implements Expr.
+func (c *Case) Eval(row types.Row) (types.Datum, error) {
+	for _, w := range c.Whens {
+		v, err := w.Cond.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if !v.IsNull() && v.Bool() {
+			return w.Result.Eval(row)
+		}
+	}
+	if c.Else == nil {
+		return types.Null, nil
+	}
+	return c.Else.Eval(row)
+}
+
+// Kind implements Expr.
+func (c *Case) Kind() types.Kind {
+	if len(c.Whens) > 0 {
+		return c.Whens[0].Result.Kind()
+	}
+	if c.Else != nil {
+		return c.Else.Kind()
+	}
+	return types.KindNull
+}
+
+func (c *Case) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	for _, w := range c.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// Cast converts its operand to a target kind at runtime.
+type Cast struct {
+	E  Expr
+	To types.Kind
+}
+
+// Eval implements Expr.
+func (c *Cast) Eval(row types.Row) (types.Datum, error) {
+	v, err := c.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.Cast(v, c.To)
+}
+
+// Kind implements Expr.
+func (c *Cast) Kind() types.Kind { return c.To }
+
+func (c *Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.To) }
+
+// EvalBool evaluates a predicate, mapping NULL to false (SQL WHERE
+// semantics).
+func EvalBool(e Expr, row types.Row) (bool, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

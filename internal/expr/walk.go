@@ -1,0 +1,72 @@
+package expr
+
+import "fmt"
+
+// Walk visits e and every sub-expression in evaluation order.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch v := e.(type) {
+	case *ColRef, *Const:
+	case *BinOp:
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *Not:
+		Walk(v.E, fn)
+	case *Neg:
+		Walk(v.E, fn)
+	case *IsNull:
+		Walk(v.E, fn)
+	case *Like:
+		Walk(v.E, fn)
+	case *InList:
+		Walk(v.E, fn)
+		for _, item := range v.Items {
+			Walk(item, fn)
+		}
+	case *Between:
+		Walk(v.E, fn)
+		Walk(v.Lo, fn)
+		Walk(v.Hi, fn)
+	case *Case:
+		for _, w := range v.Whens {
+			Walk(w.Cond, fn)
+			Walk(w.Result, fn)
+		}
+		Walk(v.Else, fn)
+	case *Cast:
+		Walk(v.E, fn)
+	case *FuncCall:
+		for _, a := range v.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// Rebind restores the function implementation pointer after the
+// expression crossed a serialization boundary (self-described plans ship
+// only the function name; implementations live in each segment's
+// read-only bootstrap store of native metadata, §3.1).
+func (f *FuncCall) Rebind() error {
+	impl, ok := builtins[f.Name]
+	if !ok {
+		return fmt.Errorf("expr: unknown function %s after decode", f.Name)
+	}
+	f.impl = impl
+	return nil
+}
+
+// RebindFuncs walks an expression and rebinds every FuncCall.
+func RebindFuncs(e Expr) error {
+	var err error
+	Walk(e, func(x Expr) {
+		if f, ok := x.(*FuncCall); ok && f.impl == nil {
+			if e2 := f.Rebind(); e2 != nil && err == nil {
+				err = e2
+			}
+		}
+	})
+	return err
+}

@@ -1,0 +1,417 @@
+package interconnect
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPNode is the TCP interconnect endpoint: one TCP connection per
+// sender→receiver stream pair. Connection setup cost and per-connection
+// state are what limit this design at scale (§4): a 5-slice query on
+// 1,000 segments needs ~3 million connections. It exists to reproduce the
+// Figure 12 comparison.
+type TCPNode struct {
+	seg  SegID
+	ln   net.Listener
+	book *AddrBook
+
+	mu      sync.Mutex
+	recvs   map[motionKey]*tcpRecv
+	pending map[motionKey][]*tcpPendingConn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type tcpPendingConn struct {
+	sender SegID
+	conn   net.Conn
+}
+
+// Frame types on a TCP stream.
+const (
+	tcpFrameData = 1
+	tcpFrameEOS  = 2
+	tcpFrameStop = 3 // receiver -> sender on the same connection
+)
+
+// NewTCPNode opens a TCP endpoint on 127.0.0.1 and registers it in the
+// address book.
+func NewTCPNode(seg SegID, book *AddrBook) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("interconnect: %w", err)
+	}
+	n := &TCPNode{
+		seg:     seg,
+		ln:      ln,
+		book:    book,
+		recvs:   map[motionKey]*tcpRecv{},
+		pending: map[motionKey][]*tcpPendingConn{},
+	}
+	book.SetTCP(seg, ln.Addr().String())
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Seg implements Node.
+func (n *TCPNode) Seg() SegID { return n.seg }
+
+// Close implements Node.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	for _, conns := range n.pending {
+		for _, pc := range conns {
+			pc.conn.Close()
+		}
+	}
+	recvs := make([]*tcpRecv, 0, len(n.recvs))
+	for _, r := range n.recvs {
+		recvs = append(recvs, r)
+	}
+	n.mu.Unlock()
+	for _, r := range recvs {
+		r.Close()
+	}
+	n.ln.Close()
+	n.wg.Wait()
+	return nil
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn reads the stream hello and hands the connection to its
+// receiver (parking it if the receiver has not been set up yet).
+func (n *TCPNode) handleConn(conn net.Conn) {
+	var hello [14]byte
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	query := binary.BigEndian.Uint64(hello[0:])
+	motion := int16(binary.BigEndian.Uint16(hello[8:]))
+	sender := SegID(binary.BigEndian.Uint16(hello[10:]))
+	receiver := SegID(binary.BigEndian.Uint16(hello[12:]))
+	key := motionKey{Query: query, Motion: motion, Receiver: receiver}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if r := n.recvs[key]; r != nil {
+		n.mu.Unlock()
+		r.adopt(sender, conn)
+		return
+	}
+	n.pending[key] = append(n.pending[key], &tcpPendingConn{sender: sender, conn: conn})
+	n.mu.Unlock()
+}
+
+// OpenSend implements Node: dials one connection for this stream.
+func (n *TCPNode) OpenSend(sid StreamID) (SendStream, error) {
+	addr, ok := n.book.TCP(sid.Receiver)
+	if !ok {
+		return nil, fmt.Errorf("interconnect: no TCP address for segment %d", sid.Receiver)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("interconnect: dial %s: %w", sid, err)
+	}
+	var hello [14]byte
+	binary.BigEndian.PutUint64(hello[0:], sid.Query)
+	binary.BigEndian.PutUint16(hello[8:], uint16(sid.Motion))
+	binary.BigEndian.PutUint16(hello[10:], uint16(sid.Sender))
+	binary.BigEndian.PutUint16(hello[12:], uint16(sid.Receiver))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := &tcpSend{conn: conn, stop: make(chan struct{})}
+	go s.watchStop()
+	return s, nil
+}
+
+// OpenRecv implements Node.
+func (n *TCPNode) OpenRecv(query uint64, motion int16, senders []SegID) (RecvStream, error) {
+	key := motionKey{Query: query, Motion: motion, Receiver: n.seg}
+	r := &tcpRecv{
+		key:  key,
+		node: n,
+		ch:   make(chan recvItem, 4*len(senders)+1),
+		left: len(senders),
+		done: make(chan struct{}),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, dup := n.recvs[key]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("interconnect: recv stream q%d/m%d already open", query, motion)
+	}
+	n.recvs[key] = r
+	parked := n.pending[key]
+	delete(n.pending, key)
+	n.mu.Unlock()
+	for _, pc := range parked {
+		r.adopt(pc.sender, pc.conn)
+	}
+	return r, nil
+}
+
+// CancelQuery implements Node: closing the receive streams unblocks
+// Recv (it returns ErrClosed) and drops the connections.
+func (n *TCPNode) CancelQuery(query uint64) {
+	n.mu.Lock()
+	var victims []*tcpRecv
+	for key, r := range n.recvs {
+		if key.Query == query {
+			victims = append(victims, r)
+		}
+	}
+	n.mu.Unlock()
+	for _, r := range victims {
+		r.Close()
+	}
+}
+
+// tcpSend is the sender half over one dedicated connection.
+type tcpSend struct {
+	conn net.Conn
+	// mu serializes writes; stopped is atomic so the STOP watcher can
+	// flag a sender that is blocked inside Write.
+	mu      sync.Mutex
+	stopped atomic.Bool
+	closed  bool
+	stop    chan struct{}
+}
+
+// watchStop reads the back-channel for the receiver's STOP frame.
+func (s *tcpSend) watchStop() {
+	var b [1]byte
+	for {
+		if _, err := s.conn.Read(b[:]); err != nil {
+			return
+		}
+		if b[0] == tcpFrameStop {
+			s.stopped.Store(true)
+			// Fail any write blocked on a full send buffer so the
+			// producer observes ErrStopped promptly. SetWriteDeadline is
+			// safe to call concurrently with a blocked Write.
+			s.conn.SetWriteDeadline(time.Unix(1, 0))
+			close(s.stop)
+			return
+		}
+	}
+}
+
+// Send implements SendStream.
+func (s *tcpSend) Send(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped.Load() {
+		return ErrStopped
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	frame := make([]byte, 5+len(data))
+	frame[0] = tcpFrameData
+	binary.BigEndian.PutUint32(frame[1:], uint32(len(data)))
+	copy(frame[5:], data)
+	if _, err := s.conn.Write(frame); err != nil {
+		if s.stopped.Load() {
+			return ErrStopped
+		}
+		return err
+	}
+	return nil
+}
+
+// Close implements SendStream.
+func (s *tcpSend) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.stopped.Load() {
+		frame := []byte{tcpFrameEOS, 0, 0, 0, 0}
+		s.conn.Write(frame)
+	}
+	// Give the kernel a moment to flush, then close. TCP guarantees
+	// delivery of written data on a graceful close.
+	if tc, ok := s.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		return nil
+	}
+	return s.conn.Close()
+}
+
+// tcpRecv merges per-sender connections.
+type tcpRecv struct {
+	key     motionKey
+	node    *TCPNode
+	mu      sync.Mutex
+	conns   []net.Conn
+	ch      chan recvItem
+	left    int
+	done    chan struct{}
+	stopped bool
+	closed  bool
+}
+
+// adopt starts a reader goroutine for one sender connection.
+func (r *tcpRecv) adopt(sender SegID, conn net.Conn) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		conn.Close()
+		return
+	}
+	r.conns = append(r.conns, conn)
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		// The motion was stopped before this connection finished its
+		// handshake; stop the late sender immediately.
+		conn.Write([]byte{tcpFrameStop})
+	}
+	go func() {
+		defer conn.Close()
+		hdr := make([]byte, 5)
+		for {
+			if _, err := io.ReadFull(conn, hdr); err != nil {
+				// Connection lost without EOS: surface as EOS so the
+				// receiver does not hang (query restart handles errors).
+				r.push(recvItem{sender: sender, eos: true})
+				return
+			}
+			length := binary.BigEndian.Uint32(hdr[1:])
+			data := make([]byte, length)
+			if _, err := io.ReadFull(conn, data); err != nil {
+				r.push(recvItem{sender: sender, eos: true})
+				return
+			}
+			if hdr[0] == tcpFrameEOS {
+				r.push(recvItem{sender: sender, eos: true})
+				return
+			}
+			r.push(recvItem{sender: sender, data: data})
+		}
+	}()
+}
+
+func (r *tcpRecv) push(item recvItem) {
+	select {
+	case r.ch <- item:
+	case <-r.done:
+	}
+}
+
+// Recv implements RecvStream.
+func (r *tcpRecv) Recv() (RecvItem, bool, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return RecvItem{}, false, ErrClosed
+		}
+		if r.left == 0 || r.stopped {
+			r.mu.Unlock()
+			return RecvItem{}, true, nil
+		}
+		r.mu.Unlock()
+		var item recvItem
+		select {
+		case item = <-r.ch:
+		case <-r.done:
+			return RecvItem{}, false, ErrClosed
+		}
+		if item.eos {
+			r.mu.Lock()
+			r.left--
+			done := r.left == 0
+			r.mu.Unlock()
+			if done {
+				return RecvItem{}, true, nil
+			}
+			continue
+		}
+		return RecvItem{Sender: item.sender, Data: item.data}, false, nil
+	}
+}
+
+// Stop implements RecvStream: send the STOP frame on every connection's
+// back channel.
+func (r *tcpRecv) Stop() {
+	r.mu.Lock()
+	if r.stopped || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	conns := append([]net.Conn(nil), r.conns...)
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.Write([]byte{tcpFrameStop})
+	}
+	// Drain in-flight frames until Close so reader goroutines can exit.
+	go func() {
+		for {
+			select {
+			case <-r.ch:
+			case <-r.done:
+				return
+			}
+		}
+	}()
+}
+
+// Close implements RecvStream.
+func (r *tcpRecv) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.done)
+	conns := append([]net.Conn(nil), r.conns...)
+	r.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	r.node.mu.Lock()
+	delete(r.node.recvs, r.key)
+	r.node.mu.Unlock()
+}

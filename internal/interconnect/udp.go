@@ -1,0 +1,833 @@
+package interconnect
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDPConfig tunes the UDP interconnect.
+type UDPConfig struct {
+	// RecvWindow is the per-sender receive queue capacity in packets.
+	RecvWindow int
+	// MaxPayload is the largest Send payload in bytes.
+	MaxPayload int
+	// LossRate injects random packet loss in [0,1) for testing the
+	// recovery machinery. Applies to every outgoing packet.
+	LossRate float64
+	// Seed seeds the loss-injection RNG.
+	Seed int64
+}
+
+func (c *UDPConfig) fill() {
+	if c.RecvWindow <= 0 {
+		c.RecvWindow = 64
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = 8 * 1024
+	}
+}
+
+// AddrBook maps node IDs to their interconnect addresses.
+type AddrBook struct {
+	mu  sync.RWMutex
+	udp map[SegID]*net.UDPAddr
+	tcp map[SegID]string
+}
+
+// NewAddrBook creates an empty address book.
+func NewAddrBook() *AddrBook {
+	return &AddrBook{udp: map[SegID]*net.UDPAddr{}, tcp: map[SegID]string{}}
+}
+
+// SetUDP registers a node's UDP address.
+func (b *AddrBook) SetUDP(seg SegID, addr *net.UDPAddr) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.udp[seg] = addr
+}
+
+// UDP resolves a node's UDP address.
+func (b *AddrBook) UDP(seg SegID) (*net.UDPAddr, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.udp[seg]
+	return a, ok
+}
+
+// SetTCP registers a node's TCP listen address.
+func (b *AddrBook) SetTCP(seg SegID, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tcp[seg] = addr
+}
+
+// TCP resolves a node's TCP address.
+func (b *AddrBook) TCP(seg SegID) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	a, ok := b.tcp[seg]
+	return a, ok
+}
+
+// Retransmission timing bounds. Loopback RTTs are microseconds; the
+// bounds keep the simulation snappy while still exercising backoff.
+const (
+	rtoInit = 20 * time.Millisecond
+	rtoMin  = 5 * time.Millisecond
+	rtoMax  = 500 * time.Millisecond
+	// queryAfter is how long a sender waits with an empty unacked queue
+	// and no capacity before sending a status query (§4.5).
+	queryAfter = 50 * time.Millisecond
+)
+
+// UDPNode is one endpoint of the UDP interconnect: a single UDP socket
+// multiplexing every stream of this node, a background receive goroutine
+// (emptying the kernel buffer quickly, §4.2), and a retransmit timer.
+type UDPNode struct {
+	seg  SegID
+	conn *net.UDPConn
+	book *AddrBook
+	cfg  UDPConfig
+
+	mu     sync.Mutex
+	sends  map[StreamID]*udpSend
+	recvs  map[motionKey]*udpRecv
+	ended  map[motionKey]time.Time // closed receivers; answer stray data with STOP
+	rng    *rand.Rand
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewUDPNode opens a UDP endpoint on 127.0.0.1 and registers it in the
+// address book.
+func NewUDPNode(seg SegID, book *AddrBook, cfg UDPConfig) (*UDPNode, error) {
+	cfg.fill()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("interconnect: %w", err)
+	}
+	// Large kernel buffers reduce artificial loss under fan-in.
+	conn.SetReadBuffer(4 << 20)
+	conn.SetWriteBuffer(4 << 20)
+	n := &UDPNode{
+		seg:   seg,
+		conn:  conn,
+		book:  book,
+		cfg:   cfg,
+		sends: map[StreamID]*udpSend{},
+		recvs: map[motionKey]*udpRecv{},
+		ended: map[motionKey]time.Time{},
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(seg))),
+		done:  make(chan struct{}),
+	}
+	book.SetUDP(seg, conn.LocalAddr().(*net.UDPAddr))
+	n.wg.Add(2)
+	go n.recvLoop()
+	go n.timerLoop()
+	return n, nil
+}
+
+// Seg implements Node.
+func (n *UDPNode) Seg() SegID { return n.seg }
+
+// Close implements Node.
+func (n *UDPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	sends := make([]*udpSend, 0, len(n.sends))
+	for _, s := range n.sends {
+		sends = append(sends, s)
+	}
+	recvs := make([]*udpRecv, 0, len(n.recvs))
+	for _, r := range n.recvs {
+		recvs = append(recvs, r)
+	}
+	n.mu.Unlock()
+	for _, s := range sends {
+		s.shutdown()
+	}
+	for _, r := range recvs {
+		r.Close()
+	}
+	n.conn.Close()
+	n.wg.Wait()
+	return nil
+}
+
+// transmit writes one packet, subject to injected loss.
+func (n *UDPNode) transmit(raddr *net.UDPAddr, buf []byte) {
+	if n.cfg.LossRate > 0 {
+		n.mu.Lock()
+		drop := n.rng.Float64() < n.cfg.LossRate
+		n.mu.Unlock()
+		if drop {
+			return
+		}
+	}
+	n.conn.WriteToUDP(buf, raddr)
+}
+
+func (n *UDPNode) recvLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		sz, raddr, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		h, payload, err := decodePacket(buf[:sz])
+		if err != nil {
+			continue
+		}
+		if len(payload) > 0 {
+			// buf is reused by the next read; deliveries must own their
+			// bytes.
+			payload = append([]byte(nil), payload...)
+		}
+		n.dispatch(h, payload, raddr)
+	}
+}
+
+func (n *UDPNode) dispatch(h header, payload []byte, raddr *net.UDPAddr) {
+	sid := StreamID{Query: h.Query, Motion: h.Motion, Sender: h.Sender, Receiver: h.Receiver}
+	switch h.Type {
+	case ptData, ptEOS, ptQuery:
+		key := motionKey{Query: h.Query, Motion: h.Motion, Receiver: h.Receiver}
+		n.mu.Lock()
+		r := n.recvs[key]
+		_, endedRecently := n.ended[key]
+		n.mu.Unlock()
+		if r == nil {
+			if endedRecently {
+				// Straggling sender for a finished stream: stop it.
+				n.transmit(raddr, encodePacket(header{
+					Type: ptStop, Query: h.Query, Motion: h.Motion,
+					Sender: h.Sender, Receiver: h.Receiver,
+				}, nil))
+			}
+			// Otherwise the receiver has not set up yet; drop and let
+			// the sender retransmit.
+			return
+		}
+		r.handlePacket(h, payload, raddr)
+	case ptAck, ptDup, ptOOO, ptStop:
+		n.mu.Lock()
+		s := n.sends[sid]
+		n.mu.Unlock()
+		if s == nil {
+			return
+		}
+		switch h.Type {
+		case ptAck, ptDup:
+			s.handleAck(h)
+		case ptOOO:
+			s.handleOOO(h, payload)
+		case ptStop:
+			s.handleStop()
+		}
+	}
+}
+
+// timerLoop drives retransmission, sender status queries and waiter
+// wakeups. It scans every send stream's unacked queue — the expiration
+// ring of §4.2.
+func (n *UDPNode) timerLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		sends := make([]*udpSend, 0, len(n.sends))
+		for _, s := range n.sends {
+			sends = append(sends, s)
+		}
+		// Expire old tombstones of finished receivers.
+		now := time.Now()
+		for k, at := range n.ended {
+			if now.Sub(at) > time.Minute {
+				delete(n.ended, k)
+			}
+		}
+		n.mu.Unlock()
+		for _, s := range sends {
+			s.tick(now)
+		}
+	}
+}
+
+// OpenSend implements Node.
+func (n *UDPNode) OpenSend(sid StreamID) (SendStream, error) {
+	raddr, ok := n.book.UDP(sid.Receiver)
+	if !ok {
+		return nil, fmt.Errorf("interconnect: no address for segment %d", sid.Receiver)
+	}
+	s := &udpSend{
+		n:        n,
+		sid:      sid,
+		raddr:    raddr,
+		nextSeq:  1,
+		unacked:  map[uint32]*outPkt{},
+		cwnd:     4,
+		ssthresh: 64,
+		rto:      rtoInit,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.sends[sid]; dup {
+		return nil, fmt.Errorf("interconnect: send stream %s already open", sid)
+	}
+	n.sends[sid] = s
+	return s, nil
+}
+
+// OpenRecv implements Node.
+func (n *UDPNode) OpenRecv(query uint64, motion int16, senders []SegID) (RecvStream, error) {
+	key := motionKey{Query: query, Motion: motion, Receiver: n.seg}
+	r := &udpRecv{
+		n:      n,
+		key:    key,
+		conns:  map[SegID]*rcvConn{},
+		ch:     make(chan recvItem, (n.cfg.RecvWindow+1)*len(senders)+1),
+		left:   len(senders),
+		cancel: make(chan struct{}),
+	}
+	for _, s := range senders {
+		r.conns[s] = &rcvConn{sender: s, expected: 1, pending: map[uint32][]byte{}}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.recvs[key]; dup {
+		return nil, fmt.Errorf("interconnect: recv stream q%d/m%d already open", query, motion)
+	}
+	n.recvs[key] = r
+	return r, nil
+}
+
+// outPkt is one sent-but-unacknowledged packet in the expiration queue.
+type outPkt struct {
+	seq     uint32
+	buf     []byte
+	sentAt  time.Time
+	resends int
+}
+
+// udpSend is one virtual connection from this node to one receiver. All
+// such connections share the node's socket (§4.2).
+type udpSend struct {
+	n     *UDPNode
+	sid   StreamID
+	raddr *net.UDPAddr
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	nextSeq  uint32
+	unacked  map[uint32]*outPkt
+	sc       uint32 // highest consumed seq reported by receiver
+	sr       uint32 // highest in-order received seq reported
+	cwnd     float64
+	ssthresh float64
+	srtt     time.Duration
+	rttvar   time.Duration
+	rto      time.Duration
+	stopped  bool
+	closed   bool
+	blocked  time.Time // since when Send has been waiting
+	lastQry  time.Time
+}
+
+// Send implements SendStream.
+func (s *udpSend) Send(data []byte) error {
+	if len(data) > s.n.cfg.MaxPayload {
+		return fmt.Errorf("interconnect: payload %d exceeds max %d", len(data), s.n.cfg.MaxPayload)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.closed {
+			return ErrClosed
+		}
+		inflight := len(s.unacked)
+		unconsumed := int(s.nextSeq - 1 - s.sc)
+		if inflight < int(s.cwnd) && unconsumed < s.n.cfg.RecvWindow {
+			s.blocked = time.Time{}
+			break
+		}
+		if s.blocked.IsZero() {
+			s.blocked = time.Now()
+		}
+		s.cond.Wait()
+	}
+	s.emitLocked(ptData, data)
+	return nil
+}
+
+// emitLocked assigns a sequence number, stores the packet in the unacked
+// queue and transmits it. Callers hold s.mu.
+func (s *udpSend) emitLocked(ptype uint8, data []byte) {
+	seq := s.nextSeq
+	s.nextSeq++
+	buf := encodePacket(header{
+		Type: ptype, Query: s.sid.Query, Motion: s.sid.Motion,
+		Sender: s.sid.Sender, Receiver: s.sid.Receiver, Seq: seq,
+	}, data)
+	p := &outPkt{seq: seq, buf: buf, sentAt: time.Now()}
+	s.unacked[seq] = p
+	s.n.transmit(s.raddr, buf)
+}
+
+// handleAck processes ACK/DUP packets: frees acknowledged packets from
+// the expiration queue, updates RTT/RTO, grows the congestion window and
+// wakes blocked senders.
+func (s *udpSend) handleAck(h header) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.SC > s.sc {
+		s.sc = h.SC
+	}
+	if h.SR > s.sr {
+		s.sr = h.SR
+	}
+	now := time.Now()
+	acked := 0
+	for seq, p := range s.unacked {
+		if seq <= h.SR {
+			if p.resends == 0 {
+				s.observeRTT(now.Sub(p.sentAt))
+			}
+			delete(s.unacked, seq)
+			acked++
+		}
+	}
+	for ; acked > 0; acked-- {
+		if s.cwnd < s.ssthresh {
+			s.cwnd++ // slow start
+		} else {
+			s.cwnd += 1 / s.cwnd // congestion avoidance
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// observeRTT updates the smoothed RTT estimate (Jacobson/Karels) used to
+// compute the retransmission timeout (§4.3).
+func (s *udpSend) observeRTT(rtt time.Duration) {
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < rtoMin {
+		s.rto = rtoMin
+	}
+	if s.rto > rtoMax {
+		s.rto = rtoMax
+	}
+}
+
+// handleOOO resends the sequences the receiver reported missing.
+func (s *udpSend) handleOOO(h header, payload []byte) {
+	s.mu.Lock()
+	var resend [][]byte
+	for i := 0; i+4 <= len(payload); i += 4 {
+		seq := uint32(payload[i])<<24 | uint32(payload[i+1])<<16 | uint32(payload[i+2])<<8 | uint32(payload[i+3])
+		if p, ok := s.unacked[seq]; ok {
+			p.resends++
+			p.sentAt = time.Now()
+			resend = append(resend, p.buf)
+		}
+	}
+	raddr := s.raddr
+	s.mu.Unlock()
+	for _, buf := range resend {
+		s.n.transmit(raddr, buf)
+	}
+	s.handleAck(h) // OOO carries cumulative SC/SR too
+}
+
+// handleStop transitions to the stopped state of Figure 5(a): pending
+// packets are dropped and the producer sees ErrStopped.
+func (s *udpSend) handleStop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.unacked = map[uint32]*outPkt{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// tick retransmits expired packets (loss → window collapse + slow
+// restart, §4.3) and sends a status query when the stream looks
+// deadlocked (§4.5).
+func (s *udpSend) tick(now time.Time) {
+	s.mu.Lock()
+	var resend [][]byte
+	expired := false
+	for _, p := range s.unacked {
+		if now.Sub(p.sentAt) > s.rto {
+			p.resends++
+			p.sentAt = now
+			resend = append(resend, p.buf)
+			expired = true
+		}
+	}
+	if expired {
+		// Loss signal: collapse the window to the minimum and slow-start
+		// back up.
+		s.ssthresh = s.cwnd / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+		s.cwnd = 2
+		s.rto *= 2
+		if s.rto > rtoMax {
+			s.rto = rtoMax
+		}
+	}
+	var query []byte
+	if !s.blocked.IsZero() && len(s.unacked) == 0 && !s.stopped && !s.closed &&
+		now.Sub(s.blocked) > queryAfter && now.Sub(s.lastQry) > queryAfter {
+		// Sender is blocked on receiver capacity with nothing in flight:
+		// the consumption ack may have been lost. Ask for status.
+		s.lastQry = now
+		query = encodePacket(header{
+			Type: ptQuery, Query: s.sid.Query, Motion: s.sid.Motion,
+			Sender: s.sid.Sender, Receiver: s.sid.Receiver,
+		}, nil)
+	}
+	raddr := s.raddr
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, buf := range resend {
+		s.n.transmit(raddr, buf)
+	}
+	if query != nil {
+		s.n.transmit(raddr, query)
+	}
+}
+
+// Close implements SendStream: emits EOS and drains the unacked queue.
+func (s *udpSend) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	if !s.stopped {
+		s.emitLocked(ptEOS, nil)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(s.unacked) > 0 && !s.stopped {
+		if time.Now().After(deadline) {
+			s.closed = true
+			s.mu.Unlock()
+			s.unregister()
+			return fmt.Errorf("%w: EOS unacknowledged on %s", ErrTimeout, s.sid)
+		}
+		s.cond.Wait()
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.unregister()
+	return nil
+}
+
+func (s *udpSend) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	s.unacked = map[uint32]*outPkt{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *udpSend) unregister() {
+	s.n.mu.Lock()
+	delete(s.n.sends, s.sid)
+	s.n.mu.Unlock()
+}
+
+type recvItem struct {
+	sender SegID
+	data   []byte
+	eos    bool
+	conn   *rcvConn
+}
+
+// rcvConn tracks one sender's stream at the receiver: the in-order
+// cursor, the out-of-order ring and the consumption counter feeding SC.
+type rcvConn struct {
+	sender   SegID
+	expected uint32            // next in-order seq
+	pending  map[uint32][]byte // buffered out-of-order packets (nil = EOS)
+	pendEOS  map[uint32]bool
+	consumed uint32 // SC: highest seq handed to the executor
+	done     bool
+}
+
+// udpRecv is the receiving side of one motion on this node, merging all
+// sender streams. A separate channel per stream pair is modeled by the
+// per-sender rcvConn (avoiding the §4.2 deadlock), with a single fan-in
+// channel sized to hold every window.
+type udpRecv struct {
+	n        *UDPNode
+	key      motionKey
+	mu       sync.Mutex
+	conns    map[SegID]*rcvConn
+	ch       chan recvItem
+	left     int // senders that have not delivered EOS
+	cancel   chan struct{}
+	canceled bool
+	stopped  bool
+	closed   bool
+}
+
+// handlePacket runs on the node's receive goroutine.
+func (r *udpRecv) handlePacket(h header, payload []byte, raddr *net.UDPAddr) {
+	r.mu.Lock()
+	c := r.conns[h.Sender]
+	if c == nil || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if r.stopped {
+		// The STOP may have been lost; repeat it for every packet the
+		// stopped sender still transmits (Figure 5's Stop-sent state is
+		// left only when the sender goes quiet).
+		r.mu.Unlock()
+		r.n.transmit(raddr, encodePacket(header{
+			Type: ptStop, Query: r.key.Query, Motion: r.key.Motion,
+			Sender: h.Sender, Receiver: r.key.Receiver,
+		}, nil))
+		return
+	}
+	if h.Type == ptQuery {
+		sc, sr := c.consumed, c.expected-1
+		r.mu.Unlock()
+		r.sendAck(ptAck, h.Sender, sc, sr, nil, raddr)
+		return
+	}
+	eos := h.Type == ptEOS
+	switch {
+	case h.Seq < c.expected:
+		// Duplicate: answer with a cumulative ack so the sender clears
+		// its expiration queue (§4.4).
+		sc, sr := c.consumed, c.expected-1
+		r.mu.Unlock()
+		r.sendAck(ptDup, h.Sender, sc, sr, nil, raddr)
+		return
+	case h.Seq == c.expected:
+		r.deliverLocked(c, payload, eos)
+		c.expected++
+		// Drain buffered successors.
+		for {
+			data, ok := c.pending[c.expected]
+			if !ok {
+				break
+			}
+			delete(c.pending, c.expected)
+			e := c.pendEOS[c.expected]
+			delete(c.pendEOS, c.expected)
+			r.deliverLocked(c, data, e)
+			c.expected++
+		}
+		sc, sr := c.consumed, c.expected-1
+		r.mu.Unlock()
+		r.sendAck(ptAck, h.Sender, sc, sr, nil, raddr)
+		return
+	default:
+		// Gap: buffer within a bounded ring and report what is missing.
+		if int(h.Seq-c.expected) < 4*r.n.cfg.RecvWindow {
+			if _, dup := c.pending[h.Seq]; !dup {
+				c.pending[h.Seq] = append([]byte(nil), payload...)
+				if c.pendEOS == nil {
+					c.pendEOS = map[uint32]bool{}
+				}
+				if eos {
+					c.pendEOS[h.Seq] = true
+				}
+			}
+		}
+		var missing []byte
+		for seq := c.expected; seq < h.Seq && len(missing) < 64*4; seq++ {
+			if _, buffered := c.pending[seq]; !buffered {
+				missing = append(missing, byte(seq>>24), byte(seq>>16), byte(seq>>8), byte(seq))
+			}
+		}
+		sc, sr := c.consumed, c.expected-1
+		r.mu.Unlock()
+		r.sendAck(ptOOO, h.Sender, sc, sr, missing, raddr)
+		return
+	}
+}
+
+// deliverLocked hands an in-order packet to the executor channel.
+// Callers hold r.mu; the channel is sized so this never blocks.
+func (r *udpRecv) deliverLocked(c *rcvConn, data []byte, eos bool) {
+	if c.done {
+		return
+	}
+	if eos {
+		c.done = true
+	}
+	if r.stopped && !eos {
+		// After Stop we discard data but keep consuming so acks flow.
+		c.consumed++
+		return
+	}
+	select {
+	case r.ch <- recvItem{sender: c.sender, data: data, eos: eos, conn: c}:
+	default:
+		// The channel is sized to hold every sender's full window, so
+		// this indicates a protocol accounting bug, not backpressure.
+		panic("interconnect: receive channel overflow")
+	}
+}
+
+func (r *udpRecv) sendAck(ptype uint8, sender SegID, sc, sr uint32, payload []byte, raddr *net.UDPAddr) {
+	buf := encodePacket(header{
+		Type: ptype, Query: r.key.Query, Motion: r.key.Motion,
+		Sender: sender, Receiver: r.key.Receiver, SC: sc, SR: sr,
+	}, payload)
+	r.n.transmit(raddr, buf)
+}
+
+// Recv implements RecvStream.
+func (r *udpRecv) Recv() (RecvItem, bool, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return RecvItem{}, false, ErrClosed
+		}
+		if r.left == 0 || r.stopped {
+			r.mu.Unlock()
+			return RecvItem{}, true, nil
+		}
+		r.mu.Unlock()
+		var item recvItem
+		var ok bool
+		select {
+		case item, ok = <-r.ch:
+		case <-r.cancel:
+			return RecvItem{}, false, ErrCanceled
+		}
+		if !ok {
+			return RecvItem{}, false, ErrClosed
+		}
+		if item.eos {
+			r.mu.Lock()
+			r.left--
+			done := r.left == 0
+			r.mu.Unlock()
+			if done {
+				return RecvItem{}, true, nil
+			}
+			continue
+		}
+		// Advance SC for the sender's flow control.
+		r.mu.Lock()
+		item.conn.consumed++
+		r.mu.Unlock()
+		return RecvItem{Sender: item.sender, Data: item.data}, false, nil
+	}
+}
+
+// Stop implements RecvStream: broadcast STOP to all senders (Figure 5(b)).
+func (r *udpRecv) Stop() {
+	r.mu.Lock()
+	if r.stopped || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	senders := make([]SegID, 0, len(r.conns))
+	for s := range r.conns {
+		senders = append(senders, s)
+	}
+	r.mu.Unlock()
+	for _, s := range senders {
+		if raddr, ok := r.n.book.UDP(s); ok {
+			buf := encodePacket(header{
+				Type: ptStop, Query: r.key.Query, Motion: r.key.Motion,
+				Sender: s, Receiver: r.key.Receiver,
+			}, nil)
+			r.n.transmit(raddr, buf)
+		}
+	}
+}
+
+// doCancel aborts a blocked Recv.
+func (r *udpRecv) doCancel() {
+	r.mu.Lock()
+	if !r.canceled {
+		r.canceled = true
+		close(r.cancel)
+	}
+	r.mu.Unlock()
+}
+
+// CancelQuery implements Node.
+func (n *UDPNode) CancelQuery(query uint64) {
+	n.mu.Lock()
+	var victims []*udpRecv
+	for key, r := range n.recvs {
+		if key.Query == query {
+			victims = append(victims, r)
+		}
+	}
+	n.mu.Unlock()
+	for _, r := range victims {
+		r.doCancel()
+	}
+}
+
+// Close implements RecvStream.
+func (r *udpRecv) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.n.mu.Lock()
+	delete(r.n.recvs, r.key)
+	if !r.n.closed {
+		r.n.ended[r.key] = time.Now()
+	}
+	r.n.mu.Unlock()
+}

@@ -1,0 +1,180 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/types"
+)
+
+// QDSegment is the pseudo-segment ID for the query dispatcher.
+const QDSegment = -1
+
+// Slice is one execution unit of a plan: a subtree that does not cross a
+// motion boundary (§2.4). Every slice except the top one has a Motion as
+// its root (the send half); the parent slice reads it through a
+// MotionRecv.
+type Slice struct {
+	ID int
+	// Root is the slice's operator tree.
+	Root Node
+	// Segments lists where the slice's gang runs: QDSegment for the
+	// 1-gang on the master, or segment IDs for N-gangs. Direct dispatch
+	// (§3) shrinks this to a single segment.
+	Segments []int
+}
+
+// OnQD reports whether the slice runs on the master.
+func (s *Slice) OnQD() bool {
+	return len(s.Segments) == 1 && s.Segments[0] == QDSegment
+}
+
+// Plan is a sliced, self-described physical plan ready for dispatch.
+type Plan struct {
+	// Slices[0] is the top slice (runs on the QD and produces the
+	// statement result).
+	Slices []*Slice
+	// Schema describes the result rows.
+	Schema *types.Schema
+	// NumSegments is the cluster size the plan was built for.
+	NumSegments int
+	// SegFileUpdatesExpected marks DML plans whose QEs piggyback catalog
+	// changes back to the master (§3.1).
+	SegFileUpdatesExpected bool
+}
+
+// SenderHint lets the planner pin a motion's child slice to a subset of
+// segments (direct dispatch). It is attached by wrapping the motion
+// input; nil hints mean "all segments".
+type SenderHint struct {
+	Input    Node
+	Segments []int
+}
+
+// OutSchema implements Node.
+func (h *SenderHint) OutSchema() *types.Schema { return h.Input.OutSchema() }
+
+// Children implements Node.
+func (h *SenderHint) Children() []Node { return []Node{h.Input} }
+
+// Label implements Node.
+func (h *SenderHint) Label() string { return fmt.Sprintf("Direct Dispatch %v", h.Segments) }
+
+// Build slices a plan tree at its motion boundaries. root is the full
+// tree (with Motion nodes); topSegments is where the top slice runs
+// (usually just the QD). allSegments is the default gang for sliced
+// subtrees.
+func Build(root Node, topSegments, allSegments []int, numSegments int) *Plan {
+	p := &Plan{Schema: root.OutSchema(), NumSegments: numSegments}
+	b := &builder{plan: p, all: allSegments}
+	top := &Slice{ID: 0, Segments: topSegments}
+	p.Slices = append(p.Slices, top)
+	top.Root = b.walk(root, top)
+	return p
+}
+
+type builder struct {
+	plan *Plan
+	all  []int
+}
+
+// walk rewrites the tree: each Motion becomes a new slice whose root is
+// the motion itself, and the parent keeps a MotionRecv.
+func (b *builder) walk(n Node, parent *Slice) Node {
+	switch v := n.(type) {
+	case *Motion:
+		segs := b.all
+		child := v.Input
+		if hint, ok := child.(*SenderHint); ok {
+			segs = hint.Segments
+			child = hint.Input
+			v.Input = child
+		}
+		s := &Slice{ID: len(b.plan.Slices), Segments: segs}
+		b.plan.Slices = append(b.plan.Slices, s)
+		// The slice index is the motion's unique ID within the query.
+		v.ID = int16(s.ID)
+		v.Receivers = parent.Segments
+		v.Input = b.walk(child, s)
+		s.Root = v
+		return &MotionRecv{ID: v.ID, Senders: s.Segments, Schema: v.OutSchema()}
+	case *Select:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *Project:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *HashJoin:
+		v.Left = b.walk(v.Left, parent)
+		v.Right = b.walk(v.Right, parent)
+		return v
+	case *NestLoopJoin:
+		v.Left = b.walk(v.Left, parent)
+		v.Right = b.walk(v.Right, parent)
+		return v
+	case *HashAgg:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *Sort:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *Limit:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *Distinct:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *Insert:
+		v.Input = b.walk(v.Input, parent)
+		return v
+	case *Append:
+		for i, c := range v.Inputs {
+			v.Inputs[i] = b.walk(c, parent)
+		}
+		return v
+	default:
+		return n
+	}
+}
+
+// Explain renders the sliced plan in the style of EXPLAIN output.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	for _, s := range p.Slices {
+		where := "QD"
+		if !s.OnQD() {
+			if len(s.Segments) == p.NumSegments {
+				where = fmt.Sprintf("%d segments", len(s.Segments))
+			} else {
+				where = fmt.Sprintf("segments %v", s.Segments)
+			}
+		}
+		fmt.Fprintf(&b, "Slice %d (%s):\n", s.ID, where)
+		explainNode(&b, s.Root, 1)
+	}
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n Node, depth int) {
+	fmt.Fprintf(b, "%s-> %s\n", strings.Repeat("  ", depth), n.Label())
+	for _, c := range n.Children() {
+		explainNode(b, c, depth+1)
+	}
+}
+
+// Walk visits every node of every slice.
+func (p *Plan) Walk(fn func(Node)) {
+	for _, s := range p.Slices {
+		walkNode(s.Root, fn)
+	}
+}
+
+func walkNode(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children() {
+		walkNode(c, fn)
+	}
+}

@@ -1,0 +1,376 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+	"hawq/internal/sqlparser"
+	"hawq/internal/types"
+)
+
+// collectAggs finds the aggregate calls in an expression tree.
+func collectAggs(e sqlparser.Expr, out *[]*sqlparser.FuncExpr, seen map[string]bool) {
+	switch v := e.(type) {
+	case nil:
+	case *sqlparser.FuncExpr:
+		if _, ok := expr.AggKindByName(v.Name); ok {
+			key := v.String()
+			if !seen[key] {
+				seen[key] = true
+				*out = append(*out, v)
+			}
+			return
+		}
+		for _, a := range v.Args {
+			collectAggs(a, out, seen)
+		}
+	case *sqlparser.BinExpr:
+		collectAggs(v.L, out, seen)
+		collectAggs(v.R, out, seen)
+	case *sqlparser.UnExpr:
+		collectAggs(v.E, out, seen)
+	case *sqlparser.CaseExpr:
+		collectAggs(v.Operand, out, seen)
+		for _, w := range v.Whens {
+			collectAggs(w.Cond, out, seen)
+			collectAggs(w.Result, out, seen)
+		}
+		collectAggs(v.Else, out, seen)
+	case *sqlparser.CastExpr:
+		collectAggs(v.E, out, seen)
+	case *sqlparser.BetweenExpr:
+		collectAggs(v.E, out, seen)
+		collectAggs(v.Lo, out, seen)
+		collectAggs(v.Hi, out, seen)
+	case *sqlparser.LikeExpr:
+		collectAggs(v.E, out, seen)
+	case *sqlparser.IsNullExpr:
+		collectAggs(v.E, out, seen)
+	case *sqlparser.InExpr:
+		collectAggs(v.E, out, seen)
+		for _, it := range v.List {
+			collectAggs(it, out, seen)
+		}
+	case *sqlparser.ExtractExpr:
+		collectAggs(v.E, out, seen)
+	}
+}
+
+// planAggregation builds the (possibly two-phase) aggregation for a
+// query, returning the aggregated relation and the aggScope that later
+// expressions bind against. A nil aggScope means the query has no
+// aggregation.
+func (p *Planner) planAggregation(rel *relation, stmt *sqlparser.SelectStmt) (*relation, *aggScope, error) {
+	var aggCalls []*sqlparser.FuncExpr
+	seen := map[string]bool{}
+	for _, item := range stmt.Projections {
+		if !item.Star {
+			collectAggs(item.Expr, &aggCalls, seen)
+		}
+	}
+	collectAggs(stmt.Having, &aggCalls, seen)
+	for _, o := range stmt.OrderBy {
+		collectAggs(o.Expr, &aggCalls, seen)
+	}
+	if len(aggCalls) == 0 && len(stmt.GroupBy) == 0 {
+		if stmt.Having != nil {
+			return nil, nil, fmt.Errorf("planner: HAVING requires aggregation")
+		}
+		return rel, nil, nil
+	}
+
+	b := &binder{scope: rel.scope(), subquery: p.scalarSubquery()}
+	// Bind group expressions.
+	groupExprs := make([]expr.Expr, len(stmt.GroupBy))
+	groupNames := make([]string, len(stmt.GroupBy))
+	groupStrs := make([]string, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		bound, err := b.bind(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		groupExprs[i] = bound
+		groupStrs[i] = g.String()
+		if id, ok := g.(*sqlparser.Ident); ok {
+			groupNames[i] = strings.ToLower(id.Column())
+		} else {
+			groupNames[i] = fmt.Sprintf("key%d", i+1)
+		}
+	}
+	// Bind aggregate specs.
+	specs := make([]expr.AggSpec, len(aggCalls))
+	aggStrs := make([]string, len(aggCalls))
+	hasDistinct := false
+	for i, call := range aggCalls {
+		kind, _ := expr.AggKindByName(call.Name)
+		spec := expr.AggSpec{Kind: kind, Distinct: call.Distinct}
+		if call.Star {
+			if kind != expr.AggCount {
+				return nil, nil, fmt.Errorf("planner: %s(*) is not valid", call.Name)
+			}
+			spec.Kind = expr.AggCountStar
+		} else {
+			if len(call.Args) != 1 {
+				return nil, nil, fmt.Errorf("planner: aggregate %s takes one argument", call.Name)
+			}
+			arg, err := b.bind(call.Args[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			spec.Arg = arg
+		}
+		if spec.Distinct {
+			hasDistinct = true
+		}
+		specs[i] = spec
+		aggStrs[i] = call.String()
+	}
+
+	outSchema := aggOutputSchema(groupExprs, groupNames, specs, aggCalls)
+	scp := &aggScope{groups: groupStrs, aggs: aggStrs, schema: outSchema}
+
+	outRel, err := p.buildAggNodes(rel, groupExprs, specs, outSchema, hasDistinct)
+	if err != nil {
+		return nil, nil, err
+	}
+	outRel.cols = schemaCols(outSchema)
+	// Apply HAVING.
+	if stmt.Having != nil {
+		hb := &binder{scope: outRel.scope(), aggScope: scp, subquery: p.scalarSubquery()}
+		pred, err := hb.bind(stmt.Having)
+		if err != nil {
+			return nil, nil, err
+		}
+		outRel = &relation{
+			node: &plan.Select{Input: outRel.node, Pred: pred},
+			cols: outRel.cols, dist: outRel.dist, rows: outRel.rows * 0.5,
+		}
+	}
+	return outRel, scp, nil
+}
+
+func schemaCols(s *types.Schema) []scopeCol {
+	cols := make([]scopeCol, s.Len())
+	for i, c := range s.Columns {
+		cols[i] = scopeCol{name: strings.ToLower(c.Name)}
+	}
+	return cols
+}
+
+func aggOutputSchema(groups []expr.Expr, groupNames []string, specs []expr.AggSpec, calls []*sqlparser.FuncExpr) *types.Schema {
+	cols := make([]types.Column, 0, len(groups)+len(specs))
+	for i, g := range groups {
+		cols = append(cols, kindToColumn(groupNames[i], g))
+	}
+	for i, s := range specs {
+		cols = append(cols, types.Column{Name: strings.ToLower(calls[i].Name), Kind: s.ResultKind()})
+	}
+	return &types.Schema{Columns: cols}
+}
+
+// buildAggNodes chooses one-phase vs two-phase aggregation based on the
+// input distribution (§3).
+func (p *Planner) buildAggNodes(rel *relation, groups []expr.Expr, specs []expr.AggSpec, outSchema *types.Schema, hasDistinct bool) (*relation, error) {
+	nGroups := len(groups)
+	estGroups := estimateGroups(rel.rows, nGroups)
+
+	// Can the aggregation complete locally? Yes if each segment holds
+	// whole groups: hashed on a subset of the group columns.
+	local := false
+	var outDistCols []int
+	if rel.dist.kind == distHash && nGroups > 0 {
+		matched := 0
+		for _, dc := range rel.dist.cols {
+			for gi, g := range groups {
+				if cr, ok := g.(*expr.ColRef); ok && rel.sameCol(cr.Idx, dc) {
+					outDistCols = append(outDistCols, gi)
+					matched++
+					break
+				}
+			}
+		}
+		local = matched == len(rel.dist.cols)
+	}
+	if rel.dist.kind == distQD {
+		node := &plan.HashAgg{Input: rel.node, Phase: plan.AggSingle, Groups: groups, Aggs: specs, Schema: outSchema}
+		return &relation{node: node, dist: distInfo{kind: distQD}, rows: estGroups}, nil
+	}
+	if local && !p.DisableColocation {
+		node := &plan.HashAgg{Input: rel.node, Phase: plan.AggSingle, Groups: groups, Aggs: specs, Schema: outSchema}
+		return &relation{node: node, dist: distInfo{kind: distHash, cols: outDistCols}, rows: estGroups}, nil
+	}
+	if hasDistinct {
+		// DISTINCT aggregates need whole groups in one place: move the
+		// data first, aggregate once.
+		var moved *relation
+		if nGroups > 0 {
+			groupCols, ok := plainCols(groups)
+			if !ok {
+				// Group keys are computed: redistribute on a projection
+				// of the keys. Project keys + all needed inputs is
+				// complex; fall back to gathering.
+				moved = p.gatherToQD(rel)
+			} else {
+				moved = p.redistributeCols(rel, groupCols)
+			}
+		} else {
+			moved = p.gatherToQD(rel)
+		}
+		node := &plan.HashAgg{Input: moved.node, Phase: plan.AggSingle, Groups: groups, Aggs: specs, Schema: outSchema}
+		return &relation{node: node, dist: distInfo{kind: moved.dist.kind, cols: outDistColsFrom(groups, moved.dist)}, rows: estGroups}, nil
+	}
+
+	// Two-phase: partial on every segment, motion, final.
+	partialSpecs, lowering := lowerPartial(specs)
+	partialSchema := partialOutputSchema(groups, partialSpecs, outSchema)
+	partial := &plan.HashAgg{Input: rel.node, Phase: plan.AggPartial, Groups: groups, Aggs: partialSpecs, Schema: partialSchema}
+
+	var motion *plan.Motion
+	var finalDist distInfo
+	if nGroups > 0 {
+		hashCols := make([]int, nGroups)
+		for i := range hashCols {
+			hashCols[i] = i
+		}
+		motion = &plan.Motion{Type: plan.RedistributeMotion, Input: partial, HashCols: hashCols}
+		finalDist = distInfo{kind: distHash, cols: hashCols}
+	} else {
+		motion = &plan.Motion{Type: plan.GatherMotion, Input: partial}
+		finalDist = distInfo{kind: distQD}
+	}
+	recvSchema := partialSchema
+
+	// Final phase re-aggregates the partials.
+	finalGroups := make([]expr.Expr, nGroups)
+	for i := 0; i < nGroups; i++ {
+		c := recvSchema.Columns[i]
+		finalGroups[i] = &expr.ColRef{Idx: i, K: c.Kind, Name: c.Name}
+	}
+	finalSpecs := make([]expr.AggSpec, 0, len(partialSpecs))
+	for pi, ps := range partialSpecs {
+		col := nGroups + pi
+		c := recvSchema.Columns[col]
+		ref := &expr.ColRef{Idx: col, K: c.Kind, Name: c.Name}
+		kind := ps.Kind
+		switch ps.Kind {
+		case expr.AggCount, expr.AggCountStar:
+			kind = expr.AggSum
+		}
+		finalSpecs = append(finalSpecs, expr.AggSpec{Kind: kind, Arg: ref})
+	}
+	finalSchema := partialFinalSchema(finalGroups, finalSpecs, recvSchema)
+	final := &plan.HashAgg{Input: motion, Phase: plan.AggFinal, Groups: finalGroups, Aggs: finalSpecs, Schema: finalSchema}
+
+	// Reassemble the original aggregate order (AVG becomes sum/count).
+	projExprs := make([]expr.Expr, 0, outSchema.Len())
+	for i := 0; i < nGroups; i++ {
+		c := finalSchema.Columns[i]
+		projExprs = append(projExprs, &expr.ColRef{Idx: i, K: c.Kind, Name: c.Name})
+	}
+	for oi, lw := range lowering {
+		if specs[oi].Kind == expr.AggAvg {
+			sumCol := nGroups + lw[0]
+			cntCol := nGroups + lw[1]
+			sumRef := &expr.Cast{E: &expr.ColRef{Idx: sumCol, K: finalSchema.Columns[sumCol].Kind}, To: types.KindFloat64}
+			cntRef := &expr.ColRef{Idx: cntCol, K: types.KindInt64}
+			projExprs = append(projExprs, expr.NewBinOp(expr.OpDiv, sumRef, cntRef))
+		} else {
+			col := nGroups + lw[0]
+			projExprs = append(projExprs, &expr.ColRef{Idx: col, K: finalSchema.Columns[col].Kind})
+		}
+	}
+	var node plan.Node = final
+	if needsReassembly(specs) {
+		node = &plan.Project{Input: final, Exprs: projExprs, Schema: outSchema}
+	}
+	return &relation{node: node, dist: finalDist, rows: estGroups}, nil
+}
+
+func needsReassembly(specs []expr.AggSpec) bool {
+	for _, s := range specs {
+		if s.Kind == expr.AggAvg {
+			return true
+		}
+	}
+	return false
+}
+
+// lowerPartial produces the partial-phase specs and a map from original
+// aggregate index to its partial output offsets.
+func lowerPartial(specs []expr.AggSpec) ([]expr.AggSpec, [][]int) {
+	var out []expr.AggSpec
+	lowering := make([][]int, len(specs))
+	for i, s := range specs {
+		if s.Kind == expr.AggAvg {
+			lowering[i] = []int{len(out), len(out) + 1}
+			out = append(out,
+				expr.AggSpec{Kind: expr.AggSum, Arg: s.Arg},
+				expr.AggSpec{Kind: expr.AggCount, Arg: s.Arg})
+			continue
+		}
+		lowering[i] = []int{len(out)}
+		out = append(out, s)
+	}
+	return out, lowering
+}
+
+func partialOutputSchema(groups []expr.Expr, partials []expr.AggSpec, outSchema *types.Schema) *types.Schema {
+	cols := make([]types.Column, 0, len(groups)+len(partials))
+	cols = append(cols, outSchema.Columns[:len(groups)]...)
+	for i, s := range partials {
+		cols = append(cols, types.Column{Name: fmt.Sprintf("partial%d", i), Kind: s.ResultKind()})
+	}
+	return &types.Schema{Columns: cols}
+}
+
+func partialFinalSchema(groups []expr.Expr, finals []expr.AggSpec, recvSchema *types.Schema) *types.Schema {
+	cols := make([]types.Column, 0, len(groups)+len(finals))
+	cols = append(cols, recvSchema.Columns[:len(groups)]...)
+	for i, s := range finals {
+		cols = append(cols, types.Column{Name: fmt.Sprintf("final%d", i), Kind: s.ResultKind()})
+	}
+	return &types.Schema{Columns: cols}
+}
+
+// plainCols extracts column indexes when every expression is a bare
+// column reference.
+func plainCols(exprs []expr.Expr) ([]int, bool) {
+	out := make([]int, len(exprs))
+	for i, e := range exprs {
+		cr, ok := e.(*expr.ColRef)
+		if !ok {
+			return nil, false
+		}
+		out[i] = cr.Idx
+	}
+	return out, true
+}
+
+func outDistColsFrom(groups []expr.Expr, d distInfo) []int {
+	if d.kind != distHash {
+		return nil
+	}
+	var out []int
+	for _, dc := range d.cols {
+		for gi, g := range groups {
+			if cr, ok := g.(*expr.ColRef); ok && cr.Idx == dc {
+				out = append(out, gi)
+			}
+		}
+	}
+	return out
+}
+
+// estimateGroups guesses the number of output groups.
+func estimateGroups(rows float64, nGroups int) float64 {
+	if nGroups == 0 {
+		return 1
+	}
+	est := rows / 10
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

@@ -1,0 +1,219 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/catalog"
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+	"hawq/internal/sqlparser"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// Planner builds sliced physical plans from parse trees.
+type Planner struct {
+	Cat         *catalog.Catalog
+	Snap        tx.Snapshot
+	NumSegments int
+	// SubqueryEval executes an uncorrelated scalar subquery at plan time
+	// and returns its single datum (wired to the engine's executor).
+	SubqueryEval func(*sqlparser.SelectStmt) (types.Datum, error)
+
+	// DisableDirectDispatch turns off the single-segment dispatch
+	// optimization (§3), for the ablation benchmark.
+	DisableDirectDispatch bool
+	// DisablePartitionElim turns off partition elimination (§2.3).
+	DisablePartitionElim bool
+	// DisableColocation makes every join redistribute, ignoring existing
+	// distributions (ablation).
+	DisableColocation bool
+}
+
+// distKind classifies how a relation's rows are spread across the
+// cluster.
+type distKind uint8
+
+const (
+	distHash       distKind = iota // hashed on dist cols
+	distRandom                     // partitioned, no usable key
+	distReplicated                 // full copy on every segment
+	distQD                         // single copy on the master
+)
+
+type distInfo struct {
+	kind distKind
+	cols []int
+}
+
+// relation is a planned subtree plus binding/distribution/cardinality
+// metadata.
+type relation struct {
+	node plan.Node
+	cols []scopeCol
+	dist distInfo
+	rows float64
+	// direct, when non-nil, lists the only segments holding data
+	// (direct dispatch, §3). Lost on joins.
+	direct []int
+	// equiv holds classes of output columns known equal (join keys of
+	// equi-joins), letting distribution matching see through joins:
+	// a relation hashed on o_orderkey is equally hashed on l_orderkey
+	// after the two are equi-joined.
+	equiv [][]int
+}
+
+// sameCol reports whether columns a and b are equal under the relation's
+// equivalences.
+func (r *relation) sameCol(a, b int) bool {
+	if a == b {
+		return true
+	}
+	for _, class := range r.equiv {
+		inA, inB := false, false
+		for _, c := range class {
+			if c == a {
+				inA = true
+			}
+			if c == b {
+				inB = true
+			}
+		}
+		if inA && inB {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *relation) schema() *types.Schema { return r.node.OutSchema() }
+
+func (r *relation) scope() *scope {
+	return &scope{cols: r.cols, schema: r.schema()}
+}
+
+// allSegments returns [0..n).
+func (p *Planner) allSegments() []int {
+	segs := make([]int, p.NumSegments)
+	for i := range segs {
+		segs[i] = i
+	}
+	return segs
+}
+
+// PlanSelect plans a SELECT statement into a sliced plan whose top slice
+// runs on the QD.
+func (p *Planner) PlanSelect(stmt *sqlparser.SelectStmt) (*plan.Plan, error) {
+	rel, err := p.planQuery(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rel = p.gatherToQD(rel)
+	sliced := plan.Build(rel.node, []int{plan.QDSegment}, p.allSegments(), p.NumSegments)
+	return sliced, nil
+}
+
+// gatherToQD adds a gather motion unless the relation is already on the
+// master.
+func (p *Planner) gatherToQD(rel *relation) *relation {
+	if rel.dist.kind == distQD {
+		return rel
+	}
+	var input plan.Node = rel.node
+	if rel.direct != nil && !p.DisableDirectDispatch {
+		input = &plan.SenderHint{Input: input, Segments: rel.direct}
+	}
+	m := &plan.Motion{Type: plan.GatherMotion, Input: input}
+	return &relation{node: m, cols: rel.cols, dist: distInfo{kind: distQD}, rows: rel.rows}
+}
+
+// planQuery plans a full SELECT (including aggregation, ordering and
+// limit) and returns a relation. ORDER BY and LIMIT force the result to
+// the QD; otherwise it stays distributed.
+func (p *Planner) planQuery(stmt *sqlparser.SelectStmt) (*relation, error) {
+	rel, err := p.planFromWhere(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rel, aggScp, err := p.planAggregation(rel, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return p.planOutput(rel, aggScp, stmt)
+}
+
+// conjuncts flattens an AND tree.
+func conjuncts(e sqlparser.Expr) []sqlparser.Expr {
+	if b, ok := e.(*sqlparser.BinExpr); ok && b.Op == "and" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// identRefs collects the identifiers in a syntax expression (not
+// descending into subqueries).
+func identRefs(e sqlparser.Expr, out *[]*sqlparser.Ident) {
+	switch v := e.(type) {
+	case nil:
+	case *sqlparser.Ident:
+		*out = append(*out, v)
+	case *sqlparser.BinExpr:
+		identRefs(v.L, out)
+		identRefs(v.R, out)
+	case *sqlparser.UnExpr:
+		identRefs(v.E, out)
+	case *sqlparser.FuncExpr:
+		for _, a := range v.Args {
+			identRefs(a, out)
+		}
+	case *sqlparser.LikeExpr:
+		identRefs(v.E, out)
+	case *sqlparser.InExpr:
+		identRefs(v.E, out)
+		for _, it := range v.List {
+			identRefs(it, out)
+		}
+	case *sqlparser.BetweenExpr:
+		identRefs(v.E, out)
+		identRefs(v.Lo, out)
+		identRefs(v.Hi, out)
+	case *sqlparser.IsNullExpr:
+		identRefs(v.E, out)
+	case *sqlparser.CaseExpr:
+		identRefs(v.Operand, out)
+		for _, w := range v.Whens {
+			identRefs(w.Cond, out)
+			identRefs(w.Result, out)
+		}
+		identRefs(v.Else, out)
+	case *sqlparser.CastExpr:
+		identRefs(v.E, out)
+	case *sqlparser.ExtractExpr:
+		identRefs(v.E, out)
+	}
+}
+
+// bindSelectListExprs binds the projection expressions and returns the
+// output schema columns.
+func outputName(item sqlparser.SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.Expr.(*sqlparser.Ident); ok {
+		return id.Column()
+	}
+	if f, ok := item.Expr.(*sqlparser.FuncExpr); ok {
+		return strings.ToLower(f.Name)
+	}
+	return fmt.Sprintf("column%d", i+1)
+}
+
+// kindToColumn derives an output column from a bound expression.
+func kindToColumn(name string, e expr.Expr) types.Column {
+	col := types.Column{Name: name, Kind: e.Kind()}
+	if col.Kind == types.KindDecimal {
+		col.Scale = 2
+	}
+	return col
+}

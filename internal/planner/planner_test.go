@@ -1,0 +1,406 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hawq/internal/catalog"
+	"hawq/internal/plan"
+	"hawq/internal/sqlparser"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// fixture builds a catalog with two hash-distributed tables sharing a
+// join key, one randomly distributed table, and usable statistics.
+func fixture(t *testing.T) (*Planner, *tx.Tx) {
+	t.Helper()
+	cat := catalog.New(tx.NewWAL())
+	mgr := tx.NewManager()
+	tr := mgr.Begin(tx.ReadCommitted)
+	intCol := func(n string) types.Column { return types.Column{Name: n, Kind: types.KindInt64} }
+	mk := func(name string, dist catalog.DistPolicy, rows int64, cols ...types.Column) {
+		desc := &catalog.TableDesc{
+			Name:    name,
+			Schema:  &types.Schema{Columns: cols},
+			Dist:    dist,
+			Storage: catalog.StorageSpec{Orientation: catalog.OrientRow, Codec: "none"},
+		}
+		oid, err := cat.CreateTable(tr, desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.SetRelStats(tr, oid, catalog.RelStats{Rows: rows})
+	}
+	mk("orders", catalog.DistPolicy{Cols: []int{0}}, 10000,
+		intCol("o_orderkey"), intCol("o_custkey"), types.Column{Name: "o_comment", Kind: types.KindString})
+	mk("lineitem", catalog.DistPolicy{Cols: []int{0}}, 40000,
+		intCol("l_orderkey"), intCol("l_partkey"), types.Column{Name: "l_tax", Kind: types.KindDecimal, Scale: 2})
+	mk("randtab", catalog.DistPolicy{Random: true}, 10000,
+		intCol("r_orderkey"), intCol("r_v"))
+	mk("tiny", catalog.DistPolicy{Cols: []int{0}}, 5,
+		intCol("t_k"), types.Column{Name: "t_name", Kind: types.KindString})
+	return &Planner{Cat: cat, Snap: tr.Snapshot(), NumSegments: 4}, tr
+}
+
+func planOf(t *testing.T, p *Planner, sql string) *plan.Plan {
+	t.Helper()
+	stmt, err := sqlparser.ParseOne(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := p.PlanSelect(stmt.(*sqlparser.SelectStmt))
+	if err != nil {
+		t.Fatalf("plan %q: %v", sql, err)
+	}
+	return pl
+}
+
+func countMotions(p *plan.Plan, typ plan.MotionType) int {
+	n := 0
+	p.Walk(func(node plan.Node) {
+		if m, ok := node.(*plan.Motion); ok && m.Type == typ {
+			n++
+		}
+	})
+	return n
+}
+
+func TestColocatedJoinAvoidsRedistribution(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// Both tables hash-distributed on the join key: the Figure 3(a)
+	// plan — two slices, no redistribute motion.
+	pl := planOf(t, p, `SELECT l_orderkey, count(l_tax) FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey GROUP BY l_orderkey`)
+	if got := countMotions(pl, plan.RedistributeMotion); got != 0 {
+		t.Errorf("colocated join has %d redistribute motions:\n%s", got, pl.Explain())
+	}
+	if len(pl.Slices) != 2 {
+		t.Errorf("slices = %d, want 2 (Figure 3(a)):\n%s", len(pl.Slices), pl.Explain())
+	}
+}
+
+func TestRandomTableJoinRedistributes(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// The Figure 3(b) shape: the random table must be redistributed on
+	// the join key, adding a slice.
+	pl := planOf(t, p, `SELECT l_orderkey, count(l_tax) FROM lineitem, randtab
+		WHERE l_orderkey = r_orderkey GROUP BY l_orderkey`)
+	if got := countMotions(pl, plan.RedistributeMotion); got < 1 {
+		t.Errorf("random join has no redistribute motion:\n%s", pl.Explain())
+	}
+	if len(pl.Slices) != 3 {
+		t.Errorf("slices = %d, want 3 (Figure 3(b)):\n%s", len(pl.Slices), pl.Explain())
+	}
+}
+
+func TestSmallTableBroadcast(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// Joining a 5-row table with a 40000-row one on a non-distribution
+	// key: broadcasting the small side beats redistributing both.
+	pl := planOf(t, p, `SELECT t_name, count(*) FROM lineitem, tiny
+		WHERE l_partkey = t_k GROUP BY t_name`)
+	if got := countMotions(pl, plan.BroadcastMotion); got != 1 {
+		t.Errorf("broadcast motions = %d, want 1:\n%s", got, pl.Explain())
+	}
+	// The big table must stay in place: the join's inputs are a direct
+	// scan of lineitem and the broadcast of tiny. (The redistribute the
+	// plan does contain belongs to the two-phase aggregation on t_name.)
+	inPlace := false
+	pl.Walk(func(n plan.Node) {
+		if hj, ok := n.(*plan.HashJoin); ok {
+			if sc, ok := hj.Left.(*plan.Scan); ok && sc.Table.Name == "lineitem" {
+				inPlace = true
+			}
+			if sc, ok := hj.Right.(*plan.Scan); ok && sc.Table.Name == "lineitem" {
+				inPlace = true
+			}
+		}
+	})
+	if !inPlace {
+		t.Errorf("lineitem was moved for the join:\n%s", pl.Explain())
+	}
+}
+
+func TestTwoPhaseAggregation(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// Grouping on a non-distribution column: partial per segment,
+	// redistribute by group key, final.
+	pl := planOf(t, p, "SELECT o_custkey, count(*), avg(o_orderkey) FROM orders GROUP BY o_custkey")
+	var partial, final int
+	pl.Walk(func(n plan.Node) {
+		if a, ok := n.(*plan.HashAgg); ok {
+			switch a.Phase {
+			case plan.AggPartial:
+				partial++
+			case plan.AggFinal:
+				final++
+			}
+		}
+	})
+	if partial != 1 || final != 1 {
+		t.Errorf("partial=%d final=%d:\n%s", partial, final, pl.Explain())
+	}
+	// Grouping on the distribution key: single phase, local.
+	pl = planOf(t, p, "SELECT o_orderkey, count(*) FROM orders GROUP BY o_orderkey")
+	single := 0
+	pl.Walk(func(n plan.Node) {
+		if a, ok := n.(*plan.HashAgg); ok && a.Phase == plan.AggSingle {
+			single++
+		}
+	})
+	if single != 1 || countMotions(pl, plan.RedistributeMotion) != 0 {
+		t.Errorf("dist-key grouping not local:\n%s", pl.Explain())
+	}
+}
+
+func TestDirectDispatchOnDistKeyEquality(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	pl := planOf(t, p, "SELECT * FROM orders WHERE o_orderkey = 42")
+	if len(pl.Slices) != 2 {
+		t.Fatalf("slices = %d:\n%s", len(pl.Slices), pl.Explain())
+	}
+	if got := len(pl.Slices[1].Segments); got != 1 {
+		t.Errorf("direct dispatch segments = %d, want 1:\n%s", got, pl.Explain())
+	}
+	// Disabled: all segments.
+	p.DisableDirectDispatch = true
+	pl = planOf(t, p, "SELECT * FROM orders WHERE o_orderkey = 42")
+	if got := len(pl.Slices[1].Segments); got != 4 {
+		t.Errorf("with direct dispatch off, segments = %d, want 4", got)
+	}
+	p.DisableDirectDispatch = false
+	// A join drops the direct-dispatch property.
+	pl = planOf(t, p, "SELECT count(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey AND o_orderkey = 42")
+	for _, s := range pl.Slices[1:] {
+		if len(s.Segments) == 1 && s.Segments[0] != plan.QDSegment {
+			t.Errorf("join slice got direct dispatch:\n%s", pl.Explain())
+		}
+	}
+}
+
+func TestMasterOnlyQuery(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	pl := planOf(t, p, "SELECT 1 + 2")
+	if len(pl.Slices) != 1 || !pl.Slices[0].OnQD() {
+		t.Errorf("master-only query got %d slices:\n%s", len(pl.Slices), pl.Explain())
+	}
+}
+
+func TestOrderByAddsSortAboveGather(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	pl := planOf(t, p, "SELECT o_custkey FROM orders ORDER BY o_custkey DESC LIMIT 7")
+	// The pre-limit optimization sorts and limits per segment too.
+	sorts, limits := 0, 0
+	pl.Walk(func(n plan.Node) {
+		switch n.(type) {
+		case *plan.Sort:
+			sorts++
+		case *plan.Limit:
+			limits++
+		}
+	})
+	if sorts < 2 || limits < 2 {
+		t.Errorf("sorts=%d limits=%d, want pre-limit + final:\n%s", sorts, limits, pl.Explain())
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	bad := []string{
+		"SELECT nope FROM orders",
+		"SELECT o_custkey FROM orders GROUP BY o_orderkey",     // non-grouped column
+		"SELECT * FROM orders WHERE o_orderkey LIKE o_custkey", // LIKE needs literal
+		"SELECT o_orderkey FROM orders ORDER BY 99",
+		"SELECT * FROM orders, lineitem WHERE o_comment = l_orderkey AND missing = 1",
+	}
+	for _, sql := range bad {
+		stmt, err := sqlparser.ParseOne(sql)
+		if err != nil {
+			continue
+		}
+		if _, err := p.PlanSelect(stmt.(*sqlparser.SelectStmt)); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestSelfDescribedPlanCarriesSegFiles(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// Register a segment file so the plan embeds it.
+	cat := p.Cat
+	mgr := tx.NewManager()
+	tw := mgr.Begin(tx.ReadCommitted)
+	desc, _ := cat.LookupTable(p.Snap, "orders")
+	cat.AddSegFile(tw, catalog.SegFile{TableOID: desc.OID, SegmentID: 0, SegNo: 1, Path: "/p", LogicalLen: 123})
+	tw.Commit()
+	p.Snap = mgr.Begin(tx.ReadCommitted).Snapshot()
+
+	pl := planOf(t, p, "SELECT count(*) FROM orders")
+	found := false
+	pl.Walk(func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok && len(s.SegFiles) == 1 && s.SegFiles[0].LogicalLen == 123 {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("plan does not embed segment files:\n%s", pl.Explain())
+	}
+}
+
+func TestSemiAndAntiJoinPlans(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// IN subquery: semi join.
+	pl := planOf(t, p, "SELECT o_custkey FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem WHERE l_tax > 0.01)")
+	semi := 0
+	pl.Walk(func(n plan.Node) {
+		if hj, ok := n.(*plan.HashJoin); ok && hj.Kind == plan.SemiJoin {
+			semi++
+		}
+	})
+	if semi != 1 {
+		t.Errorf("semi joins = %d:\n%s", semi, pl.Explain())
+	}
+	// NOT EXISTS with equality correlation: anti join.
+	pl = planOf(t, p, `SELECT o_custkey FROM orders
+		WHERE NOT EXISTS (SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey)`)
+	anti := 0
+	pl.Walk(func(n plan.Node) {
+		if hj, ok := n.(*plan.HashJoin); ok && hj.Kind == plan.AntiJoin {
+			anti++
+		}
+	})
+	if anti != 1 {
+		t.Errorf("anti joins = %d:\n%s", anti, pl.Explain())
+	}
+}
+
+func TestPartitionPruningOperators(t *testing.T) {
+	cat := catalog.New(tx.NewWAL())
+	mgr := tx.NewManager()
+	tr := mgr.Begin(tx.ReadCommitted)
+	defer tr.Commit()
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt64},
+		types.Column{Name: "d", Kind: types.KindDate},
+	)
+	parentOID, err := cat.CreateTable(tr, &catalog.TableDesc{
+		Name: "p", Schema: schema, PartKind: catalog.PartRange, PartCol: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	months := []string{"2020-01-01", "2020-02-01", "2020-03-01", "2020-04-01"}
+	for i := 0; i+1 < len(months); i++ {
+		if _, err := cat.CreateTable(tr, &catalog.TableDesc{
+			Name: fmt.Sprintf("p_1_prt_%d", i+1), Schema: schema,
+			ParentOID: parentOID, PartKind: catalog.PartRange, PartCol: 1,
+			RangeLo: types.MustParseDate(months[i]), RangeHi: types.MustParseDate(months[i+1]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Planner{Cat: cat, Snap: tr.Snapshot(), NumSegments: 2}
+	parts := func(sql string) int {
+		pl := planOf(t, p, sql)
+		n := -1
+		pl.Walk(func(node plan.Node) {
+			if a, ok := node.(*plan.Append); ok {
+				n = len(a.Inputs)
+			}
+		})
+		return n
+	}
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"d = DATE '2020-02-15'", 1},
+		{"d < DATE '2020-02-01'", 1},
+		{"d <= DATE '2020-02-01'", 2},
+		{"d >= DATE '2020-03-01'", 1},
+		{"d > DATE '2020-03-31'", 0}, // beyond the last partition's end
+		{"d >= DATE '2020-01-01'", 3},
+		{"id = 5", 3}, // non-partition column: no pruning
+	}
+	for _, c := range cases {
+		if got := parts("SELECT count(*) FROM p WHERE " + c.where); got != c.want {
+			t.Errorf("WHERE %s scans %d partitions, want %d", c.where, got, c.want)
+		}
+	}
+	// Literal-on-the-left flips the comparison.
+	if got := parts("SELECT count(*) FROM p WHERE DATE '2020-02-15' = d"); got != 1 {
+		t.Errorf("flipped equality scans %d partitions, want 1", got)
+	}
+	p.DisablePartitionElim = true
+	if got := parts("SELECT count(*) FROM p WHERE d = DATE '2020-02-15'"); got != 3 {
+		t.Errorf("with elimination off: %d partitions, want 3", got)
+	}
+}
+
+func TestDistinctPlans(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// DISTINCT on a non-dist column forces a redistribute + unique.
+	pl := planOf(t, p, "SELECT DISTINCT o_custkey FROM orders")
+	uniques, redists := 0, 0
+	pl.Walk(func(n plan.Node) {
+		switch v := n.(type) {
+		case *plan.Distinct:
+			uniques++
+		case *plan.Motion:
+			if v.Type == plan.RedistributeMotion {
+				redists++
+			}
+		}
+	})
+	if uniques != 1 || redists != 1 {
+		t.Errorf("uniques=%d redists=%d:\n%s", uniques, redists, pl.Explain())
+	}
+	// DISTINCT on the dist key needs no motion before the unique.
+	pl = planOf(t, p, "SELECT DISTINCT o_orderkey FROM orders")
+	redists = 0
+	pl.Walk(func(n plan.Node) {
+		if v, ok := n.(*plan.Motion); ok && v.Type == plan.RedistributeMotion {
+			redists++
+		}
+	})
+	if redists != 0 {
+		t.Errorf("dist-key DISTINCT redistributes:\n%s", pl.Explain())
+	}
+}
+
+func TestScalarSubqueryInlined(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	called := false
+	p.SubqueryEval = func(sub *sqlparser.SelectStmt) (types.Datum, error) {
+		called = true
+		return types.NewInt64(7), nil
+	}
+	pl := planOf(t, p, "SELECT count(*) FROM orders WHERE o_custkey > (SELECT 1)")
+	if !called {
+		t.Fatal("subquery evaluator not invoked")
+	}
+	// The subquery became a constant in the scan filter.
+	found := false
+	pl.Walk(func(n plan.Node) {
+		if s, ok := n.(*plan.Scan); ok && s.Filter != nil && strings.Contains(s.Filter.String(), "7") {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("constant not inlined:\n%s", pl.Explain())
+	}
+}

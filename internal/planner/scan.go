@@ -1,0 +1,549 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"hawq/internal/catalog"
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+	"hawq/internal/sqlparser"
+	"hawq/internal/types"
+)
+
+// fromUnit is one unplanned FROM item: a base table, a derived table, or
+// an explicit join tree (planned as a unit).
+type fromUnit struct {
+	ref    sqlparser.TableRef
+	rel    *relation // materialized lazily
+	scope  *scope    // available before materialization for name tests
+	pushed []sqlparser.Expr
+}
+
+// planFromWhere resolves FROM, classifies WHERE conjuncts (pushdown, join
+// edges, residual, subquery predicates), orders the joins and returns the
+// joined relation.
+func (p *Planner) planFromWhere(stmt *sqlparser.SelectStmt) (*relation, error) {
+	if len(stmt.From) == 0 {
+		// Master-only query: SELECT <exprs>.
+		one := &plan.Values{Rows: []types.Row{{}}, Schema: types.NewSchema()}
+		return &relation{node: one, dist: distInfo{kind: distQD}, rows: 1}, nil
+	}
+	var units []*fromUnit
+	for _, ref := range stmt.From {
+		u, err := p.newFromUnit(ref)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	// Classify WHERE conjuncts.
+	var edges []joinEdge
+	var residual []sqlparser.Expr
+	var semis []*semiUnit
+	if stmt.Where != nil {
+		for _, c := range conjuncts(stmt.Where) {
+			if su, ok, err := p.asSemiUnit(c, units); err != nil {
+				return nil, err
+			} else if ok {
+				semis = append(semis, su)
+				continue
+			}
+			refs, ambiguous := p.unitsReferenced(c, units)
+			switch {
+			case ambiguous:
+				return nil, fmt.Errorf("planner: ambiguous column reference in %s", c)
+			case len(refs) == 0:
+				// Constant predicate: keep as residual on the first unit.
+				residual = append(residual, c)
+			case len(refs) == 1:
+				units[refs[0]].pushed = append(units[refs[0]].pushed, c)
+			case len(refs) == 2:
+				if l, r, ok := equiJoinSides(c); ok {
+					edges = append(edges, joinEdge{a: refs[0], b: refs[1], l: l, r: r, raw: c})
+					continue
+				}
+				residual = append(residual, c)
+			default:
+				residual = append(residual, c)
+			}
+		}
+	}
+	// Materialize relations with their pushed-down filters.
+	for _, u := range units {
+		if err := p.materialize(u); err != nil {
+			return nil, err
+		}
+	}
+	rel, err := p.orderJoins(units, edges)
+	if err != nil {
+		return nil, err
+	}
+	// Residual predicates over the full join.
+	for _, c := range residual {
+		b := &binder{scope: rel.scope(), subquery: p.scalarSubquery()}
+		bound, err := b.bind(c)
+		if err != nil {
+			return nil, err
+		}
+		sel := selectivity(c)
+		rel = &relation{
+			node: &plan.Select{Input: rel.node, Pred: bound},
+			cols: rel.cols, dist: rel.dist, rows: rel.rows * sel, direct: rel.direct,
+		}
+	}
+	// Semi/anti-join predicates (EXISTS / IN subqueries).
+	for _, su := range semis {
+		rel, err = p.applySemiJoin(rel, su)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func (p *Planner) scalarSubquery() func(*sqlparser.SelectStmt) (types.Datum, error) {
+	if p.SubqueryEval == nil {
+		return nil
+	}
+	return p.SubqueryEval
+}
+
+// newFromUnit resolves one FROM item far enough to answer name lookups.
+func (p *Planner) newFromUnit(ref sqlparser.TableRef) (*fromUnit, error) {
+	u := &fromUnit{ref: ref}
+	switch v := ref.(type) {
+	case *sqlparser.TableName:
+		desc, err := p.Cat.LookupTable(p.Snap, v.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := v.Alias
+		if alias == "" {
+			alias = v.Name
+		}
+		cols := make([]scopeCol, desc.Schema.Len())
+		for i, c := range desc.Schema.Columns {
+			cols[i] = scopeCol{qual: strings.ToLower(alias), name: strings.ToLower(c.Name)}
+		}
+		u.scope = &scope{cols: cols, schema: desc.Schema}
+	case *sqlparser.SubqueryRef:
+		rel, err := p.planQuery(v.Select)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]scopeCol, len(rel.cols))
+		for i := range rel.cols {
+			cols[i] = scopeCol{qual: strings.ToLower(v.Alias), name: rel.cols[i].name}
+		}
+		u.rel = &relation{node: rel.node, cols: cols, dist: rel.dist, rows: rel.rows}
+		u.scope = u.rel.scope()
+	case *sqlparser.Join:
+		rel, err := p.planExplicitJoin(v)
+		if err != nil {
+			return nil, err
+		}
+		u.rel = rel
+		u.scope = rel.scope()
+	default:
+		return nil, fmt.Errorf("planner: unsupported FROM item %T", ref)
+	}
+	return u, nil
+}
+
+// materialize builds the relation for a base-table unit, binding pushed
+// filters and running partition elimination.
+func (p *Planner) materialize(u *fromUnit) error {
+	if u.rel != nil {
+		// Derived/join units: apply pushed filters as a Select.
+		for _, c := range u.pushed {
+			b := &binder{scope: u.rel.scope(), subquery: p.scalarSubquery()}
+			bound, err := b.bind(c)
+			if err != nil {
+				return err
+			}
+			u.rel = &relation{
+				node: &plan.Select{Input: u.rel.node, Pred: bound},
+				cols: u.rel.cols, dist: u.rel.dist,
+				rows: u.rel.rows * selectivity(c),
+			}
+		}
+		return nil
+	}
+	v := u.ref.(*sqlparser.TableName)
+	desc, err := p.Cat.LookupTable(p.Snap, v.Name)
+	if err != nil {
+		return err
+	}
+	alias := v.Alias
+	if alias == "" {
+		alias = v.Name
+	}
+	rel, err := p.scanRelation(desc, alias, u.pushed, u.scope)
+	if err != nil {
+		return err
+	}
+	u.rel = rel
+	return nil
+}
+
+// scanRelation builds the (possibly partitioned) scan of one table.
+func (p *Planner) scanRelation(desc *catalog.TableDesc, alias string, pushed []sqlparser.Expr, sc *scope) (*relation, error) {
+	var filter expr.Expr
+	sel := 1.0
+	b := &binder{scope: sc, subquery: p.scalarSubquery()}
+	for _, c := range pushed {
+		bound, err := b.bind(c)
+		if err != nil {
+			return nil, err
+		}
+		if filter == nil {
+			filter = bound
+		} else {
+			filter = expr.NewBinOp(expr.OpAnd, filter, bound)
+		}
+		sel *= selectivity(c)
+	}
+	proj := make([]int, desc.Schema.Len())
+	for i := range proj {
+		proj[i] = i
+	}
+	var node plan.Node
+	var totalRows float64
+	if desc.IsExternal() {
+		pushedStr := ""
+		if filter != nil {
+			pushedStr = filter.String()
+		}
+		node = &plan.ExternalScan{
+			Table: desc, Proj: proj, Filter: filter, PushedFilter: pushedStr,
+			Schema: desc.Schema, NumSegments: p.NumSegments,
+		}
+		totalRows = p.tableRows(desc)
+	} else if desc.IsPartitionParent() {
+		kids, err := p.Cat.PartitionChildren(p.Snap, desc.OID)
+		if err != nil {
+			return nil, err
+		}
+		var inputs []plan.Node
+		for _, kid := range kids {
+			if !p.DisablePartitionElim && p.partitionPruned(kid, pushed, sc) {
+				continue
+			}
+			inputs = append(inputs, &plan.Scan{
+				Table: kid, Proj: proj, Filter: filter,
+				SegFiles: p.Cat.AllSegFiles(p.Snap, kid.OID),
+				Schema:   desc.Schema,
+			})
+			totalRows += p.tableRows(kid)
+		}
+		node = &plan.Append{Inputs: inputs, Schema: desc.Schema}
+	} else {
+		node = &plan.Scan{
+			Table: desc, Proj: proj, Filter: filter,
+			SegFiles: p.Cat.AllSegFiles(p.Snap, desc.OID),
+			Schema:   desc.Schema,
+		}
+		totalRows = p.tableRows(desc)
+	}
+	rel := &relation{
+		node: node,
+		cols: sc.cols,
+		rows: totalRows*sel + 1,
+	}
+	switch {
+	case desc.IsExternal(), desc.Dist.Random:
+		rel.dist = distInfo{kind: distRandom}
+	default:
+		cols := desc.Dist.Cols
+		if len(cols) == 0 {
+			cols = []int{0} // default distribution: first column
+		}
+		rel.dist = distInfo{kind: distHash, cols: cols}
+		// Direct dispatch: all dist cols pinned by equality constants.
+		if seg, ok := p.directSegment(desc, cols, pushed, sc); ok && !p.DisableDirectDispatch {
+			rel.direct = []int{seg}
+		}
+	}
+	return rel, nil
+}
+
+// directSegment checks for "distcol = const" constraints pinning the scan
+// to one segment (§3: single value lookup).
+func (p *Planner) directSegment(desc *catalog.TableDesc, distCols []int, pushed []sqlparser.Expr, sc *scope) (int, bool) {
+	vals := make(types.Row, len(distCols))
+	found := 0
+	for _, c := range pushed {
+		be, ok := c.(*sqlparser.BinExpr)
+		if !ok || be.Op != "=" {
+			continue
+		}
+		id, lit := be.L, be.R
+		if _, isID := id.(*sqlparser.Ident); !isID {
+			id, lit = be.R, be.L
+		}
+		ident, ok := id.(*sqlparser.Ident)
+		if !ok {
+			continue
+		}
+		b := &binder{scope: sc}
+		lb, err := b.bind(lit)
+		if err != nil {
+			continue
+		}
+		konst, ok := lb.(*expr.Const)
+		if !ok {
+			continue
+		}
+		idx, err := sc.resolve(ident)
+		if err != nil {
+			continue
+		}
+		for i, dc := range distCols {
+			if dc == idx && vals[i].IsNull() {
+				vals[i] = konst.D
+				found++
+			}
+		}
+	}
+	if found != len(distCols) {
+		return 0, false
+	}
+	h := hashDistRow(vals)
+	return int(h % uint64(p.NumSegments)), true
+}
+
+// hashDistRow hashes distribution key values the same way the
+// redistribute motion and insert path do.
+func hashDistRow(keys types.Row) uint64 {
+	norm := make(types.Row, len(keys))
+	for i, d := range keys {
+		norm[i] = normalizeHashKey(d)
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	return types.HashRowCols(norm, idx)
+}
+
+func normalizeHashKey(d types.Datum) types.Datum {
+	switch d.K {
+	case types.KindInt32:
+		return types.NewInt64(d.I)
+	case types.KindDecimal:
+		if d.Scale == 0 {
+			return types.NewInt64(d.I)
+		}
+	}
+	return d
+}
+
+// partitionPruned decides whether a child partition cannot contain
+// matching rows given the pushed-down conjuncts.
+func (p *Planner) partitionPruned(kid *catalog.TableDesc, pushed []sqlparser.Expr, sc *scope) bool {
+	for _, c := range pushed {
+		be, ok := c.(*sqlparser.BinExpr)
+		if !ok {
+			continue
+		}
+		id, lit := be.L, be.R
+		op := be.Op
+		if _, isID := id.(*sqlparser.Ident); !isID {
+			id, lit = be.R, be.L
+			op = flipComparison(op)
+		}
+		ident, ok := id.(*sqlparser.Ident)
+		if !ok {
+			continue
+		}
+		idx, err := sc.resolve(ident)
+		if err != nil || idx != kid.PartCol {
+			continue
+		}
+		b := &binder{scope: sc}
+		bound, err := b.bind(lit)
+		if err != nil {
+			continue
+		}
+		konst, ok := bound.(*expr.Const)
+		if !ok {
+			continue
+		}
+		v := konst.D
+		if kid.PartKind == catalog.PartRange && !kid.RangeLo.IsNull() {
+			// Child covers [lo, hi).
+			switch op {
+			case "=":
+				if types.Compare(v, kid.RangeLo) < 0 || types.Compare(v, kid.RangeHi) >= 0 {
+					return true
+				}
+			case "<":
+				if types.Compare(kid.RangeLo, v) >= 0 {
+					return true
+				}
+			case "<=":
+				if types.Compare(kid.RangeLo, v) > 0 {
+					return true
+				}
+			case ">":
+				if types.Compare(v, kid.RangeHi) >= 0 || types.Equal(v, sub1(kid.RangeHi)) {
+					return true
+				}
+			case ">=":
+				if types.Compare(v, kid.RangeHi) >= 0 {
+					return true
+				}
+			}
+		}
+		if kid.PartKind == catalog.PartList && len(kid.ListValues) > 0 && op == "=" {
+			match := false
+			for _, lv := range kid.ListValues {
+				if types.Equal(lv, v) {
+					match = true
+					break
+				}
+			}
+			if !match {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sub1(d types.Datum) types.Datum {
+	switch d.K {
+	case types.KindInt32, types.KindInt64, types.KindDate:
+		out := d
+		out.I--
+		return out
+	}
+	return d
+}
+
+func flipComparison(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// unitsReferenced reports which units an expression's identifiers bind
+// to. ambiguous is set when an identifier resolves in multiple units.
+func (p *Planner) unitsReferenced(e sqlparser.Expr, units []*fromUnit) (refs []int, ambiguous bool) {
+	var ids []*sqlparser.Ident
+	identRefs(e, &ids)
+	seen := map[int]bool{}
+	for _, id := range ids {
+		hits := 0
+		for ui, u := range units {
+			if _, err := u.scope.resolve(id); err == nil {
+				if !seen[ui] {
+					seen[ui] = true
+					refs = append(refs, ui)
+				}
+				hits++
+			}
+		}
+		if hits > 1 {
+			// Resolvable in several units: ambiguous unless qualified.
+			if id.Qualifier() == "" {
+				return nil, true
+			}
+		}
+	}
+	return refs, false
+}
+
+// equiJoinSides recognizes "a.x = b.y" style conjuncts.
+func equiJoinSides(e sqlparser.Expr) (*sqlparser.Ident, *sqlparser.Ident, bool) {
+	be, ok := e.(*sqlparser.BinExpr)
+	if !ok || be.Op != "=" {
+		return nil, nil, false
+	}
+	l, lok := be.L.(*sqlparser.Ident)
+	r, rok := be.R.(*sqlparser.Ident)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	return l, r, true
+}
+
+// planExplicitJoin plans an explicit JOIN ... ON tree.
+func (p *Planner) planExplicitJoin(j *sqlparser.Join) (*relation, error) {
+	lu, err := p.newFromUnit(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.materialize(lu); err != nil {
+		return nil, err
+	}
+	ru, err := p.newFromUnit(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.materialize(ru); err != nil {
+		return nil, err
+	}
+	left, right := lu.rel, ru.rel
+
+	var kind plan.JoinKind
+	switch j.Type {
+	case sqlparser.JoinInner, sqlparser.JoinCross:
+		kind = plan.InnerJoin
+	case sqlparser.JoinLeft:
+		kind = plan.LeftJoin
+	case sqlparser.JoinRight:
+		// Flip to a left join.
+		left, right = right, left
+		kind = plan.LeftJoin
+	default:
+		return nil, fmt.Errorf("planner: %s not supported", j.Type)
+	}
+	// Split the ON clause into equi keys and residual predicates.
+	combined := combinedScope(left, right)
+	var leftKeys, rightKeys []int
+	var residual expr.Expr
+	if j.On != nil {
+		for _, c := range conjuncts(j.On) {
+			if lid, rid, ok := equiJoinSides(c); ok {
+				li, lerr := left.scope().resolve(lid)
+				ri, rerr := right.scope().resolve(rid)
+				if lerr != nil || rerr != nil {
+					// Maybe written b.y = a.x.
+					li, lerr = left.scope().resolve(rid)
+					ri, rerr = right.scope().resolve(lid)
+				}
+				if lerr == nil && rerr == nil {
+					leftKeys = append(leftKeys, li)
+					rightKeys = append(rightKeys, ri)
+					continue
+				}
+			}
+			b := &binder{scope: combined, subquery: p.scalarSubquery()}
+			bound, err := b.bind(c)
+			if err != nil {
+				return nil, err
+			}
+			if residual == nil {
+				residual = bound
+			} else {
+				residual = expr.NewBinOp(expr.OpAnd, residual, bound)
+			}
+		}
+	}
+	return p.joinRelations(left, right, leftKeys, rightKeys, kind, residual)
+}
+
+func combinedScope(l, r *relation) *scope {
+	cols := append(append([]scopeCol{}, l.cols...), r.cols...)
+	return &scope{cols: cols, schema: l.schema().Concat(r.schema())}
+}

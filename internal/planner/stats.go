@@ -1,0 +1,92 @@
+package planner
+
+import (
+	"hawq/internal/catalog"
+	"hawq/internal/sqlparser"
+)
+
+// tableRows estimates a table's cardinality: ANALYZE statistics when
+// present, else the tuple counts the segment-file catalog tracks for
+// free, else a default.
+func (p *Planner) tableRows(desc *catalog.TableDesc) float64 {
+	if rs, ok := p.Cat.RelStatsFor(p.Snap, desc.OID); ok && rs.Rows > 0 {
+		return float64(rs.Rows)
+	}
+	var tuples int64
+	for _, sf := range p.Cat.AllSegFiles(p.Snap, desc.OID) {
+		tuples += sf.Tuples
+	}
+	if tuples > 0 {
+		return float64(tuples)
+	}
+	return 1000 // never analyzed, never loaded through us
+}
+
+// selectivity estimates the fraction of rows a predicate keeps, with the
+// classic System R style heuristics.
+func selectivity(e sqlparser.Expr) float64 {
+	switch v := e.(type) {
+	case *sqlparser.BinExpr:
+		switch v.Op {
+		case "=":
+			return 0.05
+		case "<>":
+			return 0.9
+		case "<", "<=", ">", ">=":
+			return 0.3
+		case "and":
+			return selectivity(v.L) * selectivity(v.R)
+		case "or":
+			s := selectivity(v.L) + selectivity(v.R)
+			if s > 1 {
+				s = 1
+			}
+			return s
+		}
+	case *sqlparser.LikeExpr:
+		if v.Negate {
+			return 0.9
+		}
+		return 0.15
+	case *sqlparser.BetweenExpr:
+		if v.Negate {
+			return 0.75
+		}
+		return 0.25
+	case *sqlparser.InExpr:
+		if v.Negate {
+			return 0.9
+		}
+		return 0.1 * float64(len(v.List)+1)
+	case *sqlparser.IsNullExpr:
+		if v.Negate {
+			return 0.95
+		}
+		return 0.05
+	case *sqlparser.UnExpr:
+		if v.Op == "not" {
+			return 1 - selectivity(v.E)
+		}
+	}
+	return 0.5
+}
+
+// estimateJoinRows estimates an equi-join's output cardinality: the
+// textbook |L|*|R| / max(|L|,|R|) per key, tightened per extra key.
+func estimateJoinRows(l, r float64, numKeys int) float64 {
+	if numKeys == 0 {
+		return l * r
+	}
+	big := l
+	if r > big {
+		big = r
+	}
+	out := l * r / big
+	for i := 1; i < numKeys; i++ {
+		out /= 3
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

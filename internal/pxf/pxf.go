@@ -1,0 +1,253 @@
+// Package pxf implements the Pivotal Extension Framework (§6): SQL
+// access to external data stores through pluggable connectors. The
+// plugin API mirrors §6.4 — Fragmenter, Accessor, Resolver, and the
+// optional Analyzer — and the engine binding assigns fragments to
+// segments with locality awareness and forwards pushed-down filters
+// (§6.3).
+//
+// Built-in connectors: delimited text and JSON files on HDFS, a
+// sequence-file-like binary record format, and an HBase-style in-memory
+// store with region fragments and row-key filter pushdown.
+package pxf
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"hawq/internal/catalog"
+	"hawq/internal/hdfs"
+	"hawq/internal/plan"
+	"hawq/internal/types"
+)
+
+// Location is a parsed pxf:// URI:
+//
+//	pxf://<service>/<path>?profile=<name>&k=v...
+type Location struct {
+	Service string
+	Path    string
+	Profile string
+	Options map[string]string
+	Raw     string
+}
+
+// ParseLocation parses a pxf:// external table location (§6.1).
+func ParseLocation(raw string) (*Location, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("pxf: bad location %q: %w", raw, err)
+	}
+	if u.Scheme != "pxf" {
+		return nil, fmt.Errorf("pxf: location %q must use the pxf:// scheme", raw)
+	}
+	loc := &Location{
+		Service: u.Host,
+		Path:    "/" + strings.TrimPrefix(u.Path, "/"),
+		Options: map[string]string{},
+		Raw:     raw,
+	}
+	for k, vs := range u.Query() {
+		if len(vs) > 0 {
+			loc.Options[strings.ToLower(k)] = vs[0]
+		}
+	}
+	loc.Profile = loc.Options["profile"]
+	if loc.Profile == "" {
+		return nil, fmt.Errorf("pxf: location %q has no profile", raw)
+	}
+	return loc, nil
+}
+
+// Fragment is one parallel unit of work: an HDFS block, an HBase region,
+// or whatever the connector splits its source into (§6.3).
+type Fragment struct {
+	// Index is the fragment's position in the source.
+	Index int
+	// Source names the piece (a file path, a region name).
+	Source string
+	// Offset/Length bound the fragment within Source when applicable.
+	Offset, Length int64
+	// Hosts are locality hints (DataNode names holding the data).
+	Hosts []string
+}
+
+// Request carries the scan context to a connector: location, the target
+// schema, and the pushed-down filter rendered as text (§6.3; connectors
+// are free to ignore it — the executor re-applies the filter).
+type Request struct {
+	Loc    *Location
+	Schema *types.Schema
+	// Filter is the scan predicate pushed down by the planner ("" when
+	// none).
+	Filter string
+}
+
+// Fragmenter lists a source's fragments (§6.4).
+type Fragmenter interface {
+	Fragments(req *Request) ([]Fragment, error)
+}
+
+// Accessor reads all records of one fragment (§6.4). Records are opaque
+// bytes interpreted by the Resolver.
+type Accessor interface {
+	ReadFragment(req *Request, f Fragment, emit func(record []byte) error) error
+}
+
+// Resolver deserializes one record into a row matching the request
+// schema (§6.4).
+type Resolver interface {
+	Resolve(req *Request, record []byte) (types.Row, error)
+}
+
+// Analyzer is the optional statistics plugin (§6.4).
+type Analyzer interface {
+	Estimate(req *Request) (rows, bytes int64, err error)
+}
+
+// Connector bundles the three mandatory plugins.
+type Connector interface {
+	Fragmenter
+	Accessor
+	Resolver
+}
+
+// Engine is the PXF runtime bound into the executor: it resolves
+// profiles, assigns fragments to segments with locality awareness, and
+// drives the plugin pipeline.
+type Engine struct {
+	FS *hdfs.FileSystem
+
+	mu       sync.RWMutex
+	profiles map[string]Connector
+}
+
+// NewEngine creates a PXF engine with the built-in connectors
+// registered: "text", "csv", "json", "sequence" (HDFS formats) and
+// "hbase" when an HBase store is supplied via RegisterHBase.
+func NewEngine(fs *hdfs.FileSystem) *Engine {
+	e := &Engine{FS: fs, profiles: map[string]Connector{}}
+	e.Register("text", &TextConnector{FS: fs, Delimiter: "|"})
+	e.Register("csv", &TextConnector{FS: fs, Delimiter: ","})
+	e.Register("json", &JSONConnector{FS: fs})
+	e.Register("sequence", &SeqConnector{FS: fs})
+	return e
+}
+
+// Register adds a connector under a profile name (§6.4: user-built
+// connectors plug in the same way).
+func (e *Engine) Register(profile string, c Connector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.profiles[strings.ToLower(profile)] = c
+}
+
+// connector resolves a profile.
+func (e *Engine) connector(profile string) (Connector, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c, ok := e.profiles[strings.ToLower(profile)]
+	if !ok {
+		return nil, fmt.Errorf("pxf: no connector for profile %q", profile)
+	}
+	return c, nil
+}
+
+// assignFragments maps fragments to segments: fragments whose locality
+// hints name a segment's collocated DataNode go to that segment, the
+// rest round-robin (§6.3 data locality awareness).
+func assignFragments(frags []Fragment, numSegments int) map[int][]Fragment {
+	out := make(map[int][]Fragment, numSegments)
+	rr := 0
+	for _, f := range frags {
+		target := -1
+		for _, h := range f.Hosts {
+			// DataNode names are "dn<i>"; segment i is collocated with
+			// dn(i % numDataNodes). Prefer the exact match.
+			var dn int
+			if _, err := fmt.Sscanf(h, "dn%d", &dn); err == nil && dn < numSegments {
+				target = dn
+				break
+			}
+		}
+		if target < 0 {
+			target = rr % numSegments
+			rr++
+		}
+		out[target] = append(out[target], f)
+	}
+	return out
+}
+
+// ScanExternal implements the executor binding: reads the fragments
+// assigned to one segment and emits rows projected to scan.Proj order.
+func (e *Engine) ScanExternal(scan *plan.ExternalScan, segment int, fn func(types.Row) error) error {
+	loc, err := ParseLocation(scan.Table.Location)
+	if err != nil {
+		return err
+	}
+	c, err := e.connector(loc.Profile)
+	if err != nil {
+		return err
+	}
+	req := &Request{Loc: loc, Schema: scan.Table.Schema, Filter: scan.PushedFilter}
+	frags, err := c.Fragments(req)
+	if err != nil {
+		return err
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i].Index < frags[j].Index })
+	mine := assignFragments(frags, scan.NumSegments)[segment]
+	for _, f := range mine {
+		err := c.ReadFragment(req, f, func(record []byte) error {
+			row, err := c.Resolve(req, record)
+			if err != nil {
+				return err
+			}
+			out := make(types.Row, len(scan.Proj))
+			for i, idx := range scan.Proj {
+				out[i] = row[idx]
+			}
+			return fn(out)
+		})
+		if err != nil {
+			return fmt.Errorf("pxf: fragment %s[%d]: %w", f.Source, f.Index, err)
+		}
+	}
+	return nil
+}
+
+// AnalyzeExternal implements the engine's optional statistics hook: it
+// consults the connector's Analyzer when present (§6.3, ANALYZE on PXF
+// tables), falling back to a full count through the Accessor.
+func (e *Engine) AnalyzeExternal(desc *catalog.TableDesc) (int64, int64, error) {
+	loc, err := ParseLocation(desc.Location)
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := e.connector(loc.Profile)
+	if err != nil {
+		return 0, 0, err
+	}
+	req := &Request{Loc: loc, Schema: desc.Schema}
+	if an, ok := c.(Analyzer); ok {
+		return an.Estimate(req)
+	}
+	frags, err := c.Fragments(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	var rows, bytes int64
+	for _, f := range frags {
+		err := c.ReadFragment(req, f, func(record []byte) error {
+			rows++
+			bytes += int64(len(record))
+			return nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return rows, bytes, nil
+}

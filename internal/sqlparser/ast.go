@@ -1,0 +1,466 @@
+// Package sqlparser implements the SQL dialect HAWQ accepts: a
+// hand-written lexer and recursive-descent parser producing a pure syntax
+// tree. Semantic analysis (name resolution, typing) happens in the
+// planner, mirroring the parse → analyze → plan pipeline of §2.4.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	fmt.Stringer
+}
+
+// Expr is a syntax-level expression (unresolved names, untyped literals).
+type Expr interface {
+	expr()
+	fmt.Stringer
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct    bool
+	Projections []SelectItem
+	From        []TableRef
+	Where       Expr
+	GroupBy     []Expr
+	Having      Expr
+	OrderBy     []OrderItem
+	Limit       *int64
+	Offset      *int64
+}
+
+func (*SelectStmt) stmt() {}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, p := range s.Projections {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(f.String())
+		}
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		fmt.Fprintf(&b, " HAVING %s", s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.String())
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	if s.Offset != nil {
+		fmt.Fprintf(&b, " OFFSET %d", *s.Offset)
+	}
+	return b.String()
+}
+
+// SelectItem is one projection: an expression with an optional alias, or
+// a star.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	// TableStar is set for "t.*".
+	TableStar string
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		if s.TableStar != "" {
+			return s.TableStar + ".*"
+		}
+		return "*"
+	}
+	if s.Alias != "" {
+		return fmt.Sprintf("%s AS %s", s.Expr, s.Alias)
+	}
+	return s.Expr.String()
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Expr.String() + " DESC"
+	}
+	return o.Expr.String()
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface {
+	tableRef()
+	fmt.Stringer
+}
+
+// TableName references a base table with an optional alias.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableRef() {}
+
+func (t *TableName) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// JoinType enumerates join syntax kinds.
+type JoinType uint8
+
+// Join types.
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+var joinNames = [...]string{"JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL JOIN", "CROSS JOIN"}
+
+func (j JoinType) String() string { return joinNames[j] }
+
+// Join is an explicit join between two table refs.
+type Join struct {
+	Type        JoinType
+	Left, Right TableRef
+	On          Expr
+}
+
+func (*Join) tableRef() {}
+
+func (j *Join) String() string {
+	s := fmt.Sprintf("%s %s %s", j.Left, j.Type, j.Right)
+	if j.On != nil {
+		s += fmt.Sprintf(" ON %s", j.On)
+	}
+	return s
+}
+
+// SubqueryRef is a derived table: (SELECT ...) alias.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*SubqueryRef) tableRef() {}
+
+func (s *SubqueryRef) String() string { return fmt.Sprintf("(%s) %s", s.Select, s.Alias) }
+
+// Ident is a possibly qualified name: col or tab.col.
+type Ident struct {
+	Parts []string
+}
+
+func (*Ident) expr() {}
+
+func (i *Ident) String() string { return strings.Join(i.Parts, ".") }
+
+// Column returns the last part (the column name).
+func (i *Ident) Column() string { return i.Parts[len(i.Parts)-1] }
+
+// Qualifier returns the table qualifier or "".
+func (i *Ident) Qualifier() string {
+	if len(i.Parts) > 1 {
+		return i.Parts[len(i.Parts)-2]
+	}
+	return ""
+}
+
+// NumLit is an unparsed numeric literal.
+type NumLit struct {
+	S string
+}
+
+func (*NumLit) expr() {}
+
+func (n *NumLit) String() string { return n.S }
+
+// StrLit is a string literal.
+type StrLit struct {
+	S string
+}
+
+func (*StrLit) expr() {}
+
+func (s *StrLit) String() string { return "'" + strings.ReplaceAll(s.S, "'", "''") + "'" }
+
+// DateLit is DATE 'YYYY-MM-DD'.
+type DateLit struct {
+	S string
+}
+
+func (*DateLit) expr() {}
+
+func (d *DateLit) String() string { return "DATE '" + d.S + "'" }
+
+// IntervalLit is INTERVAL '<n>' <unit> or INTERVAL '<n> <unit>'.
+type IntervalLit struct {
+	N    int64
+	Unit string // day, month, year
+}
+
+func (*IntervalLit) expr() {}
+
+func (iv *IntervalLit) String() string {
+	return fmt.Sprintf("INTERVAL '%d' %s", iv.N, strings.ToUpper(iv.Unit))
+}
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct {
+	V bool
+}
+
+func (*BoolLit) expr() {}
+
+func (b *BoolLit) String() string {
+	if b.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+func (*NullLit) String() string { return "NULL" }
+
+// BinExpr is a binary operation, operator spelled as in SQL.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinExpr) expr() {}
+
+func (b *BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// UnExpr is NOT or unary minus.
+type UnExpr struct {
+	Op string
+	E  Expr
+}
+
+func (*UnExpr) expr() {}
+
+func (u *UnExpr) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
+
+// FuncExpr is a function call, possibly aggregate.
+type FuncExpr struct {
+	Name     string
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+func (*FuncExpr) expr() {}
+
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", f.Name, d, strings.Join(args, ", "))
+}
+
+// CaseExpr is a searched or simple CASE.
+type CaseExpr struct {
+	Operand Expr // non-nil for simple CASE
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+// CaseWhen is one WHEN arm.
+type CaseWhen struct {
+	Cond   Expr
+	Result Expr
+}
+
+func (*CaseExpr) expr() {}
+
+func (c *CaseExpr) String() string {
+	var b strings.Builder
+	b.WriteString("CASE")
+	if c.Operand != nil {
+		fmt.Fprintf(&b, " %s", c.Operand)
+	}
+	for _, w := range c.Whens {
+		fmt.Fprintf(&b, " WHEN %s THEN %s", w.Cond, w.Result)
+	}
+	if c.Else != nil {
+		fmt.Fprintf(&b, " ELSE %s", c.Else)
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+// CastExpr is CAST(e AS type).
+type CastExpr struct {
+	E        Expr
+	TypeName string
+}
+
+func (*CastExpr) expr() {}
+
+func (c *CastExpr) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.TypeName) }
+
+// IsNullExpr is "e IS [NOT] NULL".
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+func (*IsNullExpr) expr() {}
+
+func (i *IsNullExpr) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
+	}
+	return fmt.Sprintf("(%s IS NULL)", i.E)
+}
+
+// LikeExpr is "e [NOT] LIKE pattern".
+type LikeExpr struct {
+	E       Expr
+	Pattern Expr
+	Negate  bool
+}
+
+func (*LikeExpr) expr() {}
+
+func (l *LikeExpr) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s %s)", l.E, op, l.Pattern)
+}
+
+// InExpr is "e [NOT] IN (list)" or "e [NOT] IN (subquery)".
+type InExpr struct {
+	E      Expr
+	List   []Expr
+	Sub    *SelectStmt
+	Negate bool
+}
+
+func (*InExpr) expr() {}
+
+func (in *InExpr) String() string {
+	op := "IN"
+	if in.Negate {
+		op = "NOT IN"
+	}
+	if in.Sub != nil {
+		return fmt.Sprintf("(%s %s (%s))", in.E, op, in.Sub)
+	}
+	items := make([]string, len(in.List))
+	for i, it := range in.List {
+		items[i] = it.String()
+	}
+	return fmt.Sprintf("(%s %s (%s))", in.E, op, strings.Join(items, ", "))
+}
+
+// BetweenExpr is "e [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+func (*BetweenExpr) expr() {}
+
+func (b *BetweenExpr) String() string {
+	op := "BETWEEN"
+	if b.Negate {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", b.E, op, b.Lo, b.Hi)
+}
+
+// ExistsExpr is "[NOT] EXISTS (subquery)".
+type ExistsExpr struct {
+	Sub    *SelectStmt
+	Negate bool
+}
+
+func (*ExistsExpr) expr() {}
+
+func (e *ExistsExpr) String() string {
+	if e.Negate {
+		return fmt.Sprintf("(NOT EXISTS (%s))", e.Sub)
+	}
+	return fmt.Sprintf("(EXISTS (%s))", e.Sub)
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct {
+	Sub *SelectStmt
+}
+
+func (*SubqueryExpr) expr() {}
+
+func (s *SubqueryExpr) String() string { return fmt.Sprintf("(%s)", s.Sub) }
+
+// ExtractExpr is EXTRACT(field FROM e).
+type ExtractExpr struct {
+	Field string
+	E     Expr
+}
+
+func (*ExtractExpr) expr() {}
+
+func (e *ExtractExpr) String() string {
+	return fmt.Sprintf("EXTRACT(%s FROM %s)", strings.ToUpper(e.Field), e.E)
+}

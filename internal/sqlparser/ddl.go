@@ -1,0 +1,270 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	TypeName string // INT8, INTEGER, DECIMAL(15,2), CHAR(1), VARCHAR(n), DATE, TEXT, DOUBLE
+	NotNull  bool
+}
+
+func (c ColumnDef) String() string {
+	s := c.Name + " " + c.TypeName
+	if c.NotNull {
+		s += " NOT NULL"
+	}
+	return s
+}
+
+// StorageOptions carries the WITH (...) table options: storage model and
+// compression (§2.5).
+type StorageOptions struct {
+	// Orientation is "row" (AO), "column" (CO) or "parquet".
+	Orientation string
+	// CompressType names a codec: none, quicklz, zlib, snappy, gzip, rle.
+	CompressType string
+	// CompressLevel applies to zlib/gzip.
+	CompressLevel int
+}
+
+// PartitionSpec describes PARTITION BY RANGE/LIST.
+type PartitionSpec struct {
+	Column string
+	// Range partitioning.
+	IsRange    bool
+	Start, End Expr
+	EveryN     int64
+	EveryUnit  string // "month", "year", "day" for dates; "" for numeric step
+	// List partitioning.
+	ListParts []ListPartition
+}
+
+// ListPartition is one PARTITION name VALUES (...) clause.
+type ListPartition struct {
+	Name   string
+	Values []Expr
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+	// DistributedBy lists the hash-distribution columns; empty plus
+	// Randomly=false means default (first column).
+	DistributedBy []string
+	Randomly      bool
+	Storage       StorageOptions
+	Partition     *PartitionSpec
+}
+
+func (*CreateTableStmt) stmt() {}
+
+func (c *CreateTableStmt) String() string {
+	cols := make([]string, len(c.Columns))
+	for i, col := range c.Columns {
+		cols[i] = col.String()
+	}
+	s := fmt.Sprintf("CREATE TABLE %s (%s)", c.Name, strings.Join(cols, ", "))
+	if c.Randomly {
+		s += " DISTRIBUTED RANDOMLY"
+	} else if len(c.DistributedBy) > 0 {
+		s += " DISTRIBUTED BY (" + strings.Join(c.DistributedBy, ", ") + ")"
+	}
+	return s
+}
+
+// CreateExternalTableStmt is CREATE EXTERNAL TABLE ... LOCATION ('pxf://...')
+// FORMAT '...' (§6.1).
+type CreateExternalTableStmt struct {
+	Name     string
+	Columns  []ColumnDef
+	Location string
+	Format   string
+}
+
+func (*CreateExternalTableStmt) stmt() {}
+
+func (c *CreateExternalTableStmt) String() string {
+	cols := make([]string, len(c.Columns))
+	for i, col := range c.Columns {
+		cols[i] = col.String()
+	}
+	return fmt.Sprintf("CREATE EXTERNAL TABLE %s (%s) LOCATION ('%s') FORMAT '%s'",
+		c.Name, strings.Join(cols, ", "), c.Location, c.Format)
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTableStmt) stmt() {}
+
+func (d *DropTableStmt) String() string { return "DROP TABLE " + d.Name }
+
+// TruncateStmt is TRUNCATE TABLE.
+type TruncateStmt struct {
+	Name string
+}
+
+func (*TruncateStmt) stmt() {}
+
+func (t *TruncateStmt) String() string { return "TRUNCATE TABLE " + t.Name }
+
+// InsertStmt is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+func (*InsertStmt) stmt() {}
+
+func (i *InsertStmt) String() string {
+	s := "INSERT INTO " + i.Table
+	if len(i.Columns) > 0 {
+		s += " (" + strings.Join(i.Columns, ", ") + ")"
+	}
+	if i.Select != nil {
+		return s + " " + i.Select.String()
+	}
+	var rows []string
+	for _, row := range i.Rows {
+		vals := make([]string, len(row))
+		for j, e := range row {
+			vals[j] = e.String()
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return s + " VALUES " + strings.Join(rows, ", ")
+}
+
+// ExplainStmt wraps another statement.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
+func (*ExplainStmt) stmt() {}
+
+func (e *ExplainStmt) String() string { return "EXPLAIN " + e.Stmt.String() }
+
+// BeginStmt starts a transaction, optionally with an isolation level
+// ("read committed", "serializable", and the two levels that map onto
+// them, §5.1).
+type BeginStmt struct {
+	Isolation string
+}
+
+func (*BeginStmt) stmt() {}
+
+func (b *BeginStmt) String() string { return "BEGIN" }
+
+// CommitStmt commits the current transaction.
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+func (*CommitStmt) String() string { return "COMMIT" }
+
+// RollbackStmt aborts the current transaction.
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
+func (*RollbackStmt) String() string { return "ROLLBACK" }
+
+// SetStmt is SET key = value (including SET TRANSACTION ISOLATION LEVEL ...).
+type SetStmt struct {
+	Name  string
+	Value string
+}
+
+func (*SetStmt) stmt() {}
+
+func (s *SetStmt) String() string { return fmt.Sprintf("SET %s = %s", s.Name, s.Value) }
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE ...]. HAWQ user
+// tables are append-only; UPDATE exists for catalog tables via CaQL
+// (§2.2).
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one "col = expr" assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+func (u *UpdateStmt) String() string {
+	parts := make([]string, len(u.Set))
+	for i, s := range u.Set {
+		parts[i] = fmt.Sprintf("%s = %s", s.Column, s.Value)
+	}
+	out := fmt.Sprintf("UPDATE %s SET %s", u.Table, strings.Join(parts, ", "))
+	if u.Where != nil {
+		out += " WHERE " + u.Where.String()
+	}
+	return out
+}
+
+// AnalyzeStmt collects planner statistics for a table (§6.3 for PXF
+// tables; native tables too).
+type AnalyzeStmt struct {
+	Table string // empty means all tables
+}
+
+func (*AnalyzeStmt) stmt() {}
+
+func (a *AnalyzeStmt) String() string {
+	if a.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + a.Table
+}
+
+// VacuumStmt reclaims dead catalog row versions (the periodic vacuum the
+// paper mentions MVCC systems need, §5.3).
+type VacuumStmt struct{}
+
+func (*VacuumStmt) stmt() {}
+
+func (*VacuumStmt) String() string { return "VACUUM" }
+
+// ShowStmt is SHOW <name> (used for segment status etc.).
+type ShowStmt struct {
+	Name string
+}
+
+func (*ShowStmt) stmt() {}
+
+func (s *ShowStmt) String() string { return "SHOW " + s.Name }
+
+// DeleteStmt is DELETE FROM (catalog-style deletes and small user tables;
+// user tables implement it as truncate-and-rewrite since HDFS files are
+// append-only).
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+func (d *DeleteStmt) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}

@@ -1,0 +1,190 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	val  string // identifiers lowered; keywords compared case-insensitively
+	raw  string
+	pos  int
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; parse errors can then report
+// positions cheaply.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, val: s, raw: l.src[start:l.pos], pos: start})
+		case c == '"':
+			s, err := l.lexQuotedIdent()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, val: s, raw: l.src[start:l.pos], pos: start})
+		case isDigit(c) || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.lexNumber()
+			l.toks = append(l.toks, token{kind: tokNumber, val: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start})
+		case isIdentStart(c):
+			l.lexIdent()
+			raw := l.src[start:l.pos]
+			l.toks = append(l.toks, token{kind: tokIdent, val: strings.ToLower(raw), raw: raw, pos: start})
+		default:
+			op, err := l.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokOp, val: op, raw: op, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string literal at %d", l.pos)
+}
+
+func (l *lexer) lexQuotedIdent() (string, error) {
+	l.pos++
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return "", fmt.Errorf("sql: unterminated quoted identifier")
+	}
+	s := l.src[start:l.pos]
+	l.pos++
+	return s, nil
+}
+
+func (l *lexer) lexNumber() {
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	// Exponent.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+}
+
+func (l *lexer) lexIdent() {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+}
+
+var twoCharOps = map[string]bool{"<=": true, ">=": true, "<>": true, "!=": true, "||": true}
+
+func (l *lexer) lexOp() (string, error) {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharOps[two] {
+			l.pos += 2
+			if two == "!=" {
+				return "<>", nil
+			}
+			return two, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '+', '-', '*', '/', '%', '<', '>', '=', '.':
+		l.pos++
+		return string(c), nil
+	}
+	if c < 128 && unicode.IsPrint(rune(c)) {
+		return "", fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+	}
+	return "", fmt.Errorf("sql: unexpected byte 0x%02x at %d", c, l.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '$' }

@@ -1,0 +1,347 @@
+package sqlparser
+
+import "strconv"
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // create
+	if p.matchKw("external") {
+		return p.parseCreateExternal()
+	}
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	c := &CreateTableStmt{}
+	if p.matchKw("if") {
+		if err := p.expectKw("not"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("exists"); err != nil {
+			return nil, err
+		}
+		c.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	c.Name = name
+	cols, err := p.parseColumnDefs()
+	if err != nil {
+		return nil, err
+	}
+	c.Columns = cols
+	// Optional clauses in any order: WITH (...), DISTRIBUTED ..., PARTITION BY ...
+	for {
+		switch {
+		case p.matchKw("with"):
+			if err := p.parseStorageOptions(&c.Storage); err != nil {
+				return nil, err
+			}
+		case p.matchKw("distributed"):
+			if p.matchKw("randomly") {
+				c.Randomly = true
+				continue
+			}
+			if err := p.expectKw("by"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				c.DistributedBy = append(c.DistributedBy, col)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		case p.matchKw("partition"):
+			if err := p.expectKw("by"); err != nil {
+				return nil, err
+			}
+			spec, err := p.parsePartitionSpec()
+			if err != nil {
+				return nil, err
+			}
+			c.Partition = spec
+		default:
+			return c, nil
+		}
+	}
+}
+
+func (p *parser) parseColumnDefs() ([]ColumnDef, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		col := ColumnDef{Name: name, TypeName: typeName}
+		// Trailing column constraints: NOT NULL, PRIMARY KEY (accepted,
+		// the latter ignored like Greenplum does for AO tables).
+		for {
+			switch {
+			case p.matchKw("not"):
+				if err := p.expectKw("null"); err != nil {
+					return nil, err
+				}
+				col.NotNull = true
+			case p.matchKw("primary"):
+				if err := p.expectKw("key"); err != nil {
+					return nil, err
+				}
+			case p.matchKw("null"):
+			default:
+				goto doneConstraints
+			}
+		}
+	doneConstraints:
+		cols = append(cols, col)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// parseStorageOptions parses WITH (appendonly=true, orientation=column,
+// compresstype=zlib, compresslevel=5).
+func (p *parser) parseStorageOptions(s *StorageOptions) error {
+	if err := p.expectOp("("); err != nil {
+		return err
+	}
+	for {
+		key, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expectOp("="); err != nil {
+			return err
+		}
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokNumber && t.kind != tokString {
+			return p.errf("bad WITH option value")
+		}
+		val := t.val
+		switch key {
+		case "appendonly": // always true for HAWQ user tables
+		case "orientation":
+			s.Orientation = val
+		case "compresstype":
+			s.CompressType = val
+		case "compresslevel":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return p.errf("bad compresslevel %q", val)
+			}
+			s.CompressLevel = n
+		default:
+			return p.errf("unknown WITH option %q", key)
+		}
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	return p.expectOp(")")
+}
+
+// parsePartitionSpec parses RANGE and LIST partition clauses:
+//
+//	PARTITION BY RANGE (date)
+//	  (START (DATE '2008-01-01') INCLUSIVE
+//	   END (DATE '2009-01-01') EXCLUSIVE
+//	   EVERY (INTERVAL '1 month'))
+//
+//	PARTITION BY LIST (region)
+//	  (PARTITION asia VALUES ('CHINA','JAPAN'), PARTITION emea VALUES ('UK'))
+func (p *parser) parsePartitionSpec() (*PartitionSpec, error) {
+	spec := &PartitionSpec{}
+	switch {
+	case p.matchKw("range"):
+		spec.IsRange = true
+	case p.matchKw("list"):
+	default:
+		return nil, p.errf("expected RANGE or LIST")
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	spec.Column = col
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if spec.IsRange {
+		if err := p.expectKw("start"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		start, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		spec.Start = start
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		p.matchKw("inclusive")
+		if err := p.expectKw("end"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		end, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		spec.End = end
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		p.matchKw("exclusive")
+		if err := p.expectKw("every"); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		every, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		switch e := every.(type) {
+		case *IntervalLit:
+			spec.EveryN, spec.EveryUnit = e.N, e.Unit
+		case *NumLit:
+			n, err := strconv.ParseInt(e.S, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad EVERY step %q", e.S)
+			}
+			spec.EveryN = n
+		default:
+			return nil, p.errf("EVERY requires an interval or integer")
+		}
+	} else {
+		for {
+			if err := p.expectKw("partition"); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("values"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			lp := ListPartition{Name: name}
+			for {
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lp.Values = append(lp.Values, v)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			spec.ListParts = append(spec.ListParts, lp)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseCreateExternal parses CREATE EXTERNAL TABLE name (cols) LOCATION
+// ('pxf://...') FORMAT 'CUSTOM' (§6.1). Format options in parentheses are
+// accepted and recorded verbatim.
+func (p *parser) parseCreateExternal() (Statement, error) {
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := p.parseColumnDefs()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("location"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	loc := p.next()
+	if loc.kind != tokString {
+		return nil, p.errf("LOCATION requires a string")
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	c := &CreateExternalTableStmt{Name: name, Columns: cols, Location: loc.val}
+	if p.matchKw("format") {
+		f := p.next()
+		if f.kind != tokString {
+			return nil, p.errf("FORMAT requires a string")
+		}
+		c.Format = f.val
+		// Optional formatter options: (formatter='pxfwritable_import').
+		if p.matchOp("(") {
+			depth := 1
+			for depth > 0 {
+				t := p.next()
+				if t.kind == tokEOF {
+					return nil, p.errf("unterminated FORMAT options")
+				}
+				if t.kind == tokOp && t.val == "(" {
+					depth++
+				}
+				if t.kind == tokOp && t.val == ")" {
+					depth--
+				}
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,502 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parseExpr parses a full expression (OR precedence level).
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.matchKw("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.matchKw("not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "not", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses comparisons and SQL predicates (LIKE, IN,
+// BETWEEN, IS NULL) over additive expressions.
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.peekKw("exists") {
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Sub: sel}, nil
+	}
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		negate := false
+		if p.peekKw("not") && (p.peek2().val == "like" || p.peek2().val == "in" || p.peek2().val == "between") {
+			p.next()
+			negate = true
+		}
+		switch {
+		case p.matchKw("like"):
+			pat, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &LikeExpr{E: left, Pattern: pat, Negate: negate}
+		case p.matchKw("in"):
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			in := &InExpr{E: left, Negate: negate}
+			if p.peekKw("select") {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				in.Sub = sel
+			} else {
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					in.List = append(in.List, e)
+					if !p.matchOp(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			left = in
+		case p.matchKw("between"):
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("and"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = &BetweenExpr{E: left, Lo: lo, Hi: hi, Negate: negate}
+		case p.matchKw("is"):
+			neg := p.matchKw("not")
+			if err := p.expectKw("null"); err != nil {
+				return nil, err
+			}
+			left = &IsNullExpr{E: left, Negate: neg}
+		case p.peekOp("=") || p.peekOp("<>") || p.peekOp("<") || p.peekOp("<=") || p.peekOp(">") || p.peekOp(">="):
+			op := p.next().val
+			// Comparison against a scalar subquery: x = (SELECT ...).
+			var right Expr
+			if p.peekOp("(") && p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokIdent && p.toks[p.i+1].val == "select" {
+				p.next()
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				right = &SubqueryExpr{Sub: sel}
+			} else {
+				var err error
+				right, err = p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+			}
+			left = &BinExpr{Op: op, L: left, R: right}
+		default:
+			return left, nil
+		}
+		if negate {
+			// The negate flag was consumed by LIKE/IN/BETWEEN above.
+			continue
+		}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.matchOp("+"):
+			op = "+"
+		case p.matchOp("-"):
+			op = "-"
+		case p.matchOp("||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.matchOp("*"):
+			op = "*"
+		case p.matchOp("/"):
+			op = "/"
+		case p.matchOp("%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.matchOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: "-", E: e}, nil
+	}
+	p.matchOp("+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return &NumLit{S: t.val}, nil
+	case tokString:
+		p.next()
+		return &StrLit{S: t.val}, nil
+	case tokOp:
+		if t.val == "(" {
+			p.next()
+			if p.peekKw("select") {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Sub: sel}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q", t.val)
+	case tokIdent:
+		switch t.val {
+		case "null":
+			p.next()
+			return &NullLit{}, nil
+		case "true":
+			p.next()
+			return &BoolLit{V: true}, nil
+		case "false":
+			p.next()
+			return &BoolLit{V: false}, nil
+		case "date":
+			// DATE 'YYYY-MM-DD'
+			if p.peek2().kind == tokString {
+				p.next()
+				lit := p.next()
+				return &DateLit{S: lit.val}, nil
+			}
+		case "interval":
+			return p.parseInterval()
+		case "case":
+			return p.parseCase()
+		case "cast":
+			return p.parseCast()
+		case "extract":
+			return p.parseExtract()
+		}
+		// Function call or (qualified) identifier; reserved clause
+		// keywords cannot start an expression.
+		if reservedAfterExpr[t.val] {
+			return nil, p.errf("unexpected keyword %s", strings.ToUpper(t.val))
+		}
+		if p.peek2().kind == tokOp && p.peek2().val == "(" {
+			return p.parseFuncCall()
+		}
+		return p.parseIdent()
+	}
+	return nil, p.errf("unexpected token")
+}
+
+func (p *parser) parseIdent() (Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	parts := []string{name}
+	for p.peekOp(".") && p.peek2().kind == tokIdent {
+		p.next()
+		part, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	return &Ident{Parts: parts}, nil
+}
+
+func (p *parser) parseFuncCall() (Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	f := &FuncExpr{Name: name}
+	if p.matchOp("*") {
+		f.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.matchOp(")") {
+		return f, nil
+	}
+	if p.matchKw("distinct") {
+		f.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseInterval accepts INTERVAL '3' MONTH, INTERVAL '3 month', and
+// INTERVAL '1 year'.
+func (p *parser) parseInterval() (Expr, error) {
+	p.next() // interval
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errf("expected interval literal")
+	}
+	p.next()
+	body := strings.TrimSpace(t.val)
+	var numPart, unitPart string
+	if i := strings.IndexByte(body, ' '); i >= 0 {
+		numPart, unitPart = body[:i], strings.TrimSpace(body[i+1:])
+	} else {
+		numPart = body
+	}
+	if unitPart == "" {
+		// Unit follows as a keyword: INTERVAL '3' MONTH.
+		u := p.peek()
+		if u.kind != tokIdent {
+			return nil, p.errf("expected interval unit")
+		}
+		p.next()
+		unitPart = u.val
+	}
+	n, err := strconv.ParseInt(numPart, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad interval count %q", numPart)
+	}
+	unit := strings.ToLower(strings.TrimSuffix(unitPart, "s"))
+	switch unit {
+	case "day", "month", "year":
+	default:
+		return nil, p.errf("unsupported interval unit %q", unitPart)
+	}
+	return &IntervalLit{N: n, Unit: unit}, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	p.next() // case
+	c := &CaseExpr{}
+	if !p.peekKw("when") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.matchKw("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.matchKw("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCast() (Expr, error) {
+	p.next() // cast
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("as"); err != nil {
+		return nil, err
+	}
+	typeName, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{E: e, TypeName: typeName}, nil
+}
+
+func (p *parser) parseExtract() (Expr, error) {
+	p.next() // extract
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	field, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &ExtractExpr{Field: field, E: e}, nil
+}
+
+// parseTypeName parses a SQL type, including parameterized forms like
+// DECIMAL(15,2), CHAR(1) and DOUBLE PRECISION; the textual form is kept
+// for the planner to resolve.
+func (p *parser) parseTypeName() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if name == "double" && p.matchKw("precision") {
+		name = "double precision"
+	}
+	if p.matchOp("(") {
+		var args []string
+		for {
+			n, err := p.parseInt()
+			if err != nil {
+				return "", err
+			}
+			args = append(args, strconv.FormatInt(n, 10))
+			if !p.matchOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return "", err
+		}
+		name += "(" + strings.Join(args, ",") + ")"
+	}
+	return name, nil
+}

@@ -1,0 +1,655 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a semicolon-separated sequence of SQL statements.
+func Parse(sql string) ([]Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: sql}
+	var stmts []Statement
+	for {
+		for p.matchOp(";") {
+		}
+		if p.peek().kind == tokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.matchOp(";") && p.peek().kind != tokEOF {
+			return nil, p.errf("expected ';' or end of input")
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(sql string) (Statement, error) {
+	stmts, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peek2() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	near := t.raw
+	if t.kind == tokEOF {
+		near = "end of input"
+	}
+	return fmt.Errorf("sql: %s (near %q at offset %d)", fmt.Sprintf(format, args...), near, t.pos)
+}
+
+// matchKw consumes the given keyword (case-insensitive) if present.
+func (p *parser) matchKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && t.val == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// peekKw reports whether the next token is the keyword.
+func (p *parser) peekKw(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.val == kw
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.matchKw(kw) {
+		return p.errf("expected %s", strings.ToUpper(kw))
+	}
+	return nil
+}
+
+func (p *parser) matchOp(op string) bool {
+	t := p.peek()
+	if t.kind == tokOp && t.val == op {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.val == op
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.matchOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	p.i++
+	return t.val, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected statement")
+	}
+	switch t.val {
+	case "select":
+		return p.parseSelect()
+	case "create":
+		return p.parseCreate()
+	case "drop":
+		return p.parseDrop()
+	case "insert":
+		return p.parseInsert()
+	case "delete":
+		return p.parseDelete()
+	case "update":
+		return p.parseUpdate()
+	case "explain":
+		p.next()
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Stmt: inner}, nil
+	case "begin", "start":
+		return p.parseBegin()
+	case "commit", "end":
+		p.next()
+		p.matchKw("transaction")
+		p.matchKw("work")
+		return &CommitStmt{}, nil
+	case "rollback", "abort":
+		p.next()
+		p.matchKw("transaction")
+		p.matchKw("work")
+		return &RollbackStmt{}, nil
+	case "set":
+		return p.parseSet()
+	case "analyze":
+		p.next()
+		if p.peek().kind == tokIdent {
+			name, _ := p.ident()
+			return &AnalyzeStmt{Table: name}, nil
+		}
+		return &AnalyzeStmt{}, nil
+	case "truncate":
+		p.next()
+		p.matchKw("table")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &TruncateStmt{Name: name}, nil
+	case "show":
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ShowStmt{Name: name}, nil
+	case "vacuum":
+		p.next()
+		return &VacuumStmt{}, nil
+	}
+	return nil, p.errf("unsupported statement %q", t.raw)
+}
+
+func (p *parser) parseBegin() (Statement, error) {
+	p.next()
+	p.matchKw("transaction")
+	p.matchKw("work")
+	b := &BeginStmt{}
+	if p.matchKw("isolation") {
+		if err := p.expectKw("level"); err != nil {
+			return nil, err
+		}
+		lvl, err := p.parseIsolationLevel()
+		if err != nil {
+			return nil, err
+		}
+		b.Isolation = lvl
+	}
+	return b, nil
+}
+
+func (p *parser) parseIsolationLevel() (string, error) {
+	switch {
+	case p.matchKw("serializable"):
+		return "serializable", nil
+	case p.matchKw("read"):
+		if p.matchKw("committed") {
+			return "read committed", nil
+		}
+		if p.matchKw("uncommitted") {
+			return "read uncommitted", nil
+		}
+	case p.matchKw("repeatable"):
+		if p.matchKw("read") {
+			return "repeatable read", nil
+		}
+	}
+	return "", p.errf("bad isolation level")
+}
+
+func (p *parser) parseSet() (Statement, error) {
+	p.next()
+	if p.matchKw("transaction") {
+		if err := p.expectKw("isolation"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("level"); err != nil {
+			return nil, err
+		}
+		lvl, err := p.parseIsolationLevel()
+		if err != nil {
+			return nil, err
+		}
+		return &SetStmt{Name: "transaction_isolation", Value: lvl}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if !p.matchOp("=") {
+		p.matchKw("to")
+	}
+	t := p.next()
+	if t.kind != tokIdent && t.kind != tokString && t.kind != tokNumber {
+		return nil, p.errf("expected SET value")
+	}
+	return &SetStmt{Name: name, Value: t.val}, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next()
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	d := &DropTableStmt{}
+	if p.matchKw("if") {
+		if err := p.expectKw("exists"); err != nil {
+			return nil, err
+		}
+		d.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name
+	return d, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next()
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeleteStmt{Table: name}
+	if p.matchKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = w
+	}
+	return d, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	u := &UpdateStmt{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Set = append(u.Set, SetClause{Column: col, Value: v})
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if p.matchKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		u.Where = w
+	}
+	return u, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next()
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	if p.matchOp("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.matchKw("values") {
+		for {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.matchOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			ins.Rows = append(ins.Rows, row)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+		return ins, nil
+	}
+	if p.peekKw("select") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Select = sel
+		return ins, nil
+	}
+	return nil, p.errf("expected VALUES or SELECT")
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.matchKw("distinct") {
+		s.Distinct = true
+	} else {
+		p.matchKw("all")
+	}
+	// Projections.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Projections = append(s.Projections, item)
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if p.matchKw("from") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, tr)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.matchKw("group") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("having") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.matchKw("order") {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.matchKw("desc") {
+				item.Desc = true
+			} else {
+				p.matchKw("asc")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.matchOp(",") {
+				break
+			}
+		}
+	}
+	if p.matchKw("limit") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = &n
+	}
+	if p.matchKw("offset") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = &n
+	}
+	return s, nil
+}
+
+func (p *parser) parseInt() (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected integer")
+	}
+	p.i++
+	v, err := strconv.ParseInt(t.val, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.val)
+	}
+	return v, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.matchOp("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// "t.*"
+	if p.peek().kind == tokIdent && p.peek2().kind == tokOp && p.peek2().val == "." {
+		if p.i+2 < len(p.toks) && p.toks[p.i+2].kind == tokOp && p.toks[p.i+2].val == "*" {
+			name, _ := p.ident()
+			p.next() // .
+			p.next() // *
+			return SelectItem{Star: true, TableStar: name}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.matchKw("as") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().kind == tokIdent && !reservedAfterExpr[p.peek().val] {
+		a, _ := p.ident()
+		item.Alias = a
+	}
+	return item, nil
+}
+
+// reservedAfterExpr lists keywords that end an expression context, so a
+// bare identifier is only treated as an implicit alias when not in this
+// set.
+var reservedAfterExpr = map[string]bool{
+	"from": true, "where": true, "group": true, "having": true, "order": true,
+	"limit": true, "offset": true, "on": true, "and": true, "or": true, "as": true,
+	"join": true, "inner": true, "left": true, "right": true, "full": true,
+	"cross": true, "union": true, "when": true, "then": true, "else": true,
+	"end": true, "asc": true, "desc": true, "distributed": true, "partition": true,
+	"not": true, "like": true, "in": true, "between": true, "is": true,
+	"inclusive": true, "exclusive": true, "every": true, "values": true, "select": true,
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var jt JoinType
+		switch {
+		case p.matchKw("join"):
+			jt = JoinInner
+		case p.peekKw("inner") && p.peek2().val == "join":
+			p.next()
+			p.next()
+			jt = JoinInner
+		case p.peekKw("left"):
+			p.next()
+			p.matchKw("outer")
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			jt = JoinLeft
+		case p.peekKw("right"):
+			p.next()
+			p.matchKw("outer")
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			jt = JoinRight
+		case p.peekKw("full"):
+			p.next()
+			p.matchKw("outer")
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			jt = JoinFull
+		case p.peekKw("cross"):
+			p.next()
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			jt = JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &Join{Type: jt, Left: left, Right: right}
+		if jt != JoinCross {
+			if err := p.expectKw("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	if p.matchOp("(") {
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		p.matchKw("as")
+		alias, err := p.ident()
+		if err != nil {
+			return nil, p.errf("derived table requires an alias")
+		}
+		return &SubqueryRef{Select: sel, Alias: alias}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := &TableName{Name: name}
+	if p.matchKw("as") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t.Alias = a
+	} else if p.peek().kind == tokIdent && !reservedAfterExpr[p.peek().val] {
+		a, _ := p.ident()
+		t.Alias = a
+	}
+	return t, nil
+}

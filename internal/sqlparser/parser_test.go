@@ -1,0 +1,393 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseSel(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	s, err := ParseOne(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	sel, ok := s.(*SelectStmt)
+	if !ok {
+		t.Fatalf("got %T, want *SelectStmt", s)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := parseSel(t, "SELECT a, b AS bee, t.c FROM t WHERE a > 5 ORDER BY a DESC LIMIT 10")
+	if len(s.Projections) != 3 {
+		t.Fatalf("projections = %d", len(s.Projections))
+	}
+	if s.Projections[1].Alias != "bee" {
+		t.Errorf("alias = %q", s.Projections[1].Alias)
+	}
+	if id, ok := s.Projections[2].Expr.(*Ident); !ok || id.Qualifier() != "t" || id.Column() != "c" {
+		t.Errorf("qualified ident = %v", s.Projections[2].Expr)
+	}
+	if s.Where == nil || len(s.OrderBy) != 1 || !s.OrderBy[0].Desc || s.Limit == nil || *s.Limit != 10 {
+		t.Errorf("clauses wrong: %+v", s)
+	}
+}
+
+func TestParseStarAndDistinct(t *testing.T) {
+	s := parseSel(t, "SELECT DISTINCT * FROM t")
+	if !s.Distinct || !s.Projections[0].Star {
+		t.Errorf("distinct star: %+v", s)
+	}
+	s = parseSel(t, "SELECT t.* FROM t")
+	if !s.Projections[0].Star || s.Projections[0].TableStar != "t" {
+		t.Errorf("table star: %+v", s.Projections[0])
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	s := parseSel(t, "SELECT a total FROM orders o, lineitem l WHERE o.k = l.k")
+	if s.Projections[0].Alias != "total" {
+		t.Errorf("implicit alias = %q", s.Projections[0].Alias)
+	}
+	if len(s.From) != 2 {
+		t.Fatalf("from = %d items", len(s.From))
+	}
+	if tn := s.From[0].(*TableName); tn.Name != "orders" || tn.Alias != "o" {
+		t.Errorf("table = %+v", tn)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	s := parseSel(t, `SELECT c.name, count(o.id)
+		FROM customer c LEFT OUTER JOIN orders o ON c.id = o.cust_id AND o.comment NOT LIKE '%special%'
+		GROUP BY c.name`)
+	j, ok := s.From[0].(*Join)
+	if !ok || j.Type != JoinLeft {
+		t.Fatalf("join = %+v", s.From[0])
+	}
+	if j.On == nil {
+		t.Fatal("missing ON")
+	}
+	s = parseSel(t, "SELECT a FROM x JOIN y ON x.i = y.i JOIN z ON y.j = z.j")
+	outer, ok := s.From[0].(*Join)
+	if !ok {
+		t.Fatal("expected join tree")
+	}
+	if _, ok := outer.Left.(*Join); !ok {
+		t.Error("joins must left-associate")
+	}
+	s = parseSel(t, "SELECT a FROM x CROSS JOIN y")
+	if j := s.From[0].(*Join); j.Type != JoinCross || j.On != nil {
+		t.Errorf("cross join = %+v", j)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := parseSel(t, "SELECT 1 + 2 * 3 FROM t")
+	b := s.Projections[0].Expr.(*BinExpr)
+	if b.Op != "+" {
+		t.Fatalf("top op = %s", b.Op)
+	}
+	if inner := b.R.(*BinExpr); inner.Op != "*" {
+		t.Errorf("inner op = %s", inner.Op)
+	}
+	// AND binds tighter than OR; NOT tighter than AND.
+	s = parseSel(t, "SELECT a FROM t WHERE NOT x = 1 AND y = 2 OR z = 3")
+	or := s.Where.(*BinExpr)
+	if or.Op != "or" {
+		t.Fatalf("top = %s", or.Op)
+	}
+	and := or.L.(*BinExpr)
+	if and.Op != "and" {
+		t.Fatalf("left = %s", and.Op)
+	}
+	if _, ok := and.L.(*UnExpr); !ok {
+		t.Error("NOT did not bind to comparison")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := parseSel(t, `SELECT a FROM t WHERE a BETWEEN 1 AND 10
+		AND b LIKE 'x%' AND c NOT IN (1, 2) AND d IS NOT NULL AND e NOT BETWEEN 5 AND 6`)
+	if s.Where == nil {
+		t.Fatal("no where")
+	}
+	str := s.Where.String()
+	for _, want := range []string{"BETWEEN", "LIKE", "NOT IN", "IS NOT NULL", "NOT BETWEEN"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("where %q missing %s", str, want)
+		}
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	s := parseSel(t, "SELECT a FROM t WHERE k IN (SELECT k FROM u WHERE v > 0)")
+	in := s.Where.(*InExpr)
+	if in.Sub == nil {
+		t.Fatal("IN subquery missing")
+	}
+	s = parseSel(t, "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.k = t.k)")
+	if _, ok := s.Where.(*ExistsExpr); !ok {
+		t.Fatalf("exists = %T", s.Where)
+	}
+	s = parseSel(t, "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+	un := s.Where.(*UnExpr)
+	if _, ok := un.E.(*ExistsExpr); !ok {
+		t.Fatalf("not exists = %T", un.E)
+	}
+	s = parseSel(t, "SELECT a FROM t WHERE x > (SELECT avg(y) FROM u)")
+	cmp := s.Where.(*BinExpr)
+	if _, ok := cmp.R.(*SubqueryExpr); !ok {
+		t.Fatalf("scalar subquery = %T", cmp.R)
+	}
+	s = parseSel(t, "SELECT q.a FROM (SELECT a FROM t) q")
+	if sq, ok := s.From[0].(*SubqueryRef); !ok || sq.Alias != "q" {
+		t.Fatalf("derived table = %+v", s.From[0])
+	}
+}
+
+func TestParseLiteralsAndFuncs(t *testing.T) {
+	s := parseSel(t, `SELECT DATE '1995-01-01', INTERVAL '3' MONTH, INTERVAL '1 year',
+		count(*), sum(DISTINCT x), extract(year FROM d),
+		CASE WHEN a = 1 THEN 'one' ELSE 'other' END,
+		CAST(x AS DECIMAL(15,2)), substring(s, 1, 2), 'it''s', NULL, TRUE
+		FROM t`)
+	ps := s.Projections
+	if _, ok := ps[0].Expr.(*DateLit); !ok {
+		t.Errorf("date lit = %T", ps[0].Expr)
+	}
+	iv := ps[1].Expr.(*IntervalLit)
+	if iv.N != 3 || iv.Unit != "month" {
+		t.Errorf("interval = %+v", iv)
+	}
+	iv = ps[2].Expr.(*IntervalLit)
+	if iv.N != 1 || iv.Unit != "year" {
+		t.Errorf("interval = %+v", iv)
+	}
+	if f := ps[3].Expr.(*FuncExpr); !f.Star {
+		t.Error("count(*) star flag")
+	}
+	if f := ps[4].Expr.(*FuncExpr); !f.Distinct {
+		t.Error("sum distinct flag")
+	}
+	if e := ps[5].Expr.(*ExtractExpr); e.Field != "year" {
+		t.Errorf("extract = %+v", e)
+	}
+	if c := ps[6].Expr.(*CaseExpr); len(c.Whens) != 1 || c.Else == nil {
+		t.Errorf("case = %+v", c)
+	}
+	if c := ps[7].Expr.(*CastExpr); c.TypeName != "decimal(15,2)" {
+		t.Errorf("cast type = %q", c.TypeName)
+	}
+	if sl := ps[9].Expr.(*StrLit); sl.S != "it's" {
+		t.Errorf("escaped string = %q", sl.S)
+	}
+	if _, ok := ps[10].Expr.(*NullLit); !ok {
+		t.Error("null literal")
+	}
+	if b := ps[11].Expr.(*BoolLit); !b.V {
+		t.Error("bool literal")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := ParseOne(`CREATE TABLE orders (
+		o_orderkey INT8 NOT NULL,
+		o_custkey INTEGER NOT NULL,
+		o_orderstatus CHAR(1) NOT NULL,
+		o_totalprice DECIMAL(15,2) NOT NULL,
+		o_orderdate DATE NOT NULL,
+		o_comment VARCHAR(79) NOT NULL
+	) WITH (appendonly=true, orientation=column, compresstype=zlib, compresslevel=5)
+	DISTRIBUTED BY (o_orderkey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stmt.(*CreateTableStmt)
+	if c.Name != "orders" || len(c.Columns) != 6 {
+		t.Fatalf("create = %+v", c)
+	}
+	if !c.Columns[0].NotNull || c.Columns[0].TypeName != "int8" {
+		t.Errorf("col0 = %+v", c.Columns[0])
+	}
+	if c.Columns[3].TypeName != "decimal(15,2)" {
+		t.Errorf("col3 type = %q", c.Columns[3].TypeName)
+	}
+	if c.Storage.Orientation != "column" || c.Storage.CompressType != "zlib" || c.Storage.CompressLevel != 5 {
+		t.Errorf("storage = %+v", c.Storage)
+	}
+	if len(c.DistributedBy) != 1 || c.DistributedBy[0] != "o_orderkey" {
+		t.Errorf("distribution = %v", c.DistributedBy)
+	}
+}
+
+func TestParseCreateTablePartitioned(t *testing.T) {
+	stmt, err := ParseOne(`CREATE TABLE sales (id INT, date DATE, amt DECIMAL(10,2))
+		DISTRIBUTED BY (id)
+		PARTITION BY RANGE (date)
+		(START (DATE '2008-01-01') INCLUSIVE
+		 END (DATE '2009-01-01') EXCLUSIVE
+		 EVERY (INTERVAL '1 month'))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stmt.(*CreateTableStmt)
+	if c.Partition == nil || !c.Partition.IsRange || c.Partition.Column != "date" {
+		t.Fatalf("partition = %+v", c.Partition)
+	}
+	if c.Partition.EveryN != 1 || c.Partition.EveryUnit != "month" {
+		t.Errorf("every = %+v", c.Partition)
+	}
+	stmt, err = ParseOne(`CREATE TABLE r (k INT, region TEXT)
+		PARTITION BY LIST (region)
+		(PARTITION asia VALUES ('CHINA', 'JAPAN'), PARTITION emea VALUES ('UK'))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = stmt.(*CreateTableStmt)
+	if len(c.Partition.ListParts) != 2 || c.Partition.ListParts[0].Name != "asia" {
+		t.Errorf("list parts = %+v", c.Partition.ListParts)
+	}
+	if len(c.Partition.ListParts[0].Values) != 2 {
+		t.Errorf("asia values = %+v", c.Partition.ListParts[0])
+	}
+}
+
+func TestParseCreateExternal(t *testing.T) {
+	stmt, err := ParseOne(`CREATE EXTERNAL TABLE my_hbase_sales (
+		recordkey BYTEA, "details:storeid" INT, "details:price" DOUBLE PRECISION)
+		LOCATION ('pxf://localhost/sales?profile=HBase')
+		FORMAT 'CUSTOM' (formatter='pxfwritable_import')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := stmt.(*CreateExternalTableStmt)
+	if c.Name != "my_hbase_sales" || len(c.Columns) != 3 {
+		t.Fatalf("external = %+v", c)
+	}
+	if c.Columns[1].Name != "details:storeid" {
+		t.Errorf("quoted column = %q", c.Columns[1].Name)
+	}
+	if c.Location != "pxf://localhost/sales?profile=HBase" || c.Format != "CUSTOM" {
+		t.Errorf("loc/format = %q %q", c.Location, c.Format)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := ParseOne("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	stmt, err = ParseOne("INSERT INTO t SELECT a, b FROM u WHERE a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*InsertStmt).Select == nil {
+		t.Error("insert-select missing select")
+	}
+}
+
+func TestParseTransactionsAndMisc(t *testing.T) {
+	stmts, err := Parse(`BEGIN; COMMIT; ROLLBACK;
+		BEGIN TRANSACTION ISOLATION LEVEL SERIALIZABLE;
+		SET transaction ISOLATION LEVEL READ COMMITTED;
+		ANALYZE lineitem; TRUNCATE TABLE t; DROP TABLE IF EXISTS t;
+		EXPLAIN SELECT 1; SHOW segments; DELETE FROM t WHERE a = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 11 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	if b := stmts[3].(*BeginStmt); b.Isolation != "serializable" {
+		t.Errorf("begin isolation = %q", b.Isolation)
+	}
+	if s := stmts[4].(*SetStmt); s.Value != "read committed" {
+		t.Errorf("set = %+v", s)
+	}
+	if d := stmts[10].(*DeleteStmt); d.Table != "t" || d.Where == nil {
+		t.Errorf("delete = %+v", d)
+	}
+}
+
+func TestParseTPCHQ6Shape(t *testing.T) {
+	s := parseSel(t, `SELECT sum(l_extendedprice * l_discount) AS revenue
+		FROM lineitem
+		WHERE l_shipdate >= DATE '1994-01-01'
+		  AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+		  AND l_discount BETWEEN 0.06 - 0.01 AND 0.06 + 0.01
+		  AND l_quantity < 24`)
+	if s.Projections[0].Alias != "revenue" {
+		t.Errorf("alias = %q", s.Projections[0].Alias)
+	}
+	if s.Where == nil {
+		t.Fatal("no where")
+	}
+}
+
+func TestParseTPCHQ5Shape(t *testing.T) {
+	s := parseSel(t, `SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM customer, orders, lineitem, supplier, nation, region
+		WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+		  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+		  AND r_name = 'ASIA' AND o_orderdate >= DATE '1994-01-01'
+		  AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+		GROUP BY n_name ORDER BY revenue DESC`)
+	if len(s.From) != 6 || len(s.GroupBy) != 1 || len(s.OrderBy) != 1 {
+		t.Fatalf("shape: from=%d group=%d order=%d", len(s.From), len(s.GroupBy), len(s.OrderBy))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"CREATE TABLE t",
+		"SELECT a FROM t WHERE",
+		"INSERT INTO t",
+		"SELECT a FROM t GROUP",
+		"SELECT 'unterminated",
+		"CREATE TABLE t (a INT) WITH (bogus=1)",
+		"SELECT a FROM (SELECT b FROM t)", // derived table needs alias
+		"SELECT CASE END FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("no error for %q", sql)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := parseSel(t, `SELECT a -- trailing comment
+		/* block
+		   comment */ FROM t`)
+	if len(s.From) != 1 {
+		t.Fatal("comment handling broke FROM")
+	}
+}
+
+func TestStringRoundTripReparses(t *testing.T) {
+	queries := []string{
+		"SELECT a, sum(b) AS s FROM t WHERE a > 1 GROUP BY a HAVING sum(b) > 2 ORDER BY s DESC LIMIT 5",
+		"SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y",
+		"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+		"INSERT INTO t (a) VALUES (1)",
+	}
+	for _, q := range queries {
+		s, err := ParseOne(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := ParseOne(s.String()); err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", q, s.String(), err)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package stinger
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"hawq/internal/catalog"
+	"hawq/internal/hdfs"
+	"hawq/internal/storage"
+	"hawq/internal/types"
+)
+
+// Table is one warehouse table stored in the ORC-like columnar format.
+type Table struct {
+	Name   string
+	Schema *types.Schema
+	sf     catalog.SegFile
+}
+
+// Engine is the SQL layer over the MapReduce runtime: a rule-based
+// translator in the spirit of Hive/Stinger (§8.1).
+type Engine struct {
+	FS *hdfs.FileSystem
+	rt *Runtime
+
+	mu     sync.Mutex
+	tables map[string]*Table
+	tmpSeq int
+	// JobsRun counts MapReduce jobs, for tests and EXPERIMENTS.md.
+	JobsRun int
+}
+
+// NewEngine creates a Stinger engine over its own warehouse directory.
+func NewEngine(fs *hdfs.FileSystem, cfg Config) (*Engine, error) {
+	rt, err := NewRuntime(fs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{FS: fs, rt: rt, tables: map[string]*Table{}}, nil
+}
+
+// Close releases the runtime.
+func (e *Engine) Close() { e.rt.Close() }
+
+// orcSpec is the table storage: the paper's Stinger uses ORCFile; our
+// stand-in is the PAX row-group format with zlib, ORC's default codec.
+var orcSpec = catalog.StorageSpec{Orientation: catalog.OrientParquet, Codec: "zlib-1"}
+
+// LoadTable writes rows into the warehouse as one ORC-like file.
+func (e *Engine) LoadTable(name string, schema *types.Schema, rows []types.Row) error {
+	name = strings.ToLower(name)
+	sf := catalog.SegFile{Path: "/stinger/warehouse/" + name}
+	if e.FS.Exists(sf.Path) {
+		if err := e.FS.Delete(sf.Path, false); err != nil {
+			return err
+		}
+	}
+	w, err := storage.NewWriter(e.FS, orcSpec, schema, sf, hdfs.CreateOptions{})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cast := make(types.Row, len(r))
+		for i, d := range r {
+			v, err := types.Cast(d, schema.Columns[i].Kind)
+			if err != nil {
+				w.Close()
+				return fmt.Errorf("stinger: load %s: %w", name, err)
+			}
+			cast[i] = v
+		}
+		if err := w.Append(cast); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	sf.LogicalLen, sf.ColLens = w.Lens()
+	sf.Tuples = w.Tuples()
+	e.mu.Lock()
+	e.tables[name] = &Table{Name: name, Schema: schema, sf: sf}
+	e.mu.Unlock()
+	return nil
+}
+
+// AppendTable appends more rows to an existing table (bulk loads arrive
+// in batches).
+func (e *Engine) AppendTable(name string, rows []types.Row) error {
+	e.mu.Lock()
+	t, ok := e.tables[strings.ToLower(name)]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("stinger: no table %q", name)
+	}
+	w, err := storage.NewWriter(e.FS, orcSpec, t.Schema, t.sf, hdfs.CreateOptions{})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cast := make(types.Row, len(r))
+		for i, d := range r {
+			v, err := types.Cast(d, t.Schema.Columns[i].Kind)
+			if err != nil {
+				w.Close()
+				return err
+			}
+			cast[i] = v
+		}
+		if err := w.Append(cast); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	t.sf.LogicalLen, t.sf.ColLens = w.Lens()
+	t.sf.Tuples = w.Tuples()
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Engine) table(name string) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("stinger: no table %q", name)
+	}
+	return t, nil
+}
+
+// tmpPath allocates an intermediate output directory.
+func (e *Engine) tmpPath(stage string) string {
+	e.mu.Lock()
+	e.tmpSeq++
+	n := e.tmpSeq
+	e.mu.Unlock()
+	return fmt.Sprintf("/stinger/tmp/%d-%s", n, stage)
+}
+
+func (e *Engine) runJob(job JobSpec) ([]string, error) {
+	e.mu.Lock()
+	e.JobsRun++
+	e.mu.Unlock()
+	return e.rt.Run(job)
+}
+
+// readAll reads every row of a set of part files.
+func (e *Engine) readAll(parts []string) ([]types.Row, error) {
+	var out []types.Row
+	err := readSeqSplit(e.FS, parts, 0, 1, func(r types.Row) error {
+		out = append(out, r.Clone())
+		return nil
+	})
+	return out, err
+}

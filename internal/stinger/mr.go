@@ -1,0 +1,408 @@
+// Package stinger implements the comparison system of the paper's
+// evaluation (§8): a Stinger/Hive-style SQL-on-MapReduce engine built
+// from scratch. It has the architectural properties the paper attributes
+// the performance gap to:
+//
+//   - every stage materializes its output (maps spill to local disk,
+//     reducers write to HDFS) instead of pipelining (§8.2.2),
+//   - map and reduce phases are separated by a barrier, and multi-stage
+//     queries run as chains of MapReduce jobs,
+//   - reducers fetch map output over HTTP (the MapReduce shuffle the
+//     paper contrasts with the HAWQ interconnect),
+//   - each task pays a container start-up cost (YARN),
+//   - the SQL translator is rule-based: joins run in FROM-clause order,
+//     no statistics, no cost model (§8.2.2).
+//
+// Tables are stored in an ORC-like columnar format (the PAX row-group
+// writer from internal/storage), matching the paper's use of ORCFile for
+// Stinger.
+package stinger
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"hawq/internal/hdfs"
+	"hawq/internal/types"
+)
+
+// Config tunes the MapReduce runtime.
+type Config struct {
+	// MapTasks is the number of map tasks per job input.
+	MapTasks int
+	// ReduceTasks is the number of reducers per job.
+	ReduceTasks int
+	// Workers is the container pool size (concurrently running tasks).
+	Workers int
+	// ContainerStartup is the per-task start-up latency, a scaled-down
+	// stand-in for YARN container launch (seconds in production).
+	ContainerStartup time.Duration
+	// SpillDir holds map outputs awaiting shuffle.
+	SpillDir string
+}
+
+func (c *Config) fill() {
+	if c.MapTasks <= 0 {
+		c.MapTasks = 4
+	}
+	if c.ReduceTasks <= 0 {
+		c.ReduceTasks = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.MapTasks
+	}
+	if c.ContainerStartup == 0 {
+		c.ContainerStartup = 20 * time.Millisecond
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
+	}
+}
+
+// MapFn transforms one input row into zero or more (key, value) pairs.
+type MapFn func(row types.Row, emit func(key []byte, value types.Row) error) error
+
+// ReduceFn folds all values of one key, grouped by input tag (joins use
+// tag 0 for the left input and 1 for the right).
+type ReduceFn func(key []byte, tagged [][]types.Row, emit func(types.Row) error) error
+
+// Input is one tagged input of a job.
+type Input struct {
+	Tag int
+	// Read streams the rows of split s out of nsplits.
+	Read func(split, nsplits int, fn func(types.Row) error) error
+	// Map is this input's mapper.
+	Map MapFn
+}
+
+// JobSpec is one MapReduce job.
+type JobSpec struct {
+	Name   string
+	Inputs []Input
+	Reduce ReduceFn
+	// Output is the HDFS directory receiving part files.
+	Output string
+	// NumReduces overrides the configured reducer count (ORDER BY jobs
+	// use a single reducer for a total order, as Hive does).
+	NumReduces int
+}
+
+// Runtime executes jobs: a worker pool (containers), local spill files,
+// and an HTTP shuffle service.
+type Runtime struct {
+	FS  *hdfs.FileSystem
+	cfg Config
+
+	ln     net.Listener
+	server *http.Server
+
+	mu     sync.Mutex
+	spills map[string]string // "job/input/map/part" -> local path
+	jobSeq int
+	closed bool
+}
+
+// NewRuntime starts the shuffle service and worker infrastructure.
+func NewRuntime(fs *hdfs.FileSystem, cfg Config) (*Runtime, error) {
+	cfg.fill()
+	rt := &Runtime{FS: fs, cfg: cfg, spills: map[string]string{}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("stinger: %w", err)
+	}
+	rt.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shuffle", rt.serveShuffle)
+	rt.server = &http.Server{Handler: mux}
+	go rt.server.Serve(ln)
+	return rt, nil
+}
+
+// Close stops the shuffle service and removes spill files.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	files := rt.spills
+	rt.spills = map[string]string{}
+	rt.mu.Unlock()
+	rt.server.Close()
+	for _, p := range files {
+		os.Remove(p)
+	}
+}
+
+func (rt *Runtime) serveShuffle(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("k")
+	rt.mu.Lock()
+	path, ok := rt.spills[key]
+	rt.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such spill", http.StatusNotFound)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	io.Copy(w, f)
+}
+
+// shuffleEntry layout: uvarint keyLen | key | uvarint rowLen | row.
+func appendEntry(buf []byte, key []byte, row types.Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	enc := types.EncodeRow(nil, row)
+	buf = binary.AppendUvarint(buf, uint64(len(enc)))
+	return append(buf, enc...)
+}
+
+type entry struct {
+	key []byte
+	tag int
+	row types.Row
+}
+
+func parseEntries(data []byte, tag int, out []entry) ([]entry, error) {
+	pos := 0
+	for pos < len(data) {
+		kl, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("stinger: corrupt shuffle data")
+		}
+		pos += n
+		key := data[pos : pos+int(kl)]
+		pos += int(kl)
+		rl, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("stinger: corrupt shuffle data")
+		}
+		pos += n
+		row, _, err := types.DecodeRow(data[pos : pos+int(rl)])
+		if err != nil {
+			return nil, err
+		}
+		pos += int(rl)
+		out = append(out, entry{key: append([]byte(nil), key...), tag: tag, row: row})
+	}
+	return out, nil
+}
+
+// pool runs tasks over a bounded worker pool, each paying the container
+// start-up cost.
+func (rt *Runtime) pool(tasks []func() error) error {
+	sem := make(chan struct{}, rt.cfg.Workers)
+	errCh := make(chan error, len(tasks))
+	var wg sync.WaitGroup
+	for _, task := range tasks {
+		wg.Add(1)
+		go func(task func() error) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			time.Sleep(rt.cfg.ContainerStartup) // YARN container launch
+			if err := task(); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}(task)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Run executes one job: map with spill, barrier, HTTP shuffle, reduce
+// with HDFS output. It returns the output part paths.
+func (rt *Runtime) Run(job JobSpec) ([]string, error) {
+	rt.mu.Lock()
+	rt.jobSeq++
+	jobID := rt.jobSeq
+	rt.mu.Unlock()
+
+	R := job.NumReduces
+	if R <= 0 {
+		R = rt.cfg.ReduceTasks
+	}
+	M := rt.cfg.MapTasks
+
+	// Map phase.
+	var mapTasks []func() error
+	for _, in := range job.Inputs {
+		in := in
+		for m := 0; m < M; m++ {
+			m := m
+			mapTasks = append(mapTasks, func() error {
+				parts := make([][]byte, R)
+				err := in.Read(m, M, func(row types.Row) error {
+					return in.Map(row, func(key []byte, value types.Row) error {
+						p := int(hashKey(key) % uint64(R))
+						parts[p] = appendEntry(parts[p], key, value)
+						return nil
+					})
+				})
+				if err != nil {
+					return err
+				}
+				// Materialize every partition to local disk, even empty
+				// ones (MapReduce always spills before shuffle).
+				for p := 0; p < R; p++ {
+					f, err := os.CreateTemp(rt.cfg.SpillDir, "stinger-spill-*")
+					if err != nil {
+						return err
+					}
+					if _, err := f.Write(parts[p]); err != nil {
+						f.Close()
+						return err
+					}
+					f.Close()
+					rt.mu.Lock()
+					rt.spills[fmt.Sprintf("%d/%d/%d/%d", jobID, in.Tag, m, p)] = f.Name()
+					rt.mu.Unlock()
+				}
+				return nil
+			})
+		}
+	}
+	if err := rt.pool(mapTasks); err != nil {
+		return nil, fmt.Errorf("stinger: map phase of %s: %w", job.Name, err)
+	}
+
+	// Barrier, then reduce phase: fetch over HTTP, merge, reduce, write
+	// to HDFS.
+	addr := rt.ln.Addr().String()
+	outputs := make([]string, R)
+	var reduceTasks []func() error
+	for r := 0; r < R; r++ {
+		r := r
+		reduceTasks = append(reduceTasks, func() error {
+			var entries []entry
+			for _, in := range job.Inputs {
+				for m := 0; m < M; m++ {
+					url := fmt.Sprintf("http://%s/shuffle?k=%d/%d/%d/%d", addr, jobID, in.Tag, m, r)
+					resp, err := http.Get(url)
+					if err != nil {
+						return err
+					}
+					data, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						return fmt.Errorf("stinger: shuffle fetch: %s", data)
+					}
+					if entries, err = parseEntries(data, in.Tag, entries); err != nil {
+						return err
+					}
+				}
+			}
+			sort.SliceStable(entries, func(i, j int) bool {
+				if c := bytes.Compare(entries[i].key, entries[j].key); c != 0 {
+					return c < 0
+				}
+				return entries[i].tag < entries[j].tag
+			})
+			nTags := 0
+			for _, in := range job.Inputs {
+				if in.Tag+1 > nTags {
+					nTags = in.Tag + 1
+				}
+			}
+			var out []byte
+			emit := func(row types.Row) error {
+				out = appendSeqRecord(out, row)
+				return nil
+			}
+			for i := 0; i < len(entries); {
+				j := i
+				for j < len(entries) && bytes.Equal(entries[j].key, entries[i].key) {
+					j++
+				}
+				tagged := make([][]types.Row, nTags)
+				for _, e := range entries[i:j] {
+					tagged[e.tag] = append(tagged[e.tag], e.row)
+				}
+				if err := job.Reduce(entries[i].key, tagged, emit); err != nil {
+					return err
+				}
+				i = j
+			}
+			path := fmt.Sprintf("%s/part-%05d", job.Output, r)
+			if err := writeSeqParts(rt.FS, path, out); err != nil {
+				return err
+			}
+			outputs[r] = path
+			return nil
+		})
+	}
+	if err := rt.pool(reduceTasks); err != nil {
+		return nil, fmt.Errorf("stinger: reduce phase of %s: %w", job.Name, err)
+	}
+	return outputs, nil
+}
+
+func hashKey(k []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range k {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Intermediate files between jobs use a simple length-prefixed row
+// format.
+func appendSeqRecord(buf []byte, row types.Row) []byte {
+	enc := types.EncodeRow(nil, row)
+	buf = binary.AppendUvarint(buf, uint64(len(enc)))
+	return append(buf, enc...)
+}
+
+func writeSeqParts(fs *hdfs.FileSystem, path string, data []byte) error {
+	return fs.WriteFile(path, data, hdfs.CreateOptions{})
+}
+
+// readSeqSplit reads split s of nsplits from a set of part files,
+// assigning rows round-robin by ordinal.
+func readSeqSplit(fs *hdfs.FileSystem, parts []string, split, nsplits int, fn func(types.Row) error) error {
+	idx := 0
+	for _, p := range parts {
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		pos := 0
+		for pos < len(data) {
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 {
+				return fmt.Errorf("stinger: corrupt intermediate file %s", p)
+			}
+			pos += n
+			if idx%nsplits == split {
+				row, _, err := types.DecodeRow(data[pos : pos+int(l)])
+				if err != nil {
+					return err
+				}
+				if err := fn(row); err != nil {
+					return err
+				}
+			}
+			pos += int(l)
+			idx++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package stinger
+
+import (
+	"hawq/internal/tpch"
+	"hawq/internal/types"
+)
+
+// LoadTPCH loads the TPC-H tables into the Stinger warehouse using the
+// same generator the HAWQ side uses, so cross-engine results are
+// comparable (§8.2: "loaded into the systems using system-specific
+// storage formats" — ORC-like here).
+func LoadTPCH(e *Engine, scale tpch.Scale) error {
+	g := tpch.NewGen(scale)
+	schemas := tpch.Schemas()
+	if err := e.LoadTable("region", schemas["region"], g.Region()); err != nil {
+		return err
+	}
+	if err := e.LoadTable("nation", schemas["nation"], g.Nation()); err != nil {
+		return err
+	}
+	if err := e.LoadTable("supplier", schemas["supplier"], g.Supplier()); err != nil {
+		return err
+	}
+	if err := e.LoadTable("part", schemas["part"], g.Part()); err != nil {
+		return err
+	}
+	if err := e.LoadTable("partsupp", schemas["partsupp"], g.PartSupp()); err != nil {
+		return err
+	}
+	if err := e.LoadTable("customer", schemas["customer"], g.Customer()); err != nil {
+		return err
+	}
+	var orders, lines []types.Row
+	var loadErr error
+	flush := func(force bool) {
+		if loadErr != nil {
+			return
+		}
+		if force || len(lines) >= 20000 {
+			if len(orders) > 0 {
+				loadErr = e.AppendTable("orders", orders)
+				orders = orders[:0]
+			}
+			if loadErr == nil && len(lines) > 0 {
+				loadErr = e.AppendTable("lineitem", lines)
+				lines = lines[:0]
+			}
+		}
+	}
+	if err := e.LoadTable("orders", schemas["orders"], nil); err != nil {
+		return err
+	}
+	if err := e.LoadTable("lineitem", schemas["lineitem"], nil); err != nil {
+		return err
+	}
+	g.OrderAndLines(func(o types.Row, ls []types.Row) {
+		orders = append(orders, o)
+		lines = append(lines, ls...)
+		flush(false)
+	})
+	flush(true)
+	return loadErr
+}

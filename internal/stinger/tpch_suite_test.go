@@ -1,0 +1,22 @@
+package stinger
+
+import (
+	"testing"
+
+	"hawq/internal/tpch"
+)
+
+func TestFullTPCHSuiteRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	se := newStinger(t)
+	if err := LoadTPCH(se, tpch.Scale{SF: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tpch.AllQueryNumbers() {
+		if _, _, err := se.Query(tpch.Queries[q]); err != nil {
+			t.Errorf("Q%d: %v", q, err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"io"
+
+	"hawq/internal/catalog"
+	"hawq/internal/compress"
+	"hawq/internal/hdfs"
+	"hawq/internal/types"
+)
+
+// aoWriter writes the row-oriented append-only format: a sequence of
+// blocks, each holding whole encoded rows.
+type aoWriter struct {
+	w      *hdfs.FileWriter
+	codec  compress.Codec
+	buf    []byte
+	rows   int
+	target int
+	total  int64
+	tuples int64
+}
+
+func newAOWriter(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, opts hdfs.CreateOptions) (*aoWriter, error) {
+	w, err := fs.CreateOrAppend(sf.Path, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &aoWriter{
+		w:      w,
+		codec:  codec,
+		target: DefaultBlockTarget,
+		total:  sf.LogicalLen,
+		tuples: sf.Tuples,
+	}, nil
+}
+
+// Append implements Writer.
+func (w *aoWriter) Append(row types.Row) error {
+	w.buf = types.EncodeRow(w.buf, row)
+	w.rows++
+	w.tuples++
+	if len(w.buf) >= w.target {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush implements Writer.
+func (w *aoWriter) Flush() error {
+	if w.rows == 0 {
+		return nil
+	}
+	block := appendBlock(nil, w.codec, w.rows, w.buf)
+	if _, err := w.w.Write(block); err != nil {
+		return err
+	}
+	w.total += int64(len(block))
+	w.buf = w.buf[:0]
+	w.rows = 0
+	return nil
+}
+
+// Close implements Writer.
+func (w *aoWriter) Close() error {
+	if err := w.Flush(); err != nil {
+		w.w.Close()
+		return err
+	}
+	return w.w.Close()
+}
+
+// Lens implements Writer.
+func (w *aoWriter) Lens() (int64, []int64) { return w.total, nil }
+
+// Tuples implements Writer.
+func (w *aoWriter) Tuples() int64 { return w.tuples }
+
+// scanAO iterates the committed rows of an AO segment file.
+func scanAO(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {
+	data, err := readRegion(fs, sf.Path, sf.LogicalLen)
+	if err != nil {
+		return err
+	}
+	it := &blockIter{data: data}
+	for {
+		rowCount, raw, err := it.next(codec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		pos := 0
+		for i := 0; i < rowCount; i++ {
+			row, n, err := types.DecodeRow(raw[pos:])
+			if err != nil {
+				return err
+			}
+			pos += n
+			out := make(types.Row, len(proj))
+			for j, c := range proj {
+				out[j] = row[c]
+			}
+			if err := fn(out); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+
+	"hawq/internal/catalog"
+	"hawq/internal/compress"
+	"hawq/internal/hdfs"
+	"hawq/internal/types"
+)
+
+// coWriter writes the column-oriented format: each column is a separate
+// HDFS file of blocks holding encoded datums. All column files flush at
+// the same row boundaries, so the i'th block of every column covers the
+// same rows — the property the scanner relies on to zip columns back
+// into rows.
+type coWriter struct {
+	writers []*hdfs.FileWriter
+	codec   compress.Codec
+	bufs    [][]byte
+	rows    int
+	target  int
+	lens    []int64
+	tuples  int64
+}
+
+func newCOWriter(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema, sf catalog.SegFile, opts hdfs.CreateOptions) (*coWriter, error) {
+	n := schema.Len()
+	w := &coWriter{
+		codec:  codec,
+		bufs:   make([][]byte, n),
+		target: DefaultBlockTarget,
+		lens:   make([]int64, n),
+		tuples: sf.Tuples,
+	}
+	copy(w.lens, sf.ColLens)
+	for i := 0; i < n; i++ {
+		fw, err := fs.CreateOrAppend(ColFilePath(sf.Path, i), opts)
+		if err != nil {
+			for _, open := range w.writers {
+				open.Close()
+			}
+			return nil, err
+		}
+		w.writers = append(w.writers, fw)
+	}
+	return w, nil
+}
+
+// Append implements Writer.
+func (w *coWriter) Append(row types.Row) error {
+	if len(row) != len(w.bufs) {
+		return fmt.Errorf("storage: CO row width %d, want %d", len(row), len(w.bufs))
+	}
+	size := 0
+	for i, d := range row {
+		w.bufs[i] = types.EncodeDatum(w.bufs[i], d)
+		size += len(w.bufs[i])
+	}
+	w.rows++
+	w.tuples++
+	if size >= w.target*len(w.bufs) {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush implements Writer.
+func (w *coWriter) Flush() error {
+	if w.rows == 0 {
+		return nil
+	}
+	for i, buf := range w.bufs {
+		block := appendBlock(nil, w.codec, w.rows, buf)
+		if _, err := w.writers[i].Write(block); err != nil {
+			return err
+		}
+		w.lens[i] += int64(len(block))
+		w.bufs[i] = buf[:0]
+	}
+	w.rows = 0
+	return nil
+}
+
+// Close implements Writer.
+func (w *coWriter) Close() error {
+	err := w.Flush()
+	for _, fw := range w.writers {
+		if cerr := fw.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Lens implements Writer: the total is the sum of column lengths.
+func (w *coWriter) Lens() (int64, []int64) {
+	var total int64
+	out := make([]int64, len(w.lens))
+	copy(out, w.lens)
+	for _, l := range w.lens {
+		total += l
+	}
+	return total, out
+}
+
+// Tuples implements Writer.
+func (w *coWriter) Tuples() int64 { return w.tuples }
+
+// scanCO reads only the projected column files and zips their block
+// streams back into rows.
+func scanCO(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {
+	if len(sf.ColLens) == 0 {
+		return nil // never committed
+	}
+	if len(proj) == 0 {
+		// Zero-column scan (COUNT(*)): walk column 0's block headers.
+		data, err := readRegion(fs, ColFilePath(sf.Path, 0), sf.ColLens[0])
+		if err != nil {
+			return err
+		}
+		it := &blockIter{data: data}
+		for {
+			n, _, err := it.next(codec)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				if err := fn(types.Row{}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	iters := make([]*blockIter, len(proj))
+	for j, c := range proj {
+		if c >= len(sf.ColLens) {
+			return fmt.Errorf("storage: CO projection column %d out of range", c)
+		}
+		data, err := readRegion(fs, ColFilePath(sf.Path, c), sf.ColLens[c])
+		if err != nil {
+			return err
+		}
+		iters[j] = &blockIter{data: data}
+	}
+	// Current decoded block per projected column.
+	raws := make([][]byte, len(proj))
+	pos := make([]int, len(proj))
+	remaining := 0
+	for {
+		if remaining == 0 {
+			// Advance all columns to their next block.
+			rc := -1
+			for j, it := range iters {
+				n, raw, err := it.next(codec)
+				if err == io.EOF {
+					if j == 0 {
+						return nil
+					}
+					return fmt.Errorf("storage: CO column files out of sync (early EOF)")
+				}
+				if err != nil {
+					return err
+				}
+				if rc == -1 {
+					rc = n
+				} else if n != rc {
+					return fmt.Errorf("storage: CO block row counts diverge (%d vs %d)", rc, n)
+				}
+				raws[j], pos[j] = raw, 0
+			}
+			if rc <= 0 {
+				continue
+			}
+			remaining = rc
+		}
+		out := make(types.Row, len(proj))
+		for j := range iters {
+			d, n, err := types.DecodeDatum(raws[j][pos[j]:])
+			if err != nil {
+				return err
+			}
+			pos[j] += n
+			out[j] = d
+		}
+		remaining--
+		if err := fn(out); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package storage implements HAWQ's read-optimized table formats on HDFS
+// (§2.5): AO (row-oriented append-only), CO (column-oriented, one file
+// per column) and a Parquet-like PAX format storing column chunks inside
+// row groups of a single file. All three compress blocks with any codec
+// from internal/compress and checksum every block.
+//
+// Writers append only; visibility is enforced by the caller scanning no
+// further than the committed logical length recorded in the catalog
+// (§5). Writers always flush whole blocks, so a committed logical length
+// always falls on a block boundary, and garbage from an aborted insert
+// beyond it is skipped entirely (and truncated before the next append).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"hawq/internal/catalog"
+	"hawq/internal/compress"
+	"hawq/internal/hdfs"
+	"hawq/internal/types"
+)
+
+// DefaultBlockTarget is the uncompressed block size writers aim for.
+const DefaultBlockTarget = 64 * 1024
+
+const blockMagic = 0xA7
+
+// Writer appends rows to one segment file (lane) of a table.
+type Writer interface {
+	// Append buffers one row.
+	Append(row types.Row) error
+	// Flush writes buffered rows as a block.
+	Flush() error
+	// Close flushes and closes the underlying HDFS files.
+	Close() error
+	// Lens returns the file length(s) after the last flush: the total
+	// length and, for CO, per-column lengths. These become the committed
+	// logical lengths at transaction commit.
+	Lens() (total int64, colLens []int64)
+	// Tuples returns the number of rows appended so far plus the count
+	// existing at open.
+	Tuples() int64
+}
+
+// NewWriter opens a writer for the given storage spec, appending to the
+// segment file at sf.Path (creating it if absent). The file must have
+// been truncated to its committed logical length beforehand; the writer
+// trusts physical length == logical length.
+func NewWriter(fs *hdfs.FileSystem, spec catalog.StorageSpec, schema *types.Schema, sf catalog.SegFile, opts hdfs.CreateOptions) (Writer, error) {
+	codec, err := compress.Lookup(spec.Codec)
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Orientation {
+	case catalog.OrientRow, "":
+		return newAOWriter(fs, codec, sf, opts)
+	case catalog.OrientColumn:
+		return newCOWriter(fs, codec, schema, sf, opts)
+	case catalog.OrientParquet:
+		return newParquetWriter(fs, codec, schema, sf, opts)
+	default:
+		return nil, fmt.Errorf("storage: unknown orientation %q", spec.Orientation)
+	}
+}
+
+// Scan reads the committed contents of one segment file, calling fn for
+// every row. proj selects the output columns (nil means all, in schema
+// order); emitted rows contain exactly the projected columns in proj
+// order. Scanning is bounded by the logical lengths in sf, so bytes
+// appended by uncommitted or aborted transactions are never surfaced.
+func Scan(fs *hdfs.FileSystem, spec catalog.StorageSpec, schema *types.Schema, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {
+	codec, err := compress.Lookup(spec.Codec)
+	if err != nil {
+		return err
+	}
+	if proj == nil {
+		proj = make([]int, schema.Len())
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	switch spec.Orientation {
+	case catalog.OrientRow, "":
+		return scanAO(fs, codec, sf, proj, fn)
+	case catalog.OrientColumn:
+		return scanCO(fs, codec, sf, proj, fn)
+	case catalog.OrientParquet:
+		return scanParquet(fs, codec, schema, sf, proj, fn)
+	default:
+		return fmt.Errorf("storage: unknown orientation %q", spec.Orientation)
+	}
+}
+
+// ColFilePath returns the HDFS path of column i of a CO table lane.
+func ColFilePath(base string, col int) string {
+	return fmt.Sprintf("%s.c%d", base, col)
+}
+
+// appendBlock frames payload as one checksummed, compressed block:
+//
+//	magic(1) | rowCount uvarint | rawLen uvarint | compLen uvarint |
+//	crc32(comp)(4) | comp bytes
+func appendBlock(dst []byte, codec compress.Codec, rowCount int, raw []byte) []byte {
+	comp := codec.Compress(nil, raw)
+	dst = append(dst, blockMagic)
+	dst = binary.AppendUvarint(dst, uint64(rowCount))
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	dst = binary.AppendUvarint(dst, uint64(len(comp)))
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(comp))
+	dst = append(dst, crc[:]...)
+	return append(dst, comp...)
+}
+
+// blockIter walks the blocks in a byte region.
+type blockIter struct {
+	data []byte
+	pos  int
+}
+
+// next returns the next block's row count and decompressed payload, or
+// io.EOF at the end of the region.
+func (it *blockIter) next(codec compress.Codec) (int, []byte, error) {
+	if it.pos >= len(it.data) {
+		return 0, nil, io.EOF
+	}
+	d := it.data[it.pos:]
+	if d[0] != blockMagic {
+		return 0, nil, fmt.Errorf("storage: bad block magic 0x%02x at offset %d", d[0], it.pos)
+	}
+	p := 1
+	rowCount, n := binary.Uvarint(d[p:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("storage: truncated block header")
+	}
+	p += n
+	rawLen, n := binary.Uvarint(d[p:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("storage: truncated block header")
+	}
+	p += n
+	compLen, n := binary.Uvarint(d[p:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("storage: truncated block header")
+	}
+	p += n
+	if len(d) < p+4+int(compLen) {
+		return 0, nil, fmt.Errorf("storage: truncated block body")
+	}
+	wantCRC := binary.BigEndian.Uint32(d[p:])
+	p += 4
+	comp := d[p : p+int(compLen)]
+	if crc32.ChecksumIEEE(comp) != wantCRC {
+		return 0, nil, fmt.Errorf("storage: block checksum mismatch at offset %d", it.pos)
+	}
+	raw, err := codec.Decompress(nil, comp)
+	if err != nil {
+		return 0, nil, fmt.Errorf("storage: %w", err)
+	}
+	if len(raw) != int(rawLen) {
+		return 0, nil, fmt.Errorf("storage: block raw length %d, want %d", len(raw), rawLen)
+	}
+	it.pos += p + int(compLen)
+	return int(rowCount), raw, nil
+}
+
+// readRegion reads [0, length) of an HDFS file. A zero length yields nil
+// without touching the file (the file may not even exist yet when a
+// table has never committed an insert on this lane).
+func readRegion(fs *hdfs.FileSystem, path string, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	r, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if r.Size() < length {
+		return nil, fmt.Errorf("storage: %s physical length %d below logical %d", path, r.Size(), length)
+	}
+	buf := make([]byte, length)
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,354 @@
+// Package tpch implements the TPC-H substrate of the paper's evaluation
+// (§8): a dbgen-style data generator with the benchmark's value
+// distributions scaled for a single machine, the eight-table schema in
+// every storage format HAWQ supports, and the query suite (adapted the
+// same way the paper adapted TPC-H for Stinger: correlated subqueries
+// rewritten into joins, per [10] in the paper).
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hawq/internal/types"
+)
+
+// Scale factors: TPC-H SF 1 is 6M lineitems (~1GB). The simulation runs
+// fractions of that; row counts follow the spec's ratios.
+type Scale struct {
+	// SF is the TPC-H scale factor (1.0 = spec-size).
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (s Scale) count(base int) int {
+	n := int(float64(base) * s.SF)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Counts per the TPC-H specification at SF 1.
+func (s Scale) Suppliers() int { return s.count(10000) }
+func (s Scale) Parts() int     { return s.count(200000) }
+func (s Scale) Customers() int { return s.count(150000) }
+func (s Scale) Orders() int    { return s.count(1500000) }
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nations: name -> region key, per the spec.
+var nations = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var (
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes   = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	types1      = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	types2      = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	types3      = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	colors      = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+		"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+		"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+		"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+		"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+		"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+		"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+		"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+		"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+		"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+		"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+		"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+		"yellow",
+	}
+	commentWords = []string{
+		"carefully", "quickly", "blithely", "furiously", "slyly", "regular",
+		"final", "ironic", "pending", "bold", "express", "special", "requests",
+		"deposits", "packages", "accounts", "instructions", "theodolites",
+		"platelets", "foxes", "ideas", "dependencies", "excuses", "asymptotes",
+		"pinto", "beans", "warhorses", "sleep", "haggle", "nag", "wake", "cajole",
+		"boost", "detect", "engage", "integrate", "use", "among", "above", "the",
+	}
+)
+
+// epochDate converts a date string to a DATE datum (panics on bad input;
+// all inputs here are constants).
+func epochDate(s string) types.Datum { return types.MustParseDate(s) }
+
+var (
+	startDate = epochDate("1992-01-01") // O_ORDERDATE lower bound
+	// Orders span STARTDATE .. ENDDATE-151 days, per the spec.
+	orderDateRange = int32(epochDate("1998-08-02").I-startDate.I) - 151
+)
+
+// Gen generates TPC-H tables deterministically.
+type Gen struct {
+	scale Scale
+	rng   *rand.Rand
+}
+
+// NewGen creates a generator.
+func NewGen(scale Scale) *Gen {
+	if scale.Seed == 0 {
+		scale.Seed = 19940601
+	}
+	return &Gen{scale: scale, rng: rand.New(rand.NewSource(scale.Seed))}
+}
+
+// Scale returns the generator's scale.
+func (g *Gen) Scale() Scale { return g.scale }
+
+func (g *Gen) comment(maxWords int) string {
+	n := 2 + g.rng.Intn(maxWords-1)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[g.rng.Intn(len(commentWords))]
+	}
+	return out
+}
+
+func (g *Gen) phone(nationKey int) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nationKey, g.rng.Intn(900)+100, g.rng.Intn(900)+100, g.rng.Intn(9000)+1000)
+}
+
+// money returns a DECIMAL(_,2) datum in [lo, hi) dollars.
+func (g *Gen) money(lo, hi int64) types.Datum {
+	cents := lo*100 + g.rng.Int63n((hi-lo)*100)
+	return types.NewDecimal(cents, 2)
+}
+
+// Region generates the region table rows.
+func (g *Gen) Region() []types.Row {
+	rows := make([]types.Row, len(regionNames))
+	for i, name := range regionNames {
+		rows[i] = types.Row{
+			types.NewInt32(int32(i)),
+			types.NewString(name),
+			types.NewString(g.comment(10)),
+		}
+	}
+	return rows
+}
+
+// Nation generates the nation table rows.
+func (g *Gen) Nation() []types.Row {
+	rows := make([]types.Row, len(nations))
+	for i, n := range nations {
+		rows[i] = types.Row{
+			types.NewInt32(int32(i)),
+			types.NewString(n.name),
+			types.NewInt32(int32(n.region)),
+			types.NewString(g.comment(10)),
+		}
+	}
+	return rows
+}
+
+// Supplier generates the supplier table rows. A fraction of comments
+// embed "Customer...Complaints", used by Q16.
+func (g *Gen) Supplier() []types.Row {
+	n := g.scale.Suppliers()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		key := i + 1
+		nation := g.rng.Intn(len(nations))
+		comment := g.comment(8)
+		if g.rng.Intn(100) == 0 {
+			comment = "Customer " + comment + " Complaints"
+		}
+		rows[i] = types.Row{
+			types.NewInt64(int64(key)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", key)),
+			types.NewString(g.comment(3)),
+			types.NewInt32(int32(nation)),
+			types.NewString(g.phone(nation)),
+			g.money(-999, 9999),
+			types.NewString(comment),
+		}
+	}
+	return rows
+}
+
+// Part generates the part table rows.
+func (g *Gen) Part() []types.Row {
+	n := g.scale.Parts()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		key := i + 1
+		name := ""
+		for w := 0; w < 5; w++ {
+			if w > 0 {
+				name += " "
+			}
+			name += colors[g.rng.Intn(len(colors))]
+		}
+		brand := fmt.Sprintf("Brand#%d%d", g.rng.Intn(5)+1, g.rng.Intn(5)+1)
+		ptype := types1[g.rng.Intn(len(types1))] + " " + types2[g.rng.Intn(len(types2))] + " " + types3[g.rng.Intn(len(types3))]
+		container := containers1[g.rng.Intn(len(containers1))] + " " + containers2[g.rng.Intn(len(containers2))]
+		// p_retailprice per spec: 90000+((key/10)%20001)+100*(key%1000) cents.
+		price := int64(90000 + (key/10)%20001 + 100*(key%1000))
+		rows[i] = types.Row{
+			types.NewInt64(int64(key)),
+			types.NewString(name),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", g.rng.Intn(5)+1)),
+			types.NewString(brand),
+			types.NewString(ptype),
+			types.NewInt32(int32(g.rng.Intn(50) + 1)),
+			types.NewString(container),
+			types.NewDecimal(price, 2),
+			types.NewString(g.comment(5)),
+		}
+	}
+	return rows
+}
+
+// PartSupp generates four suppliers per part, per the spec.
+func (g *Gen) PartSupp() []types.Row {
+	parts := g.scale.Parts()
+	sups := g.scale.Suppliers()
+	rows := make([]types.Row, 0, parts*4)
+	for p := 1; p <= parts; p++ {
+		for j := 0; j < 4; j++ {
+			sup := (p+j*(sups/4+1))%sups + 1
+			rows = append(rows, types.Row{
+				types.NewInt64(int64(p)),
+				types.NewInt64(int64(sup)),
+				types.NewInt32(int32(g.rng.Intn(9999) + 1)),
+				g.money(1, 1000),
+				types.NewString(g.comment(12)),
+			})
+		}
+	}
+	return rows
+}
+
+// Customer generates the customer table rows.
+func (g *Gen) Customer() []types.Row {
+	n := g.scale.Customers()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		key := i + 1
+		nation := g.rng.Intn(len(nations))
+		rows[i] = types.Row{
+			types.NewInt64(int64(key)),
+			types.NewString(fmt.Sprintf("Customer#%09d", key)),
+			types.NewString(g.comment(3)),
+			types.NewInt32(int32(nation)),
+			types.NewString(g.phone(nation)),
+			g.money(-999, 9999),
+			types.NewString(segments[g.rng.Intn(len(segments))]),
+			types.NewString(g.comment(15)),
+		}
+	}
+	return rows
+}
+
+// OrderAndLines generates orders and lineitem together (lineitem derives
+// from its order). The callback receives each order row with its line
+// rows, letting callers batch loads without holding both tables in
+// memory.
+func (g *Gen) OrderAndLines(emit func(order types.Row, lines []types.Row)) {
+	nOrders := g.scale.Orders()
+	nCust := g.scale.Customers()
+	for i := 0; i < nOrders; i++ {
+		// Sparse order keys, as in dbgen (8 per 32-key block).
+		okey := int64(i/8)*32 + int64(i%8) + 1
+		// One third of customers never place orders (dbgen skips
+		// custkeys divisible by 3) — Q13 and Q22 depend on this.
+		cust := int64(g.rng.Intn(nCust) + 1)
+		for cust%3 == 0 {
+			cust = int64(g.rng.Intn(nCust) + 1)
+		}
+		orderDate := int32(startDate.I) + g.rng.Int31n(orderDateRange)
+		nLines := g.rng.Intn(7) + 1
+		lines := make([]types.Row, nLines)
+		var total int64
+		allF, allO := true, true
+		today := int32(epochDate("1995-06-17").I)
+		for l := 0; l < nLines; l++ {
+			partKey := int64(g.rng.Intn(g.scale.Parts()) + 1)
+			supKey := int64(g.rng.Intn(g.scale.Suppliers()) + 1)
+			qty := int64(g.rng.Intn(50) + 1)
+			// extendedprice = qty * retailprice (in cents).
+			priceCents := qty * (90000 + (partKey/10)%20001 + 100*(partKey%1000))
+			discount := int64(g.rng.Intn(11)) // 0.00 .. 0.10
+			taxPct := int64(g.rng.Intn(9))    // 0.00 .. 0.08
+			shipDate := orderDate + g.rng.Int31n(121) + 1
+			commitDate := orderDate + g.rng.Int31n(91) + 30
+			receiptDate := shipDate + g.rng.Int31n(30) + 1
+			returnFlag := "N"
+			if receiptDate <= today {
+				if g.rng.Intn(2) == 0 {
+					returnFlag = "R"
+				} else {
+					returnFlag = "A"
+				}
+			}
+			lineStatus := "O"
+			if shipDate <= today {
+				lineStatus = "F"
+			} else {
+				allF = false
+			}
+			if lineStatus == "F" {
+				allO = false
+			}
+			lines[l] = types.Row{
+				types.NewInt64(okey),
+				types.NewInt64(partKey),
+				types.NewInt64(supKey),
+				types.NewInt32(int32(l + 1)),
+				types.NewDecimal(qty*100, 2),
+				types.NewDecimal(priceCents, 2),
+				types.NewDecimal(discount, 2),
+				types.NewDecimal(taxPct, 2),
+				types.NewString(returnFlag),
+				types.NewString(lineStatus),
+				types.NewDate(shipDate),
+				types.NewDate(commitDate),
+				types.NewDate(receiptDate),
+				types.NewString(instructs[g.rng.Intn(len(instructs))]),
+				types.NewString(shipmodes[g.rng.Intn(len(shipmodes))]),
+				types.NewString(g.comment(6)),
+			}
+			total += priceCents
+		}
+		status := "P"
+		if allF {
+			status = "F"
+		} else if allO {
+			status = "O"
+		}
+		order := types.Row{
+			types.NewInt64(okey),
+			types.NewInt64(cust),
+			types.NewString(status),
+			types.NewDecimal(total, 2),
+			types.NewDate(orderDate),
+			types.NewString(priorities[g.rng.Intn(len(priorities))]),
+			types.NewString(fmt.Sprintf("Clerk#%09d", g.rng.Intn(1000)+1)),
+			types.NewInt32(0),
+			types.NewString(g.comment(12)),
+		}
+		emit(order, lines)
+	}
+}

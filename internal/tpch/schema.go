@@ -1,0 +1,132 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TableNames lists the eight TPC-H tables in load order (parents first).
+var TableNames = []string{
+	"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+}
+
+// StorageClause selects the WITH (...) options for a storage format
+// ("row"/"ao", "column"/"co", "parquet") and compression settings
+// (compresstype may be "", "quicklz", "snappy", "zlib", "gzip", "rle").
+func StorageClause(orientation, compressType string, level int) string {
+	switch strings.ToLower(orientation) {
+	case "", "row", "ao":
+		orientation = "row"
+	case "column", "co":
+		orientation = "column"
+	case "parquet":
+		orientation = "parquet"
+	}
+	out := fmt.Sprintf("WITH (appendonly=true, orientation=%s", orientation)
+	if compressType != "" && compressType != "none" {
+		out += fmt.Sprintf(", compresstype=%s", compressType)
+		if level > 0 {
+			out += fmt.Sprintf(", compresslevel=%d", level)
+		}
+	}
+	return out + ")"
+}
+
+// Distribution policies: the paper's default aligns tables on their join
+// keys ("hash"); "random" is the Figure 10/12 comparison point.
+const (
+	DistHash   = "hash"
+	DistRandom = "random"
+)
+
+func distClause(policy, hashCols string) string {
+	if policy == DistRandom {
+		return "DISTRIBUTED RANDOMLY"
+	}
+	return "DISTRIBUTED BY (" + hashCols + ")"
+}
+
+// DDL returns the CREATE TABLE statements for the whole schema, using
+// the given storage clause and distribution policy.
+func DDL(storage, distPolicy string) []string {
+	d := func(cols string) string { return distClause(distPolicy, cols) }
+	return []string{
+		`CREATE TABLE region (
+			r_regionkey INTEGER NOT NULL,
+			r_name CHAR(25) NOT NULL,
+			r_comment VARCHAR(152)
+		) ` + storage + ` ` + d("r_regionkey"),
+		`CREATE TABLE nation (
+			n_nationkey INTEGER NOT NULL,
+			n_name CHAR(25) NOT NULL,
+			n_regionkey INTEGER NOT NULL,
+			n_comment VARCHAR(152)
+		) ` + storage + ` ` + d("n_nationkey"),
+		`CREATE TABLE supplier (
+			s_suppkey INT8 NOT NULL,
+			s_name CHAR(25) NOT NULL,
+			s_address VARCHAR(40) NOT NULL,
+			s_nationkey INTEGER NOT NULL,
+			s_phone CHAR(15) NOT NULL,
+			s_acctbal DECIMAL(15,2) NOT NULL,
+			s_comment VARCHAR(101) NOT NULL
+		) ` + storage + ` ` + d("s_suppkey"),
+		`CREATE TABLE part (
+			p_partkey INT8 NOT NULL,
+			p_name VARCHAR(55) NOT NULL,
+			p_mfgr CHAR(25) NOT NULL,
+			p_brand CHAR(10) NOT NULL,
+			p_type VARCHAR(25) NOT NULL,
+			p_size INTEGER NOT NULL,
+			p_container CHAR(10) NOT NULL,
+			p_retailprice DECIMAL(15,2) NOT NULL,
+			p_comment VARCHAR(23) NOT NULL
+		) ` + storage + ` ` + d("p_partkey"),
+		`CREATE TABLE partsupp (
+			ps_partkey INT8 NOT NULL,
+			ps_suppkey INT8 NOT NULL,
+			ps_availqty INTEGER NOT NULL,
+			ps_supplycost DECIMAL(15,2) NOT NULL,
+			ps_comment VARCHAR(199) NOT NULL
+		) ` + storage + ` ` + d("ps_partkey"),
+		`CREATE TABLE customer (
+			c_custkey INT8 NOT NULL,
+			c_name VARCHAR(25) NOT NULL,
+			c_address VARCHAR(40) NOT NULL,
+			c_nationkey INTEGER NOT NULL,
+			c_phone CHAR(15) NOT NULL,
+			c_acctbal DECIMAL(15,2) NOT NULL,
+			c_mktsegment CHAR(10) NOT NULL,
+			c_comment VARCHAR(117) NOT NULL
+		) ` + storage + ` ` + d("c_custkey"),
+		`CREATE TABLE orders (
+			o_orderkey INT8 NOT NULL,
+			o_custkey INT8 NOT NULL,
+			o_orderstatus CHAR(1) NOT NULL,
+			o_totalprice DECIMAL(15,2) NOT NULL,
+			o_orderdate DATE NOT NULL,
+			o_orderpriority CHAR(15) NOT NULL,
+			o_clerk CHAR(15) NOT NULL,
+			o_shippriority INTEGER NOT NULL,
+			o_comment VARCHAR(79) NOT NULL
+		) ` + storage + ` ` + d("o_orderkey"),
+		`CREATE TABLE lineitem (
+			l_orderkey INT8 NOT NULL,
+			l_partkey INT8 NOT NULL,
+			l_suppkey INT8 NOT NULL,
+			l_linenumber INTEGER NOT NULL,
+			l_quantity DECIMAL(15,2) NOT NULL,
+			l_extendedprice DECIMAL(15,2) NOT NULL,
+			l_discount DECIMAL(15,2) NOT NULL,
+			l_tax DECIMAL(15,2) NOT NULL,
+			l_returnflag CHAR(1) NOT NULL,
+			l_linestatus CHAR(1) NOT NULL,
+			l_shipdate DATE NOT NULL,
+			l_commitdate DATE NOT NULL,
+			l_receiptdate DATE NOT NULL,
+			l_shipinstruct CHAR(25) NOT NULL,
+			l_shipmode CHAR(10) NOT NULL,
+			l_comment VARCHAR(44) NOT NULL
+		) ` + storage + ` ` + d("l_orderkey"),
+	}
+}

@@ -1,0 +1,39 @@
+package tpch
+
+import "hawq/internal/types"
+
+// Schemas returns the TPC-H table schemas as typed descriptors, for
+// engines that load data programmatically (the Stinger baseline).
+func Schemas() map[string]*types.Schema {
+	c := func(name string, kind types.Kind, scale int8) types.Column {
+		return types.Column{Name: name, Kind: kind, Scale: scale}
+	}
+	i32 := func(n string) types.Column { return c(n, types.KindInt32, 0) }
+	i64 := func(n string) types.Column { return c(n, types.KindInt64, 0) }
+	str := func(n string) types.Column { return c(n, types.KindString, 0) }
+	dec := func(n string) types.Column { return c(n, types.KindDecimal, 2) }
+	date := func(n string) types.Column { return c(n, types.KindDate, 0) }
+	return map[string]*types.Schema{
+		"region": {Columns: []types.Column{i32("r_regionkey"), str("r_name"), str("r_comment")}},
+		"nation": {Columns: []types.Column{i32("n_nationkey"), str("n_name"), i32("n_regionkey"), str("n_comment")}},
+		"supplier": {Columns: []types.Column{
+			i64("s_suppkey"), str("s_name"), str("s_address"), i32("s_nationkey"),
+			str("s_phone"), dec("s_acctbal"), str("s_comment")}},
+		"part": {Columns: []types.Column{
+			i64("p_partkey"), str("p_name"), str("p_mfgr"), str("p_brand"), str("p_type"),
+			i32("p_size"), str("p_container"), dec("p_retailprice"), str("p_comment")}},
+		"partsupp": {Columns: []types.Column{
+			i64("ps_partkey"), i64("ps_suppkey"), i32("ps_availqty"), dec("ps_supplycost"), str("ps_comment")}},
+		"customer": {Columns: []types.Column{
+			i64("c_custkey"), str("c_name"), str("c_address"), i32("c_nationkey"),
+			str("c_phone"), dec("c_acctbal"), str("c_mktsegment"), str("c_comment")}},
+		"orders": {Columns: []types.Column{
+			i64("o_orderkey"), i64("o_custkey"), str("o_orderstatus"), dec("o_totalprice"),
+			date("o_orderdate"), str("o_orderpriority"), str("o_clerk"), i32("o_shippriority"), str("o_comment")}},
+		"lineitem": {Columns: []types.Column{
+			i64("l_orderkey"), i64("l_partkey"), i64("l_suppkey"), i32("l_linenumber"),
+			dec("l_quantity"), dec("l_extendedprice"), dec("l_discount"), dec("l_tax"),
+			str("l_returnflag"), str("l_linestatus"), date("l_shipdate"), date("l_commitdate"),
+			date("l_receiptdate"), str("l_shipinstruct"), str("l_shipmode"), str("l_comment")}},
+	}
+}

@@ -1,0 +1,273 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"hawq/internal/engine"
+	"hawq/internal/types"
+)
+
+const testSF = 0.001 // ~1500 orders, ~6000 lineitems
+
+func loadedEngine(t testing.TB, segments int, opts LoadOptions) (*engine.Engine, *Gen) {
+	t.Helper()
+	e, err := engine.New(engine.Config{Segments: segments, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	g, err := Load(e, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, g
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGen(Scale{SF: testSF})
+	b := NewGen(Scale{SF: testSF})
+	ra, rb := a.Part(), b.Part()
+	if len(ra) != len(rb) || len(ra) != a.Scale().Parts() {
+		t.Fatalf("part counts: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].String() != rb[i].String() {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	g := NewGen(Scale{SF: testSF})
+	if len(g.Region()) != 5 || len(g.Nation()) != 25 {
+		t.Fatal("region/nation sizes wrong")
+	}
+	nOrders, nLines := 0, 0
+	minDate, maxDate := int64(1<<62), int64(-1)
+	g.OrderAndLines(func(o types.Row, lines []types.Row) {
+		nOrders++
+		nLines += len(lines)
+		if len(lines) < 1 || len(lines) > 7 {
+			t.Fatalf("order with %d lines", len(lines))
+		}
+		d := o[4].I
+		if d < minDate {
+			minDate = d
+		}
+		if d > maxDate {
+			maxDate = d
+		}
+		for _, l := range lines {
+			if l[0].Int() != o[0].Int() {
+				t.Fatal("line orderkey mismatch")
+			}
+			disc := l[6]
+			if disc.Float() < 0 || disc.Float() > 0.10 {
+				t.Fatalf("discount out of range: %v", disc)
+			}
+		}
+	})
+	if nOrders != g.Scale().Orders() {
+		t.Fatalf("orders = %d", nOrders)
+	}
+	if avg := float64(nLines) / float64(nOrders); avg < 3 || avg > 5 {
+		t.Errorf("average lines per order = %.2f", avg)
+	}
+	lo, hi := types.MustParseDate("1992-01-01").I, types.MustParseDate("1998-08-02").I
+	if minDate < lo || maxDate > hi {
+		t.Errorf("order dates out of range: %d..%d", minDate, maxDate)
+	}
+}
+
+func TestLoadAndRowCounts(t *testing.T) {
+	e, g := loadedEngine(t, 2, LoadOptions{Scale: Scale{SF: testSF}, Orientation: "row"})
+	s := e.NewSession()
+	checks := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": g.Scale().Suppliers(),
+		"part":     g.Scale().Parts(),
+		"partsupp": g.Scale().Parts() * 4,
+		"customer": g.Scale().Customers(),
+		"orders":   g.Scale().Orders(),
+	}
+	for table, want := range checks {
+		res, err := s.Query("SELECT count(*) FROM " + table)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if got := res.Rows[0][0].Int(); got != int64(want) {
+			t.Errorf("%s rows = %d, want %d", table, got, want)
+		}
+	}
+}
+
+// brute computes reference answers directly from generated rows.
+type brute struct {
+	orders []types.Row
+	lines  []types.Row
+}
+
+func bruteData() *brute {
+	g := NewGen(Scale{SF: testSF})
+	// Skip streams consumed before orders, in load order.
+	g.Region()
+	g.Nation()
+	g.Supplier()
+	g.Part()
+	g.PartSupp()
+	g.Customer()
+	b := &brute{}
+	g.OrderAndLines(func(o types.Row, lines []types.Row) {
+		b.orders = append(b.orders, o)
+		b.lines = append(b.lines, lines...)
+	})
+	return b
+}
+
+func TestQ6MatchesBruteForce(t *testing.T) {
+	e, _ := loadedEngine(t, 3, LoadOptions{Scale: Scale{SF: testSF}, Orientation: "column", CompressType: "quicklz"})
+	s := e.NewSession()
+	res, err := s.Query(Queries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows[0][0].Float()
+
+	b := bruteData()
+	lo, hi := types.MustParseDate("1994-01-01").I, types.MustParseDate("1995-01-01").I
+	want := 0.0
+	for _, l := range b.lines {
+		ship := l[10].I
+		disc := l[6].Float()
+		qty := l[4].Float()
+		if ship >= lo && ship < hi && disc >= 0.05-1e-9 && disc <= 0.07+1e-9 && qty < 24 {
+			want += l[5].Float() * disc
+		}
+	}
+	if want == 0 {
+		t.Fatal("brute force found no qualifying rows; generator ranges wrong")
+	}
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("Q6 = %v, brute force = %v", got, want)
+	}
+}
+
+func TestQ1MatchesBruteForce(t *testing.T) {
+	e, _ := loadedEngine(t, 3, LoadOptions{Scale: Scale{SF: testSF}, Orientation: "parquet", CompressType: "snappy"})
+	s := e.NewSession()
+	res, err := s.Query(Queries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force: group by returnflag+linestatus.
+	b := bruteData()
+	cutoff := types.MustParseDate("1998-12-01").I - 90
+	type agg struct {
+		qty, price, count float64
+	}
+	want := map[string]*agg{}
+	for _, l := range b.lines {
+		if l[10].I > cutoff {
+			continue
+		}
+		key := l[8].Str() + "|" + l[9].Str()
+		a := want[key]
+		if a == nil {
+			a = &agg{}
+			want[key] = a
+		}
+		a.qty += l[4].Float()
+		a.price += l[5].Float()
+		a.count++
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("Q1 groups = %d, want %d", len(res.Rows), len(want))
+	}
+	for _, r := range res.Rows {
+		key := r[0].Str() + "|" + r[1].Str()
+		a := want[key]
+		if a == nil {
+			t.Fatalf("unexpected group %s", key)
+		}
+		if math.Abs(r[2].Float()-a.qty) > 1e-6*a.qty {
+			t.Errorf("%s sum_qty = %v, want %v", key, r[2].Float(), a.qty)
+		}
+		if got := r[9].Int(); got != int64(a.count) {
+			t.Errorf("%s count = %d, want %d", key, got, int64(a.count))
+		}
+	}
+}
+
+func TestAllQueriesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	e, _ := loadedEngine(t, 2, LoadOptions{Scale: Scale{SF: testSF}, Orientation: "row", CompressType: "quicklz"})
+	s := e.NewSession()
+	nonEmpty := map[int]bool{
+		1: true, 3: true, 4: true, 5: true, 6: true, 7: true, 9: true,
+		10: true, 11: true, 12: true, 13: true, 14: true, 15: true, 19: true, 22: true,
+	}
+	for _, q := range AllQueryNumbers() {
+		res, err := s.Query(Queries[q])
+		if err != nil {
+			t.Errorf("Q%d failed: %v", q, err)
+			continue
+		}
+		if nonEmpty[q] && len(res.Rows) == 0 {
+			t.Errorf("Q%d returned no rows", q)
+		}
+	}
+}
+
+func TestQ5RevenuePositiveAndGrouped(t *testing.T) {
+	e, _ := loadedEngine(t, 2, LoadOptions{Scale: Scale{SF: testSF}, Orientation: "row"})
+	s := e.NewSession()
+	res, err := s.Query(Queries[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("Q5 empty")
+	}
+	prev := math.MaxFloat64
+	for _, r := range res.Rows {
+		rev := r[1].Float()
+		if rev <= 0 {
+			t.Errorf("nation %s revenue %v", r[0], rev)
+		}
+		if rev > prev {
+			t.Error("Q5 not ordered by revenue DESC")
+		}
+		prev = rev
+	}
+}
+
+func TestDistributionPoliciesAgree(t *testing.T) {
+	// Hash-aligned and random distributions must give identical answers
+	// (only plans differ, §8.3).
+	opts := LoadOptions{Scale: Scale{SF: testSF}, Orientation: "row"}
+	eh, _ := loadedEngine(t, 2, opts)
+	opts.Distribution = DistRandom
+	er, _ := loadedEngine(t, 2, opts)
+	for _, q := range []int{5, 6, 9} {
+		rh, err := eh.NewSession().Query(Queries[q])
+		if err != nil {
+			t.Fatalf("hash Q%d: %v", q, err)
+		}
+		rr, err := er.NewSession().Query(Queries[q])
+		if err != nil {
+			t.Fatalf("random Q%d: %v", q, err)
+		}
+		if len(rh.Rows) != len(rr.Rows) {
+			t.Fatalf("Q%d row counts differ: %d vs %d", q, len(rh.Rows), len(rr.Rows))
+		}
+		for i := range rh.Rows {
+			if rh.Rows[i].String() != rr.Rows[i].String() {
+				t.Fatalf("Q%d row %d: %s vs %s", q, i, rh.Rows[i], rr.Rows[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LockMode is a table lock mode, a subset of PostgreSQL's modes
+// sufficient for the DDL/DML conflicts in §5.2.
+type LockMode uint8
+
+// Lock modes, weakest to strongest.
+const (
+	// AccessShare is taken by SELECT.
+	AccessShare LockMode = iota
+	// RowExclusive is taken by INSERT/DELETE.
+	RowExclusive
+	// AccessExclusive is taken by DDL (DROP, TRUNCATE, ALTER).
+	AccessExclusive
+)
+
+var lockModeNames = [...]string{"AccessShare", "RowExclusive", "AccessExclusive"}
+
+func (m LockMode) String() string { return lockModeNames[m] }
+
+// conflicts reports whether two modes conflict.
+func conflicts(a, b LockMode) bool {
+	if a == AccessExclusive || b == AccessExclusive {
+		return true
+	}
+	return false
+}
+
+// ErrDeadlock is returned to the transaction chosen as deadlock victim.
+var ErrDeadlock = errors.New("tx: deadlock detected")
+
+// LockManager grants table-level locks to transactions, blocking on
+// conflicts and aborting a waiter when a wait-for cycle forms. The
+// deadlock check runs at wait time, the same "check on block" policy the
+// paper describes as a periodic routine (§5.2).
+type LockManager struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tables map[string]*lockState
+	// waitsFor maps a blocked xid to the xids it waits on.
+	waitsFor map[XID]map[XID]struct{}
+	// victims marks transactions chosen as deadlock victims.
+	victims map[XID]struct{}
+}
+
+type lockState struct {
+	// holders maps xid to the strongest mode held.
+	holders map[XID]LockMode
+}
+
+// NewLockManager creates a lock manager.
+func NewLockManager() *LockManager {
+	lm := &LockManager{
+		tables:   make(map[string]*lockState),
+		waitsFor: make(map[XID]map[XID]struct{}),
+		victims:  make(map[XID]struct{}),
+	}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// Acquire takes a lock on behalf of xid, blocking while conflicting
+// holders exist. It returns ErrDeadlock if granting would complete a
+// wait-for cycle and xid is chosen as the victim. Locks are held until
+// ReleaseAll (two-phase locking: released at commit/abort).
+func (lm *LockManager) Acquire(xid XID, table string, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for {
+		if _, victim := lm.victims[xid]; victim {
+			delete(lm.victims, xid)
+			delete(lm.waitsFor, xid)
+			return ErrDeadlock
+		}
+		st := lm.tables[table]
+		if st == nil {
+			st = &lockState{holders: make(map[XID]LockMode)}
+			lm.tables[table] = st
+		}
+		blockers := st.conflicting(xid, mode)
+		if len(blockers) == 0 {
+			if cur, ok := st.holders[xid]; !ok || mode > cur {
+				st.holders[xid] = mode
+			}
+			delete(lm.waitsFor, xid)
+			return nil
+		}
+		// Record the wait edge and check for a cycle.
+		ws := make(map[XID]struct{}, len(blockers))
+		for _, b := range blockers {
+			ws[b] = struct{}{}
+		}
+		lm.waitsFor[xid] = ws
+		if victim, found := lm.findCycleVictim(xid); found {
+			if victim == xid {
+				delete(lm.waitsFor, xid)
+				return ErrDeadlock
+			}
+			lm.victims[victim] = struct{}{}
+			lm.cond.Broadcast()
+		}
+		lm.cond.Wait()
+	}
+}
+
+// conflicting returns the xids holding conflicting locks.
+func (st *lockState) conflicting(xid XID, mode LockMode) []XID {
+	var out []XID
+	for holder, held := range st.holders {
+		if holder == xid {
+			continue
+		}
+		if conflicts(held, mode) {
+			out = append(out, holder)
+		}
+	}
+	return out
+}
+
+// findCycleVictim walks the wait-for graph from start; when a cycle is
+// found it returns the highest XID in the cycle (youngest transaction) as
+// the victim.
+func (lm *LockManager) findCycleVictim(start XID) (XID, bool) {
+	seen := map[XID]bool{}
+	var path []XID
+	var dfs func(x XID) (XID, bool)
+	dfs = func(x XID) (XID, bool) {
+		if seen[x] {
+			// Cycle only if x is on the current path.
+			for i, p := range path {
+				if p == x {
+					victim := x
+					for _, q := range path[i:] {
+						if q > victim {
+							victim = q
+						}
+					}
+					return victim, true
+				}
+			}
+			return 0, false
+		}
+		seen[x] = true
+		path = append(path, x)
+		for next := range lm.waitsFor[x] {
+			if v, ok := dfs(next); ok {
+				return v, ok
+			}
+		}
+		path = path[:len(path)-1]
+		return 0, false
+	}
+	return dfs(start)
+}
+
+// ReleaseAll drops every lock held by xid and wakes waiters.
+func (lm *LockManager) ReleaseAll(xid XID) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for name, st := range lm.tables {
+		delete(st.holders, xid)
+		if len(st.holders) == 0 {
+			delete(lm.tables, name)
+		}
+	}
+	delete(lm.waitsFor, xid)
+	delete(lm.victims, xid)
+	lm.cond.Broadcast()
+}
+
+// HeldModes reports the locks xid currently holds, for tests and
+// diagnostics.
+func (lm *LockManager) HeldModes(xid XID) map[string]LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	out := map[string]LockMode{}
+	for name, st := range lm.tables {
+		if m, ok := st.holders[xid]; ok {
+			out[name] = m
+		}
+	}
+	return out
+}
+
+// String renders current lock state for diagnostics.
+func (lm *LockManager) String() string {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	s := ""
+	for name, st := range lm.tables {
+		s += fmt.Sprintf("%s: %v\n", name, st.holders)
+	}
+	return s
+}

@@ -1,0 +1,292 @@
+// Package tx implements HAWQ's transaction machinery (§5): transaction
+// ID allocation, a commit log (CLOG) tracking per-transaction status,
+// MVCC snapshots with the read-committed and serializable isolation
+// levels, a write-ahead log with standby log shipping (§2.6), and a lock
+// manager with deadlock detection (§5.2).
+//
+// As in the paper, transactions exist only on the master: segments are
+// stateless, commits happen on the master only, and there is no
+// distributed commit protocol. User data on HDFS is append-only; its
+// visibility is controlled by logical file lengths recorded in the
+// catalog, which are themselves MVCC rows covered by this package.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// XID is a transaction identifier. 0 is invalid; 1 is the bootstrap
+// transaction that creates the initial catalog.
+type XID uint64
+
+// InvalidXID is the zero transaction ID.
+const InvalidXID XID = 0
+
+// BootstrapXID is the transaction that loads the initial catalog.
+const BootstrapXID XID = 1
+
+// Status is a transaction's state in the commit log.
+type Status uint8
+
+// Transaction states.
+const (
+	StatusInProgress Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// IsolationLevel selects snapshot behavior. HAWQ internally supports read
+// committed and serializable; read uncommitted maps to read committed and
+// repeatable read maps to serializable (§5.1).
+type IsolationLevel uint8
+
+// Supported isolation levels.
+const (
+	ReadCommitted IsolationLevel = iota
+	Serializable
+)
+
+// ParseIsolationLevel maps the four SQL standard levels onto the two
+// internal ones.
+func ParseIsolationLevel(s string) (IsolationLevel, error) {
+	switch s {
+	case "read committed", "read uncommitted":
+		return ReadCommitted, nil
+	case "serializable", "repeatable read":
+		return Serializable, nil
+	}
+	return 0, fmt.Errorf("tx: unknown isolation level %q", s)
+}
+
+func (l IsolationLevel) String() string {
+	if l == Serializable {
+		return "serializable"
+	}
+	return "read committed"
+}
+
+// ErrAborted is returned when operating inside an aborted transaction.
+var ErrAborted = errors.New("tx: transaction is aborted")
+
+// Manager allocates transaction IDs, tracks their status, and builds
+// snapshots. It lives on the master node only.
+type Manager struct {
+	mu      sync.Mutex
+	nextXID XID
+	status  map[XID]Status
+	running map[XID]struct{}
+}
+
+// NewManager creates a transaction manager. The bootstrap transaction is
+// pre-committed.
+func NewManager() *Manager {
+	return &Manager{
+		nextXID: BootstrapXID + 1,
+		status:  map[XID]Status{BootstrapXID: StatusCommitted},
+		running: map[XID]struct{}{},
+	}
+}
+
+// Begin starts a transaction and returns its handle.
+func (m *Manager) Begin(level IsolationLevel) *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	xid := m.nextXID
+	m.nextXID++
+	m.status[xid] = StatusInProgress
+	m.running[xid] = struct{}{}
+	t := &Tx{mgr: m, xid: xid, level: level}
+	if level == Serializable {
+		s := m.snapshotLocked(xid)
+		t.serialSnap = &s
+	}
+	return t
+}
+
+// StatusOf returns a transaction's CLOG status.
+func (m *Manager) StatusOf(xid XID) Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.status[xid]
+}
+
+func (m *Manager) finish(xid XID, s Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.status[xid] == StatusInProgress {
+		m.status[xid] = s
+		delete(m.running, xid)
+	}
+}
+
+// Horizon returns the vacuum horizon: a snapshot to which a transaction
+// is visible only if it committed before every currently running
+// transaction began. Row versions whose deleter is visible to the
+// horizon can be reclaimed — no present or future snapshot can need
+// them.
+func (m *Manager) Horizon() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	min := m.nextXID
+	for x := range m.running {
+		if x < min {
+			min = x
+		}
+	}
+	return Snapshot{XMax: min, Running: map[XID]struct{}{}, mgr: m}
+}
+
+// snapshotLocked builds a snapshot of running transactions. Callers hold
+// m.mu.
+func (m *Manager) snapshotLocked(cur XID) Snapshot {
+	running := make(map[XID]struct{}, len(m.running))
+	for x := range m.running {
+		if x != cur {
+			running[x] = struct{}{}
+		}
+	}
+	return Snapshot{XMax: m.nextXID, Running: running, Cur: cur, mgr: m}
+}
+
+// Snapshot is the set of transaction effects visible to a statement. A
+// transaction is visible if it committed before the snapshot was taken.
+type Snapshot struct {
+	// XMax is the first unassigned XID at snapshot time.
+	XMax XID
+	// Running are transactions in progress at snapshot time.
+	Running map[XID]struct{}
+	// Cur is the observing transaction (its own effects are visible).
+	Cur XID
+	mgr *Manager
+}
+
+// XidVisible reports whether effects of xid are visible.
+func (s Snapshot) XidVisible(xid XID) bool {
+	if xid == s.Cur {
+		return true
+	}
+	if xid >= s.XMax {
+		return false
+	}
+	if _, ok := s.Running[xid]; ok {
+		return false
+	}
+	return s.mgr.StatusOf(xid) == StatusCommitted
+}
+
+// RowVisible applies the MVCC visibility rule to a row version stamped
+// with creating (xmin) and deleting (xmax) transactions.
+func (s Snapshot) RowVisible(xmin, xmax XID) bool {
+	if !s.XidVisible(xmin) {
+		return false
+	}
+	if xmax == InvalidXID {
+		return true
+	}
+	return !s.XidVisible(xmax)
+}
+
+// Tx is one transaction's handle.
+type Tx struct {
+	mgr   *Manager
+	xid   XID
+	level IsolationLevel
+	// serialSnap is the fixed snapshot for serializable transactions,
+	// taken at BEGIN.
+	serialSnap *Snapshot
+
+	mu       sync.Mutex
+	done     bool
+	aborted  bool
+	onCommit []func()
+	onAbort  []func()
+}
+
+// XID returns the transaction ID.
+func (t *Tx) XID() XID { return t.xid }
+
+// Level returns the isolation level.
+func (t *Tx) Level() IsolationLevel { return t.level }
+
+// Snapshot returns the snapshot governing the next statement: a fresh one
+// per statement under read committed, the BEGIN-time one under
+// serializable (§5.1).
+func (t *Tx) Snapshot() Snapshot {
+	if t.level == Serializable {
+		return *t.serialSnap
+	}
+	t.mgr.mu.Lock()
+	defer t.mgr.mu.Unlock()
+	return t.mgr.snapshotLocked(t.xid)
+}
+
+// OnCommit registers a callback run after the transaction commits
+// (e.g. updating segment file logical lengths already happened; callbacks
+// release resources).
+func (t *Tx) OnCommit(f func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onCommit = append(t.onCommit, f)
+}
+
+// OnAbort registers a callback run when the transaction aborts; HAWQ uses
+// this to truncate garbage appended to HDFS segment files (§5.3).
+func (t *Tx) OnAbort(f func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onAbort = append(t.onAbort, f)
+}
+
+// Commit commits the transaction.
+func (t *Tx) Commit() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		if t.aborted {
+			return ErrAborted
+		}
+		return nil
+	}
+	t.done = true
+	cbs := t.onCommit
+	t.mu.Unlock()
+	t.mgr.finish(t.xid, StatusCommitted)
+	for _, f := range cbs {
+		f()
+	}
+	return nil
+}
+
+// Abort rolls the transaction back, running abort callbacks (HDFS
+// truncation of uncommitted appends among them).
+func (t *Tx) Abort() {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.aborted = true
+	cbs := t.onAbort
+	t.mu.Unlock()
+	t.mgr.finish(t.xid, StatusAborted)
+	for i := len(cbs) - 1; i >= 0; i-- {
+		cbs[i]()
+	}
+}
+
+// Done reports whether the transaction has committed or aborted.
+func (t *Tx) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// Aborted reports whether the transaction aborted.
+func (t *Tx) Aborted() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.aborted
+}

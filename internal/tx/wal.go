@@ -1,0 +1,142 @@
+package tx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// RecordType classifies WAL records. Only catalog mutations are logged:
+// user data lives on HDFS and relies on HDFS replication, not WAL (§2.6).
+type RecordType uint8
+
+// WAL record types.
+const (
+	RecBegin RecordType = iota
+	RecCommit
+	RecAbort
+	RecInsert // catalog row insert
+	RecDelete // catalog row delete (MVCC xmax stamp)
+)
+
+var recNames = [...]string{"BEGIN", "COMMIT", "ABORT", "INSERT", "DELETE"}
+
+func (t RecordType) String() string { return recNames[t] }
+
+// Record is one WAL entry.
+type Record struct {
+	LSN   uint64
+	Type  RecordType
+	XID   XID
+	Table string
+	RowID uint64
+	Data  []byte
+}
+
+// Encode serializes the record for shipping.
+func (r Record) Encode() []byte {
+	buf := binary.AppendUvarint(nil, r.LSN)
+	buf = append(buf, byte(r.Type))
+	buf = binary.AppendUvarint(buf, uint64(r.XID))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Table)))
+	buf = append(buf, r.Table...)
+	buf = binary.AppendUvarint(buf, r.RowID)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+	buf = append(buf, r.Data...)
+	return buf
+}
+
+// DecodeRecord reverses Record.Encode.
+func DecodeRecord(buf []byte) (Record, error) {
+	var r Record
+	lsn, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return r, fmt.Errorf("wal: truncated LSN")
+	}
+	buf = buf[n:]
+	r.LSN = lsn
+	if len(buf) < 1 {
+		return r, fmt.Errorf("wal: truncated type")
+	}
+	r.Type = RecordType(buf[0])
+	buf = buf[1:]
+	xid, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return r, fmt.Errorf("wal: truncated xid")
+	}
+	buf = buf[n:]
+	r.XID = XID(xid)
+	tl, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < tl {
+		return r, fmt.Errorf("wal: truncated table name")
+	}
+	r.Table = string(buf[n : n+int(tl)])
+	buf = buf[n+int(tl):]
+	rowID, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return r, fmt.Errorf("wal: truncated row id")
+	}
+	buf = buf[n:]
+	r.RowID = rowID
+	dl, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < dl {
+		return r, fmt.Errorf("wal: truncated data")
+	}
+	r.Data = append([]byte(nil), buf[n:n+int(dl)]...)
+	return r, nil
+}
+
+// WAL is the master's write-ahead log. Subscribers receive each record as
+// it is appended; the standby master subscribes and replays records into
+// its catalog replica — the paper's transaction log replication process
+// that keeps the warm standby current (§2.6).
+type WAL struct {
+	mu      sync.Mutex
+	records []Record
+	nextLSN uint64
+	subs    []func(Record)
+}
+
+// NewWAL creates an empty log.
+func NewWAL() *WAL { return &WAL{nextLSN: 1} }
+
+// Append assigns an LSN, stores the record and ships it to subscribers.
+func (w *WAL) Append(r Record) uint64 {
+	w.mu.Lock()
+	r.LSN = w.nextLSN
+	w.nextLSN++
+	w.records = append(w.records, r)
+	subs := w.subs
+	w.mu.Unlock()
+	for _, s := range subs {
+		s(r)
+	}
+	return r.LSN
+}
+
+// Subscribe registers a shipping target and returns every record logged
+// so far, so a standby attaching late can catch up before streaming.
+func (w *WAL) Subscribe(fn func(Record)) []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.subs = append(w.subs, fn)
+	out := make([]Record, len(w.records))
+	copy(out, w.records)
+	return out
+}
+
+// Len returns the number of records logged.
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.records)
+}
+
+// Records returns a copy of all records (tests, recovery).
+func (w *WAL) Records() []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, len(w.records))
+	copy(out, w.records)
+	return out
+}

@@ -1,0 +1,97 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+	// Scale is the decimal scale for KindDecimal columns.
+	Scale int8
+	// NotNull records a NOT NULL constraint.
+	NotNull bool
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// IndexOf returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s *Schema) IndexOf(name string) int {
+	for i, c := range s.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns a new schema containing the columns at the given indexes.
+func (s *Schema) Project(idx []int) *Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Columns[j]
+	}
+	return &Schema{Columns: cols}
+}
+
+// Concat returns a schema with o's columns appended to s's.
+func (s *Schema) Concat(o *Schema) *Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(o.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, o.Columns...)
+	return &Schema{Columns: cols}
+}
+
+// String renders the schema as "(a INTEGER, b TEXT)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple of datums positionally matching a schema.
+type Row []Datum
+
+// Clone returns a copy of the row safe to retain across iterator calls.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for display, pipe-separated.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, d := range r {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, "|")
+}
