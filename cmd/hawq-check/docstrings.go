@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// analyzerDocstrings enforces the DESIGN.md promise that every exported
+// identifier carries a doc comment: package clauses (one documented
+// file per package), exported package-level functions, methods on
+// exported types, and exported type/const/var specs (a doc comment on
+// the enclosing declaration group counts, per Go convention).
+var analyzerDocstrings = &Analyzer{
+	Name: nameDocstrings,
+	Doc:  "exported identifiers without doc comments",
+	Run:  runDocstrings,
+}
+
+func runDocstrings(c *Checker, pkg *Package) {
+	// Package comment: at least one file must carry one (main packages
+	// document the command the same way).
+	documented := false
+	var firstPkgClause token.Pos
+	for i, file := range pkg.Files {
+		if file.Doc != nil {
+			documented = true
+		}
+		if i == 0 {
+			firstPkgClause = file.Name.Pos()
+		}
+	}
+	if !documented {
+		c.report(pkg, firstPkgClause, nameDocstrings,
+			fmt.Sprintf("package %s has no package doc comment in any file", pkg.Types.Name()))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(c, pkg, d)
+			case *ast.GenDecl:
+				checkGenDoc(c, pkg, d)
+			}
+		}
+	}
+}
+
+func checkFuncDoc(c *Checker, pkg *Package, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	if d.Recv != nil {
+		// Methods count when their receiver's base type is exported;
+		// methods on unexported types are not reachable API.
+		if base := receiverTypeName(d.Recv); base == "" || !ast.IsExported(base) {
+			return
+		}
+	}
+	what := "function"
+	if d.Recv != nil {
+		what = "method"
+	}
+	c.report(pkg, d.Name.Pos(), nameDocstrings,
+		fmt.Sprintf("exported %s %s has no doc comment", what, d.Name.Name))
+}
+
+// receiverTypeName extracts the base type name of a method receiver.
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers look like T[P] — unwrap the index expression.
+	switch e := t.(type) {
+	case *ast.IndexExpr:
+		t = e.X
+	case *ast.IndexListExpr:
+		t = e.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func checkGenDoc(c *Checker, pkg *Package, d *ast.GenDecl) {
+	switch d.Tok {
+	case token.TYPE:
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if ts.Name.IsExported() && ts.Doc == nil && d.Doc == nil {
+				c.report(pkg, ts.Name.Pos(), nameDocstrings,
+					fmt.Sprintf("exported type %s has no doc comment", ts.Name.Name))
+			}
+		}
+	case token.CONST, token.VAR:
+		kind := "const"
+		if d.Tok == token.VAR {
+			kind = "var"
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				if !name.IsExported() {
+					continue
+				}
+				// A doc or trailing comment on the spec, or a doc
+				// comment on the group, documents the name.
+				if vs.Doc == nil && vs.Comment == nil && d.Doc == nil {
+					c.report(pkg, name.Pos(), nameDocstrings,
+						fmt.Sprintf("exported %s %s has no doc comment", kind, name.Name))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerErrdrop flags discarded error returns from project APIs:
+// bare call statements (`f()`) and blank assignments (`_ = f()`,
+// `v, _ := f()`) where the dropped result is an error produced by a
+// function declared in this module. Stdlib errors (resp.Body.Close()
+// and friends) are out of scope; deferred cleanup calls are accepted
+// idiom and skipped.
+var analyzerErrdrop = &Analyzer{
+	Name: nameErrdrop,
+	Doc:  "discarded error returns (`_ =` and bare calls) from project APIs",
+	Run:  runErrdrop,
+}
+
+func runErrdrop(c *Checker, pkg *Package) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pos, name, ok := dropsProjectError(c, pkg, call, nil); ok {
+					c.report(pkg, pos.Pos(), nameErrdrop,
+						fmt.Sprintf("result of %s contains an error that is silently dropped; handle it or assign it", name))
+				}
+			case *ast.AssignStmt:
+				// Single-call form: lhs..., _ := f().
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pos, name, ok := dropsProjectError(c, pkg, call, st.Lhs); ok {
+					c.report(pkg, pos.Pos(), nameErrdrop,
+						fmt.Sprintf("error return of %s is assigned to _; handle it", name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// dropsProjectError reports whether call discards an error returned by
+// a module-local function. lhs is nil for a bare call statement; for an
+// assignment it is checked position-by-position for blanked errors.
+func dropsProjectError(c *Checker, pkg *Package, call *ast.CallExpr, lhs []ast.Expr) (ast.Node, string, bool) {
+	obj := calleeObject(pkg.Info, call)
+	if obj == nil || obj.Pkg() == nil || !c.isModulePath(obj.Pkg().Path()) {
+		return nil, "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil, "", false
+	}
+	res := sig.Results()
+	if lhs == nil {
+		for i := 0; i < res.Len(); i++ {
+			if isErrorType(res.At(i).Type()) {
+				return call, obj.Name(), true
+			}
+		}
+		return nil, "", false
+	}
+	// Multi-value assignment: a blank in an error position drops it.
+	// (Single-value `_ = f()` has lhs[0] blank and res.Len() == 1.)
+	if len(lhs) != res.Len() {
+		return nil, "", false
+	}
+	for i, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok && id.Name == "_" && isErrorType(res.At(i).Type()) {
+			return l, obj.Name(), true
+		}
+	}
+	return nil, "", false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// analyzerGoleak flags `go` statements in internal/ library code whose
+// goroutine is not tied to a lifecycle owner: a sync.WaitGroup, a stop
+// channel (any chan struct{} it selects on, receives from, or closes),
+// or a context.Context. This is the pattern behind leaked ack-loops in
+// internal/interconnect and heartbeat loops in internal/hdfs and
+// internal/cluster: a goroutine nobody can wait for or stop.
+//
+// The check is structural: the launched function body (following
+// same-package calls two levels deep) must mention one of the lifecycle
+// signals. Intentional fire-and-forget goroutines need an explicit
+// //hawqcheck:ignore goleak suppression.
+var analyzerGoleak = &Analyzer{
+	Name: nameGoleak,
+	Doc:  "goroutines in internal/ not tied to a WaitGroup, stop channel, or context",
+	Run:  runGoleak,
+}
+
+func runGoleak(c *Checker, pkg *Package) {
+	if !strings.Contains(pkg.Path+"/", "/internal/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineTied(pkg, gs.Call, 2) {
+				c.report(pkg, gs.Pos(), nameGoleak,
+					"goroutine is not tied to a sync.WaitGroup, stop channel, or context; it can leak past its owner's lifetime")
+			}
+			return true
+		})
+	}
+}
+
+// goroutineTied reports whether the goroutine launched by call is tied
+// to a lifecycle owner, following same-package callees up to depth.
+func goroutineTied(pkg *Package, call *ast.CallExpr, depth int) bool {
+	// Arguments passed to the goroutine (e.g. a context or stop channel
+	// handed to a helper) count as ties too.
+	for _, arg := range call.Args {
+		if exprIsLifecycle(pkg.Info, arg) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyTied(pkg, lit.Body, depth)
+	}
+	if obj := calleeObject(pkg.Info, call); obj != nil {
+		if fd, ok := pkg.funcBodies[obj]; ok && fd.Body != nil {
+			return bodyTied(pkg, fd.Body, depth)
+		}
+	}
+	return false
+}
+
+// bodyTied scans a function body for lifecycle signals.
+func bodyTied(pkg *Package, body *ast.BlockStmt, depth int) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				// wg.Done() / wg.Add(...) / wg.Wait() on a sync.WaitGroup.
+				if isWaitGroupMethod(pkg.Info, sel) {
+					tied = true
+					return false
+				}
+			}
+			// close(stopCh) — the goroutine owns a stop signal.
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "close" && len(e.Args) == 1 {
+				if exprIsLifecycle(pkg.Info, e.Args[0]) {
+					tied = true
+					return false
+				}
+			}
+			// Follow same-package helpers (e.g. a push() that selects
+			// on the done channel).
+			if depth > 0 {
+				if obj := calleeObject(pkg.Info, e); obj != nil {
+					if fd, ok := pkg.funcBodies[obj]; ok && fd.Body != nil && fd.Body != body {
+						if bodyTied(pkg, fd.Body, depth-1) {
+							tied = true
+							return false
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-done receives.
+			if e.Op == token.ARROW && exprIsLifecycle(pkg.Info, e.X) {
+				tied = true
+				return false
+			}
+		case ast.Expr:
+			if exprIsLifecycle(pkg.Info, e) {
+				tied = true
+				return false
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// exprIsLifecycle reports whether e's type is a lifecycle signal: a
+// struct{}-element channel (stop/done channels) or a context.Context.
+func exprIsLifecycle(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ch, ok := t.Underlying().(*types.Chan); ok {
+		if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+			return true
+		}
+		return false
+	}
+	return isContextType(t)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroupMethod reports whether sel is a method call on a
+// sync.WaitGroup.
+func isWaitGroupMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -1,0 +1,137 @@
+// Command hawq-check is the project's static-analysis gate. It loads
+// and type-checks every package in the module using only the standard
+// library (go/parser, go/ast, go/types — no golang.org/x/tools) and
+// enforces five project invariants:
+//
+//	mutexdiscipline  Lock() must have a matching Unlock() in the same
+//	                 function, and structs containing sync.Mutex must
+//	                 not be copied by value.
+//	goleak           goroutines launched in internal/ library code must
+//	                 be tied to a sync.WaitGroup, a stop channel, or a
+//	                 context.Context.
+//	errdrop          error returns of project APIs must not be
+//	                 discarded with `_ =` or a bare call statement.
+//	determinism      the simulated components (internal/hdfs,
+//	                 internal/interconnect, internal/stinger,
+//	                 internal/tpch) must route time and randomness
+//	                 through an injected clock.Clock / seeded
+//	                 *rand.Rand, never time.Now, time.Sleep or the
+//	                 global math/rand source.
+//	docstrings       every exported identifier carries a doc comment
+//	                 (the DESIGN.md promise).
+//
+// A finding can be suppressed with a trailing or preceding comment:
+//
+//	//hawqcheck:ignore errdrop          (one analyzer)
+//	//hawqcheck:ignore goleak,errdrop   (several)
+//	//hawqcheck:ignore                  (all analyzers on that line)
+//
+// Usage:
+//
+//	hawq-check [packages]
+//
+// With no arguments or "./..." it checks every package in the module.
+// Findings print as "file:line: analyzer: message" and a nonzero exit
+// status reports that violations exist.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hawq-check:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	c, err := NewChecker(cwd)
+	if err != nil {
+		return err
+	}
+	paths, err := resolveArgs(c, cwd, args)
+	if err != nil {
+		return err
+	}
+	if err := c.Check(paths); err != nil {
+		return err
+	}
+	for _, f := range c.Findings {
+		rel := f
+		if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(c.Findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// resolveArgs turns command-line package patterns into import paths.
+// Supported forms: none / "./..." (whole module), "./dir/..." (subtree)
+// and "./dir" (one package).
+func resolveArgs(c *Checker, cwd string, args []string) ([]string, error) {
+	all, err := c.DiscoverPackages()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return all, nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		dir, recursive := arg, false
+		if d, ok := strings.CutSuffix(arg, "/..."); ok {
+			dir, recursive = d, true
+		}
+		if dir == "." || dir == "" {
+			if recursive {
+				for _, p := range all {
+					if !seen[p] {
+						seen[p] = true
+						out = append(out, p)
+					}
+				}
+				continue
+			}
+			dir = cwd
+		}
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, dir)
+		}
+		rel, err := filepath.Rel(c.RootDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("package %q is outside module %s", arg, c.ModulePath)
+		}
+		prefix := c.ModulePath
+		if rel != "." {
+			prefix = c.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		matched := false
+		for _, p := range all {
+			ok := p == prefix || (recursive && strings.HasPrefix(p, prefix+"/"))
+			if ok && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("no packages match %q", arg)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerMutex enforces lock discipline: every sync.Mutex/RWMutex
+// Lock() (or RLock()) must have a matching Unlock() (RUnlock()) on the
+// same lock expression within the same function — deferred or on the
+// explicit paths — and structs containing a mutex must not be copied
+// by value (receivers, parameters, or assignments).
+var analyzerMutex = &Analyzer{
+	Name: nameMutex,
+	Doc:  "Lock() without matching Unlock(), and by-value copies of mutex-holding structs",
+	Run:  runMutex,
+}
+
+func runMutex(c *Checker, pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkMutexCopies(c, pkg, fd)
+			if fd.Body != nil {
+				checkLockPairs(c, pkg, fd)
+			}
+		}
+		// Top-level by-value copies in var declarations.
+		for _, decl := range file.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok {
+				checkCopySpecs(c, pkg, gd)
+			}
+		}
+	}
+}
+
+// lockMethods maps a lock acquisition method to its release method.
+var lockMethods = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+// checkLockPairs flags Lock/RLock calls with no matching release on the
+// same lock expression anywhere in the function (including deferred
+// calls and nested function literals, which commonly wrap the unlock).
+func checkLockPairs(c *Checker, pkg *Package, fd *ast.FuncDecl) {
+	type lockUse struct {
+		pos    ast.Node
+		expr   string
+		method string
+	}
+	var locks []lockUse
+	released := map[string]bool{} // "expr\x00method" of seen releases
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isMutexRecv(pkg.Info, sel) {
+			return true
+		}
+		name := sel.Sel.Name
+		recv := types.ExprString(sel.X)
+		if unlock, ok := lockMethods[name]; ok {
+			locks = append(locks, lockUse{pos: call, expr: recv, method: unlock})
+		} else if name == "Unlock" || name == "RUnlock" {
+			released[recv+"\x00"+name] = true
+		}
+		return true
+	})
+	for _, l := range locks {
+		if !released[l.expr+"\x00"+l.method] {
+			c.report(pkg, l.pos.Pos(), nameMutex,
+				fmt.Sprintf("%s.%s() has no matching %s() in this function; unlock on every path (prefer defer)",
+					l.expr, releaseToAcquire(l.method), l.method))
+		}
+	}
+}
+
+func releaseToAcquire(release string) string {
+	for acq, rel := range lockMethods {
+		if rel == release {
+			return acq
+		}
+	}
+	return release
+}
+
+// isMutexRecv reports whether sel selects a method or field on a
+// sync.Mutex or sync.RWMutex (directly or via an embedded/addressable
+// field).
+func isMutexRecv(info *types.Info, sel *ast.SelectorExpr) bool {
+	if s, ok := info.Selections[sel]; ok {
+		return isMutexType(s.Recv())
+	}
+	if tv, ok := info.Types[sel.X]; ok {
+		return isMutexType(tv.Type)
+	}
+	return false
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a
+// pointer to one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// containsMutex reports whether a value of type t embeds a sync.Mutex
+// or sync.RWMutex (so copying it by value copies lock state).
+func containsMutex(t types.Type) bool {
+	return containsMutexSeen(t, map[types.Type]bool{})
+}
+
+func containsMutexSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isMutexType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutexSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutexSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkMutexCopies flags by-value receivers and parameters of
+// mutex-holding struct types, and by-value assignments of such values
+// inside the function body.
+func checkMutexCopies(c *Checker, pkg *Package, fd *ast.FuncDecl) {
+	flagField := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := pkg.Info.Types[f.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if containsMutex(tv.Type) {
+				c.report(pkg, f.Type.Pos(), nameMutex,
+					fmt.Sprintf("%s passes %s by value, copying its mutex; use a pointer", kind, tv.Type))
+			}
+		}
+	}
+	flagField(fd.Recv, "receiver")
+	if fd.Type.Params != nil {
+		flagField(fd.Type.Params, "parameter")
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if i < len(st.Lhs) {
+					checkCopyExpr(c, pkg, rhs)
+				}
+			}
+		case *ast.GenDecl:
+			checkCopySpecs(c, pkg, st)
+		}
+		return true
+	})
+}
+
+// checkCopySpecs flags `var x = <copy>` declarations.
+func checkCopySpecs(c *Checker, pkg *Package, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			checkCopyExpr(c, pkg, v)
+		}
+	}
+}
+
+// checkCopyExpr flags an expression that copies a mutex-holding struct
+// by value: a dereference (*p) or a plain variable/field read. It skips
+// composite literals and calls, which create a fresh value rather than
+// copying a live one.
+func checkCopyExpr(c *Checker, pkg *Package, e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		// Reading a package-level or local *name* of function type,
+		// constant, etc. — only variables can hold a mutex.
+		if _, isVar := pkg.Info.Uses[id].(*types.Var); !isVar {
+			return
+		}
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsMutex(tv.Type) {
+		c.report(pkg, e.Pos(), nameMutex,
+			fmt.Sprintf("copies %s by value, copying its mutex; use a pointer", tv.Type))
+	}
+}

@@ -1,0 +1,20 @@
+package docbad
+
+// Documented carries a doc comment and passes.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// DocFunc carries a doc comment and passes.
+func DocFunc() {}
+
+func BareFunc() {}
+
+// DocConst carries a doc comment and passes.
+const DocConst = 1
+
+const BareConst = 2
+
+var BareVar int
+
+func unexported() {}

@@ -1,0 +1,46 @@
+// Package errdropbad is a hawq-check fixture: project-API error returns
+// that are dropped, handled, and suppressed, for the errdrop analyzer.
+package errdropbad
+
+import "fmt"
+
+// Fail always fails.
+func Fail() error { return fmt.Errorf("boom") }
+
+// Value returns a value and an error.
+func Value() (int, error) { return 0, fmt.Errorf("boom") }
+
+// DropBare discards the error with a bare call statement.
+func DropBare() {
+	Fail()
+}
+
+// DropBlank discards the error with a blank assignment.
+func DropBlank() {
+	_ = Fail()
+}
+
+// DropSecond blanks the error position of a two-value return.
+func DropSecond() int {
+	v, _ := Value()
+	return v
+}
+
+// Suppressed documents an intentional drop with the ignore directive.
+func Suppressed() {
+	//hawqcheck:ignore errdrop
+	Fail()
+}
+
+// Handled propagates the error.
+func Handled() error {
+	if err := Fail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Deferred cleanup is accepted idiom and not flagged.
+func Deferred() {
+	defer Fail()
+}

@@ -1,0 +1,52 @@
+// Package goleakbad is a hawq-check fixture: goroutine launches with
+// and without a shutdown mechanism, for the goleak analyzer.
+package goleakbad
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakyStart launches a goroutine nothing can ever stop.
+func LeakyStart(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+
+// StopChanStart ties the goroutine to a stop channel.
+func StopChanStart(work chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// ContextStart ties the goroutine to a context.
+func ContextStart(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// WaitGroupStart ties the goroutine to a WaitGroup.
+func WaitGroupStart(wg *sync.WaitGroup, work chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range work {
+		}
+	}()
+}

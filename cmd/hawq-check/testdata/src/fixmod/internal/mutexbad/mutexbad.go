@@ -1,0 +1,40 @@
+// Package mutexbad is a hawq-check fixture: known violations of the
+// mutexdiscipline analyzer next to code that must pass.
+package mutexbad
+
+import "sync"
+
+// Guarded holds a mutex-protected counter.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadLock locks without a matching unlock.
+func BadLock(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+}
+
+// GoodLock locks and releases via defer.
+func GoodLock(g *Guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// BadValueReceiver copies the mutex with every call.
+func (g Guarded) BadValueReceiver() int {
+	return g.n
+}
+
+// BadCopyAssign copies a mutex-holding struct by value.
+func BadCopyAssign(g *Guarded) Guarded {
+	h := *g
+	return h
+}
+
+// GoodPointerUse passes the lock holder by pointer.
+func GoodPointerUse(g *Guarded) *Guarded {
+	return g
+}

@@ -1,0 +1,34 @@
+// Package simbad is a hawq-check fixture: wall-clock and global-RNG use
+// inside a simulated component, for the determinism analyzer.
+package simbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// WallNow reads the wall clock directly.
+func WallNow() time.Time {
+	return time.Now()
+}
+
+// Nap sleeps on the real clock.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// GlobalRoll draws from the shared global source.
+func GlobalRoll() int {
+	return rand.Intn(6)
+}
+
+// SeededRoll owns a seeded generator, which is the allowed convention.
+func SeededRoll() int {
+	return rand.New(rand.NewSource(1)).Intn(6)
+}
+
+// Elapsed references a time type, which is fine; only impure package
+// functions are flagged.
+func Elapsed(d time.Duration) time.Duration {
+	return d
+}

@@ -78,8 +78,12 @@ func main() {
 	// Text files on HDFS through the built-in text profile, with export
 	// in the other direction.
 	fs := eng.Cluster().FS
-	fs.WriteFile("/lake/clicks/day1.txt", []byte("ann|3\nbob|7\n"), hdfs.CreateOptions{})
-	fs.WriteFile("/lake/clicks/day2.txt", []byte("ann|2\ncat|5\n"), hdfs.CreateOptions{})
+	if err := fs.WriteFile("/lake/clicks/day1.txt", []byte("ann|3\nbob|7\n"), hdfs.CreateOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteFile("/lake/clicks/day2.txt", []byte("ann|2\ncat|5\n"), hdfs.CreateOptions{}); err != nil {
+		log.Fatal(err)
+	}
 	must(`CREATE EXTERNAL TABLE clicks (who TEXT, n INT8)
 		LOCATION ('pxf://svc/lake/clicks?profile=text') FORMAT 'CUSTOM'`)
 	res = must("SELECT who, sum(n) FROM clicks GROUP BY who ORDER BY who")

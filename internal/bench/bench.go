@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -126,8 +127,7 @@ func newHAWQ(cfg Config, sf float64, orientation, compress string, level int, di
 		Distribution:  dist,
 	})
 	if err != nil {
-		e.Close()
-		return nil, err
+		return nil, errors.Join(err, e.Close())
 	}
 	return e, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -38,7 +39,9 @@ func Fig6(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		d, err := runSuite(e, cfg.queries())
-		e.Close()
+		if cerr := e.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("hawq %s: %w", format, err)
 		}
@@ -84,7 +87,9 @@ func Fig7(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		d, err := runSuite(e, cfg.queries())
-		e.Close()
+		if cerr := e.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("hawq %s: %w", format, err)
 		}
@@ -185,8 +190,7 @@ func Fig10(cfg Config) (*Report, error) {
 		}
 		er, err := newHAWQ(cfg, cfg.SFLarge, format, "quicklz", 0, tpch.DistRandom, nil)
 		if err != nil {
-			eh.Close()
-			return nil, err
+			return nil, errors.Join(err, eh.Close())
 		}
 		sh, sr := eh.NewSession(), er.NewSession()
 		for _, q := range queries {
@@ -209,8 +213,9 @@ func Fig10(cfg Config) (*Report, error) {
 				fmt.Sprintf("%.2fx", rt.Seconds()/ht.Seconds()),
 			})
 		}
-		eh.Close()
-		er.Close()
+		if err := errors.Join(eh.Close(), er.Close()); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -253,11 +258,12 @@ func Fig11(cfg Config, sf float64, io *hdfs.IOModel, regime string) (*Report, er
 			}
 			size, err := lineitemBytes(e)
 			if err != nil {
-				e.Close()
-				return nil, err
+				return nil, errors.Join(err, e.Close())
 			}
 			d, err := runSuite(e, cfg.queries())
-			e.Close()
+			if cerr := e.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s-%d: %w", c.format, c.ctype, c.level, err)
 			}
@@ -312,11 +318,12 @@ func Fig12(cfg Config) (*Report, error) {
 			if _, err := tpch.Load(e, tpch.LoadOptions{
 				Scale: tpch.Scale{SF: cfg.SFSmall}, Orientation: "row", Distribution: dist,
 			}); err != nil {
-				e.Close()
-				return nil, err
+				return nil, errors.Join(err, e.Close())
 			}
 			d, err := runSuite(e, cfg.queries())
-			e.Close()
+			if cerr := e.Close(); err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", dist, ic, err)
 			}
@@ -358,7 +365,9 @@ func Fig13(cfg Config, fixedPerNode bool) (*Report, error) {
 			return nil, err
 		}
 		d, err := runSuite(e, cfg.queries())
-		e.Close()
+		if cerr := e.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("%d segments: %w", n, err)
 		}

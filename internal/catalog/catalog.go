@@ -293,7 +293,7 @@ func (c *Catalog) allocOID() int64 {
 // assigned OID.
 func (c *Catalog) CreateTable(t *tx.Tx, desc *TableDesc) (int64, error) {
 	snap := t.Snapshot()
-	if existing, _ := c.LookupTable(snap, desc.Name); existing != nil {
+	if existing, err := c.LookupTable(snap, desc.Name); err == nil && existing != nil {
 		return 0, fmt.Errorf("catalog: table %q already exists", desc.Name)
 	}
 	if desc.Storage.Orientation == "" {

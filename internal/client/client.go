@@ -102,9 +102,15 @@ func (c *Conn) QueryOne(sql string) (*Result, error) {
 	return res[len(res)-1], nil
 }
 
-// Close terminates the connection.
+// Close sends a terminate message (best effort) and closes the socket,
+// returning the first error encountered.
 func (c *Conn) Close() error {
-	writeMsg(c.rw, MsgTerminate, nil)
-	c.rw.Flush()
-	return c.c.Close()
+	err := writeMsg(c.rw, MsgTerminate, nil)
+	if ferr := c.rw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := c.c.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

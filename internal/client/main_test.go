@@ -1,0 +1,11 @@
+package client
+
+import (
+	"testing"
+
+	"hawq/internal/testutil"
+)
+
+// TestMain fails the suite if the wire-protocol server leaks accept or
+// per-connection goroutines past Close.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

@@ -66,11 +66,14 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serve runs one connection: a QD session loop.
+// serve runs one connection: a QD session loop. A failed write means
+// the peer is gone, so the connection is torn down.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	sess := s.eng.NewSession()
-	writeMsg(conn, MsgReady, nil)
+	if err := writeMsg(conn, MsgReady, nil); err != nil {
+		return
+	}
 	for {
 		typ, payload, err := readMsg(conn)
 		if err != nil {
@@ -80,31 +83,47 @@ func (s *Server) serve(conn net.Conn) {
 		case MsgTerminate:
 			return
 		case MsgQuery:
-			s.handleQuery(conn, sess, string(payload))
+			if err := s.handleQuery(conn, sess, string(payload)); err != nil {
+				return
+			}
 		default:
-			writeMsg(conn, MsgError, []byte(fmt.Sprintf("unexpected message %q", typ)))
-			writeMsg(conn, MsgReady, nil)
+			if err := writeMsg(conn, MsgError, []byte(fmt.Sprintf("unexpected message %q", typ))); err != nil {
+				return
+			}
+			if err := writeMsg(conn, MsgReady, nil); err != nil {
+				return
+			}
 		}
 	}
 }
 
-func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, sql string) {
+// handleQuery executes one query and streams its results. The returned
+// error is non-nil only for wire failures; query errors go to the peer
+// as MsgError.
+func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, sql string) error {
 	results, err := sess.Execute(sql)
 	if err != nil {
-		writeMsg(conn, MsgError, []byte(err.Error()))
-		writeMsg(conn, MsgReady, nil)
-		return
+		if werr := writeMsg(conn, MsgError, []byte(err.Error())); werr != nil {
+			return werr
+		}
+		return writeMsg(conn, MsgReady, nil)
 	}
 	for _, res := range results {
 		if res.Schema != nil {
-			writeMsg(conn, MsgRowDesc, encodeSchema(res.Schema))
+			if err := writeMsg(conn, MsgRowDesc, encodeSchema(res.Schema)); err != nil {
+				return err
+			}
 			var buf []byte
 			for _, row := range res.Rows {
 				buf = types.EncodeRow(buf[:0], row)
-				writeMsg(conn, MsgDataRow, buf)
+				if err := writeMsg(conn, MsgDataRow, buf); err != nil {
+					return err
+				}
 			}
 		}
-		writeMsg(conn, MsgComplete, []byte(res.Tag))
+		if err := writeMsg(conn, MsgComplete, []byte(res.Tag)); err != nil {
+			return err
+		}
 	}
-	writeMsg(conn, MsgReady, nil)
+	return writeMsg(conn, MsgReady, nil)
 }

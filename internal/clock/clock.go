@@ -1,0 +1,213 @@
+// Package clock provides the injectable time source used by the
+// simulated components (internal/hdfs, internal/interconnect,
+// internal/stinger). Production code takes a Clock instead of calling
+// time.Now / time.Sleep / time.NewTicker directly, so fault-injection
+// experiments can run on virtual time and replay deterministically.
+// The hawq-check determinism analyzer enforces this convention at
+// `go test` time.
+//
+// Two implementations are provided: Wall (real time; the default
+// everywhere a config leaves Clock nil) and Sim (logical time that
+// advances only when told to, making sleeps free and replayable).
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source threaded through the simulated components.
+// It covers exactly the operations the simulation needs: reading the
+// current instant, sleeping, and periodic ticks.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Since returns the elapsed time between t and Now.
+	Since(t time.Time) time.Duration
+	// Sleep pauses the caller for d (or advances virtual time by d).
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the time after d elapses.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the clock-agnostic subset of time.Ticker.
+type Ticker interface {
+	// C returns the channel on which ticks are delivered.
+	C() <-chan time.Time
+	// Stop shuts the ticker down. It does not close C.
+	Stop()
+}
+
+// Default returns c, or Wall{} when c is nil. Config fill() helpers use
+// it so a zero-valued config keeps today's real-time behaviour.
+func Default(c Clock) Clock {
+	if c == nil {
+		return Wall{}
+	}
+	return c
+}
+
+// Wall is the real-time Clock backed by the time package. The zero
+// value is ready to use.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep implements Clock.
+func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTicker implements Clock.
+func (Wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) C() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()               { w.t.Stop() }
+
+// Sim is a virtual clock for deterministic replay: Now returns a
+// logical instant that moves only via Sleep and Advance, so a run that
+// "waits" for simulated disk seeks or container startups completes
+// instantly and produces identical timings every run.
+//
+// Sim is designed for a single driving goroutine (the experiment
+// harness). Concurrent use is safe (a mutex guards the state) but the
+// observed interleaving of advances is scheduler-dependent, like any
+// concurrent program.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	slept   time.Duration
+	tickers []*simTicker
+}
+
+// NewSim creates a virtual clock starting at the given instant. A zero
+// start is replaced with a fixed epoch so every experiment shares the
+// same origin.
+func NewSim(start time.Time) *Sim {
+	if start.IsZero() {
+		start = time.Date(2014, 6, 22, 0, 0, 0, 0, time.UTC) // SIGMOD'14
+	}
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now.Sub(t)
+}
+
+// Sleep implements Clock: virtual sleeps return immediately after
+// advancing logical time by d, which is what makes simulated IO and
+// startup latencies free and replayable.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.slept += d
+	s.advanceLocked(d)
+	s.mu.Unlock()
+}
+
+// Advance moves logical time forward by d, delivering any ticker fires
+// the move crosses.
+func (s *Sim) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.advanceLocked(d)
+	s.mu.Unlock()
+}
+
+// Slept returns the total virtual time spent in Sleep, the simulated
+// cost metric experiments report instead of wall time.
+func (s *Sim) Slept() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slept
+}
+
+func (s *Sim) advanceLocked(d time.Duration) {
+	s.now = s.now.Add(d)
+	for _, t := range s.tickers {
+		t.catchUp(s.now)
+	}
+}
+
+// After implements Clock: logical time advances by d immediately and
+// the returned channel already holds the post-advance instant, so a
+// select on it proceeds deterministically.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	s.advanceLocked(d)
+	now := s.now
+	s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- now
+	return ch
+}
+
+// NewTicker implements Clock. Sim tickers fire when Advance or Sleep
+// crosses a tick boundary; with nobody advancing the clock they stay
+// silent, which keeps replay fully under the driver's control.
+func (s *Sim) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	s.mu.Lock()
+	t := &simTicker{period: d, next: s.now.Add(d), ch: make(chan time.Time, 1)}
+	s.tickers = append(s.tickers, t)
+	s.mu.Unlock()
+	return t
+}
+
+type simTicker struct {
+	mu      sync.Mutex
+	period  time.Duration
+	next    time.Time
+	stopped bool
+	ch      chan time.Time
+}
+
+func (t *simTicker) C() <-chan time.Time { return t.ch }
+
+func (t *simTicker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+}
+
+// catchUp delivers at most one pending tick for the advance to now;
+// like time.Ticker, slow receivers see ticks coalesced, not queued.
+func (t *simTicker) catchUp(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped || now.Before(t.next) {
+		return
+	}
+	for !now.Before(t.next) {
+		t.next = t.next.Add(t.period)
+	}
+	select {
+	case t.ch <- now:
+	default:
+	}
+}

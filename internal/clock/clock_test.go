@@ -1,0 +1,111 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallBasics(t *testing.T) {
+	var c Clock = Wall{}
+	t0 := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(t0) <= 0 {
+		t.Fatal("wall clock did not advance across Sleep")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-c.After(time.Second):
+		t.Fatal("wall ticker never fired")
+	}
+}
+
+func TestDefault(t *testing.T) {
+	if _, ok := Default(nil).(Wall); !ok {
+		t.Fatal("Default(nil) should be Wall")
+	}
+	s := NewSim(time.Time{})
+	if Default(s) != s {
+		t.Fatal("Default should pass through a non-nil clock")
+	}
+}
+
+func TestSimSleepIsVirtual(t *testing.T) {
+	s := NewSim(time.Time{})
+	t0 := s.Now()
+	wall0 := time.Now()
+	s.Sleep(10 * time.Hour)
+	if elapsed := time.Since(wall0); elapsed > time.Second {
+		t.Fatalf("sim Sleep took %v of wall time", elapsed)
+	}
+	if got := s.Since(t0); got != 10*time.Hour {
+		t.Fatalf("sim advanced %v, want 10h", got)
+	}
+	if got := s.Slept(); got != 10*time.Hour {
+		t.Fatalf("Slept() = %v, want 10h", got)
+	}
+}
+
+func TestSimDeterministicReplay(t *testing.T) {
+	run := func() []time.Time {
+		s := NewSim(time.Time{})
+		var out []time.Time
+		for i := 0; i < 5; i++ {
+			s.Sleep(time.Duration(i+1) * time.Millisecond)
+			out = append(out, s.Now())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("replay diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSimTicker(t *testing.T) {
+	s := NewSim(time.Time{})
+	tk := s.NewTicker(10 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("ticker fired before any advance")
+	default:
+	}
+	s.Advance(25 * time.Millisecond)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("ticker did not fire after advancing past its period")
+	}
+	// Coalescing: a large advance delivers one pending tick, not a burst.
+	s.Advance(time.Second)
+	<-tk.C()
+	select {
+	case <-tk.C():
+		t.Fatal("ticks should coalesce like time.Ticker")
+	default:
+	}
+	tk.Stop()
+	s.Advance(time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+}
+
+func TestSimAfter(t *testing.T) {
+	s := NewSim(time.Time{})
+	t0 := s.Now()
+	ch := s.After(time.Minute)
+	select {
+	case at := <-ch:
+		if got := at.Sub(t0); got != time.Minute {
+			t.Fatalf("After delivered %v past start, want 1m", got)
+		}
+	default:
+		t.Fatal("sim After channel should be immediately ready")
+	}
+}

@@ -11,6 +11,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -136,7 +137,8 @@ func (c *Cluster) NumSegments() int { return len(c.segments) }
 // Segment returns the i'th segment.
 func (c *Cluster) Segment(i int) *Segment { return c.segments[i] }
 
-// Close shuts the cluster down.
+// Close shuts the cluster down, returning the combined endpoint close
+// errors.
 func (c *Cluster) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -145,15 +147,15 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	c.qdNode.Close()
+	err := c.qdNode.Close()
 	for _, s := range c.segments {
 		s.mu.Lock()
 		if s.node != nil {
-			s.node.Close()
+			err = errors.Join(err, s.node.Close())
 		}
 		s.mu.Unlock()
 	}
-	return nil
+	return err
 }
 
 // Down reports whether the segment is marked down.
@@ -170,6 +172,8 @@ func (s *Segment) Kill() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.node != nil {
+		// A simulated crash does not care how the endpoint died.
+		//hawqcheck:ignore errdrop
 		s.node.Close()
 		s.node = nil
 	}
@@ -196,6 +200,9 @@ func (c *Cluster) FaultCheck() []int {
 			s.mu.Unlock()
 			t := c.TxMgr.Begin(tx.ReadCommitted)
 			if err := c.Cat.SetSegmentStatus(t, s.ID, "down"); err == nil {
+				// The next detector pass retries if the commit lost a
+				// race; the in-memory down flag is already set.
+				//hawqcheck:ignore errdrop
 				t.Commit()
 			} else {
 				t.Abort()

@@ -124,6 +124,10 @@ func (c *Cluster) AcquireLane(t *tx.Tx, desc *catalog.TableDesc) (int, map[int]c
 	descCopy := *desc
 	t.OnAbort(func() {
 		for _, sf := range preImage {
+			// Best-effort rollback: bytes past the logical length are
+			// invisible to readers, so a failed truncate is retried by
+			// the next writer of this lane.
+			//hawqcheck:ignore errdrop
 			c.truncateToLogical(&descCopy, sf)
 		}
 	})

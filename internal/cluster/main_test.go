@@ -1,0 +1,11 @@
+package cluster
+
+import (
+	"testing"
+
+	"hawq/internal/testutil"
+)
+
+// TestMain fails the suite if cluster shutdown leaves QD/QE endpoint
+// goroutines behind.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

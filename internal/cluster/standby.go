@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync"
+
 	"hawq/internal/catalog"
 	"hawq/internal/tx"
 )
@@ -10,6 +12,29 @@ import (
 // replicating the catalog is all a failover needs.
 type Standby struct {
 	Cat *catalog.Catalog
+
+	mu  sync.Mutex
+	err error
+}
+
+// Err returns the first WAL-replay error, if any. A standby with a
+// non-nil Err has diverged and must be rebuilt before promotion.
+func (sb *Standby) Err() error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.err
+}
+
+// recordErr keeps the first replay failure.
+func (sb *Standby) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.err == nil {
+		sb.err = err
+	}
 }
 
 // StartStandby attaches a standby master: it catches up on the WAL
@@ -22,10 +47,10 @@ func (c *Cluster) StartStandby() *Standby {
 	}
 	sb := &Standby{Cat: catalog.New(nil)}
 	backlog := c.WAL.Subscribe(func(r tx.Record) {
-		sb.Cat.ApplyRecord(r)
+		sb.recordErr(sb.Cat.ApplyRecord(r))
 	})
 	for _, r := range backlog {
-		sb.Cat.ApplyRecord(r)
+		sb.recordErr(sb.Cat.ApplyRecord(r))
 	}
 	c.standby = sb
 	return sb

@@ -255,7 +255,10 @@ func (s *Session) runDropTable(t *tx.Tx, stmt *sqlparser.DropTableStmt) (*Result
 	}
 	oids := []int64{desc.OID}
 	if desc.IsPartitionParent() {
-		kids, _ := cat.PartitionChildren(t.Snapshot(), desc.OID)
+		kids, err := cat.PartitionChildren(t.Snapshot(), desc.OID)
+		if err != nil {
+			return nil, err
+		}
 		for _, k := range kids {
 			oids = append(oids, k.OID)
 		}
@@ -266,6 +269,9 @@ func (s *Session) runDropTable(t *tx.Tx, stmt *sqlparser.DropTableStmt) (*Result
 	fs := s.eng.cl.FS
 	t.OnCommit(func() {
 		for _, oid := range oids {
+			// Post-commit cleanup is best effort: the catalog entry is
+			// already gone, so a failed delete only leaks dead files.
+			//hawqcheck:ignore errdrop
 			fs.Delete(fmt.Sprintf("/hawq/data/%d", oid), true)
 		}
 	})
@@ -283,7 +289,10 @@ func (s *Session) runTruncate(t *tx.Tx, stmt *sqlparser.TruncateStmt) (*Result, 
 	}
 	targets := []*catalog.TableDesc{desc}
 	if desc.IsPartitionParent() {
-		kids, _ := cat.PartitionChildren(t.Snapshot(), desc.OID)
+		kids, err := cat.PartitionChildren(t.Snapshot(), desc.OID)
+		if err != nil {
+			return nil, err
+		}
 		targets = append(targets, kids...)
 	}
 	fs := s.eng.cl.FS
@@ -292,6 +301,8 @@ func (s *Session) runTruncate(t *tx.Tx, stmt *sqlparser.TruncateStmt) (*Result, 
 		oid := d.OID
 		_ = dropped
 		t.OnCommit(func() {
+			// Best-effort post-commit cleanup; see runDrop.
+			//hawqcheck:ignore errdrop
 			fs.Delete(fmt.Sprintf("/hawq/data/%d", oid), true)
 		})
 	}
@@ -327,7 +338,10 @@ func (s *Session) runAnalyze(t *tx.Tx, stmt *sqlparser.AnalyzeStmt) (*Result, er
 		var rows, bytes int64
 		countOids := []int64{desc.OID}
 		if desc.IsPartitionParent() {
-			kids, _ := cat.PartitionChildren(t.Snapshot(), desc.OID)
+			kids, err := cat.PartitionChildren(t.Snapshot(), desc.OID)
+			if err != nil {
+				return nil, err
+			}
 			countOids = countOids[:0]
 			for _, k := range kids {
 				countOids = append(countOids, k.OID)

@@ -10,6 +10,7 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
 
 	"hawq/internal/catalog"
@@ -142,14 +143,12 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 		return err
 	}
 	if err := op.Open(); err != nil {
-		op.Close()
-		return err
+		return errors.Join(err, op.Close())
 	}
 	for {
 		_, ok, err := op.Next()
 		if err != nil {
-			op.Close()
-			return err
+			return errors.Join(err, op.Close())
 		}
 		if !ok {
 			break
@@ -162,21 +161,18 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 // top slice) and invokes fn per row.
 func Drain(op Operator, fn func(types.Row) error) error {
 	if err := op.Open(); err != nil {
-		op.Close()
-		return err
+		return errors.Join(err, op.Close())
 	}
 	for {
 		row, ok, err := op.Next()
 		if err != nil {
-			op.Close()
-			return err
+			return errors.Join(err, op.Close())
 		}
 		if !ok {
 			break
 		}
 		if err := fn(row); err != nil {
-			op.Close()
-			return err
+			return errors.Join(err, op.Close())
 		}
 	}
 	return op.Close()

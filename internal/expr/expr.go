@@ -40,6 +40,7 @@ func (c *ColRef) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (c *ColRef) Kind() types.Kind { return c.K }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (c *ColRef) String() string {
 	if c.Name != "" {
 		return c.Name
@@ -61,6 +62,7 @@ func (c *Const) Eval(types.Row) (types.Datum, error) { return c.D, nil }
 // Kind implements Expr.
 func (c *Const) Kind() types.Kind { return c.D.K }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (c *Const) String() string {
 	if c.D.K == types.KindString {
 		return "'" + c.D.S + "'"
@@ -132,6 +134,7 @@ func (b *BinOp) Kind() types.Kind {
 	}
 }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (b *BinOp) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
 }
@@ -249,6 +252,7 @@ func (n *Not) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (n *Not) Kind() types.Kind { return types.KindBool }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (n *Not) String() string { return fmt.Sprintf("(NOT %s)", n.E) }
 
 // Neg arithmetically negates a numeric expression.
@@ -268,6 +272,7 @@ func (n *Neg) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (n *Neg) Kind() types.Kind { return n.E.Kind() }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (n *Neg) String() string { return fmt.Sprintf("(-%s)", n.E) }
 
 // IsNull tests for SQL NULL; with Negate it is IS NOT NULL.
@@ -288,6 +293,7 @@ func (i *IsNull) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (i *IsNull) Kind() types.Kind { return types.KindBool }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (i *IsNull) String() string {
 	if i.Negate {
 		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
@@ -315,6 +321,7 @@ func (l *Like) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (l *Like) Kind() types.Kind { return types.KindBool }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (l *Like) String() string {
 	op := "LIKE"
 	if l.Negate {
@@ -386,6 +393,7 @@ func (in *InList) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (in *InList) Kind() types.Kind { return types.KindBool }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (in *InList) String() string {
 	items := make([]string, len(in.Items))
 	for i, it := range in.Items {
@@ -425,6 +433,7 @@ func (b *Between) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (b *Between) Kind() types.Kind { return types.KindBool }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (b *Between) String() string {
 	return fmt.Sprintf("(%s BETWEEN %s AND %s)", b.E, b.Lo, b.Hi)
 }
@@ -469,6 +478,7 @@ func (c *Case) Kind() types.Kind {
 	return types.KindNull
 }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (c *Case) String() string {
 	var b strings.Builder
 	b.WriteString("CASE")
@@ -500,6 +510,7 @@ func (c *Cast) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (c *Cast) Kind() types.Kind { return c.To }
 
+// String renders the expression as SQL-like text for EXPLAIN output.
 func (c *Cast) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.To) }
 
 // EvalBool evaluates a predicate, mapping NULL to false (SQL WHERE

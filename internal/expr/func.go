@@ -196,6 +196,7 @@ func (f *FuncCall) Eval(row types.Row) (types.Datum, error) {
 // Kind implements Expr.
 func (f *FuncCall) Kind() types.Kind { return f.impl.kind(f.Args) }
 
+// String renders the call as SQL-like text for EXPLAIN output.
 func (f *FuncCall) String() string {
 	args := make([]string, len(f.Args))
 	for i, a := range f.Args {

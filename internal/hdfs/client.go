@@ -1,10 +1,10 @@
 package hdfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"path"
-	"time"
 )
 
 // CreateOptions tunes file creation.
@@ -35,7 +35,7 @@ func (fs *FileSystem) Create(p string, opts CreateOptions) (*FileWriter, error) 
 	if writer == "" {
 		writer = "anonymous"
 	}
-	f := &fileMeta{lease: writer, modTime: time.Now()}
+	f := &fileMeta{lease: writer, modTime: fs.clk.Now()}
 	fs.files[p] = f
 	fs.mkdirLocked(path.Dir(p))
 	return &FileWriter{fs: fs, path: p, meta: f, preferred: opts.PreferredHost}, nil
@@ -126,7 +126,7 @@ func (w *FileWriter) Write(p []byte) (int, error) {
 		w.fs.mu.Lock()
 		b.locs = live
 		b.length += n
-		w.meta.modTime = time.Now()
+		w.meta.modTime = w.fs.clk.Now()
 		w.fs.mu.Unlock()
 		p = p[n:]
 	}
@@ -227,7 +227,7 @@ func (fs *FileSystem) Truncate(p string, length int64) error {
 		}
 	}
 	f.blocks = f.blocks[:keep]
-	f.modTime = time.Now()
+	f.modTime = fs.clk.Now()
 	return nil
 }
 
@@ -372,8 +372,7 @@ func (fs *FileSystem) WriteFile(p string, data []byte, opts CreateOptions) error
 		return err
 	}
 	if _, err := w.Write(data); err != nil {
-		w.Close()
-		return err
+		return errors.Join(err, w.Close())
 	}
 	return w.Close()
 }

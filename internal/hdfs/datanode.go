@@ -3,7 +3,8 @@ package hdfs
 import (
 	"fmt"
 	"sync"
-	"time"
+
+	"hawq/internal/clock"
 )
 
 // DataNode stores block replicas across a set of simulated disk volumes.
@@ -12,6 +13,7 @@ import (
 type DataNode struct {
 	name string
 	io   *IOModel
+	clk  clock.Clock
 
 	mu      sync.RWMutex
 	alive   bool
@@ -27,10 +29,11 @@ type volume struct {
 	used   int64
 }
 
-func newDataNode(name string, volumes int, io *IOModel) *DataNode {
+func newDataNode(name string, volumes int, io *IOModel, clk clock.Clock) *DataNode {
 	dn := &DataNode{
 		name:     name,
 		io:       io,
+		clk:      clk,
 		alive:    true,
 		blockVol: make(map[BlockID]int),
 	}
@@ -174,7 +177,7 @@ func (dn *DataNode) readBlock(id BlockID, off, n int64) ([]byte, error) {
 	copy(out, data[off:end])
 	dn.mu.RUnlock()
 	if d := dn.io.delay(len(out)); d > 0 {
-		time.Sleep(d)
+		dn.clk.Sleep(d)
 	}
 	return out, nil
 }

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hawq/internal/clock"
 )
 
 // FileSystem is a simulated HDFS cluster: the NameNode role (namespace,
@@ -15,6 +17,7 @@ import (
 // DataNodes.
 type FileSystem struct {
 	cfg Config
+	clk clock.Clock
 
 	mu        sync.Mutex
 	nodes     []*DataNode
@@ -63,11 +66,12 @@ func New(cfg Config) (*FileSystem, error) {
 	}
 	fs := &FileSystem{
 		cfg:   cfg,
+		clk:   clock.Default(cfg.Clock),
 		files: make(map[string]*fileMeta),
 		dirs:  map[string]bool{"/": true},
 	}
 	for i := 0; i < cfg.DataNodes; i++ {
-		fs.nodes = append(fs.nodes, newDataNode(fmt.Sprintf("dn%d", i), cfg.VolumesPerNode, cfg.IO))
+		fs.nodes = append(fs.nodes, newDataNode(fmt.Sprintf("dn%d", i), cfg.VolumesPerNode, cfg.IO, fs.clk))
 	}
 	return fs, nil
 }

@@ -17,6 +17,7 @@ package hdfs
 import (
 	"errors"
 	"fmt"
+	"hawq/internal/clock"
 	"time"
 )
 
@@ -42,6 +43,10 @@ type Config struct {
 	// IO optionally models disk latency and bandwidth; nil disables
 	// the model and reads/writes run at memory speed.
 	IO *IOModel
+	// Clock supplies file modification times and paces modeled IO
+	// sleeps; nil means the wall clock. Simulations inject clock.Sim
+	// for deterministic replay.
+	Clock clock.Clock
 }
 
 // IOModel models disk access cost for the IO-bound experiment regime

@@ -40,6 +40,7 @@ type StreamID struct {
 	Receiver SegID
 }
 
+// String formats the stream id for logs and error messages.
 func (s StreamID) String() string {
 	return fmt.Sprintf("q%d/m%d %d->%d", s.Query, s.Motion, s.Sender, s.Receiver)
 }

@@ -1,0 +1,11 @@
+package interconnect
+
+import (
+	"testing"
+
+	"hawq/internal/testutil"
+)
+
+// TestMain fails the suite if interconnect endpoints leak their receive,
+// timer, or reader goroutines past Close.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

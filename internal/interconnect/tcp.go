@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hawq/internal/clock"
 )
 
 // TCPNode is the TCP interconnect endpoint: one TCP connection per
@@ -19,6 +21,7 @@ type TCPNode struct {
 	seg  SegID
 	ln   net.Listener
 	book *AddrBook
+	clk  clock.Clock
 
 	mu      sync.Mutex
 	recvs   map[motionKey]*tcpRecv
@@ -50,6 +53,7 @@ func NewTCPNode(seg SegID, book *AddrBook) (*TCPNode, error) {
 		seg:     seg,
 		ln:      ln,
 		book:    book,
+		clk:     clock.Wall{},
 		recvs:   map[motionKey]*tcpRecv{},
 		pending: map[motionKey][]*tcpPendingConn{},
 	}
@@ -107,7 +111,7 @@ func (n *TCPNode) acceptLoop() {
 // receiver (parking it if the receiver has not been set up yet).
 func (n *TCPNode) handleConn(conn net.Conn) {
 	var hello [14]byte
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(n.clk.Now().Add(10 * time.Second))
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		conn.Close()
 		return

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"hawq/internal/clock"
 )
 
 // UDPConfig tunes the UDP interconnect.
@@ -19,6 +21,10 @@ type UDPConfig struct {
 	LossRate float64
 	// Seed seeds the loss-injection RNG.
 	Seed int64
+	// Clock paces retransmission timers and timeouts; nil means the
+	// wall clock. Simulations inject clock.Sim for deterministic
+	// replay.
+	Clock clock.Clock
 }
 
 func (c *UDPConfig) fill() {
@@ -28,6 +34,7 @@ func (c *UDPConfig) fill() {
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = 8 * 1024
 	}
+	c.Clock = clock.Default(c.Clock)
 }
 
 // AddrBook maps node IDs to their interconnect addresses.
@@ -91,6 +98,7 @@ type UDPNode struct {
 	conn *net.UDPConn
 	book *AddrBook
 	cfg  UDPConfig
+	clk  clock.Clock
 
 	mu     sync.Mutex
 	sends  map[StreamID]*udpSend
@@ -118,6 +126,7 @@ func NewUDPNode(seg SegID, book *AddrBook, cfg UDPConfig) (*UDPNode, error) {
 		conn:  conn,
 		book:  book,
 		cfg:   cfg,
+		clk:   cfg.Clock,
 		sends: map[StreamID]*udpSend{},
 		recvs: map[motionKey]*udpRecv{},
 		ended: map[motionKey]time.Time{},
@@ -247,13 +256,13 @@ func (n *UDPNode) dispatch(h header, payload []byte, raddr *net.UDPAddr) {
 // ring of §4.2.
 func (n *UDPNode) timerLoop() {
 	defer n.wg.Done()
-	t := time.NewTicker(2 * time.Millisecond)
+	t := n.clk.NewTicker(2 * time.Millisecond)
 	defer t.Stop()
 	for {
 		select {
 		case <-n.done:
 			return
-		case <-t.C:
+		case <-t.C():
 		}
 		n.mu.Lock()
 		sends := make([]*udpSend, 0, len(n.sends))
@@ -261,7 +270,7 @@ func (n *UDPNode) timerLoop() {
 			sends = append(sends, s)
 		}
 		// Expire old tombstones of finished receivers.
-		now := time.Now()
+		now := n.clk.Now()
 		for k, at := range n.ended {
 			if now.Sub(at) > time.Minute {
 				delete(n.ended, k)
@@ -382,7 +391,7 @@ func (s *udpSend) Send(data []byte) error {
 			break
 		}
 		if s.blocked.IsZero() {
-			s.blocked = time.Now()
+			s.blocked = s.n.clk.Now()
 		}
 		s.cond.Wait()
 	}
@@ -399,7 +408,7 @@ func (s *udpSend) emitLocked(ptype uint8, data []byte) {
 		Type: ptype, Query: s.sid.Query, Motion: s.sid.Motion,
 		Sender: s.sid.Sender, Receiver: s.sid.Receiver, Seq: seq,
 	}, data)
-	p := &outPkt{seq: seq, buf: buf, sentAt: time.Now()}
+	p := &outPkt{seq: seq, buf: buf, sentAt: s.n.clk.Now()}
 	s.unacked[seq] = p
 	s.n.transmit(s.raddr, buf)
 }
@@ -416,7 +425,7 @@ func (s *udpSend) handleAck(h header) {
 	if h.SR > s.sr {
 		s.sr = h.SR
 	}
-	now := time.Now()
+	now := s.n.clk.Now()
 	acked := 0
 	for seq, p := range s.unacked {
 		if seq <= h.SR {
@@ -468,7 +477,7 @@ func (s *udpSend) handleOOO(h header, payload []byte) {
 		seq := uint32(payload[i])<<24 | uint32(payload[i+1])<<16 | uint32(payload[i+2])<<8 | uint32(payload[i+3])
 		if p, ok := s.unacked[seq]; ok {
 			p.resends++
-			p.sentAt = time.Now()
+			p.sentAt = s.n.clk.Now()
 			resend = append(resend, p.buf)
 		}
 	}
@@ -550,9 +559,9 @@ func (s *udpSend) Close() error {
 	if !s.stopped {
 		s.emitLocked(ptEOS, nil)
 	}
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := s.n.clk.Now().Add(10 * time.Second)
 	for len(s.unacked) > 0 && !s.stopped {
-		if time.Now().After(deadline) {
+		if s.n.clk.Now().After(deadline) {
 			s.closed = true
 			s.mu.Unlock()
 			s.unregister()
@@ -827,7 +836,7 @@ func (r *udpRecv) Close() {
 	r.n.mu.Lock()
 	delete(r.n.recvs, r.key)
 	if !r.n.closed {
-		r.n.ended[r.key] = time.Now()
+		r.n.ended[r.key] = r.n.clk.Now()
 	}
 	r.n.mu.Unlock()
 }

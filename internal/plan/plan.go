@@ -41,6 +41,7 @@ const (
 
 var motionNames = [...]string{"Gather Motion", "Broadcast Motion", "Redistribute Motion"}
 
+// String returns the display name used in EXPLAIN output.
 func (m MotionType) String() string { return motionNames[m] }
 
 // JoinKind covers the join semantics the executor implements.
@@ -56,6 +57,7 @@ const (
 
 var joinKindNames = [...]string{"Inner", "Left", "Semi", "Anti"}
 
+// String returns the display name used in EXPLAIN output.
 func (k JoinKind) String() string { return joinKindNames[k] }
 
 // AggPhase distinguishes the two-phase aggregation stages.

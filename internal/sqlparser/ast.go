@@ -36,6 +36,7 @@ type SelectStmt struct {
 
 func (*SelectStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (s *SelectStmt) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
@@ -100,6 +101,7 @@ type SelectItem struct {
 	TableStar string
 }
 
+// String renders the node back to SQL text.
 func (s SelectItem) String() string {
 	if s.Star {
 		if s.TableStar != "" {
@@ -119,6 +121,7 @@ type OrderItem struct {
 	Desc bool
 }
 
+// String renders the node back to SQL text.
 func (o OrderItem) String() string {
 	if o.Desc {
 		return o.Expr.String() + " DESC"
@@ -140,6 +143,7 @@ type TableName struct {
 
 func (*TableName) tableRef() {}
 
+// String renders the node back to SQL text.
 func (t *TableName) String() string {
 	if t.Alias != "" {
 		return t.Name + " " + t.Alias
@@ -161,6 +165,7 @@ const (
 
 var joinNames = [...]string{"JOIN", "LEFT JOIN", "RIGHT JOIN", "FULL JOIN", "CROSS JOIN"}
 
+// String renders the node back to SQL text.
 func (j JoinType) String() string { return joinNames[j] }
 
 // Join is an explicit join between two table refs.
@@ -172,6 +177,7 @@ type Join struct {
 
 func (*Join) tableRef() {}
 
+// String renders the node back to SQL text.
 func (j *Join) String() string {
 	s := fmt.Sprintf("%s %s %s", j.Left, j.Type, j.Right)
 	if j.On != nil {
@@ -188,6 +194,7 @@ type SubqueryRef struct {
 
 func (*SubqueryRef) tableRef() {}
 
+// String renders the node back to SQL text.
 func (s *SubqueryRef) String() string { return fmt.Sprintf("(%s) %s", s.Select, s.Alias) }
 
 // Ident is a possibly qualified name: col or tab.col.
@@ -197,6 +204,7 @@ type Ident struct {
 
 func (*Ident) expr() {}
 
+// String renders the node back to SQL text.
 func (i *Ident) String() string { return strings.Join(i.Parts, ".") }
 
 // Column returns the last part (the column name).
@@ -217,6 +225,7 @@ type NumLit struct {
 
 func (*NumLit) expr() {}
 
+// String renders the node back to SQL text.
 func (n *NumLit) String() string { return n.S }
 
 // StrLit is a string literal.
@@ -226,6 +235,7 @@ type StrLit struct {
 
 func (*StrLit) expr() {}
 
+// String renders the node back to SQL text.
 func (s *StrLit) String() string { return "'" + strings.ReplaceAll(s.S, "'", "''") + "'" }
 
 // DateLit is DATE 'YYYY-MM-DD'.
@@ -235,6 +245,7 @@ type DateLit struct {
 
 func (*DateLit) expr() {}
 
+// String renders the node back to SQL text.
 func (d *DateLit) String() string { return "DATE '" + d.S + "'" }
 
 // IntervalLit is INTERVAL '<n>' <unit> or INTERVAL '<n> <unit>'.
@@ -245,6 +256,7 @@ type IntervalLit struct {
 
 func (*IntervalLit) expr() {}
 
+// String renders the node back to SQL text.
 func (iv *IntervalLit) String() string {
 	return fmt.Sprintf("INTERVAL '%d' %s", iv.N, strings.ToUpper(iv.Unit))
 }
@@ -256,6 +268,7 @@ type BoolLit struct {
 
 func (*BoolLit) expr() {}
 
+// String renders the node back to SQL text.
 func (b *BoolLit) String() string {
 	if b.V {
 		return "TRUE"
@@ -268,6 +281,7 @@ type NullLit struct{}
 
 func (*NullLit) expr() {}
 
+// String renders the node back to SQL text.
 func (*NullLit) String() string { return "NULL" }
 
 // BinExpr is a binary operation, operator spelled as in SQL.
@@ -278,6 +292,7 @@ type BinExpr struct {
 
 func (*BinExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (b *BinExpr) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
 
 // UnExpr is NOT or unary minus.
@@ -288,6 +303,7 @@ type UnExpr struct {
 
 func (*UnExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (u *UnExpr) String() string { return fmt.Sprintf("(%s %s)", u.Op, u.E) }
 
 // FuncExpr is a function call, possibly aggregate.
@@ -300,6 +316,7 @@ type FuncExpr struct {
 
 func (*FuncExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (f *FuncExpr) String() string {
 	if f.Star {
 		return f.Name + "(*)"
@@ -330,6 +347,7 @@ type CaseWhen struct {
 
 func (*CaseExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (c *CaseExpr) String() string {
 	var b strings.Builder
 	b.WriteString("CASE")
@@ -354,6 +372,7 @@ type CastExpr struct {
 
 func (*CastExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (c *CastExpr) String() string { return fmt.Sprintf("CAST(%s AS %s)", c.E, c.TypeName) }
 
 // IsNullExpr is "e IS [NOT] NULL".
@@ -364,6 +383,7 @@ type IsNullExpr struct {
 
 func (*IsNullExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (i *IsNullExpr) String() string {
 	if i.Negate {
 		return fmt.Sprintf("(%s IS NOT NULL)", i.E)
@@ -380,6 +400,7 @@ type LikeExpr struct {
 
 func (*LikeExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (l *LikeExpr) String() string {
 	op := "LIKE"
 	if l.Negate {
@@ -398,6 +419,7 @@ type InExpr struct {
 
 func (*InExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (in *InExpr) String() string {
 	op := "IN"
 	if in.Negate {
@@ -421,6 +443,7 @@ type BetweenExpr struct {
 
 func (*BetweenExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (b *BetweenExpr) String() string {
 	op := "BETWEEN"
 	if b.Negate {
@@ -437,6 +460,7 @@ type ExistsExpr struct {
 
 func (*ExistsExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (e *ExistsExpr) String() string {
 	if e.Negate {
 		return fmt.Sprintf("(NOT EXISTS (%s))", e.Sub)
@@ -451,6 +475,7 @@ type SubqueryExpr struct {
 
 func (*SubqueryExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (s *SubqueryExpr) String() string { return fmt.Sprintf("(%s)", s.Sub) }
 
 // ExtractExpr is EXTRACT(field FROM e).
@@ -461,6 +486,7 @@ type ExtractExpr struct {
 
 func (*ExtractExpr) expr() {}
 
+// String renders the node back to SQL text.
 func (e *ExtractExpr) String() string {
 	return fmt.Sprintf("EXTRACT(%s FROM %s)", strings.ToUpper(e.Field), e.E)
 }

@@ -12,6 +12,7 @@ type ColumnDef struct {
 	NotNull  bool
 }
 
+// String renders the node back to SQL text.
 func (c ColumnDef) String() string {
 	s := c.Name + " " + c.TypeName
 	if c.NotNull {
@@ -64,6 +65,7 @@ type CreateTableStmt struct {
 
 func (*CreateTableStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (c *CreateTableStmt) String() string {
 	cols := make([]string, len(c.Columns))
 	for i, col := range c.Columns {
@@ -89,6 +91,7 @@ type CreateExternalTableStmt struct {
 
 func (*CreateExternalTableStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (c *CreateExternalTableStmt) String() string {
 	cols := make([]string, len(c.Columns))
 	for i, col := range c.Columns {
@@ -106,6 +109,7 @@ type DropTableStmt struct {
 
 func (*DropTableStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (d *DropTableStmt) String() string { return "DROP TABLE " + d.Name }
 
 // TruncateStmt is TRUNCATE TABLE.
@@ -115,6 +119,7 @@ type TruncateStmt struct {
 
 func (*TruncateStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (t *TruncateStmt) String() string { return "TRUNCATE TABLE " + t.Name }
 
 // InsertStmt is INSERT INTO ... VALUES or INSERT INTO ... SELECT.
@@ -127,6 +132,7 @@ type InsertStmt struct {
 
 func (*InsertStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (i *InsertStmt) String() string {
 	s := "INSERT INTO " + i.Table
 	if len(i.Columns) > 0 {
@@ -153,6 +159,7 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (e *ExplainStmt) String() string { return "EXPLAIN " + e.Stmt.String() }
 
 // BeginStmt starts a transaction, optionally with an isolation level
@@ -164,6 +171,7 @@ type BeginStmt struct {
 
 func (*BeginStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (b *BeginStmt) String() string { return "BEGIN" }
 
 // CommitStmt commits the current transaction.
@@ -171,6 +179,7 @@ type CommitStmt struct{}
 
 func (*CommitStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (*CommitStmt) String() string { return "COMMIT" }
 
 // RollbackStmt aborts the current transaction.
@@ -178,6 +187,7 @@ type RollbackStmt struct{}
 
 func (*RollbackStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (*RollbackStmt) String() string { return "ROLLBACK" }
 
 // SetStmt is SET key = value (including SET TRANSACTION ISOLATION LEVEL ...).
@@ -188,6 +198,7 @@ type SetStmt struct {
 
 func (*SetStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (s *SetStmt) String() string { return fmt.Sprintf("SET %s = %s", s.Name, s.Value) }
 
 // UpdateStmt is UPDATE t SET col = expr, ... [WHERE ...]. HAWQ user
@@ -207,6 +218,7 @@ type SetClause struct {
 
 func (*UpdateStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (u *UpdateStmt) String() string {
 	parts := make([]string, len(u.Set))
 	for i, s := range u.Set {
@@ -227,6 +239,7 @@ type AnalyzeStmt struct {
 
 func (*AnalyzeStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (a *AnalyzeStmt) String() string {
 	if a.Table == "" {
 		return "ANALYZE"
@@ -240,6 +253,7 @@ type VacuumStmt struct{}
 
 func (*VacuumStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (*VacuumStmt) String() string { return "VACUUM" }
 
 // ShowStmt is SHOW <name> (used for segment status etc.).
@@ -249,6 +263,7 @@ type ShowStmt struct {
 
 func (*ShowStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (s *ShowStmt) String() string { return "SHOW " + s.Name }
 
 // DeleteStmt is DELETE FROM (catalog-style deletes and small user tables;
@@ -261,6 +276,7 @@ type DeleteStmt struct {
 
 func (*DeleteStmt) stmt() {}
 
+// String renders the node back to SQL text.
 func (d *DeleteStmt) String() string {
 	s := "DELETE FROM " + d.Table
 	if d.Where != nil {

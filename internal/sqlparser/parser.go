@@ -169,7 +169,10 @@ func (p *parser) parseStatement() (Statement, error) {
 	case "analyze":
 		p.next()
 		if p.peek().kind == tokIdent {
-			name, _ := p.ident()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
 			return &AnalyzeStmt{Table: name}, nil
 		}
 		return &AnalyzeStmt{}, nil
@@ -520,7 +523,10 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 	// "t.*"
 	if p.peek().kind == tokIdent && p.peek2().kind == tokOp && p.peek2().val == "." {
 		if p.i+2 < len(p.toks) && p.toks[p.i+2].kind == tokOp && p.toks[p.i+2].val == "*" {
-			name, _ := p.ident()
+			name, err := p.ident()
+			if err != nil {
+				return SelectItem{}, err
+			}
 			p.next() // .
 			p.next() // *
 			return SelectItem{Star: true, TableStar: name}, nil
@@ -538,7 +544,10 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 		}
 		item.Alias = a
 	} else if p.peek().kind == tokIdent && !reservedAfterExpr[p.peek().val] {
-		a, _ := p.ident()
+		a, err := p.ident()
+		if err != nil {
+			return SelectItem{}, err
+		}
 		item.Alias = a
 	}
 	return item, nil
@@ -648,7 +657,10 @@ func (p *parser) parseTablePrimary() (TableRef, error) {
 		}
 		t.Alias = a
 	} else if p.peek().kind == tokIdent && !reservedAfterExpr[p.peek().val] {
-		a, _ := p.ident()
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
 		t.Alias = a
 	}
 	return t, nil

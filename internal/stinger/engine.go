@@ -1,6 +1,7 @@
 package stinger
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -65,14 +66,12 @@ func (e *Engine) LoadTable(name string, schema *types.Schema, rows []types.Row) 
 		for i, d := range r {
 			v, err := types.Cast(d, schema.Columns[i].Kind)
 			if err != nil {
-				w.Close()
-				return fmt.Errorf("stinger: load %s: %w", name, err)
+				return errors.Join(fmt.Errorf("stinger: load %s: %w", name, err), w.Close())
 			}
 			cast[i] = v
 		}
 		if err := w.Append(cast); err != nil {
-			w.Close()
-			return err
+			return errors.Join(err, w.Close())
 		}
 	}
 	if err := w.Close(); err != nil {
@@ -104,14 +103,12 @@ func (e *Engine) AppendTable(name string, rows []types.Row) error {
 		for i, d := range r {
 			v, err := types.Cast(d, t.Schema.Columns[i].Kind)
 			if err != nil {
-				w.Close()
-				return err
+				return errors.Join(err, w.Close())
 			}
 			cast[i] = v
 		}
 		if err := w.Append(cast); err != nil {
-			w.Close()
-			return err
+			return errors.Join(err, w.Close())
 		}
 	}
 	if err := w.Close(); err != nil {

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"hawq/internal/clock"
 	"hawq/internal/hdfs"
 	"hawq/internal/types"
 )
@@ -47,6 +48,10 @@ type Config struct {
 	ContainerStartup time.Duration
 	// SpillDir holds map outputs awaiting shuffle.
 	SpillDir string
+	// Clock times container start-up; nil means the wall clock. Tests
+	// and simulations inject clock.Sim to make runs instant and
+	// replayable.
+	Clock clock.Clock
 }
 
 func (c *Config) fill() {
@@ -65,6 +70,7 @@ func (c *Config) fill() {
 	if c.SpillDir == "" {
 		c.SpillDir = os.TempDir()
 	}
+	c.Clock = clock.Default(c.Clock)
 }
 
 // MapFn transforms one input row into zero or more (key, value) pairs.
@@ -103,6 +109,7 @@ type Runtime struct {
 
 	ln     net.Listener
 	server *http.Server
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	spills map[string]string // "job/input/map/part" -> local path
@@ -122,7 +129,13 @@ func NewRuntime(fs *hdfs.FileSystem, cfg Config) (*Runtime, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/shuffle", rt.serveShuffle)
 	rt.server = &http.Server{Handler: mux}
-	go rt.server.Serve(ln)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		// Serve returns ErrServerClosed once Close tears the listener
+		// down; the WaitGroup ties the goroutine's lifetime to Close.
+		rt.server.Serve(ln)
+	}()
 	return rt, nil
 }
 
@@ -138,6 +151,7 @@ func (rt *Runtime) Close() {
 	rt.spills = map[string]string{}
 	rt.mu.Unlock()
 	rt.server.Close()
+	rt.wg.Wait()
 	for _, p := range files {
 		os.Remove(p)
 	}
@@ -213,7 +227,7 @@ func (rt *Runtime) pool(tasks []func() error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			time.Sleep(rt.cfg.ContainerStartup) // YARN container launch
+			rt.cfg.Clock.Sleep(rt.cfg.ContainerStartup) // YARN container launch
 			if err := task(); err != nil {
 				select {
 				case errCh <- err:

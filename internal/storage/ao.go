@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"io"
 
 	"hawq/internal/catalog"
@@ -64,8 +65,7 @@ func (w *aoWriter) Flush() error {
 // Close implements Writer.
 func (w *aoWriter) Close() error {
 	if err := w.Flush(); err != nil {
-		w.w.Close()
-		return err
+		return errors.Join(err, w.w.Close())
 	}
 	return w.w.Close()
 }

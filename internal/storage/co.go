@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -39,7 +40,7 @@ func newCOWriter(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema
 		fw, err := fs.CreateOrAppend(ColFilePath(sf.Path, i), opts)
 		if err != nil {
 			for _, open := range w.writers {
-				open.Close()
+				err = errors.Join(err, open.Close())
 			}
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -101,8 +102,7 @@ func (w *parquetWriter) Flush() error {
 // Close implements Writer.
 func (w *parquetWriter) Close() error {
 	if err := w.Flush(); err != nil {
-		w.w.Close()
-		return err
+		return errors.Join(err, w.w.Close())
 	}
 	return w.w.Close()
 }

@@ -1,0 +1,102 @@
+// Package testutil holds shared test helpers, chiefly a stdlib-only
+// goroutine-leak checker. Suites that spin up servers, interconnect
+// endpoints, or worker pools wrap their TestMain with VerifyNoLeaks so
+// a forgotten Close fails the build instead of silently accumulating
+// goroutines.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ignoredSubstrings mark goroutines that are part of the runtime or the
+// testing harness rather than code under test. A stack containing any of
+// these is never reported as a leak.
+var ignoredSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"runtime.goexit",
+	"runtime.MHeap_Scavenger",
+	"runtime/trace.Start",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"created by runtime.gc",
+	"created by runtime/trace",
+	"created by testing.",
+	"GC scavenge wait",
+	"GC sweep wait",
+	"GC worker (idle)",
+	"force gc (idle)",
+	"finalizer wait",
+	// The poller goroutine net spawns lazily lives for the process.
+	"internal/poll.runtime_pollWait",
+	"testutil.interestingGoroutines",
+}
+
+// interestingGoroutines returns the stacks of goroutines that the leak
+// checker holds the suite accountable for.
+func interestingGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var out []string
+stacks:
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		for _, ign := range ignoredSubstrings {
+			if strings.Contains(g, ign) {
+				continue stacks
+			}
+		}
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckNoLeaks reports (via the returned error) goroutines still running
+// after the retry window. Goroutines shutting down asynchronously — a
+// server draining its accept loop after Close — get until the deadline
+// to exit before they count as leaks.
+func CheckNoLeaks(window time.Duration) error {
+	deadline := time.Now().Add(window)
+	var leaked []string
+	for {
+		leaked = interestingGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("testutil: %d leaked goroutine(s):\n%s",
+		len(leaked), strings.Join(leaked, "\n\n"))
+}
+
+// VerifyNoLeaks runs a test suite's main body and then fails the process
+// if goroutines leaked. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
+//
+// m is the *testing.M; the interface form keeps testutil import-light.
+func VerifyNoLeaks(m interface{ Run() int }) {
+	code := m.Run()
+	if code == 0 {
+		if err := CheckNoLeaks(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

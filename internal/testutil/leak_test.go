@@ -1,0 +1,29 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckNoLeaksClean(t *testing.T) {
+	if err := CheckNoLeaks(time.Second); err != nil {
+		t.Fatalf("clean process reported a leak: %v", err)
+	}
+}
+
+func TestCheckNoLeaksDetects(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	err := CheckNoLeaks(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("blocked goroutine not reported as a leak")
+	}
+	if !strings.Contains(err.Error(), "leaked goroutine") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+	close(stop)
+	if err := CheckNoLeaks(time.Second); err != nil {
+		t.Fatalf("leak persisted after goroutine exit: %v", err)
+	}
+}

@@ -32,9 +32,15 @@ func (s Scale) count(base int) int {
 
 // Counts per the TPC-H specification at SF 1.
 func (s Scale) Suppliers() int { return s.count(10000) }
-func (s Scale) Parts() int     { return s.count(200000) }
+
+// Parts returns the part row count at this scale factor.
+func (s Scale) Parts() int { return s.count(200000) }
+
+// Customers returns the customer row count at this scale factor.
 func (s Scale) Customers() int { return s.count(150000) }
-func (s Scale) Orders() int    { return s.count(1500000) }
+
+// Orders returns the order row count at this scale factor.
+func (s Scale) Orders() int { return s.count(1500000) }
 
 var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
 

@@ -22,6 +22,7 @@ const (
 
 var lockModeNames = [...]string{"AccessShare", "RowExclusive", "AccessExclusive"}
 
+// String returns the lock mode name.
 func (m LockMode) String() string { return lockModeNames[m] }
 
 // conflicts reports whether two modes conflict.

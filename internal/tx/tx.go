@@ -60,6 +60,7 @@ func ParseIsolationLevel(s string) (IsolationLevel, error) {
 	return 0, fmt.Errorf("tx: unknown isolation level %q", s)
 }
 
+// String returns the SQL spelling of the isolation level.
 func (l IsolationLevel) String() string {
 	if l == Serializable {
 		return "serializable"

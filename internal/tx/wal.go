@@ -21,6 +21,7 @@ const (
 
 var recNames = [...]string{"BEGIN", "COMMIT", "ABORT", "INSERT", "DELETE"}
 
+// String returns the record type mnemonic.
 func (t RecordType) String() string { return recNames[t] }
 
 // Record is one WAL entry.

@@ -3,6 +3,7 @@ package types
 import (
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"math"
 )
@@ -119,7 +120,7 @@ func DecodeRow(buf []byte) (Row, int, error) {
 // HashDatum feeds a normalized representation of d into h so that datums
 // that compare equal hash equal (e.g. INT32 7 and INT64 7, and decimals
 // with different scales).
-func HashDatum(h interface{ Write([]byte) (int, error) }, d Datum) {
+func HashDatum(h hash.Hash, d Datum) {
 	var tmp [10]byte
 	switch d.K {
 	case KindNull:

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# check.sh is the repository's correctness gate. It runs, in order:
+#
+#   1. go build ./...            — everything compiles
+#   2. go vet ./...              — stdlib static analysis
+#   3. go run ./cmd/hawq-check   — the project's own invariant suite
+#                                  (mutexdiscipline, goleak, errdrop,
+#                                  determinism, docstrings)
+#   4. go test -race ./...       — full test suite under the race
+#                                  detector, including the goroutine
+#                                  leak checkers wired into TestMain
+#
+# Every step must pass. CI runs exactly this script; run it locally
+# before sending a change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> hawq-check ./..."
+go run ./cmd/hawq-check ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "All checks passed."
