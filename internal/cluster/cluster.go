@@ -41,6 +41,14 @@ type Config struct {
 	// SpillDir is the base directory for segment-local spill files
 	// (empty: system temp).
 	SpillDir string
+	// MotionPayload caps the encoded bytes a motion accumulates per
+	// interconnect send (0: executor.DefaultMotionPayload). It must stay
+	// at or below the interconnect's maximum payload — see
+	// interconnect.UDPConfig.MaxPayload.
+	MotionPayload int
+	// RowMode disables the executor's vectorized batch path cluster-wide,
+	// forcing tuple-at-a-time execution (debugging escape hatch).
+	RowMode bool
 }
 
 // Cluster is a running HAWQ cluster.
@@ -340,6 +348,8 @@ func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryRes
 		External:        c.External,
 		SpillDir:        c.cfg.SpillDir,
 		OnSegFileUpdate: onUpdate,
+		MotionPayload:   c.cfg.MotionPayload,
+		RowMode:         c.cfg.RowMode,
 	}
 	op, err := executor.Build(qdCtx, p.Slices[0].Root)
 	var topErr error
@@ -413,6 +423,8 @@ func (c *Cluster) runQE(query uint64, encodedPlan []byte, sliceID, segID int, on
 		SpillDir:        c.cfg.SpillDir,
 		OnSegFileUpdate: onUpdate,
 		LocalHost:       localHost,
+		MotionPayload:   c.cfg.MotionPayload,
+		RowMode:         c.cfg.RowMode,
 	}
 	return executor.RunSlice(ctx, decoded, sliceID)
 }

@@ -11,15 +11,22 @@ import (
 // hashAggOp groups input rows by the group expressions and folds each
 // aggregate. It serves all three phases (§3's two-phase aggregation):
 // the planner arranges the specs so that a partial phase's outputs line
-// up with the final phase's inputs.
+// up with the final phase's inputs. Input is consumed batch-at-a-time
+// when available; the encoded group key is rebuilt in a reused scratch
+// buffer per row, and the map lookup is non-allocating — only a new
+// group pays for a key copy.
 type hashAggOp struct {
 	node *plan.HashAgg
 	in   Operator
+	bin  BatchOperator
 
 	groups   map[string]*aggGroup
 	order    []string
 	emitted  int
 	inClosed bool
+
+	keyScratch types.Row
+	keyBuf     []byte
 }
 
 type aggGroup struct {
@@ -32,7 +39,47 @@ func newHashAggOp(ctx *Context, node *plan.HashAgg) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hashAggOp{node: node, in: in}, nil
+	return &hashAggOp{node: node, in: in, bin: ctx.batchInput(in)}, nil
+}
+
+// absorb folds one input row into its group, creating the group on first
+// sight. row may be an arena view; only datum values are retained.
+func (a *hashAggOp) absorb(row types.Row) error {
+	if cap(a.keyScratch) < len(a.node.Groups) {
+		a.keyScratch = make(types.Row, len(a.node.Groups))
+	}
+	keys := a.keyScratch[:len(a.node.Groups)]
+	a.keyBuf = a.keyBuf[:0]
+	for i, g := range a.node.Groups {
+		v, err := g.Eval(row)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+		a.keyBuf = types.EncodeDatum(a.keyBuf, v)
+	}
+	grp := a.groups[string(a.keyBuf)]
+	if grp == nil {
+		grp = &aggGroup{keys: keys.Clone(), accs: make([]expr.Accumulator, len(a.node.Aggs))}
+		for i, spec := range a.node.Aggs {
+			grp.accs[i] = expr.NewAccumulator(spec)
+		}
+		key := string(a.keyBuf)
+		a.groups[key] = grp
+		a.order = append(a.order, key)
+	}
+	for i, spec := range a.node.Aggs {
+		if spec.Kind == expr.AggCountStar {
+			grp.accs[i].Add(types.NewInt64(1))
+			continue
+		}
+		v, err := spec.Arg.Eval(row)
+		if err != nil {
+			return err
+		}
+		grp.accs[i].Add(v)
+	}
+	return nil
 }
 
 // Open implements Operator: consumes the whole input.
@@ -43,45 +90,8 @@ func (a *hashAggOp) Open() error {
 	a.groups = make(map[string]*aggGroup)
 	a.order = a.order[:0]
 	a.emitted = 0
-	for {
-		row, ok, err := a.in.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		keys := make(types.Row, len(a.node.Groups))
-		var keyBuf []byte
-		for i, g := range a.node.Groups {
-			v, err := g.Eval(row)
-			if err != nil {
-				return err
-			}
-			keys[i] = v
-			keyBuf = types.EncodeDatum(keyBuf, v)
-		}
-		key := string(keyBuf)
-		grp := a.groups[key]
-		if grp == nil {
-			grp = &aggGroup{keys: keys, accs: make([]expr.Accumulator, len(a.node.Aggs))}
-			for i, spec := range a.node.Aggs {
-				grp.accs[i] = expr.NewAccumulator(spec)
-			}
-			a.groups[key] = grp
-			a.order = append(a.order, key)
-		}
-		for i, spec := range a.node.Aggs {
-			if spec.Kind == expr.AggCountStar {
-				grp.accs[i].Add(types.NewInt64(1))
-				continue
-			}
-			v, err := spec.Arg.Eval(row)
-			if err != nil {
-				return err
-			}
-			grp.accs[i].Add(v)
-		}
+	if err := drainRows(a.bin, a.in, a.absorb); err != nil {
+		return err
 	}
 	// A scalar aggregate (no GROUP BY) over empty input yields one row of
 	// empty-input results in every phase: each segment's partial row

@@ -1,0 +1,318 @@
+package executor
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hawq/internal/catalog"
+	"hawq/internal/expr"
+	"hawq/internal/hdfs"
+	"hawq/internal/interconnect"
+	"hawq/internal/plan"
+	"hawq/internal/storage"
+	"hawq/internal/types"
+)
+
+// writeIntsTable writes an all-numeric AO table (uncompressed, so the
+// benchmarks measure execution rather than the codec) and returns the
+// pieces a Scan node needs.
+func writeIntsTable(tb testing.TB, nrows int) (*hdfs.FileSystem, *catalog.TableDesc, []catalog.SegFile) {
+	tb.Helper()
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 3, BlockSize: 1 << 20})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	schema := intsSchema("k", "v", "w")
+	desc := &catalog.TableDesc{
+		OID: 1, Name: "bt", Schema: schema,
+		Storage: catalog.StorageSpec{Orientation: catalog.OrientRow, Codec: "none"},
+	}
+	sf := catalog.SegFile{TableOID: 1, SegmentID: 0, SegNo: 1, Path: "/bench/bt/0/1"}
+	w, err := storage.NewWriter(fs, desc.Storage, schema, sf, hdfs.CreateOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < nrows; i++ {
+		row := types.Row{types.NewInt64(int64(i)), types.NewInt64(int64(i % 97)), types.NewInt64(int64(i % 7))}
+		if err := w.Append(row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	sf.LogicalLen, sf.ColLens = w.Lens()
+	sf.Tuples = w.Tuples()
+	return fs, desc, []catalog.SegFile{sf}
+}
+
+// sfpTree builds a scan → filter → project pipeline over the table.
+func sfpTree(desc *catalog.TableDesc, segFiles []catalog.SegFile) plan.Node {
+	colK := &expr.ColRef{Idx: 0, K: types.KindInt64}
+	colV := &expr.ColRef{Idx: 1, K: types.KindInt64}
+	scan := &plan.Scan{Table: desc, Proj: []int{0, 1, 2}, SegFiles: segFiles, Schema: desc.Schema}
+	sel := &plan.Select{Input: scan, Pred: expr.NewBinOp(expr.OpLt, colV, expr.NewConst(types.NewInt64(48)))}
+	return &plan.Project{
+		Input:  sel,
+		Exprs:  []expr.Expr{expr.NewBinOp(expr.OpAdd, colK, colV), colV},
+		Schema: intsSchema("s", "v"),
+	}
+}
+
+// collectRowPump drives the pure row interface (no Drain batch pump),
+// the baseline the vectorized path is measured against.
+func collectRowPump(tb testing.TB, ctx *Context, n plan.Node) []types.Row {
+	tb.Helper()
+	op, err := Build(ctx, n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := op.Open(); err != nil {
+		tb.Fatal(err)
+	}
+	var out []types.Row
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row.Clone())
+	}
+	if err := op.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// TestBatchRowParity runs representative pipelines in both execution
+// modes and requires identical results.
+func TestBatchRowParity(t *testing.T) {
+	fs, desc, segFiles := writeIntsTable(t, 3000)
+	colK := &expr.ColRef{Idx: 0, K: types.KindInt64}
+	colV := &expr.ColRef{Idx: 1, K: types.KindInt64}
+	trees := map[string]plan.Node{
+		"scan-filter-project": sfpTree(desc, segFiles),
+		"agg": &plan.HashAgg{
+			Input:  &plan.Scan{Table: desc, Proj: []int{0, 1, 2}, SegFiles: segFiles, Schema: desc.Schema},
+			Phase:  plan.AggSingle,
+			Groups: []expr.Expr{colV},
+			Aggs:   []expr.AggSpec{{Kind: expr.AggSum, Arg: colK}, {Kind: expr.AggCountStar}},
+			Schema: intsSchema("v", "sum", "count"),
+		},
+		"sort": &plan.Sort{
+			Input: &plan.Scan{Table: desc, Proj: []int{1, 0}, SegFiles: segFiles, Schema: intsSchema("v", "k")},
+			Keys:  []plan.OrderKey{{Col: 0}, {Col: 1, Desc: true}},
+		},
+		"join": &plan.HashJoin{
+			Kind:      plan.InnerJoin,
+			Left:      &plan.Scan{Table: desc, Proj: []int{0, 1}, SegFiles: segFiles, Schema: intsSchema("k", "v")},
+			Right:     valuesNode(intsSchema("rk"), []int64{3}, []int64{5}, []int64{90}),
+			LeftKeys:  []int{1},
+			RightKeys: []int{0},
+			Schema:    intsSchema("k", "v", "rk"),
+		},
+	}
+	for name, tree := range trees {
+		t.Run(name, func(t *testing.T) {
+			rowCtx := &Context{Segment: 0, FS: fs, RowMode: true}
+			batchCtx := &Context{Segment: 0, FS: fs}
+			want := rowsToInts(collectRowPump(t, rowCtx, tree))
+			got := rowsToInts(collect(t, batchCtx, tree))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("batch result diverges from row result\nbatch: %d rows\nrow:   %d rows", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestBatchPipelineAllocBudget pins the amortized allocation cost of the
+// vectorized scan → filter → project path: well under one allocation per
+// row (the row path pays several per row). Catches regressions that
+// reintroduce per-row allocation.
+func TestBatchPipelineAllocBudget(t *testing.T) {
+	const nrows = 4096
+	fs, desc, segFiles := writeIntsTable(t, nrows)
+	tree := sfpTree(desc, segFiles)
+	ctx := &Context{Segment: 0, FS: fs}
+	run := func() {
+		op, err := Build(ctx, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := Drain(op, func(types.Row) error { n++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("no rows")
+		}
+	}
+	run() // warm pools before measuring
+	avg := testing.AllocsPerRun(5, run)
+	if avg > nrows/4 {
+		t.Errorf("batch pipeline allocates %.0f times per %d rows (budget %d)", avg, nrows, nrows/4)
+	}
+}
+
+// BenchmarkScanFilterProject is the headline row-vs-batch comparison:
+// the full scan → filter → project pipeline, both modes.
+func BenchmarkScanFilterProject(b *testing.B) {
+	const nrows = 20000
+	fs, desc, segFiles := writeIntsTable(b, nrows)
+	tree := sfpTree(desc, segFiles)
+	b.Run("row", func(b *testing.B) {
+		ctx := &Context{Segment: 0, FS: fs, RowMode: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op, err := Build(ctx, tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := op.Open(); err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for {
+				_, ok, err := op.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				n++
+			}
+			op.Close()
+			if n == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		ctx := &Context{Segment: 0, FS: fs}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			op, err := Build(ctx, tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			if err := Drain(op, func(types.Row) error { n++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+}
+
+// BenchmarkHashAgg compares row and batch input consumption of the hash
+// aggregate (grouped sum over a storage scan).
+func BenchmarkHashAgg(b *testing.B) {
+	const nrows = 20000
+	fs, desc, segFiles := writeIntsTable(b, nrows)
+	colK := &expr.ColRef{Idx: 0, K: types.KindInt64}
+	colV := &expr.ColRef{Idx: 1, K: types.KindInt64}
+	tree := &plan.HashAgg{
+		Input:  &plan.Scan{Table: desc, Proj: []int{0, 1, 2}, SegFiles: segFiles, Schema: desc.Schema},
+		Phase:  plan.AggSingle,
+		Groups: []expr.Expr{colV},
+		Aggs:   []expr.AggSpec{{Kind: expr.AggSum, Arg: colK}, {Kind: expr.AggCountStar}},
+		Schema: intsSchema("v", "sum", "count"),
+	}
+	for _, mode := range []struct {
+		name    string
+		rowMode bool
+	}{{"row", true}, {"batch", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx := &Context{Segment: 0, FS: fs, RowMode: mode.rowMode}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := Drain(mustBuild(b, ctx, tree), func(types.Row) error { n++; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != 97 {
+					b.Fatalf("groups = %d", n)
+				}
+			}
+		})
+	}
+}
+
+func mustBuild(tb testing.TB, ctx *Context, n plan.Node) Operator {
+	tb.Helper()
+	op, err := Build(ctx, n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return op
+}
+
+var loopbackQuery atomic.Uint64
+
+// BenchmarkMotionLoopback sends rows through a gather motion between two
+// in-process UDP nodes and drains them on the receiver, comparing the
+// row and batch motion paths end to end.
+func BenchmarkMotionLoopback(b *testing.B) {
+	const nrows = 1024
+	var rows [][]int64
+	for i := 0; i < nrows; i++ {
+		rows = append(rows, []int64{int64(i), int64(i * 3), int64(i % 11), int64(-i)})
+	}
+	schema := intsSchema("a", "b", "c", "d")
+	for _, mode := range []struct {
+		name    string
+		rowMode bool
+	}{{"row", true}, {"batch", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			book := interconnect.NewAddrBook()
+			send, err := interconnect.NewUDPNode(0, book, interconnect.UDPConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer send.Close()
+			recvNode, err := interconnect.NewUDPNode(interconnect.SegID(plan.QDSegment), book, interconnect.UDPConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer recvNode.Close()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				query := loopbackQuery.Add(1)
+				done := make(chan error, 1)
+				go func() {
+					motion := &plan.Motion{ID: 1, Type: plan.GatherMotion,
+						Input: valuesNode(schema, rows...), Receivers: []int{plan.QDSegment}}
+					ctx := &Context{Query: query, Segment: 0, Net: send, RowMode: mode.rowMode}
+					p := &plan.Plan{Slices: []*plan.Slice{{}, {ID: 1, Root: motion, Segments: []int{0}}}}
+					done <- RunSlice(ctx, p, 1)
+				}()
+				recv := &plan.MotionRecv{ID: 1, Senders: []int{0}, Schema: schema}
+				ctx := &Context{Query: query, Segment: plan.QDSegment, Net: recvNode, RowMode: mode.rowMode}
+				var n int
+				if mode.rowMode {
+					// Pure row baseline: pump Next directly (Drain would
+					// engage the receiver's batch interface).
+					n = len(collectRowPump(b, ctx, recv))
+				} else {
+					if err := Drain(mustBuild(b, ctx, recv), func(types.Row) error { n++; return nil }); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if n != nrows {
+					b.Fatalf("received %d rows", n)
+				}
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -61,6 +61,17 @@ type Context struct {
 	// LocalHost is the DataNode collocated with this segment, used for
 	// write locality.
 	LocalHost string
+	// MotionPayload caps the encoded bytes a motion accumulates before
+	// each interconnect send (0 = DefaultMotionPayload). It must stay
+	// at or below the interconnect's maximum payload — see
+	// interconnect.UDPConfig.MaxPayload — or sends fail outright.
+	// Benchmarks and the cluster tune it per interconnect.
+	MotionPayload int
+	// RowMode disables the batch fast path, forcing every operator onto
+	// the tuple-at-a-time compatibility interface. Benchmarks use it as
+	// the baseline; it is also the escape hatch if a batch operator
+	// misbehaves.
+	RowMode bool
 }
 
 // Operator is a Volcano-style iterator.
@@ -88,13 +99,13 @@ func Build(ctx *Context, n plan.Node) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &selectOp{in: in, pred: v.Pred}, nil
+		return &selectOp{in: in, bin: AsBatch(in), pred: v.Pred}, nil
 	case *plan.Project:
 		in, err := Build(ctx, v.Input)
 		if err != nil {
 			return nil, err
 		}
-		return &projectOp{in: in, exprs: v.Exprs}, nil
+		return &projectOp{in: in, bin: AsBatch(in), exprs: v.Exprs}, nil
 	case *plan.HashJoin:
 		return newHashJoinOp(ctx, v)
 	case *plan.NestLoopJoin:
@@ -134,8 +145,9 @@ func Build(ctx *Context, n plan.Node) (Operator, error) {
 
 // RunSlice executes one slice to completion on this node, discarding
 // output (every non-top slice's root is a Motion whose side effect is
-// sending). The top slice is instead consumed through Build + Next by
-// the dispatcher.
+// sending). The top slice is instead consumed through Build + Drain by
+// the dispatcher. The slice is pumped batch-at-a-time whenever the root
+// supports it and the context doesn't force RowMode.
 func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 	s := p.Slices[sliceID]
 	op, err := Build(ctx, s.Root)
@@ -144,6 +156,21 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 	}
 	if err := op.Open(); err != nil {
 		return errors.Join(err, op.Close())
+	}
+	if bop, ok := op.(BatchOperator); ok && !ctx.RowMode {
+		b := types.GetBatch(0)
+		for {
+			ok, err := bop.NextBatch(b)
+			if err != nil {
+				types.PutBatch(b)
+				return errors.Join(err, op.Close())
+			}
+			if !ok {
+				break
+			}
+		}
+		types.PutBatch(b)
+		return op.Close()
 	}
 	for {
 		_, ok, err := op.Next()
@@ -158,10 +185,37 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 }
 
 // Drain pulls every row from an operator tree (used by the QD for the
-// top slice) and invokes fn per row.
+// top slice) and invokes fn per row, batch-at-a-time when the root
+// supports it. Rows passed to fn may be views into a reused batch
+// arena: they are valid only during the call, and fn must Clone any row
+// it retains.
 func Drain(op Operator, fn func(types.Row) error) error {
 	if err := op.Open(); err != nil {
 		return errors.Join(err, op.Close())
+	}
+	if bop, ok := op.(BatchOperator); ok {
+		b := types.GetBatch(0)
+		err := func() error {
+			for {
+				ok, err := bop.NextBatch(b)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				for i := 0; i < b.Len(); i++ {
+					if err := fn(b.Row(i)); err != nil {
+						return err
+					}
+				}
+			}
+		}()
+		types.PutBatch(b)
+		if err != nil {
+			return errors.Join(err, op.Close())
+		}
+		return op.Close()
 	}
 	for {
 		row, ok, err := op.Next()

@@ -20,6 +20,7 @@ type insertOp struct {
 	ctx  *Context
 	node *plan.Insert
 	in   Operator
+	bin  BatchOperator
 
 	writers map[int]storage.Writer // target index -> open writer
 	count   int64
@@ -31,7 +32,7 @@ func newInsertOp(ctx *Context, node *plan.Insert) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &insertOp{ctx: ctx, node: node, in: in}, nil
+	return &insertOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in)}, nil
 }
 
 // Open implements Operator.
@@ -65,35 +66,32 @@ func (i *insertOp) Next() (types.Row, bool, error) {
 		return nil, false, nil
 	}
 	schema := i.node.Targets[0].Table.Schema
-	for {
-		row, ok, err := i.in.Next()
-		if err != nil {
-			return nil, false, err
-		}
-		if !ok {
-			break
-		}
+	err := drainRows(i.bin, i.in, func(row types.Row) error {
 		if len(row) != schema.Len() {
-			return nil, false, fmt.Errorf("executor: insert row width %d, table %s has %d columns",
+			return fmt.Errorf("executor: insert row width %d, table %s has %d columns",
 				len(row), i.node.Targets[0].Table.Name, schema.Len())
 		}
 		for c, col := range schema.Columns {
 			if col.NotNull && row[c].IsNull() {
-				return nil, false, fmt.Errorf("executor: null value in column %q violates not-null constraint", col.Name)
+				return fmt.Errorf("executor: null value in column %q violates not-null constraint", col.Name)
 			}
 		}
 		ti, err := i.node.RouteTarget(row)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		w, err := i.writerFor(ti)
 		if err != nil {
-			return nil, false, err
+			return err
 		}
 		if err := w.Append(row); err != nil {
-			return nil, false, err
+			return err
 		}
 		i.count++
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
 	// Close writers and piggyback the new physical state (§3.1).
 	for ti, w := range i.writers {

@@ -7,10 +7,15 @@ import (
 )
 
 // hashJoinOp builds a hash table on the right input and probes with the
-// left. NULL join keys never match (SQL semantics).
+// left. NULL join keys never match (SQL semantics). Both sides are
+// consumed batch-at-a-time when available: the build side through
+// drainRows (cloning retained rows out of the arena), the probe side
+// through a rowReader.
 type hashJoinOp struct {
 	node        *plan.HashJoin
 	left, right Operator
+	leftR       rowReader
+	rightBin    BatchOperator
 
 	table map[string][]types.Row
 	// matched marks left semantics; for Left joins we emit null-extended
@@ -33,7 +38,10 @@ func newHashJoinOp(ctx *Context, node *plan.HashJoin) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hashJoinOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}, nil
+	j := &hashJoinOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
+	j.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
+	j.rightBin = ctx.batchInput(r)
+	return j, nil
 }
 
 // joinKey encodes the key columns; the bool reports whether any key was
@@ -62,26 +70,34 @@ func normalizeKey(d types.Datum) types.Datum {
 	return d
 }
 
+// buildTable drains an already-open build side into a key → rows table,
+// cloning each retained row (the input may hand out arena views).
+func buildTable(in Operator, bin BatchOperator, keys []int) (map[string][]types.Row, error) {
+	table := make(map[string][]types.Row)
+	err := drainRows(bin, in, func(row types.Row) error {
+		key, valid := joinKey(row, keys)
+		if !valid {
+			return nil
+		}
+		table[key] = append(table[key], row.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
 // Open implements Operator: drains the build side.
 func (j *hashJoinOp) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
-	j.table = make(map[string][]types.Row)
-	for {
-		row, ok, err := j.right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		key, valid := joinKey(row, j.node.RightKeys)
-		if !valid {
-			continue
-		}
-		j.table[key] = append(j.table[key], row.Clone())
+	table, err := buildTable(j.right, j.rightBin, j.node.RightKeys)
+	if err != nil {
+		return err
 	}
+	j.table = table
 	if err := j.right.Close(); err != nil {
 		return err
 	}
@@ -137,7 +153,7 @@ func (j *hashJoinOp) Next() (types.Row, bool, error) {
 			}
 		}
 	nextProbe:
-		row, ok, err := j.left.Next()
+		row, ok, err := j.leftR.next()
 		if err != nil {
 			return nil, false, err
 		}
@@ -168,6 +184,7 @@ func (j *hashJoinOp) Next() (types.Row, bool, error) {
 
 // Close implements Operator.
 func (j *hashJoinOp) Close() error {
+	j.leftR.release()
 	err := j.left.Close()
 	if cerr := j.right.Close(); err == nil {
 		err = cerr
@@ -186,9 +203,11 @@ func concatRows(a, b types.Row) types.Row {
 // nestLoopOp materializes the right input and evaluates an arbitrary
 // predicate against each pair (non-equi joins over a broadcast input).
 type nestLoopOp struct {
-	node  *plan.NestLoopJoin
-	left  Operator
-	right Operator
+	node     *plan.NestLoopJoin
+	left     Operator
+	right    Operator
+	leftR    rowReader
+	rightBin BatchOperator
 
 	inner      []types.Row
 	rightWidth int
@@ -206,7 +225,10 @@ func newNestLoopOp(ctx *Context, node *plan.NestLoopJoin) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &nestLoopOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}, nil
+	n := &nestLoopOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
+	n.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
+	n.rightBin = ctx.batchInput(r)
+	return n, nil
 }
 
 // Open implements Operator.
@@ -214,15 +236,12 @@ func (n *nestLoopOp) Open() error {
 	if err := n.right.Open(); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := n.right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	err := drainRows(n.rightBin, n.right, func(row types.Row) error {
 		n.inner = append(n.inner, row.Clone())
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if err := n.right.Close(); err != nil {
 		return err
@@ -234,7 +253,7 @@ func (n *nestLoopOp) Open() error {
 func (n *nestLoopOp) Next() (types.Row, bool, error) {
 	for {
 		if n.cur == nil {
-			row, ok, err := n.left.Next()
+			row, ok, err := n.leftR.next()
 			if err != nil || !ok {
 				return nil, false, err
 			}
@@ -284,6 +303,7 @@ func (n *nestLoopOp) Next() (types.Row, bool, error) {
 
 // Close implements Operator.
 func (n *nestLoopOp) Close() error {
+	n.leftR.release()
 	err := n.left.Close()
 	if cerr := n.right.Close(); err == nil {
 		err = cerr

@@ -8,13 +8,19 @@ import (
 	"hawq/internal/types"
 )
 
-// batchTarget is the payload size motions accumulate before sending; it
-// stays under the interconnect's max payload.
-const batchTarget = 7 * 1024
+// DefaultMotionPayload is the payload size motions accumulate before
+// sending when Context.MotionPayload is unset. It must stay under the
+// interconnect's maximum payload (interconnect.UDPConfig.MaxPayload,
+// 8 KiB by default for the UDP transport) with headroom for the rows
+// that straddle the flush threshold.
+const DefaultMotionPayload = 7 * 1024
 
 // motionSendOp is the send half of a motion: it drives its input subtree
 // and routes encoded tuple batches to receiver streams. It is always the
-// root operator of a non-top slice.
+// root operator of a non-top slice. The batch path pulls whole batches
+// from its input and routes them row-wise into the per-receiver buffers;
+// the wire format (concatenated EncodeRow frames) is identical on both
+// paths, so senders and receivers interoperate regardless of mode.
 type motionSendOp struct {
 	ctx  *Context
 	node *plan.Motion
@@ -23,10 +29,14 @@ type motionSendOp struct {
 	stopped  []bool
 	bufs     [][]byte
 	hashCols []int
+	norm     types.Row
+	normIdx  []int
+	target   int
 	rr       int
 	done     bool
 	inClosed bool
 	in       Operator
+	bin      BatchOperator
 }
 
 func newMotionSendOp(ctx *Context, node *plan.Motion) (Operator, error) {
@@ -37,7 +47,13 @@ func newMotionSendOp(ctx *Context, node *plan.Motion) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &motionSendOp{ctx: ctx, node: node, in: in, hashCols: node.HashCols}, nil
+	target := ctx.MotionPayload
+	if target <= 0 {
+		target = DefaultMotionPayload
+	}
+	m := &motionSendOp{ctx: ctx, node: node, in: in, hashCols: node.HashCols, target: target}
+	m.bin = ctx.batchInput(in)
+	return m, nil
 }
 
 // Open implements Operator: opens one stream per receiver.
@@ -59,6 +75,25 @@ func (m *motionSendOp) Open() error {
 	return m.in.Open()
 }
 
+// finish flushes and EOS-closes every live stream, then closes the
+// input. Called once at end of stream.
+func (m *motionSendOp) finish() error {
+	m.done = true
+	for i := range m.streams {
+		if m.stopped[i] {
+			continue
+		}
+		if err := m.flush(i); err != nil && err != interconnect.ErrStopped {
+			return err
+		}
+		if err := m.streams[i].Close(); err != nil {
+			return err
+		}
+	}
+	m.inClosed = true
+	return m.in.Close()
+}
+
 // Next implements Operator: pumps the input through the router. The
 // returned rows are meaningless to the caller (RunSlice discards them);
 // end-of-stream flushes and closes every stream with EOS.
@@ -71,20 +106,7 @@ func (m *motionSendOp) Next() (types.Row, bool, error) {
 		return nil, false, err
 	}
 	if !ok {
-		m.done = true
-		for i := range m.streams {
-			if m.stopped[i] {
-				continue
-			}
-			if err := m.flush(i); err != nil && err != interconnect.ErrStopped {
-				return nil, false, err
-			}
-			if err := m.streams[i].Close(); err != nil {
-				return nil, false, err
-			}
-		}
-		m.inClosed = true
-		return nil, false, m.in.Close()
+		return nil, false, m.finish()
 	}
 	if err := m.route(row); err != nil {
 		return nil, false, err
@@ -96,6 +118,37 @@ func (m *motionSendOp) Next() (types.Row, bool, error) {
 		return nil, false, m.in.Close()
 	}
 	return row, true, nil
+}
+
+// NextBatch implements BatchOperator: it pumps one input batch through
+// the router per call. The caller's batch is used as the pull buffer;
+// its contents after the call are routed-and-encoded leftovers of no
+// interest to the caller (RunSlice discards them).
+func (m *motionSendOp) NextBatch(b *types.Batch) (bool, error) {
+	if m.done {
+		return false, nil
+	}
+	if m.bin == nil {
+		// RowMode: serve the batch interface over the row pump.
+		_, ok, err := m.Next()
+		return ok, err
+	}
+	ok, err := m.bin.NextBatch(b)
+	if err != nil {
+		return false, err
+	}
+	if !ok {
+		return false, m.finish()
+	}
+	if err := m.routeBatch(b); err != nil {
+		return false, err
+	}
+	if m.allStopped() {
+		m.done = true
+		m.inClosed = true
+		return false, m.in.Close()
+	}
+	return true, nil
 }
 
 func (m *motionSendOp) allStopped() bool {
@@ -125,25 +178,60 @@ func (m *motionSendOp) route(row types.Row) error {
 			m.rr++
 			return m.add(m.rr%len(m.streams), row)
 		}
-		h := hashRowForMotion(row, m.hashCols)
+		h := m.hashRow(row)
 		return m.add(int(h%uint64(len(m.streams))), row)
 	default:
 		return fmt.Errorf("executor: bad motion type %d", m.node.Type)
 	}
 }
 
-// hashRowForMotion normalizes key datums so redistribution agrees with
-// hash-distributed storage.
-func hashRowForMotion(row types.Row, cols []int) uint64 {
-	norm := make(types.Row, len(cols))
-	for i, c := range cols {
-		norm[i] = normalizeKey(row[c])
+// routeBatch routes every row of a batch, amortizing the per-row type
+// switch of route.
+func (m *motionSendOp) routeBatch(b *types.Batch) error {
+	switch m.node.Type {
+	case plan.GatherMotion:
+		return m.addBatch(0, b)
+	case plan.BroadcastMotion:
+		for i := range m.streams {
+			if err := m.addBatch(i, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	case plan.RedistributeMotion:
+		for r := 0; r < b.Len(); r++ {
+			row := b.Row(r)
+			var i int
+			if len(m.hashCols) == 0 {
+				m.rr++
+				i = m.rr % len(m.streams)
+			} else {
+				i = int(m.hashRow(row) % uint64(len(m.streams)))
+			}
+			if err := m.add(i, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("executor: bad motion type %d", m.node.Type)
 	}
-	idx := make([]int, len(cols))
-	for i := range idx {
-		idx[i] = i
+}
+
+// hashRow normalizes key datums (reusing a scratch row across calls) so
+// redistribution agrees with hash-distributed storage.
+func (m *motionSendOp) hashRow(row types.Row) uint64 {
+	if len(m.normIdx) != len(m.hashCols) {
+		m.norm = make(types.Row, len(m.hashCols))
+		m.normIdx = make([]int, len(m.hashCols))
+		for i := range m.normIdx {
+			m.normIdx[i] = i
+		}
 	}
-	return types.HashRowCols(norm, idx)
+	for i, c := range m.hashCols {
+		m.norm[i] = normalizeKey(row[c])
+	}
+	return types.HashRowCols(m.norm, m.normIdx)
 }
 
 func (m *motionSendOp) add(i int, row types.Row) error {
@@ -151,8 +239,21 @@ func (m *motionSendOp) add(i int, row types.Row) error {
 		return nil
 	}
 	m.bufs[i] = types.EncodeRow(m.bufs[i], row)
-	if len(m.bufs[i]) >= batchTarget {
+	if len(m.bufs[i]) >= m.target {
 		return m.flush(i)
+	}
+	return nil
+}
+
+// addBatch encodes every row of a batch into receiver i's buffer.
+func (m *motionSendOp) addBatch(i int, b *types.Batch) error {
+	for r := 0; r < b.Len(); r++ {
+		if m.stopped[i] {
+			return nil
+		}
+		if err := m.add(i, b.Row(r)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -189,7 +290,9 @@ func (m *motionSendOp) Close() error {
 }
 
 // motionRecvOp is the receive half of a motion: it decodes tuple batches
-// from the interconnect.
+// from the interconnect. The batch path decodes one interconnect payload
+// into one batch per NextBatch call; the row path decodes the same
+// payloads incrementally.
 type motionRecvOp struct {
 	ctx  *Context
 	node *plan.MotionRecv
@@ -242,6 +345,34 @@ func (m *motionRecvOp) Next() (types.Row, bool, error) {
 		if done {
 			m.done = true
 			return nil, false, nil
+		}
+		m.buf, m.pos = item.Data, 0
+	}
+}
+
+// NextBatch implements BatchOperator: one received payload becomes one
+// batch (a payload is a concatenation of EncodeRow frames regardless of
+// how the sender produced it).
+func (m *motionRecvOp) NextBatch(b *types.Batch) (bool, error) {
+	for {
+		if m.pos < len(m.buf) {
+			n, err := types.DecodeBatch(m.buf[m.pos:], b)
+			if err != nil {
+				return false, err
+			}
+			m.pos += n
+			return true, nil
+		}
+		if m.done {
+			return false, nil
+		}
+		item, done, err := m.stream.Recv()
+		if err != nil {
+			return false, err
+		}
+		if done {
+			m.done = true
+			return false, nil
 		}
 		m.buf, m.pos = item.Data, 0
 	}

@@ -13,66 +13,145 @@ import (
 // errScanStopped aborts a storage push-scan when the consumer closed.
 var errScanStopped = errors.New("executor: scan stopped")
 
+// scanBatchDepth is the batch-channel depth between the storage reader
+// goroutine and the scan operator (each entry is a whole block's rows).
+const scanBatchDepth = 4
+
 // scanOp streams the committed rows of the segment files belonging to
-// this segment. The push-style storage scan runs in a goroutine feeding a
-// bounded channel, which keeps the operator pull-based.
+// this segment. The push-style storage scan runs in a goroutine feeding
+// a bounded channel, which keeps the operator pull-based. By default the
+// channel carries pooled batches decoded a storage block at a time, with
+// the scan's filter applied batch-wise before handoff; Context.RowMode
+// falls back to the tuple-at-a-time channel.
 type scanOp struct {
 	ctx  *Context
 	node *plan.Scan
-	ch   chan types.Row
-	errc chan error
-	stop chan struct{}
-	open bool
+
+	rowMode bool
+	ch      chan *types.Batch
+	rowCh   chan types.Row
+	errc    chan error
+	stop    chan struct{}
+	open    bool
+	cur     batchCursor
 }
 
 func newScanOp(ctx *Context, node *plan.Scan) *scanOp {
-	return &scanOp{ctx: ctx, node: node}
+	return &scanOp{ctx: ctx, node: node, rowMode: ctx.RowMode}
 }
 
-// Open implements Operator.
+// Open implements Operator: it starts the storage reader goroutine.
 func (s *scanOp) Open() error {
-	s.ch = make(chan types.Row, 256)
 	s.errc = make(chan error, 1)
 	s.stop = make(chan struct{})
 	s.open = true
-	go func() {
-		defer close(s.ch)
-		for _, sf := range s.node.SegFiles {
-			if sf.SegmentID != s.ctx.Segment {
-				continue
-			}
-			err := storage.Scan(s.ctx.FS, s.node.Table.Storage, s.node.Table.Schema, sf, s.node.Proj, func(row types.Row) error {
-				if s.node.Filter != nil {
-					ok, err := expr.EvalBool(s.node.Filter, row)
-					if err != nil {
-						return err
-					}
-					if !ok {
-						return nil
-					}
-				}
-				select {
-				case s.ch <- row:
-					return nil
-				case <-s.stop:
-					return errScanStopped
-				}
-			})
-			if err != nil && err != errScanStopped {
-				s.errc <- err
-				return
-			}
-			if err == errScanStopped {
-				return
-			}
-		}
-	}()
+	if s.rowMode {
+		s.rowCh = make(chan types.Row, 256)
+		go s.produceRows()
+	} else {
+		s.ch = make(chan *types.Batch, scanBatchDepth)
+		go s.produceBatches()
+	}
 	return nil
+}
+
+// produceBatches pushes filtered batches onto s.ch until exhaustion,
+// error, or stop.
+func (s *scanOp) produceBatches() {
+	defer close(s.ch)
+	for _, sf := range s.node.SegFiles {
+		if sf.SegmentID != s.ctx.Segment {
+			continue
+		}
+		err := storage.ScanBatches(s.ctx.FS, s.node.Table.Storage, s.node.Table.Schema, sf, s.node.Proj, func(b *types.Batch) error {
+			if s.node.Filter != nil {
+				if err := expr.FilterBatch(s.node.Filter, b); err != nil {
+					types.PutBatch(b)
+					return err
+				}
+			}
+			if b.Len() == 0 {
+				types.PutBatch(b)
+				return nil
+			}
+			select {
+			case s.ch <- b:
+				return nil
+			case <-s.stop:
+				types.PutBatch(b)
+				return errScanStopped
+			}
+		})
+		if err == errScanStopped {
+			return
+		}
+		if err != nil {
+			s.errc <- err
+			return
+		}
+	}
+}
+
+// produceRows is the RowMode producer: one channel send per row.
+func (s *scanOp) produceRows() {
+	defer close(s.rowCh)
+	for _, sf := range s.node.SegFiles {
+		if sf.SegmentID != s.ctx.Segment {
+			continue
+		}
+		err := storage.Scan(s.ctx.FS, s.node.Table.Storage, s.node.Table.Schema, sf, s.node.Proj, func(row types.Row) error {
+			if s.node.Filter != nil {
+				ok, err := expr.EvalBool(s.node.Filter, row)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			select {
+			case s.rowCh <- row:
+				return nil
+			case <-s.stop:
+				return errScanStopped
+			}
+		})
+		if err == errScanStopped {
+			return
+		}
+		if err != nil {
+			s.errc <- err
+			return
+		}
+	}
+}
+
+// NextBatch implements BatchOperator: it swaps the next decoded batch
+// into b, recycling b's previous arena through the pool.
+func (s *scanOp) NextBatch(b *types.Batch) (bool, error) {
+	if s.rowMode {
+		return nextBatchFromRows(s, b)
+	}
+	nb, ok := <-s.ch
+	if !ok {
+		select {
+		case err := <-s.errc:
+			return false, err
+		default:
+			return false, nil
+		}
+	}
+	*b, *nb = *nb, *b
+	types.PutBatch(nb)
+	return true, nil
 }
 
 // Next implements Operator.
 func (s *scanOp) Next() (types.Row, bool, error) {
-	row, ok := <-s.ch
+	if !s.rowMode {
+		return s.cur.next(s)
+	}
+	row, ok := <-s.rowCh
 	if !ok {
 		select {
 		case err := <-s.errc:
@@ -90,9 +169,16 @@ func (s *scanOp) Close() error {
 		s.open = false
 		close(s.stop)
 		// Drain so the producer goroutine exits.
-		for range s.ch {
+		if s.rowMode {
+			for range s.rowCh {
+			}
+		} else {
+			for b := range s.ch {
+				types.PutBatch(b)
+			}
 		}
 	}
+	s.cur.release()
 	return nil
 }
 
@@ -103,7 +189,8 @@ type externalScanOp struct {
 	node *plan.ExternalScan
 }
 
-// scanOpBase shares the channel plumbing between scan-like operators.
+// scanOpBase shares the channel plumbing between row-push scan-like
+// operators.
 type scanOpBase struct {
 	ch   chan types.Row
 	errc chan error
@@ -185,9 +272,10 @@ func (e *externalScanOp) Close() error {
 	return nil
 }
 
-// appendOp concatenates children (partition scans).
+// appendOp concatenates children (partition scans), serving both the
+// row and batch interfaces over whichever each child supports.
 type appendOp struct {
-	ops []Operator
+	ops []BatchOperator
 	cur int
 }
 
@@ -198,7 +286,7 @@ func newAppendOp(ctx *Context, node *plan.Append) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		a.ops = append(a.ops, op)
+		a.ops = append(a.ops, AsBatch(op))
 	}
 	return a, nil
 }
@@ -211,6 +299,18 @@ func (a *appendOp) Open() error {
 	return a.ops[0].Open()
 }
 
+// advance closes the exhausted current child and opens the next.
+func (a *appendOp) advance() error {
+	if err := a.ops[a.cur].Close(); err != nil {
+		return err
+	}
+	a.cur++
+	if a.cur < len(a.ops) {
+		return a.ops[a.cur].Open()
+	}
+	return nil
+}
+
 // Next implements Operator.
 func (a *appendOp) Next() (types.Row, bool, error) {
 	for a.cur < len(a.ops) {
@@ -221,17 +321,28 @@ func (a *appendOp) Next() (types.Row, bool, error) {
 		if ok {
 			return row, true, nil
 		}
-		if err := a.ops[a.cur].Close(); err != nil {
+		if err := a.advance(); err != nil {
 			return nil, false, err
-		}
-		a.cur++
-		if a.cur < len(a.ops) {
-			if err := a.ops[a.cur].Open(); err != nil {
-				return nil, false, err
-			}
 		}
 	}
 	return nil, false, nil
+}
+
+// NextBatch implements BatchOperator.
+func (a *appendOp) NextBatch(b *types.Batch) (bool, error) {
+	for a.cur < len(a.ops) {
+		ok, err := a.ops[a.cur].NextBatch(b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		if err := a.advance(); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
 }
 
 // Close implements Operator.
@@ -246,9 +357,11 @@ func (a *appendOp) Close() error {
 	return err
 }
 
-// selectOp filters rows.
+// selectOp filters rows; the batch path compacts each input batch in
+// place.
 type selectOp struct {
 	in   Operator
+	bin  BatchOperator
 	pred expr.Expr
 }
 
@@ -272,13 +385,32 @@ func (s *selectOp) Next() (types.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator.
+func (s *selectOp) NextBatch(b *types.Batch) (bool, error) {
+	for {
+		ok, err := s.bin.NextBatch(b)
+		if err != nil || !ok {
+			return false, err
+		}
+		if err := expr.FilterBatch(s.pred, b); err != nil {
+			return false, err
+		}
+		if b.Len() > 0 {
+			return true, nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (s *selectOp) Close() error { return s.in.Close() }
 
-// projectOp computes expressions.
+// projectOp computes expressions; the batch path evaluates them over a
+// reused scratch batch into the caller's output batch.
 type projectOp struct {
-	in    Operator
-	exprs []expr.Expr
+	in      Operator
+	bin     BatchOperator
+	exprs   []expr.Expr
+	scratch *types.Batch
 }
 
 // Open implements Operator.
@@ -301,8 +433,26 @@ func (p *projectOp) Next() (types.Row, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchOperator.
+func (p *projectOp) NextBatch(b *types.Batch) (bool, error) {
+	if p.scratch == nil {
+		p.scratch = types.GetBatch(0)
+	}
+	ok, err := p.bin.NextBatch(p.scratch)
+	if err != nil || !ok {
+		return false, err
+	}
+	return true, expr.ProjectBatch(p.exprs, p.scratch, b)
+}
+
 // Close implements Operator.
-func (p *projectOp) Close() error { return p.in.Close() }
+func (p *projectOp) Close() error {
+	if p.scratch != nil {
+		types.PutBatch(p.scratch)
+		p.scratch = nil
+	}
+	return p.in.Close()
+}
 
 // limitOp implements LIMIT/OFFSET; closing early propagates STOP through
 // motion operators below.
@@ -345,6 +495,7 @@ func (l *limitOp) Close() error { return l.in.Close() }
 type distinctOp struct {
 	in   Operator
 	seen map[string]struct{}
+	buf  []byte
 }
 
 // Open implements Operator.
@@ -360,11 +511,11 @@ func (d *distinctOp) Next() (types.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		key := string(types.EncodeRow(nil, row))
-		if _, dup := d.seen[key]; dup {
+		d.buf = types.EncodeRow(d.buf[:0], row)
+		if _, dup := d.seen[string(d.buf)]; dup {
 			continue
 		}
-		d.seen[key] = struct{}{}
+		d.seen[string(d.buf)] = struct{}{}
 		return row, true, nil
 	}
 }

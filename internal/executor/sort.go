@@ -20,6 +20,7 @@ const defaultSortMemRows = 1 << 18
 type sortOp struct {
 	ctx  *Context
 	in   Operator
+	bin  BatchOperator
 	keys []plan.OrderKey
 
 	buf      []types.Row
@@ -43,7 +44,7 @@ func newSortOp(ctx *Context, in Operator, keys []plan.OrderKey) *sortOp {
 	if lim <= 0 {
 		lim = defaultSortMemRows
 	}
-	return &sortOp{ctx: ctx, in: in, keys: keys, memLimit: lim}
+	return &sortOp{ctx: ctx, in: in, bin: ctx.batchInput(in), keys: keys, memLimit: lim}
 }
 
 // compareRows orders rows by the sort keys (NULLs first, as in
@@ -66,20 +67,15 @@ func (s *sortOp) Open() error {
 	if err := s.in.Open(); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := s.in.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	err := drainRows(s.bin, s.in, func(row types.Row) error {
 		s.buf = append(s.buf, row.Clone())
 		if len(s.buf) >= s.memLimit {
-			if err := s.spill(); err != nil {
-				return err
-			}
+			return s.spill()
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	s.inClosed = true
 	if err := s.in.Close(); err != nil {

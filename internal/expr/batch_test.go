@@ -1,0 +1,137 @@
+package expr
+
+import (
+	"reflect"
+	"testing"
+
+	"hawq/internal/types"
+)
+
+// kernelTestRows mixes kinds and NULLs to exercise both the vectorized
+// kernels and their generic fallbacks.
+func kernelTestRows() []types.Row {
+	return []types.Row{
+		{types.NewInt64(1), types.NewInt64(10), types.NewString("a")},
+		{types.NewInt64(2), types.Null, types.NewString("b")},
+		{types.NewInt32(3), types.NewInt64(30), types.Null},
+		{types.Null, types.NewInt64(40), types.NewString("d")},
+		{types.NewInt64(5), types.NewInt32(50), types.NewString("e")},
+	}
+}
+
+func fillBatch(rows []types.Row) *types.Batch {
+	b := types.GetBatch(0)
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}
+
+// filterRowPath is the reference semantics FilterBatch must match.
+func filterRowPath(t *testing.T, pred Expr, rows []types.Row) []types.Row {
+	t.Helper()
+	var out []types.Row
+	for _, r := range rows {
+		pass, err := EvalBool(pred, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pass {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestFilterBatchMatchesEvalBool(t *testing.T) {
+	rows := kernelTestRows()
+	col0 := &ColRef{Idx: 0, K: types.KindInt64}
+	col1 := &ColRef{Idx: 1, K: types.KindInt64}
+	preds := map[string]Expr{
+		"kernel-gt":    NewBinOp(OpGt, col0, NewConst(types.NewInt64(2))),
+		"kernel-le":    NewBinOp(OpLe, col0, NewConst(types.NewInt64(3))),
+		"kernel-eq":    NewBinOp(OpEq, col1, NewConst(types.NewInt64(30))),
+		"kernel-ne":    NewBinOp(OpNe, col0, NewConst(types.NewInt64(1))),
+		"generic-cols": NewBinOp(OpLt, col0, col1),
+		"generic-and": NewBinOp(OpAnd,
+			NewBinOp(OpGt, col0, NewConst(types.NewInt64(0))),
+			NewBinOp(OpLt, col1, NewConst(types.NewInt64(45)))),
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			want := filterRowPath(t, pred, rows)
+			b := fillBatch(rows)
+			defer types.PutBatch(b)
+			if err := FilterBatch(pred, b); err != nil {
+				t.Fatal(err)
+			}
+			if b.Len() != len(want) {
+				t.Fatalf("kept %d rows, want %d", b.Len(), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(b.Row(i), want[i]) {
+					t.Errorf("row %d = %v, want %v", i, b.Row(i), want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestProjectBatchMatchesEval(t *testing.T) {
+	rows := kernelTestRows()
+	col0 := &ColRef{Idx: 0, K: types.KindInt64}
+	col1 := &ColRef{Idx: 1, K: types.KindInt64}
+	col2 := &ColRef{Idx: 2, K: types.KindString}
+	exprSets := map[string][]Expr{
+		"kernel-copy-const": {col0, NewConst(types.NewInt64(7)), col2},
+		"kernel-arith":      {NewBinOp(OpAdd, col0, col1), NewBinOp(OpMul, col1, NewConst(types.NewInt64(2))), NewBinOp(OpSub, NewConst(types.NewInt64(100)), col0)},
+		"kernel-div":        {NewBinOp(OpDiv, col1, col0), NewBinOp(OpDiv, col1, NewConst(types.NewInt64(0)))},
+		"generic-concat":    {NewBinOp(OpConcat, col2, NewConst(types.NewString("!")))},
+	}
+	for name, exprs := range exprSets {
+		t.Run(name, func(t *testing.T) {
+			in := fillBatch(rows)
+			out := types.GetBatch(0)
+			defer types.PutBatch(in)
+			defer types.PutBatch(out)
+			if err := ProjectBatch(exprs, in, out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Len() != len(rows) {
+				t.Fatalf("projected %d rows", out.Len())
+			}
+			for i, r := range rows {
+				for j, e := range exprs {
+					want, err := e.Eval(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(out.Row(i)[j], want) {
+						t.Errorf("row %d col %d = %v, want %v", i, j, out.Row(i)[j], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBatchKernelsOutOfRangeColumn(t *testing.T) {
+	rows := []types.Row{{types.NewInt64(1)}}
+	bad := &ColRef{Idx: 5, K: types.KindInt64}
+	b := fillBatch(rows)
+	defer types.PutBatch(b)
+	// Both paths must report the error, not panic or silently pass.
+	if err := FilterBatch(NewBinOp(OpGt, bad, NewConst(types.NewInt64(0))), b); err == nil {
+		t.Error("filter on out-of-range column accepted")
+	}
+	in := fillBatch(rows)
+	out := types.GetBatch(0)
+	defer types.PutBatch(in)
+	defer types.PutBatch(out)
+	if err := ProjectBatch([]Expr{bad}, in, out); err == nil {
+		t.Error("projection of out-of-range column accepted")
+	}
+	if err := ProjectBatch([]Expr{NewBinOp(OpAdd, bad, NewConst(types.NewInt64(1)))}, in, out); err == nil {
+		t.Error("arithmetic on out-of-range column accepted")
+	}
+}

@@ -14,7 +14,12 @@ import (
 type UDPConfig struct {
 	// RecvWindow is the per-sender receive queue capacity in packets.
 	RecvWindow int
-	// MaxPayload is the largest Send payload in bytes.
+	// MaxPayload is the largest Send payload in bytes (default 8 KiB:
+	// one datagram per payload, comfortably under typical MTU+jumbo
+	// limits without IP fragmentation). The executor's motion operators
+	// must keep their accumulation target (executor.Context.MotionPayload)
+	// at or below this, with headroom for the row that straddles the
+	// flush threshold — Send fails outright on oversized payloads.
 	MaxPayload int
 	// LossRate injects random packet loss in [0,1) for testing the
 	// recovery machinery. Applies to every outgoing packet.

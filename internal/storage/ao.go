@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"hawq/internal/catalog"
@@ -75,6 +76,49 @@ func (w *aoWriter) Lens() (int64, []int64) { return w.total, nil }
 
 // Tuples implements Writer.
 func (w *aoWriter) Tuples() int64 { return w.tuples }
+
+// scanAOBatches decodes each AO block's rows into one batch. A reusable
+// full-width scratch row absorbs the decode; only the projected columns
+// are copied into the batch arena.
+func scanAOBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(*types.Batch) error) error {
+	data, err := readRegion(fs, sf.Path, sf.LogicalLen)
+	if err != nil {
+		return err
+	}
+	it := &blockIter{data: data}
+	var scratch types.Row
+	for {
+		rowCount, raw, err := it.next(codec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		b := types.GetBatch(len(proj))
+		pos := 0
+		for i := 0; i < rowCount; i++ {
+			var n int
+			scratch, n, err = types.DecodeRowInto(raw[pos:], scratch)
+			if err != nil {
+				types.PutBatch(b)
+				return err
+			}
+			pos += n
+			out := b.AddRow()
+			for j, c := range proj {
+				if c >= len(scratch) {
+					types.PutBatch(b)
+					return fmt.Errorf("storage: AO projection column %d out of range (row width %d)", c, len(scratch))
+				}
+				out[j] = scratch[c]
+			}
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
 
 // scanAO iterates the committed rows of an AO segment file.
 func scanAO(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {

@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+
+	"hawq/internal/catalog"
+	"hawq/internal/hdfs"
+	"hawq/internal/types"
+)
+
+// scanAllBatches collects every row a batch scan produces, cloning out
+// of the arena.
+func scanAllBatches(t *testing.T, fs *hdfs.FileSystem, spec catalog.StorageSpec, sf catalog.SegFile, proj []int) []types.Row {
+	t.Helper()
+	var out []types.Row
+	err := ScanBatches(fs, spec, testSchema(), sf, proj, func(b *types.Batch) error {
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i).Clone())
+		}
+		types.PutBatch(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestScanBatchesMatchesScan(t *testing.T) {
+	rows := testRows(5000)
+	for _, spec := range allSpecs {
+		t.Run(spec.Orientation+"/"+spec.Codec, func(t *testing.T) {
+			fs := testFS(t)
+			sf := writeAll(t, fs, spec, rows)
+			for _, proj := range [][]int{nil, {0}, {2, 0}} {
+				want := scanAll(t, fs, spec, sf, proj)
+				got := scanAllBatches(t, fs, spec, sf, proj)
+				if len(got) != len(want) {
+					t.Fatalf("proj %v: %d rows, want %d", proj, len(got), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("proj %v row %d: %v != %v", proj, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestScanBatchesZeroColumnProjection(t *testing.T) {
+	rows := testRows(500)
+	for _, spec := range []catalog.StorageSpec{
+		{Orientation: catalog.OrientRow, Codec: "quicklz"},
+		{Orientation: catalog.OrientColumn, Codec: "quicklz"},
+		{Orientation: catalog.OrientParquet, Codec: "quicklz"},
+	} {
+		fs := testFS(t)
+		sf := writeAll(t, fs, spec, rows)
+		n := 0
+		err := ScanBatches(fs, spec, testSchema(), sf, []int{}, func(b *types.Batch) error {
+			n += b.Len()
+			types.PutBatch(b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(rows) {
+			t.Errorf("%s: count(*) batch scan = %d", spec.Orientation, n)
+		}
+	}
+}
+
+func TestScanBatchesEmptyFile(t *testing.T) {
+	fs := testFS(t)
+	for _, spec := range allSpecs {
+		sf := catalog.SegFile{Path: "/data/none/0/1"}
+		err := ScanBatches(fs, spec, testSchema(), sf, nil, func(b *types.Batch) error {
+			t.Errorf("%s: batch from empty file", spec.Orientation)
+			types.PutBatch(b)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// benchScanRows builds a written segment file for the scan benchmarks.
+func benchScanSetup(b *testing.B, orientation string) (*hdfs.FileSystem, catalog.StorageSpec, catalog.SegFile, int) {
+	b.Helper()
+	rows := testRows(20000)
+	spec := catalog.StorageSpec{Orientation: orientation, Codec: "quicklz"}
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 3, BlockSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sf := catalog.SegFile{Path: "/bench/scan"}
+	w, err := NewWriter(fs, spec, testSchema(), sf, hdfs.CreateOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w.Close()
+	sf.LogicalLen, sf.ColLens = w.Lens()
+	return fs, spec, sf, len(rows)
+}
+
+func benchScanFormat(b *testing.B, orientation string) {
+	fs, spec, sf, want := benchScanSetup(b, orientation)
+	proj := []int{0, 1}
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := Scan(fs, spec, testSchema(), sf, proj, func(types.Row) error { n++; return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != want {
+				b.Fatalf("scanned %d", n)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := ScanBatches(fs, spec, testSchema(), sf, proj, func(batch *types.Batch) error {
+				n += batch.Len()
+				types.PutBatch(batch)
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != want {
+				b.Fatalf("scanned %d", n)
+			}
+		}
+	})
+}
+
+// BenchmarkScanAO compares row-at-a-time and batch AO scans.
+func BenchmarkScanAO(b *testing.B) { benchScanFormat(b, catalog.OrientRow) }
+
+// BenchmarkScanCO compares row-at-a-time and batch CO scans.
+func BenchmarkScanCO(b *testing.B) { benchScanFormat(b, catalog.OrientColumn) }
+
+// BenchmarkScanParquet compares row-at-a-time and batch Parquet scans.
+func BenchmarkScanParquet(b *testing.B) { benchScanFormat(b, catalog.OrientParquet) }

@@ -109,6 +109,93 @@ func (w *coWriter) Lens() (int64, []int64) {
 // Tuples implements Writer.
 func (w *coWriter) Tuples() int64 { return w.tuples }
 
+// scanCOBatches reads only the projected column files and decodes each
+// aligned block set column-wise straight into one batch arena — the
+// columnar layout means every column's datums for a block are
+// contiguous, so no per-row materialization happens at all.
+func scanCOBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(*types.Batch) error) error {
+	if len(sf.ColLens) == 0 {
+		return nil // never committed
+	}
+	if len(proj) == 0 {
+		// Zero-column scan (COUNT(*)): walk column 0's block headers and
+		// emit batches of empty rows.
+		data, err := readRegion(fs, ColFilePath(sf.Path, 0), sf.ColLens[0])
+		if err != nil {
+			return err
+		}
+		it := &blockIter{data: data}
+		for {
+			n, _, err := it.next(codec)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			b := types.GetBatch(0)
+			b.Extend(n)
+			if err := fn(b); err != nil {
+				return err
+			}
+		}
+	}
+	iters := make([]*blockIter, len(proj))
+	for j, c := range proj {
+		if c >= len(sf.ColLens) {
+			return fmt.Errorf("storage: CO projection column %d out of range", c)
+		}
+		data, err := readRegion(fs, ColFilePath(sf.Path, c), sf.ColLens[c])
+		if err != nil {
+			return err
+		}
+		iters[j] = &blockIter{data: data}
+	}
+	for {
+		// Advance all columns to their next aligned block.
+		rc := -1
+		raws := make([][]byte, len(proj))
+		for j, it := range iters {
+			n, raw, err := it.next(codec)
+			if err == io.EOF {
+				if j == 0 {
+					return nil
+				}
+				return fmt.Errorf("storage: CO column files out of sync (early EOF)")
+			}
+			if err != nil {
+				return err
+			}
+			if rc == -1 {
+				rc = n
+			} else if n != rc {
+				return fmt.Errorf("storage: CO block row counts diverge (%d vs %d)", rc, n)
+			}
+			raws[j] = raw
+		}
+		if rc <= 0 {
+			continue
+		}
+		b := types.GetBatch(len(proj))
+		b.Extend(rc)
+		for j := range iters {
+			pos := 0
+			for i := 0; i < rc; i++ {
+				d, n, err := types.DecodeDatum(raws[j][pos:])
+				if err != nil {
+					types.PutBatch(b)
+					return err
+				}
+				pos += n
+				b.Row(i)[j] = d
+			}
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
 // scanCO reads only the projected column files and zips their block
 // streams back into rows.
 func scanCO(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {

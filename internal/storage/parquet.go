@@ -113,12 +113,10 @@ func (w *parquetWriter) Lens() (int64, []int64) { return w.total, nil }
 // Tuples implements Writer.
 func (w *parquetWriter) Tuples() int64 { return w.tuples }
 
-// scanParquet walks row groups, decompressing only projected columns.
-func scanParquet(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {
-	data, err := readRegion(fs, sf.Path, sf.LogicalLen)
-	if err != nil {
-		return err
-	}
+// walkParquetGroups iterates the row groups of a parquet region,
+// decompressing only the projected chunks and invoking fn with each
+// group's row count and per-projected-column raw datum streams.
+func walkParquetGroups(data []byte, codec compress.Codec, proj []int, fn func(rowCount int, raws [][]byte) error) error {
 	pos := 0
 	for pos < len(data) {
 		d := data[pos:]
@@ -157,7 +155,6 @@ func scanParquet(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema
 		}
 		// Decompress only the projected chunks.
 		raws := make([][]byte, len(proj))
-		cpos := make([]int, len(proj))
 		for j, c := range proj {
 			if c >= int(ncols) {
 				return fmt.Errorf("storage: projection column %d out of range", c)
@@ -172,7 +169,23 @@ func scanParquet(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema
 			}
 			raws[j] = raw
 		}
-		for i := 0; i < int(rowCount); i++ {
+		if err := fn(int(rowCount), raws); err != nil {
+			return err
+		}
+		pos += off
+	}
+	return nil
+}
+
+// scanParquet walks row groups, decompressing only projected columns.
+func scanParquet(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {
+	data, err := readRegion(fs, sf.Path, sf.LogicalLen)
+	if err != nil {
+		return err
+	}
+	return walkParquetGroups(data, codec, proj, func(rowCount int, raws [][]byte) error {
+		cpos := make([]int, len(proj))
+		for i := 0; i < rowCount; i++ {
 			out := make(types.Row, len(proj))
 			for j := range proj {
 				v, n, err := types.DecodeDatum(raws[j][cpos[j]:])
@@ -186,7 +199,33 @@ func scanParquet(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema
 				return err
 			}
 		}
-		pos += off
+		return nil
+	})
+}
+
+// scanParquetBatches decodes each row group column-wise into one batch,
+// exploiting the PAX layout: every projected chunk is a contiguous
+// stream of one column's datums, written straight into the batch arena.
+func scanParquetBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(*types.Batch) error) error {
+	data, err := readRegion(fs, sf.Path, sf.LogicalLen)
+	if err != nil {
+		return err
 	}
-	return nil
+	return walkParquetGroups(data, codec, proj, func(rowCount int, raws [][]byte) error {
+		b := types.GetBatch(len(proj))
+		b.Extend(rowCount)
+		for j := range raws {
+			pos := 0
+			for i := 0; i < rowCount; i++ {
+				d, n, err := types.DecodeDatum(raws[j][pos:])
+				if err != nil {
+					types.PutBatch(b)
+					return err
+				}
+				pos += n
+				b.Row(i)[j] = d
+			}
+		}
+		return fn(b)
+	})
 }

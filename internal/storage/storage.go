@@ -94,6 +94,36 @@ func Scan(fs *hdfs.FileSystem, spec catalog.StorageSpec, schema *types.Schema, s
 	}
 }
 
+// ScanBatches is the batch variant of Scan: fn receives the projected
+// rows decoded one storage block (AO, CO) or row group (Parquet) at a
+// time into a pooled types.Batch. The columnar formats decode straight
+// into the batch arena column by column, exploiting their layout instead
+// of materializing row-by-row. Ownership of each batch transfers to fn,
+// which must release it with types.PutBatch (or hand it on) — the scan
+// never touches a batch again after fn returns.
+func ScanBatches(fs *hdfs.FileSystem, spec catalog.StorageSpec, schema *types.Schema, sf catalog.SegFile, proj []int, fn func(*types.Batch) error) error {
+	codec, err := compress.Lookup(spec.Codec)
+	if err != nil {
+		return err
+	}
+	if proj == nil {
+		proj = make([]int, schema.Len())
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	switch spec.Orientation {
+	case catalog.OrientRow, "":
+		return scanAOBatches(fs, codec, sf, proj, fn)
+	case catalog.OrientColumn:
+		return scanCOBatches(fs, codec, sf, proj, fn)
+	case catalog.OrientParquet:
+		return scanParquetBatches(fs, codec, sf, proj, fn)
+	default:
+		return fmt.Errorf("storage: unknown orientation %q", spec.Orientation)
+	}
+}
+
 // ColFilePath returns the HDFS path of column i of a CO table lane.
 func ColFilePath(base string, col int) string {
 	return fmt.Sprintf("%s.c%d", base, col)

@@ -1,0 +1,178 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// DefaultBatchRows is the row count batch producers aim for per batch:
+// enough to amortize per-batch overheads (channel operations, interface
+// calls, header decoding) without holding more than a few hundred KB of
+// datums per pipeline stage.
+const DefaultBatchRows = 1024
+
+// Batch is a batch of fixed-width rows backed by one shared Datum arena.
+// It is the unit of the executor's vectorized fast path: producers fill a
+// batch a block at a time, consumers iterate its rows without allocating,
+// and the arena is recycled through a sync.Pool (GetBatch/PutBatch) so
+// the steady-state scan→filter→project→motion pipeline performs no
+// per-row allocations.
+//
+// Ownership rules:
+//
+//   - Rows returned by Row are views into the arena. They are valid only
+//     until the batch is next Reset, extended past its capacity, or
+//     returned to the pool; retain a row across those events with
+//     Row.Clone. Datums copied out of a row (by value) are always safe.
+//   - A batch may be handed off (e.g. over a channel); the receiver then
+//     owns it and is responsible for PutBatch.
+type Batch struct {
+	width int
+	n     int
+	arena []Datum
+}
+
+// Reset clears the batch to zero rows of the given width, retaining the
+// arena's capacity for reuse.
+func (b *Batch) Reset(width int) {
+	b.width = width
+	b.n = 0
+	b.arena = b.arena[:0]
+}
+
+// Width returns the number of columns per row.
+func (b *Batch) Width() int { return b.width }
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Row returns row i as a view into the arena; see the ownership rules on
+// Batch for its lifetime.
+func (b *Batch) Row(i int) Row {
+	if b.width == 0 {
+		return Row{}
+	}
+	return Row(b.arena[i*b.width : (i+1)*b.width])
+}
+
+// AddRow appends one row initialized to NULL and returns it for the
+// caller to fill. The returned view follows the Row lifetime rules.
+func (b *Batch) AddRow() Row {
+	b.n++
+	if b.width == 0 {
+		return Row{}
+	}
+	old := len(b.arena)
+	if old+b.width <= cap(b.arena) {
+		b.arena = b.arena[:old+b.width]
+		row := b.arena[old:]
+		for i := range row {
+			row[i] = Datum{}
+		}
+		return Row(row)
+	}
+	for i := 0; i < b.width; i++ {
+		b.arena = append(b.arena, Datum{})
+	}
+	return Row(b.arena[old:])
+}
+
+// Extend appends n rows initialized to NULL (used by columnar readers
+// that fill the batch column by column).
+func (b *Batch) Extend(n int) {
+	for i := 0; i < n; i++ {
+		b.AddRow()
+	}
+}
+
+// AppendRow appends a copy of r. The first row appended to an empty
+// zero-width batch fixes the batch width; afterwards every row must
+// match it (a mismatch indicates a planner bug and panics).
+func (b *Batch) AppendRow(r Row) {
+	if b.n == 0 && b.width == 0 {
+		b.width = len(r)
+	}
+	if len(r) != b.width {
+		panic(fmt.Sprintf("types: appending %d-column row to %d-column batch", len(r), b.width))
+	}
+	copy(b.AddRow(), r)
+}
+
+// MoveRow copies row src over row dst (dst <= src), the primitive batch
+// filters use to compact surviving rows in place.
+func (b *Batch) MoveRow(dst, src int) {
+	if b.width == 0 || dst == src {
+		return
+	}
+	copy(b.arena[dst*b.width:(dst+1)*b.width], b.arena[src*b.width:(src+1)*b.width])
+}
+
+// Truncate shrinks the batch to its first n rows.
+func (b *Batch) Truncate(n int) {
+	b.n = n
+	b.arena = b.arena[:n*b.width]
+}
+
+// batchPool recycles batches (and their arenas) across pipeline stages.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// GetBatch returns a pooled batch reset to the given width.
+func GetBatch(width int) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Reset(width)
+	return b
+}
+
+// PutBatch returns a batch to the pool for reuse. The caller must not
+// touch the batch (or any row view into it) afterwards.
+func PutBatch(b *Batch) {
+	if b != nil {
+		batchPool.Put(b)
+	}
+}
+
+// EncodeBatch appends the wire encoding of every row in b to buf. The
+// format is a plain concatenation of EncodeRow frames, so the result is
+// indistinguishable from rows encoded one at a time — batch and row
+// senders interoperate on the same motion stream.
+func EncodeBatch(buf []byte, b *Batch) []byte {
+	for i := 0; i < b.n; i++ {
+		buf = EncodeRow(buf, b.Row(i))
+	}
+	return buf
+}
+
+// DecodeBatch decodes every row frame in buf into b, resetting b first.
+// All frames must share one width (motion streams are homogeneous). It
+// returns the number of bytes consumed and never panics on truncated or
+// corrupt input.
+func DecodeBatch(buf []byte, b *Batch) (int, error) {
+	b.Reset(0)
+	pos := 0
+	for pos < len(buf) {
+		n, c := binary.Uvarint(buf[pos:])
+		if c <= 0 {
+			return 0, fmt.Errorf("types: truncated row header")
+		}
+		if n > uint64(len(buf)-pos-c) {
+			return 0, fmt.Errorf("types: row header claims %d columns, only %d bytes left", n, len(buf)-pos-c)
+		}
+		if b.n == 0 {
+			b.Reset(int(n))
+		} else if int(n) != b.width {
+			return 0, fmt.Errorf("types: batch width changed from %d to %d", b.width, n)
+		}
+		pos += c
+		row := b.AddRow()
+		for j := 0; j < int(n); j++ {
+			d, sz, err := DecodeDatum(buf[pos:])
+			if err != nil {
+				return 0, fmt.Errorf("row %d column %d: %w", b.n-1, j, err)
+			}
+			row[j] = d
+			pos += sz
+		}
+	}
+	return pos, nil
+}

@@ -1,0 +1,249 @@
+package types
+
+import (
+	"reflect"
+	"testing"
+)
+
+func batchTestRows() []Row {
+	return []Row{
+		{NewInt64(1), NewString("alpha"), Null},
+		{NewInt64(2), NewString(""), NewFloat64(2.5)},
+		{NewInt64(3), Null, NewFloat64(-1)},
+	}
+}
+
+func TestBatchAppendAndViews(t *testing.T) {
+	rows := batchTestRows()
+	b := GetBatch(0)
+	defer PutBatch(b)
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	if b.Len() != len(rows) || b.Width() != 3 {
+		t.Fatalf("len=%d width=%d", b.Len(), b.Width())
+	}
+	for i, r := range rows {
+		if !reflect.DeepEqual(b.Row(i), r) {
+			t.Errorf("row %d = %v, want %v", i, b.Row(i), r)
+		}
+	}
+	// MoveRow + Truncate compacts like a filter.
+	b.MoveRow(0, 2)
+	b.Truncate(1)
+	if b.Len() != 1 || !reflect.DeepEqual(b.Row(0), rows[2]) {
+		t.Errorf("after compaction: len=%d row=%v", b.Len(), b.Row(0))
+	}
+	// Reset + AddRow reuses the arena and zeroes stale datums.
+	b.Reset(2)
+	r := b.AddRow()
+	if !r[0].IsNull() || !r[1].IsNull() {
+		t.Errorf("reused arena row not NULL-initialized: %v", r)
+	}
+}
+
+func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
+	rows := batchTestRows()
+	b := GetBatch(0)
+	defer PutBatch(b)
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	enc := EncodeBatch(nil, b)
+	// Wire compatibility: EncodeBatch is exactly the concatenation of
+	// EncodeRow frames, so row-oriented senders and batch receivers (and
+	// vice versa) interoperate.
+	var rowEnc []byte
+	for _, r := range rows {
+		rowEnc = EncodeRow(rowEnc, r)
+	}
+	if !reflect.DeepEqual(enc, rowEnc) {
+		t.Fatal("EncodeBatch differs from concatenated EncodeRow frames")
+	}
+	out := GetBatch(0)
+	defer PutBatch(out)
+	n, err := DecodeBatch(enc, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(enc) {
+		t.Errorf("consumed %d of %d bytes", n, len(enc))
+	}
+	if out.Len() != len(rows) {
+		t.Fatalf("decoded %d rows", out.Len())
+	}
+	for i, r := range rows {
+		if !reflect.DeepEqual(out.Row(i), r) {
+			t.Errorf("row %d = %v, want %v", i, out.Row(i), r)
+		}
+	}
+}
+
+func TestDecodeBatchRejectsCorruptInput(t *testing.T) {
+	b := GetBatch(0)
+	defer PutBatch(b)
+	b.AppendRow(Row{NewInt64(7), NewString("x")})
+	b.AppendRow(Row{NewInt64(8), NewString("y")})
+	enc := EncodeBatch(nil, b)
+	out := GetBatch(0)
+	defer PutBatch(out)
+	// Any truncation must error, never panic.
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeBatch(enc[:cut], out); err == nil {
+			// A cut exactly on a frame boundary is a legal shorter batch.
+			if _, n, err2 := DecodeRow(enc); err2 == nil && cut%n != 0 {
+				t.Errorf("truncation at %d accepted", cut)
+			}
+		}
+	}
+	// A width change mid-batch is corruption.
+	mixed := EncodeRow(nil, Row{NewInt64(1)})
+	mixed = EncodeRow(mixed, Row{NewInt64(1), NewInt64(2)})
+	if _, err := DecodeBatch(mixed, out); err == nil {
+		t.Error("width change mid-batch accepted")
+	}
+	// A hostile header claiming a huge column count must not allocate.
+	if _, err := DecodeBatch([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, out); err == nil {
+		t.Error("hostile row header accepted")
+	}
+}
+
+func TestDecodeRowRejectsHostileHeader(t *testing.T) {
+	// Header claims 2^28 columns with no bytes behind it.
+	if _, _, err := DecodeRow([]byte{0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("hostile column count accepted")
+	}
+}
+
+// benchRows builds the row set shared by the encode/decode benchmarks.
+func benchRows(n int) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{NewInt64(int64(i)), NewInt64(int64(i * 7)), NewFloat64(float64(i) * 0.5), NewDate(int32(10000 + i))}
+	}
+	return rows
+}
+
+func BenchmarkEncodeRow(b *testing.B) {
+	rows := benchRows(DefaultBatchRows)
+	b.Run("row", func(b *testing.B) {
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, r := range rows {
+				buf = EncodeRow(buf, r)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		batch := GetBatch(0)
+		defer PutBatch(batch)
+		for _, r := range rows {
+			batch.AppendRow(r)
+		}
+		var buf []byte
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = EncodeBatch(buf[:0], batch)
+		}
+	})
+}
+
+func BenchmarkDecodeRow(b *testing.B) {
+	rows := benchRows(DefaultBatchRows)
+	var enc []byte
+	for _, r := range rows {
+		enc = EncodeRow(enc, r)
+	}
+	b.Run("row", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pos := 0
+			for pos < len(enc) {
+				_, n, err := DecodeRow(enc[pos:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				pos += n
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		batch := GetBatch(0)
+		defer PutBatch(batch)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBatch(enc, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func FuzzDecodeDatum(f *testing.F) {
+	for _, d := range []Datum{Null, NewBool(true), NewInt64(-12345), NewFloat64(3.25), NewDecimal(9999, 2), NewString("hello"), NewDate(12000)} {
+		f.Add(EncodeDatum(nil, d))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the datum must survive a
+		// re-encode/re-decode cycle (byte equality is too strong: the
+		// varint decoder tolerates non-canonical encodings).
+		d, n, err := DecodeDatum(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := EncodeDatum(nil, d)
+		d2, _, err := DecodeDatum(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("round trip changed datum: %v != %v", d, d2)
+		}
+	})
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	b := GetBatch(0)
+	for _, r := range batchTestRows() {
+		b.AppendRow(r)
+	}
+	f.Add(EncodeBatch(nil, b))
+	PutBatch(b)
+	f.Add(EncodeRow(nil, Row{NewInt64(1)}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out := GetBatch(0)
+		defer PutBatch(out)
+		// Must never panic on arbitrary input.
+		n, err := DecodeBatch(data, out)
+		if err != nil {
+			return
+		}
+		if n != len(data) {
+			t.Fatalf("consumed %d of %d bytes without error", n, len(data))
+		}
+		// Whatever decoded must survive a re-encode/re-decode cycle.
+		re := EncodeBatch(nil, out)
+		out2 := GetBatch(0)
+		defer PutBatch(out2)
+		if _, err := DecodeBatch(re, out2); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if out2.Len() != out.Len() {
+			t.Fatalf("round trip changed row count: %d != %d", out2.Len(), out.Len())
+		}
+		for i := 0; i < out.Len(); i++ {
+			if !reflect.DeepEqual(out.Row(i), out2.Row(i)) {
+				t.Fatalf("round trip changed row %d", i)
+			}
+		}
+	})
+}

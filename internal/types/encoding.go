@@ -100,12 +100,30 @@ func EncodeRow(buf []byte, r Row) []byte {
 // DecodeRow decodes a row produced by EncodeRow, returning the row and the
 // number of bytes consumed.
 func DecodeRow(buf []byte) (Row, int, error) {
+	return DecodeRowInto(buf, nil)
+}
+
+// DecodeRowInto decodes a row like DecodeRow but reuses row's backing
+// storage when it has capacity, returning the (possibly reallocated)
+// row. It never panics on truncated or corrupt input: the column count
+// in the header is validated against the bytes actually present before
+// any allocation.
+func DecodeRowInto(buf []byte, row Row) (Row, int, error) {
 	n, consumed := binary.Uvarint(buf)
 	if consumed <= 0 {
 		return nil, 0, fmt.Errorf("types: truncated row header")
 	}
+	// Every datum encodes to at least one byte, so a count beyond the
+	// remaining bytes is corruption; checking first keeps a hostile
+	// header from forcing a huge allocation.
+	if n > uint64(len(buf)-consumed) {
+		return nil, 0, fmt.Errorf("types: row header claims %d columns, only %d bytes left", n, len(buf)-consumed)
+	}
+	if row == nil || uint64(cap(row)) < n {
+		row = make(Row, n)
+	}
+	row = row[:n]
 	pos := consumed
-	row := make(Row, n)
 	for i := range row {
 		d, sz, err := DecodeDatum(buf[pos:])
 		if err != nil {

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh runs the vectorized-execution micro-benchmarks (row vs batch
+# for encode/decode, storage scans, the scan→filter→project pipeline,
+# hash aggregation, and motion loopback) and writes the results to
+# BENCH_micro.json as {"BenchmarkName/variant": {ns_op, b_op, allocs_op}}.
+#
+# Usage:
+#   scripts/bench.sh            # full run (benchtime 2s per benchmark)
+#   scripts/bench.sh --smoke    # single-iteration run under -race (CI);
+#                               # exercises every benchmark but does NOT
+#                               # overwrite BENCH_micro.json
+#
+# The row/batch pairs share one benchmark with /row and /batch
+# sub-benchmarks, so the JSON always carries both sides of each
+# comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="2s"
+SMOKE=0
+RACE=()
+if [[ "${1:-}" == "--smoke" ]]; then
+    BENCHTIME="1x"
+    SMOKE=1
+    RACE=(-race)
+fi
+
+PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback'
+PKGS="./internal/types ./internal/storage ./internal/executor"
+
+OUT="BENCH_micro.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench (benchtime $BENCHTIME)"
+go test "${RACE[@]+"${RACE[@]}"}" -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" $PKGS | tee "$RAW"
+
+if [[ "$SMOKE" == 1 ]]; then
+    echo "==> smoke run OK (BENCH_micro.json left untouched)"
+    exit 0
+fi
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "B/op")      bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns != "") {
+        if (n++) printf ",\n"
+        printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+            name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+    }
+}
+BEGIN { printf "{\n" }
+END   { printf "\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "==> wrote $OUT"

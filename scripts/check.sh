@@ -9,6 +9,9 @@
 #   4. go test -race ./...       — full test suite under the race
 #                                  detector, including the goroutine
 #                                  leak checkers wired into TestMain
+#   5. scripts/bench.sh --smoke  — every micro-benchmark for one
+#                                  iteration under -race, so the bench
+#                                  harness itself can't rot
 #
 # Every step must pass. CI runs exactly this script; run it locally
 # before sending a change.
@@ -26,5 +29,8 @@ go run ./cmd/hawq-check ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke (-benchtime=1x -race)"
+scripts/bench.sh --smoke
 
 echo "All checks passed."
