@@ -1,0 +1,431 @@
+// Package chaos is the deterministic fault-injection harness: it runs
+// TPC-H queries against an in-process cluster while a seed-driven
+// scheduler composes the repo's fault injectors — segment kills,
+// DataNode and volume failures, interconnect loss bursts, stalled
+// peers, and client cancellation — into randomized schedules on a
+// simulated clock. Every step must end in a correct result or a clean
+// error within bounded virtual time: a hang, a wrong answer, a leaked
+// goroutine, or an unreturned arena batch fails the run. The schedule
+// (which fault, against which target, at what virtual delay) is a pure
+// function of the seed, so a failing seed reproduces.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"hawq/internal/clock"
+	"hawq/internal/engine"
+	"hawq/internal/interconnect"
+	"hawq/internal/retry"
+	"hawq/internal/testutil"
+	"hawq/internal/tpch"
+	"hawq/internal/types"
+)
+
+// Options configures one chaos run.
+type Options struct {
+	// Seed drives the fault schedule; equal seeds produce equal
+	// schedules.
+	Seed int64
+	// Segments is the cluster size (default 3).
+	Segments int
+	// Steps is the number of query/fault steps (default 8).
+	Steps int
+	// Queries are the TPC-H query numbers to draw from (default a mix
+	// of the paper's simple-selection and complex-join groups).
+	Queries []int
+	// SF is the TPC-H scale factor (default 0.001).
+	SF float64
+	// SpillDir is the segment spill directory; empty means a fresh
+	// temporary directory removed when the run ends.
+	SpillDir string
+	// LeakWindow is how long teardown may lag before goroutines and
+	// unreturned batches count as leaks (default 5s wall).
+	LeakWindow time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Segments <= 0 {
+		o.Segments = 3
+	}
+	if o.Steps <= 0 {
+		o.Steps = 8
+	}
+	if len(o.Queries) == 0 {
+		o.Queries = []int{1, 6, 13, 5}
+	}
+	if o.SF <= 0 {
+		o.SF = 0.001
+	}
+	if o.LeakWindow <= 0 {
+		o.LeakWindow = 5 * time.Second
+	}
+}
+
+// Fault names used in step reports and schedules.
+const (
+	FaultNone        = "none"
+	FaultKillSegment = "kill-segment"
+	FaultLossBurst   = "loss-burst"
+	FaultStalledPeer = "stalled-peer"
+	FaultKillDN      = "kill-datanode"
+	FaultFailVolume  = "fail-volume"
+	FaultCancel      = "cancel"
+)
+
+// faultMenu is the deck the scheduler draws from; FaultNone appears
+// twice so fault-free steps interleave and re-validate the baseline.
+var faultMenu = []string{
+	FaultNone, FaultNone, FaultKillSegment, FaultLossBurst,
+	FaultStalledPeer, FaultKillDN, FaultFailVolume, FaultCancel,
+}
+
+// StepReport records one step's schedule and outcome.
+type StepReport struct {
+	// Query is the TPC-H query number run this step.
+	Query int
+	// Fault names the injected fault (one of the Fault constants).
+	Fault string
+	// Target is the fault's victim (segment or DataNode index), -1
+	// when the fault has no target.
+	Target int
+	// Delay is the virtual time between query start and injection.
+	Delay time.Duration
+	// Err is the clean error the query ended with, empty on success.
+	Err string
+	// Elapsed is the virtual time the step took.
+	Elapsed time.Duration
+}
+
+// Report is the outcome of a whole run.
+type Report struct {
+	// Seed is the schedule seed.
+	Seed int64
+	// Steps holds one entry per executed step.
+	Steps []StepReport
+}
+
+// String renders the report one line per step.
+func (r *Report) String() string {
+	var b strings.Builder
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "step %d: q%d fault=%s target=%d delay=%v elapsed=%v err=%q\n",
+			i, s.Query, s.Fault, s.Target, s.Delay, s.Elapsed, s.Err)
+	}
+	return b.String()
+}
+
+// stepBound is the virtual-time budget for one step: statement timeout
+// plus restart backoff plus EOS drains, with generous margin. A step
+// exceeding it counts as a hang even if it eventually finishes.
+const stepBound = 30 * time.Second
+
+// statementTimeout is the per-query timeout (virtual time) armed for
+// every chaos step, converting stalls into clean errors.
+const statementTimeout = 5 * time.Second
+
+// harness bundles a sim-clocked engine with the goroutine driving
+// virtual time forward, shared by Run and the focused chaos tests. The
+// driver advances the clock continuously so retransmission tickers,
+// statement timers, and backoff sleeps fire, while fault delays and
+// step budgets are measured in virtual ticks.
+type harness struct {
+	sim *clock.Sim
+	eng *engine.Engine
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+	closed  bool
+}
+
+// newHarness boots a 2-segment seed-1 harness for focused tests.
+func newHarness(spillDir string) (*harness, error) {
+	return newHarnessSeeded(spillDir, 2, 1)
+}
+
+// newHarnessSeeded boots an engine whose cluster, interconnect, and
+// retry policies all run on one simulated clock, and starts the time
+// driver.
+func newHarnessSeeded(spillDir string, segments int, seed int64) (*harness, error) {
+	h := &harness{sim: clock.NewSim(time.Time{}), stop: make(chan struct{})}
+	eng, err := engine.New(engine.Config{
+		Segments: segments,
+		SpillDir: spillDir,
+		Clock:    h.sim,
+		// Short EOS drain so stalled peers convert to clean errors
+		// quickly; the loss RNG shares the schedule seed.
+		UDP: interconnect.UDPConfig{
+			Seed:         seed,
+			DrainTimeout: 250 * time.Millisecond,
+			Clock:        h.sim,
+		},
+		Restart: retry.Policy{
+			MaxAttempts: 5, BaseDelay: 10 * time.Millisecond,
+			MaxDelay: 500 * time.Millisecond, Seed: seed, Clock: h.sim,
+		},
+		Reprobe: retry.Policy{
+			MaxAttempts: 5, BaseDelay: 50 * time.Millisecond,
+			MaxDelay: time.Second, Seed: seed, Clock: h.sim,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.eng = eng
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			select {
+			case <-h.stop:
+				return
+			default:
+				h.sim.Advance(time.Millisecond)
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	return h, nil
+}
+
+// stopTime halts the virtual-time driver. Idempotent.
+func (h *harness) stopTime() {
+	if !h.stopped {
+		h.stopped = true
+		close(h.stop)
+		h.wg.Wait()
+	}
+}
+
+// closeEngine shuts the engine down, once, returning its error.
+func (h *harness) closeEngine() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return h.eng.Close()
+}
+
+// close tears the whole harness down, ignoring the engine close error
+// (the deferred-cleanup path; Run checks it explicitly instead).
+func (h *harness) close() {
+	//hawqcheck:ignore errdrop
+	h.closeEngine()
+	h.stopTime()
+}
+
+// poolBaseline samples the batch pool counters.
+func (h *harness) poolBaseline() (gets, puts int64) {
+	return types.PoolStats()
+}
+
+// Run executes one seeded chaos schedule and returns its report. The
+// returned error is non-nil when an invariant broke: wrong rows, a
+// step over budget, an unclean teardown (leaked goroutine or batch),
+// or a setup failure.
+func Run(opts Options) (*Report, error) {
+	opts.fill()
+	if opts.SpillDir == "" {
+		dir, err := os.MkdirTemp("", "hawq-chaos-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		opts.SpillDir = dir
+	}
+
+	h, err := newHarnessSeeded(opts.SpillDir, opts.Segments, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+	e, sim := h.eng, h.sim
+
+	if _, err := tpch.Load(e, tpch.LoadOptions{Scale: tpch.Scale{SF: opts.SF, Seed: opts.Seed}}); err != nil {
+		return nil, err
+	}
+
+	// Fault-free baselines: the ground truth each faulted run must
+	// reproduce when it succeeds.
+	s := e.NewSession()
+	if _, err := s.Query(fmt.Sprintf("SET statement_timeout = '%s'", statementTimeout)); err != nil {
+		return nil, err
+	}
+	baselines := map[int]string{}
+	for _, q := range opts.Queries {
+		sql, ok := tpch.Queries[q]
+		if !ok {
+			return nil, fmt.Errorf("chaos: no TPC-H query %d", q)
+		}
+		res, err := s.Query(sql)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: baseline q%d: %w", q, err)
+		}
+		baselines[q] = canonical(res.Rows)
+	}
+
+	gets0, puts0 := types.PoolStats()
+	delta0 := gets0 - puts0
+	rng := rand.New(rand.NewSource(opts.Seed))
+	report := &Report{Seed: opts.Seed}
+
+	for i := 0; i < opts.Steps; i++ {
+		step := StepReport{
+			Query:  opts.Queries[rng.Intn(len(opts.Queries))],
+			Fault:  faultMenu[rng.Intn(len(faultMenu))],
+			Target: -1,
+			Delay:  time.Duration(rng.Intn(50)) * time.Millisecond,
+		}
+		if err := runStep(e, s, sim, rng, &step, baselines[step.Query]); err != nil {
+			report.Steps = append(report.Steps, step)
+			return report, fmt.Errorf("chaos: seed %d step %d (q%d, %s): %w",
+				opts.Seed, i, step.Query, step.Fault, err)
+		}
+		report.Steps = append(report.Steps, step)
+		if err := awaitPoolBalance(delta0, opts.LeakWindow); err != nil {
+			return report, fmt.Errorf("chaos: seed %d step %d (q%d, %s): %w",
+				opts.Seed, i, step.Query, step.Fault, err)
+		}
+	}
+
+	// Full teardown must leave no goroutines behind.
+	if err := h.closeEngine(); err != nil {
+		return report, fmt.Errorf("chaos: close: %w", err)
+	}
+	h.stopTime()
+	if err := checkGoroutines(opts.LeakWindow); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// runStep runs one query with one scheduled fault and validates the
+// outcome. It mutates step with the observed result and heals the
+// cluster afterwards.
+func runStep(e *engine.Engine, s *engine.Session, sim *clock.Sim, rng *rand.Rand, step *StepReport, baseline string) error {
+	cl := e.Cluster()
+	start := sim.Now()
+
+	// Arm the fault on a virtual-time fuse. The timer is passive: it
+	// fires when the driver advances past the delay.
+	var faultWG sync.WaitGroup
+	disarm := make(chan struct{})
+	fire := func(inject func()) {
+		tm := sim.NewTimer(step.Delay)
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			defer tm.Stop()
+			select {
+			case <-tm.C():
+				inject()
+			case <-disarm:
+			}
+		}()
+	}
+	switch step.Fault {
+	case FaultKillSegment:
+		step.Target = rng.Intn(cl.NumSegments())
+		fire(func() { cl.Segment(step.Target).Kill() })
+	case FaultLossBurst:
+		rate := 0.2 + 0.5*rng.Float64()
+		fire(func() { cl.SetLossRate(rate) })
+	case FaultStalledPeer:
+		step.Target = rng.Intn(cl.NumSegments())
+		fire(func() { cl.Segment(step.Target).SetLossRate(1) })
+	case FaultKillDN:
+		step.Target = rng.Intn(cl.FS.NumDataNodes())
+		fire(func() { cl.FS.DataNode(step.Target).Kill() })
+	case FaultFailVolume:
+		step.Target = rng.Intn(cl.FS.NumDataNodes())
+		fire(func() { cl.FS.DataNode(step.Target).FailVolume(0) })
+	case FaultCancel:
+		fire(s.Cancel)
+	}
+
+	res, qerr := s.Query(tpch.Queries[step.Query])
+	close(disarm)
+	faultWG.Wait()
+	step.Elapsed = sim.Since(start)
+
+	// Heal: restore loss rates, endpoints, and DataNodes so the next
+	// step starts from a healthy cluster.
+	cl.SetLossRate(0)
+	for i := 0; i < cl.NumSegments(); i++ {
+		if !cl.Segment(i).Alive() || cl.Segment(i).Down() {
+			if err := cl.Recover(i); err != nil {
+				return fmt.Errorf("heal: recover segment %d: %w", i, err)
+			}
+		}
+	}
+	for i := 0; i < cl.FS.NumDataNodes(); i++ {
+		if !cl.FS.DataNode(i).Alive() {
+			cl.FS.DataNode(i).Restart()
+		}
+	}
+	cl.FS.ReplicationCheck()
+
+	// Invariants: bounded virtual time, and a correct result or a clean
+	// error — never a wrong answer.
+	if step.Elapsed > stepBound {
+		return fmt.Errorf("step took %v of virtual time (budget %v)", step.Elapsed, stepBound)
+	}
+	if qerr != nil {
+		step.Err = qerr.Error()
+		if strings.TrimSpace(step.Err) == "" {
+			return errors.New("query failed with an empty error")
+		}
+		return nil
+	}
+	if got := canonical(res.Rows); got != baseline {
+		return fmt.Errorf("wrong rows under fault:\n got: %s\nwant: %s", got, baseline)
+	}
+	return nil
+}
+
+// canonical renders a result set for comparison. The chaos queries all
+// have deterministic output orders (GROUP BY + ORDER BY), so a plain
+// row-by-row encoding suffices.
+func canonical(rows []types.Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		for j, d := range r {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(d.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// awaitPoolBalance waits for the batch pool's outstanding count to
+// return to its baseline; teardown runs asynchronously, so the check
+// retries until the window expires.
+func awaitPoolBalance(want int64, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		gets, puts := types.PoolStats()
+		if gets-puts == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("batch pool unbalanced: %d batches unreturned (baseline %d)",
+				gets-puts, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// checkGoroutines delegates to the shared leak checker.
+func checkGoroutines(window time.Duration) error {
+	return testutil.CheckNoLeaks(window)
+}

@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hawq/internal/engine"
+)
+
+// seeds sets how many deterministic seeds TestChaosSeeds runs; the
+// default keeps `go test ./...` quick, and scripts/chaos.sh raises it
+// for the full gate.
+var seeds = flag.Int("chaos.seeds", 4, "number of chaos schedule seeds to run")
+
+// TestChaosSeeds runs one full fault schedule per seed. Each seed is a
+// subtest so a failure prints a one-line repro.
+func TestChaosSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos schedules are not short")
+	}
+	for seed := int64(1); seed <= int64(*seeds); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := Run(Options{Seed: seed, SpillDir: t.TempDir()})
+			if err != nil {
+				t.Logf("repro: go test ./internal/chaos -run 'TestChaosSeeds/seed=%d$' -chaos.seeds=%d -race", seed, seed)
+				if rep != nil {
+					t.Logf("schedule so far:\n%s", rep)
+				}
+				t.Fatal(err)
+			}
+			// A schedule that never exercised a fault is a scheduler
+			// bug, not luck.
+			faults := 0
+			for _, s := range rep.Steps {
+				if s.Fault != FaultNone {
+					faults++
+				}
+			}
+			if faults == 0 {
+				t.Fatalf("schedule injected no faults:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestCancelUnderLossBoundedTeardown is the acceptance check for
+// cancellation under faults: a query canceled while the interconnect
+// is dropping packets must return the cancellation cause within a
+// bounded number of virtual ticks, leave the batch pool balanced, and
+// leak no goroutines (TestMain's leak checker covers the latter).
+func TestCancelUnderLossBoundedTeardown(t *testing.T) {
+	h, err := newHarness(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.close()
+
+	s := h.eng.NewSession()
+	if _, err := s.Query("CREATE TABLE pairs (k INT8, v INT8) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO pairs VALUES ")
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*13%101)
+	}
+	if _, err := s.Query(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	gets0, puts0 := h.poolBaseline()
+	h.eng.Cluster().SetLossRate(0.5)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Query(`SELECT count(*) FROM pairs a, pairs b, pairs c, pairs d
+			WHERE a.v < b.v`)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	start := h.sim.Now()
+	s.Cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, engine.ErrQueryCanceled) {
+			t.Fatalf("err = %v, want query canceled", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("canceled query under loss did not return")
+	}
+	// Teardown budget in virtual time: the EOS drain timeout plus
+	// margin for retransmission rounds, far below the uncancelled
+	// runtime of the 10^8-pair join.
+	if elapsed := h.sim.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("teardown took %v of virtual time", elapsed)
+	}
+	h.eng.Cluster().SetLossRate(0)
+	if err := awaitPoolBalance(gets0-puts0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleIsDeterministic re-runs a seed and asserts the schedule
+// (queries, faults, targets, delays) is identical.
+func TestScheduleIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos schedules are not short")
+	}
+	a, err := Run(Options{Seed: 42, Steps: 4, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Options{Seed: 42, Steps: 4, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		x, y := a.Steps[i], b.Steps[i]
+		if x.Query != y.Query || x.Fault != y.Fault || x.Target != y.Target || x.Delay != y.Delay {
+			t.Fatalf("schedules diverge at step %d: %+v vs %+v", i, x, y)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package client
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"time"
@@ -11,8 +12,12 @@ import (
 
 // Conn is a client connection to a HAWQ server.
 type Conn struct {
-	c  net.Conn
-	rw *bufio.ReadWriter
+	c    net.Conn
+	rw   *bufio.ReadWriter
+	addr string
+	// key is the server-issued backend key identifying this session in
+	// cancel requests.
+	key uint64
 }
 
 // Result is one statement's outcome on the client side.
@@ -22,22 +27,66 @@ type Result struct {
 	Tag    string
 }
 
-// Connect dials the server and waits for ready.
+// Connect dials the server, records the backend key, and waits for
+// ready.
 func Connect(addr string) (*Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	conn := &Conn{
-		c:  c,
-		rw: bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c)),
+		c:    c,
+		rw:   bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c)),
+		addr: addr,
 	}
-	typ, _, err := readMsg(conn.rw)
-	if err != nil || typ != MsgReady {
-		c.Close()
-		return nil, fmt.Errorf("client: bad greeting (%v)", err)
+	for {
+		typ, payload, err := readMsg(conn.rw)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("client: bad greeting (%v)", err)
+		}
+		switch typ {
+		case MsgBackendKey:
+			if len(payload) == 8 {
+				conn.key = binary.BigEndian.Uint64(payload)
+			}
+		case MsgReady:
+			return conn, nil
+		default:
+			c.Close()
+			return nil, fmt.Errorf("client: unexpected greeting message %q", typ)
+		}
 	}
-	return conn, nil
+}
+
+// Cancel asks the server to abort the statement this connection is
+// currently executing. As in PostgreSQL, the request travels on a
+// fresh connection carrying the backend key — the original connection
+// is busy streaming the query — so it is safe to call from another
+// goroutine while Query blocks. A no-op if nothing is running.
+func (c *Conn) Cancel() error {
+	cc, err := net.DialTimeout("tcp", c.addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("client: cancel: %w", err)
+	}
+	defer cc.Close()
+	rw := bufio.NewReadWriter(bufio.NewReader(cc), bufio.NewWriter(cc))
+	// Consume the greeting (the cancel connection gets its own key).
+	for {
+		typ, _, err := readMsg(rw)
+		if err != nil {
+			return fmt.Errorf("client: cancel: %w", err)
+		}
+		if typ == MsgReady {
+			break
+		}
+	}
+	var keyBuf [8]byte
+	binary.BigEndian.PutUint64(keyBuf[:], c.key)
+	if err := writeMsg(rw, MsgCancel, keyBuf[:]); err != nil {
+		return fmt.Errorf("client: cancel: %w", err)
+	}
+	return rw.Flush()
 }
 
 // Query sends SQL (possibly several statements) and collects the

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"hawq/internal/engine"
 )
@@ -100,6 +102,61 @@ func TestTransactionsPerConnection(t *testing.T) {
 	res, _ = b.QueryOne("SELECT count(*) FROM t")
 	if res.Rows[0][0].Int() != 1 {
 		t.Fatal("committed insert invisible")
+	}
+}
+
+// TestCancelOverWire exercises the full postgres-style cancel path: a
+// second connection delivers the backend key, the server finds the
+// session and aborts the in-flight statement, and the original
+// connection surfaces the error and stays usable.
+func TestCancelOverWire(t *testing.T) {
+	srv := testServer(t)
+	conn, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE big (k INT8, v INT8) DISTRIBUTED BY (k); INSERT INTO big VALUES ")
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*7%101)
+	}
+	if _, err := conn.Query(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A ~10^8-pair nested-loop cross join: slow enough that the cancel
+	// always wins the race against completion.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := conn.Query(`SELECT count(*) FROM big a, big b, big c, big d
+			WHERE a.v < b.v`)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := conn.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil || !strings.Contains(err.Error(), "canceling statement") {
+			t.Fatalf("err = %v, want canceling statement", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled query did not return")
+	}
+
+	// The connection survives the cancel.
+	res, err := conn.QueryOne("SELECT count(*) FROM big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after cancel = %v", res.Rows)
 	}
 }
 

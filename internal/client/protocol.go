@@ -9,7 +9,10 @@
 //
 //	client → server:  'Q' simple query (SQL text)
 //	                  'X' terminate
-//	server → client:  'T' row description, 'D' data row,
+//	                  'F' cancel request (8-byte backend key; sent on a
+//	                      separate connection, as in PostgreSQL)
+//	server → client:  'K' backend key data (8-byte cancellation key),
+//	                  'T' row description, 'D' data row,
 //	                  'C' command complete (tag), 'E' error, 'Z' ready
 package client
 
@@ -23,13 +26,15 @@ import (
 
 // Message type tags.
 const (
-	MsgQuery     = 'Q'
-	MsgTerminate = 'X'
-	MsgRowDesc   = 'T'
-	MsgDataRow   = 'D'
-	MsgComplete  = 'C'
-	MsgError     = 'E'
-	MsgReady     = 'Z'
+	MsgQuery      = 'Q'
+	MsgTerminate  = 'X'
+	MsgCancel     = 'F'
+	MsgBackendKey = 'K'
+	MsgRowDesc    = 'T'
+	MsgDataRow    = 'D'
+	MsgComplete   = 'C'
+	MsgError      = 'E'
+	MsgReady      = 'Z'
 )
 
 // maxMessage bounds a single protocol message.

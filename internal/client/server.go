@@ -1,9 +1,11 @@
 package client
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"hawq/internal/engine"
 	"hawq/internal/types"
@@ -17,6 +19,13 @@ type Server struct {
 	ln  net.Listener
 	wg  sync.WaitGroup
 
+	// sessions maps backend keys to live sessions so a cancel request
+	// arriving on a separate connection (the session's own connection
+	// is busy executing the query) can find its target.
+	smu      sync.Mutex
+	sessions map[uint64]*engine.Session
+	nextKey  atomic.Uint64
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -28,7 +37,7 @@ func NewServer(eng *engine.Engine, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	s := &Server{eng: eng, ln: ln}
+	s := &Server{eng: eng, ln: ln, sessions: make(map[uint64]*engine.Session)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -67,10 +76,27 @@ func (s *Server) acceptLoop() {
 }
 
 // serve runs one connection: a QD session loop. A failed write means
-// the peer is gone, so the connection is torn down.
+// the peer is gone, so the connection is torn down. The session is
+// announced with a backend key; a cancel request naming that key may
+// arrive on any other connection (this one is busy while a query runs)
+// and aborts the in-flight statement.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	sess := s.eng.NewSession()
+	key := s.nextKey.Add(1)
+	s.smu.Lock()
+	s.sessions[key] = sess
+	s.smu.Unlock()
+	defer func() {
+		s.smu.Lock()
+		delete(s.sessions, key)
+		s.smu.Unlock()
+	}()
+	var keyBuf [8]byte
+	binary.BigEndian.PutUint64(keyBuf[:], key)
+	if err := writeMsg(conn, MsgBackendKey, keyBuf[:]); err != nil {
+		return
+	}
 	if err := writeMsg(conn, MsgReady, nil); err != nil {
 		return
 	}
@@ -86,6 +112,12 @@ func (s *Server) serve(conn net.Conn) {
 			if err := s.handleQuery(conn, sess, string(payload)); err != nil {
 				return
 			}
+		case MsgCancel:
+			// Cancel connections do their work and hang up.
+			if len(payload) == 8 {
+				s.cancelSession(binary.BigEndian.Uint64(payload))
+			}
+			return
 		default:
 			if err := writeMsg(conn, MsgError, []byte(fmt.Sprintf("unexpected message %q", typ))); err != nil {
 				return
@@ -94,6 +126,18 @@ func (s *Server) serve(conn net.Conn) {
 				return
 			}
 		}
+	}
+}
+
+// cancelSession aborts the in-flight statement of the session holding
+// the given backend key, if any. Unknown keys are ignored (the session
+// may have disconnected already).
+func (s *Server) cancelSession(key uint64) {
+	s.smu.Lock()
+	sess := s.sessions[key]
+	s.smu.Unlock()
+	if sess != nil {
+		sess.Cancel()
 	}
 }
 

@@ -30,6 +30,21 @@ type Clock interface {
 	After(d time.Duration) <-chan time.Time
 	// NewTicker returns a ticker firing every d.
 	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a one-shot timer firing once after d. Unlike
+	// Sim.After, a Sim timer is passive: it fires only when a driver's
+	// Advance or Sleep crosses its deadline, which makes it the right
+	// primitive for timeouts (a timeout must not pull virtual time
+	// forward just by being armed).
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the clock-agnostic subset of time.Timer: a one-shot
+// deadline channel.
+type Timer interface {
+	// C returns the channel on which the single fire is delivered.
+	C() <-chan time.Time
+	// Stop disarms the timer. It does not close or drain C.
+	Stop()
 }
 
 // Ticker is the clock-agnostic subset of time.Ticker.
@@ -68,10 +83,18 @@ func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
 // NewTicker implements Clock.
 func (Wall) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
 
+// NewTimer implements Clock.
+func (Wall) NewTimer(d time.Duration) Timer { return wallTimer{time.NewTimer(d)} }
+
 type wallTicker struct{ t *time.Ticker }
 
 func (w wallTicker) C() <-chan time.Time { return w.t.C }
 func (w wallTicker) Stop()               { w.t.Stop() }
+
+type wallTimer struct{ t *time.Timer }
+
+func (w wallTimer) C() <-chan time.Time { return w.t.C }
+func (w wallTimer) Stop()               { w.t.Stop() }
 
 // Sim is a virtual clock for deterministic replay: Now returns a
 // logical instant that moves only via Sleep and Advance, so a run that
@@ -87,6 +110,7 @@ type Sim struct {
 	now     time.Time
 	slept   time.Duration
 	tickers []*simTicker
+	timers  []*simTimer
 }
 
 // NewSim creates a virtual clock starting at the given instant. A zero
@@ -150,6 +174,13 @@ func (s *Sim) advanceLocked(d time.Duration) {
 	for _, t := range s.tickers {
 		t.catchUp(s.now)
 	}
+	live := s.timers[:0]
+	for _, t := range s.timers {
+		if !t.catchUp(s.now) {
+			live = append(live, t)
+		}
+	}
+	s.timers = live
 }
 
 // After implements Clock: logical time advances by d immediately and
@@ -177,6 +208,55 @@ func (s *Sim) NewTicker(d time.Duration) Ticker {
 	s.tickers = append(s.tickers, t)
 	s.mu.Unlock()
 	return t
+}
+
+// NewTimer implements Clock. A Sim timer is passive: arming it does not
+// move virtual time; it fires when a subsequent Advance or Sleep
+// crosses its deadline. A non-positive d fires immediately.
+func (s *Sim) NewTimer(d time.Duration) Timer {
+	s.mu.Lock()
+	t := &simTimer{deadline: s.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- s.now
+		t.fired = true
+	} else {
+		s.timers = append(s.timers, t)
+	}
+	s.mu.Unlock()
+	return t
+}
+
+type simTimer struct {
+	mu       sync.Mutex
+	deadline time.Time
+	fired    bool
+	stopped  bool
+	ch       chan time.Time
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+func (t *simTimer) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+}
+
+// catchUp fires the timer if the advance reached its deadline; it
+// reports whether the timer is spent (fired or stopped) and can be
+// dropped from the clock's list.
+func (t *simTimer) catchUp(now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return true
+	}
+	if t.fired || now.Before(t.deadline) {
+		return t.fired
+	}
+	t.fired = true
+	t.ch <- now
+	return true
 }
 
 type simTicker struct {

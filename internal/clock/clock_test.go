@@ -1,6 +1,8 @@
 package clock
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -107,5 +109,103 @@ func TestSimAfter(t *testing.T) {
 		}
 	default:
 		t.Fatal("sim After channel should be immediately ready")
+	}
+}
+
+func TestSimTimerPassive(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(time.Minute)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before any advance")
+	default:
+	}
+	s.Advance(59 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	s.Advance(2 * time.Second)
+	select {
+	case at := <-tm.C():
+		if got := s.Now().Sub(at); got != 0 {
+			t.Fatalf("timer delivered %v before now", got)
+		}
+	default:
+		t.Fatal("timer did not fire after crossing its deadline")
+	}
+	// One-shot: later advances do not re-fire.
+	s.Advance(10 * time.Minute)
+	select {
+	case <-tm.C():
+		t.Fatal("one-shot timer fired twice")
+	default:
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(time.Second)
+	tm.Stop()
+	s.Advance(time.Minute)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestSimTimerImmediate(t *testing.T) {
+	s := NewSim(time.Time{})
+	tm := s.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("non-positive duration should fire immediately")
+	}
+}
+
+func TestWallTimer(t *testing.T) {
+	tm := Wall{}.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall timer never fired")
+	}
+}
+
+func TestContextWithTimeoutSim(t *testing.T) {
+	s := NewSim(time.Time{})
+	cause := errors.New("statement timeout")
+	ctx, cancel := ContextWithTimeout(context.Background(), s, time.Second, cause)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before the sim clock advanced")
+	default:
+	}
+	s.Advance(2 * time.Second)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context never canceled after deadline crossed")
+	}
+	if got := context.Cause(ctx); got != cause {
+		t.Fatalf("cause = %v, want %v", got, cause)
+	}
+}
+
+func TestContextWithTimeoutCancelReleases(t *testing.T) {
+	s := NewSim(time.Time{})
+	ctx, cancel := ContextWithTimeout(context.Background(), s, time.Hour, nil)
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not release the context")
+	}
+	if got := context.Cause(ctx); got != context.Canceled {
+		t.Fatalf("cause = %v, want context.Canceled", got)
 	}
 }

@@ -1,0 +1,34 @@
+package clock
+
+import (
+	"context"
+	"time"
+)
+
+// ContextWithTimeout derives a context that is canceled with the given
+// cause once d elapses on clk. It is the clock-driven analogue of
+// context.WithTimeout: under Wall it behaves like a real deadline,
+// under Sim the deadline fires only when the experiment driver advances
+// virtual time past it, so armed timeouts never wall-block a replay.
+//
+// The returned CancelFunc releases the watcher and must be called, like
+// context.WithTimeout's. A nil cause defaults to
+// context.DeadlineExceeded.
+func ContextWithTimeout(parent context.Context, clk Clock, d time.Duration, cause error) (context.Context, context.CancelFunc) {
+	if cause == nil {
+		cause = context.DeadlineExceeded
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	timer := Default(clk).NewTimer(d)
+	go func() {
+		select {
+		case <-timer.C():
+			cancel(cause)
+		case <-ctx.Done():
+		}
+	}()
+	return ctx, func() {
+		timer.Stop()
+		cancel(context.Canceled)
+	}
+}

@@ -11,16 +11,20 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hawq/internal/catalog"
+	"hawq/internal/clock"
 	"hawq/internal/executor"
 	"hawq/internal/hdfs"
 	"hawq/internal/interconnect"
 	"hawq/internal/plan"
+	"hawq/internal/retry"
 	"hawq/internal/tx"
 	"hawq/internal/types"
 )
@@ -35,6 +39,23 @@ type Config struct {
 	Interconnect string
 	// UDP tunes the UDP interconnect (loss injection etc.).
 	UDP interconnect.UDPConfig
+	// TCP tunes the TCP interconnect (dial/handshake deadlines, dial
+	// retry policy).
+	TCP interconnect.TCPConfig
+	// Clock drives failure-detector timing (segment blacklist backoff)
+	// and the interconnect deadlines; nil means the wall clock. Chaos
+	// tests inject clock.Sim here.
+	Clock clock.Clock
+	// Reprobe is the backoff policy applied to repeatedly-failing
+	// segments: after the first failure a replacement endpoint is
+	// offered immediately, but each further failure pushes the
+	// segment's re-probe time out exponentially so a flapping host does
+	// not absorb every restart. Zero values get retry defaults.
+	Reprobe retry.Policy
+	// Restart is the query-restart policy the session layer applies
+	// after a segment failure (§2.6: fail the in-flight query, mark the
+	// segment down, restart elsewhere). Zero values get retry defaults.
+	Restart retry.Policy
 	// HDFS overrides the storage configuration; zero values get
 	// defaults matched to the cluster size.
 	HDFS hdfs.Config
@@ -64,6 +85,7 @@ type Cluster struct {
 	qdNode    interconnect.Node
 	segments  []*Segment
 	nextQuery atomic.Uint64
+	clk       clock.Clock
 
 	lanes *laneManager
 	// External is the PXF binding used by external-table scans.
@@ -83,6 +105,13 @@ type Segment struct {
 	mu   sync.Mutex
 	node interconnect.Node
 	down bool
+	// failures counts consecutive detector-observed failures; it drives
+	// the re-probe blacklist and resets on explicit Recover.
+	failures int
+	// retryAt is when the blacklist next allows a replacement endpoint
+	// for this segment. The first failure sets it to "now" so a single
+	// fault fails over immediately; repeats back off exponentially.
+	retryAt time.Time
 }
 
 // New boots a cluster: HDFS, catalog+WAL, transaction machinery,
@@ -112,6 +141,7 @@ func New(cfg Config) (*Cluster, error) {
 		WAL:   wal,
 		book:  interconnect.NewAddrBook(),
 		lanes: newLaneManager(),
+		clk:   clock.Default(cfg.Clock),
 	}
 	if c.qdNode, err = c.newNode(plan.QDSegment); err != nil {
 		return nil, err
@@ -134,13 +164,37 @@ func New(cfg Config) (*Cluster, error) {
 
 func (c *Cluster) newNode(id interconnect.SegID) (interconnect.Node, error) {
 	if c.cfg.Interconnect == "tcp" {
-		return interconnect.NewTCPNode(id, c.book)
+		tcp := c.cfg.TCP
+		if tcp.Clock == nil {
+			tcp.Clock = c.cfg.Clock
+		}
+		return interconnect.NewTCPNode(id, c.book, tcp)
 	}
 	return interconnect.NewUDPNode(id, c.book, c.cfg.UDP)
 }
 
+// ErrSegmentBlacklisted marks failover refusals for segments still
+// inside their re-probe backoff window; the session layer treats it as
+// transient and retries on the restart policy's curve.
+var ErrSegmentBlacklisted = errors.New("blacklisted")
+
 // NumSegments returns the segment count.
 func (c *Cluster) NumSegments() int { return len(c.segments) }
+
+// Clock returns the cluster's time source (wall by default, clock.Sim
+// under the chaos harness).
+func (c *Cluster) Clock() clock.Clock { return c.clk }
+
+// RestartPolicy returns the query-restart retry policy with the
+// cluster clock filled in, so session-layer restarts back off on the
+// same (possibly simulated) time base as the fault detector.
+func (c *Cluster) RestartPolicy() retry.Policy {
+	p := c.cfg.Restart
+	if p.Clock == nil {
+		p.Clock = c.clk
+	}
+	return p
+}
 
 // Segment returns the i'th segment.
 func (c *Cluster) Segment(i int) *Segment { return c.segments[i] }
@@ -187,6 +241,31 @@ func (s *Segment) Kill() {
 	}
 }
 
+// SetLossRate adjusts injected packet loss on this segment's UDP
+// interconnect endpoint — rate 1 silences the segment entirely,
+// modeling a stalled peer (§4.5). A no-op for dead segments and TCP
+// clusters.
+func (s *Segment) SetLossRate(rate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u, ok := s.node.(*interconnect.UDPNode); ok {
+		u.SetLossRate(rate)
+	}
+}
+
+// SetLossRate adjusts injected packet loss on every UDP interconnect
+// endpoint (the QD's and every segment's). The chaos scheduler uses it
+// to model cluster-wide loss bursts at runtime; a no-op on TCP
+// clusters.
+func (c *Cluster) SetLossRate(rate float64) {
+	if u, ok := c.qdNode.(*interconnect.UDPNode); ok {
+		u.SetLossRate(rate)
+	}
+	for _, s := range c.segments {
+		s.SetLossRate(rate)
+	}
+}
+
 // Alive reports whether the segment process responds (the fault
 // detector's health probe).
 func (s *Segment) Alive() bool {
@@ -205,6 +284,14 @@ func (c *Cluster) FaultCheck() []int {
 		if !s.Alive() && !s.Down() {
 			s.mu.Lock()
 			s.down = true
+			s.failures++
+			// First failure: fail over immediately (§2.6 restart).
+			// Repeats: blacklist the segment on the reprobe backoff
+			// curve so a flapping host stops absorbing restarts.
+			s.retryAt = c.clk.Now()
+			if s.failures > 1 {
+				s.retryAt = s.retryAt.Add(c.cfg.Reprobe.Backoff(s.failures - 1))
+			}
 			s.mu.Unlock()
 			t := c.TxMgr.Begin(tx.ReadCommitted)
 			if err := c.Cat.SetSegmentStatus(t, s.ID, "down"); err == nil {
@@ -236,6 +323,8 @@ func (c *Cluster) Recover(segID int) error {
 		s.node = node
 	}
 	s.down = false
+	s.failures = 0
+	s.retryAt = time.Time{}
 	s.mu.Unlock()
 	t := c.TxMgr.Begin(tx.ReadCommitted)
 	if err := c.Cat.SetSegmentStatus(t, segID, "up"); err != nil {
@@ -243,6 +332,27 @@ func (c *Cluster) Recover(segID int) error {
 		return err
 	}
 	return t.Commit()
+}
+
+// Reprobe is the fault detector's blacklist re-probe pass: down
+// segments whose backoff window has expired get a fresh replacement
+// endpoint (so the next restart can use them), while still-blacklisted
+// segments are left alone. It returns the segments re-probed. Catalog
+// status stays "down" until an explicit Recover.
+func (c *Cluster) Reprobe() []int {
+	var probed []int
+	for _, s := range c.segments {
+		s.mu.Lock()
+		eligible := s.down && s.node == nil && !c.clk.Now().Before(s.retryAt)
+		s.mu.Unlock()
+		if !eligible {
+			continue
+		}
+		if err := c.failover(s); err == nil {
+			probed = append(probed, s.ID)
+		}
+	}
+	return probed
 }
 
 // failover replaces a dead segment's endpoint with a fresh one so this
@@ -253,6 +363,10 @@ func (c *Cluster) failover(s *Segment) error {
 	defer s.mu.Unlock()
 	if s.node != nil {
 		return nil
+	}
+	if wait := s.retryAt.Sub(c.clk.Now()); wait > 0 {
+		return fmt.Errorf("cluster: segment %d %w for %v after %d failures",
+			s.ID, ErrSegmentBlacklisted, wait, s.failures)
 	}
 	node, err := c.newNode(interconnect.SegID(s.ID))
 	if err != nil {
@@ -283,8 +397,12 @@ type QueryResult struct {
 
 // Dispatch runs a sliced plan: gangs of QEs execute the non-top slices
 // on their segments while the QD consumes the top slice, gathering the
-// final result (§2.4).
-func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryResult, error) {
+// final result (§2.4). ctx is the per-query cancellation context
+// (statement timeout or client cancel); when it fires, every
+// interconnect stream of the query is canceled so all slices — QD and
+// QEs alike — tear down within bounded time, and the returned error is
+// the cancellation cause. A nil ctx runs uncancellable.
+func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.Row) error) (*QueryResult, error) {
 	query := c.nextQuery.Add(1)
 	res := &QueryResult{Schema: p.Schema}
 
@@ -322,13 +440,27 @@ func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryRes
 			}
 		})
 	}
+	// Watch the query context: the instant it fires, cancel every
+	// interconnect stream so no slice stays blocked in a motion wait.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancel()
+			case <-watchDone:
+			}
+		}()
+	}
+
 	for si := 1; si < len(p.Slices); si++ {
 		slice := p.Slices[si]
 		for _, segID := range slice.Segments {
 			wg.Add(1)
 			go func(si, segID int) {
 				defer wg.Done()
-				if err := c.runQE(query, encoded, si, segID, onUpdate); err != nil {
+				if err := c.runQE(ctx, query, encoded, si, segID, onUpdate); err != nil {
 					select {
 					case errCh <- fmt.Errorf("segment %d slice %d: %w", segID, si, err):
 					default:
@@ -341,6 +473,7 @@ func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryRes
 
 	// Top slice on the QD.
 	qdCtx := &executor.Context{
+		Ctx:             ctx,
 		Query:           query,
 		Segment:         plan.QDSegment,
 		FS:              c.FS,
@@ -356,7 +489,7 @@ func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryRes
 	if err != nil {
 		topErr = err
 	} else {
-		topErr = executor.Drain(op, func(row types.Row) error {
+		topErr = executor.Drain(qdCtx, op, func(row types.Row) error {
 			if onRow != nil {
 				return onRow(row)
 			}
@@ -369,6 +502,12 @@ func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryRes
 	}
 	wg.Wait()
 	close(errCh)
+	// A canceled query reports its cancellation cause (statement
+	// timeout, client cancel): the individual slice errors are just the
+	// teardown it triggered.
+	if ctx != nil && ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	// A QE failure is the root cause; the QD error is usually just the
 	// cancellation it triggered.
 	for err := range errCh {
@@ -384,7 +523,7 @@ func (c *Cluster) Dispatch(p *plan.Plan, onRow func(types.Row) error) (*QueryRes
 
 // runQE executes one slice as a QE on one segment. The QE decodes the
 // self-described plan itself — stateless segment, no catalog round trip.
-func (c *Cluster) runQE(query uint64, encodedPlan []byte, sliceID, segID int, onUpdate func(executor.SegFileUpdate)) error {
+func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, onUpdate func(executor.SegFileUpdate)) error {
 	var net interconnect.Node
 	var localHost string
 	if segID == plan.QDSegment {
@@ -414,7 +553,8 @@ func (c *Cluster) runQE(query uint64, encodedPlan []byte, sliceID, segID int, on
 	if err != nil {
 		return err
 	}
-	ctx := &executor.Context{
+	ectx := &executor.Context{
+		Ctx:             ctx,
 		Query:           query,
 		Segment:         segID,
 		FS:              c.FS,
@@ -426,5 +566,5 @@ func (c *Cluster) runQE(query uint64, encodedPlan []byte, sliceID, segID int, on
 		MotionPayload:   c.cfg.MotionPayload,
 		RowMode:         c.cfg.RowMode,
 	}
-	return executor.RunSlice(ctx, decoded, sliceID)
+	return executor.RunSlice(ectx, decoded, sliceID)
 }

@@ -53,7 +53,7 @@ func TestDispatchGatherPlan(t *testing.T) {
 	vals := &plan.Values{Rows: []types.Row{{types.NewInt64(7)}}, Schema: schema}
 	tree := &plan.Motion{Type: plan.GatherMotion, Input: vals}
 	p := plan.Build(tree, []int{plan.QDSegment}, []int{0, 1}, 2)
-	res, err := c.Dispatch(p, nil)
+	res, err := c.Dispatch(nil, p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,14 +78,14 @@ func TestDispatchFailsCleanlyWhenQEErrors(t *testing.T) {
 	}
 	tree := &plan.Motion{Type: plan.GatherMotion, Input: scan}
 	p := plan.Build(tree, []int{plan.QDSegment}, []int{0, 1}, 2)
-	if _, err := c.Dispatch(p, nil); err == nil {
+	if _, err := c.Dispatch(nil, p, nil); err == nil {
 		t.Fatal("dispatch of broken scan succeeded")
 	}
 	// The cluster stays usable: a fresh dispatch works (cancellation did
 	// not wedge the interconnect).
 	vals := &plan.Values{Rows: []types.Row{{types.NewInt64(1)}}, Schema: schema}
 	p2 := plan.Build(&plan.Motion{Type: plan.GatherMotion, Input: vals}, []int{plan.QDSegment}, []int{0, 1}, 2)
-	res, err := c.Dispatch(p2, nil)
+	res, err := c.Dispatch(nil, p2, nil)
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("post-error dispatch: %v, %v", res.Rows, err)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -312,7 +313,7 @@ func (s *Session) runTruncate(t *tx.Tx, stmt *sqlparser.TruncateStmt) (*Result, 
 // runAnalyze collects planner statistics (§6.3): row/byte counts from the
 // segment-file catalog plus per-column min/max/NDV computed by running
 // aggregate queries through the engine itself.
-func (s *Session) runAnalyze(t *tx.Tx, stmt *sqlparser.AnalyzeStmt) (*Result, error) {
+func (s *Session) runAnalyze(ctx context.Context, t *tx.Tx, stmt *sqlparser.AnalyzeStmt) (*Result, error) {
 	cat := s.eng.cl.Cat
 	var targets []*catalog.TableDesc
 	if stmt.Table != "" {
@@ -365,7 +366,7 @@ func (s *Session) runAnalyze(t *tx.Tx, stmt *sqlparser.AnalyzeStmt) (*Result, er
 			if err != nil {
 				return nil, err
 			}
-			out, _, err := s.runSelectRows(t, sel.(*sqlparser.SelectStmt))
+			out, _, err := s.runSelectRows(ctx, t, sel.(*sqlparser.SelectStmt))
 			if err != nil {
 				return nil, err
 			}

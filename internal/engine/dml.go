@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,7 +17,7 @@ import (
 // dispatch, and fold the piggybacked segment-file updates into the
 // catalog as MVCC updates. The rows become visible at commit; an abort
 // truncates the appended bytes away (§5.3).
-func (s *Session) runInsert(t *tx.Tx, stmt *sqlparser.InsertStmt) (*Result, error) {
+func (s *Session) runInsert(ctx context.Context, t *tx.Tx, stmt *sqlparser.InsertStmt) (*Result, error) {
 	cat := s.eng.cl.Cat
 	name := strings.ToLower(stmt.Table)
 	if isSystemTable(name) {
@@ -51,12 +52,12 @@ func (s *Session) runInsert(t *tx.Tx, stmt *sqlparser.InsertStmt) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	p := s.newPlanner(t)
+	p := s.newPlanner(ctx, t)
 	pl, err := p.PlanInsert(stmt, targets, segno)
 	if err != nil {
 		return nil, err
 	}
-	return s.dispatchDML(t, pl)
+	return s.dispatchDML(ctx, t, pl)
 }
 
 // insertTargets builds the insert target list with per-segment lane
@@ -91,10 +92,18 @@ func (s *Session) insertTargets(t *tx.Tx, desc *catalog.TableDesc) ([]plan.Inser
 }
 
 // dispatchDML dispatches an INSERT/COPY plan and folds the piggybacked
-// metadata changes into the catalog (§3.1, §5.4).
-func (s *Session) dispatchDML(t *tx.Tx, pl *plan.Plan) (*Result, error) {
-	res, err := s.eng.cl.Dispatch(pl, nil)
+// metadata changes into the catalog (§3.1, §5.4). DML is never
+// restarted: a segment failure mid-INSERT aborts the transaction
+// cleanly — the fault detector marks the segment down, and the
+// transaction's OnAbort hooks truncate the partially-appended bytes
+// away (§5.3) — so the statement fails with a clear abort error rather
+// than a raw QE error.
+func (s *Session) dispatchDML(ctx context.Context, t *tx.Tx, pl *plan.Plan) (*Result, error) {
+	res, err := s.eng.cl.Dispatch(ctx, pl, nil)
 	if err != nil {
+		if marked := s.eng.cl.FaultCheck(); len(marked) > 0 {
+			return nil, fmt.Errorf("engine: transaction aborted: segment failure during DML (segments %v marked down, appended data rolled back): %w", marked, err)
+		}
 		return nil, err
 	}
 	var affected int64
@@ -114,15 +123,17 @@ func (s *Session) dispatchDML(t *tx.Tx, pl *plan.Plan) (*Result, error) {
 // column kinds and routed by its distribution policy, through the same
 // transactional lane machinery as INSERT.
 func (s *Session) CopyFrom(table string, rows []types.Row) (int64, error) {
+	ctx, done := s.beginStatement()
+	defer done()
 	if s.cur != nil {
-		res, err := s.copyInTx(s.cur, table, rows)
+		res, err := s.copyInTx(ctx, s.cur, table, rows)
 		if err != nil {
 			return 0, err
 		}
 		return res.Affected, nil
 	}
 	t := s.eng.cl.TxMgr.Begin(s.level)
-	res, err := s.copyInTx(t, table, rows)
+	res, err := s.copyInTx(ctx, t, table, rows)
 	if err != nil {
 		t.Abort()
 		s.releaseTx(t)
@@ -136,7 +147,7 @@ func (s *Session) CopyFrom(table string, rows []types.Row) (int64, error) {
 	return res.Affected, nil
 }
 
-func (s *Session) copyInTx(t *tx.Tx, table string, rows []types.Row) (*Result, error) {
+func (s *Session) copyInTx(ctx context.Context, t *tx.Tx, table string, rows []types.Row) (*Result, error) {
 	name := strings.ToLower(table)
 	desc, err := s.eng.cl.Cat.LookupTable(t.Snapshot(), name)
 	if err != nil {
@@ -149,10 +160,10 @@ func (s *Session) copyInTx(t *tx.Tx, table string, rows []types.Row) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	p := s.newPlanner(t)
+	p := s.newPlanner(ctx, t)
 	pl, err := p.PlanCopy(rows, targets, segno)
 	if err != nil {
 		return nil, err
 	}
-	return s.dispatchDML(t, pl)
+	return s.dispatchDML(ctx, t, pl)
 }

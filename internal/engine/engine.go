@@ -6,15 +6,29 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"hawq/internal/clock"
 	"hawq/internal/cluster"
 	"hawq/internal/sqlparser"
 	"hawq/internal/tx"
 	"hawq/internal/types"
 )
+
+// ErrStatementTimeout is the cancellation cause when a statement
+// exceeds the session's statement_timeout.
+var ErrStatementTimeout = errors.New("engine: canceling statement due to statement timeout")
+
+// ErrQueryCanceled is the cancellation cause when the client cancels
+// the in-flight statement (Session.Cancel or the wire-protocol cancel
+// message).
+var ErrQueryCanceled = errors.New("engine: canceling statement due to user request")
 
 // Config re-exports the cluster configuration.
 type Config = cluster.Config
@@ -76,13 +90,22 @@ type Result struct {
 }
 
 // Session is one client session, owning at most one open transaction.
-// Sessions are not safe for concurrent use; open one per goroutine.
+// Sessions are not safe for concurrent use (open one per goroutine),
+// with one deliberate exception: Cancel may be called from any
+// goroutine to abort the in-flight statement.
 type Session struct {
 	eng *Engine
 	// level is the session's default isolation level.
 	level tx.IsolationLevel
 	// cur is the open explicit transaction, nil in autocommit mode.
 	cur *tx.Tx
+	// timeout is the session's statement_timeout (0 = disabled).
+	timeout time.Duration
+
+	// qmu guards qcancel, the cancel function of the statement
+	// currently executing (nil between statements).
+	qmu     sync.Mutex
+	qcancel context.CancelCauseFunc
 }
 
 // NewSession opens a session.
@@ -131,6 +154,60 @@ func (s *Session) releaseTx(t *tx.Tx) {
 	s.eng.cl.Locks.ReleaseAll(t.XID())
 }
 
+// Cancel aborts the statement the session is currently executing, if
+// any: its query context is canceled with ErrQueryCanceled, which
+// tears down every slice of the dispatched plan. Safe to call from any
+// goroutine; a no-op when the session is idle.
+func (s *Session) Cancel() {
+	s.qmu.Lock()
+	cancel := s.qcancel
+	s.qmu.Unlock()
+	if cancel != nil {
+		cancel(ErrQueryCanceled)
+	}
+}
+
+// beginStatement arms the per-statement cancellation scope: a context
+// canceled by Session.Cancel and, when statement_timeout is set, by
+// the engine clock. The returned release must be called when the
+// statement finishes.
+func (s *Session) beginStatement() (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	var tcancel context.CancelFunc
+	if s.timeout > 0 {
+		ctx, tcancel = clock.ContextWithTimeout(ctx, s.eng.cl.Clock(), s.timeout, ErrStatementTimeout)
+	}
+	s.qmu.Lock()
+	s.qcancel = cancel
+	s.qmu.Unlock()
+	return ctx, func() {
+		s.qmu.Lock()
+		s.qcancel = nil
+		s.qmu.Unlock()
+		if tcancel != nil {
+			tcancel()
+		}
+		cancel(context.Canceled)
+	}
+}
+
+// parseTimeout reads a statement_timeout value: a bare integer is
+// milliseconds (postgres convention), otherwise a Go duration string;
+// 0 disables the timeout.
+func parseTimeout(v string) (time.Duration, error) {
+	if ms, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if ms < 0 {
+			return 0, fmt.Errorf("engine: statement_timeout must be >= 0")
+		}
+		return time.Duration(ms) * time.Millisecond, nil
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(v))
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("engine: bad statement_timeout %q", v)
+	}
+	return d, nil
+}
+
 func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 	switch v := stmt.(type) {
 	case *sqlparser.BeginStmt:
@@ -166,13 +243,19 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 		}
 		return &Result{Tag: "ROLLBACK"}, nil
 	case *sqlparser.SetStmt:
-		if v.Name == "transaction_isolation" {
+		switch strings.ToLower(v.Name) {
+		case "transaction_isolation":
 			l, err := tx.ParseIsolationLevel(v.Value)
 			if err != nil {
 				return nil, err
 			}
 			s.level = l
-			return &Result{Tag: "SET"}, nil
+		case "statement_timeout":
+			d, err := parseTimeout(v.Value)
+			if err != nil {
+				return nil, err
+			}
+			s.timeout = d
 		}
 		return &Result{Tag: "SET"}, nil
 	}
@@ -184,7 +267,9 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 		t = s.eng.cl.TxMgr.Begin(s.level)
 		auto = true
 	}
-	res, err := s.runInTx(t, stmt)
+	ctx, done := s.beginStatement()
+	res, err := s.runInTx(ctx, t, stmt)
+	done()
 	if auto {
 		if err != nil {
 			t.Abort()
@@ -201,12 +286,12 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 	return res, err
 }
 
-func (s *Session) runInTx(t *tx.Tx, stmt sqlparser.Statement) (*Result, error) {
+func (s *Session) runInTx(ctx context.Context, t *tx.Tx, stmt sqlparser.Statement) (*Result, error) {
 	switch v := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		return s.runSelect(t, v)
+		return s.runSelect(ctx, t, v)
 	case *sqlparser.InsertStmt:
-		return s.runInsert(t, v)
+		return s.runInsert(ctx, t, v)
 	case *sqlparser.CreateTableStmt:
 		return s.runCreateTable(t, v)
 	case *sqlparser.CreateExternalTableStmt:
@@ -216,9 +301,9 @@ func (s *Session) runInTx(t *tx.Tx, stmt sqlparser.Statement) (*Result, error) {
 	case *sqlparser.TruncateStmt:
 		return s.runTruncate(t, v)
 	case *sqlparser.AnalyzeStmt:
-		return s.runAnalyze(t, v)
+		return s.runAnalyze(ctx, t, v)
 	case *sqlparser.ExplainStmt:
-		return s.runExplain(t, v)
+		return s.runExplain(ctx, t, v)
 	case *sqlparser.ShowStmt:
 		return s.runShow(t, v)
 	case *sqlparser.DeleteStmt, *sqlparser.UpdateStmt:

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"hawq/internal/cluster"
+	"hawq/internal/types"
 )
 
 func newTestEngine(t testing.TB, segments int) *Engine {
@@ -675,4 +677,135 @@ func TestVacuumReclaimsDeadCatalogVersions(t *testing.T) {
 		t.Fatalf("old snapshot sees %v rows after vacuum, want 10", res.Rows[0])
 	}
 	mustExec(t, old, "COMMIT")
+}
+
+// slowCrossJoin is a nested-loop cross join large enough (~10^8 pairs)
+// that cancellation always wins the race against completion.
+const slowCrossJoin = `SELECT count(*) FROM accounts a, accounts b, accounts c, accounts d
+	WHERE a.balance < b.balance`
+
+func TestStatementTimeout(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	mustExec(t, s, "SET statement_timeout = 1")
+	_, err := s.Query(slowCrossJoin)
+	if !errors.Is(err, ErrStatementTimeout) {
+		t.Fatalf("err = %v, want statement timeout", err)
+	}
+	// Disabling the timeout restores normal execution.
+	mustExec(t, s, "SET statement_timeout = 0")
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after timeout = %v", res.Rows[0])
+	}
+}
+
+func TestParseTimeoutForms(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want time.Duration
+	}{{"0", 0}, {"250", 250 * time.Millisecond}, {"1s", time.Second}, {"50ms", 50 * time.Millisecond}} {
+		got, err := parseTimeout(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseTimeout(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"-1", "-5ms", "soon"} {
+		if _, err := parseTimeout(bad); err == nil {
+			t.Errorf("parseTimeout(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSessionCancel(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	gets0, puts0 := types.PoolStats()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Query(slowCrossJoin)
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	s.Cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrQueryCanceled) {
+			t.Fatalf("err = %v, want query canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled query did not return")
+	}
+	// Every pooled batch the torn-down pipeline took out came back.
+	gets1, puts1 := types.PoolStats()
+	if held0, held1 := gets0-puts0, gets1-puts1; held1 != held0 {
+		t.Fatalf("batch pool imbalance: %d batches held before, %d after", held0, held1)
+	}
+	// The session survives and runs the next query normally.
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after cancel = %v", res.Rows[0])
+	}
+}
+
+func TestCancelIdleSessionIsNoop(t *testing.T) {
+	e := newTestEngine(t, 2)
+	s := e.NewSession()
+	s.Cancel()
+	setupAccounts(t, s)
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count = %v", res.Rows[0])
+	}
+}
+
+func TestInsertAbortsCleanlyOnSegmentFailure(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	// Kill a segment, then run an INSERT whose scan slice needs it. DML
+	// is not restarted: the statement aborts cleanly, the fault detector
+	// marks the segment down, and the lane rollback truncates any
+	// partially appended bytes (§5.3).
+	e.cl.Segment(1).Kill()
+	_, err := s.Query("INSERT INTO accounts SELECT id + 1000, owner, balance, opened FROM accounts")
+	if err == nil || !strings.Contains(err.Error(), "segment failure during DML") {
+		t.Fatalf("insert error = %v, want clean DML abort", err)
+	}
+	// Nothing of the failed insert is visible; reads fail over.
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after aborted insert = %v", res.Rows[0])
+	}
+	// The next DML succeeds on the failed-over endpoints.
+	mustExec(t, s, "INSERT INTO accounts SELECT id + 2000, owner, balance, opened FROM accounts")
+	res = mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 200 {
+		t.Fatalf("count after retry insert = %v", res.Rows[0])
+	}
+}
+
+func TestRepeatedFailuresBlacklistSegment(t *testing.T) {
+	e := newTestEngine(t, 3)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	// First failure: immediate failover.
+	e.cl.Segment(1).Kill()
+	mustExec(t, s, "SELECT count(*) FROM accounts")
+	if err := e.cl.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	// Second failure: the blacklist delays the re-probe, but the
+	// session's bounded restart loop outlasts the backoff.
+	e.cl.Segment(1).Kill()
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after second failure = %v", res.Rows[0])
+	}
 }

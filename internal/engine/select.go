@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
+	"hawq/internal/cluster"
 	"hawq/internal/planner"
+	"hawq/internal/retry"
 	"hawq/internal/sqlparser"
 	"hawq/internal/tx"
 	"hawq/internal/types"
@@ -12,7 +16,7 @@ import (
 
 // newPlanner builds a planner bound to a statement snapshot, with scalar
 // subquery evaluation wired to a nested dispatch.
-func (s *Session) newPlanner(t *tx.Tx) *planner.Planner {
+func (s *Session) newPlanner(ctx context.Context, t *tx.Tx) *planner.Planner {
 	flags := s.eng.Flags()
 	p := &planner.Planner{
 		Cat:                   s.eng.cl.Cat,
@@ -23,7 +27,7 @@ func (s *Session) newPlanner(t *tx.Tx) *planner.Planner {
 		DisableColocation:     flags.DisableColocation,
 	}
 	p.SubqueryEval = func(sub *sqlparser.SelectStmt) (types.Datum, error) {
-		rows, _, err := s.runSelectRows(t, sub)
+		rows, _, err := s.runSelectRows(ctx, t, sub)
 		if err != nil {
 			return types.Null, err
 		}
@@ -96,7 +100,7 @@ func (s *Session) lockTables(t *tx.Tx, names map[string]bool, mode tx.LockMode) 
 }
 
 // runSelect executes a SELECT and returns its result.
-func (s *Session) runSelect(t *tx.Tx, stmt *sqlparser.SelectStmt) (*Result, error) {
+func (s *Session) runSelect(ctx context.Context, t *tx.Tx, stmt *sqlparser.SelectStmt) (*Result, error) {
 	// System-table queries go through CaQL on the master (§2.2).
 	if len(stmt.From) == 1 {
 		if tn, ok := stmt.From[0].(*sqlparser.TableName); ok && isSystemTable(tn.Name) {
@@ -107,55 +111,78 @@ func (s *Session) runSelect(t *tx.Tx, stmt *sqlparser.SelectStmt) (*Result, erro
 			return &Result{Schema: res.Schema, Rows: res.Rows, Tag: fmt.Sprintf("SELECT %d", len(res.Rows))}, nil
 		}
 	}
-	rows, schema, err := s.runSelectRows(t, stmt)
+	rows, schema, err := s.runSelectRows(ctx, t, stmt)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Schema: schema, Rows: rows, Tag: fmt.Sprintf("SELECT %d", len(rows))}, nil
 }
 
-// runSelectRows plans and dispatches a SELECT, retrying once after a
-// segment failure: in-flight queries fail, the fault detector marks dead
-// segments down, and the restarted query fails over (§2.6 — "most of the
-// time, heavy materialization based query recovery is slower than simple
-// query restart").
-func (s *Session) runSelectRows(t *tx.Tx, stmt *sqlparser.SelectStmt) ([]types.Row, *types.Schema, error) {
+// runSelectRows plans and dispatches a SELECT, restarting it on the
+// cluster's bounded retry policy after segment failures: in-flight
+// queries fail, the fault detector marks dead segments down, and the
+// restarted query fails over (§2.6 — "most of the time, heavy
+// materialization based query recovery is slower than simple query
+// restart"). Errors the detector cannot attribute to a fault are
+// permanent; cancellation stops the loop immediately.
+func (s *Session) runSelectRows(ctx context.Context, t *tx.Tx, stmt *sqlparser.SelectStmt) ([]types.Row, *types.Schema, error) {
 	tables := map[string]bool{}
 	collectTables(stmt, tables)
 	if err := s.lockTables(t, tables, tx.AccessShare); err != nil {
 		return nil, nil, err
 	}
-	run := func() ([]types.Row, *types.Schema, error) {
-		p := s.newPlanner(t)
+	var rows []types.Row
+	var schema *types.Schema
+	err := s.eng.cl.RestartPolicy().Do(ctx, func(n int) error {
+		if n > 1 {
+			// Re-probe blacklisted segments whose backoff expired so
+			// this restart can use them again.
+			s.eng.cl.Reprobe()
+		}
+		p := s.newPlanner(ctx, t)
 		pl, err := p.PlanSelect(stmt)
 		if err != nil {
-			return nil, nil, err
+			return retry.Permanent(err)
 		}
-		res, err := s.eng.cl.Dispatch(pl, nil)
+		res, err := s.eng.cl.Dispatch(ctx, pl, nil)
 		if err != nil {
-			return nil, nil, err
+			return s.classifyDispatchErr(err)
 		}
-		return res.Rows, pl.Schema, nil
-	}
-	rows, schema, err := run()
+		rows, schema = res.Rows, pl.Schema
+		return nil
+	})
 	if err != nil {
-		if marked := s.eng.cl.FaultCheck(); len(marked) > 0 {
-			// Restart the query once; the failed segments' work fails
-			// over to replacement endpoints.
-			return run()
-		}
 		return nil, nil, err
 	}
 	return rows, schema, nil
 }
 
+// classifyDispatchErr decides whether a failed dispatch is worth
+// restarting: it is when the fault detector attributes it to a segment
+// failure (newly marked down, or still inside its blacklist window).
+// Everything else — plan errors, constraint violations, cancellation —
+// is permanent.
+func (s *Session) classifyDispatchErr(err error) error {
+	if errors.Is(err, ErrStatementTimeout) || errors.Is(err, ErrQueryCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return retry.Permanent(err)
+	}
+	if marked := s.eng.cl.FaultCheck(); len(marked) > 0 {
+		return err
+	}
+	if errors.Is(err, cluster.ErrSegmentBlacklisted) {
+		return err
+	}
+	return retry.Permanent(err)
+}
+
 // runExplain plans the inner statement and renders the sliced plan.
-func (s *Session) runExplain(t *tx.Tx, stmt *sqlparser.ExplainStmt) (*Result, error) {
+func (s *Session) runExplain(ctx context.Context, t *tx.Tx, stmt *sqlparser.ExplainStmt) (*Result, error) {
 	sel, ok := stmt.Stmt.(*sqlparser.SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
 	}
-	p := s.newPlanner(t)
+	p := s.newPlanner(ctx, t)
 	pl, err := p.PlanSelect(sel)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 // buffer per row, and the map lookup is non-allocating — only a new
 // group pays for a key copy.
 type hashAggOp struct {
+	ctx  *Context
 	node *plan.HashAgg
 	in   Operator
 	bin  BatchOperator
@@ -39,7 +40,7 @@ func newHashAggOp(ctx *Context, node *plan.HashAgg) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hashAggOp{node: node, in: in, bin: ctx.batchInput(in)}, nil
+	return &hashAggOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in)}, nil
 }
 
 // absorb folds one input row into its group, creating the group on first
@@ -90,7 +91,7 @@ func (a *hashAggOp) Open() error {
 	a.groups = make(map[string]*aggGroup)
 	a.order = a.order[:0]
 	a.emitted = 0
-	if err := drainRows(a.bin, a.in, a.absorb); err != nil {
+	if err := drainRows(a.ctx, a.bin, a.in, a.absorb); err != nil {
 		return err
 	}
 	// A scalar aggregate (no GROUP BY) over empty input yields one row of

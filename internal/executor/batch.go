@@ -107,10 +107,14 @@ func (c *batchCursor) release() {
 // per row, using the batch path when bin is non-nil (rows passed to fn
 // are then views into a reused arena, valid only during the call). The
 // blocking operators (sort, hash agg, join builds, insert) consume their
-// inputs through this.
-func drainRows(bin BatchOperator, in Operator, fn func(types.Row) error) error {
+// inputs through this; checking the query context once per pull keeps
+// even a fully-pipelined build loop cancellable.
+func drainRows(ctx *Context, bin BatchOperator, in Operator, fn func(types.Row) error) error {
 	if bin == nil {
 		for {
+			if err := ctx.canceled(); err != nil {
+				return err
+			}
 			row, ok, err := in.Next()
 			if err != nil {
 				return err
@@ -126,6 +130,9 @@ func drainRows(bin BatchOperator, in Operator, fn func(types.Row) error) error {
 	b := types.GetBatch(0)
 	defer types.PutBatch(b)
 	for {
+		if err := ctx.canceled(); err != nil {
+			return err
+		}
 		ok, err := bin.NextBatch(b)
 		if err != nil {
 			return err

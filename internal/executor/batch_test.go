@@ -144,7 +144,7 @@ func TestBatchPipelineAllocBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 		n := 0
-		if err := Drain(op, func(types.Row) error { n++; return nil }); err != nil {
+		if err := Drain(nil, op, func(types.Row) error { n++; return nil }); err != nil {
 			t.Fatal(err)
 		}
 		if n == 0 {
@@ -201,7 +201,7 @@ func BenchmarkScanFilterProject(b *testing.B) {
 				b.Fatal(err)
 			}
 			n := 0
-			if err := Drain(op, func(types.Row) error { n++; return nil }); err != nil {
+			if err := Drain(nil, op, func(types.Row) error { n++; return nil }); err != nil {
 				b.Fatal(err)
 			}
 			if n == 0 {
@@ -234,7 +234,7 @@ func BenchmarkHashAgg(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				n := 0
-				err := Drain(mustBuild(b, ctx, tree), func(types.Row) error { n++; return nil })
+				err := Drain(nil, mustBuild(b, ctx, tree), func(types.Row) error { n++; return nil })
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -302,7 +302,7 @@ func BenchmarkMotionLoopback(b *testing.B) {
 					// engage the receiver's batch interface).
 					n = len(collectRowPump(b, ctx, recv))
 				} else {
-					if err := Drain(mustBuild(b, ctx, recv), func(types.Row) error { n++; return nil }); err != nil {
+					if err := Drain(nil, mustBuild(b, ctx, recv), func(types.Row) error { n++; return nil }); err != nil {
 						b.Fatal(err)
 					}
 				}

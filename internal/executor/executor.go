@@ -10,6 +10,7 @@
 package executor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,12 @@ type ExternalEngine interface {
 
 // Context is everything a slice execution needs on one node.
 type Context struct {
+	// Ctx is the per-query cancellation context (nil means
+	// context.Background()): statement timeouts and client cancels
+	// cancel it, and every operator loop, scan producer and batch pump
+	// checks it so a sliced plan tears down within bounded time and
+	// returns its pooled batches.
+	Ctx context.Context
 	// Query is the interconnect query ID (unique per dispatched
 	// statement).
 	Query uint64
@@ -74,6 +81,39 @@ type Context struct {
 	RowMode bool
 }
 
+// canceled reports the query's cancellation cause once Ctx is done, or
+// nil while the query is live (or has no context at all). Operator
+// loops call it once per iteration.
+func (ctx *Context) canceled() error {
+	if ctx == nil || ctx.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Ctx.Done():
+		return context.Cause(ctx.Ctx)
+	default:
+		return nil
+	}
+}
+
+// doneCh returns the context's done channel, or nil (which blocks
+// forever in a select) when the query has no cancellation context.
+func (ctx *Context) doneCh() <-chan struct{} {
+	if ctx == nil || ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Done()
+}
+
+// cause returns the cancellation cause of a done context (used by
+// producers that woke up on doneCh).
+func (ctx *Context) cause() error {
+	if ctx == nil || ctx.Ctx == nil {
+		return context.Canceled
+	}
+	return context.Cause(ctx.Ctx)
+}
+
 // Operator is a Volcano-style iterator.
 type Operator interface {
 	// Open prepares the operator (and its children).
@@ -99,7 +139,7 @@ func Build(ctx *Context, n plan.Node) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &selectOp{in: in, bin: AsBatch(in), pred: v.Pred}, nil
+		return &selectOp{ctx: ctx, in: in, bin: AsBatch(in), pred: v.Pred}, nil
 	case *plan.Project:
 		in, err := Build(ctx, v.Input)
 		if err != nil {
@@ -129,7 +169,7 @@ func Build(ctx *Context, n plan.Node) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &distinctOp{in: in}, nil
+		return &distinctOp{ctx: ctx, in: in}, nil
 	case *plan.Values:
 		return &valuesOp{rows: v.Rows}, nil
 	case *plan.Insert:
@@ -154,12 +194,32 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 	if err != nil {
 		return err
 	}
+	// Tie this slice's interconnect streams to the query context on the
+	// slice's own endpoint. The dispatcher cancels the nodes it knows,
+	// but a failover can hand this QE a replacement endpoint created
+	// after that sweep — only the slice itself is guaranteed to see the
+	// node its streams actually live on.
+	if ctx.Ctx != nil && ctx.Net != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Ctx.Done():
+				ctx.Net.CancelQuery(ctx.Query)
+			case <-watchDone:
+			}
+		}()
+	}
 	if err := op.Open(); err != nil {
 		return errors.Join(err, op.Close())
 	}
 	if bop, ok := op.(BatchOperator); ok && !ctx.RowMode {
 		b := types.GetBatch(0)
 		for {
+			if err := ctx.canceled(); err != nil {
+				types.PutBatch(b)
+				return errors.Join(err, op.Close())
+			}
 			ok, err := bop.NextBatch(b)
 			if err != nil {
 				types.PutBatch(b)
@@ -173,6 +233,9 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 		return op.Close()
 	}
 	for {
+		if err := ctx.canceled(); err != nil {
+			return errors.Join(err, op.Close())
+		}
 		_, ok, err := op.Next()
 		if err != nil {
 			return errors.Join(err, op.Close())
@@ -188,8 +251,11 @@ func RunSlice(ctx *Context, p *plan.Plan, sliceID int) error {
 // top slice) and invokes fn per row, batch-at-a-time when the root
 // supports it. Rows passed to fn may be views into a reused batch
 // arena: they are valid only during the call, and fn must Clone any row
-// it retains.
-func Drain(op Operator, fn func(types.Row) error) error {
+// it retains. A nil ctx (or a ctx without a cancellation context)
+// drains to exhaustion; otherwise the pump stops with the cancellation
+// cause as soon as the query context is done, so no partial result can
+// ever be mistaken for a complete one.
+func Drain(ctx *Context, op Operator, fn func(types.Row) error) error {
 	if err := op.Open(); err != nil {
 		return errors.Join(err, op.Close())
 	}
@@ -197,6 +263,9 @@ func Drain(op Operator, fn func(types.Row) error) error {
 		b := types.GetBatch(0)
 		err := func() error {
 			for {
+				if err := ctx.canceled(); err != nil {
+					return err
+				}
 				ok, err := bop.NextBatch(b)
 				if err != nil {
 					return err
@@ -218,6 +287,9 @@ func Drain(op Operator, fn func(types.Row) error) error {
 		return op.Close()
 	}
 	for {
+		if err := ctx.canceled(); err != nil {
+			return errors.Join(err, op.Close())
+		}
 		row, ok, err := op.Next()
 		if err != nil {
 			return errors.Join(err, op.Close())

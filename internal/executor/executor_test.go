@@ -43,7 +43,7 @@ func collect(t *testing.T, ctx *Context, n plan.Node) []types.Row {
 		t.Fatal(err)
 	}
 	var out []types.Row
-	if err := Drain(op, func(r types.Row) error {
+	if err := Drain(nil, op, func(r types.Row) error {
 		out = append(out, r.Clone())
 		return nil
 	}); err != nil {
@@ -395,7 +395,7 @@ func TestRedistributeMotionPartitionsByHash(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			Drain(op, func(r types.Row) error {
+			Drain(nil, op, func(r types.Row) error {
 				results[seg] = append(results[seg], r[0].Int())
 				return nil
 			})
@@ -443,7 +443,7 @@ func TestBroadcastMotionReplicates(t *testing.T) {
 			recv := &plan.MotionRecv{ID: 1, Senders: []int{plan.QDSegment}, Schema: intsSchema("v")}
 			ctx := &Context{Query: query, Segment: seg, Net: nodes[seg]}
 			op, _ := Build(ctx, recv)
-			Drain(op, func(r types.Row) error {
+			Drain(nil, op, func(r types.Row) error {
 				results[seg] = append(results[seg], r[0].Int())
 				return nil
 			})
@@ -544,7 +544,7 @@ func TestInsertNotNullViolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = Drain(op, func(types.Row) error { return nil })
+	err = Drain(nil, op, func(types.Row) error { return nil })
 	if err == nil {
 		t.Fatal("not-null violation accepted")
 	}

@@ -66,7 +66,7 @@ func (i *insertOp) Next() (types.Row, bool, error) {
 		return nil, false, nil
 	}
 	schema := i.node.Targets[0].Table.Schema
-	err := drainRows(i.bin, i.in, func(row types.Row) error {
+	err := drainRows(i.ctx, i.bin, i.in, func(row types.Row) error {
 		if len(row) != schema.Len() {
 			return fmt.Errorf("executor: insert row width %d, table %s has %d columns",
 				len(row), i.node.Targets[0].Table.Name, schema.Len())

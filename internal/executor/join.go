@@ -12,6 +12,7 @@ import (
 // drainRows (cloning retained rows out of the arena), the probe side
 // through a rowReader.
 type hashJoinOp struct {
+	ctx         *Context
 	node        *plan.HashJoin
 	left, right Operator
 	leftR       rowReader
@@ -38,7 +39,7 @@ func newHashJoinOp(ctx *Context, node *plan.HashJoin) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &hashJoinOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
+	j := &hashJoinOp{ctx: ctx, node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
 	j.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
 	j.rightBin = ctx.batchInput(r)
 	return j, nil
@@ -72,9 +73,9 @@ func normalizeKey(d types.Datum) types.Datum {
 
 // buildTable drains an already-open build side into a key → rows table,
 // cloning each retained row (the input may hand out arena views).
-func buildTable(in Operator, bin BatchOperator, keys []int) (map[string][]types.Row, error) {
+func buildTable(ctx *Context, in Operator, bin BatchOperator, keys []int) (map[string][]types.Row, error) {
 	table := make(map[string][]types.Row)
-	err := drainRows(bin, in, func(row types.Row) error {
+	err := drainRows(ctx, bin, in, func(row types.Row) error {
 		key, valid := joinKey(row, keys)
 		if !valid {
 			return nil
@@ -93,7 +94,7 @@ func (j *hashJoinOp) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
-	table, err := buildTable(j.right, j.rightBin, j.node.RightKeys)
+	table, err := buildTable(j.ctx, j.right, j.rightBin, j.node.RightKeys)
 	if err != nil {
 		return err
 	}
@@ -203,6 +204,7 @@ func concatRows(a, b types.Row) types.Row {
 // nestLoopOp materializes the right input and evaluates an arbitrary
 // predicate against each pair (non-equi joins over a broadcast input).
 type nestLoopOp struct {
+	ctx      *Context
 	node     *plan.NestLoopJoin
 	left     Operator
 	right    Operator
@@ -225,7 +227,7 @@ func newNestLoopOp(ctx *Context, node *plan.NestLoopJoin) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := &nestLoopOp{node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
+	n := &nestLoopOp{ctx: ctx, node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
 	n.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
 	n.rightBin = ctx.batchInput(r)
 	return n, nil
@@ -236,7 +238,7 @@ func (n *nestLoopOp) Open() error {
 	if err := n.right.Open(); err != nil {
 		return err
 	}
-	err := drainRows(n.rightBin, n.right, func(row types.Row) error {
+	err := drainRows(n.ctx, n.rightBin, n.right, func(row types.Row) error {
 		n.inner = append(n.inner, row.Clone())
 		return nil
 	})

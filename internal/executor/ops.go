@@ -3,6 +3,7 @@ package executor
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"hawq/internal/expr"
 	"hawq/internal/plan"
@@ -32,6 +33,7 @@ type scanOp struct {
 	rowCh   chan types.Row
 	errc    chan error
 	stop    chan struct{}
+	wg      sync.WaitGroup
 	open    bool
 	cur     batchCursor
 }
@@ -40,11 +42,15 @@ func newScanOp(ctx *Context, node *plan.Scan) *scanOp {
 	return &scanOp{ctx: ctx, node: node, rowMode: ctx.RowMode}
 }
 
-// Open implements Operator: it starts the storage reader goroutine.
+// Open implements Operator: it starts the storage reader goroutine. The
+// producer is joined by Close, and exits — returning its in-flight
+// arena batch to the pool — when the consumer abandons the scan early
+// (Close) or the per-query context is canceled.
 func (s *scanOp) Open() error {
 	s.errc = make(chan error, 1)
 	s.stop = make(chan struct{})
 	s.open = true
+	s.wg.Add(1)
 	if s.rowMode {
 		s.rowCh = make(chan types.Row, 256)
 		go s.produceRows()
@@ -56,8 +62,9 @@ func (s *scanOp) Open() error {
 }
 
 // produceBatches pushes filtered batches onto s.ch until exhaustion,
-// error, or stop.
+// error, stop, or query cancellation.
 func (s *scanOp) produceBatches() {
+	defer s.wg.Done()
 	defer close(s.ch)
 	for _, sf := range s.node.SegFiles {
 		if sf.SegmentID != s.ctx.Segment {
@@ -80,6 +87,9 @@ func (s *scanOp) produceBatches() {
 			case <-s.stop:
 				types.PutBatch(b)
 				return errScanStopped
+			case <-s.ctx.doneCh():
+				types.PutBatch(b)
+				return s.ctx.cause()
 			}
 		})
 		if err == errScanStopped {
@@ -94,6 +104,7 @@ func (s *scanOp) produceBatches() {
 
 // produceRows is the RowMode producer: one channel send per row.
 func (s *scanOp) produceRows() {
+	defer s.wg.Done()
 	defer close(s.rowCh)
 	for _, sf := range s.node.SegFiles {
 		if sf.SegmentID != s.ctx.Segment {
@@ -114,6 +125,8 @@ func (s *scanOp) produceRows() {
 				return nil
 			case <-s.stop:
 				return errScanStopped
+			case <-s.ctx.doneCh():
+				return s.ctx.cause()
 			}
 		})
 		if err == errScanStopped {
@@ -163,7 +176,9 @@ func (s *scanOp) Next() (types.Row, bool, error) {
 	return row, true, nil
 }
 
-// Close implements Operator.
+// Close implements Operator: it stops the producer, drains any batches
+// it already handed off back into the pool, and joins the goroutine so
+// no scan work (or pooled batch) outlives the operator.
 func (s *scanOp) Close() error {
 	if s.open {
 		s.open = false
@@ -177,6 +192,7 @@ func (s *scanOp) Close() error {
 				types.PutBatch(b)
 			}
 		}
+		s.wg.Wait()
 	}
 	s.cur.release()
 	return nil
@@ -195,6 +211,7 @@ type scanOpBase struct {
 	ch   chan types.Row
 	errc chan error
 	stop chan struct{}
+	wg   sync.WaitGroup
 	open bool
 }
 
@@ -224,6 +241,7 @@ func (b *scanOpBase) close() {
 		close(b.stop)
 		for range b.ch {
 		}
+		b.wg.Wait()
 	}
 }
 
@@ -237,7 +255,9 @@ func newExternalScanOp(ctx *Context, node *plan.ExternalScan) (Operator, error) 
 // Open implements Operator.
 func (e *externalScanOp) Open() error {
 	e.init()
+	e.wg.Add(1)
 	go func() {
+		defer e.wg.Done()
 		defer close(e.ch)
 		err := e.ctx.External.ScanExternal(e.node, e.ctx.Segment, func(row types.Row) error {
 			if e.node.Filter != nil {
@@ -254,6 +274,8 @@ func (e *externalScanOp) Open() error {
 				return nil
 			case <-e.stop:
 				return errScanStopped
+			case <-e.ctx.doneCh():
+				return e.ctx.cause()
 			}
 		})
 		if err != nil && err != errScanStopped {
@@ -358,8 +380,10 @@ func (a *appendOp) Close() error {
 }
 
 // selectOp filters rows; the batch path compacts each input batch in
-// place.
+// place. Its loops skip an unbounded number of non-matching inputs, so
+// both check the query context each iteration.
 type selectOp struct {
+	ctx  *Context
 	in   Operator
 	bin  BatchOperator
 	pred expr.Expr
@@ -371,6 +395,9 @@ func (s *selectOp) Open() error { return s.in.Open() }
 // Next implements Operator.
 func (s *selectOp) Next() (types.Row, bool, error) {
 	for {
+		if err := s.ctx.canceled(); err != nil {
+			return nil, false, err
+		}
 		row, ok, err := s.in.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -388,6 +415,9 @@ func (s *selectOp) Next() (types.Row, bool, error) {
 // NextBatch implements BatchOperator.
 func (s *selectOp) NextBatch(b *types.Batch) (bool, error) {
 	for {
+		if err := s.ctx.canceled(); err != nil {
+			return false, err
+		}
 		ok, err := s.bin.NextBatch(b)
 		if err != nil || !ok {
 			return false, err
@@ -491,8 +521,11 @@ func (l *limitOp) Next() (types.Row, bool, error) {
 // Close implements Operator.
 func (l *limitOp) Close() error { return l.in.Close() }
 
-// distinctOp removes duplicates by full-row encoding.
+// distinctOp removes duplicates by full-row encoding. Like selectOp its
+// loop can skip unboundedly many duplicates, so it checks the query
+// context each iteration.
 type distinctOp struct {
+	ctx  *Context
 	in   Operator
 	seen map[string]struct{}
 	buf  []byte
@@ -507,6 +540,9 @@ func (d *distinctOp) Open() error {
 // Next implements Operator.
 func (d *distinctOp) Next() (types.Row, bool, error) {
 	for {
+		if err := d.ctx.canceled(); err != nil {
+			return nil, false, err
+		}
 		row, ok, err := d.in.Next()
 		if err != nil || !ok {
 			return nil, false, err

@@ -67,7 +67,7 @@ func (s *sortOp) Open() error {
 	if err := s.in.Open(); err != nil {
 		return err
 	}
-	err := drainRows(s.bin, s.in, func(row types.Row) error {
+	err := drainRows(s.ctx, s.bin, s.in, func(row types.Row) error {
 		s.buf = append(s.buf, row.Clone())
 		if len(s.buf) >= s.memLimit {
 			return s.spill()

@@ -41,7 +41,7 @@ func buildTCP(t testing.TB, n int) (*AddrBook, map[SegID]Node) {
 		ids = append(ids, SegID(i))
 	}
 	for _, id := range ids {
-		node, err := NewTCPNode(id, book)
+		node, err := NewTCPNode(id, book, TCPConfig{})
 		if err != nil {
 			t.Fatal(err)
 		}

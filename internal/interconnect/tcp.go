@@ -1,6 +1,7 @@
 package interconnect
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,7 +11,52 @@ import (
 	"time"
 
 	"hawq/internal/clock"
+	"hawq/internal/retry"
 )
+
+// TCPConfig tunes the TCP interconnect. Deadlines are enforced through
+// clock.Clock timers instead of raw socket deadlines, so a clock.Sim
+// chaos run never wall-blocks waiting for a peer: the timeout fires
+// only when the driver advances virtual time.
+type TCPConfig struct {
+	// DialTimeout bounds connection setup for one dial attempt.
+	// Default 10s.
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds how long an accepted connection may take
+	// to deliver its 14-byte stream hello. Default 10s.
+	HandshakeTimeout time.Duration
+	// Retry is the bounded-backoff policy wrapped around dials, so a
+	// receiver that is restarting (failover re-registers its address)
+	// does not fail the whole query on the first refused connection.
+	// Zero fields default to 3 attempts from a 5ms base capped at
+	// 100ms, jittered, on Clock.
+	Retry retry.Policy
+	// Clock drives the dial and handshake timers; nil means the wall
+	// clock.
+	Clock clock.Clock
+}
+
+func (c *TCPConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	c.Clock = clock.Default(c.Clock)
+	if c.Retry.MaxAttempts == 0 {
+		c.Retry.MaxAttempts = 3
+	}
+	if c.Retry.BaseDelay == 0 {
+		c.Retry.BaseDelay = 5 * time.Millisecond
+	}
+	if c.Retry.MaxDelay == 0 {
+		c.Retry.MaxDelay = 100 * time.Millisecond
+	}
+	if c.Retry.Clock == nil {
+		c.Retry.Clock = c.Clock
+	}
+}
 
 // TCPNode is the TCP interconnect endpoint: one TCP connection per
 // sender→receiver stream pair. Connection setup cost and per-connection
@@ -21,13 +67,16 @@ type TCPNode struct {
 	seg  SegID
 	ln   net.Listener
 	book *AddrBook
+	cfg  TCPConfig
 	clk  clock.Clock
 
-	mu      sync.Mutex
-	recvs   map[motionKey]*tcpRecv
-	pending map[motionKey][]*tcpPendingConn
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	recvs    map[motionKey]*tcpRecv
+	sends    map[StreamID]*tcpSend
+	pending  map[motionKey][]*tcpPendingConn
+	canceled map[uint64]time.Time // recently canceled queries; late-opened streams are born canceled
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 type tcpPendingConn struct {
@@ -44,18 +93,22 @@ const (
 
 // NewTCPNode opens a TCP endpoint on 127.0.0.1 and registers it in the
 // address book.
-func NewTCPNode(seg SegID, book *AddrBook) (*TCPNode, error) {
+func NewTCPNode(seg SegID, book *AddrBook, cfg TCPConfig) (*TCPNode, error) {
+	cfg.fill()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("interconnect: %w", err)
 	}
 	n := &TCPNode{
-		seg:     seg,
-		ln:      ln,
-		book:    book,
-		clk:     clock.Wall{},
-		recvs:   map[motionKey]*tcpRecv{},
-		pending: map[motionKey][]*tcpPendingConn{},
+		seg:      seg,
+		ln:       ln,
+		book:     book,
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		recvs:    map[motionKey]*tcpRecv{},
+		sends:    map[StreamID]*tcpSend{},
+		pending:  map[motionKey][]*tcpPendingConn{},
+		canceled: map[uint64]time.Time{},
 	}
 	book.SetTCP(seg, ln.Addr().String())
 	n.wg.Add(1)
@@ -83,9 +136,16 @@ func (n *TCPNode) Close() error {
 	for _, r := range n.recvs {
 		recvs = append(recvs, r)
 	}
+	sends := make([]*tcpSend, 0, len(n.sends))
+	for _, s := range n.sends {
+		sends = append(sends, s)
+	}
 	n.mu.Unlock()
 	for _, r := range recvs {
 		r.Close()
+	}
+	for _, s := range sends {
+		s.cancel()
 	}
 	n.ln.Close()
 	n.wg.Wait()
@@ -108,11 +168,29 @@ func (n *TCPNode) acceptLoop() {
 }
 
 // handleConn reads the stream hello and hands the connection to its
-// receiver (parking it if the receiver has not been set up yet).
+// receiver (parking it if the receiver has not been set up yet). The
+// handshake deadline is a clock.Clock watchdog, not a socket deadline:
+// under clock.Sim it fires only when the driver advances virtual time
+// (a simulated clock's Now would otherwise make socket deadlines lie in
+// the past and reject every handshake).
 func (n *TCPNode) handleConn(conn net.Conn) {
 	var hello [14]byte
-	conn.SetReadDeadline(n.clk.Now().Add(10 * time.Second))
-	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+	hsDone := make(chan struct{})
+	tm := n.clk.NewTimer(n.cfg.HandshakeTimeout)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer tm.Stop()
+		select {
+		case <-tm.C():
+			// A wall deadline in the past fails the pending read.
+			conn.SetReadDeadline(time.Unix(1, 0))
+		case <-hsDone:
+		}
+	}()
+	_, err := io.ReadFull(conn, hello[:])
+	close(hsDone)
+	if err != nil {
 		conn.Close()
 		return
 	}
@@ -139,12 +217,24 @@ func (n *TCPNode) handleConn(conn net.Conn) {
 }
 
 // OpenSend implements Node: dials one connection for this stream.
+// Dials run under the configured bounded-retry policy with a
+// clock-driven timeout per attempt.
 func (n *TCPNode) OpenSend(sid StreamID) (SendStream, error) {
 	addr, ok := n.book.TCP(sid.Receiver)
 	if !ok {
 		return nil, fmt.Errorf("interconnect: no TCP address for segment %d", sid.Receiver)
 	}
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	var conn net.Conn
+	err := n.cfg.Retry.Do(context.Background(), func(int) error {
+		ctx, cancel := clock.ContextWithTimeout(context.Background(), n.clk, n.cfg.DialTimeout, ErrTimeout)
+		defer cancel()
+		c, derr := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+		if derr != nil {
+			return derr
+		}
+		conn = c
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("interconnect: dial %s: %w", sid, err)
 	}
@@ -157,7 +247,22 @@ func (n *TCPNode) OpenSend(sid StreamID) (SendStream, error) {
 		conn.Close()
 		return nil, err
 	}
-	s := &tcpSend{conn: conn, stop: make(chan struct{})}
+	s := &tcpSend{node: n, sid: sid, conn: conn, stop: make(chan struct{})}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if _, c := n.canceled[sid.Query]; c {
+		// The query was canceled before this stream opened (cancel races
+		// QE startup): the send is born canceled so Send/Close fail fast
+		// instead of writing to a receiver that is tearing down.
+		s.canceled.Store(true)
+		conn.Close()
+	}
+	n.sends[sid] = s
+	n.mu.Unlock()
 	go s.watchStop()
 	return s, nil
 }
@@ -181,6 +286,14 @@ func (n *TCPNode) OpenRecv(query uint64, motion int16, senders []SegID) (RecvStr
 		n.mu.Unlock()
 		return nil, fmt.Errorf("interconnect: recv stream q%d/m%d already open", query, motion)
 	}
+	if _, c := n.canceled[query]; c {
+		// Born closed: Recv returns ErrClosed immediately; the stream is
+		// never registered, so its Close is a no-op.
+		r.closed = true
+		close(r.done)
+		n.mu.Unlock()
+		return r, nil
+	}
 	n.recvs[key] = r
 	parked := n.pending[key]
 	delete(n.pending, key)
@@ -192,30 +305,78 @@ func (n *TCPNode) OpenRecv(query uint64, motion int16, senders []SegID) (RecvStr
 }
 
 // CancelQuery implements Node: closing the receive streams unblocks
-// Recv (it returns ErrClosed) and drops the connections.
+// Recv (it returns ErrClosed) and drops the connections; send streams
+// of the query are canceled so a producer blocked in Write fails with
+// ErrCanceled.
 func (n *TCPNode) CancelQuery(query uint64) {
 	n.mu.Lock()
+	if !n.closed {
+		// Remember the cancellation so streams opened later (QE startup
+		// racing the cancel) are born canceled. Tombstones older than a
+		// minute are pruned here — the TCP node has no timer loop.
+		now := n.clk.Now()
+		for q, at := range n.canceled {
+			if now.Sub(at) > time.Minute {
+				delete(n.canceled, q)
+			}
+		}
+		n.canceled[query] = now
+	}
 	var victims []*tcpRecv
 	for key, r := range n.recvs {
 		if key.Query == query {
 			victims = append(victims, r)
 		}
 	}
+	var sends []*tcpSend
+	for sid, s := range n.sends {
+		if sid.Query == query {
+			sends = append(sends, s)
+		}
+	}
 	n.mu.Unlock()
 	for _, r := range victims {
 		r.Close()
+	}
+	for _, s := range sends {
+		s.cancel()
 	}
 }
 
 // tcpSend is the sender half over one dedicated connection.
 type tcpSend struct {
+	node *TCPNode
+	sid  StreamID
 	conn net.Conn
-	// mu serializes writes; stopped is atomic so the STOP watcher can
-	// flag a sender that is blocked inside Write.
-	mu      sync.Mutex
-	stopped atomic.Bool
-	closed  bool
-	stop    chan struct{}
+	// mu serializes writes; stopped/canceled are atomic so the STOP
+	// watcher and CancelQuery can flag a sender that is blocked inside
+	// Write.
+	mu       sync.Mutex
+	stopped  atomic.Bool
+	canceled atomic.Bool
+	closed   bool
+	stop     chan struct{}
+}
+
+// cancel aborts the stream: the connection is closed so a blocked Write
+// fails immediately and Send reports ErrCanceled.
+func (s *tcpSend) cancel() {
+	if s.canceled.CompareAndSwap(false, true) {
+		s.conn.SetWriteDeadline(time.Unix(1, 0))
+		s.conn.Close()
+	}
+}
+
+// unregister drops the stream from the node's cancel index.
+func (s *tcpSend) unregister() {
+	if s.node == nil {
+		return
+	}
+	s.node.mu.Lock()
+	if s.node.sends[s.sid] == s {
+		delete(s.node.sends, s.sid)
+	}
+	s.node.mu.Unlock()
 }
 
 // watchStop reads the back-channel for the receiver's STOP frame.
@@ -241,6 +402,9 @@ func (s *tcpSend) watchStop() {
 func (s *tcpSend) Send(data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.canceled.Load() {
+		return ErrCanceled
+	}
 	if s.stopped.Load() {
 		return ErrStopped
 	}
@@ -252,6 +416,9 @@ func (s *tcpSend) Send(data []byte) error {
 	binary.BigEndian.PutUint32(frame[1:], uint32(len(data)))
 	copy(frame[5:], data)
 	if _, err := s.conn.Write(frame); err != nil {
+		if s.canceled.Load() {
+			return ErrCanceled
+		}
 		if s.stopped.Load() {
 			return ErrStopped
 		}
@@ -268,6 +435,10 @@ func (s *tcpSend) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.unregister()
+	if s.canceled.Load() {
+		return ErrCanceled
+	}
 	if !s.stopped.Load() {
 		frame := []byte{tcpFrameEOS, 0, 0, 0, 0}
 		s.conn.Write(frame)

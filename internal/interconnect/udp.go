@@ -22,10 +22,16 @@ type UDPConfig struct {
 	// flush threshold — Send fails outright on oversized payloads.
 	MaxPayload int
 	// LossRate injects random packet loss in [0,1) for testing the
-	// recovery machinery. Applies to every outgoing packet.
+	// recovery machinery. Applies to every outgoing packet. Chaos runs
+	// adjust it at runtime through UDPNode.SetLossRate.
 	LossRate float64
 	// Seed seeds the loss-injection RNG.
 	Seed int64
+	// DrainTimeout bounds how long a send stream's Close waits for the
+	// EOS acknowledgement before giving up with ErrTimeout. Default
+	// 10s. Chaos runs lower it so a stalled peer converts to a clean
+	// error within a bounded number of sim-clock ticks.
+	DrainTimeout time.Duration
 	// Clock paces retransmission timers and timeouts; nil means the
 	// wall clock. Simulations inject clock.Sim for deterministic
 	// replay.
@@ -38,6 +44,9 @@ func (c *UDPConfig) fill() {
 	}
 	if c.MaxPayload <= 0 {
 		c.MaxPayload = 8 * 1024
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
 	}
 	c.Clock = clock.Default(c.Clock)
 }
@@ -105,14 +114,16 @@ type UDPNode struct {
 	cfg  UDPConfig
 	clk  clock.Clock
 
-	mu     sync.Mutex
-	sends  map[StreamID]*udpSend
-	recvs  map[motionKey]*udpRecv
-	ended  map[motionKey]time.Time // closed receivers; answer stray data with STOP
-	rng    *rand.Rand
-	closed bool
-	done   chan struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	sends    map[StreamID]*udpSend
+	recvs    map[motionKey]*udpRecv
+	ended    map[motionKey]time.Time // closed receivers; answer stray data with STOP
+	canceled map[uint64]time.Time    // recently canceled queries; late-opened streams are born canceled
+	rng      *rand.Rand
+	lossRate float64
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewUDPNode opens a UDP endpoint on 127.0.0.1 and registers it in the
@@ -127,16 +138,18 @@ func NewUDPNode(seg SegID, book *AddrBook, cfg UDPConfig) (*UDPNode, error) {
 	conn.SetReadBuffer(4 << 20)
 	conn.SetWriteBuffer(4 << 20)
 	n := &UDPNode{
-		seg:   seg,
-		conn:  conn,
-		book:  book,
-		cfg:   cfg,
-		clk:   cfg.Clock,
-		sends: map[StreamID]*udpSend{},
-		recvs: map[motionKey]*udpRecv{},
-		ended: map[motionKey]time.Time{},
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(seg))),
-		done:  make(chan struct{}),
+		seg:      seg,
+		conn:     conn,
+		book:     book,
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		sends:    map[StreamID]*udpSend{},
+		recvs:    map[motionKey]*udpRecv{},
+		ended:    map[motionKey]time.Time{},
+		canceled: map[uint64]time.Time{},
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(seg))),
+		lossRate: cfg.LossRate,
+		done:     make(chan struct{}),
 	}
 	book.SetUDP(seg, conn.LocalAddr().(*net.UDPAddr))
 	n.wg.Add(2)
@@ -177,15 +190,22 @@ func (n *UDPNode) Close() error {
 	return nil
 }
 
+// SetLossRate changes the injected packet-loss probability at runtime.
+// The chaos scheduler uses it to model loss bursts and stalled peers
+// (rate 1 silences the node entirely) without rebuilding the cluster.
+func (n *UDPNode) SetLossRate(rate float64) {
+	n.mu.Lock()
+	n.lossRate = rate
+	n.mu.Unlock()
+}
+
 // transmit writes one packet, subject to injected loss.
 func (n *UDPNode) transmit(raddr *net.UDPAddr, buf []byte) {
-	if n.cfg.LossRate > 0 {
-		n.mu.Lock()
-		drop := n.rng.Float64() < n.cfg.LossRate
-		n.mu.Unlock()
-		if drop {
-			return
-		}
+	n.mu.Lock()
+	drop := n.lossRate > 0 && n.rng.Float64() < n.lossRate
+	n.mu.Unlock()
+	if drop {
+		return
 	}
 	n.conn.WriteToUDP(buf, raddr)
 }
@@ -281,6 +301,11 @@ func (n *UDPNode) timerLoop() {
 				delete(n.ended, k)
 			}
 		}
+		for q, at := range n.canceled {
+			if now.Sub(at) > time.Minute {
+				delete(n.canceled, q)
+			}
+		}
 		n.mu.Unlock()
 		for _, s := range sends {
 			s.tick(now)
@@ -313,6 +338,12 @@ func (n *UDPNode) OpenSend(sid StreamID) (SendStream, error) {
 	if _, dup := n.sends[sid]; dup {
 		return nil, fmt.Errorf("interconnect: send stream %s already open", sid)
 	}
+	if _, c := n.canceled[sid.Query]; c {
+		// The query was canceled before this stream opened (cancel races
+		// QE startup): the send is born canceled so its Close skips the
+		// EOS drain instead of waiting out DrainTimeout.
+		s.canceled = true
+	}
 	n.sends[sid] = s
 	return s, nil
 }
@@ -338,6 +369,12 @@ func (n *UDPNode) OpenRecv(query uint64, motion int16, senders []SegID) (RecvStr
 	}
 	if _, dup := n.recvs[key]; dup {
 		return nil, fmt.Errorf("interconnect: recv stream q%d/m%d already open", query, motion)
+	}
+	if _, c := n.canceled[query]; c {
+		// Born canceled: Recv returns ErrCanceled immediately rather than
+		// waiting for senders that will never come.
+		r.canceled = true
+		close(r.cancel)
 	}
 	n.recvs[key] = r
 	return r, nil
@@ -370,6 +407,7 @@ type udpSend struct {
 	rttvar   time.Duration
 	rto      time.Duration
 	stopped  bool
+	canceled bool
 	closed   bool
 	blocked  time.Time // since when Send has been waiting
 	lastQry  time.Time
@@ -383,6 +421,9 @@ func (s *udpSend) Send(data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
+		if s.canceled {
+			return ErrCanceled
+		}
 		if s.stopped {
 			return ErrStopped
 		}
@@ -555,17 +596,25 @@ func (s *udpSend) tick(now time.Time) {
 }
 
 // Close implements SendStream: emits EOS and drains the unacked queue.
+// The wait is bounded by UDPConfig.DrainTimeout and aborted by a query
+// cancel, so teardown cannot wall-block on a dead receiver.
 func (s *udpSend) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil
 	}
+	if s.canceled {
+		s.closed = true
+		s.mu.Unlock()
+		s.unregister()
+		return ErrCanceled
+	}
 	if !s.stopped {
 		s.emitLocked(ptEOS, nil)
 	}
-	deadline := s.n.clk.Now().Add(10 * time.Second)
-	for len(s.unacked) > 0 && !s.stopped {
+	deadline := s.n.clk.Now().Add(s.n.cfg.DrainTimeout)
+	for len(s.unacked) > 0 && !s.stopped && !s.canceled {
 		if s.n.clk.Now().After(deadline) {
 			s.closed = true
 			s.mu.Unlock()
@@ -574,10 +623,24 @@ func (s *udpSend) Close() error {
 		}
 		s.cond.Wait()
 	}
+	canceled := s.canceled
 	s.closed = true
 	s.mu.Unlock()
 	s.unregister()
+	if canceled {
+		return ErrCanceled
+	}
 	return nil
+}
+
+// cancel aborts the stream: a blocked Send (or a Close draining its
+// EOS) wakes up with ErrCanceled and pending packets are dropped.
+func (s *udpSend) cancel() {
+	s.mu.Lock()
+	s.canceled = true
+	s.unacked = map[uint32]*outPkt{}
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 func (s *udpSend) shutdown() {
@@ -757,6 +820,14 @@ func (r *udpRecv) Recv() (RecvItem, bool, error) {
 		select {
 		case item, ok = <-r.ch:
 		case <-r.cancel:
+			// Both Close (node shutdown, e.g. a killed segment) and
+			// CancelQuery land here; report the one that happened.
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return RecvItem{}, false, ErrClosed
+			}
 			return RecvItem{}, false, ErrCanceled
 		}
 		if !ok {
@@ -814,22 +885,44 @@ func (r *udpRecv) doCancel() {
 	r.mu.Unlock()
 }
 
-// CancelQuery implements Node.
+// CancelQuery implements Node: it aborts both halves of every stream of
+// the query — blocked Recvs return ErrCanceled, and blocked Sends (or
+// EOS drains) on this node wake with ErrCanceled too, so a sliced plan
+// tears down from either end.
 func (n *UDPNode) CancelQuery(query uint64) {
 	n.mu.Lock()
+	if !n.closed {
+		// Remember the cancellation so streams the query opens later (QE
+		// startup racing the cancel) are born canceled; timerLoop expires
+		// the tombstone.
+		n.canceled[query] = n.clk.Now()
+	}
 	var victims []*udpRecv
 	for key, r := range n.recvs {
 		if key.Query == query {
 			victims = append(victims, r)
 		}
 	}
+	var sends []*udpSend
+	for sid, s := range n.sends {
+		if sid.Query == query {
+			sends = append(sends, s)
+		}
+	}
 	n.mu.Unlock()
 	for _, r := range victims {
 		r.doCancel()
 	}
+	for _, s := range sends {
+		s.cancel()
+	}
 }
 
-// Close implements RecvStream.
+// Close implements RecvStream. It also wakes any Recv blocked in its
+// select — a killed node closes every stream from a different
+// goroutine than the one pulling rows, and without the wake that
+// reader would sleep forever (no packet, no cancel) even though the
+// stream is gone.
 func (r *udpRecv) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -837,6 +930,10 @@ func (r *udpRecv) Close() {
 		return
 	}
 	r.closed = true
+	if !r.canceled {
+		r.canceled = true
+		close(r.cancel)
+	}
 	r.mu.Unlock()
 	r.n.mu.Lock()
 	delete(r.n.recvs, r.key)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultBatchRows is the row count batch producers aim for per batch:
@@ -117,8 +118,21 @@ func (b *Batch) Truncate(n int) {
 // batchPool recycles batches (and their arenas) across pipeline stages.
 var batchPool = sync.Pool{New: func() any { return new(Batch) }}
 
+// batchGets and batchPuts count pool traffic; their difference is the
+// number of batches currently checked out. The chaos harness asserts it
+// returns to its baseline after every query, catching strand leaks on
+// cancellation and error paths.
+var batchGets, batchPuts atomic.Int64
+
+// PoolStats reports cumulative GetBatch and PutBatch counts. gets-puts
+// is the number of batches currently held by callers.
+func PoolStats() (gets, puts int64) {
+	return batchGets.Load(), batchPuts.Load()
+}
+
 // GetBatch returns a pooled batch reset to the given width.
 func GetBatch(width int) *Batch {
+	batchGets.Add(1)
 	b := batchPool.Get().(*Batch)
 	b.Reset(width)
 	return b
@@ -128,6 +142,7 @@ func GetBatch(width int) *Batch {
 // touch the batch (or any row view into it) afterwards.
 func PutBatch(b *Batch) {
 	if b != nil {
+		batchPuts.Add(1)
 		batchPool.Put(b)
 	}
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# chaos.sh runs the deterministic chaos harness (internal/chaos) over a
+# fixed set of schedule seeds under the race detector. Each seed drives
+# a randomized-but-reproducible fault schedule (segment kills, DataNode
+# and volume failures, interconnect loss bursts, stalled peers, client
+# cancels) against TPC-H queries on a simulated cluster and asserts the
+# robustness invariants: every query either returns the correct result
+# or a clean error — never a hang, a wrong answer, a leaked goroutine,
+# or an unreturned pooled batch.
+#
+# Usage:
+#   scripts/chaos.sh            # default 20 seeds, -race
+#   scripts/chaos.sh 50         # more seeds
+#   CHAOS_SEEDS=8 scripts/chaos.sh
+#
+# The schedules are deterministic: when a seed fails, the test log
+# carries a one-line repro (grep "repro:") that re-runs exactly that
+# seed, and this script echoes those lines after a failing run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-${CHAOS_SEEDS:-20}}"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+echo "==> chaos harness: $SEEDS seeds under -race"
+if ! go test -race -count=1 -timeout 900s \
+        -run 'TestChaosSeeds|TestCancelUnderLossBoundedTeardown|TestScheduleIsDeterministic' \
+        ./internal/chaos -chaos.seeds="$SEEDS" -v 2>&1 | tee "$OUT" | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL|PASS)'; then
+    echo
+    echo "==> chaos harness FAILED; one-line repros:"
+    grep -F 'repro:' "$OUT" || echo "    (no repro line captured — see full log above)"
+    exit 1
+fi
+
+echo "==> chaos harness passed ($SEEDS seeds)"

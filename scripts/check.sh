@@ -12,6 +12,11 @@
 #   5. scripts/bench.sh --smoke  — every micro-benchmark for one
 #                                  iteration under -race, so the bench
 #                                  harness itself can't rot
+#   6. scripts/chaos.sh          — the deterministic chaos harness over
+#                                  a fixed seed set under -race: random
+#                                  fault schedules against TPC-H must
+#                                  yield correct results or clean
+#                                  errors, never hangs/leaks
 #
 # Every step must pass. CI runs exactly this script; run it locally
 # before sending a change.
@@ -32,5 +37,8 @@ go test -race ./...
 
 echo "==> bench smoke (-benchtime=1x -race)"
 scripts/bench.sh --smoke
+
+echo "==> chaos harness (fixed seeds, -race)"
+scripts/chaos.sh
 
 echo "All checks passed."
