@@ -91,6 +91,7 @@ var allAnalyzers = []*Analyzer{
 var defaultDeterminismPkgs = []string{
 	"internal/hdfs",
 	"internal/interconnect",
+	"internal/resource",
 	"internal/stinger",
 	"internal/tpch",
 }

@@ -145,6 +145,7 @@ const (
 	SysStatRel   = "hawq_stat_rel"
 	SysStatCol   = "hawq_stat_col"
 	SysSegment   = "hawq_segment"
+	SysResQueue  = "hawq_resqueue"
 )
 
 // New creates a catalog with empty system tables. Mutations are logged to
@@ -206,6 +207,11 @@ func New(wal *tx.WAL) *Catalog {
 		types.Column{Name: "host", Kind: types.KindString},
 		types.Column{Name: "port", Kind: types.KindInt32},
 		types.Column{Name: "status", Kind: types.KindString},
+	)
+	add(SysResQueue,
+		types.Column{Name: "rsqname", Kind: types.KindString},
+		types.Column{Name: "activelimit", Kind: types.KindInt64},
+		types.Column{Name: "memlimit", Kind: types.KindInt64},
 	)
 	return c
 }

@@ -1,0 +1,98 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// ResQueueDesc describes one resource queue row of hawq_resqueue: the
+// workload manager's admission-control object (paper §2.1's resource
+// manager). Limits are stored resolved — ActiveStatements as a count,
+// MemLimit as bytes — so every reader agrees on their meaning.
+type ResQueueDesc struct {
+	Name string
+	// ActiveStatements caps concurrently executing statements admitted
+	// through the queue (0 = unlimited).
+	ActiveStatements int64
+	// MemLimit is the per-query memory grant in bytes (0 = unlimited).
+	MemLimit int64
+}
+
+// CreateResourceQueue registers a resource queue under the transaction.
+func (c *Catalog) CreateResourceQueue(t *tx.Tx, d ResQueueDesc) error {
+	name := strings.ToLower(d.Name)
+	// The lookup error only says "does not exist" — exactly the state
+	// CREATE wants.
+	//hawqcheck:ignore errdrop
+	existing, _ := c.LookupResourceQueue(t.Snapshot(), name)
+	if existing != nil {
+		return fmt.Errorf("catalog: resource queue %q already exists", name)
+	}
+	c.insert(t.XID(), SysResQueue, types.Row{
+		types.NewString(name),
+		types.NewInt64(d.ActiveStatements),
+		types.NewInt64(d.MemLimit),
+	})
+	return nil
+}
+
+// DropResourceQueue removes a resource queue.
+func (c *Catalog) DropResourceQueue(t *tx.Tx, name string) error {
+	name = strings.ToLower(name)
+	snap := t.Snapshot()
+	var victim uint64
+	found := false
+	c.sys[SysResQueue].Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Str() == name {
+			victim, found = id, true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return fmt.Errorf("catalog: resource queue %q does not exist", name)
+	}
+	c.delete(t.XID(), SysResQueue, victim)
+	return nil
+}
+
+// LookupResourceQueue resolves a queue by name under a snapshot;
+// (nil, error) when absent.
+func (c *Catalog) LookupResourceQueue(snap tx.Snapshot, name string) (*ResQueueDesc, error) {
+	name = strings.ToLower(name)
+	var out *ResQueueDesc
+	c.sys[SysResQueue].Scan(snap, func(_ uint64, row types.Row) bool {
+		if row[0].Str() == name {
+			out = decodeResQueueRow(row)
+			return false
+		}
+		return true
+	})
+	if out == nil {
+		return nil, fmt.Errorf("catalog: resource queue %q does not exist", name)
+	}
+	return out, nil
+}
+
+// ListResourceQueues returns all visible queues sorted by name.
+func (c *Catalog) ListResourceQueues(snap tx.Snapshot) []*ResQueueDesc {
+	var out []*ResQueueDesc
+	c.sys[SysResQueue].Scan(snap, func(_ uint64, row types.Row) bool {
+		out = append(out, decodeResQueueRow(row))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func decodeResQueueRow(row types.Row) *ResQueueDesc {
+	return &ResQueueDesc{
+		Name:             row[0].Str(),
+		ActiveStatements: row[1].Int(),
+		MemLimit:         row[2].Int(),
+	}
+}

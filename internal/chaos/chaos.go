@@ -22,6 +22,7 @@ import (
 	"hawq/internal/clock"
 	"hawq/internal/engine"
 	"hawq/internal/interconnect"
+	"hawq/internal/resource"
 	"hawq/internal/retry"
 	"hawq/internal/testutil"
 	"hawq/internal/tpch"
@@ -77,6 +78,7 @@ const (
 	FaultKillDN      = "kill-datanode"
 	FaultFailVolume  = "fail-volume"
 	FaultCancel      = "cancel"
+	FaultSpillCancel = "spill-cancel"
 )
 
 // faultMenu is the deck the scheduler draws from; FaultNone appears
@@ -84,6 +86,7 @@ const (
 var faultMenu = []string{
 	FaultNone, FaultNone, FaultKillSegment, FaultLossBurst,
 	FaultStalledPeer, FaultKillDN, FaultFailVolume, FaultCancel,
+	FaultSpillCancel,
 }
 
 // StepReport records one step's schedule and outcome.
@@ -348,12 +351,27 @@ func runStep(e *engine.Engine, s *engine.Session, sim *clock.Sim, rng *rand.Rand
 		fire(func() { cl.FS.DataNode(step.Target).FailVolume(0) })
 	case FaultCancel:
 		fire(s.Cancel)
+	case FaultSpillCancel:
+		// Memory pressure plus cancellation: a tiny seeded work_mem
+		// pushes the query's hash and sort state into workfiles, and the
+		// cancel lands while they are live. The step's invariants then
+		// prove teardown deleted every spill file.
+		wm := []string{"1kB", "2kB", "4kB"}[rng.Intn(3)]
+		if _, err := s.Query("SET work_mem = '" + wm + "'"); err != nil {
+			return fmt.Errorf("set work_mem: %w", err)
+		}
+		fire(s.Cancel)
 	}
 
 	res, qerr := s.Query(tpch.Queries[step.Query])
 	close(disarm)
 	faultWG.Wait()
 	step.Elapsed = sim.Since(start)
+	if step.Fault == FaultSpillCancel {
+		if _, err := s.Query("SET work_mem = 0"); err != nil {
+			return fmt.Errorf("reset work_mem: %w", err)
+		}
+	}
 
 	// Heal: restore loss rates, endpoints, and DataNodes so the next
 	// step starts from a healthy cluster.
@@ -372,10 +390,19 @@ func runStep(e *engine.Engine, s *engine.Session, sim *clock.Sim, rng *rand.Rand
 	}
 	cl.FS.ReplicationCheck()
 
-	// Invariants: bounded virtual time, and a correct result or a clean
-	// error — never a wrong answer.
+	// Invariants: bounded virtual time, no workfile outliving its query
+	// (dispatch tears every store down before returning, success or
+	// cancel), and a correct result or a clean error — never a wrong
+	// answer.
 	if step.Elapsed > stepBound {
 		return fmt.Errorf("step took %v of virtual time (budget %v)", step.Elapsed, stepBound)
+	}
+	left, lerr := resource.Leftovers(cl.SpillDir())
+	if lerr != nil {
+		return fmt.Errorf("scan spill dir: %w", lerr)
+	}
+	if len(left) > 0 {
+		return fmt.Errorf("workfiles leaked after step: %v", left)
 	}
 	if qerr != nil {
 		step.Err = qerr.Error()

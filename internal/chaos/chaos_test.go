@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hawq/internal/engine"
+	"hawq/internal/resource"
 )
 
 // seeds sets how many deterministic seeds TestChaosSeeds runs; the
@@ -101,6 +102,86 @@ func TestCancelUnderLossBoundedTeardown(t *testing.T) {
 		t.Fatalf("teardown took %v of virtual time", elapsed)
 	}
 	h.eng.Cluster().SetLossRate(0)
+	if err := awaitPoolBalance(gets0-puts0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillCancelLeavesNoWorkfiles is the acceptance check for spill
+// teardown: a query forced into workfiles by a tiny work_mem, then
+// canceled mid-flight, must surface the cancellation cause within
+// bounded virtual time and delete every workfile it created. The batch
+// pool must balance and TestMain's leak checker covers goroutines.
+func TestSpillCancelLeavesNoWorkfiles(t *testing.T) {
+	spillDir := t.TempDir()
+	h, err := newHarness(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.close()
+
+	s := h.eng.NewSession()
+	if _, err := s.Query("CREATE TABLE pairs (k INT8, v INT8) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO pairs VALUES ")
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*13%101)
+	}
+	if _, err := s.Query(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SET work_mem = '1kB'"); err != nil {
+		t.Fatal(err)
+	}
+
+	gets0, puts0 := h.poolBaseline()
+	files0, _ := resource.SpillStats()
+	errCh := make(chan error, 1)
+	go func() {
+		// Hash join + aggregation over 200x200 pairs: the 1kB budget
+		// forces both into workfiles almost immediately.
+		_, err := s.Query(`SELECT a.v, count(*) FROM pairs a, pairs b
+			WHERE a.k = b.k GROUP BY a.v ORDER BY a.v`)
+		errCh <- err
+	}()
+	// Let the query reach its spilling phase before canceling.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if f, _ := resource.SpillStats(); f > files0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never spilled under 1kB work_mem")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := h.sim.Now()
+	s.Cancel()
+	select {
+	case err := <-errCh:
+		// The cancel can race query completion; both outcomes must leave
+		// the spill dir empty.
+		if err != nil && !errors.Is(err, engine.ErrQueryCanceled) {
+			t.Fatalf("err = %v, want query canceled or success", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("canceled spilling query did not return")
+	}
+	if elapsed := h.sim.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("teardown took %v of virtual time", elapsed)
+	}
+	left, err := resource.Leftovers(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("workfiles left after cancel: %v", left)
+	}
 	if err := awaitPoolBalance(gets0-puts0, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -139,6 +139,14 @@ func (c *Conn) Query(sql string) ([]*Result, error) {
 	}
 }
 
+// Set changes a session setting (work_mem, resource_queue,
+// statement_timeout, ...). The value travels single-quoted so sizes
+// like "64kB" survive the round trip.
+func (c *Conn) Set(name, value string) error {
+	_, err := c.QueryOne(fmt.Sprintf("SET %s = '%s'", name, value))
+	return err
+}
+
 // QueryOne runs SQL and returns the last statement's result.
 func (c *Conn) QueryOne(sql string) (*Result, error) {
 	res, err := c.Query(sql)

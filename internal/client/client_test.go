@@ -105,6 +105,66 @@ func TestTransactionsPerConnection(t *testing.T) {
 	}
 }
 
+// TestSessionSettingsOverWire: Set round-trips workload-manager
+// settings, and they stay per-session — another connection keeps the
+// defaults.
+func TestSessionSettingsOverWire(t *testing.T) {
+	srv := testServer(t)
+	a, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if _, err := a.Query("CREATE RESOURCE QUEUE wire WITH (active_statements = 2, memory_limit = '1MB')"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("work_mem", "64kB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("resource_queue", "wire"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("resource_queue", "nosuch"); err == nil {
+		t.Fatal("Set to unknown queue succeeded")
+	}
+
+	res, err := a.QueryOne("SHOW work_mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str() != "64kB" {
+		t.Fatalf("work_mem = %v", res.Rows[0])
+	}
+	res, err = a.QueryOne("SHOW resource_queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str() != "wire" {
+		t.Fatalf("resource_queue = %v", res.Rows[0])
+	}
+	// The settings are session-local.
+	res, err = b.QueryOne("SHOW work_mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str() != "0" {
+		t.Fatalf("other session work_mem = %v", res.Rows[0])
+	}
+	res, err = b.QueryOne("SHOW resource_queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Str() != "none" {
+		t.Fatalf("other session resource_queue = %v", res.Rows[0])
+	}
+}
+
 // TestCancelOverWire exercises the full postgres-style cancel path: a
 // second connection delivers the backend key, the server finds the
 // session and aborts the in-flight statement, and the original

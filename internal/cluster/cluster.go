@@ -20,10 +20,12 @@ import (
 
 	"hawq/internal/catalog"
 	"hawq/internal/clock"
+	"hawq/internal/compress"
 	"hawq/internal/executor"
 	"hawq/internal/hdfs"
 	"hawq/internal/interconnect"
 	"hawq/internal/plan"
+	"hawq/internal/resource"
 	"hawq/internal/retry"
 	"hawq/internal/tx"
 	"hawq/internal/types"
@@ -62,6 +64,9 @@ type Config struct {
 	// SpillDir is the base directory for segment-local spill files
 	// (empty: system temp).
 	SpillDir string
+	// SpillCodec optionally compresses workfile frames ("quicklz",
+	// "zlib-1", ...; empty or "none" disables compression).
+	SpillCodec string
 	// MotionPayload caps the encoded bytes a motion accumulates per
 	// interconnect send (0: executor.DefaultMotionPayload). It must stay
 	// at or below the interconnect's maximum payload — see
@@ -88,6 +93,8 @@ type Cluster struct {
 	clk       clock.Clock
 
 	lanes *laneManager
+	// spillCodec is the resolved workfile compression codec (nil = none).
+	spillCodec compress.Codec
 	// External is the PXF binding used by external-table scans.
 	External executor.ExternalEngine
 
@@ -131,6 +138,13 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var spillCodec compress.Codec
+	if cfg.SpillCodec != "" && cfg.SpillCodec != "none" {
+		spillCodec, err = compress.Lookup(cfg.SpillCodec)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: spill codec: %w", err)
+		}
+	}
 	wal := tx.NewWAL()
 	c := &Cluster{
 		cfg:   cfg,
@@ -142,6 +156,8 @@ func New(cfg Config) (*Cluster, error) {
 		book:  interconnect.NewAddrBook(),
 		lanes: newLaneManager(),
 		clk:   clock.Default(cfg.Clock),
+
+		spillCodec: spillCodec,
 	}
 	if c.qdNode, err = c.newNode(plan.QDSegment); err != nil {
 		return nil, err
@@ -184,6 +200,11 @@ func (c *Cluster) NumSegments() int { return len(c.segments) }
 // Clock returns the cluster's time source (wall by default, clock.Sim
 // under the chaos harness).
 func (c *Cluster) Clock() clock.Clock { return c.clk }
+
+// SpillDir returns the base directory for segment-local spill files;
+// tests and the chaos harness scan it with resource.Leftovers to
+// verify query teardown removed every workfile.
+func (c *Cluster) SpillDir() string { return c.cfg.SpillDir }
 
 // RestartPolicy returns the query-restart retry policy with the
 // cluster clock filled in, so session-layer restarts back off on the
@@ -387,6 +408,15 @@ func (c *Cluster) failover(s *Segment) error {
 	return nil
 }
 
+// queryNodeRes is one node's share of a query's workload-manager
+// resources: the memory account its operators reserve against and the
+// workfile store their spills land in. The zero value (both nil) means
+// the query runs unmanaged.
+type queryNodeRes struct {
+	mem  *resource.Account
+	work *resource.Store
+}
+
 // QueryResult is what a dispatched statement returns to the session.
 type QueryResult struct {
 	Schema *types.Schema
@@ -420,6 +450,38 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 		res.Updates = append(res.Updates, u)
 		updMu.Unlock()
 	}
+
+	// Workload management (§2.1's resource manager): when the plan
+	// carries a memory grant or work_mem, every node gets one memory
+	// account and one workfile store, shared by all the query's slices on
+	// that node. Stores are torn down when the dispatch returns — normal
+	// completion, error, or cancel — so no spill files outlive the query.
+	managed := p.MemGrant > 0 || p.WorkMem > 0
+	var resMu sync.Mutex
+	nodeRes := map[int]*queryNodeRes{}
+	resFor := func(segID int) *queryNodeRes {
+		if !managed {
+			return &queryNodeRes{}
+		}
+		resMu.Lock()
+		defer resMu.Unlock()
+		nr, ok := nodeRes[segID]
+		if !ok {
+			nr = &queryNodeRes{
+				mem:  resource.NewAccount(p.MemGrant),
+				work: resource.NewStore(c.cfg.SpillDir, fmt.Sprintf("q%d-seg%d", query, segID), c.spillCodec),
+			}
+			nodeRes[segID] = nr
+		}
+		return nr
+	}
+	defer func() {
+		resMu.Lock()
+		defer resMu.Unlock()
+		for _, nr := range nodeRes {
+			nr.work.Cleanup()
+		}
+	}()
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, 64)
@@ -460,7 +522,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 			wg.Add(1)
 			go func(si, segID int) {
 				defer wg.Done()
-				if err := c.runQE(ctx, query, encoded, si, segID, onUpdate); err != nil {
+				if err := c.runQE(ctx, query, encoded, si, segID, resFor(segID), p.WorkMem, onUpdate); err != nil {
 					select {
 					case errCh <- fmt.Errorf("segment %d slice %d: %w", segID, si, err):
 					default:
@@ -472,6 +534,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 	}
 
 	// Top slice on the QD.
+	qdRes := resFor(plan.QDSegment)
 	qdCtx := &executor.Context{
 		Ctx:             ctx,
 		Query:           query,
@@ -480,6 +543,9 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 		Net:             c.qdNode,
 		External:        c.External,
 		SpillDir:        c.cfg.SpillDir,
+		Mem:             qdRes.mem,
+		WorkMem:         p.WorkMem,
+		Work:            qdRes.work,
 		OnSegFileUpdate: onUpdate,
 		MotionPayload:   c.cfg.MotionPayload,
 		RowMode:         c.cfg.RowMode,
@@ -523,7 +589,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 
 // runQE executes one slice as a QE on one segment. The QE decodes the
 // self-described plan itself — stateless segment, no catalog round trip.
-func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, onUpdate func(executor.SegFileUpdate)) error {
+func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, nr *queryNodeRes, workMem int64, onUpdate func(executor.SegFileUpdate)) error {
 	var net interconnect.Node
 	var localHost string
 	if segID == plan.QDSegment {
@@ -561,6 +627,9 @@ func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, s
 		Net:             net,
 		External:        c.External,
 		SpillDir:        c.cfg.SpillDir,
+		Mem:             nr.mem,
+		WorkMem:         workMem,
+		Work:            nr.work,
 		OnSegFileUpdate: onUpdate,
 		LocalHost:       localHost,
 		MotionPayload:   c.cfg.MotionPayload,

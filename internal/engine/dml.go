@@ -57,6 +57,7 @@ func (s *Session) runInsert(ctx context.Context, t *tx.Tx, stmt *sqlparser.Inser
 	if err != nil {
 		return nil, err
 	}
+	s.applyResourceLimits(pl)
 	return s.dispatchDML(ctx, t, pl)
 }
 

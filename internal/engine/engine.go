@@ -16,6 +16,7 @@ import (
 
 	"hawq/internal/clock"
 	"hawq/internal/cluster"
+	"hawq/internal/resource"
 	"hawq/internal/sqlparser"
 	"hawq/internal/tx"
 	"hawq/internal/types"
@@ -43,7 +44,10 @@ type PlannerFlags struct {
 
 // Engine is an embedded HAWQ instance.
 type Engine struct {
-	cl    *cluster.Cluster
+	cl *cluster.Cluster
+	// res is the workload manager's runtime queue registry, mirroring
+	// the hawq_resqueue catalog table.
+	res   *resource.Manager
 	mu    sync.Mutex
 	flags PlannerFlags
 }
@@ -68,8 +72,24 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{cl: cl}, nil
+	e := &Engine{cl: cl, res: resource.NewManager(cl.Clock())}
+	// Mirror any catalog-persisted resource queues into the runtime
+	// manager (a catalog restored from WAL replay arrives with queues
+	// already defined).
+	boot := cl.TxMgr.Begin(tx.ReadCommitted)
+	for _, q := range cl.Cat.ListResourceQueues(boot.Snapshot()) {
+		// A name collision here means a corrupt catalog; first row wins.
+		//hawqcheck:ignore errdrop
+		e.res.Create(q.Name, int(q.ActiveStatements), q.MemLimit)
+	}
+	boot.Abort()
+	return e, nil
 }
+
+// ResourceQueues reports live stats for every registered resource
+// queue (tests and monitoring; SHOW resource_queues serves the same
+// data over SQL).
+func (e *Engine) ResourceQueues() []resource.QueueStats { return e.res.List() }
 
 // Cluster exposes the underlying runtime (fault injection, PXF binding,
 // benchmarks).
@@ -101,6 +121,11 @@ type Session struct {
 	cur *tx.Tx
 	// timeout is the session's statement_timeout (0 = disabled).
 	timeout time.Duration
+	// queue is the session's resource_queue setting ("" = unmanaged).
+	queue string
+	// workMem is the session's work_mem in bytes (0 = no per-operator
+	// budget, so operators never spill on memory pressure).
+	workMem int64
 
 	// qmu guards qcancel, the cancel function of the statement
 	// currently executing (nil between statements).
@@ -256,6 +281,22 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 				return nil, err
 			}
 			s.timeout = d
+		case "work_mem":
+			n, err := resource.ParseBytes(v.Value)
+			if err != nil {
+				return nil, err
+			}
+			s.workMem = n
+		case "resource_queue":
+			name := strings.ToLower(strings.TrimSpace(v.Value))
+			if name == "" || name == "none" {
+				s.queue = ""
+				return &Result{Tag: "SET"}, nil
+			}
+			if s.eng.res.Lookup(name) == nil {
+				return nil, fmt.Errorf("engine: resource queue %q does not exist", name)
+			}
+			s.queue = name
 		}
 		return &Result{Tag: "SET"}, nil
 	}
@@ -268,7 +309,19 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 		auto = true
 	}
 	ctx, done := s.beginStatement()
+	release, err := s.admit(ctx, stmt)
+	if err != nil {
+		done()
+		if auto {
+			t.Abort()
+			s.releaseTx(t)
+		}
+		return nil, err
+	}
 	res, err := s.runInTx(ctx, t, stmt)
+	if release != nil {
+		release()
+	}
 	done()
 	if auto {
 		if err != nil {
@@ -298,6 +351,10 @@ func (s *Session) runInTx(ctx context.Context, t *tx.Tx, stmt sqlparser.Statemen
 		return s.runCreateExternal(t, v)
 	case *sqlparser.DropTableStmt:
 		return s.runDropTable(t, v)
+	case *sqlparser.CreateResourceQueueStmt:
+		return s.runCreateResourceQueue(t, v)
+	case *sqlparser.DropResourceQueueStmt:
+		return s.runDropResourceQueue(t, v)
 	case *sqlparser.TruncateStmt:
 		return s.runTruncate(t, v)
 	case *sqlparser.AnalyzeStmt:

@@ -8,6 +8,7 @@ import (
 
 	"hawq/internal/cluster"
 	"hawq/internal/planner"
+	"hawq/internal/resource"
 	"hawq/internal/retry"
 	"hawq/internal/sqlparser"
 	"hawq/internal/tx"
@@ -144,6 +145,7 @@ func (s *Session) runSelectRows(ctx context.Context, t *tx.Tx, stmt *sqlparser.S
 		if err != nil {
 			return retry.Permanent(err)
 		}
+		s.applyResourceLimits(pl)
 		res, err := s.eng.cl.Dispatch(ctx, pl, nil)
 		if err != nil {
 			return s.classifyDispatchErr(err)
@@ -224,6 +226,41 @@ func (s *Session) runShow(t *tx.Tx, stmt *sqlparser.ShowStmt) (*Result, error) {
 			}
 			rows = append(rows, types.Row{
 				types.NewString(d.Name), types.NewString(d.Dist.String()), types.NewString(d.Storage.Orientation),
+			})
+		}
+		return &Result{Schema: schema, Rows: rows, Tag: "SHOW"}, nil
+	case "work_mem":
+		schema := types.NewSchema(types.Column{Name: "work_mem", Kind: types.KindString})
+		return &Result{Schema: schema, Rows: []types.Row{{types.NewString(resource.FormatBytes(s.workMem))}}, Tag: "SHOW"}, nil
+	case "resource_queue":
+		name := s.queue
+		if name == "" {
+			name = "none"
+		}
+		schema := types.NewSchema(types.Column{Name: "resource_queue", Kind: types.KindString})
+		return &Result{Schema: schema, Rows: []types.Row{{types.NewString(name)}}, Tag: "SHOW"}, nil
+	case "resource_queues":
+		schema := types.NewSchema(
+			types.Column{Name: "name", Kind: types.KindString},
+			types.Column{Name: "active_statements", Kind: types.KindInt64},
+			types.Column{Name: "memory_limit", Kind: types.KindString},
+			types.Column{Name: "active", Kind: types.KindInt64},
+			types.Column{Name: "queued", Kind: types.KindInt64},
+			types.Column{Name: "admitted", Kind: types.KindInt64},
+			types.Column{Name: "waits", Kind: types.KindInt64},
+			types.Column{Name: "total_wait_ms", Kind: types.KindInt64},
+		)
+		var rows []types.Row
+		for _, st := range s.eng.res.List() {
+			rows = append(rows, types.Row{
+				types.NewString(st.Name),
+				types.NewInt64(int64(st.ActiveStatements)),
+				types.NewString(resource.FormatBytes(st.MemoryLimit)),
+				types.NewInt64(int64(st.Active)),
+				types.NewInt64(int64(st.Queued)),
+				types.NewInt64(st.Admitted),
+				types.NewInt64(st.Waits),
+				types.NewInt64(st.TotalWait.Milliseconds()),
 			})
 		}
 		return &Result{Schema: schema, Rows: rows, Tag: "SHOW"}, nil

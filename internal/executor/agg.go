@@ -5,6 +5,7 @@ import (
 
 	"hawq/internal/expr"
 	"hawq/internal/plan"
+	"hawq/internal/resource"
 	"hawq/internal/types"
 )
 
@@ -15,19 +16,40 @@ import (
 // when available; the encoded group key is rebuilt in a reused scratch
 // buffer per row, and the map lookup is non-allocating — only a new
 // group pays for a key copy.
+//
+// When the group table outgrows its memory budget the agg spills
+// hybrid-style: groups already in memory keep absorbing their rows,
+// while rows for unseen keys are partitioned into workfiles by a
+// level-salted key hash and aggregated partition-by-partition after
+// the in-memory groups are emitted — recursing on partitions that
+// still don't fit, and past maxSpillLevel absorbing in memory anyway.
 type hashAggOp struct {
 	ctx  *Context
 	node *plan.HashAgg
 	in   Operator
 	bin  BatchOperator
 
+	mem      memBudget
 	groups   map[string]*aggGroup
 	order    []string
 	emitted  int
 	inClosed bool
 
+	// spill state
+	sp      *spillPartition // open partition set unseen keys divert to
+	pending []aggPart       // partitions waiting to be aggregated
+	level   int             // salt the current pass spills with
+	noSpill bool            // past maxSpillLevel: absorb in memory regardless
+
 	keyScratch types.Row
 	keyBuf     []byte
+}
+
+// aggPart is one spilled partition of not-yet-aggregated input rows.
+// level is the salt its pass will spill with if it overflows again.
+type aggPart struct {
+	file  *resource.File
+	level int
 }
 
 type aggGroup struct {
@@ -35,16 +57,24 @@ type aggGroup struct {
 	accs []expr.Accumulator
 }
 
+// aggGroupMem estimates the retained bytes of one new group: cloned
+// key row, map key string, accumulators, and map-entry overhead.
+func aggGroupMem(keys types.Row, keyLen, naccs int) int64 {
+	return rowMem(keys) + int64(keyLen) + int64(48*naccs) + 96
+}
+
 func newHashAggOp(ctx *Context, node *plan.HashAgg) (Operator, error) {
 	in, err := Build(ctx, node.Input)
 	if err != nil {
 		return nil, err
 	}
-	return &hashAggOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in)}, nil
+	return &hashAggOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in), mem: memBudget{ctx: ctx}}, nil
 }
 
 // absorb folds one input row into its group, creating the group on first
-// sight. row may be an arena view; only datum values are retained.
+// sight — or, once spilling has begun, diverting rows for unseen keys to
+// their partition file. row may be an arena view; only datum values are
+// retained.
 func (a *hashAggOp) absorb(row types.Row) error {
 	if cap(a.keyScratch) < len(a.node.Groups) {
 		a.keyScratch = make(types.Row, len(a.node.Groups))
@@ -61,6 +91,28 @@ func (a *hashAggOp) absorb(row types.Row) error {
 	}
 	grp := a.groups[string(a.keyBuf)]
 	if grp == nil {
+		if a.sp != nil {
+			return a.sp.add(string(a.keyBuf), row)
+		}
+		cost := aggGroupMem(keys, len(a.keyBuf), len(a.node.Aggs))
+		if a.noSpill {
+			if err := a.mem.growHard(cost); err != nil {
+				return err
+			}
+		} else {
+			over, err := a.mem.grow(cost)
+			if err != nil {
+				return err
+			}
+			if over {
+				sp, err := newSpillPartition(a.ctx, a.level)
+				if err != nil {
+					return err
+				}
+				a.sp = sp
+				return a.sp.add(string(a.keyBuf), row)
+			}
+		}
 		grp = &aggGroup{keys: keys.Clone(), accs: make([]expr.Accumulator, len(a.node.Aggs))}
 		for i, spec := range a.node.Aggs {
 			grp.accs[i] = expr.NewAccumulator(spec)
@@ -83,6 +135,22 @@ func (a *hashAggOp) absorb(row types.Row) error {
 	return nil
 }
 
+// sealSpill completes the current pass's spill partition (if any) and
+// queues its files for the next level.
+func (a *hashAggOp) sealSpill() error {
+	if a.sp == nil {
+		return nil
+	}
+	if err := a.sp.finish(); err != nil {
+		return err
+	}
+	for _, f := range a.sp.files {
+		a.pending = append(a.pending, aggPart{file: f, level: a.level + 1})
+	}
+	a.sp = nil
+	return nil
+}
+
 // Open implements Operator: consumes the whole input.
 func (a *hashAggOp) Open() error {
 	if err := a.in.Open(); err != nil {
@@ -91,14 +159,19 @@ func (a *hashAggOp) Open() error {
 	a.groups = make(map[string]*aggGroup)
 	a.order = a.order[:0]
 	a.emitted = 0
+	a.level = 0
+	a.noSpill = false
 	if err := drainRows(a.ctx, a.bin, a.in, a.absorb); err != nil {
+		return err
+	}
+	if err := a.sealSpill(); err != nil {
 		return err
 	}
 	// A scalar aggregate (no GROUP BY) over empty input yields one row of
 	// empty-input results in every phase: each segment's partial row
 	// carries count 0, so the final SUM over partial counts is 0 rather
 	// than NULL.
-	if len(a.node.Groups) == 0 && len(a.groups) == 0 {
+	if len(a.node.Groups) == 0 && len(a.groups) == 0 && len(a.pending) == 0 {
 		grp := &aggGroup{accs: make([]expr.Accumulator, len(a.node.Aggs))}
 		for i, spec := range a.node.Aggs {
 			grp.accs[i] = expr.NewAccumulator(spec)
@@ -107,31 +180,89 @@ func (a *hashAggOp) Open() error {
 		a.order = append(a.order, "")
 	}
 	// Deterministic output order helps tests; production order is
-	// arbitrary anyway.
+	// arbitrary anyway. (A spilled agg is only sorted within each
+	// partition's pass — real queries order with an explicit Sort.)
 	sort.Strings(a.order)
 	a.inClosed = true
 	return a.in.Close()
 }
 
-// Next implements Operator.
-func (a *hashAggOp) Next() (types.Row, bool, error) {
-	if a.emitted >= len(a.order) {
-		return nil, false, nil
+// loadPart aggregates the next pending partition into a fresh group
+// table, re-spilling at the next level if it overflows again.
+func (a *hashAggOp) loadPart() error {
+	part := a.pending[0]
+	a.pending = a.pending[1:]
+	a.mem.releaseAll()
+	a.groups = make(map[string]*aggGroup)
+	a.order = a.order[:0]
+	a.emitted = 0
+	a.level = part.level
+	a.noSpill = part.level > maxSpillLevel
+	cur, err := openCursor(part.file)
+	if err != nil {
+		return err
 	}
-	grp := a.groups[a.order[a.emitted]]
-	a.emitted++
-	out := make(types.Row, 0, len(grp.keys)+len(grp.accs))
-	out = append(out, grp.keys...)
-	for _, acc := range grp.accs {
-		out = append(out, acc.Result())
+	for {
+		if err := a.ctx.canceled(); err != nil {
+			cur.close()
+			return err
+		}
+		row, ok, rerr := cur.next()
+		if rerr != nil {
+			cur.close()
+			return rerr
+		}
+		if !ok {
+			break
+		}
+		if err := a.absorb(row); err != nil {
+			cur.close()
+			return err
+		}
 	}
-	return out, true, nil
+	cur.close()
+	part.file.Remove()
+	if err := a.sealSpill(); err != nil {
+		return err
+	}
+	sort.Strings(a.order)
+	return nil
 }
 
-// Close implements Operator.
+// Next implements Operator.
+func (a *hashAggOp) Next() (types.Row, bool, error) {
+	for {
+		if a.emitted < len(a.order) {
+			grp := a.groups[a.order[a.emitted]]
+			a.emitted++
+			out := make(types.Row, 0, len(grp.keys)+len(grp.accs))
+			out = append(out, grp.keys...)
+			for _, acc := range grp.accs {
+				out = append(out, acc.Result())
+			}
+			return out, true, nil
+		}
+		if len(a.pending) == 0 {
+			return nil, false, nil
+		}
+		if err := a.loadPart(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close implements Operator: removes any partitions a cancel or error
+// left unprocessed and returns the memory reservation.
 func (a *hashAggOp) Close() error {
 	a.groups = nil
 	a.order = nil
+	a.sp.remove()
+	a.sp = nil
+	for _, p := range a.pending {
+		p.file.Remove()
+	}
+	a.pending = nil
+	a.mem.releaseAll()
 	if !a.inClosed {
 		a.inClosed = true
 		return a.in.Close()

@@ -18,6 +18,7 @@ import (
 	"hawq/internal/hdfs"
 	"hawq/internal/interconnect"
 	"hawq/internal/plan"
+	"hawq/internal/resource"
 	"hawq/internal/types"
 )
 
@@ -60,6 +61,20 @@ type Context struct {
 	// SpillDir is the segment-local scratch directory for external
 	// sorts; empty disables spilling (all in memory).
 	SpillDir string
+	// Mem is this node's share of the query's memory grant (nil =
+	// unlimited). Memory-hungry operators reserve their in-memory state
+	// against it; exhausting it surfaces as a clean out-of-memory error
+	// when spilling can't absorb the pressure.
+	Mem *resource.Account
+	// WorkMem is the per-operator soft budget in bytes (the work_mem
+	// session setting): a hash join build, hash agg table or sort buffer
+	// that grows past it switches to workfile spilling. 0 disables the
+	// soft trigger.
+	WorkMem int64
+	// Work is the query's workfile store on this node. nil disables
+	// budget-triggered spilling (operators then only honor the legacy
+	// SortMemRows row-count trigger).
+	Work *resource.Store
 	// SortMemRows caps in-memory sort buffers before a spill run is
 	// written (0 = default).
 	SortMemRows int

@@ -3,6 +3,7 @@ package executor
 import (
 	"hawq/internal/expr"
 	"hawq/internal/plan"
+	"hawq/internal/resource"
 	"hawq/internal/types"
 )
 
@@ -11,23 +12,45 @@ import (
 // consumed batch-at-a-time when available: the build side through
 // drainRows (cloning retained rows out of the arena), the probe side
 // through a rowReader.
+//
+// When the build side outgrows its memory budget the join degrades to
+// partitioned (grace) spilling: both sides are partitioned into
+// workfiles by a level-salted key hash, then each partition pair is
+// joined in memory — recursing with a deeper salt on partitions that
+// still don't fit, and past maxSpillLevel loading the partition anyway
+// (a skewed key can defeat any partitioning).
 type hashJoinOp struct {
 	ctx         *Context
 	node        *plan.HashJoin
 	left, right Operator
 	leftR       rowReader
 	rightBin    BatchOperator
+	rightWidth  int
 
+	mem   memBudget
 	table map[string][]types.Row
-	// matched marks left semantics; for Left joins we emit null-extended
-	// rows for probe misses.
-	rightWidth int
+
+	// spill state
+	spilled  bool
+	buildSP  *spillPartition // level-0 build partitions, filled while draining the build side
+	probeSP  *spillPartition // level-0 probe partitions, filled while draining the probe side
+	parts    []joinPart      // partition pairs still to join
+	curPart  joinPart        // partition currently loaded (files removed when its probe is exhausted)
+	probeCur *wfCursor       // probe rows of the current partition
 
 	// probe state
 	cur        types.Row
 	curMatches []types.Row
 	curIdx     int
 	curMatched bool
+}
+
+// joinPart is one build/probe partition pair awaiting its in-memory
+// join. level is the salt that created it; re-partitioning uses
+// level+1 so the rows actually redistribute.
+type joinPart struct {
+	build, probe *resource.File
+	level        int
 }
 
 func newHashJoinOp(ctx *Context, node *plan.HashJoin) (Operator, error) {
@@ -40,6 +63,7 @@ func newHashJoinOp(ctx *Context, node *plan.HashJoin) (Operator, error) {
 		return nil, err
 	}
 	j := &hashJoinOp{ctx: ctx, node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
+	j.mem = memBudget{ctx: ctx}
 	j.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
 	j.rightBin = ctx.batchInput(r)
 	return j, nil
@@ -71,38 +95,272 @@ func normalizeKey(d types.Datum) types.Datum {
 	return d
 }
 
-// buildTable drains an already-open build side into a key → rows table,
-// cloning each retained row (the input may hand out arena views).
-func buildTable(ctx *Context, in Operator, bin BatchOperator, keys []int) (map[string][]types.Row, error) {
-	table := make(map[string][]types.Row)
-	err := drainRows(ctx, bin, in, func(row types.Row) error {
-		key, valid := joinKey(row, keys)
-		if !valid {
-			return nil
-		}
-		table[key] = append(table[key], row.Clone())
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return table, nil
-}
-
-// Open implements Operator: drains the build side.
+// Open implements Operator: drains the build side, spilling both sides
+// into partition workfiles if the build outgrows its budget.
 func (j *hashJoinOp) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
-	table, err := buildTable(j.ctx, j.right, j.rightBin, j.node.RightKeys)
+	j.table = make(map[string][]types.Row)
+	err := drainRows(j.ctx, j.rightBin, j.right, func(row types.Row) error {
+		key, valid := joinKey(row, j.node.RightKeys)
+		if !valid {
+			// Build rows with NULL keys can never match and no join kind
+			// here emits unmatched build rows.
+			return nil
+		}
+		if j.spilled {
+			return j.buildSP.add(key, row)
+		}
+		over, err := j.mem.grow(rowMem(row) + int64(len(key)))
+		if err != nil {
+			return err
+		}
+		if over {
+			if err := j.spillBuild(); err != nil {
+				return err
+			}
+			return j.buildSP.add(key, row)
+		}
+		j.table[key] = append(j.table[key], row.Clone())
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	j.table = table
 	if err := j.right.Close(); err != nil {
 		return err
 	}
-	return j.left.Open()
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if !j.spilled {
+		return nil
+	}
+	// Grace phase: the probe side streams straight into its own
+	// partition files — no memory growth — and each partition pair is
+	// then joined in memory by probeNext.
+	if err := j.buildSP.finish(); err != nil {
+		return err
+	}
+	j.probeSP, err = newSpillPartition(j.ctx, 0)
+	if err != nil {
+		return err
+	}
+	err = drainRows(j.ctx, j.leftR.bin, j.left, func(row types.Row) error {
+		key, valid := joinKey(row, j.node.LeftKeys)
+		if !valid {
+			switch j.node.Kind {
+			case plan.InnerJoin, plan.SemiJoin:
+				return nil // can't match, can't be emitted
+			}
+			key = "" // Left/Anti must still see the row to emit it
+		}
+		return j.probeSP.add(key, row)
+	})
+	if err != nil {
+		return err
+	}
+	if err := j.probeSP.finish(); err != nil {
+		return err
+	}
+	for i := 0; i < spillFanout; i++ {
+		j.parts = append(j.parts, joinPart{build: j.buildSP.files[i], probe: j.probeSP.files[i], level: 0})
+	}
+	j.buildSP, j.probeSP = nil, nil
+	j.table = nil
+	return nil
+}
+
+// spillBuild switches the join into grace mode: the in-memory table is
+// flushed into level-0 partition files and its reservation released;
+// the rest of the build side streams straight to the partitions.
+func (j *hashJoinOp) spillBuild() error {
+	sp, err := newSpillPartition(j.ctx, 0)
+	if err != nil {
+		return err
+	}
+	for key, rows := range j.table {
+		for _, r := range rows {
+			if err := sp.add(key, r); err != nil {
+				sp.remove()
+				return err
+			}
+		}
+	}
+	j.buildSP = sp
+	j.table = nil
+	j.mem.releaseAll()
+	j.spilled = true
+	return nil
+}
+
+// probeNext returns the next probe row: streamed from the left input
+// in the in-memory case, or read from the current partition's probe
+// file in grace mode — loading (or recursively re-partitioning) the
+// next partition pair as each one is exhausted.
+func (j *hashJoinOp) probeNext() (types.Row, bool, error) {
+	if !j.spilled {
+		return j.leftR.next()
+	}
+	for {
+		if j.probeCur != nil {
+			row, ok, err := j.probeCur.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return row, true, nil
+			}
+			j.probeCur.close()
+			j.probeCur = nil
+			j.curPart.build.Remove()
+			j.curPart.probe.Remove()
+			j.curPart = joinPart{}
+			j.table = nil
+			j.mem.releaseAll()
+		}
+		if len(j.parts) == 0 {
+			return nil, false, nil
+		}
+		part := j.parts[0]
+		j.parts = j.parts[1:]
+		// Track the in-flight pair so Close removes its files even if
+		// the load is canceled halfway.
+		j.curPart = part
+		loaded, err := j.loadPart(part)
+		if err != nil {
+			return nil, false, err
+		}
+		if !loaded {
+			j.curPart = joinPart{} // re-partitioned deeper; files already removed
+			continue
+		}
+	}
+}
+
+// loadPart builds the in-memory table for one partition pair. It
+// reports false (no error) when the partition didn't fit and was
+// re-partitioned at the next level instead.
+func (j *hashJoinOp) loadPart(part joinPart) (bool, error) {
+	noSpill := part.level >= maxSpillLevel
+	table := make(map[string][]types.Row)
+	cur, err := openCursor(part.build)
+	if err != nil {
+		return false, err
+	}
+	for {
+		if err := j.ctx.canceled(); err != nil {
+			cur.close()
+			return false, err
+		}
+		row, ok, rerr := cur.next()
+		if rerr != nil {
+			cur.close()
+			return false, rerr
+		}
+		if !ok {
+			break
+		}
+		key, valid := joinKey(row, j.node.RightKeys)
+		if !valid {
+			continue
+		}
+		cost := rowMem(row) + int64(len(key))
+		if noSpill {
+			if err := j.mem.growHard(cost); err != nil {
+				cur.close()
+				return false, err
+			}
+		} else {
+			over, gerr := j.mem.grow(cost)
+			if gerr != nil {
+				cur.close()
+				return false, gerr
+			}
+			if over {
+				cur.close()
+				j.mem.releaseAll()
+				return false, j.repartition(part)
+			}
+		}
+		table[key] = append(table[key], row.Clone())
+	}
+	cur.close()
+	j.table = table
+	j.probeCur, err = openCursor(part.probe)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// repartition splits an oversized partition pair into spillFanout
+// deeper pairs with a level+1 salted hash and queues them.
+func (j *hashJoinOp) repartition(part joinPart) error {
+	level := part.level + 1
+	bsp, err := newSpillPartition(j.ctx, level)
+	if err != nil {
+		return err
+	}
+	psp, err := newSpillPartition(j.ctx, level)
+	if err != nil {
+		bsp.remove()
+		return err
+	}
+	if err := j.reroute(part.build, j.node.RightKeys, bsp, false); err == nil {
+		err = j.reroute(part.probe, j.node.LeftKeys, psp, true)
+	}
+	if err == nil {
+		err = bsp.finish()
+	}
+	if err == nil {
+		err = psp.finish()
+	}
+	if err != nil {
+		bsp.remove()
+		psp.remove()
+		return err
+	}
+	part.build.Remove()
+	part.probe.Remove()
+	for i := 0; i < spillFanout; i++ {
+		j.parts = append(j.parts, joinPart{build: bsp.files[i], probe: psp.files[i], level: level})
+	}
+	return nil
+}
+
+// reroute streams one partition file into a deeper partition set.
+// keepInvalid retains NULL-key rows (probe side of outer joins) under
+// the empty key.
+func (j *hashJoinOp) reroute(f *resource.File, keys []int, sp *spillPartition, keepInvalid bool) error {
+	cur, err := openCursor(f)
+	if err != nil {
+		return err
+	}
+	defer cur.close()
+	for {
+		if err := j.ctx.canceled(); err != nil {
+			return err
+		}
+		row, ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		key, valid := joinKey(row, keys)
+		if !valid {
+			if !keepInvalid {
+				continue
+			}
+			key = ""
+		}
+		if err := sp.add(key, row); err != nil {
+			return err
+		}
+	}
 }
 
 // Next implements Operator.
@@ -154,7 +412,7 @@ func (j *hashJoinOp) Next() (types.Row, bool, error) {
 			}
 		}
 	nextProbe:
-		row, ok, err := j.leftR.next()
+		row, ok, err := j.probeNext()
 		if err != nil {
 			return nil, false, err
 		}
@@ -183,9 +441,29 @@ func (j *hashJoinOp) Next() (types.Row, bool, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator: beyond the inputs, it tears down any
+// remaining spill state — a canceled grace join removes its partition
+// files here rather than waiting for the store-wide cleanup.
 func (j *hashJoinOp) Close() error {
 	j.leftR.release()
+	if j.probeCur != nil {
+		j.probeCur.close()
+		j.probeCur = nil
+	}
+	if j.curPart.build != nil {
+		j.curPart.build.Remove()
+		j.curPart.probe.Remove()
+		j.curPart = joinPart{}
+	}
+	for _, p := range j.parts {
+		p.build.Remove()
+		p.probe.Remove()
+	}
+	j.parts = nil
+	j.buildSP.remove()
+	j.probeSP.remove()
+	j.buildSP, j.probeSP = nil, nil
+	j.mem.releaseAll()
 	err := j.left.Close()
 	if cerr := j.right.Close(); err == nil {
 		err = cerr
@@ -211,6 +489,7 @@ type nestLoopOp struct {
 	leftR    rowReader
 	rightBin BatchOperator
 
+	mem        memBudget
 	inner      []types.Row
 	rightWidth int
 	cur        types.Row
@@ -228,6 +507,7 @@ func newNestLoopOp(ctx *Context, node *plan.NestLoopJoin) (Operator, error) {
 		return nil, err
 	}
 	n := &nestLoopOp{ctx: ctx, node: node, left: l, right: r, rightWidth: node.Right.OutSchema().Len()}
+	n.mem = memBudget{ctx: ctx}
 	n.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
 	n.rightBin = ctx.batchInput(r)
 	return n, nil
@@ -239,6 +519,11 @@ func (n *nestLoopOp) Open() error {
 		return err
 	}
 	err := drainRows(n.ctx, n.rightBin, n.right, func(row types.Row) error {
+		// Nest-loop inners are small broadcast inputs by construction;
+		// there is no spill path, so only the hard grant applies.
+		if err := n.mem.growHard(rowMem(row)); err != nil {
+			return err
+		}
 		n.inner = append(n.inner, row.Clone())
 		return nil
 	})
@@ -306,6 +591,7 @@ func (n *nestLoopOp) Next() (types.Row, bool, error) {
 // Close implements Operator.
 func (n *nestLoopOp) Close() error {
 	n.leftR.release()
+	n.mem.releaseAll()
 	err := n.left.Close()
 	if cerr := n.right.Close(); err == nil {
 		err = cerr

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hawq/internal/plan"
+	"hawq/internal/resource"
 	"hawq/internal/types"
 )
 
@@ -13,24 +14,29 @@ import (
 const defaultSortMemRows = 1 << 18
 
 // sortOp is an external sort: it buffers rows in memory, spills sorted
-// runs to segment-local disk when the buffer fills, and merges the runs
-// on output. Spill files model HAWQ writing intermediate data to local
-// disks for performance (§2.6); a write failure there is surfaced so the
-// cluster can mark the disk down and restart the query.
+// runs when the buffer fills — by row count, or by bytes once the
+// memory budget is exhausted — and merges the runs on output. Runs go
+// to the query's workfile store when the dispatcher provided one
+// (budget-accounted, removed on teardown/cancel), else to bare temp
+// files on the legacy SpillDir path. Spill files model HAWQ writing
+// intermediate data to local disks for performance (§2.6); a write
+// failure there is surfaced so the cluster can mark the disk down and
+// restart the query.
 type sortOp struct {
 	ctx  *Context
 	in   Operator
 	bin  BatchOperator
 	keys []plan.OrderKey
 
+	mem      memBudget
 	buf      []types.Row
-	runs     []*spillRun
+	runs     []runSource
 	memLimit int
 
 	// merge state
-	merged   bool
 	heads    []types.Row // current head row per source (runs + final buf)
 	sources  []rowSource
+	lastSrc  int // source whose head was handed out by the last Next
 	inClosed bool
 }
 
@@ -39,12 +45,19 @@ type rowSource interface {
 	close()
 }
 
+// runSource is a spilled run: a rowSource that defers opening until the
+// merge phase.
+type runSource interface {
+	rowSource
+	openForRead() error
+}
+
 func newSortOp(ctx *Context, in Operator, keys []plan.OrderKey) *sortOp {
 	lim := ctx.SortMemRows
 	if lim <= 0 {
 		lim = defaultSortMemRows
 	}
-	return &sortOp{ctx: ctx, in: in, bin: ctx.batchInput(in), keys: keys, memLimit: lim}
+	return &sortOp{ctx: ctx, in: in, bin: ctx.batchInput(in), keys: keys, memLimit: lim, mem: memBudget{ctx: ctx}, lastSrc: -1}
 }
 
 // compareRows orders rows by the sort keys (NULLs first, as in
@@ -68,8 +81,13 @@ func (s *sortOp) Open() error {
 		return err
 	}
 	err := drainRows(s.ctx, s.bin, s.in, func(row types.Row) error {
-		s.buf = append(s.buf, row.Clone())
-		if len(s.buf) >= s.memLimit {
+		c := row.Clone()
+		over, err := s.mem.grow(rowMem(c))
+		if err != nil {
+			return err
+		}
+		s.buf = append(s.buf, c)
+		if over || len(s.buf) >= s.memLimit {
 			return s.spill()
 		}
 		return nil
@@ -102,41 +120,77 @@ func (s *sortOp) Open() error {
 			s.heads[i] = row
 		}
 	}
+	s.lastSrc = -1
 	return nil
 }
 
-// spill writes the sorted buffer as one run file on local disk.
+// spill writes the sorted buffer as one run and releases its memory
+// reservation.
 func (s *sortOp) spill() error {
 	sort.SliceStable(s.buf, func(i, j int) bool {
 		return compareRows(s.buf[i], s.buf[j], s.keys) < 0
 	})
-	dir := s.ctx.SpillDir
-	if dir == "" {
-		dir = os.TempDir()
-	}
-	f, err := os.CreateTemp(dir, "hawq-sort-*.run")
-	if err != nil {
-		return fmt.Errorf("executor: spill to local disk: %w", err)
-	}
-	var buf []byte
-	for _, row := range s.buf {
-		buf = types.EncodeRow(buf[:0], row)
-		if _, err := f.Write(buf); err != nil {
-			f.Close()
-			os.Remove(f.Name())
-			return fmt.Errorf("executor: spill write: %w", err)
+	if s.ctx.Work != nil {
+		f, err := s.ctx.Work.Create()
+		if err != nil {
+			return err
 		}
+		for _, row := range s.buf {
+			if err := f.AppendRow(row); err != nil {
+				f.Remove()
+				return err
+			}
+		}
+		if err := f.Finish(); err != nil {
+			f.Remove()
+			return err
+		}
+		s.runs = append(s.runs, &wfRun{f: f})
+	} else {
+		dir := s.ctx.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		f, err := os.CreateTemp(dir, "hawq-sort-*.run")
+		if err != nil {
+			return fmt.Errorf("executor: spill to local disk: %w", err)
+		}
+		var buf []byte
+		for _, row := range s.buf {
+			buf = types.EncodeRow(buf[:0], row)
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				os.Remove(f.Name())
+				return fmt.Errorf("executor: spill write: %w", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		s.runs = append(s.runs, &spillRun{path: f.Name()})
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	s.runs = append(s.runs, &spillRun{path: f.Name()})
 	s.buf = s.buf[:0]
+	s.mem.releaseAll()
 	return nil
 }
 
-// Next implements Operator: k-way merge across runs.
+// Next implements Operator: k-way merge across runs. Refilling the
+// source that produced the previous row is deferred to the next call —
+// a workfile run's head is a view into its reader batch, so advancing
+// the source any earlier would invalidate the row just handed out.
 func (s *sortOp) Next() (types.Row, bool, error) {
+	if s.lastSrc >= 0 {
+		row, ok, err := s.sources[s.lastSrc].next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			s.heads[s.lastSrc] = row
+		} else {
+			s.heads[s.lastSrc] = nil
+		}
+		s.lastSrc = -1
+	}
 	best := -1
 	for i, h := range s.heads {
 		if h == nil {
@@ -149,26 +203,19 @@ func (s *sortOp) Next() (types.Row, bool, error) {
 	if best == -1 {
 		return nil, false, nil
 	}
-	out := s.heads[best]
-	row, ok, err := s.sources[best].next()
-	if err != nil {
-		return nil, false, err
-	}
-	if ok {
-		s.heads[best] = row
-	} else {
-		s.heads[best] = nil
-	}
-	return out, true, nil
+	s.lastSrc = best
+	return s.heads[best], true, nil
 }
 
 // Close implements Operator.
 func (s *sortOp) Close() error {
-	for _, src := range s.sources {
-		src.close()
+	for _, r := range s.runs {
+		r.close()
 	}
+	s.runs = nil
 	s.sources = nil
 	s.buf = nil
+	s.mem.releaseAll()
 	if !s.inClosed {
 		s.inClosed = true
 		return s.in.Close()
@@ -176,7 +223,35 @@ func (s *sortOp) Close() error {
 	return nil
 }
 
-// spillRun reads one sorted run back from local disk.
+// wfRun is a sorted run in the query's workfile store.
+type wfRun struct {
+	f   *resource.File
+	cur *wfCursor
+}
+
+func (r *wfRun) openForRead() error {
+	cur, err := openCursor(r.f)
+	if err != nil {
+		return err
+	}
+	r.cur = cur
+	return nil
+}
+
+func (r *wfRun) next() (types.Row, bool, error) {
+	return r.cur.next()
+}
+
+func (r *wfRun) close() {
+	if r.cur != nil {
+		r.cur.close()
+		r.cur = nil
+	}
+	r.f.Remove()
+}
+
+// spillRun reads one sorted run back from a bare temp file (the legacy
+// path when the query has no workfile store).
 type spillRun struct {
 	path string
 	data []byte

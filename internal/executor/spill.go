@@ -1,0 +1,199 @@
+package executor
+
+import (
+	"hawq/internal/resource"
+	"hawq/internal/types"
+)
+
+// Spill geometry: overflowing operators partition their state into
+// spillFanout workfiles per level and recurse on partitions that still
+// don't fit, salting the partition hash with the level so each level
+// redistributes. Past maxSpillLevel an operator stops recursing and
+// processes the partition in memory — with a pathological key
+// distribution (every row one key) no amount of partitioning helps, so
+// degrading gracefully beats spilling forever.
+const (
+	spillFanout   = 8
+	maxSpillLevel = 6
+)
+
+// datumMem approximates the in-memory footprint of one Datum (the
+// struct itself; string payloads are counted separately).
+const datumMem = 40
+
+// rowMem estimates the retained bytes of a cloned row: slice header
+// plus datums plus string payloads. An estimate is all accounting
+// needs — the budget triggers spilling, it doesn't malloc.
+func rowMem(r types.Row) int64 {
+	n := int64(24 + datumMem*len(r))
+	for _, d := range r {
+		n += int64(len(d.S))
+	}
+	return n
+}
+
+// partOf assigns a join/agg key to one of fanout partitions at the
+// given recursion level. FNV-1a salted with the level, so rows that
+// collided into one partition at level L spread across all partitions
+// at level L+1.
+func partOf(key string, level, fanout int) int {
+	h := uint64(14695981039346656037)
+	h ^= uint64(level) + 0x9e3779b97f4a7c15
+	h *= 1099511628211
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(fanout))
+}
+
+// spillable reports whether budget-triggered spilling is available
+// (the dispatcher gave this node a workfile store and a work_mem cap).
+func (ctx *Context) spillable() bool {
+	return ctx.Work != nil && ctx.WorkMem > 0
+}
+
+// memBudget tracks one operator's reservation against the query's
+// memory account and its work_mem soft cap. Not goroutine-safe — each
+// operator owns one.
+type memBudget struct {
+	ctx  *Context
+	used int64
+}
+
+// grow reserves n more bytes. over=true tells a spillable caller to
+// stop growing and spill (soft cap crossed, or the hard grant refused
+// the reservation and spilling can release it); err is the clean OOM
+// error when the hard grant is exhausted and spilling can't help.
+func (m *memBudget) grow(n int64) (over bool, err error) {
+	if err := m.ctx.Mem.Grow(n); err != nil {
+		if m.ctx.spillable() {
+			return true, nil
+		}
+		return false, err
+	}
+	m.used += n
+	if m.ctx.spillable() && m.used > m.ctx.WorkMem {
+		return true, nil
+	}
+	return false, nil
+}
+
+// growHard reserves n bytes against the hard grant only, ignoring the
+// work_mem soft cap — the path for operators (or spill levels) that
+// cannot degrade any further, where exceeding the grant is a real OOM.
+func (m *memBudget) growHard(n int64) error {
+	if err := m.ctx.Mem.Grow(n); err != nil {
+		return err
+	}
+	m.used += n
+	return nil
+}
+
+// releaseAll returns the whole reservation (operator teardown, or the
+// hand-off between spill partitions).
+func (m *memBudget) releaseAll() {
+	m.ctx.Mem.Shrink(m.used)
+	m.used = 0
+}
+
+// wfCursor iterates a workfile reader row-at-a-time. Returned rows are
+// views into the cursor's batch, valid until the cursor crosses a
+// frame boundary (the same contract as rowReader over a batch input).
+type wfCursor struct {
+	r   *resource.Reader
+	b   *types.Batch
+	idx int
+}
+
+// openCursor starts a cursor over a finished workfile.
+func openCursor(f *resource.File) (*wfCursor, error) {
+	r, err := f.NewReader()
+	if err != nil {
+		return nil, err
+	}
+	return &wfCursor{r: r}, nil
+}
+
+// next returns the next row in the file.
+func (c *wfCursor) next() (types.Row, bool, error) {
+	for {
+		if c.b != nil && c.idx < c.b.Len() {
+			row := c.b.Row(c.idx)
+			c.idx++
+			return row, true, nil
+		}
+		if c.b == nil {
+			c.b = types.GetBatch(0)
+		}
+		ok, err := c.r.Next(c.b)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c.idx = 0
+	}
+}
+
+// close releases the cursor's batch and file handle.
+func (c *wfCursor) close() {
+	if c.b != nil {
+		types.PutBatch(c.b)
+		c.b = nil
+	}
+	if c.r != nil {
+		//hawqcheck:ignore errdrop — read-side close on teardown
+		_ = c.r.Close()
+		c.r = nil
+	}
+}
+
+// spillPartition routes rows into fanout workfiles by key partition.
+// Rows whose key extractor reports invalid (NULL join keys) go to
+// partition 0 — they match nothing, but outer-join semantics may still
+// need to emit them.
+type spillPartition struct {
+	files []*resource.File
+	level int
+}
+
+// newSpillPartition creates the fanout files for one spill level.
+func newSpillPartition(ctx *Context, level int) (*spillPartition, error) {
+	sp := &spillPartition{files: make([]*resource.File, spillFanout), level: level}
+	for i := range sp.files {
+		f, err := ctx.Work.Create()
+		if err != nil {
+			sp.remove()
+			return nil, err
+		}
+		sp.files[i] = f
+	}
+	resource.NoteSpillLevel(level)
+	return sp, nil
+}
+
+// add writes a row to its key's partition file.
+func (sp *spillPartition) add(key string, row types.Row) error {
+	return sp.files[partOf(key, sp.level, spillFanout)].AppendRow(row)
+}
+
+// finish completes the write phase of every partition file.
+func (sp *spillPartition) finish() error {
+	for _, f := range sp.files {
+		if err := f.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remove deletes every partition file (teardown / error paths).
+func (sp *spillPartition) remove() {
+	if sp == nil {
+		return
+	}
+	for _, f := range sp.files {
+		if f != nil {
+			f.Remove()
+		}
+	}
+}

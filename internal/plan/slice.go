@@ -41,6 +41,14 @@ type Plan struct {
 	// SegFileUpdatesExpected marks DML plans whose QEs piggyback catalog
 	// changes back to the master (§3.1).
 	SegFileUpdatesExpected bool
+	// MemGrant is the query's per-node memory grant in bytes, split off
+	// the session's resource queue memory_limit by the dispatcher (0 =
+	// unlimited). Like the rest of the plan it travels self-described, so
+	// stateless QEs enforce it without consulting the master.
+	MemGrant int64
+	// WorkMem is the per-operator spill threshold in bytes (the work_mem
+	// session setting; 0 disables budget-triggered spilling).
+	WorkMem int64
 }
 
 // SenderHint lets the planner pin a motion's child slice to a subset of

@@ -1,0 +1,234 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hawq/internal/clock"
+)
+
+// ErrQueueBusy is returned by Manager.Drop for a queue with admitted or
+// waiting statements.
+var ErrQueueBusy = errors.New("resource: queue busy")
+
+// Manager is the QD-side registry of resource queues. It mirrors the
+// catalog's hawq_resqueue rows (the engine registers/unregisters queues
+// as DDL commits) and owns the runtime admission state the catalog
+// doesn't: active counts, FIFO waiters, wait-time stats.
+type Manager struct {
+	clk    clock.Clock
+	mu     sync.Mutex
+	queues map[string]*Queue
+}
+
+// NewManager creates an empty queue registry on the given clock (nil =
+// wall clock). Queue wait times are measured with it so chaos runs on a
+// Sim clock stay deterministic.
+func NewManager(clk clock.Clock) *Manager {
+	return &Manager{clk: clock.Default(clk), queues: make(map[string]*Queue)}
+}
+
+// Create registers a queue. activeStatements <= 0 means unlimited
+// concurrency; memLimit <= 0 means no memory grant (operators fall back
+// to work_mem alone).
+func (m *Manager) Create(name string, activeStatements int, memLimit int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.queues[name]; ok {
+		return fmt.Errorf("resource: queue %q already exists", name)
+	}
+	m.queues[name] = &Queue{name: name, clk: m.clk, slots: activeStatements, memLimit: memLimit}
+	return nil
+}
+
+// Drop unregisters a queue. A queue with admitted or waiting statements
+// is refused with ErrQueueBusy so in-flight work keeps a valid queue.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.queues[name]
+	if !ok {
+		return fmt.Errorf("resource: queue %q does not exist", name)
+	}
+	q.mu.Lock()
+	busy := q.active > 0 || len(q.waiters) > 0
+	q.mu.Unlock()
+	if busy {
+		return fmt.Errorf("%w: %q has admitted or waiting statements", ErrQueueBusy, name)
+	}
+	delete(m.queues, name)
+	return nil
+}
+
+// Lookup returns the named queue, or nil.
+func (m *Manager) Lookup(name string) *Queue {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queues[name]
+}
+
+// List returns a stats snapshot of every queue, sorted by name.
+func (m *Manager) List() []QueueStats {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.queues))
+	for name := range m.queues {
+		names = append(names, name)
+	}
+	qs := make([]*Queue, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		qs = append(qs, m.queues[name])
+	}
+	m.mu.Unlock()
+	out := make([]QueueStats, len(qs))
+	for i, q := range qs {
+		out[i] = q.Stats()
+	}
+	return out
+}
+
+// Queue is one FIFO admission queue: at most slots statements run
+// concurrently, the rest wait in arrival order, and each admitted
+// statement's memory grant is memLimit split across the cluster's
+// nodes by the dispatcher.
+type Queue struct {
+	name     string
+	clk      clock.Clock
+	slots    int
+	memLimit int64
+
+	mu      sync.Mutex
+	active  int
+	waiters []chan struct{}
+	// Stats (guarded by mu).
+	admitted   int64
+	waits      int64
+	totalWait  time.Duration
+	peakQueued int
+}
+
+// QueueStats is a point-in-time snapshot of a queue's configuration and
+// admission counters, rendered by SHOW resource_queues.
+type QueueStats struct {
+	// Name is the queue name.
+	Name string
+	// ActiveStatements is the configured concurrency limit (0 =
+	// unlimited).
+	ActiveStatements int
+	// MemoryLimit is the configured per-statement memory grant in bytes
+	// (0 = none).
+	MemoryLimit int64
+	// Active is the number of statements currently admitted.
+	Active int
+	// Queued is the number of statements currently waiting.
+	Queued int
+	// Admitted counts statements ever admitted.
+	Admitted int64
+	// Waits counts admissions that had to queue first.
+	Waits int64
+	// TotalWait is the cumulative time spent queued.
+	TotalWait time.Duration
+	// PeakQueued is the deepest the wait queue ever got.
+	PeakQueued int
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// MemLimit returns the per-statement memory grant in bytes (0 = none).
+func (q *Queue) MemLimit() int64 { return q.memLimit }
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Name:             q.name,
+		ActiveStatements: q.slots,
+		MemoryLimit:      q.memLimit,
+		Active:           q.active,
+		Queued:           len(q.waiters),
+		Admitted:         q.admitted,
+		Waits:            q.waits,
+		TotalWait:        q.totalWait,
+		PeakQueued:       q.peakQueued,
+	}
+}
+
+// Acquire admits one statement, blocking FIFO behind earlier arrivals
+// while the queue is at its active_statements limit. A done ctx
+// (statement timeout, client cancel) aborts the wait cleanly — the
+// statement is removed from the queue, or if its slot was handed over
+// in the same instant, the slot is passed on — and the context's cause
+// is returned. Every successful Acquire must be paired with Release.
+func (q *Queue) Acquire(ctx context.Context) error {
+	q.mu.Lock()
+	if q.slots <= 0 || q.active < q.slots {
+		q.active++
+		q.admitted++
+		q.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	q.waiters = append(q.waiters, ch)
+	if len(q.waiters) > q.peakQueued {
+		q.peakQueued = len(q.waiters)
+	}
+	q.waits++
+	q.mu.Unlock()
+	start := q.clk.Now()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-ch:
+		// Release handed us its slot (active already counts us).
+		q.mu.Lock()
+		q.admitted++
+		q.totalWait += q.clk.Since(start)
+		q.mu.Unlock()
+		return nil
+	case <-done:
+		q.mu.Lock()
+		for i, w := range q.waiters {
+			if w == ch {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				q.totalWait += q.clk.Since(start)
+				q.mu.Unlock()
+				return context.Cause(ctx)
+			}
+		}
+		// Lost the race: a Release already removed us and transferred
+		// its slot. Pass the slot straight on rather than keeping it.
+		q.totalWait += q.clk.Since(start)
+		q.releaseLocked()
+		q.mu.Unlock()
+		return context.Cause(ctx)
+	}
+}
+
+// Release returns an admitted statement's slot, handing it to the
+// oldest waiter if any.
+func (q *Queue) Release() {
+	q.mu.Lock()
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+// releaseLocked transfers the caller's slot to the next waiter, or
+// frees it. Callers hold q.mu.
+func (q *Queue) releaseLocked() {
+	if len(q.waiters) > 0 {
+		ch := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		close(ch) // slot transferred: active unchanged
+		return
+	}
+	q.active--
+}

@@ -1,0 +1,162 @@
+// Package resource is HAWQ's workload manager: the master-side
+// admission control that keeps concurrent statements inside per-queue
+// limits (resource queues, §2.4's QD-side dispatch discipline), the
+// per-query memory accounting that turns a queue's memory_limit into
+// per-node grants enforced during execution, and the spill-to-disk
+// workfile store the memory-hungry operators (hash join, hash agg,
+// sort) degrade into when their reservation is exhausted.
+//
+// The three pieces compose: a statement is admitted by its session's
+// resource queue (FIFO, context-aware so statement timeouts and client
+// cancels abort a queued statement cleanly), executes under a
+// per-query Account sized from the queue's memory_limit, and operators
+// split the session's work_mem across themselves — exceeding it is not
+// an error but a graceful switch to batch-encoded workfiles that are
+// removed on query teardown.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrOutOfMemory is returned when a query's memory grant is exhausted
+// and the operator holding the last reservation cannot degrade any
+// further. It surfaces to the client as a clean out-of-memory error
+// rather than an engine crash.
+var ErrOutOfMemory = errors.New("resource: out of memory: query memory grant exhausted")
+
+// Account tracks one query's memory grant on one node (the QD or one
+// segment). Operators reserve against it as their in-memory state
+// grows and release on teardown; a nil *Account is a valid "unlimited"
+// account, so callers never need to branch.
+type Account struct {
+	limit int64
+	used  atomic.Int64
+	peak  atomic.Int64
+}
+
+// NewAccount returns an account enforcing the given byte limit
+// (limit <= 0 means unlimited).
+func NewAccount(limit int64) *Account {
+	return &Account{limit: limit}
+}
+
+// Grow reserves n more bytes, failing with ErrOutOfMemory when the
+// grant would be exceeded (the reservation is then not taken).
+func (a *Account) Grow(n int64) error {
+	if a == nil {
+		return nil
+	}
+	used := a.used.Add(n)
+	if a.limit > 0 && used > a.limit {
+		a.used.Add(-n)
+		return fmt.Errorf("%w (grant %d bytes)", ErrOutOfMemory, a.limit)
+	}
+	for {
+		peak := a.peak.Load()
+		if used <= peak || a.peak.CompareAndSwap(peak, used) {
+			return nil
+		}
+	}
+}
+
+// Shrink releases n reserved bytes.
+func (a *Account) Shrink(n int64) {
+	if a != nil {
+		a.used.Add(-n)
+	}
+}
+
+// Used returns the bytes currently reserved.
+func (a *Account) Used() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.used.Load()
+}
+
+// Peak returns the high-water reservation.
+func (a *Account) Peak() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.peak.Load()
+}
+
+// Limit returns the grant (0 = unlimited).
+func (a *Account) Limit() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.limit
+}
+
+// ParseBytes reads a human memory size: a bare integer is bytes, and
+// the case-insensitive suffixes kB/MB/GB scale by 2^10/2^20/2^30
+// (work_mem and memory_limit settings). Zero disables the limit.
+func ParseBytes(v string) (int64, error) {
+	s := strings.TrimSpace(v)
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(lower, "kb"):
+		mult, s = 1<<10, s[:len(s)-2]
+	case strings.HasSuffix(lower, "mb"):
+		mult, s = 1<<20, s[:len(s)-2]
+	case strings.HasSuffix(lower, "gb"):
+		mult, s = 1<<30, s[:len(s)-2]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("resource: bad memory size %q", v)
+	}
+	return n * mult, nil
+}
+
+// FormatBytes renders a byte count the way ParseBytes reads it, using
+// the largest exact unit.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return strconv.FormatInt(n>>30, 10) + "GB"
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return strconv.FormatInt(n>>20, 10) + "MB"
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return strconv.FormatInt(n>>10, 10) + "kB"
+	}
+	return strconv.FormatInt(n, 10)
+}
+
+// Global spill counters, sampled by tests and benchmarks the way
+// types.PoolStats samples the batch pool. spillLevelMax records the
+// deepest recursive spill level any operator reached.
+var (
+	spillFiles    atomic.Int64
+	spillBytes    atomic.Int64
+	spillLevelMax atomic.Int64
+)
+
+// SpillStats reports the cumulative number of workfiles created and
+// bytes written to them, process-wide.
+func SpillStats() (files, bytes int64) {
+	return spillFiles.Load(), spillBytes.Load()
+}
+
+// MaxSpillLevel reports the deepest recursive spill level observed
+// process-wide (0 = first-level spills only).
+func MaxSpillLevel() int64 { return spillLevelMax.Load() }
+
+// NoteSpillLevel records that an operator spilled at the given
+// recursion level.
+func NoteSpillLevel(level int) {
+	for {
+		cur := spillLevelMax.Load()
+		if int64(level) <= cur || spillLevelMax.CompareAndSwap(cur, int64(level)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hawq/internal/clock"
+)
+
+func TestAccountGrowShrink(t *testing.T) {
+	a := NewAccount(100)
+	if err := a.Grow(60); err != nil {
+		t.Fatalf("Grow(60): %v", err)
+	}
+	if err := a.Grow(50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Grow past limit: got %v, want ErrOutOfMemory", err)
+	}
+	if got := a.Used(); got != 60 {
+		t.Fatalf("failed Grow must not reserve: used=%d", got)
+	}
+	if err := a.Grow(40); err != nil {
+		t.Fatalf("Grow(40): %v", err)
+	}
+	a.Shrink(100)
+	if got, peak := a.Used(), a.Peak(); got != 0 || peak != 100 {
+		t.Fatalf("used=%d peak=%d, want 0/100", got, peak)
+	}
+}
+
+func TestAccountNilUnlimited(t *testing.T) {
+	var a *Account
+	if err := a.Grow(1 << 40); err != nil {
+		t.Fatalf("nil account Grow: %v", err)
+	}
+	a.Shrink(1 << 40)
+	if a.Used() != 0 || a.Peak() != 0 || a.Limit() != 0 {
+		t.Fatal("nil account accessors must be zero")
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"4096", 4096, false},
+		{"64kB", 64 << 10, false},
+		{"64KB", 64 << 10, false},
+		{"2MB", 2 << 20, false},
+		{"1gb", 1 << 30, false},
+		{" 8 MB ", 8 << 20, false},
+		{"-1", 0, true},
+		{"lots", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.err != (err != nil) || got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+	for _, n := range []int64{0, 1, 1023, 64 << 10, 3 << 20, 2 << 30, (1 << 20) + 1} {
+		s := FormatBytes(n)
+		back, err := ParseBytes(s)
+		if err != nil || back != n {
+			t.Errorf("FormatBytes(%d) = %q does not round-trip: %d, %v", n, s, back, err)
+		}
+	}
+}
+
+func TestQueueAdmitsUpToLimit(t *testing.T) {
+	m := NewManager(nil)
+	if err := m.Create("adhoc", 2, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	q := m.Lookup("adhoc")
+	if q == nil || q.MemLimit() != 1<<20 {
+		t.Fatalf("Lookup: %+v", q)
+	}
+	ctx := context.Background()
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := q.Stats()
+	if st.Active != 2 || st.Admitted != 2 || st.Waits != 0 {
+		t.Fatalf("stats after two admits: %+v", st)
+	}
+	q.Release()
+	q.Release()
+	if st := q.Stats(); st.Active != 0 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+}
+
+func TestQueueFIFOAndSlotTransfer(t *testing.T) {
+	m := NewManager(nil)
+	if err := m.Create("serial", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := m.Lookup("serial")
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Admit strictly in arrival order: start waiter i only once the
+		// queue depth shows i earlier waiters.
+		for {
+			if q.Stats().Queued == i {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := q.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			q.Release()
+		}(i)
+	}
+	for {
+		if q.Stats().Queued == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.Release()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+	st := q.Stats()
+	if st.Active != 0 || st.Queued != 0 || st.Admitted != waiters+1 || st.Waits != waiters || st.PeakQueued != waiters {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
+func TestQueueAcquireCanceled(t *testing.T) {
+	m := NewManager(nil)
+	if err := m.Create("q", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := m.Lookup("q")
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("statement timeout")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- q.Acquire(ctx) }()
+	for q.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel(cause)
+	if err := <-errCh; !errors.Is(err, cause) {
+		t.Fatalf("canceled Acquire: got %v, want %v", err, cause)
+	}
+	if st := q.Stats(); st.Queued != 0 {
+		t.Fatalf("canceled waiter not dequeued: %+v", st)
+	}
+	// The slot is still held by the first statement; releasing it must
+	// leave the queue idle, not double-count.
+	q.Release()
+	if st := q.Stats(); st.Active != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+	// The queue still admits normally.
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	q.Release()
+}
+
+func TestQueueCancelReleaseRace(t *testing.T) {
+	// Hammer the ctx-done vs slot-transfer race: a waiter whose context
+	// is canceled at the same instant Release hands it the slot must
+	// pass the slot on, never strand it.
+	m := NewManager(nil)
+	if err := m.Create("race", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := m.Lookup("race")
+	for iter := 0; iter < 200; iter++ {
+		if err := q.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() { errCh <- q.Acquire(ctx) }()
+		for q.Stats().Queued != 1 {
+			time.Sleep(time.Microsecond)
+		}
+		go cancel()
+		q.Release()
+		if err := <-errCh; err == nil {
+			// Waiter won the race and was admitted; release its slot.
+			q.Release()
+		}
+		cancel()
+		st := q.Stats()
+		if st.Active != 0 || st.Queued != 0 {
+			t.Fatalf("iter %d: stranded slot: %+v", iter, st)
+		}
+	}
+}
+
+func TestQueueWaitTimeUsesInjectedClock(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	m := NewManager(sim)
+	if err := m.Create("timed", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := m.Lookup("timed")
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- q.Acquire(context.Background()) }()
+	for q.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	sim.Advance(42 * time.Second)
+	q.Release()
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if st := q.Stats(); st.TotalWait != 42*time.Second {
+		t.Fatalf("TotalWait = %v, want 42s (virtual)", st.TotalWait)
+	}
+	q.Release()
+}
+
+func TestManagerCreateDrop(t *testing.T) {
+	m := NewManager(nil)
+	if err := m.Create("a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create("a", 2, 0); err == nil {
+		t.Fatal("duplicate Create must fail")
+	}
+	if err := m.Drop("missing"); err == nil {
+		t.Fatal("Drop of unknown queue must fail")
+	}
+	q := m.Lookup("a")
+	if err := q.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Drop("a"); !errors.Is(err, ErrQueueBusy) {
+		t.Fatalf("Drop of busy queue: got %v, want ErrQueueBusy", err)
+	}
+	q.Release()
+	if err := m.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Lookup("a") != nil {
+		t.Fatal("queue still present after Drop")
+	}
+	if err := m.Create("b", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Create("c", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, st := range m.List() {
+		names = append(names, st.Name)
+	}
+	if len(names) != 2 || names[0] != "b" || names[1] != "c" {
+		t.Fatalf("List: %v", names)
+	}
+}

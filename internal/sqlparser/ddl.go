@@ -101,6 +101,48 @@ func (c *CreateExternalTableStmt) String() string {
 		c.Name, strings.Join(cols, ", "), c.Location, c.Format)
 }
 
+// CreateResourceQueueStmt is CREATE RESOURCE QUEUE name WITH
+// (active_statements=N, memory_limit='BYTES') — the workload-manager
+// admission object of §2.1's resource manager.
+type CreateResourceQueueStmt struct {
+	Name string
+	// ActiveStatements caps concurrently running statements (0 =
+	// unlimited).
+	ActiveStatements int64
+	// MemoryLimit is the per-query memory grant spec ("256MB", "1048576",
+	// ...); empty means unlimited.
+	MemoryLimit string
+}
+
+func (*CreateResourceQueueStmt) stmt() {}
+
+// String renders the node back to SQL text.
+func (c *CreateResourceQueueStmt) String() string {
+	var opts []string
+	if c.ActiveStatements > 0 {
+		opts = append(opts, fmt.Sprintf("active_statements=%d", c.ActiveStatements))
+	}
+	if c.MemoryLimit != "" {
+		opts = append(opts, fmt.Sprintf("memory_limit='%s'", c.MemoryLimit))
+	}
+	s := "CREATE RESOURCE QUEUE " + c.Name
+	if len(opts) > 0 {
+		s += " WITH (" + strings.Join(opts, ", ") + ")"
+	}
+	return s
+}
+
+// DropResourceQueueStmt is DROP RESOURCE QUEUE name.
+type DropResourceQueueStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropResourceQueueStmt) stmt() {}
+
+// String renders the node back to SQL text.
+func (d *DropResourceQueueStmt) String() string { return "DROP RESOURCE QUEUE " + d.Name }
+
 // DropTableStmt is DROP TABLE.
 type DropTableStmt struct {
 	Name     string

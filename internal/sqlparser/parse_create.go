@@ -7,6 +7,9 @@ func (p *parser) parseCreate() (Statement, error) {
 	if p.matchKw("external") {
 		return p.parseCreateExternal()
 	}
+	if p.matchKw("resource") {
+		return p.parseCreateResourceQueue()
+	}
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}
@@ -74,6 +77,57 @@ func (p *parser) parseCreate() (Statement, error) {
 			return c, nil
 		}
 	}
+}
+
+// parseCreateResourceQueue parses CREATE RESOURCE QUEUE name WITH
+// (active_statements=N, memory_limit='256MB').
+func (p *parser) parseCreateResourceQueue() (Statement, error) {
+	if err := p.expectKw("queue"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	c := &CreateResourceQueueStmt{Name: name}
+	if !p.matchKw("with") {
+		return c, nil
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		key, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		t := p.next()
+		if t.kind != tokIdent && t.kind != tokNumber && t.kind != tokString {
+			return nil, p.errf("bad resource queue option value")
+		}
+		switch key {
+		case "active_statements":
+			n, err := strconv.ParseInt(t.val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, p.errf("bad active_statements %q", t.val)
+			}
+			c.ActiveStatements = n
+		case "memory_limit":
+			c.MemoryLimit = t.val
+		default:
+			return nil, p.errf("unknown resource queue option %q", key)
+		}
+		if !p.matchOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 func (p *parser) parseColumnDefs() ([]ColumnDef, error) {

@@ -266,6 +266,24 @@ func (p *parser) parseSet() (Statement, error) {
 
 func (p *parser) parseDrop() (Statement, error) {
 	p.next()
+	if p.matchKw("resource") {
+		if err := p.expectKw("queue"); err != nil {
+			return nil, err
+		}
+		d := &DropResourceQueueStmt{}
+		if p.matchKw("if") {
+			if err := p.expectKw("exists"); err != nil {
+				return nil, err
+			}
+			d.IfExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d.Name = name
+		return d, nil
+	}
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}

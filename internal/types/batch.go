@@ -32,6 +32,10 @@ type Batch struct {
 	width int
 	n     int
 	arena []Datum
+	// pooled marks a batch currently sitting in the pool; PutBatch uses
+	// it to panic on a double return, which would otherwise hand the
+	// same arena to two owners and corrupt rows at a distance.
+	pooled bool
 }
 
 // Reset clears the batch to zero rows of the given width, retaining the
@@ -134,17 +138,25 @@ func PoolStats() (gets, puts int64) {
 func GetBatch(width int) *Batch {
 	batchGets.Add(1)
 	b := batchPool.Get().(*Batch)
+	b.pooled = false
 	b.Reset(width)
 	return b
 }
 
 // PutBatch returns a batch to the pool for reuse. The caller must not
-// touch the batch (or any row view into it) afterwards.
+// touch the batch (or any row view into it) afterwards; returning the
+// same batch twice panics rather than silently aliasing its arena to
+// two future owners.
 func PutBatch(b *Batch) {
-	if b != nil {
-		batchPuts.Add(1)
-		batchPool.Put(b)
+	if b == nil {
+		return
 	}
+	if b.pooled {
+		panic("types: PutBatch called twice on the same batch")
+	}
+	b.pooled = true
+	batchPuts.Add(1)
+	batchPool.Put(b)
 }
 
 // EncodeBatch appends the wire encoding of every row in b to buf. The

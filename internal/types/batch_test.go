@@ -42,6 +42,23 @@ func TestBatchAppendAndViews(t *testing.T) {
 	}
 }
 
+func TestPutBatchTwicePanics(t *testing.T) {
+	b := GetBatch(1)
+	gets0, puts0 := PoolStats()
+	PutBatch(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double PutBatch did not panic")
+		}
+		// The second Put counted nothing: gets-puts still balances.
+		gets1, puts1 := PoolStats()
+		if gets1-gets0 != 0 || puts1-puts0 != 1 {
+			t.Fatalf("pool stats after double put: gets +%d, puts +%d", gets1-gets0, puts1-puts0)
+		}
+	}()
+	PutBatch(b)
+}
+
 func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
 	rows := batchTestRows()
 	b := GetBatch(0)

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh runs the vectorized-execution micro-benchmarks (row vs batch
 # for encode/decode, storage scans, the scan→filter→project pipeline,
-# hash aggregation, and motion loopback) and writes the results to
-# BENCH_micro.json as {"BenchmarkName/variant": {ns_op, b_op, allocs_op}}.
+# hash aggregation, and motion loopback) plus the workload-manager
+# spill microbench (in-memory vs workfile-spilling hash join, with
+# spilled bytes per op) and writes the results to BENCH_micro.json as
+# {"BenchmarkName/variant": {ns_op, b_op, allocs_op}}.
 #
 # Usage:
 #   scripts/bench.sh            # full run (benchtime 2s per benchmark)
@@ -25,7 +27,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     RACE=(-race)
 fi
 
-PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback'
+PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback|BenchmarkSpillJoin'
 PKGS="./internal/types ./internal/storage ./internal/executor"
 
 OUT="BENCH_micro.json"

@@ -3,10 +3,11 @@
 # fixed set of schedule seeds under the race detector. Each seed drives
 # a randomized-but-reproducible fault schedule (segment kills, DataNode
 # and volume failures, interconnect loss bursts, stalled peers, client
-# cancels) against TPC-H queries on a simulated cluster and asserts the
-# robustness invariants: every query either returns the correct result
-# or a clean error — never a hang, a wrong answer, a leaked goroutine,
-# or an unreturned pooled batch.
+# cancels, and memory-pressure spill cancels) against TPC-H queries on
+# a simulated cluster and asserts the robustness invariants: every
+# query either returns the correct result or a clean error — never a
+# hang, a wrong answer, a leaked goroutine, an unreturned pooled batch,
+# or a workfile left behind in the spill directory.
 #
 # Usage:
 #   scripts/chaos.sh            # default 20 seeds, -race
@@ -26,7 +27,7 @@ trap 'rm -f "$OUT"' EXIT
 
 echo "==> chaos harness: $SEEDS seeds under -race"
 if ! go test -race -count=1 -timeout 900s \
-        -run 'TestChaosSeeds|TestCancelUnderLossBoundedTeardown|TestScheduleIsDeterministic' \
+        -run 'TestChaosSeeds|TestCancelUnderLossBoundedTeardown|TestSpillCancelLeavesNoWorkfiles|TestScheduleIsDeterministic' \
         ./internal/chaos -chaos.seeds="$SEEDS" -v 2>&1 | tee "$OUT" | grep -E '^(=== RUN|--- (PASS|FAIL)|ok|FAIL|PASS)'; then
     echo
     echo "==> chaos harness FAILED; one-line repros:"

@@ -9,6 +9,11 @@
 #   4. go test -race ./...       — full test suite under the race
 #                                  detector, including the goroutine
 #                                  leak checkers wired into TestMain
+#   4b. low-work_mem spill gate  — the spilling parity tests (executor,
+#                                  engine, TPC-H) re-run explicitly
+#                                  under -race, so a budget-starved
+#                                  query racing its own workfiles is
+#                                  caught even when step 4 is trimmed
 #   5. scripts/bench.sh --smoke  — every micro-benchmark for one
 #                                  iteration under -race, so the bench
 #                                  harness itself can't rot
@@ -34,6 +39,11 @@ go run ./cmd/hawq-check ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> low-work_mem spill gate (-race)"
+go test -race -count=1 \
+    -run 'TestSpillParity|TestWorkMemSpillMatchesInMemory|TestMemoryLimitExhaustionIsCleanError|TestHashJoinSpillParity|TestHashAggSpillParity|TestSortSpillsToWorkfileStore|TestSpillObservesCancel' \
+    ./internal/executor ./internal/engine ./internal/tpch
 
 echo "==> bench smoke (-benchtime=1x -race)"
 scripts/bench.sh --smoke
