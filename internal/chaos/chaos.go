@@ -22,6 +22,7 @@ import (
 	"hawq/internal/clock"
 	"hawq/internal/engine"
 	"hawq/internal/interconnect"
+	"hawq/internal/obs"
 	"hawq/internal/resource"
 	"hawq/internal/retry"
 	"hawq/internal/testutil"
@@ -436,12 +437,17 @@ func canonical(rows []types.Row) string {
 
 // awaitPoolBalance waits for the batch pool's outstanding count to
 // return to its baseline; teardown runs asynchronously, so the check
-// retries until the window expires.
+// retries until the window expires. Once the pool is balanced it also
+// cross-checks the obs types.batch_in_use gauge (what SHOW metrics
+// reports) against the pool's own accounting.
 func awaitPoolBalance(want int64, window time.Duration) error {
 	deadline := time.Now().Add(window)
 	for {
 		gets, puts := types.PoolStats()
 		if gets-puts == want {
+			if g := obs.Value("types.batch_in_use"); g != want {
+				return fmt.Errorf("obs gauge types.batch_in_use = %d, want %d", g, want)
+			}
 			return nil
 		}
 		if time.Now().After(deadline) {

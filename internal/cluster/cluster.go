@@ -24,6 +24,7 @@ import (
 	"hawq/internal/executor"
 	"hawq/internal/hdfs"
 	"hawq/internal/interconnect"
+	"hawq/internal/obs"
 	"hawq/internal/plan"
 	"hawq/internal/resource"
 	"hawq/internal/retry"
@@ -423,6 +424,11 @@ type QueryResult struct {
 	Rows   []types.Row
 	// Updates are the piggybacked segment-file changes from DML (§3.1).
 	Updates []executor.SegFileUpdate
+	// Stats are the per-(slice, segment) operator statistics piggybacked
+	// back by the gang when the plan asked for them (EXPLAIN ANALYZE,
+	// slow-query log). Arrival order follows gang completion and is not
+	// deterministic; plan.MergeStats folds them order-independently.
+	Stats []obs.SliceStats
 }
 
 // Dispatch runs a sliced plan: gangs of QEs execute the non-top slices
@@ -449,6 +455,20 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 		updMu.Lock()
 		res.Updates = append(res.Updates, u)
 		updMu.Unlock()
+	}
+
+	// Per-query instrumentation: when the plan asks for stats, every
+	// slice execution gets a StatsRecorder and ships its bundle back
+	// here on completion — piggybacked on the query result exactly like
+	// the SegFileUpdate metadata above.
+	var statsMu sync.Mutex
+	var onStats func(obs.SliceStats)
+	if p.CollectStats {
+		onStats = func(ss obs.SliceStats) {
+			statsMu.Lock()
+			res.Stats = append(res.Stats, ss)
+			statsMu.Unlock()
+		}
 	}
 
 	// Workload management (§2.1's resource manager): when the plan
@@ -522,7 +542,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 			wg.Add(1)
 			go func(si, segID int) {
 				defer wg.Done()
-				if err := c.runQE(ctx, query, encoded, si, segID, resFor(segID), p.WorkMem, onUpdate); err != nil {
+				if err := c.runQE(ctx, query, encoded, si, segID, resFor(segID), p.WorkMem, onUpdate, onStats); err != nil {
 					select {
 					case errCh <- fmt.Errorf("segment %d slice %d: %w", segID, si, err):
 					default:
@@ -549,6 +569,10 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 		OnSegFileUpdate: onUpdate,
 		MotionPayload:   c.cfg.MotionPayload,
 		RowMode:         c.cfg.RowMode,
+		Clock:           c.clk,
+	}
+	if onStats != nil {
+		qdCtx.Stats = executor.NewStatsRecorder(c.clk, p.Slices[0].Root, 0, plan.QDSegment)
 	}
 	op, err := executor.Build(qdCtx, p.Slices[0].Root)
 	var topErr error
@@ -565,6 +589,9 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 	}
 	if topErr != nil {
 		cancel()
+	}
+	if topErr == nil && onStats != nil {
+		onStats(qdCtx.Stats.Stats())
 	}
 	wg.Wait()
 	close(errCh)
@@ -589,7 +616,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 
 // runQE executes one slice as a QE on one segment. The QE decodes the
 // self-described plan itself — stateless segment, no catalog round trip.
-func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, nr *queryNodeRes, workMem int64, onUpdate func(executor.SegFileUpdate)) error {
+func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, nr *queryNodeRes, workMem int64, onUpdate func(executor.SegFileUpdate), onStats func(obs.SliceStats)) error {
 	var net interconnect.Node
 	var localHost string
 	if segID == plan.QDSegment {
@@ -634,6 +661,17 @@ func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, s
 		LocalHost:       localHost,
 		MotionPayload:   c.cfg.MotionPayload,
 		RowMode:         c.cfg.RowMode,
+		Clock:           c.clk,
 	}
-	return executor.RunSlice(ectx, decoded, sliceID)
+	if onStats != nil {
+		ectx.Stats = executor.NewStatsRecorder(c.clk, decoded.Slices[sliceID].Root, sliceID, segID)
+	}
+	if err := executor.RunSlice(ectx, decoded, sliceID); err != nil {
+		return err
+	}
+	// Ship this slice's stats back to the QD, piggybacked on completion.
+	if onStats != nil {
+		onStats(ectx.Stats.Stats())
+	}
+	return nil
 }

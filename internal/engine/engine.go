@@ -16,6 +16,7 @@ import (
 
 	"hawq/internal/clock"
 	"hawq/internal/cluster"
+	"hawq/internal/obs"
 	"hawq/internal/resource"
 	"hawq/internal/sqlparser"
 	"hawq/internal/tx"
@@ -47,10 +48,18 @@ type Engine struct {
 	cl *cluster.Cluster
 	// res is the workload manager's runtime queue registry, mirroring
 	// the hawq_resqueue catalog table.
-	res   *resource.Manager
+	res *resource.Manager
+	// slow is the engine-wide slow-query log: sessions with
+	// slow_query_log_threshold set record statements that ran at least
+	// that long, together with their EXPLAIN ANALYZE summary.
+	slow  *obs.SlowLog
 	mu    sync.Mutex
 	flags PlannerFlags
 }
+
+// SlowLog exposes the engine-wide slow-query log (tests and
+// monitoring; SHOW slow_queries serves the same data over SQL).
+func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
 
 // SetFlags replaces the planner ablation flags.
 func (e *Engine) SetFlags(f PlannerFlags) {
@@ -72,7 +81,7 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cl: cl, res: resource.NewManager(cl.Clock())}
+	e := &Engine{cl: cl, res: resource.NewManager(cl.Clock()), slow: obs.NewSlowLog(0)}
 	// Mirror any catalog-persisted resource queues into the runtime
 	// manager (a catalog restored from WAL replay arrives with queues
 	// already defined).
@@ -126,6 +135,15 @@ type Session struct {
 	// workMem is the session's work_mem in bytes (0 = no per-operator
 	// budget, so operators never spill on memory pressure).
 	workMem int64
+	// slowThresh is the session's slow_query_log_threshold (0 =
+	// disabled). When set, SELECT dispatches collect per-operator stats
+	// and statements running at least this long are recorded in the
+	// engine's slow-query log with their EXPLAIN ANALYZE summary.
+	slowThresh time.Duration
+	// lastStats holds the EXPLAIN ANALYZE summary of the most recent
+	// dispatch of the current statement, when the session collected
+	// stats for the slow-query log. Cleared at statement start.
+	lastStats string
 
 	// qmu guards qcancel, the cancel function of the statement
 	// currently executing (nil between statements).
@@ -216,19 +234,19 @@ func (s *Session) beginStatement() (context.Context, func()) {
 	}
 }
 
-// parseTimeout reads a statement_timeout value: a bare integer is
-// milliseconds (postgres convention), otherwise a Go duration string;
-// 0 disables the timeout.
+// parseTimeout reads a duration-valued setting (statement_timeout,
+// slow_query_log_threshold): a bare integer is milliseconds (postgres
+// convention), otherwise a Go duration string; 0 disables the setting.
 func parseTimeout(v string) (time.Duration, error) {
 	if ms, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
 		if ms < 0 {
-			return 0, fmt.Errorf("engine: statement_timeout must be >= 0")
+			return 0, fmt.Errorf("engine: timeout setting must be >= 0")
 		}
 		return time.Duration(ms) * time.Millisecond, nil
 	}
 	d, err := time.ParseDuration(strings.TrimSpace(v))
 	if err != nil || d < 0 {
-		return 0, fmt.Errorf("engine: bad statement_timeout %q", v)
+		return 0, fmt.Errorf("engine: bad timeout value %q", v)
 	}
 	return d, nil
 }
@@ -281,6 +299,12 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 				return nil, err
 			}
 			s.timeout = d
+		case "slow_query_log_threshold":
+			d, err := parseTimeout(v.Value)
+			if err != nil {
+				return nil, err
+			}
+			s.slowThresh = d
 		case "work_mem":
 			n, err := resource.ParseBytes(v.Value)
 			if err != nil {
@@ -308,6 +332,10 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 		t = s.eng.cl.TxMgr.Begin(s.level)
 		auto = true
 	}
+	clk := s.eng.cl.Clock()
+	start := clk.Now()
+	s.lastStats = ""
+	engineQueries.Inc()
 	ctx, done := s.beginStatement()
 	release, err := s.admit(ctx, stmt)
 	if err != nil {
@@ -316,6 +344,7 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 			t.Abort()
 			s.releaseTx(t)
 		}
+		s.noteStatementDone(stmt, clk.Since(start), err)
 		return nil, err
 	}
 	res, err := s.runInTx(ctx, t, stmt)
@@ -323,6 +352,7 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 		release()
 	}
 	done()
+	s.noteStatementDone(stmt, clk.Since(start), err)
 	if auto {
 		if err != nil {
 			t.Abort()
@@ -337,6 +367,26 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 		return res, nil
 	}
 	return res, err
+}
+
+// noteStatementDone records a finished transactional statement in the
+// engine counters and, when the session's slow_query_log_threshold is
+// armed and the statement ran at least that long, in the engine-wide
+// slow-query log (with the EXPLAIN ANALYZE summary runSelectRows left,
+// if the statement dispatched one).
+func (s *Session) noteStatementDone(stmt sqlparser.Statement, d time.Duration, err error) {
+	if err != nil {
+		engineErrors.Inc()
+		switch {
+		case errors.Is(err, ErrQueryCanceled):
+			engineCancels.Inc()
+		case errors.Is(err, ErrStatementTimeout):
+			engineTimeouts.Inc()
+		}
+	}
+	if s.slowThresh > 0 && d >= s.slowThresh {
+		s.eng.slow.Add(obs.SlowLogEntry{SQL: stmt.String(), Duration: d, Summary: s.lastStats})
+	}
 }
 
 func (s *Session) runInTx(ctx context.Context, t *tx.Tx, stmt sqlparser.Statement) (*Result, error) {

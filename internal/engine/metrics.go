@@ -1,0 +1,14 @@
+package engine
+
+import "hawq/internal/obs"
+
+// Engine-level counters in the process-wide obs registry: every
+// transactional statement the session layer runs, split by outcome.
+// Resolved once at init so the per-statement cost is a single atomic
+// add.
+var (
+	engineQueries  = obs.GetCounter("engine.queries")
+	engineErrors   = obs.GetCounter("engine.errors")
+	engineCancels  = obs.GetCounter("engine.cancels")
+	engineTimeouts = obs.GetCounter("engine.timeouts")
+)

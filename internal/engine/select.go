@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"hawq/internal/cluster"
+	"hawq/internal/obs"
 	"hawq/internal/planner"
 	"hawq/internal/resource"
 	"hawq/internal/retry"
@@ -146,9 +148,17 @@ func (s *Session) runSelectRows(ctx context.Context, t *tx.Tx, stmt *sqlparser.S
 			return retry.Permanent(err)
 		}
 		s.applyResourceLimits(pl)
+		// A session with the slow-query log armed instruments every
+		// dispatch so the log entry can carry the analyze summary.
+		pl.CollectStats = s.slowThresh > 0
+		clk := s.eng.cl.Clock()
+		start := clk.Now()
 		res, err := s.eng.cl.Dispatch(ctx, pl, nil)
 		if err != nil {
 			return s.classifyDispatchErr(err)
+		}
+		if pl.CollectStats {
+			s.lastStats = pl.ExplainAnalyze(res.Stats, len(res.Rows), clk.Since(start))
 		}
 		rows, schema = res.Rows, pl.Schema
 		return nil
@@ -179,27 +189,95 @@ func (s *Session) classifyDispatchErr(err error) error {
 }
 
 // runExplain plans the inner statement and renders the sliced plan.
+// EXPLAIN ANALYZE additionally executes it with per-operator
+// instrumentation and annotates the rendering with the merged
+// per-slice runtime statistics the gang reported.
 func (s *Session) runExplain(ctx context.Context, t *tx.Tx, stmt *sqlparser.ExplainStmt) (*Result, error) {
 	sel, ok := stmt.Stmt.(*sqlparser.SelectStmt)
 	if !ok {
 		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
 	}
-	p := s.newPlanner(ctx, t)
-	pl, err := p.PlanSelect(sel)
-	if err != nil {
-		return nil, err
+	var text string
+	if stmt.Analyze {
+		// Execute like runSelectRows does (same locks, same resource
+		// limits), but with stats collection on and no restart policy:
+		// an analyze run that hit a fault reports the failed attempt.
+		tables := map[string]bool{}
+		collectTables(sel, tables)
+		if err := s.lockTables(t, tables, tx.AccessShare); err != nil {
+			return nil, err
+		}
+		p := s.newPlanner(ctx, t)
+		pl, err := p.PlanSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		s.applyResourceLimits(pl)
+		pl.CollectStats = true
+		clk := s.eng.cl.Clock()
+		start := clk.Now()
+		res, err := s.eng.cl.Dispatch(ctx, pl, nil)
+		if err != nil {
+			return nil, err
+		}
+		text = pl.ExplainAnalyze(res.Stats, len(res.Rows), clk.Since(start))
+	} else {
+		p := s.newPlanner(ctx, t)
+		pl, err := p.PlanSelect(sel)
+		if err != nil {
+			return nil, err
+		}
+		// Stamp the session's memory budgets so the per-slice Memory
+		// line reflects what a real dispatch would grant.
+		s.applyResourceLimits(pl)
+		text = pl.Explain()
 	}
 	schema := types.NewSchema(types.Column{Name: "QUERY PLAN", Kind: types.KindString})
 	var rows []types.Row
-	for _, line := range strings.Split(strings.TrimRight(pl.Explain(), "\n"), "\n") {
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
 		rows = append(rows, types.Row{types.NewString(line)})
 	}
 	return &Result{Schema: schema, Rows: rows, Tag: "EXPLAIN"}, nil
 }
 
-// runShow serves SHOW segments / SHOW tables.
+// runShow serves SHOW segments / SHOW tables / SHOW metrics and the
+// session settings.
 func (s *Session) runShow(t *tx.Tx, stmt *sqlparser.ShowStmt) (*Result, error) {
 	switch strings.ToLower(stmt.Name) {
+	case "metrics":
+		snap := obs.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		schema := types.NewSchema(
+			types.Column{Name: "name", Kind: types.KindString},
+			types.Column{Name: "value", Kind: types.KindInt64},
+		)
+		rows := make([]types.Row, 0, len(names))
+		for _, name := range names {
+			rows = append(rows, types.Row{types.NewString(name), types.NewInt64(snap[name])})
+		}
+		return &Result{Schema: schema, Rows: rows, Tag: "SHOW"}, nil
+	case "slow_query_log_threshold":
+		schema := types.NewSchema(types.Column{Name: "slow_query_log_threshold", Kind: types.KindString})
+		return &Result{Schema: schema, Rows: []types.Row{{types.NewString(s.slowThresh.String())}}, Tag: "SHOW"}, nil
+	case "slow_queries":
+		schema := types.NewSchema(
+			types.Column{Name: "sql", Kind: types.KindString},
+			types.Column{Name: "duration_ms", Kind: types.KindInt64},
+			types.Column{Name: "summary", Kind: types.KindString},
+		)
+		var rows []types.Row
+		for _, e := range s.eng.slow.Entries() {
+			rows = append(rows, types.Row{
+				types.NewString(e.SQL),
+				types.NewInt64(e.Duration.Milliseconds()),
+				types.NewString(e.Summary),
+			})
+		}
+		return &Result{Schema: schema, Rows: rows, Tag: "SHOW"}, nil
 	case "segments":
 		schema := types.NewSchema(
 			types.Column{Name: "id", Kind: types.KindInt32},

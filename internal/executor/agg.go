@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hawq/internal/expr"
+	"hawq/internal/obs"
 	"hawq/internal/plan"
 	"hawq/internal/resource"
 	"hawq/internal/types"
@@ -71,6 +72,12 @@ func newHashAggOp(ctx *Context, node *plan.HashAgg) (Operator, error) {
 	return &hashAggOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in), mem: memBudget{ctx: ctx}}, nil
 }
 
+// setOpStats implements statsSink: the aggregate charges its table peak
+// and partition spill traffic to this slot.
+func (a *hashAggOp) setOpStats(st *obs.OpStats) {
+	a.mem.st = st
+}
+
 // absorb folds one input row into its group, creating the group on first
 // sight — or, once spilling has begun, diverting rows for unseen keys to
 // their partition file. row may be an arena view; only datum values are
@@ -105,7 +112,7 @@ func (a *hashAggOp) absorb(row types.Row) error {
 				return err
 			}
 			if over {
-				sp, err := newSpillPartition(a.ctx, a.level)
+				sp, err := newSpillPartition(a.ctx, a.level, a.mem.st)
 				if err != nil {
 					return err
 				}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"hawq/internal/catalog"
+	"hawq/internal/clock"
 	"hawq/internal/hdfs"
 	"hawq/internal/interconnect"
 	"hawq/internal/plan"
@@ -94,6 +95,15 @@ type Context struct {
 	// the baseline; it is also the escape hatch if a batch operator
 	// misbehaves.
 	RowMode bool
+	// Clock is the node's time source for operator wall-time statistics
+	// (nil = wall clock; the chaos harness and golden tests inject
+	// clock.Sim so recorded durations are deterministic).
+	Clock clock.Clock
+	// Stats, when non-nil, makes Build wrap every operator of this slice
+	// in a stats decorator (EXPLAIN ANALYZE, slow-query log). The
+	// dispatcher creates one recorder per (slice, segment) and collects
+	// it after the slice completes.
+	Stats *StatsRecorder
 }
 
 // canceled reports the query's cancellation cause once Ctx is done, or
@@ -140,8 +150,21 @@ type Operator interface {
 	Close() error
 }
 
-// Build constructs the operator tree for a plan node.
+// Build constructs the operator tree for a plan node. When the context
+// carries a StatsRecorder, every operator (this node and, through the
+// recursion, its children) is wrapped in a stats decorator; parents
+// capture decorated children, so rows are counted at every plan edge.
 func Build(ctx *Context, n plan.Node) (Operator, error) {
+	op, err := buildNode(ctx, n)
+	if err != nil || ctx.Stats == nil {
+		return op, err
+	}
+	return ctx.Stats.wrap(n, op), nil
+}
+
+// buildNode constructs the undecorated operator for one plan node;
+// children recurse through Build so they pick up decoration.
+func buildNode(ctx *Context, n plan.Node) (Operator, error) {
 	switch v := n.(type) {
 	case *plan.Scan:
 		return newScanOp(ctx, v), nil

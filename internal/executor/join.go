@@ -2,6 +2,7 @@ package executor
 
 import (
 	"hawq/internal/expr"
+	"hawq/internal/obs"
 	"hawq/internal/plan"
 	"hawq/internal/resource"
 	"hawq/internal/types"
@@ -67,6 +68,12 @@ func newHashJoinOp(ctx *Context, node *plan.HashJoin) (Operator, error) {
 	j.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
 	j.rightBin = ctx.batchInput(r)
 	return j, nil
+}
+
+// setOpStats implements statsSink: the join charges its build-table
+// peak and grace-partition spill traffic to this slot.
+func (j *hashJoinOp) setOpStats(st *obs.OpStats) {
+	j.mem.st = st
 }
 
 // joinKey encodes the key columns; the bool reports whether any key was
@@ -143,7 +150,7 @@ func (j *hashJoinOp) Open() error {
 	if err := j.buildSP.finish(); err != nil {
 		return err
 	}
-	j.probeSP, err = newSpillPartition(j.ctx, 0)
+	j.probeSP, err = newSpillPartition(j.ctx, 0, j.mem.st)
 	if err != nil {
 		return err
 	}
@@ -176,7 +183,7 @@ func (j *hashJoinOp) Open() error {
 // flushed into level-0 partition files and its reservation released;
 // the rest of the build side streams straight to the partitions.
 func (j *hashJoinOp) spillBuild() error {
-	sp, err := newSpillPartition(j.ctx, 0)
+	sp, err := newSpillPartition(j.ctx, 0, j.mem.st)
 	if err != nil {
 		return err
 	}
@@ -299,11 +306,11 @@ func (j *hashJoinOp) loadPart(part joinPart) (bool, error) {
 // deeper pairs with a level+1 salted hash and queues them.
 func (j *hashJoinOp) repartition(part joinPart) error {
 	level := part.level + 1
-	bsp, err := newSpillPartition(j.ctx, level)
+	bsp, err := newSpillPartition(j.ctx, level, j.mem.st)
 	if err != nil {
 		return err
 	}
-	psp, err := newSpillPartition(j.ctx, level)
+	psp, err := newSpillPartition(j.ctx, level, j.mem.st)
 	if err != nil {
 		bsp.remove()
 		return err
@@ -511,6 +518,12 @@ func newNestLoopOp(ctx *Context, node *plan.NestLoopJoin) (Operator, error) {
 	n.leftR = rowReader{in: l, bin: ctx.batchInput(l)}
 	n.rightBin = ctx.batchInput(r)
 	return n, nil
+}
+
+// setOpStats implements statsSink: the nested-loop join charges its
+// buffered inner-side peak to this slot.
+func (n *nestLoopOp) setOpStats(st *obs.OpStats) {
+	n.mem.st = st
 }
 
 // Open implements Operator.

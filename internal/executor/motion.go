@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hawq/internal/interconnect"
+	"hawq/internal/obs"
 	"hawq/internal/plan"
 	"hawq/internal/types"
 )
@@ -37,7 +38,13 @@ type motionSendOp struct {
 	inClosed bool
 	in       Operator
 	bin      BatchOperator
+	// st, when stats are collected, is charged the payload bytes this
+	// sender pushed onto the interconnect (OpStats.Bytes).
+	st *obs.OpStats
 }
+
+// setOpStats implements statsSink.
+func (m *motionSendOp) setOpStats(st *obs.OpStats) { m.st = st }
 
 func newMotionSendOp(ctx *Context, node *plan.Motion) (Operator, error) {
 	if ctx.Net == nil {
@@ -262,11 +269,15 @@ func (m *motionSendOp) flush(i int) error {
 	if len(m.bufs[i]) == 0 {
 		return nil
 	}
+	sent := len(m.bufs[i])
 	err := m.streams[i].Send(m.bufs[i])
 	m.bufs[i] = m.bufs[i][:0]
 	if err == interconnect.ErrStopped {
 		m.stopped[i] = true
 		return nil
+	}
+	if err == nil && m.st != nil {
+		m.st.Bytes += int64(sent)
 	}
 	return err
 }
@@ -301,7 +312,13 @@ type motionRecvOp struct {
 	buf    []byte
 	pos    int
 	done   bool
+	// st, when stats are collected, is charged the payload bytes this
+	// receiver pulled off the interconnect (OpStats.Bytes).
+	st *obs.OpStats
 }
+
+// setOpStats implements statsSink.
+func (m *motionRecvOp) setOpStats(st *obs.OpStats) { m.st = st }
 
 func newMotionRecvOp(ctx *Context, node *plan.MotionRecv) (Operator, error) {
 	if ctx.Net == nil {
@@ -346,6 +363,9 @@ func (m *motionRecvOp) Next() (types.Row, bool, error) {
 			m.done = true
 			return nil, false, nil
 		}
+		if m.st != nil {
+			m.st.Bytes += int64(len(item.Data))
+		}
 		m.buf, m.pos = item.Data, 0
 	}
 }
@@ -373,6 +393,9 @@ func (m *motionRecvOp) NextBatch(b *types.Batch) (bool, error) {
 		if done {
 			m.done = true
 			return false, nil
+		}
+		if m.st != nil {
+			m.st.Bytes += int64(len(item.Data))
 		}
 		m.buf, m.pos = item.Data, 0
 	}

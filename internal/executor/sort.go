@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 
+	"hawq/internal/obs"
 	"hawq/internal/plan"
 	"hawq/internal/resource"
 	"hawq/internal/types"
@@ -51,6 +52,10 @@ type runSource interface {
 	rowSource
 	openForRead() error
 }
+
+// setOpStats implements statsSink: the sort charges its buffer peak
+// and spilled run traffic to this slot.
+func (s *sortOp) setOpStats(st *obs.OpStats) { s.mem.st = st }
 
 func newSortOp(ctx *Context, in Operator, keys []plan.OrderKey) *sortOp {
 	lim := ctx.SortMemRows
@@ -145,6 +150,10 @@ func (s *sortOp) spill() error {
 			f.Remove()
 			return err
 		}
+		if s.mem.st != nil {
+			s.mem.st.SpillBytes += f.Bytes()
+			s.mem.st.SpillFiles++
+		}
 		s.runs = append(s.runs, &wfRun{f: f})
 	} else {
 		dir := s.ctx.SpillDir
@@ -156,6 +165,7 @@ func (s *sortOp) spill() error {
 			return fmt.Errorf("executor: spill to local disk: %w", err)
 		}
 		var buf []byte
+		var written int64
 		for _, row := range s.buf {
 			buf = types.EncodeRow(buf[:0], row)
 			if _, err := f.Write(buf); err != nil {
@@ -163,9 +173,14 @@ func (s *sortOp) spill() error {
 				os.Remove(f.Name())
 				return fmt.Errorf("executor: spill write: %w", err)
 			}
+			written += int64(len(buf))
 		}
 		if err := f.Close(); err != nil {
 			return err
+		}
+		if s.mem.st != nil {
+			s.mem.st.SpillBytes += written
+			s.mem.st.SpillFiles++
 		}
 		s.runs = append(s.runs, &spillRun{path: f.Name()})
 	}

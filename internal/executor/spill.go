@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"hawq/internal/obs"
 	"hawq/internal/resource"
 	"hawq/internal/types"
 )
@@ -59,6 +60,17 @@ func (ctx *Context) spillable() bool {
 type memBudget struct {
 	ctx  *Context
 	used int64
+	// st, when stats are collected, receives the reservation high-water
+	// mark (OpStats.PeakMem).
+	st *obs.OpStats
+}
+
+// notePeak records the current reservation as the operator's peak if it
+// is a new high-water mark.
+func (m *memBudget) notePeak() {
+	if m.st != nil && m.used > m.st.PeakMem {
+		m.st.PeakMem = m.used
+	}
 }
 
 // grow reserves n more bytes. over=true tells a spillable caller to
@@ -73,6 +85,7 @@ func (m *memBudget) grow(n int64) (over bool, err error) {
 		return false, err
 	}
 	m.used += n
+	m.notePeak()
 	if m.ctx.spillable() && m.used > m.ctx.WorkMem {
 		return true, nil
 	}
@@ -87,6 +100,7 @@ func (m *memBudget) growHard(n int64) error {
 		return err
 	}
 	m.used += n
+	m.notePeak()
 	return nil
 }
 
@@ -154,11 +168,15 @@ func (c *wfCursor) close() {
 type spillPartition struct {
 	files []*resource.File
 	level int
+	// st, when stats are collected, is charged the partition's workfile
+	// traffic (bytes written, files created) at finish time.
+	st *obs.OpStats
 }
 
-// newSpillPartition creates the fanout files for one spill level.
-func newSpillPartition(ctx *Context, level int) (*spillPartition, error) {
-	sp := &spillPartition{files: make([]*resource.File, spillFanout), level: level}
+// newSpillPartition creates the fanout files for one spill level. st
+// may be nil (no stats collection).
+func newSpillPartition(ctx *Context, level int, st *obs.OpStats) (*spillPartition, error) {
+	sp := &spillPartition{files: make([]*resource.File, spillFanout), level: level, st: st}
 	for i := range sp.files {
 		f, err := ctx.Work.Create()
 		if err != nil {
@@ -176,11 +194,20 @@ func (sp *spillPartition) add(key string, row types.Row) error {
 	return sp.files[partOf(key, sp.level, spillFanout)].AppendRow(row)
 }
 
-// finish completes the write phase of every partition file.
+// finish completes the write phase of every partition file and charges
+// the written traffic to the owning operator's stats. Re-spills at
+// deeper levels are charged again — the stats measure spill traffic,
+// not live footprint.
 func (sp *spillPartition) finish() error {
 	for _, f := range sp.files {
 		if err := f.Finish(); err != nil {
 			return err
+		}
+	}
+	if sp.st != nil {
+		for _, f := range sp.files {
+			sp.st.SpillBytes += f.Bytes()
+			sp.st.SpillFiles++
 		}
 	}
 	return nil

@@ -128,6 +128,7 @@ func (w *FileWriter) Write(p []byte) (int, error) {
 		b.length += n
 		w.meta.modTime = w.fs.clk.Now()
 		w.fs.mu.Unlock()
+		hdfsWriteBytes.Add(n)
 		p = p[n:]
 	}
 	return total, nil
@@ -228,6 +229,7 @@ func (fs *FileSystem) Truncate(p string, length int64) error {
 	}
 	f.blocks = f.blocks[:keep]
 	f.modTime = fs.clk.Now()
+	hdfsTruncates.Inc()
 	return nil
 }
 
@@ -313,9 +315,15 @@ func (r *FileReader) findBlock(off int64) (int, int64) {
 
 func (r *FileReader) readReplicated(b *blockMeta, off, n int64) ([]byte, error) {
 	var lastErr error
-	for _, dn := range b.locs {
+	for i, dn := range b.locs {
 		data, err := dn.readBlock(b.id, off, n)
 		if err == nil {
+			if i == 0 {
+				hdfsLocalReads.Inc()
+			} else {
+				hdfsRemoteReads.Inc()
+			}
+			hdfsReadBytes.Add(int64(len(data)))
 			return data, nil
 		}
 		lastErr = err

@@ -1,0 +1,16 @@
+package hdfs
+
+import "hawq/internal/obs"
+
+// Process-wide HDFS counters (obs registry, SHOW metrics). A "local"
+// read is one served by the block's first (preferred) replica — the
+// collocated DataNode under the paper's locality-aware placement — and
+// a "remote" read is any replica fallback after that. Resolved once at
+// init so the block read/write paths pay one atomic add per event.
+var (
+	hdfsLocalReads  = obs.GetCounter("hdfs.local_reads")
+	hdfsRemoteReads = obs.GetCounter("hdfs.remote_reads")
+	hdfsReadBytes   = obs.GetCounter("hdfs.read_bytes")
+	hdfsWriteBytes  = obs.GetCounter("hdfs.write_bytes")
+	hdfsTruncates   = obs.GetCounter("hdfs.truncates")
+)

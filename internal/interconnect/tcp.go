@@ -424,6 +424,8 @@ func (s *tcpSend) Send(data []byte) error {
 		}
 		return err
 	}
+	tcpMsgsSent.Inc()
+	tcpBytesSent.Add(int64(len(data)))
 	return nil
 }
 
@@ -501,6 +503,8 @@ func (r *tcpRecv) adopt(sender SegID, conn net.Conn) {
 				r.push(recvItem{sender: sender, eos: true})
 				return
 			}
+			tcpMsgsRecv.Inc()
+			tcpBytesRecv.Add(int64(len(data)))
 			r.push(recvItem{sender: sender, data: data})
 		}
 	}()

@@ -205,8 +205,11 @@ func (n *UDPNode) transmit(raddr *net.UDPAddr, buf []byte) {
 	drop := n.lossRate > 0 && n.rng.Float64() < n.lossRate
 	n.mu.Unlock()
 	if drop {
+		udpPacketsDropped.Inc()
 		return
 	}
+	udpPacketsSent.Inc()
+	udpBytesSent.Add(int64(len(buf)))
 	n.conn.WriteToUDP(buf, raddr)
 }
 
@@ -227,6 +230,8 @@ func (n *UDPNode) recvLoop() {
 		if err != nil {
 			continue
 		}
+		udpPacketsRecv.Inc()
+		udpBytesRecv.Add(int64(sz))
 		if len(payload) > 0 {
 			// buf is reused by the next read; deliveries must own their
 			// bytes.
@@ -529,6 +534,7 @@ func (s *udpSend) handleOOO(h header, payload []byte) {
 	}
 	raddr := s.raddr
 	s.mu.Unlock()
+	udpRetransmits.Add(int64(len(resend)))
 	for _, buf := range resend {
 		s.n.transmit(raddr, buf)
 	}
@@ -587,6 +593,7 @@ func (s *udpSend) tick(now time.Time) {
 	raddr := s.raddr
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	udpRetransmits.Add(int64(len(resend)))
 	for _, buf := range resend {
 		s.n.transmit(raddr, buf)
 	}

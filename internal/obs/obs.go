@@ -1,0 +1,190 @@
+// Package obs is the cluster-wide observability layer: a process-wide
+// metrics registry (counters, gauges, bounded histograms, all named
+// subsystem.metric) that the hot layers — interconnect, hdfs, resource,
+// engine, types — publish into, plus the per-query operator statistics
+// (OpStats/SliceStats) that QEs ship back to the QD for EXPLAIN ANALYZE
+// and the slow-query log.
+//
+// The package is a stdlib-only leaf: it imports nothing from the rest
+// of the engine and never reads the wall clock itself (durations are
+// measured by callers against their injected clock.Clock), so
+// instrumented components stay deterministic under clock.Sim.
+//
+// Hot paths hold *Counter pointers in package variables resolved once
+// at init — recording an event is a single atomic add, never a map
+// lookup.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic metric. The zero value
+// is usable, but counters are normally obtained from a Registry so they
+// appear in snapshots.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a bounded histogram: observations are counted into the
+// first bucket whose upper bound is >= the value, with one implicit
+// overflow bucket. Bucket counts, the observation count, and the sum
+// are all atomics, so Observe is safe from any goroutine.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Registry is a named collection of metrics. All methods are safe for
+// concurrent use; Counter and Histogram are get-or-create, so layers
+// can resolve their metrics independently in any order.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]func() int64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterGauge registers a callback sampled at snapshot time (e.g. an
+// in-use count derived from two counters). Re-registering a name
+// replaces the previous callback, which keeps tests that rebuild a
+// subsystem idempotent.
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (later calls ignore
+// bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]int64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every metric as a flat name→value map. Histograms
+// flatten to name.count, name.sum, and one name.le_<bound> entry per
+// bucket (plus name.le_inf for the overflow bucket).
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, fn := range r.gauges {
+		out[name] = fn()
+	}
+	for name, h := range r.hists {
+		out[name+".count"] = h.Count()
+		out[name+".sum"] = h.Sum()
+		for i := range h.counts {
+			label := "inf"
+			if i < len(h.bounds) {
+				label = fmt.Sprintf("%d", h.bounds[i])
+			}
+			out[fmt.Sprintf("%s.le_%s", name, label)] = h.counts[i].Load()
+		}
+	}
+	return out
+}
+
+// Text renders the snapshot as sorted "name value" lines — the text
+// snapshot API behind SHOW metrics and debugging dumps.
+func (r *Registry) Text() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %d\n", name, snap[name])
+	}
+	return b.String()
+}
+
+// Default is the process-wide registry all engine subsystems publish
+// into; SHOW metrics reads it.
+var Default = NewRegistry()
+
+// GetCounter returns (creating if needed) a counter in the Default
+// registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// RegisterGauge registers a gauge callback in the Default registry.
+func RegisterGauge(name string, fn func() int64) { Default.RegisterGauge(name, fn) }
+
+// GetHistogram returns (creating if needed) a histogram in the Default
+// registry.
+func GetHistogram(name string, bounds []int64) *Histogram { return Default.Histogram(name, bounds) }
+
+// Snapshot returns the Default registry's metrics as a name→value map.
+func Snapshot() map[string]int64 { return Default.Snapshot() }
+
+// Text renders the Default registry as sorted "name value" lines.
+func Text() string { return Default.Text() }
+
+// Value returns one metric from the Default registry's snapshot (0 if
+// absent) — a convenience for tests and invariant checks.
+func Value(name string) int64 { return Default.Snapshot()[name] }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	if again := r.Counter("x.count"); again != c {
+		t.Fatalf("Counter is not get-or-create")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.RegisterGauge("x.gauge", func() int64 { return 42 })
+	snap := r.Snapshot()
+	if snap["x.count"] != 5 || snap["x.gauge"] != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.wait", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1022 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if snap["q.wait.le_10"] != 2 || snap["q.wait.le_100"] != 1 || snap["q.wait.le_inf"] != 1 {
+		t.Fatalf("buckets = %v", snap)
+	}
+	if snap["q.wait.count"] != 4 || snap["q.wait.sum"] != 1022 {
+		t.Fatalf("summary = %v", snap)
+	}
+}
+
+func TestTextSortedDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Add(1)
+	r.RegisterGauge("c.three", func() int64 { return 3 })
+	want := "a.one 1\nb.two 2\nc.three 3\n"
+	for i := 0; i < 3; i++ {
+		if got := r.Text(); got != want {
+			t.Fatalf("Text() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hot.path").Inc()
+				r.Histogram("hot.hist", []int64{8}).Observe(int64(j % 16))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hot.path").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("hot.hist", nil).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	GetCounter("obs_test.helper").Add(7)
+	if Value("obs_test.helper") != 7 {
+		t.Fatalf("Value = %d, want 7", Value("obs_test.helper"))
+	}
+	if !strings.Contains(Text(), "obs_test.helper 7") {
+		t.Fatalf("Text() missing helper counter:\n%s", Text())
+	}
+}
+
+func TestSlowLogBounded(t *testing.T) {
+	l := NewSlowLog(2)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowLogEntry{SQL: strings.Repeat("x", i+1), Duration: time.Duration(i)})
+	}
+	got := l.Entries()
+	if len(got) != 2 || l.Len() != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0].SQL != "xxxx" || got[1].SQL != "xxxxx" {
+		t.Fatalf("kept wrong entries: %v", got)
+	}
+}

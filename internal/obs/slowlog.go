@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowLogEntry is one logged slow statement.
+type SlowLogEntry struct {
+	// SQL is the statement text as parsed.
+	SQL string
+	// Duration is the statement's wall time on the engine's clock.
+	Duration time.Duration
+	// Summary is the merged per-slice, per-operator statistics summary —
+	// the same text EXPLAIN ANALYZE renders (empty when the statement
+	// produced no distributed stats, e.g. DDL).
+	Summary string
+}
+
+// SlowLog is a bounded ring of the most recent slow statements. Safe
+// for concurrent use.
+type SlowLog struct {
+	mu      sync.Mutex
+	entries []SlowLogEntry
+	max     int
+}
+
+// NewSlowLog returns a slow log retaining at most max entries (max <= 0
+// defaults to 100).
+func NewSlowLog(max int) *SlowLog {
+	if max <= 0 {
+		max = 100
+	}
+	return &SlowLog{max: max}
+}
+
+// Add appends an entry, evicting the oldest once the ring is full.
+func (l *SlowLog) Add(e SlowLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.max {
+		l.entries = l.entries[len(l.entries)-l.max:]
+	}
+}
+
+// Entries returns a copy of the logged entries, oldest first.
+func (l *SlowLog) Entries() []SlowLogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]SlowLogEntry(nil), l.entries...)
+}
+
+// Len returns the number of retained entries.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

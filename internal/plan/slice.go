@@ -49,6 +49,13 @@ type Plan struct {
 	// WorkMem is the per-operator spill threshold in bytes (the work_mem
 	// session setting; 0 disables budget-triggered spilling).
 	WorkMem int64
+	// CollectStats asks every slice to record per-operator runtime
+	// statistics (rows, bytes, spill, peak memory, wall time) and ship
+	// them back to the QD on completion. Set by EXPLAIN ANALYZE and by
+	// sessions with a slow-query-log threshold. Travels self-described
+	// with the rest of the plan, so stateless QEs need no extra
+	// coordination to know stats are wanted.
+	CollectStats bool
 }
 
 // SenderHint lets the planner pin a motion's child slice to a subset of
@@ -158,6 +165,11 @@ func (p *Plan) Explain() string {
 			}
 		}
 		fmt.Fprintf(&b, "Slice %d (%s):\n", s.ID, where)
+		// Memory budgets are part of the plan (PR 4); show them so a
+		// query's spill behavior is predictable before it runs.
+		if p.MemGrant > 0 || p.WorkMem > 0 {
+			fmt.Fprintf(&b, "  Memory: grant=%d work_mem=%d\n", p.MemGrant, p.WorkMem)
+		}
 		explainNode(&b, s.Root, 1)
 	}
 	return b.String()

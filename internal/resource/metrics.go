@@ -1,0 +1,22 @@
+package resource
+
+import "hawq/internal/obs"
+
+// Process-wide workload-manager counters (obs registry, SHOW metrics).
+// Spill totals are gauges sampled from the package atomics that already
+// back SpillStats, so the workfile hot path gains no extra work;
+// admissions and waits are counted inside Queue.Acquire.
+var (
+	queueAdmissions = obs.GetCounter("resource.queue_admissions")
+	queueWaits      = obs.GetCounter("resource.queue_waits")
+	// queueWaitMs buckets admission-wait latency in milliseconds on the
+	// queue's injected clock (zero under clock.Sim unless time advances).
+	queueWaitMs = obs.GetHistogram("resource.queue_wait_ms", []int64{1, 10, 100, 1000, 10000})
+)
+
+// init publishes the cumulative spill totals as gauges.
+func init() {
+	obs.RegisterGauge("resource.spill_files", func() int64 { return spillFiles.Load() })
+	obs.RegisterGauge("resource.spill_bytes", func() int64 { return spillBytes.Load() })
+	obs.RegisterGauge("resource.spill_level_max", MaxSpillLevel)
+}

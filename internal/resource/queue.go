@@ -171,6 +171,7 @@ func (q *Queue) Acquire(ctx context.Context) error {
 		q.active++
 		q.admitted++
 		q.mu.Unlock()
+		queueAdmissions.Inc()
 		return nil
 	}
 	ch := make(chan struct{})
@@ -180,6 +181,7 @@ func (q *Queue) Acquire(ctx context.Context) error {
 	}
 	q.waits++
 	q.mu.Unlock()
+	queueWaits.Inc()
 	start := q.clk.Now()
 
 	var done <-chan struct{}
@@ -189,10 +191,13 @@ func (q *Queue) Acquire(ctx context.Context) error {
 	select {
 	case <-ch:
 		// Release handed us its slot (active already counts us).
+		wait := q.clk.Since(start)
 		q.mu.Lock()
 		q.admitted++
-		q.totalWait += q.clk.Since(start)
+		q.totalWait += wait
 		q.mu.Unlock()
+		queueAdmissions.Inc()
+		queueWaitMs.Observe(wait.Milliseconds())
 		return nil
 	case <-done:
 		q.mu.Lock()

@@ -194,15 +194,23 @@ func (i *InsertStmt) String() string {
 	return s + " VALUES " + strings.Join(rows, ", ")
 }
 
-// ExplainStmt wraps another statement.
+// ExplainStmt wraps another statement. Analyze marks EXPLAIN ANALYZE:
+// the statement is executed and the plan is rendered with the per-slice
+// runtime statistics the gang reported.
 type ExplainStmt struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
 func (*ExplainStmt) stmt() {}
 
 // String renders the node back to SQL text.
-func (e *ExplainStmt) String() string { return "EXPLAIN " + e.Stmt.String() }
+func (e *ExplainStmt) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}
 
 // BeginStmt starts a transaction, optionally with an isolation level
 // ("read committed", "serializable", and the two levels that map onto

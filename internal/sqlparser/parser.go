@@ -147,11 +147,12 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case "explain":
 		p.next()
+		analyze := p.matchKw("analyze")
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Stmt: inner}, nil
+		return &ExplainStmt{Stmt: inner, Analyze: analyze}, nil
 	case "begin", "start":
 		return p.parseBegin()
 	case "commit", "end":

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"hawq/internal/obs"
 )
 
 // DefaultBatchRows is the row count batch producers aim for per batch:
@@ -132,6 +134,22 @@ var batchGets, batchPuts atomic.Int64
 // is the number of batches currently held by callers.
 func PoolStats() (gets, puts int64) {
 	return batchGets.Load(), batchPuts.Load()
+}
+
+// PoolInUse returns the number of batches currently checked out of the
+// pool (gets − puts). It is registered as the types.batch_in_use gauge,
+// and the chaos harness asserts it returns to its baseline after every
+// step — a non-zero residue is a strand leak on a cancel or error path.
+func PoolInUse() int64 {
+	return batchGets.Load() - batchPuts.Load()
+}
+
+// init publishes the pool counters into the process-wide metrics
+// registry, so SHOW metrics exposes batch-arena traffic and leaks.
+func init() {
+	obs.RegisterGauge("types.batch_gets", func() int64 { return batchGets.Load() })
+	obs.RegisterGauge("types.batch_puts", func() int64 { return batchPuts.Load() })
+	obs.RegisterGauge("types.batch_in_use", PoolInUse)
 }
 
 // GetBatch returns a pooled batch reset to the given width.

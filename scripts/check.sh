@@ -14,6 +14,10 @@
 #                                  under -race, so a budget-starved
 #                                  query racing its own workfiles is
 #                                  caught even when step 4 is trimmed
+#   4c. EXPLAIN ANALYZE smoke    — the cluster-wide instrumentation
+#                                  path (per-slice stats piggybacked on
+#                                  gang completion, merged on the QD)
+#                                  re-run explicitly under -race
 #   5. scripts/bench.sh --smoke  — every micro-benchmark for one
 #                                  iteration under -race, so the bench
 #                                  harness itself can't rot
@@ -43,6 +47,11 @@ go test -race ./...
 echo "==> low-work_mem spill gate (-race)"
 go test -race -count=1 \
     -run 'TestSpillParity|TestWorkMemSpillMatchesInMemory|TestMemoryLimitExhaustionIsCleanError|TestHashJoinSpillParity|TestHashAggSpillParity|TestSortSpillsToWorkfileStore|TestSpillObservesCancel' \
+    ./internal/executor ./internal/engine ./internal/tpch
+
+echo "==> EXPLAIN ANALYZE smoke (-race)"
+go test -race -count=1 \
+    -run 'TestExplainAnalyze|TestStatsRecorderCounts|TestSlowQueryLog|TestShowMetrics' \
     ./internal/executor ./internal/engine ./internal/tpch
 
 echo "==> bench smoke (-benchtime=1x -race)"
