@@ -1,0 +1,30 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkHawqCheckSelf measures one full analyzer run over the real
+// repository — load, type-check, whole-program fixpoint, all ten
+// analyzers. scripts/bench.sh records it in BENCH_micro.json; the
+// budget is well under 10s so the gate stays cheap enough to run on
+// every change.
+func BenchmarkHawqCheckSelf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := NewChecker(filepath.Join("..", ".."))
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths, err := c.DiscoverPackages()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Check(paths); err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Findings) != 0 {
+			b.Fatalf("repo not clean: %d findings", len(c.Findings))
+		}
+	}
+}

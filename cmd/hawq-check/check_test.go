@@ -50,12 +50,22 @@ func TestFixtures(t *testing.T) {
 		{"errdropbad", analyzerErrdrop},
 		{"simbad", analyzerDeterminism},
 		{"docbad", analyzerDocstrings},
+		{"lockorderbad", analyzerLockorder},
+		{"ctxflowbad", analyzerCtxflow},
+		{"batchlifebad", analyzerBatchlife},
+		{"clockwallbad", analyzerClockwall},
+		{"wiresafebad", analyzerWiresafe},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
 			c := newFixtureChecker(t, tc.analyzer)
-			if tc.analyzer == analyzerDeterminism {
+			switch tc.analyzer {
+			case analyzerDeterminism:
 				c.DeterminismPkgs = []string{"fixmod/internal/" + tc.dir}
+			case analyzerCtxflow:
+				c.CtxflowPkgs = []string{"fixmod/internal/" + tc.dir}
+			case analyzerBatchlife:
+				c.BatchPkg = "fixmod/internal/fixtypes"
 			}
 			if err := c.Check([]string{"fixmod/internal/" + tc.dir}); err != nil {
 				t.Fatal(err)
@@ -96,6 +106,41 @@ func TestSuppression(t *testing.T) {
 	}
 	if len(c.Findings) == 0 {
 		t.Fatal("unsuppressed drops were not reported")
+	}
+}
+
+// TestJSONOutput locks down the -json diagnostic shape scripts/check.sh
+// archives: the clockwallbad fixture rendered through writeJSON must
+// match the checked-in golden byte for byte.
+func TestJSONOutput(t *testing.T) {
+	c := newFixtureChecker(t, analyzerClockwall)
+	if err := c.Check([]string{"fixmod/internal/clockwallbad"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Findings {
+		rel, err := filepath.Rel(c.RootDir, c.Findings[i].Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Findings[i].Pos.Filename = filepath.ToSlash(rel)
+	}
+	var b strings.Builder
+	if err := writeJSON(&b, c.Findings); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "src", "fixmod", "internal", "clockwallbad", "json.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("json output mismatch\n--- got ---\n%s--- want ---\n%s", b.String(), want)
 	}
 }
 

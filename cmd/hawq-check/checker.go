@@ -51,12 +51,26 @@ type Checker struct {
 	// DeterminismPkgs are the import paths whose code must route
 	// time/rand through injected sources (the simulated components).
 	DeterminismPkgs []string
+	// CtxflowPkgs are the import paths whose unbounded loops and
+	// blocking selects must observe query cancellation (ctx.Done /
+	// Ctx.Err on some path) — the ctxflow analyzer's scope.
+	CtxflowPkgs []string
+	// ClockAllowPkgs are the import paths allowed to call the raw time
+	// package (clockwall analyzer). Everything else must go through
+	// internal/clock or carry an inline //hawqcheck:ignore clockwall
+	// justification.
+	ClockAllowPkgs []string
+	// BatchPkg is the import path providing the pooled batch arena
+	// (GetBatch/PutBatch) whose lifetimes batchlife tracks.
+	BatchPkg string
 	// Analyzers to run; defaults to allAnalyzers when nil.
 	Analyzers []*Analyzer
 
 	std      types.ImporterFrom
 	pkgs     map[string]*Package
 	loading  map[string]bool
+	program  *program
+	wire     *wiresafe
 	Findings []Finding
 }
 
@@ -75,15 +89,26 @@ const (
 	nameErrdrop     = "errdrop"
 	nameDeterminism = "determinism"
 	nameDocstrings  = "docstrings"
+	nameLockorder   = "lockorder"
+	nameCtxflow     = "ctxflow"
+	nameBatchlife   = "batchlife"
+	nameClockwall   = "clockwall"
+	nameWiresafe    = "wiresafe"
 )
 
-// allAnalyzers is the default analyzer suite, in reporting order.
+// allAnalyzers is the default analyzer suite, in reporting order: the
+// per-function v1 checks first, then the whole-program v2 checks.
 var allAnalyzers = []*Analyzer{
 	analyzerMutex,
 	analyzerGoleak,
 	analyzerErrdrop,
 	analyzerDeterminism,
 	analyzerDocstrings,
+	analyzerLockorder,
+	analyzerCtxflow,
+	analyzerBatchlife,
+	analyzerClockwall,
+	analyzerWiresafe,
 }
 
 // defaultDeterminismPkgs lists the simulated components (relative to
@@ -94,6 +119,25 @@ var defaultDeterminismPkgs = []string{
 	"internal/resource",
 	"internal/stinger",
 	"internal/tpch",
+}
+
+// defaultCtxflowPkgs lists the query-path packages (relative to the
+// module path) whose unbounded loops must observe cancellation: the
+// packages a stuck query would wedge.
+var defaultCtxflowPkgs = []string{
+	"internal/cluster",
+	"internal/engine",
+	"internal/executor",
+	"internal/interconnect",
+	"internal/resource",
+}
+
+// defaultClockAllowPkgs lists the packages (relative to the module
+// path) allowed to touch the raw time package: only the clock
+// abstraction itself. Everything else must take a clock.Clock so the
+// whole system stays drivable by clock.Sim.
+var defaultClockAllowPkgs = []string{
+	"internal/clock",
 }
 
 // NewChecker creates a checker for the module rooted at dir. It reads
@@ -111,6 +155,13 @@ func NewChecker(dir string) (*Checker, error) {
 	for _, p := range defaultDeterminismPkgs {
 		c.DeterminismPkgs = append(c.DeterminismPkgs, modPath+"/"+p)
 	}
+	for _, p := range defaultCtxflowPkgs {
+		c.CtxflowPkgs = append(c.CtxflowPkgs, modPath+"/"+p)
+	}
+	for _, p := range defaultClockAllowPkgs {
+		c.ClockAllowPkgs = append(c.ClockAllowPkgs, modPath+"/"+p)
+	}
+	c.BatchPkg = modPath + "/internal/types"
 	c.init()
 	return c, nil
 }

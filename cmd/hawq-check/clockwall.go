@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// analyzerClockwall bans raw wall-clock access everywhere except the
+// clock abstraction itself (Checker.ClockAllowPkgs, default
+// internal/clock): time.Now, time.Sleep, time.Since, time.Until,
+// time.After, time.AfterFunc, time.Tick, time.NewTicker and
+// time.NewTimer must be reached through an injected clock.Clock so
+// every subsystem — not just the simulated components the determinism
+// analyzer covers — stays drivable by clock.Sim. A query result that
+// depends on time.Now (the old current_date), a benchmark that must
+// measure real wall time, or a leak detector that genuinely waits for
+// the runtime are the only legitimate exceptions, and each carries an
+// inline //hawqcheck:ignore clockwall comment stating why.
+var analyzerClockwall = &Analyzer{
+	Name: nameClockwall,
+	Doc:  "raw time.Now/Sleep/After/... outside internal/clock and the audited allowlist",
+	Run:  runClockwall,
+}
+
+func runClockwall(c *Checker, pkg *Package) {
+	for _, allowed := range c.ClockAllowPkgs {
+		if pkg.Path == allowed {
+			return
+		}
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPathOfSelector(pkg.Info, sel) != "time" {
+				return true
+			}
+			// Types (time.Duration, time.Time) and pure constructors
+			// (time.Date, time.Unix) are fine; only wall-clock reads
+			// and waits are banned.
+			if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return false
+			}
+			if nondeterministicTimeFuncs[sel.Sel.Name] {
+				c.report(pkg, sel.Pos(), nameClockwall,
+					fmt.Sprintf("time.%s outside internal/clock; take a clock.Clock so the subsystem stays drivable by clock.Sim", sel.Sel.Name))
+			}
+			return false
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerCtxflow enforces cancellation flow on the query path
+// (Checker.CtxflowPkgs — executor, cluster, interconnect, resource,
+// engine by default): every potentially-unbounded loop (a `for` with no
+// condition) and every blocking select must observe cancellation on
+// some path — a ctx.Done() receive, a ctx.Err()/Context.canceled()
+// call, or a receive from a struct{} stop channel — either directly in
+// its body or through a call whose whole-program summary observes
+// (interface calls count only when every in-module implementation
+// observes). This is the bug class PR 3 fixed by hand: a pump loop or
+// motion wait that cancellation cannot reach, leaving a canceled query
+// wedged and its pooled batches stranded.
+//
+// Soundness limits: conditional loops (`for x < n`) are assumed
+// bounded, dynamically-dispatched calls outside the module are opaque,
+// and "some path" is syntactic reachability, not dominance. Loops that
+// are genuinely bounded by construction carry
+// //hawqcheck:ignore ctxflow with a justification.
+var analyzerCtxflow = &Analyzer{
+	Name: nameCtxflow,
+	Doc:  "unbounded loops and blocking selects on the query path that never observe cancellation",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(c *Checker, pkg *Package) {
+	scoped := false
+	for _, p := range c.CtxflowPkgs {
+		if pkg.Path == p {
+			scoped = true
+		}
+	}
+	if !scoped {
+		return
+	}
+	p := c.prog()
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxflowBody(c, p, pkg, fd.Body)
+		}
+	}
+}
+
+// checkCtxflowBody flags unbounded loops and blocking selects in one
+// function body (including goroutine literals, which are exactly where
+// pump loops live).
+func checkCtxflowBody(c *Checker, p *program, pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.ForStmt:
+			if e.Cond == nil && !observesCancel(p, pkg, e.Body) {
+				c.report(pkg, e.Pos(), nameCtxflow,
+					"unbounded for-loop never observes cancellation (ctx.Done/Err or a stop channel) on any path; a canceled query can wedge here")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(e) && !observesCancel(p, pkg, e) {
+				c.report(pkg, e.Pos(), nameCtxflow,
+					"blocking select has no cancellation case (ctx.Done or a stop channel); cancellation cannot reach a goroutine parked here")
+			}
+		}
+		return true
+	})
+}
+
+// observesCancel reports whether the subtree rooted at n observes
+// cancellation on some syntactic path: a Done()/Err() call on a
+// context.Context, a receive from a struct{} channel, or a call to an
+// in-module function whose fixpoint summary observes.
+func observesCancel(p *program, pkg *Package, n ast.Node) bool {
+	info := pkg.Info
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := m.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW && exprIsLifecycle(info, e.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+					if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && isContextType(tv.Type) {
+						found = true
+						return false
+					}
+				}
+			}
+			// A bare Done() channel expression in a select case also
+			// appears as a call; the receive form above catches the
+			// common `<-ctx.Done()`. For calls, consult summaries.
+			if fn, ok := calleeObject(info, e).(*types.Func); ok {
+				if fi, inModule := p.fns[fn]; inModule && fi.observes {
+					found = true
+					return false
+				}
+				if impls, isIface := p.impls[fn]; isIface && len(impls) > 0 {
+					all := true
+					for _, im := range impls {
+						if !p.fns[im].observes {
+							all = false
+							break
+						}
+					}
+					if all {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

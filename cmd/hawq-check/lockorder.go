@@ -1,0 +1,301 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// analyzerLockorder builds the global mutex-acquisition graph — which
+// named locks (receiver fields and package vars) can be taken while
+// which others are held — and reports two bug classes:
+//
+//  1. cycles in the graph (A taken under B somewhere, B taken under A
+//     somewhere else): a potential deadlock the race detector cannot
+//     see, because it needs two schedules to manifest;
+//  2. blocking operations performed while a lock is held (channel
+//     send/recv, blocking select, sync.WaitGroup.Wait, net I/O,
+//     time.Sleep — directly or through a call whose summary blocks):
+//     the pattern that turns one stalled peer into a wedged process.
+//
+// Held regions are approximated in source order (Lock() to the first
+// matching Unlock() on the same expression; deferred unlocks hold to
+// the end of the function), and call effects come from the
+// whole-program summaries in program.go. Branch-sensitive release and
+// locks passed by pointer across functions are documented soundness
+// limits; intentional sites carry //hawqcheck:ignore lockorder with a
+// justification.
+var analyzerLockorder = &Analyzer{
+	Name: nameLockorder,
+	Doc:  "mutex-acquisition cycles (potential deadlocks) and blocking calls under a held lock",
+	Run:  runLockorder,
+}
+
+func runLockorder(c *Checker, pkg *Package) {
+	p := c.prog()
+	// Per-function: blocking ops inside held regions, and the edges this
+	// package contributes to the global graph.
+	for _, fi := range p.fns {
+		if fi.pkg != pkg {
+			continue
+		}
+		checkHeldRegions(c, p, fi)
+	}
+	// Cycle detection runs on the global graph but reports each cycle
+	// exactly once: in the package owning the lexically smallest edge
+	// position, so a whole-tree run never duplicates findings.
+	reportLockCycles(c, p, pkg)
+}
+
+// lockEdge is one "acquired B while holding A" observation.
+type lockEdge struct {
+	from, to string
+	pkg      *Package
+	pos      ast.Node
+}
+
+// graphEdges collects every lock→lock edge in the program.
+func graphEdges(p *program) []lockEdge {
+	var edges []lockEdge
+	for _, fi := range p.fns {
+		info := fi.pkg.Info
+		for _, region := range fi.lockRegions {
+			ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Pos() <= region.start || call.Pos() >= region.end {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isMutexRecv(info, sel) {
+					if _, isAcq := lockMethods[sel.Sel.Name]; isAcq {
+						id := lockIdent(fi.pkg, sel.X)
+						if id != region.id {
+							edges = append(edges, lockEdge{from: region.id, to: id, pkg: fi.pkg, pos: call})
+						}
+					}
+					return true
+				}
+				if fn, ok := calleeObject(info, call).(*types.Func); ok {
+					if gi, inModule := p.fns[fn]; inModule {
+						for id := range gi.acquires {
+							if id != region.id {
+								edges = append(edges, lockEdge{from: region.id, to: id, pkg: fi.pkg, pos: call})
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return edges
+}
+
+// checkHeldRegions flags blocking operations inside fi's held-lock
+// regions.
+func checkHeldRegions(c *Checker, p *program, fi *funcInfo) {
+	info := fi.pkg.Info
+	seen := map[string]bool{} // pos+lock, so overlapping regions of one lock report once
+	for _, region := range fi.lockRegions {
+		reg := region
+		rep := func(pos token.Pos, msg string) {
+			key := fmt.Sprintf("%d|%s", pos, reg.id)
+			if !seen[key] {
+				seen[key] = true
+				c.report(fi.pkg, pos, nameLockorder, msg)
+			}
+		}
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			if n == nil || n.Pos() <= reg.start || n.Pos() >= reg.end {
+				return true
+			}
+			switch e := n.(type) {
+			case *ast.GoStmt:
+				// The goroutine body runs after the region; skip it.
+				return false
+			case *ast.DeferStmt:
+				return false
+			case *ast.SendStmt:
+				if !inDefaultSelect(fi, e) {
+					rep(e.Pos(), fmt.Sprintf("channel send while holding %s; a slow receiver wedges every other acquirer", reg.expr))
+				}
+				return false
+			case *ast.UnaryExpr:
+				if e.Op == token.ARROW && !inDefaultSelect(fi, e) {
+					rep(e.Pos(), fmt.Sprintf("channel receive while holding %s; a silent sender wedges every other acquirer", reg.expr))
+					return false
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(e) {
+					rep(e.Pos(), fmt.Sprintf("blocking select while holding %s", reg.expr))
+					return false
+				}
+			case *ast.CallExpr:
+				sel, isSel := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+				if isSel && isMutexRecv(info, sel) {
+					return true // lock ops handled by the graph
+				}
+				if isSel {
+					name := sel.Sel.Name
+					if isWaitGroupMethod(info, sel) && name == "Wait" {
+						rep(e.Pos(), fmt.Sprintf("sync.WaitGroup.Wait while holding %s", reg.expr))
+						return false
+					}
+					if pkgPathOfSelector(info, sel) == "net" || recvPkgPath(info, sel) == "net" {
+						rep(e.Pos(), fmt.Sprintf("net I/O (%s) while holding %s", name, reg.expr))
+						return false
+					}
+					if pkgPathOfSelector(info, sel) == "time" && (name == "Sleep" || name == "After") {
+						rep(e.Pos(), fmt.Sprintf("time.%s while holding %s", name, reg.expr))
+						return false
+					}
+				}
+				if fn, ok := calleeObject(info, e).(*types.Func); ok {
+					if gi, inModule := p.fns[fn]; inModule && gi.blocks {
+						rep(e.Pos(), fmt.Sprintf("%s may block (%s) and is called while holding %s", fn.Name(), gi.blockWhy, reg.expr))
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// inDefaultSelect reports whether a channel op sits in a comm clause of
+// a select that has a default case (and is therefore non-blocking).
+func inDefaultSelect(fi *funcInfo, n ast.Node) bool {
+	found := false
+	ast.Inspect(fi.decl.Body, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectStmt)
+		if !ok || !selectHasDefault(sel) {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil &&
+				cc.Comm.Pos() <= n.Pos() && n.End() <= cc.Comm.End() {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// reportLockCycles finds cycles in the global acquisition graph and
+// reports each one once, anchored at its lexically smallest edge when
+// that edge lives in pkg.
+func reportLockCycles(c *Checker, p *program, pkg *Package) {
+	edges := graphEdges(p)
+	adj := map[string]map[string]lockEdge{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]lockEdge{}
+		}
+		// Keep the lexically smallest witness per edge.
+		old, ok := adj[e.from][e.to]
+		if !ok || beforeEdge(c, e, old) {
+			adj[e.from][e.to] = e
+		}
+	}
+	cycles := findCycles(adj)
+	for _, cyc := range cycles {
+		anchor := cyc[0]
+		for _, e := range cyc[1:] {
+			if beforeEdge(c, e, anchor) {
+				anchor = e
+			}
+		}
+		if anchor.pkg != pkg {
+			continue
+		}
+		var hops []string
+		for _, e := range cyc {
+			hops = append(hops, fmt.Sprintf("%s→%s", e.from, e.to))
+		}
+		sort.Strings(hops)
+		c.report(pkg, anchor.pos.Pos(), nameLockorder,
+			fmt.Sprintf("lock-order cycle (potential deadlock): %s; pick one global order and stick to it", strings.Join(hops, ", ")))
+	}
+}
+
+// beforeEdge orders edges by source position for deterministic anchors.
+func beforeEdge(c *Checker, a, b lockEdge) bool {
+	pa, pb := c.Fset.Position(a.pos.Pos()), c.Fset.Position(b.pos.Pos())
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	return pa.Line < pb.Line
+}
+
+// findCycles returns the elementary cycles of the lock graph, one
+// witness edge list per cycle, discovered by DFS from each node in
+// sorted order. Each cycle is reported once (deduped on its sorted
+// node set).
+func findCycles(adj map[string]map[string]lockEdge) [][]lockEdge {
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	var out [][]lockEdge
+	seen := map[string]bool{}
+	for _, start := range nodes {
+		var path []lockEdge
+		onPath := map[string]bool{start: true}
+		var dfs func(n string) bool
+		dfs = func(n string) bool {
+			var tos []string
+			for to := range adj[n] {
+				tos = append(tos, to)
+			}
+			sort.Strings(tos)
+			for _, to := range tos {
+				e := adj[n][to]
+				if to == start {
+					cyc := append(append([]lockEdge{}, path...), e)
+					key := cycleKey(cyc)
+					if !seen[key] {
+						seen[key] = true
+						out = append(out, cyc)
+					}
+					continue
+				}
+				if onPath[to] || to < start { // cycles through smaller nodes found earlier
+					continue
+				}
+				onPath[to] = true
+				path = append(path, e)
+				dfs(to)
+				path = path[:len(path)-1]
+				delete(onPath, to)
+			}
+			return false
+		}
+		dfs(start)
+	}
+	return out
+}
+
+// cycleKey canonicalizes a cycle to its sorted node set.
+func cycleKey(cyc []lockEdge) string {
+	var ns []string
+	for _, e := range cyc {
+		ns = append(ns, e.from)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, "|")
+}

@@ -1,7 +1,7 @@
 // Command hawq-check is the project's static-analysis gate. It loads
 // and type-checks every package in the module using only the standard
 // library (go/parser, go/ast, go/types — no golang.org/x/tools) and
-// enforces five project invariants:
+// enforces ten project invariants. The v1 analyzers are per-function:
 //
 //	mutexdiscipline  Lock() must have a matching Unlock() in the same
 //	                 function, and structs containing sync.Mutex must
@@ -20,7 +20,32 @@
 //	docstrings       every exported identifier carries a doc comment
 //	                 (the DESIGN.md promise).
 //
-// A finding can be suppressed with a trailing or preceding comment:
+// The v2 analyzers are whole-program: they share a static call graph,
+// class-hierarchy interface resolution, and per-function summaries
+// computed to a fixpoint (program.go):
+//
+//	lockorder        cycles in the global mutex-acquisition graph
+//	                 (potential deadlocks) and blocking operations —
+//	                 channel ops, selects, WaitGroup.Wait, net I/O —
+//	                 performed while a named lock is held.
+//	ctxflow          every unbounded loop and blocking select on the
+//	                 query path (executor, cluster, interconnect,
+//	                 resource, engine) must observe cancellation
+//	                 (ctx.Done/Err or a stop channel) on some path.
+//	batchlife        pooled types.Batch lifetimes: use-after-PutBatch,
+//	                 double puts, and arena Row views escaping their
+//	                 batch's release without Clone.
+//	clockwall        raw time.Now/Sleep/Since/After/... anywhere but
+//	                 internal/clock; everything else takes an injected
+//	                 clock.Clock so the system stays drivable by
+//	                 clock.Sim.
+//	wiresafe         structs reachable from the gob wire surface (the
+//	                 self-described plan) must not carry unexported
+//	                 data fields (silently dropped), chans or funcs
+//	                 (encode-time failures).
+//
+// A finding can be suppressed with a trailing or preceding comment,
+// optionally followed by a justification:
 //
 //	//hawqcheck:ignore errdrop          (one analyzer)
 //	//hawqcheck:ignore goleak,errdrop   (several)
@@ -28,15 +53,18 @@
 //
 // Usage:
 //
-//	hawq-check [packages]
+//	hawq-check [-json] [packages]
 //
 // With no arguments or "./..." it checks every package in the module.
-// Findings print as "file:line: analyzer: message" and a nonzero exit
-// status reports that violations exist.
+// Findings print as "file:line: analyzer: message" — or, with -json, as
+// a JSON array of {file, line, analyzer, message} objects for tooling —
+// and a nonzero exit status reports that violations exist.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -50,6 +78,15 @@ func main() {
 }
 
 func run(args []string) error {
+	jsonOut := false
+	rest := make([]string, 0, len(args))
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		rest = append(rest, a)
+	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		return err
@@ -58,24 +95,63 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	paths, err := resolveArgs(c, cwd, args)
+	paths, err := resolveArgs(c, cwd, rest)
 	if err != nil {
 		return err
 	}
 	if err := c.Check(paths); err != nil {
 		return err
 	}
-	for _, f := range c.Findings {
-		rel := f
-		if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+	relativize(c.Findings, cwd)
+	if jsonOut {
+		if err := writeJSON(os.Stdout, c.Findings); err != nil {
+			return err
 		}
-		fmt.Println(rel)
+	} else {
+		for _, f := range c.Findings {
+			fmt.Println(f)
+		}
 	}
 	if len(c.Findings) > 0 {
 		os.Exit(1)
 	}
 	return nil
+}
+
+// relativize rewrites finding paths under base to relative form, which
+// keeps output stable across checkouts.
+func relativize(fs []Finding, base string) {
+	for i := range fs {
+		if r, err := filepath.Rel(base, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			fs[i].Pos.Filename = filepath.ToSlash(r)
+		}
+	}
+}
+
+// jsonFinding is the machine-readable diagnostic shape emitted by
+// -json; scripts/check.sh archives the array as the analysis report.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as an indented JSON array (always an array,
+// never null, so consumers can index unconditionally).
+func writeJSON(w io.Writer, fs []Finding) error {
+	out := make([]jsonFinding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, jsonFinding{
+			File:     filepath.ToSlash(f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // resolveArgs turns command-line package patterns into import paths.

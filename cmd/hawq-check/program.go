@@ -1,0 +1,557 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// program is the whole-program index the v2 analyzers (lockorder,
+// ctxflow, batchlife via helpers, wiresafe) share: a static call graph
+// over every loaded module package, a class-hierarchy resolution of
+// in-module interface method calls, and per-function summaries computed
+// to a fixpoint. It is built lazily by Checker.prog() after all
+// requested packages (and their intra-module dependencies) are loaded,
+// so every analyzer sees the same global view regardless of which
+// package it is currently reporting on.
+type program struct {
+	checker *Checker
+	// fns indexes every declared function and method in the module.
+	fns map[*types.Func]*funcInfo
+	// impls maps an in-module interface method to the corresponding
+	// concrete methods of every in-module type implementing the
+	// interface (class-hierarchy analysis). Calls through interfaces
+	// are resolved against this map: "all implementations" semantics
+	// for must-properties (ctxflow), "any implementation" semantics
+	// for may-properties (blocking).
+	impls map[*types.Func][]*types.Func
+}
+
+// funcInfo is the per-function node of the call graph plus its
+// fixpoint summaries.
+type funcInfo struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	// calls are statically resolved in-module callees.
+	calls []*types.Func
+	// ifaceCalls are calls through in-module interface methods,
+	// resolved via program.impls.
+	ifaceCalls []*types.Func
+
+	// directObserves: the body itself mentions ctx.Done()/ctx.Err() or
+	// receives from a struct{} stop channel.
+	directObserves bool
+	// observes: fixpoint closure of directObserves over the call graph.
+	observes bool
+
+	// directBlocks: the body itself performs a blocking operation
+	// (channel send/recv outside a default-select, blocking select,
+	// WaitGroup.Wait, net I/O, time.Sleep).
+	directBlocks bool
+	blockWhy     string
+	// blocks: fixpoint closure of directBlocks.
+	blocks bool
+
+	// lockRegions are the source spans during which this function holds
+	// a named mutex (receiver field or package var).
+	lockRegions []lockRegion
+	// acquires: fixpoint set of lock IDs this function may take,
+	// directly or through static in-module calls.
+	acquires map[string]bool
+}
+
+// lockRegion is one held-lock span inside a function, approximated in
+// source order: from the Lock() call to the first matching Unlock() on
+// the same expression (or to the end of the function when the unlock is
+// deferred or absent).
+type lockRegion struct {
+	id    string // canonical lock identity, e.g. "interconnect.udpNode.mu"
+	expr  string // source expression, for messages
+	start token.Pos
+	end   token.Pos
+}
+
+// prog returns the lazily built whole-program index.
+func (c *Checker) prog() *program {
+	if c.program == nil {
+		c.program = buildProgram(c)
+	}
+	return c.program
+}
+
+// buildProgram indexes all loaded packages and runs the summary
+// fixpoints.
+func buildProgram(c *Checker) *program {
+	p := &program{
+		checker: c,
+		fns:     map[*types.Func]*funcInfo{},
+		impls:   map[*types.Func][]*types.Func{},
+	}
+	// Pass 1: function index.
+	for _, pkg := range c.pkgs {
+		for obj, decl := range pkg.funcBodies {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			p.fns[fn] = &funcInfo{obj: fn, decl: decl, pkg: pkg, acquires: map[string]bool{}}
+		}
+	}
+	p.buildCHA()
+	// Pass 2: per-function direct facts and call edges.
+	for _, fi := range p.fns {
+		p.scanFunc(fi)
+	}
+	// Pass 3: fixpoints.
+	p.fixpoint()
+	return p
+}
+
+// buildCHA populates impls: for every in-module interface method, the
+// concrete in-module methods that can stand behind a call to it.
+func (p *program) buildCHA() {
+	var ifaces []*types.Named
+	var concretes []*types.Named
+	for _, pkg := range p.checker.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				ifaces = append(ifaces, named)
+			} else {
+				concretes = append(concretes, named)
+			}
+		}
+	}
+	for _, iface := range ifaces {
+		it, ok := iface.Underlying().(*types.Interface)
+		if !ok || it.NumMethods() == 0 {
+			continue
+		}
+		for _, impl := range concretes {
+			ptr := types.NewPointer(impl)
+			if !types.Implements(impl, it) && !types.Implements(ptr, it) {
+				continue
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				im := it.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, im.Pkg(), im.Name())
+				cm, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, known := p.fns[cm]; known {
+					p.impls[im] = append(p.impls[im], cm)
+				}
+			}
+		}
+	}
+	// Deterministic order for iteration stability.
+	for im := range p.impls {
+		ms := p.impls[im]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].FullName() < ms[j].FullName() })
+	}
+}
+
+// scanFunc extracts the direct facts of one function: call edges,
+// cancellation observation, blocking operations, and lock regions.
+// Function literals nested in the body are scanned as their own scopes
+// (scanBody): a lock acquired inside a closure is released when the
+// closure returns, not at the end of the enclosing declaration, and a
+// closure's blocking operations do not make the declaring function
+// itself blocking (it may never invoke the literal synchronously — a
+// documented under-approximation).
+func (p *program) scanFunc(fi *funcInfo) {
+	p.scanBody(fi, fi.decl.Body, true)
+}
+
+// scanBody scans one lexical function scope: the declared body when top
+// is true, or one nested function literal.
+func (p *program) scanBody(fi *funcInfo, body *ast.BlockStmt, top bool) {
+	info := fi.pkg.Info
+	// Select statements with a default case make their comm clauses
+	// non-blocking; collect their channel-op positions to skip.
+	nonBlocking := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if hasDefault {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlocking[cc.Comm] = true
+				}
+			}
+			nonBlocking[sel] = true
+		}
+		return true
+	})
+	inNonBlockingComm := func(n ast.Node) bool {
+		// A channel op that is itself a default-select comm clause.
+		for comm := range nonBlocking {
+			if comm.Pos() <= n.Pos() && n.End() <= comm.End() {
+				return true
+			}
+		}
+		return false
+	}
+	setBlocks := func(why string) {
+		if top && !fi.directBlocks {
+			fi.directBlocks = true
+			fi.blockWhy = why
+		}
+	}
+
+	var events []lockEvent
+
+	var walk func(n ast.Node, deferred bool) bool
+	walk = func(n ast.Node, deferred bool) bool {
+		switch e := n.(type) {
+		case *ast.DeferStmt:
+			// Arguments evaluate now; the callee runs at return. A
+			// deferred function literal's body is its own scope.
+			if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok && lit.Body != nil {
+				p.scanBody(fi, lit.Body, false)
+			}
+			ast.Inspect(e.Call, func(m ast.Node) bool {
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false
+				}
+				return walk(m, true)
+			})
+			return false
+		case *ast.GoStmt:
+			// The goroutine body runs outside this function's lock
+			// regions and blocking context; its facts are indexed if it
+			// is a named function, and a literal body is scanned as its
+			// own scope. Call-graph edge still recorded.
+			if obj := calleeObject(info, e.Call); obj != nil {
+				if fn, ok := obj.(*types.Func); ok {
+					if _, inModule := p.fns[fn]; inModule {
+						fi.calls = append(fi.calls, fn)
+					}
+				}
+			}
+			if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok && lit.Body != nil {
+				p.scanBody(fi, lit.Body, false)
+			}
+			return false
+		case *ast.FuncLit:
+			if e.Body != nil {
+				p.scanBody(fi, e.Body, false)
+			}
+			return false
+		case *ast.SendStmt:
+			if !deferred && !inNonBlockingComm(e) {
+				setBlocks("channel send")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				if exprIsLifecycle(info, e.X) {
+					fi.directObserves = true
+				}
+				if !deferred && !inNonBlockingComm(e) {
+					setBlocks("channel receive")
+				}
+			}
+		case *ast.SelectStmt:
+			if !nonBlocking[e] && !deferred {
+				setBlocks("blocking select")
+			}
+		case *ast.CallExpr:
+			p.scanCall(fi, e, deferred, setBlocks, &events)
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, false) })
+
+	// Turn lock events into held regions (source-order approximation).
+	for i, ev := range events {
+		if !ev.acquire {
+			continue
+		}
+		fi.acquires[ev.id] = true
+		end := body.End()
+		for j := i + 1; j < len(events); j++ {
+			r := events[j]
+			if r.acquire || r.expr != ev.expr || r.method != ev.release {
+				continue
+			}
+			if !r.deferred {
+				end = r.pos
+			}
+			break
+		}
+		fi.lockRegions = append(fi.lockRegions, lockRegion{
+			id: ev.id, expr: ev.expr, start: ev.pos, end: end,
+		})
+	}
+}
+
+// scanCall records call-graph edges, lock events, and call-shaped
+// blocking facts for one call expression.
+func (p *program) scanCall(fi *funcInfo, call *ast.CallExpr, deferred bool,
+	setBlocks func(string), events *[]lockEvent) {
+	info := fi.pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		// ctx.Done() / ctx.Err() on a context.Context observes
+		// cancellation.
+		if name == "Done" || name == "Err" {
+			if tv, ok := info.Types[sel.X]; ok && isContextType(tv.Type) {
+				fi.directObserves = true
+			}
+		}
+		// Mutex lock/unlock events.
+		if isMutexRecv(info, sel) {
+			switch name {
+			case "Lock", "RLock":
+				id := lockIdent(fi.pkg, sel.X)
+				*events = append(*events, lockEvent{
+					acquire: true, deferred: deferred, id: id,
+					expr: types.ExprString(sel.X), release: lockMethods[name],
+					method: name, pos: call.Pos(),
+				})
+			case "Unlock", "RUnlock":
+				*events = append(*events, lockEvent{
+					deferred: deferred, id: lockIdent(fi.pkg, sel.X),
+					expr: types.ExprString(sel.X), method: name, pos: call.Pos(),
+				})
+			}
+		}
+		// Known blocking leaf calls.
+		if !deferred {
+			if isWaitGroupMethod(info, sel) && name == "Wait" {
+				setBlocks("sync.WaitGroup.Wait")
+			}
+			if pkgPathOfSelector(info, sel) == "net" {
+				setBlocks("net." + name)
+			} else if recvPkgPath(info, sel) == "net" {
+				setBlocks("net I/O (" + name + ")")
+			}
+			if pkgPathOfSelector(info, sel) == "time" && (name == "Sleep" || name == "After") {
+				setBlocks("time." + name)
+			}
+		}
+	}
+	// Call-graph edges.
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	if _, inModule := p.fns[fn]; inModule {
+		fi.calls = append(fi.calls, fn)
+		return
+	}
+	// Interface method of an in-module interface: record for CHA
+	// resolution during the fixpoint.
+	if _, isIface := p.impls[fn]; isIface {
+		fi.ifaceCalls = append(fi.ifaceCalls, fn)
+	}
+}
+
+// lockEvent is one Lock/Unlock call observed in source order while
+// scanning a function; scanFunc pairs acquires with their releases to
+// form lockRegions.
+type lockEvent struct {
+	acquire  bool
+	deferred bool
+	id       string
+	expr     string
+	release  string
+	method   string
+	pos      token.Pos
+}
+
+// lockIdent canonicalizes the mutex expression to a stable identity:
+// "pkg.Type.field" for receiver-field mutexes, "pkg.var" for
+// package-level mutex variables, and a source-expression fallback for
+// anything else (map elements, locals).
+func lockIdent(pkg *Package, x ast.Expr) string {
+	x = ast.Unparen(x)
+	switch e := x.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := pkg.Info.Types[e.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return shortPkg(named.Obj().Pkg()) + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		return types.ExprString(e)
+	case *ast.Ident:
+		if obj, ok := pkg.Info.Uses[e].(*types.Var); ok {
+			if obj.Parent() == pkg.Types.Scope() {
+				return shortPkg(obj.Pkg()) + "." + obj.Name()
+			}
+		}
+		return pkg.Types.Name() + ":" + e.Name
+	}
+	return types.ExprString(x)
+}
+
+// shortPkg returns the last import-path element of a package (or "?"
+// for a nil package), keeping lock identities readable.
+func shortPkg(p *types.Package) string {
+	if p == nil {
+		return "?"
+	}
+	path := p.Path()
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// pkgPathOfSelector returns the import path when sel is a
+// package-qualified reference (net.Dial), else "".
+func pkgPathOfSelector(info *types.Info, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// recvPkgPath returns the defining package path of a method call's
+// receiver named type, else "".
+func recvPkgPath(info *types.Info, sel *ast.SelectorExpr) string {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// fixpoint propagates observes, blocks, and acquires over the call
+// graph until stable. Monotone rules:
+//
+//	observes(f) = direct(f) ∨ ∃ static callee g: observes(g)
+//	            ∨ ∃ interface call m: impls(m)≠∅ ∧ ∀ impl: observes(impl)
+//	blocks(f)   = direct(f) ∨ ∃ static callee g: blocks(g)
+//	            ∨ ∃ interface call m: ∃ impl: blocks(impl)
+//	acquires(f) = direct(f) ∪ ⋃ static callee g: acquires(g)
+//
+// Must-properties use all-implementations semantics, may-properties use
+// any-implementation semantics; acquires deliberately stays on static
+// edges so one shared interface does not smear lock sets across
+// unrelated implementations (a documented soundness limit).
+func (p *program) fixpoint() {
+	for _, fi := range p.fns {
+		fi.observes = fi.directObserves
+		fi.blocks = fi.directBlocks
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range p.fns {
+			if !fi.observes {
+				if p.callObserves(fi) {
+					fi.observes = true
+					changed = true
+				}
+			}
+			if !fi.blocks {
+				if why, ok := p.callBlocks(fi); ok {
+					fi.blocks = true
+					fi.blockWhy = why
+					changed = true
+				}
+			}
+			for _, g := range fi.calls {
+				gi := p.fns[g]
+				for id := range gi.acquires {
+					if !fi.acquires[id] {
+						fi.acquires[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *program) callObserves(fi *funcInfo) bool {
+	for _, g := range fi.calls {
+		if p.fns[g].observes {
+			return true
+		}
+	}
+	for _, m := range fi.ifaceCalls {
+		impls := p.impls[m]
+		if len(impls) == 0 {
+			continue
+		}
+		all := true
+		for _, im := range impls {
+			if !p.fns[im].observes {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *program) callBlocks(fi *funcInfo) (string, bool) {
+	for _, g := range fi.calls {
+		if gi := p.fns[g]; gi.blocks {
+			return fmt.Sprintf("call to %s (%s)", g.Name(), gi.blockWhy), true
+		}
+	}
+	for _, m := range fi.ifaceCalls {
+		for _, im := range p.impls[m] {
+			if ii := p.fns[im]; ii.blocks {
+				return fmt.Sprintf("call to %s (via %s; %s)", im.Name(), m.Name(), ii.blockWhy), true
+			}
+		}
+	}
+	return "", false
+}
+
+// funcAt returns the funcInfo whose declaration encloses pos in the
+// given package, or nil.
+func (p *program) funcAt(pkg *Package, pos token.Pos) *funcInfo {
+	for _, fi := range p.fns {
+		if fi.pkg == pkg && fi.decl.Pos() <= pos && pos <= fi.decl.End() {
+			return fi
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package batchlifebad is a hawq-check fixture: the three pooled-batch
+// lifetime bugs (use-after-put, double put, escaping arena views) next
+// to the ownership patterns that must pass.
+package batchlifebad
+
+import "fixmod/internal/fixtypes"
+
+// UseAfterPut reads a batch after returning it to the pool.
+func UseAfterPut() int {
+	b := fixtypes.GetBatch(4)
+	fixtypes.PutBatch(b)
+	return b.Len()
+}
+
+// DoublePut releases the same batch twice.
+func DoublePut() {
+	b := fixtypes.GetBatch(4)
+	fixtypes.PutBatch(b)
+	fixtypes.PutBatch(b)
+}
+
+// PutWithDeferPending releases explicitly while a deferred put is
+// already registered.
+func PutWithDeferPending() {
+	b := fixtypes.GetBatch(4)
+	defer fixtypes.PutBatch(b)
+	fixtypes.PutBatch(b)
+}
+
+// EscapingRow returns an arena view that dies with the deferred put.
+func EscapingRow() fixtypes.Row {
+	b := fixtypes.GetBatch(4)
+	defer fixtypes.PutBatch(b)
+	r := b.AddRow()
+	return r
+}
+
+// RowAfterPut touches an arena view after its batch was released.
+func RowAfterPut() int64 {
+	b := fixtypes.GetBatch(4)
+	r := b.AddRow()
+	fixtypes.PutBatch(b)
+	return r[0]
+}
+
+// SuppressedUse is a use-after-put with an audited justification.
+func SuppressedUse() int {
+	b := fixtypes.GetBatch(4)
+	fixtypes.PutBatch(b)
+	//hawqcheck:ignore batchlife fixture: pretend the pool is single-owner here
+	return b.Len()
+}
+
+// CleanReassign releases, then takes a fresh batch into the same
+// variable; the reassignment restores liveness.
+func CleanReassign() int {
+	b := fixtypes.GetBatch(4)
+	fixtypes.PutBatch(b)
+	b = fixtypes.GetBatch(4)
+	return b.Len()
+}
+
+// CleanClone copies the row out of the arena before the deferred put.
+func CleanClone() fixtypes.Row {
+	b := fixtypes.GetBatch(4)
+	defer fixtypes.PutBatch(b)
+	r := b.AddRow().Clone()
+	return r
+}
+
+// CleanConditionalPut releases on the error branch only; the
+// fall-through still owns the batch.
+func CleanConditionalPut(fail bool) *fixtypes.Batch {
+	b := fixtypes.GetBatch(4)
+	if fail {
+		fixtypes.PutBatch(b)
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,38 @@
+// Package clockwallbad is a hawq-check fixture: raw wall-clock reads
+// and waits outside the clock abstraction, next to the time-package
+// uses that remain legal (types and pure constructors).
+package clockwallbad
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Nap waits on the wall clock directly.
+func Nap() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Elapsed measures with the wall clock directly.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// SuppressedStamp reads the wall clock with an audited justification.
+func SuppressedStamp() time.Time {
+	//hawqcheck:ignore clockwall fixture: operator-facing display timestamp
+	return time.Now()
+}
+
+// CleanConstructor builds an instant from parts; pure constructors are
+// deterministic and allowed.
+func CleanConstructor() time.Time {
+	return time.Date(2014, 6, 22, 0, 0, 0, 0, time.UTC)
+}
+
+// CleanArithmetic uses only time types and arithmetic.
+func CleanArithmetic(d time.Duration) time.Duration {
+	return d * 2
+}

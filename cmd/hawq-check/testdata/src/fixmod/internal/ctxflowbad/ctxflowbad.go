@@ -1,0 +1,72 @@
+// Package ctxflowbad is a hawq-check fixture: a seeded unbounded loop
+// that never observes cancellation (the wedged-query bug class), a
+// blocking select with no cancellation case, and the passing shapes.
+package ctxflowbad
+
+import "context"
+
+// Pump is the seeded bug: an unbounded pump loop cancellation cannot
+// reach.
+func Pump(in <-chan int, out chan<- int) {
+	for {
+		v := <-in
+		out <- v
+	}
+}
+
+// ParkedSelect blocks on data channels only; a canceled query leaves a
+// goroutine parked here forever.
+func ParkedSelect(a, b <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SuppressedPump is the same loop with an audited justification.
+func SuppressedPump(in <-chan int, out chan<- int) {
+	//hawqcheck:ignore ctxflow the producer closes in at teardown, bounding the loop
+	for {
+		v, ok := <-in
+		if !ok {
+			return
+		}
+		out <- v
+	}
+}
+
+// CleanPump observes ctx.Done on one path, so cancellation reaches it.
+func CleanPump(ctx context.Context, in <-chan int, out chan<- int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			out <- v
+		}
+	}
+}
+
+// CleanErrCheck observes cancellation through ctx.Err.
+func CleanErrCheck(ctx context.Context, work func() bool) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !work() {
+			return nil
+		}
+	}
+}
+
+// CleanBounded loops under a condition; conditional loops are assumed
+// bounded.
+func CleanBounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+// Package lockorderbad is a hawq-check fixture: a seeded lock-order
+// cycle (the two-mutex deadlock the race detector cannot see) and
+// blocking operations under a held lock, next to code that must pass.
+package lockorderbad
+
+import "sync"
+
+// Pair holds the two mutexes of the seeded deadlock.
+type Pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	ch chan int
+	n  int
+}
+
+// LockAThenB takes a before b: one half of the cycle.
+func (p *Pair) LockAThenB() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+}
+
+// LockBThenA takes b before a: the other half. Together with
+// LockAThenB this is the classic AB/BA deadlock.
+func (p *Pair) LockBThenA() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+}
+
+// SendWhileLocked performs a channel send under a held lock: a slow
+// receiver wedges every other acquirer.
+func (p *Pair) SendWhileLocked() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.ch <- p.n
+}
+
+// SuppressedSend is the same bug with an audited justification.
+func (p *Pair) SuppressedSend() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	//hawqcheck:ignore lockorder the channel is buffered and owned by this goroutine
+	p.ch <- p.n
+}
+
+// CleanNested takes a then b everywhere, matching LockAThenB's order:
+// consistent ordering is not a cycle.
+func (p *Pair) CleanNested() {
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+}
+
+// CleanNonBlockingSend sends under the lock but with a default case,
+// which cannot block.
+func (p *Pair) CleanNonBlockingSend() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	select {
+	case p.ch <- p.n:
+	default:
+	}
+}

@@ -1,0 +1,77 @@
+// Package wiresafebad is a hawq-check fixture: structs reachable from
+// the gob wire surface carrying fields gob cannot ship — unexported
+// data (silently dropped), chans and funcs (encode-time failures) —
+// next to wire types that must pass.
+package wiresafebad
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Plan is the wire root: registered with gob and encoded directly.
+type Plan struct {
+	Name  string
+	Root  Node
+	Badge badge
+}
+
+// Node is the interface field that fans out to registered impls.
+type Node interface{ Kind() string }
+
+// badge rides inside Plan as an unexported-typed exported field; its
+// own fields are still audited.
+type badge struct {
+	Serial int
+}
+
+// Scan is a registered Node implementation with a dropped unexported
+// field and fields gob refuses at encode time.
+type Scan struct {
+	Table  string
+	filter string
+	Notify chan int
+	Filter func(int) bool
+}
+
+// Kind implements Node.
+func (*Scan) Kind() string { return "scan" }
+
+// Suppressed is a registered Node implementation whose unexported field
+// carries an audited justification.
+type Suppressed struct {
+	Table string
+	//hawqcheck:ignore wiresafe rebuilt from Table by the decoder
+	cache []byte
+}
+
+// Kind implements Node.
+func (*Suppressed) Kind() string { return "suppressed" }
+
+// CleanLeaf is fully exported and plain: nothing to flag.
+type CleanLeaf struct {
+	Rows int64
+}
+
+// Unregistered never touches the wire; its unexported field is fine.
+type Unregistered struct {
+	secret string
+}
+
+// Secret keeps the field used.
+func (u *Unregistered) Secret() string { return u.secret }
+
+func init() {
+	gob.Register(&Scan{})
+	gob.Register(&Suppressed{})
+}
+
+// Encode ships a plan, making Plan (and through Node, the registered
+// impls) wire-reachable.
+func Encode(p *Plan) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// analyzerWiresafe audits every struct reachable from the module's gob
+// wire surface — the types passed to gob.Register and gob
+// Encoder.Encode calls (the self-described plan of §3.1 and anything
+// else the project serializes) — and flags fields gob cannot carry:
+//
+//   - unexported fields: gob silently drops them, so state that looks
+//     plumbed on the QD evaporates on the QE (the reason
+//     expr.FuncCall.impl must be explicitly rebound after decode);
+//   - chan- and func-typed exported fields: gob refuses to encode a
+//     non-nil value at runtime, turning a working plan into a dispatch
+//     error the first time the field is set.
+//
+// Reachability follows exported fields through pointers, slices,
+// arrays and maps; an interface-typed field fans out to every
+// registered concrete type assignable to it. Types implementing
+// gob.GobEncoder or encoding.BinaryMarshaler own their encoding and
+// are not descended into. Fields that are deliberately rebuilt on the
+// receiving side carry //hawqcheck:ignore wiresafe with a
+// justification.
+var analyzerWiresafe = &Analyzer{
+	Name: nameWiresafe,
+	Doc:  "unexported/chan/func fields on structs reachable from the gob wire surface",
+	Run:  runWiresafe,
+}
+
+func runWiresafe(c *Checker, pkg *Package) {
+	ws := c.wiresafeState()
+	// Report each offending field once: in the package that defines its
+	// struct, when that package comes up for analysis.
+	for _, f := range ws.findings {
+		if f.pkg == pkg {
+			c.report(pkg, f.pos, nameWiresafe, f.msg)
+		}
+	}
+}
+
+// wiresafeFinding is one offending field, anchored at its declaration.
+type wiresafeFinding struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// wiresafe is the cached whole-module wire audit.
+type wiresafe struct {
+	findings []wiresafeFinding
+}
+
+// wiresafeState builds (once) the set of wire-reachable types and their
+// violations.
+func (c *Checker) wiresafeState() *wiresafe {
+	if c.wire != nil {
+		return c.wire
+	}
+	ws := &wiresafe{}
+	c.wire = ws
+
+	// Collect roots: gob.Register(arg) and gob Encoder.Encode(arg)
+	// across every loaded package.
+	var roots []types.Type
+	var registered []types.Type
+	for _, pkg := range c.pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				argType := func() types.Type {
+					tv, ok := pkg.Info.Types[call.Args[0]]
+					if !ok {
+						return nil
+					}
+					return tv.Type
+				}
+				if pkgPathOfSelector(pkg.Info, sel) == "encoding/gob" && sel.Sel.Name == "Register" {
+					if t := argType(); t != nil {
+						roots = append(roots, t)
+						registered = append(registered, t)
+					}
+					return true
+				}
+				if sel.Sel.Name == "Encode" && recvPkgPath(pkg.Info, sel) == "encoding/gob" {
+					if t := argType(); t != nil {
+						roots = append(roots, t)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	w := &wireWalker{c: c, ws: ws, registered: registered, seen: map[types.Type]bool{}}
+	for _, r := range roots {
+		w.walk(r)
+	}
+	// Deterministic output order.
+	sort.Slice(ws.findings, func(i, j int) bool { return ws.findings[i].pos < ws.findings[j].pos })
+	return ws
+}
+
+// wireWalker traverses the wire-reachable type closure.
+type wireWalker struct {
+	c          *Checker
+	ws         *wiresafe
+	registered []types.Type
+	seen       map[types.Type]bool
+}
+
+func (w *wireWalker) walk(t types.Type) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch u := t.(type) {
+	case *types.Pointer:
+		w.walk(u.Elem())
+		return
+	case *types.Slice:
+		w.walk(u.Elem())
+		return
+	case *types.Array:
+		w.walk(u.Elem())
+		return
+	case *types.Map:
+		w.walk(u.Key())
+		w.walk(u.Elem())
+		return
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok {
+		// Fan out to every registered concrete type assignable to the
+		// interface — gob decodes interface values via the registry.
+		for _, r := range w.registered {
+			if types.Implements(r, iface) || types.AssignableTo(r, t) {
+				w.walk(r)
+			}
+		}
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			w.structFields(nil, st)
+		}
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !w.c.isModulePath(obj.Pkg().Path()) {
+		// Stdlib and foreign types own their encoding (time.Time etc.).
+		return
+	}
+	if selfEncoding(named) {
+		return
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		w.structFields(named, st)
+	}
+}
+
+// structFields audits one struct's fields and recurses into the
+// exported ones.
+func (w *wireWalker) structFields(named *types.Named, st *types.Struct) {
+	owner := "struct"
+	var pkg *Package
+	if named != nil {
+		owner = named.Obj().Name()
+		pkg = w.pkgOf(named.Obj().Pkg().Path())
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			w.finding(pkg, f, fmt.Sprintf(
+				"unexported field %s.%s is silently dropped by gob; export it, mark the struct self-encoding, or rebuild it after decode",
+				owner, f.Name()))
+			continue
+		}
+		switch f.Type().Underlying().(type) {
+		case *types.Chan:
+			w.finding(pkg, f, fmt.Sprintf(
+				"chan field %s.%s on a wire struct; gob fails at encode time when it is non-nil", owner, f.Name()))
+			continue
+		case *types.Signature:
+			w.finding(pkg, f, fmt.Sprintf(
+				"func field %s.%s on a wire struct; gob fails at encode time when it is non-nil", owner, f.Name()))
+			continue
+		}
+		w.walk(f.Type())
+	}
+}
+
+// finding records one violation at the field's declaration site.
+func (w *wireWalker) finding(pkg *Package, f *types.Var, msg string) {
+	if pkg == nil {
+		return
+	}
+	w.ws.findings = append(w.ws.findings, wiresafeFinding{pkg: pkg, pos: f.Pos(), msg: msg})
+}
+
+// pkgOf maps an import path back to its loaded Package.
+func (w *wireWalker) pkgOf(path string) *Package {
+	return w.c.pkgs[path]
+}
+
+// selfEncoding reports whether the named type (or its pointer) provides
+// its own gob/binary encoding, making field-level audit irrelevant.
+func selfEncoding(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		hasEnc, hasDec := false, false
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "GobEncode", "MarshalBinary":
+				hasEnc = true
+			case "GobDecode", "UnmarshalBinary":
+				hasDec = true
+			}
+		}
+		if hasEnc && hasDec {
+			return true
+		}
+	}
+	return false
+}

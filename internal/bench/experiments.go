@@ -148,10 +148,12 @@ func perQuery(cfg Config, title string, queries []int, paperNote string) (*Repor
 func bestOf(n int, fn func() error) (time.Duration, error) {
 	best := time.Duration(1<<62 - 1)
 	for i := 0; i < n; i++ {
+		//hawqcheck:ignore clockwall — benchmarks measure real wall time by design
 		start := time.Now()
 		if err := fn(); err != nil {
 			return 0, err
 		}
+		//hawqcheck:ignore clockwall — benchmarks measure real wall time by design
 		if d := time.Since(start); d < best {
 			best = d
 		}
@@ -404,12 +406,14 @@ func AblationReport(cfg Config) (*Report, error) {
 	}
 
 	measure := func(q string, n int) (time.Duration, error) {
+		//hawqcheck:ignore clockwall — benchmarks measure real wall time by design
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			if _, err := s.Query(q); err != nil {
 				return 0, err
 			}
 		}
+		//hawqcheck:ignore clockwall — benchmarks measure real wall time by design
 		return time.Since(start), nil
 	}
 	run := func(name, workload, q string, n int, off engine.PlannerFlags) error {

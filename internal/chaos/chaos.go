@@ -192,6 +192,7 @@ func newHarnessSeeded(spillDir string, segments int, seed int64) (*harness, erro
 				return
 			default:
 				h.sim.Advance(time.Millisecond)
+				//hawqcheck:ignore clockwall — real pacing for the sim-clock driver goroutine; Sim cannot advance itself
 				time.Sleep(50 * time.Microsecond)
 			}
 		}
@@ -441,6 +442,7 @@ func canonical(rows []types.Row) string {
 // cross-checks the obs types.batch_in_use gauge (what SHOW metrics
 // reports) against the pool's own accounting.
 func awaitPoolBalance(want int64, window time.Duration) error {
+	//hawqcheck:ignore clockwall — waits for real asynchronous teardown goroutines, so wall time is the correct clock
 	deadline := time.Now().Add(window)
 	for {
 		gets, puts := types.PoolStats()
@@ -450,10 +452,12 @@ func awaitPoolBalance(want int64, window time.Duration) error {
 			}
 			return nil
 		}
+		//hawqcheck:ignore clockwall — waits for real asynchronous teardown goroutines, so wall time is the correct clock
 		if time.Now().After(deadline) {
 			return fmt.Errorf("batch pool unbalanced: %d batches unreturned (baseline %d)",
 				gets-puts, want)
 		}
+		//hawqcheck:ignore clockwall — waits for real asynchronous teardown goroutines, so wall time is the correct clock
 		time.Sleep(time.Millisecond)
 	}
 }

@@ -217,7 +217,12 @@ func (s *Sim) NewTimer(d time.Duration) Timer {
 	s.mu.Lock()
 	t := &simTimer{deadline: s.now.Add(d), ch: make(chan time.Time, 1)}
 	if d <= 0 {
-		t.ch <- s.now
+		// The channel is 1-buffered and freshly made, so this cannot
+		// block; the non-blocking form keeps that invariant explicit.
+		select {
+		case t.ch <- s.now:
+		default:
+		}
 		t.fired = true
 	} else {
 		s.timers = append(s.timers, t)
@@ -255,7 +260,12 @@ func (t *simTimer) catchUp(now time.Time) bool {
 		return t.fired
 	}
 	t.fired = true
-	t.ch <- now
+	// fired guards the 1-buffered channel, so the send cannot block;
+	// the non-blocking form keeps Sim.mu holders out of channel waits.
+	select {
+	case t.ch <- now:
+	default:
+	}
 	return true
 }
 

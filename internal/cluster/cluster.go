@@ -337,6 +337,7 @@ func (c *Cluster) Recover(segID int) error {
 	s := c.segments[segID]
 	s.mu.Lock()
 	if s.node == nil {
+		//hawqcheck:ignore lockorder — recovery-path listen; s.mu serializes segment state transitions and Listen on a free port does not wait on peers
 		node, err := c.newNode(interconnect.SegID(segID))
 		if err != nil {
 			s.mu.Unlock()
@@ -390,6 +391,7 @@ func (c *Cluster) failover(s *Segment) error {
 		return fmt.Errorf("cluster: segment %d %w for %v after %d failures",
 			s.ID, ErrSegmentBlacklisted, wait, s.failures)
 	}
+	//hawqcheck:ignore lockorder — failover-path listen; s.mu serializes segment state transitions and Listen on a free port does not wait on peers
 	node, err := c.newNode(interconnect.SegID(s.ID))
 	if err != nil {
 		return err

@@ -36,6 +36,7 @@ func (lm *laneManager) acquire(tableOID int64, xid tx.XID, maxExisting int) int 
 		lm.busy[tableOID] = lanes
 	}
 	segno := 1
+	//hawqcheck:ignore ctxflow — bounded by the number of busy lanes; the map is finite and no iteration waits
 	for {
 		if _, taken := lanes[segno]; !taken {
 			break

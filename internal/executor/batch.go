@@ -78,6 +78,7 @@ type batchCursor struct {
 // next returns the next row from src, refilling the cursor's batch as
 // needed.
 func (c *batchCursor) next(src BatchOperator) (types.Row, bool, error) {
+	//hawqcheck:ignore ctxflow — bounded by src.NextBatch, whose producers observe cancellation
 	for {
 		if c.b != nil && c.idx < c.b.Len() {
 			row := c.b.Row(c.idx)

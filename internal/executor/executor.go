@@ -16,6 +16,7 @@ import (
 
 	"hawq/internal/catalog"
 	"hawq/internal/clock"
+	"hawq/internal/expr"
 	"hawq/internal/hdfs"
 	"hawq/internal/interconnect"
 	"hawq/internal/plan"
@@ -155,6 +156,12 @@ type Operator interface {
 // recursion, its children) is wrapped in a stats decorator; parents
 // capture decorated children, so rows are counted at every plan edge.
 func Build(ctx *Context, n plan.Node) (Operator, error) {
+	// Bind the query's clock into this node's scalar expressions so
+	// time-dependent builtins (current_date) evaluate against executor
+	// time — deterministic under clock.Sim — instead of the wall.
+	for _, e := range plan.NodeExprs(n) {
+		expr.BindClock(e, ctx.Clock)
+	}
 	op, err := buildNode(ctx, n)
 	if err != nil || ctx.Stats == nil {
 		return op, err
@@ -201,7 +208,7 @@ func buildNode(ctx *Context, n plan.Node) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &limitOp{in: in, n: v.N, offset: v.Offset}, nil
+		return &limitOp{ctx: ctx, in: in, n: v.N, offset: v.Offset}, nil
 	case *plan.Distinct:
 		in, err := Build(ctx, v.Input)
 		if err != nil {

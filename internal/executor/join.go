@@ -551,7 +551,13 @@ func (n *nestLoopOp) Open() error {
 
 // Next implements Operator.
 func (n *nestLoopOp) Next() (types.Row, bool, error) {
+	// Each left row restarts the inner scan; with a selective predicate
+	// the loop can run far past one output row, so observe cancellation
+	// per outer iteration.
 	for {
+		if err := n.ctx.canceled(); err != nil {
+			return nil, false, err
+		}
 		if n.cur == nil {
 			row, ok, err := n.leftR.next()
 			if err != nil || !ok {

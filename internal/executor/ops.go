@@ -487,6 +487,7 @@ func (p *projectOp) Close() error {
 // limitOp implements LIMIT/OFFSET; closing early propagates STOP through
 // motion operators below.
 type limitOp struct {
+	ctx     *Context
 	in      Operator
 	n       int64
 	offset  int64
@@ -503,7 +504,12 @@ func (l *limitOp) Next() (types.Row, bool, error) {
 	if l.done || l.seen >= l.n {
 		return nil, false, nil
 	}
+	// The OFFSET-skipping phase can consume unboundedly many input rows
+	// before producing one, so observe cancellation each iteration.
 	for {
+		if err := l.ctx.canceled(); err != nil {
+			return nil, false, err
+		}
 		row, ok, err := l.in.Next()
 		if err != nil || !ok {
 			l.done = true

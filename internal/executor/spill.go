@@ -131,6 +131,7 @@ func openCursor(f *resource.File) (*wfCursor, error) {
 
 // next returns the next row in the file.
 func (c *wfCursor) next() (types.Row, bool, error) {
+	//hawqcheck:ignore ctxflow — bounded by the finite workfile; Next returns false at EOF
 	for {
 		if c.b != nil && c.idx < c.b.Len() {
 			row := c.b.Row(c.idx)

@@ -3,7 +3,9 @@ package expr
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
+	"hawq/internal/clock"
 	"hawq/internal/types"
 )
 
@@ -202,6 +204,47 @@ func TestFuncCalls(t *testing.T) {
 	}
 	if !IsBuiltinFunc("UPPER") || IsBuiltinFunc("sum") {
 		t.Error("IsBuiltinFunc misclassifies")
+	}
+}
+
+// TestCurrentDateUsesBoundClock is the golden test for the clock-driven
+// current_date: under clock.Sim the result is the simulated date
+// (deterministic and replayable), never the wall date.
+func TestCurrentDateUsesBoundClock(t *testing.T) {
+	f, err := NewFuncCall("current_date", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := clock.NewSim(time.Time{}) // SIGMOD'14 epoch, 2014-06-22 UTC
+	BindClock(f, sim)
+	got := mustEval(t, f, nil).String()
+	if got != "2014-06-22" {
+		t.Errorf("current_date under Sim = %q, want %q", got, "2014-06-22")
+	}
+	sim.Advance(48 * time.Hour)
+	if got := mustEval(t, f, nil).String(); got != "2014-06-24" {
+		t.Errorf("current_date after Advance = %q, want %q", got, "2014-06-24")
+	}
+
+	// An unbound call falls back to the wall clock (the pre-PR behavior).
+	unbound, err := NewFuncCall("current_date", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	//hawqcheck:ignore clockwall asserting the wall-clock fallback itself
+	want := types.DateFromTime(time.Now().UTC()).String()
+	if got := mustEval(t, unbound, nil).String(); got != want {
+		t.Errorf("unbound current_date = %q, want wall date %q", got, want)
+	}
+
+	// BindClock reaches FuncCalls nested anywhere in an expression tree.
+	nested, err := NewFuncCall("extract_year", []Expr{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	BindClock(nested, sim)
+	if got := mustEval(t, nested, nil).String(); got != "2014" {
+		t.Errorf("extract_year(current_date) under Sim = %q, want 2014", got)
 	}
 }
 

@@ -3,8 +3,8 @@ package expr
 import (
 	"fmt"
 	"strings"
-	"time"
 
+	"hawq/internal/clock"
 	"hawq/internal/types"
 )
 
@@ -12,13 +12,23 @@ import (
 type FuncCall struct {
 	Name string
 	Args []Expr
+	// impl and clk are segment-local bindings, deliberately rebuilt
+	// after decode by RebindFuncs/BindClock (§3.1); only Name and Args
+	// travel on the wire.
+	//hawqcheck:ignore wiresafe impl is rebound by RebindFuncs after decode
 	impl *builtin
+	//hawqcheck:ignore wiresafe clk is rebound by BindClock at executor Build
+	clk clock.Clock
 }
 
 type builtin struct {
 	minArgs, maxArgs int
 	kind             func(args []Expr) types.Kind
 	eval             func(args []types.Datum) (types.Datum, error)
+	// evalClock is set instead of eval for builtins whose result depends
+	// on the current time (current_date); the executor binds the query's
+	// clock so results are deterministic under clock.Sim.
+	evalClock func(c clock.Clock, args []types.Datum) (types.Datum, error)
 }
 
 func fixedKind(k types.Kind) func([]Expr) types.Kind {
@@ -26,54 +36,55 @@ func fixedKind(k types.Kind) func([]Expr) types.Kind {
 }
 
 var builtins = map[string]*builtin{
-	"extract_year": {1, 1, fixedKind(types.KindInt64), func(a []types.Datum) (types.Datum, error) {
+	"extract_year": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindInt64), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewInt64(int64(a[0].Year())), nil
 	}},
-	"extract_month": {1, 1, fixedKind(types.KindInt64), func(a []types.Datum) (types.Datum, error) {
+	"extract_month": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindInt64), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewInt64(int64(a[0].Time().Month())), nil
 	}},
-	"extract_day": {1, 1, fixedKind(types.KindInt64), func(a []types.Datum) (types.Datum, error) {
+	"extract_day": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindInt64), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewInt64(int64(a[0].Time().Day())), nil
 	}},
-	"add_months": {2, 2, fixedKind(types.KindDate), func(a []types.Datum) (types.Datum, error) {
+	"add_months": {minArgs: 2, maxArgs: 2, kind: fixedKind(types.KindDate), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() || a[1].IsNull() {
 			return types.Null, nil
 		}
 		t := a[0].Time().AddDate(0, int(a[1].Int()), 0)
 		return types.DateFromTime(t), nil
 	}},
-	"add_years": {2, 2, fixedKind(types.KindDate), func(a []types.Datum) (types.Datum, error) {
+	"add_years": {minArgs: 2, maxArgs: 2, kind: fixedKind(types.KindDate), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() || a[1].IsNull() {
 			return types.Null, nil
 		}
 		t := a[0].Time().AddDate(int(a[1].Int()), 0, 0)
 		return types.DateFromTime(t), nil
 	}},
-	"add_days": {2, 2, fixedKind(types.KindDate), func(a []types.Datum) (types.Datum, error) {
+	"add_days": {minArgs: 2, maxArgs: 2, kind: fixedKind(types.KindDate), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() || a[1].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewDate(int32(a[0].I + a[1].Int())), nil
 	}},
-	"date": {1, 1, fixedKind(types.KindDate), func(a []types.Datum) (types.Datum, error) {
+	"date": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindDate), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.Cast(a[0], types.KindDate)
 	}},
-	"current_date": {0, 0, fixedKind(types.KindDate), func(a []types.Datum) (types.Datum, error) {
-		return types.DateFromTime(time.Now().UTC()), nil
-	}},
-	"substring": {2, 3, fixedKind(types.KindString), func(a []types.Datum) (types.Datum, error) {
+	"current_date": {minArgs: 0, maxArgs: 0, kind: fixedKind(types.KindDate),
+		evalClock: func(c clock.Clock, a []types.Datum) (types.Datum, error) {
+			return types.DateFromTime(c.Now().UTC()), nil
+		}},
+	"substring": {minArgs: 2, maxArgs: 3, kind: fixedKind(types.KindString), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() || a[1].IsNull() {
 			return types.Null, nil
 		}
@@ -97,31 +108,31 @@ var builtins = map[string]*builtin{
 		}
 		return types.NewString(s[from:end]), nil
 	}},
-	"upper": {1, 1, fixedKind(types.KindString), func(a []types.Datum) (types.Datum, error) {
+	"upper": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindString), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewString(strings.ToUpper(a[0].Str())), nil
 	}},
-	"lower": {1, 1, fixedKind(types.KindString), func(a []types.Datum) (types.Datum, error) {
+	"lower": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindString), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewString(strings.ToLower(a[0].Str())), nil
 	}},
-	"length": {1, 1, fixedKind(types.KindInt64), func(a []types.Datum) (types.Datum, error) {
+	"length": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindInt64), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewInt64(int64(len(a[0].Str()))), nil
 	}},
-	"trim": {1, 1, fixedKind(types.KindString), func(a []types.Datum) (types.Datum, error) {
+	"trim": {minArgs: 1, maxArgs: 1, kind: fixedKind(types.KindString), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
 		return types.NewString(strings.TrimSpace(a[0].Str())), nil
 	}},
-	"abs": {1, 1, func(args []Expr) types.Kind { return args[0].Kind() }, func(a []types.Datum) (types.Datum, error) {
+	"abs": {minArgs: 1, maxArgs: 1, kind: func(args []Expr) types.Kind { return args[0].Kind() }, eval: func(a []types.Datum) (types.Datum, error) {
 		d := a[0]
 		if d.IsNull() {
 			return types.Null, nil
@@ -131,7 +142,7 @@ var builtins = map[string]*builtin{
 		}
 		return d, nil
 	}},
-	"round": {1, 2, fixedKind(types.KindFloat64), func(a []types.Datum) (types.Datum, error) {
+	"round": {minArgs: 1, maxArgs: 2, kind: fixedKind(types.KindFloat64), eval: func(a []types.Datum) (types.Datum, error) {
 		if a[0].IsNull() {
 			return types.Null, nil
 		}
@@ -151,7 +162,7 @@ var builtins = map[string]*builtin{
 		}
 		return types.NewFloat64(v / mult), nil
 	}},
-	"coalesce": {1, 16, func(args []Expr) types.Kind { return args[0].Kind() }, func(a []types.Datum) (types.Datum, error) {
+	"coalesce": {minArgs: 1, maxArgs: 16, kind: func(args []Expr) types.Kind { return args[0].Kind() }, eval: func(a []types.Datum) (types.Datum, error) {
 		for _, d := range a {
 			if !d.IsNull() {
 				return d, nil
@@ -189,6 +200,9 @@ func (f *FuncCall) Eval(row types.Row) (types.Datum, error) {
 			return types.Null, err
 		}
 		args[i] = v
+	}
+	if f.impl.evalClock != nil {
+		return f.impl.evalClock(clock.Default(f.clk), args)
 	}
 	return f.impl.eval(args)
 }

@@ -1,6 +1,10 @@
 package expr
 
-import "fmt"
+import (
+	"fmt"
+
+	"hawq/internal/clock"
+)
 
 // Walk visits e and every sub-expression in evaluation order.
 func Walk(e Expr, fn func(Expr)) {
@@ -69,4 +73,15 @@ func RebindFuncs(e Expr) error {
 		}
 	})
 	return err
+}
+
+// BindClock injects the query's clock into every FuncCall under e, so
+// time-dependent builtins (current_date) read executor time instead of
+// the wall. A nil clock leaves evaluation on clock.Wall.
+func BindClock(e Expr, c clock.Clock) {
+	Walk(e, func(x Expr) {
+		if f, ok := x.(*FuncCall); ok {
+			f.clk = c
+		}
+	})
 }

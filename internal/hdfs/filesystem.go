@@ -336,6 +336,7 @@ func (fs *FileSystem) ReplicationCheck() int {
 				}
 				continue
 			}
+			//hawqcheck:ignore lockorder — simulated disk latency: the injected clock sleep is virtual (instant) under clock.Sim
 			data, err := live[0].readBlock(b.id, 0, -1)
 			if err != nil {
 				continue

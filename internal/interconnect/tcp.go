@@ -382,6 +382,7 @@ func (s *tcpSend) unregister() {
 // watchStop reads the back-channel for the receiver's STOP frame.
 func (s *tcpSend) watchStop() {
 	var b [1]byte
+	//hawqcheck:ignore ctxflow — terminates when the conn closes; Close/cancel unblocks the Read
 	for {
 		if _, err := s.conn.Read(b[:]); err != nil {
 			return
@@ -415,6 +416,7 @@ func (s *tcpSend) Send(data []byte) error {
 	frame[0] = tcpFrameData
 	binary.BigEndian.PutUint32(frame[1:], uint32(len(data)))
 	copy(frame[5:], data)
+	//hawqcheck:ignore lockorder — frame write serialized under s.mu by design; stop watchdog breaks a blocked write
 	if _, err := s.conn.Write(frame); err != nil {
 		if s.canceled.Load() {
 			return ErrCanceled
@@ -443,14 +445,17 @@ func (s *tcpSend) Close() error {
 	}
 	if !s.stopped.Load() {
 		frame := []byte{tcpFrameEOS, 0, 0, 0, 0}
+		//hawqcheck:ignore lockorder — frame write serialized under s.mu by design; stop watchdog breaks a blocked write
 		s.conn.Write(frame)
 	}
 	// Give the kernel a moment to flush, then close. TCP guarantees
 	// delivery of written data on a graceful close.
 	if tc, ok := s.conn.(*net.TCPConn); ok {
+		//hawqcheck:ignore lockorder — half-close under s.mu is a local socket op, not a peer wait
 		tc.CloseWrite()
 		return nil
 	}
+	//hawqcheck:ignore lockorder — close under s.mu is a local socket op, not a peer wait
 	return s.conn.Close()
 }
 

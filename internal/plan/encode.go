@@ -78,7 +78,7 @@ func Decode(data []byte) (*Plan, error) {
 	}
 	var rebindErr error
 	p.Walk(func(n Node) {
-		for _, e := range nodeExprs(n) {
+		for _, e := range NodeExprs(n) {
 			if err := expr.RebindFuncs(e); err != nil && rebindErr == nil {
 				rebindErr = err
 			}
@@ -90,8 +90,10 @@ func Decode(data []byte) (*Plan, error) {
 	return &p, nil
 }
 
-// nodeExprs returns the expressions held by a node.
-func nodeExprs(n Node) []expr.Expr {
+// NodeExprs returns the expressions held by a node, so callers (the
+// executor, clock binding) can walk a plan's scalar surface without
+// knowing every node shape.
+func NodeExprs(n Node) []expr.Expr {
 	switch v := n.(type) {
 	case *Scan:
 		return []expr.Expr{v.Filter}

@@ -56,6 +56,7 @@ func (a *Account) Grow(n int64) error {
 		a.used.Add(-n)
 		return fmt.Errorf("%w (grant %d bytes)", ErrOutOfMemory, a.limit)
 	}
+	//hawqcheck:ignore ctxflow — lock-free CAS retry; each pass either wins or observes a newer peak
 	for {
 		peak := a.peak.Load()
 		if used <= peak || a.peak.CompareAndSwap(peak, used) {
@@ -153,6 +154,7 @@ func MaxSpillLevel() int64 { return spillLevelMax.Load() }
 // NoteSpillLevel records that an operator spilled at the given
 // recursion level.
 func NoteSpillLevel(level int) {
+	//hawqcheck:ignore ctxflow — lock-free CAS retry; each pass either wins or observes a newer peak
 	for {
 		cur := spillLevelMax.Load()
 		if int64(level) <= cur || spillLevelMax.CompareAndSwap(cur, int64(level)) {

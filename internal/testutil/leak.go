@@ -68,6 +68,7 @@ stacks:
 // server draining its accept loop after Close — get until the deadline
 // to exit before they count as leaks.
 func CheckNoLeaks(window time.Duration) error {
+	//hawqcheck:ignore clockwall — waits for real runtime goroutines to exit; a virtual clock cannot see them
 	deadline := time.Now().Add(window)
 	var leaked []string
 	for {
@@ -75,9 +76,11 @@ func CheckNoLeaks(window time.Duration) error {
 		if len(leaked) == 0 {
 			return nil
 		}
+		//hawqcheck:ignore clockwall — waits for real runtime goroutines to exit; a virtual clock cannot see them
 		if time.Now().After(deadline) {
 			break
 		}
+		//hawqcheck:ignore clockwall — waits for real runtime goroutines to exit; a virtual clock cannot see them
 		time.Sleep(10 * time.Millisecond)
 	}
 	return fmt.Errorf("testutil: %d leaked goroutine(s):\n%s",

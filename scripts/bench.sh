@@ -6,8 +6,10 @@
 # spilled bytes per op) and the observability overhead microbench
 # (scan→filter→project with per-operator stats off vs on; the on/off
 # delta is the EXPLAIN ANALYZE instrumentation cost and must stay
-# under 5%), and writes the results to BENCH_micro.json as
-# {"BenchmarkName/variant": {ns_op, b_op, allocs_op}}.
+# under 5%), and the hawq-check self-benchmark (one full ten-analyzer
+# run over the repository; budget <10s), and writes the results to
+# BENCH_micro.json as {"BenchmarkName/variant": {ns_op, b_op,
+# allocs_op}}.
 #
 # Usage:
 #   scripts/bench.sh            # full run (benchtime 2s per benchmark)
@@ -44,6 +46,12 @@ trap 'rm -f "$RAW"' EXIT
 
 echo "==> go test -bench (benchtime $BENCHTIME, count $COUNT)"
 go test "${RACE[@]+"${RACE[@]}"}" -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" $PKGS | tee "$RAW"
+
+# The static-analysis self-benchmark always runs a single iteration:
+# one full-tree run is seconds, so repeating it with the 2s benchtime
+# would blow the <10s budget for no extra signal.
+echo "==> hawq-check self-runtime (benchtime 1x)"
+go test "${RACE[@]+"${RACE[@]}"}" -run '^$' -bench 'BenchmarkHawqCheckSelf' -benchmem -benchtime 1x -count 1 ./cmd/hawq-check | tee -a "$RAW"
 
 if [[ "$SMOKE" == 1 ]]; then
     echo "==> smoke run OK (BENCH_micro.json left untouched)"

@@ -3,9 +3,17 @@
 #
 #   1. go build ./...            — everything compiles
 #   2. go vet ./...              — stdlib static analysis
-#   3. go run ./cmd/hawq-check   — the project's own invariant suite
+#   3. go run ./cmd/hawq-check   — the project's own invariant suite:
+#                                  the per-function v1 analyzers
 #                                  (mutexdiscipline, goleak, errdrop,
-#                                  determinism, docstrings)
+#                                  determinism, docstrings) and the
+#                                  whole-program v2 analyzers
+#                                  (lockorder, ctxflow, batchlife,
+#                                  clockwall, wiresafe). Fails on any
+#                                  non-suppressed finding and archives
+#                                  the -json report as
+#                                  hawq-check-report.json for CI
+#                                  upload.
 #   4. go test -race ./...       — full test suite under the race
 #                                  detector, including the goroutine
 #                                  leak checkers wired into TestMain
@@ -40,6 +48,9 @@ go vet ./...
 
 echo "==> hawq-check ./..."
 go run ./cmd/hawq-check ./...
+
+echo "==> hawq-check -json report (hawq-check-report.json)"
+go run ./cmd/hawq-check -json ./... > hawq-check-report.json
 
 echo "==> go test -race ./..."
 go test -race ./...

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# lint.sh is the fast static gate: compile, vet, and the project's own
+# ten-analyzer hawq-check suite (including the whole-program v2
+# analyzers: lockorder, ctxflow, batchlife, clockwall, wiresafe).
+# It is the subset of scripts/check.sh that needs no test execution —
+# seconds, not minutes — for use as an editor hook or pre-commit step.
+#
+# Usage:
+#   scripts/lint.sh           # human-readable findings
+#   scripts/lint.sh --json    # machine-readable findings on stdout
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JSON=()
+if [[ "${1:-}" == "--json" ]]; then
+    JSON=(-json)
+fi
+
+echo "==> go build ./..." >&2
+go build ./...
+
+echo "==> go vet ./..." >&2
+go vet ./...
+
+echo "==> hawq-check ./..." >&2
+go run ./cmd/hawq-check "${JSON[@]+"${JSON[@]}"}" ./...
+
+echo "lint clean." >&2
