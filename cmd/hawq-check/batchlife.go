@@ -8,10 +8,11 @@ import (
 )
 
 // analyzerBatchlife tracks the lifetime of pooled batches
-// (Checker.BatchPkg, default internal/types: GetBatch/PutBatch and the
-// arena Row views into a Batch) inside each function and reports the
-// three misuse classes that corrupt rows at a distance — the bug class
-// the chaos pool-balance gauge only catches after the fact:
+// (Checker.BatchPkg, default internal/types: GetBatch/PutBatch, the
+// encoded GetVecBatch/PutVecBatch pair, and the arena Row views into a
+// Batch) inside each function and reports the three misuse classes
+// that corrupt rows at a distance — the bug class the chaos
+// pool-balance gauge only catches after the fact:
 //
 //   - use-after-put: any use of a *Batch after an unconditional
 //     PutBatch on the same variable in the same statement sequence;
@@ -30,7 +31,7 @@ import (
 // limit).
 var analyzerBatchlife = &Analyzer{
 	Name: nameBatchlife,
-	Doc:  "use-after-PutBatch, double puts, and arena row views escaping a batch release",
+	Doc:  "use-after-put, double puts, and arena row views escaping a pooled Batch or VecBatch release",
 	Run:  runBatchlife,
 }
 
@@ -102,7 +103,7 @@ func (b *batchLifeScan) stmt(st ast.Stmt) {
 		if call, ok := obligationCall(b.pkg, s.Call, b.c.BatchPkg); ok {
 			if obj := argObject(b.pkg, s.Call); obj != nil {
 				if b.released[obj] || b.deferPut[obj] {
-					b.report(s.Call.Pos(), fmt.Sprintf("deferred PutBatch(%s) duplicates an earlier put; the pool would hand the arena to two owners", nameOf(obj)))
+					b.report(s.Call.Pos(), fmt.Sprintf("deferred %s(%s) duplicates an earlier put; the pool would hand the arena to two owners", putNameFor(obj.Type()), nameOf(obj)))
 				}
 				b.deferPut[obj] = true
 			}
@@ -137,7 +138,7 @@ func (b *batchLifeScan) stmt(st ast.Stmt) {
 			b.checkUses(r)
 			if obj := exprObject(b.pkg, r); obj != nil {
 				if owner, ok := b.rowOwner[obj]; ok && !b.rowCloned[obj] && b.deferPut[owner] {
-					b.report(r.Pos(), fmt.Sprintf("returning arena row %s while PutBatch(%s) is deferred; the view dies with the batch — Clone it first", nameOf(obj), nameOf(owner)))
+					b.report(r.Pos(), fmt.Sprintf("returning arena row %s while %s(%s) is deferred; the view dies with the batch — Clone it first", nameOf(obj), putNameFor(owner.Type()), nameOf(owner)))
 				}
 			}
 		}
@@ -232,9 +233,9 @@ func (b *batchLifeScan) putCall(e ast.Expr, deferred bool) bool {
 		return true
 	}
 	if b.released[obj] {
-		b.report(call.Pos(), fmt.Sprintf("PutBatch(%s) called twice; the second put hands the same arena to two future owners (the pool panics at runtime)", nameOf(obj)))
+		b.report(call.Pos(), fmt.Sprintf("%s(%s) called twice; the second put hands the same arena to two future owners (the pool panics at runtime)", putNameFor(obj.Type()), nameOf(obj)))
 	} else if b.deferPut[obj] {
-		b.report(call.Pos(), fmt.Sprintf("explicit PutBatch(%s) with a deferred put pending; the deferred call becomes a double put", nameOf(obj)))
+		b.report(call.Pos(), fmt.Sprintf("explicit %s(%s) with a deferred put pending; the deferred call becomes a double put", putNameFor(obj.Type()), nameOf(obj)))
 	}
 	b.released[obj] = true
 	return true
@@ -256,11 +257,11 @@ func (b *batchLifeScan) checkUses(n ast.Node) {
 			return true
 		}
 		if b.released[obj] {
-			b.report(id.Pos(), fmt.Sprintf("%s used after PutBatch; the arena may already belong to another operator", id.Name))
+			b.report(id.Pos(), fmt.Sprintf("%s used after %s; the arena may already belong to another operator", id.Name, putNameFor(obj.Type())))
 			return true
 		}
 		if owner, ok := b.rowOwner[obj]; ok && !b.rowCloned[obj] && b.released[owner] {
-			b.report(id.Pos(), fmt.Sprintf("arena row %s used after PutBatch(%s); retain rows past release with Clone", id.Name, nameOf(owner)))
+			b.report(id.Pos(), fmt.Sprintf("arena row %s used after %s(%s); retain rows past release with Clone", id.Name, putNameFor(owner.Type()), nameOf(owner)))
 		}
 		return true
 	})
@@ -296,13 +297,14 @@ func (b *batchLifeScan) report(pos token.Pos, msg string) {
 // nameOf returns a variable's name for diagnostics.
 func nameOf(obj types.Object) string { return obj.Name() }
 
-// obligationCall reports whether call is batchpkg.PutBatch(x).
+// obligationCall reports whether call is batchpkg.PutBatch(x) or
+// batchpkg.PutVecBatch(x) — the two pool releases batchlife tracks.
 func obligationCall(pkg *Package, call *ast.CallExpr, batchPkg string) (*ast.CallExpr, bool) {
 	fn, ok := calleeObject(pkg.Info, call).(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return nil, false
 	}
-	if fn.Pkg().Path() != batchPkg || fn.Name() != "PutBatch" {
+	if fn.Pkg().Path() != batchPkg || (fn.Name() != "PutBatch" && fn.Name() != "PutVecBatch") {
 		return nil, false
 	}
 	return call, true
@@ -340,7 +342,9 @@ func lhsObject(pkg *Package, e ast.Expr) types.Object {
 	return pkg.Info.Uses[id]
 }
 
-// isBatchPtr reports whether t is *batchpkg.Batch.
+// isBatchPtr reports whether t is *batchpkg.Batch or
+// *batchpkg.VecBatch — both pooled with the same single-owner
+// discipline.
 func isBatchPtr(t types.Type, batchPkg string) bool {
 	ptr, ok := t.Underlying().(*types.Pointer)
 	if !ok {
@@ -351,7 +355,18 @@ func isBatchPtr(t types.Type, batchPkg string) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == batchPkg && obj.Name() == "Batch"
+	return obj.Pkg() != nil && obj.Pkg().Path() == batchPkg && (obj.Name() == "Batch" || obj.Name() == "VecBatch")
+}
+
+// putNameFor returns the pool-release function matching a pooled batch
+// variable's type, for diagnostics.
+func putNameFor(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Name() == "VecBatch" {
+			return "PutVecBatch"
+		}
+	}
+	return "PutBatch"
 }
 
 // isRowType reports whether t is batchpkg.Row.

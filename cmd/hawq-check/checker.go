@@ -60,8 +60,9 @@ type Checker struct {
 	// internal/clock or carry an inline //hawqcheck:ignore clockwall
 	// justification.
 	ClockAllowPkgs []string
-	// BatchPkg is the import path providing the pooled batch arena
-	// (GetBatch/PutBatch) whose lifetimes batchlife tracks.
+	// BatchPkg is the import path providing the pooled batch arenas
+	// (GetBatch/PutBatch and GetVecBatch/PutVecBatch) whose lifetimes
+	// batchlife tracks.
 	BatchPkg string
 	// Analyzers to run; defaults to allAnalyzers when nil.
 	Analyzers []*Analyzer

@@ -32,9 +32,9 @@
 //	                 query path (executor, cluster, interconnect,
 //	                 resource, engine) must observe cancellation
 //	                 (ctx.Done/Err or a stop channel) on some path.
-//	batchlife        pooled types.Batch lifetimes: use-after-PutBatch,
-//	                 double puts, and arena Row views escaping their
-//	                 batch's release without Clone.
+//	batchlife        pooled types.Batch and types.VecBatch lifetimes:
+//	                 use-after-put, double puts, and arena Row views
+//	                 escaping their batch's release without Clone.
 //	clockwall        raw time.Now/Sleep/Since/After/... anywhere but
 //	                 internal/clock; everything else takes an injected
 //	                 clock.Clock so the system stays drivable by

@@ -78,3 +78,34 @@ func CleanConditionalPut(fail bool) *fixtypes.Batch {
 	}
 	return b
 }
+
+// VecUseAfterPut reads an encoded batch after returning it to the
+// pool; VecBatch lifetimes follow the same discipline as Batch.
+func VecUseAfterPut() int {
+	vb := fixtypes.GetVecBatch(4)
+	fixtypes.PutVecBatch(vb)
+	return vb.SelCount()
+}
+
+// VecDoublePut releases the same encoded batch twice.
+func VecDoublePut() {
+	vb := fixtypes.GetVecBatch(4)
+	fixtypes.PutVecBatch(vb)
+	fixtypes.PutVecBatch(vb)
+}
+
+// CleanVecHandoff transfers encoded-batch ownership without releasing;
+// the callee now owns the put obligation.
+func CleanVecHandoff(sink func(*fixtypes.VecBatch)) {
+	vb := fixtypes.GetVecBatch(4)
+	sink(vb)
+}
+
+// CleanVecReassign releases, then takes a fresh encoded batch into the
+// same variable; the reassignment restores liveness.
+func CleanVecReassign() int {
+	vb := fixtypes.GetVecBatch(4)
+	fixtypes.PutVecBatch(vb)
+	vb = fixtypes.GetVecBatch(4)
+	return vb.SelCount()
+}

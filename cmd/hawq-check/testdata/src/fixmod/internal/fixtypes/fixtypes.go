@@ -38,3 +38,19 @@ func GetBatch(n int) *Batch { return &Batch{rows: make([]Row, 0, n)} }
 // PutBatch returns a batch to the pool; the caller must not touch it
 // (or any arena row view into it) afterwards.
 func PutBatch(b *Batch) { b.rows = b.rows[:0] }
+
+// VecBatch is the pooled encoded-column batch, released through
+// PutVecBatch with the same single-owner discipline as Batch.
+type VecBatch struct {
+	sel []int32
+}
+
+// SelCount returns the number of selected rows.
+func (vb *VecBatch) SelCount() int { return len(vb.sel) }
+
+// GetVecBatch takes an encoded batch from the pool.
+func GetVecBatch(n int) *VecBatch { return &VecBatch{sel: make([]int32, 0, n)} }
+
+// PutVecBatch returns an encoded batch to the pool; the caller must
+// not touch it afterwards.
+func PutVecBatch(vb *VecBatch) { vb.sel = vb.sel[:0] }

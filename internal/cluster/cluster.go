@@ -505,6 +505,14 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 		}
 	}()
 
+	// Runtime bloom filters (compressed execution): when the plan carries
+	// filter specs, every slice execution on this in-process cluster
+	// shares one FilterHub. Each spec expects one publisher per gang
+	// member of the slice containing its hash join — after a
+	// redistribute, each member holds only its partition of the build
+	// keys, so probe scans may only consult the union.
+	hub := newFilterHub(p)
+
 	var wg sync.WaitGroup
 	errCh := make(chan error, 64)
 	var cancelOnce sync.Once
@@ -544,7 +552,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 			wg.Add(1)
 			go func(si, segID int) {
 				defer wg.Done()
-				if err := c.runQE(ctx, query, encoded, si, segID, resFor(segID), p.WorkMem, onUpdate, onStats); err != nil {
+				if err := c.runQE(ctx, query, encoded, si, segID, resFor(segID), p.WorkMem, hub, onUpdate, onStats); err != nil {
 					select {
 					case errCh <- fmt.Errorf("segment %d slice %d: %w", segID, si, err):
 					default:
@@ -572,6 +580,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 		MotionPayload:   c.cfg.MotionPayload,
 		RowMode:         c.cfg.RowMode,
 		Clock:           c.clk,
+		Filters:         hub,
 	}
 	if onStats != nil {
 		qdCtx.Stats = executor.NewStatsRecorder(c.clk, p.Slices[0].Root, 0, plan.QDSegment)
@@ -618,7 +627,7 @@ func (c *Cluster) Dispatch(ctx context.Context, p *plan.Plan, onRow func(types.R
 
 // runQE executes one slice as a QE on one segment. The QE decodes the
 // self-described plan itself — stateless segment, no catalog round trip.
-func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, nr *queryNodeRes, workMem int64, onUpdate func(executor.SegFileUpdate), onStats func(obs.SliceStats)) error {
+func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, sliceID, segID int, nr *queryNodeRes, workMem int64, hub *executor.FilterHub, onUpdate func(executor.SegFileUpdate), onStats func(obs.SliceStats)) error {
 	var net interconnect.Node
 	var localHost string
 	if segID == plan.QDSegment {
@@ -664,6 +673,7 @@ func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, s
 		MotionPayload:   c.cfg.MotionPayload,
 		RowMode:         c.cfg.RowMode,
 		Clock:           c.clk,
+		Filters:         hub,
 	}
 	if onStats != nil {
 		ectx.Stats = executor.NewStatsRecorder(c.clk, decoded.Slices[sliceID].Root, sliceID, segID)
@@ -676,4 +686,31 @@ func (c *Cluster) runQE(ctx context.Context, query uint64, encodedPlan []byte, s
 		onStats(ectx.Stats.Stats())
 	}
 	return nil
+}
+
+// newFilterHub scans the plan for runtime bloom-filter specs and builds
+// the per-query FilterHub, registering one expected publisher per gang
+// member of each spec's slice. Returns nil when the plan carries no
+// filters, which disables the whole machinery for the query.
+func newFilterHub(p *plan.Plan) *executor.FilterHub {
+	var hub *executor.FilterHub
+	for _, s := range p.Slices {
+		publishers := len(s.Segments)
+		var walk func(n plan.Node)
+		walk = func(n plan.Node) {
+			if hj, ok := n.(*plan.HashJoin); ok {
+				for _, spec := range hj.RuntimeFilters {
+					if hub == nil {
+						hub = executor.NewFilterHub()
+					}
+					hub.Expect(spec.ID, publishers)
+				}
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		walk(s.Root)
+	}
+	return hub
 }

@@ -28,6 +28,7 @@ func (s *Session) newPlanner(ctx context.Context, t *tx.Tx) *planner.Planner {
 		DisableDirectDispatch: flags.DisableDirectDispatch,
 		DisablePartitionElim:  flags.DisablePartitionElim,
 		DisableColocation:     flags.DisableColocation,
+		DisableRuntimeFilters: flags.DisableRuntimeFilters,
 	}
 	p.SubqueryEval = func(sub *sqlparser.SelectStmt) (types.Datum, error) {
 		rows, _, err := s.runSelectRows(ctx, t, sub)

@@ -44,6 +44,15 @@ type hashAggOp struct {
 
 	keyScratch types.Row
 	keyBuf     []byte
+
+	// vecIn is set when the input can deliver still-encoded vector
+	// batches (compressed execution): Open then absorbs through
+	// absorbVec, which evaluates group/agg expressions over per-column
+	// iterators and reuses one run- or dictionary-level group lookup
+	// where the encoding allows.
+	vecIn      VecSource
+	vecIters   []vecIter
+	vecScratch types.Row
 }
 
 // aggPart is one spilled partition of not-yet-aggregated input rows.
@@ -69,7 +78,13 @@ func newHashAggOp(ctx *Context, node *plan.HashAgg) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &hashAggOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in), mem: memBudget{ctx: ctx}}, nil
+	a := &hashAggOp{ctx: ctx, node: node, in: in, bin: ctx.batchInput(in), mem: memBudget{ctx: ctx}}
+	if !ctx.RowMode {
+		if vs, ok := in.(VecSource); ok && vs.EnableVec() {
+			a.vecIn = vs
+		}
+	}
+	return a, nil
 }
 
 // setOpStats implements statsSink: the aggregate charges its table peak
@@ -83,6 +98,17 @@ func (a *hashAggOp) setOpStats(st *obs.OpStats) {
 // their partition file. row may be an arena view; only datum values are
 // retained.
 func (a *hashAggOp) absorb(row types.Row) error {
+	grp, err := a.lookupGroup(row)
+	if err != nil || grp == nil {
+		return err // diverted to spill (or failed)
+	}
+	return a.accumulate(grp, row)
+}
+
+// lookupGroup finds or creates the group for row, leaving the encoded
+// group key in a.keyBuf. A nil group (and nil error) means the row was
+// diverted to a spill partition and is fully handled.
+func (a *hashAggOp) lookupGroup(row types.Row) (*aggGroup, error) {
 	if cap(a.keyScratch) < len(a.node.Groups) {
 		a.keyScratch = make(types.Row, len(a.node.Groups))
 	}
@@ -91,7 +117,7 @@ func (a *hashAggOp) absorb(row types.Row) error {
 	for i, g := range a.node.Groups {
 		v, err := g.Eval(row)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		keys[i] = v
 		a.keyBuf = types.EncodeDatum(a.keyBuf, v)
@@ -99,25 +125,25 @@ func (a *hashAggOp) absorb(row types.Row) error {
 	grp := a.groups[string(a.keyBuf)]
 	if grp == nil {
 		if a.sp != nil {
-			return a.sp.add(string(a.keyBuf), row)
+			return nil, a.sp.addBytes(a.keyBuf, row)
 		}
 		cost := aggGroupMem(keys, len(a.keyBuf), len(a.node.Aggs))
 		if a.noSpill {
 			if err := a.mem.growHard(cost); err != nil {
-				return err
+				return nil, err
 			}
 		} else {
 			over, err := a.mem.grow(cost)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if over {
 				sp, err := newSpillPartition(a.ctx, a.level, a.mem.st)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				a.sp = sp
-				return a.sp.add(string(a.keyBuf), row)
+				return nil, a.sp.addBytes(a.keyBuf, row)
 			}
 		}
 		grp = &aggGroup{keys: keys.Clone(), accs: make([]expr.Accumulator, len(a.node.Aggs))}
@@ -128,6 +154,11 @@ func (a *hashAggOp) absorb(row types.Row) error {
 		a.groups[key] = grp
 		a.order = append(a.order, key)
 	}
+	return grp, nil
+}
+
+// accumulate folds one row into an existing group.
+func (a *hashAggOp) accumulate(grp *aggGroup, row types.Row) error {
 	for i, spec := range a.node.Aggs {
 		if spec.Kind == expr.AggCountStar {
 			grp.accs[i].Add(types.NewInt64(1))
@@ -138,6 +169,98 @@ func (a *hashAggOp) absorb(row types.Row) error {
 			return err
 		}
 		grp.accs[i].Add(v)
+	}
+	return nil
+}
+
+// absorbVec folds one still-encoded vector batch: selected rows are
+// assembled into a reused scratch row through per-column iterators (so
+// unselected rows of raw pages are skipped, not decoded), and when the
+// single group column arrives dictionary- or run-length-encoded the
+// group lookup is cached per code/run instead of re-encoded per row.
+func (a *hashAggOp) absorbVec(vb *types.VecBatch) error {
+	ncols := len(vb.Cols)
+	if cap(a.vecIters) < ncols {
+		a.vecIters = make([]vecIter, ncols)
+	}
+	iters := a.vecIters[:ncols]
+	for j := range iters {
+		iters[j].reset(&vb.Cols[j])
+	}
+	if cap(a.vecScratch) < ncols {
+		a.vecScratch = make(types.Row, ncols)
+	}
+	scratch := a.vecScratch[:ncols]
+
+	// Group-key specialization: a single ColRef group over an encoded
+	// column lets one lookup serve a whole run or dictionary code.
+	gcol := -1
+	var gv *types.Vector
+	if len(a.node.Groups) == 1 {
+		if cr, ok := a.node.Groups[0].(*expr.ColRef); ok && cr.Idx < ncols {
+			gcol = cr.Idx
+			gv = &vb.Cols[gcol]
+		}
+	}
+	var codeGroups []*aggGroup
+	if gv != nil && gv.Enc == types.VecDict {
+		codeGroups = make([]*aggGroup, len(gv.Values))
+	}
+	var runGrp *aggGroup
+	runK := -1
+
+	emit := func(ri int32) error {
+		for j := range iters {
+			d, err := iters[j].at(ri)
+			if err != nil {
+				return err
+			}
+			scratch[j] = d
+		}
+		var grp *aggGroup
+		var err error
+		switch {
+		case codeGroups != nil:
+			c := gv.Codes[ri]
+			if grp = codeGroups[c]; grp == nil {
+				grp, err = a.lookupGroup(scratch)
+				// Never cache a spill diversion: later rows of this code
+				// must divert too, row by row.
+				if grp != nil && a.sp == nil {
+					codeGroups[c] = grp
+				}
+			}
+		case gv != nil && gv.Enc == types.VecRLE:
+			if k := iters[gcol].k; runK == k && runGrp != nil {
+				grp = runGrp
+			} else {
+				grp, err = a.lookupGroup(scratch)
+				if grp != nil && a.sp == nil {
+					runGrp, runK = grp, k
+				} else {
+					runGrp, runK = nil, -1
+				}
+			}
+		default:
+			grp, err = a.lookupGroup(scratch)
+		}
+		if err != nil || grp == nil {
+			return err
+		}
+		return a.accumulate(grp, scratch)
+	}
+	if sel := vb.Sel; sel != nil {
+		for _, ri := range sel {
+			if err := emit(ri); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, n := 0, vb.Len(); i < n; i++ {
+		if err := emit(int32(i)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -168,7 +291,25 @@ func (a *hashAggOp) Open() error {
 	a.emitted = 0
 	a.level = 0
 	a.noSpill = false
-	if err := drainRows(a.ctx, a.bin, a.in, a.absorb); err != nil {
+	if a.vecIn != nil {
+		for {
+			if err := a.ctx.canceled(); err != nil {
+				return err
+			}
+			vb, err := a.vecIn.NextVecBatch()
+			if err != nil {
+				return err
+			}
+			if vb == nil {
+				break
+			}
+			err = a.absorbVec(vb)
+			types.PutVecBatch(vb)
+			if err != nil {
+				return err
+			}
+		}
+	} else if err := drainRows(a.ctx, a.bin, a.in, a.absorb); err != nil {
 		return err
 	}
 	if err := a.sealSpill(); err != nil {

@@ -1,0 +1,303 @@
+package executor
+
+import (
+	"fmt"
+	"sync"
+
+	"hawq/internal/obs"
+	"hawq/internal/types"
+)
+
+// rtfRowsRemoved counts probe-side rows eliminated by runtime bloom
+// filters before they reached decode, residual filters, or a motion.
+var rtfRowsRemoved = obs.GetCounter("executor.rows_removed_by_runtime_filter")
+
+// bloomBits is the fixed filter size: 64K bits (8 KiB) per runtime
+// filter. With k=4 hash functions the false-positive rate stays under
+// ~2.4% up to roughly 8K distinct build keys — past that the filter
+// degrades gracefully toward letting everything through, never toward
+// dropping a row it shouldn't.
+const (
+	bloomBits  = 1 << 16
+	bloomWords = bloomBits / 64
+	bloomK     = 4
+)
+
+// Bloom is a fixed-size blocked-probe bloom filter over join-key
+// hashes. Writers and readers are never concurrent: a build side fills
+// its private filter, publishes it to the FilterHub, and only then do
+// scans observe the merged result.
+type Bloom struct {
+	bits [bloomWords]uint64
+}
+
+// bloomIdx derives the i'th probe position by double hashing: the two
+// halves of the 64-bit key hash advance independently, so k=4 probes
+// cost one hash computation.
+func bloomIdx(h uint64, i int) uint64 {
+	h2 := (h >> 32) | 1 // odd, so successive probes don't collapse
+	return (h + uint64(i)*h2) & (bloomBits - 1)
+}
+
+// Add inserts one key hash.
+func (b *Bloom) Add(h uint64) {
+	for i := 0; i < bloomK; i++ {
+		idx := bloomIdx(h, i)
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// MayContain reports whether the key hash may have been added: false
+// means definitely absent, true means present or a false positive.
+func (b *Bloom) MayContain(h uint64) bool {
+	for i := 0; i < bloomK; i++ {
+		idx := bloomIdx(h, i)
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge ORs another filter into b (the per-segment union: after a
+// redistribute motion each build gang member holds only its key
+// partition, so a probe-side scan may only use the union of all of
+// them).
+func (b *Bloom) Merge(o *Bloom) {
+	for i := range b.bits {
+		b.bits[i] |= o.bits[i]
+	}
+}
+
+// rtfHash hashes one join-key datum for runtime-filter membership:
+// FNV-1a over the datum's sort encoding after the same numeric
+// normalization joinKey applies, so an INT32 build key and an INT64
+// probe column hash identically. buf is a reusable scratch buffer;
+// the (possibly grown) buffer is returned for reuse.
+func rtfHash(buf []byte, d types.Datum) ([]byte, uint64) {
+	buf = types.EncodeDatum(buf[:0], normalizeKey(d))
+	h := uint64(14695981039346656037)
+	for _, c := range buf {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return buf, h
+}
+
+// FilterHub distributes runtime bloom filters from hash-join build
+// sides (publishers) to probe-side scans (consumers) within one query.
+// The dispatcher creates one hub per query and registers, per filter
+// ID, how many gang members will publish (one per segment executing
+// the join's slice); a filter becomes visible to consumers only after
+// every publisher has contributed, because each publisher may hold
+// only its partition of the build keys. Lookup is non-blocking: scans
+// poll it per page, so pages read before the filter is ready simply
+// pass through unfiltered — the filter is an optimization, never a
+// synchronization point.
+type FilterHub struct {
+	mu      sync.Mutex
+	entries map[int32]*hubEntry
+}
+
+type hubEntry struct {
+	expect int
+	got    int
+	merged *Bloom
+	ready  bool
+}
+
+// NewFilterHub creates an empty hub.
+func NewFilterHub() *FilterHub {
+	return &FilterHub{entries: map[int32]*hubEntry{}}
+}
+
+// Expect registers a filter ID and the number of publishers that must
+// contribute before the merged filter becomes visible. The dispatcher
+// calls it for every runtime filter in the plan before any slice runs;
+// publishes for unregistered IDs are dropped.
+func (f *FilterHub) Expect(id int32, publishers int) {
+	if f == nil || publishers <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.entries[id] = &hubEntry{expect: publishers, merged: &Bloom{}}
+}
+
+// Publish contributes one gang member's filter. When the last expected
+// publisher arrives the merged union becomes visible to Lookup.
+func (f *FilterHub) Publish(id int32, b *Bloom) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.entries[id]
+	if e == nil {
+		return nil // unregistered: plan didn't wire any consumer
+	}
+	if e.got >= e.expect {
+		return fmt.Errorf("executor: runtime filter %d published %d times, expected %d", id, e.got+1, e.expect)
+	}
+	e.merged.Merge(b)
+	e.got++
+	if e.got == e.expect {
+		e.ready = true
+	}
+	return nil
+}
+
+// Lookup returns the merged filter for id once every publisher has
+// contributed, or nil while it is incomplete (or was never registered).
+// The returned filter is immutable from this point on.
+func (f *FilterHub) Lookup(id int32) *Bloom {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := f.entries[id]
+	if e == nil || !e.ready {
+		return nil
+	}
+	return e.merged
+}
+
+// applyBloomVec narrows vb.Sel to the rows of v whose key hash may be
+// in the filter, evaluating the membership test once per dictionary
+// entry or run where the encoding allows, and returning the number of
+// rows removed. buf is hash scratch, returned for reuse.
+func applyBloomVec(v *types.Vector, bloom *Bloom, vb *types.VecBatch, buf []byte) (int, []byte, error) {
+	before := vb.SelCount()
+	pass := func(d types.Datum) bool {
+		if d.IsNull() {
+			// NULL keys never join; the filter exists to shed probe rows
+			// for Inner/Semi joins, where NULL-key rows are dropped anyway.
+			return false
+		}
+		var h uint64
+		buf, h = rtfHash(buf, d)
+		return bloom.MayContain(h)
+	}
+	var out []int32
+	n := vb.Len()
+	sel := vb.Sel
+	switch v.Enc {
+	case types.VecDict:
+		entry := make([]bool, len(v.Values))
+		for i, d := range v.Values {
+			entry[i] = pass(d)
+		}
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				if entry[v.Codes[i]] {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, ri := range sel {
+				if entry[v.Codes[ri]] {
+					out = append(out, ri)
+				}
+			}
+		}
+	case types.VecRLE:
+		if sel == nil {
+			i := int32(0)
+			for k, run := range v.Runs {
+				if pass(v.Values[k]) {
+					for r := int32(0); r < run; r++ {
+						out = append(out, i+r)
+					}
+				}
+				i += run
+			}
+		} else {
+			if len(v.Runs) == 0 {
+				return 0, buf, fmt.Errorf("executor: non-empty selection over empty RLE vector")
+			}
+			k, runEnd := 0, v.Runs[0]
+			verdict := pass(v.Values[0])
+			for _, ri := range sel {
+				for k < len(v.Runs) && ri >= runEnd {
+					k++
+					if k < len(v.Runs) {
+						runEnd += v.Runs[k]
+						verdict = pass(v.Values[k])
+					}
+				}
+				if k >= len(v.Runs) {
+					return 0, buf, fmt.Errorf("executor: selection index %d beyond RLE runs", ri)
+				}
+				if verdict {
+					out = append(out, ri)
+				}
+			}
+		}
+	case types.VecFlat:
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				if pass(v.Values[i]) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, ri := range sel {
+				if pass(v.Values[ri]) {
+					out = append(out, ri)
+				}
+			}
+		}
+	case types.VecRaw:
+		pos, next := 0, int32(0)
+		decodeAt := func(ri int32) (types.Datum, error) {
+			for next < ri {
+				sz, err := types.SkipDatum(v.Raw[pos:])
+				if err != nil {
+					return types.Null, err
+				}
+				pos += sz
+				next++
+			}
+			d, sz, err := types.DecodeDatum(v.Raw[pos:])
+			if err != nil {
+				return types.Null, err
+			}
+			pos += sz
+			next++
+			return d, nil
+		}
+		if sel == nil {
+			for i := 0; i < n; i++ {
+				d, err := decodeAt(int32(i))
+				if err != nil {
+					return 0, buf, err
+				}
+				if pass(d) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, ri := range sel {
+				d, err := decodeAt(ri)
+				if err != nil {
+					return 0, buf, err
+				}
+				if pass(d) {
+					out = append(out, ri)
+				}
+			}
+		}
+	default:
+		return 0, buf, fmt.Errorf("executor: runtime filter over bad vector encoding %d", v.Enc)
+	}
+	if out == nil {
+		out = []int32{}
+	}
+	vb.Sel = out
+	removed := before - len(out)
+	if removed > 0 {
+		rtfRowsRemoved.Add(int64(removed))
+	}
+	return removed, buf, nil
+}

@@ -29,7 +29,18 @@ type hashJoinOp struct {
 	rightWidth  int
 
 	mem   memBudget
-	table map[string][]types.Row
+	table map[string]*buildBucket
+	// keyBuf is the reusable join-key encoding buffer: every key
+	// computation on the hot path encodes into it and looks up the table
+	// via the non-allocating map[string(keyBuf)] form; only inserting a
+	// previously unseen build key materializes a string.
+	keyBuf []byte
+
+	// blooms are the runtime filters this build side is filling, one per
+	// plan.RuntimeFilterSpec, published to ctx.Filters when the build
+	// completes (nil when the context has no hub or the plan no specs).
+	blooms []*Bloom
+	rtfBuf []byte
 
 	// spill state
 	spilled  bool
@@ -76,18 +87,26 @@ func (j *hashJoinOp) setOpStats(st *obs.OpStats) {
 	j.mem.st = st
 }
 
-// joinKey encodes the key columns; the bool reports whether any key was
-// NULL (which never joins).
-func joinKey(row types.Row, cols []int) (string, bool) {
-	var buf []byte
+// buildBucket holds the build rows sharing one join key. The pointer
+// indirection lets probes and repeated inserts go through the
+// non-allocating map[string(buf)] lookup — only the first insert of a
+// key converts the scratch buffer to a string.
+type buildBucket struct {
+	rows []types.Row
+}
+
+// appendJoinKey encodes the key columns into buf (reused across rows);
+// the bool reports whether any key was NULL (which never joins).
+func appendJoinKey(buf []byte, row types.Row, cols []int) ([]byte, bool) {
+	buf = buf[:0]
 	for _, c := range cols {
 		if row[c].IsNull() {
-			return "", false
+			return buf[:0], false
 		}
 		// Normalize numerics so INT32 7 joins INT64 7 across tables.
 		buf = types.EncodeDatum(buf, normalizeKey(row[c]))
 	}
-	return string(buf), true
+	return buf, true
 }
 
 func normalizeKey(d types.Datum) types.Datum {
@@ -108,18 +127,35 @@ func (j *hashJoinOp) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
-	j.table = make(map[string][]types.Row)
+	if j.ctx != nil && j.ctx.Filters != nil && len(j.node.RuntimeFilters) > 0 {
+		j.blooms = make([]*Bloom, len(j.node.RuntimeFilters))
+		for i := range j.blooms {
+			j.blooms[i] = &Bloom{}
+		}
+	}
+	j.table = make(map[string]*buildBucket)
 	err := drainRows(j.ctx, j.rightBin, j.right, func(row types.Row) error {
-		key, valid := joinKey(row, j.node.RightKeys)
+		var valid bool
+		j.keyBuf, valid = appendJoinKey(j.keyBuf, row, j.node.RightKeys)
 		if !valid {
 			// Build rows with NULL keys can never match and no join kind
 			// here emits unmatched build rows.
 			return nil
 		}
-		if j.spilled {
-			return j.buildSP.add(key, row)
+		// Fill the runtime filters before any spill diversion: the bloom
+		// must cover every build row regardless of where it lands.
+		for si, spec := range j.node.RuntimeFilters {
+			if j.blooms == nil {
+				break
+			}
+			var h uint64
+			j.rtfBuf, h = rtfHash(j.rtfBuf, row[spec.BuildKey])
+			j.blooms[si].Add(h)
 		}
-		over, err := j.mem.grow(rowMem(row) + int64(len(key)))
+		if j.spilled {
+			return j.buildSP.addBytes(j.keyBuf, row)
+		}
+		over, err := j.mem.grow(rowMem(row) + int64(len(j.keyBuf)))
 		if err != nil {
 			return err
 		}
@@ -127,9 +163,14 @@ func (j *hashJoinOp) Open() error {
 			if err := j.spillBuild(); err != nil {
 				return err
 			}
-			return j.buildSP.add(key, row)
+			return j.buildSP.addBytes(j.keyBuf, row)
 		}
-		j.table[key] = append(j.table[key], row.Clone())
+		bkt := j.table[string(j.keyBuf)]
+		if bkt == nil {
+			bkt = &buildBucket{}
+			j.table[string(j.keyBuf)] = bkt
+		}
+		bkt.rows = append(bkt.rows, row.Clone())
 		return nil
 	})
 	if err != nil {
@@ -137,6 +178,18 @@ func (j *hashJoinOp) Open() error {
 	}
 	if err := j.right.Close(); err != nil {
 		return err
+	}
+	// Publish the completed runtime filters before the probe side opens:
+	// same-slice probe scans then see them from their very first page,
+	// while cross-slice scans pick them up as soon as every gang member's
+	// build finishes (best-effort, never blocking).
+	if j.blooms != nil {
+		for si, spec := range j.node.RuntimeFilters {
+			if err := j.ctx.Filters.Publish(spec.ID, j.blooms[si]); err != nil {
+				return err
+			}
+		}
+		j.blooms = nil
 	}
 	if err := j.left.Open(); err != nil {
 		return err
@@ -155,15 +208,16 @@ func (j *hashJoinOp) Open() error {
 		return err
 	}
 	err = drainRows(j.ctx, j.leftR.bin, j.left, func(row types.Row) error {
-		key, valid := joinKey(row, j.node.LeftKeys)
+		var valid bool
+		j.keyBuf, valid = appendJoinKey(j.keyBuf, row, j.node.LeftKeys)
 		if !valid {
 			switch j.node.Kind {
 			case plan.InnerJoin, plan.SemiJoin:
 				return nil // can't match, can't be emitted
 			}
-			key = "" // Left/Anti must still see the row to emit it
+			// Left/Anti must still see the row to emit it: empty key.
 		}
-		return j.probeSP.add(key, row)
+		return j.probeSP.addBytes(j.keyBuf, row)
 	})
 	if err != nil {
 		return err
@@ -187,8 +241,8 @@ func (j *hashJoinOp) spillBuild() error {
 	if err != nil {
 		return err
 	}
-	for key, rows := range j.table {
-		for _, r := range rows {
+	for key, bkt := range j.table {
+		for _, r := range bkt.rows {
 			if err := sp.add(key, r); err != nil {
 				sp.remove()
 				return err
@@ -251,7 +305,7 @@ func (j *hashJoinOp) probeNext() (types.Row, bool, error) {
 // re-partitioned at the next level instead.
 func (j *hashJoinOp) loadPart(part joinPart) (bool, error) {
 	noSpill := part.level >= maxSpillLevel
-	table := make(map[string][]types.Row)
+	table := make(map[string]*buildBucket)
 	cur, err := openCursor(part.build)
 	if err != nil {
 		return false, err
@@ -269,11 +323,12 @@ func (j *hashJoinOp) loadPart(part joinPart) (bool, error) {
 		if !ok {
 			break
 		}
-		key, valid := joinKey(row, j.node.RightKeys)
+		var valid bool
+		j.keyBuf, valid = appendJoinKey(j.keyBuf, row, j.node.RightKeys)
 		if !valid {
 			continue
 		}
-		cost := rowMem(row) + int64(len(key))
+		cost := rowMem(row) + int64(len(j.keyBuf))
 		if noSpill {
 			if err := j.mem.growHard(cost); err != nil {
 				cur.close()
@@ -291,7 +346,12 @@ func (j *hashJoinOp) loadPart(part joinPart) (bool, error) {
 				return false, j.repartition(part)
 			}
 		}
-		table[key] = append(table[key], row.Clone())
+		bkt := table[string(j.keyBuf)]
+		if bkt == nil {
+			bkt = &buildBucket{}
+			table[string(j.keyBuf)] = bkt
+		}
+		bkt.rows = append(bkt.rows, row.Clone())
 	}
 	cur.close()
 	j.table = table
@@ -357,14 +417,12 @@ func (j *hashJoinOp) reroute(f *resource.File, keys []int, sp *spillPartition, k
 		if !ok {
 			return nil
 		}
-		key, valid := joinKey(row, keys)
-		if !valid {
-			if !keepInvalid {
-				continue
-			}
-			key = ""
+		var valid bool
+		j.keyBuf, valid = appendJoinKey(j.keyBuf, row, keys)
+		if !valid && !keepInvalid {
+			continue
 		}
-		if err := sp.add(key, row); err != nil {
+		if err := sp.addBytes(j.keyBuf, row); err != nil {
 			return err
 		}
 	}
@@ -426,10 +484,13 @@ func (j *hashJoinOp) Next() (types.Row, bool, error) {
 		if !ok {
 			return nil, false, nil
 		}
-		key, valid := joinKey(row, j.node.LeftKeys)
+		var valid bool
+		j.keyBuf, valid = appendJoinKey(j.keyBuf, row, j.node.LeftKeys)
 		var matches []types.Row
 		if valid {
-			matches = j.table[key]
+			if bkt := j.table[string(j.keyBuf)]; bkt != nil {
+				matches = bkt.rows
+			}
 		}
 		switch j.node.Kind {
 		case plan.InnerJoin, plan.SemiJoin:

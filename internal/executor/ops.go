@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"sync"
 
+	"hawq/internal/catalog"
 	"hawq/internal/expr"
+	"hawq/internal/obs"
 	"hawq/internal/plan"
 	"hawq/internal/storage"
 	"hawq/internal/types"
@@ -24,22 +26,114 @@ const scanBatchDepth = 4
 // channel carries pooled batches decoded a storage block at a time, with
 // the scan's filter applied batch-wise before handoff; Context.RowMode
 // falls back to the tuple-at-a-time channel.
+//
+// Columnar tables (CO, Parquet) instead run the compressed-execution
+// producer: pages arrive as still-encoded types.VecBatch vectors, zone
+// maps prune pages before decompression, runtime bloom filters narrow
+// the selection before decode, and the vector filter kernels consume
+// the scan predicate's kernelizable conjuncts. A consumer that called
+// EnableVec receives the encoded batches as-is through NextVecBatch;
+// otherwise the producer materializes survivors (and applies any
+// residual predicate) into ordinary pooled batches.
 type scanOp struct {
 	ctx  *Context
 	node *plan.Scan
 
 	rowMode bool
+	canVec  bool // columnar storage: the vec producer is available
+	vecMode bool // consumer called EnableVec: deliver encoded batches
 	ch      chan *types.Batch
+	vch     chan *types.VecBatch
 	rowCh   chan types.Row
 	errc    chan error
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	open    bool
 	cur     batchCursor
+
+	zonePreds []storage.ZonePred
+	opStats   *obs.OpStats
 }
 
 func newScanOp(ctx *Context, node *plan.Scan) *scanOp {
-	return &scanOp{ctx: ctx, node: node, rowMode: ctx.RowMode}
+	s := &scanOp{ctx: ctx, node: node, rowMode: ctx.RowMode}
+	switch node.Table.Storage.Orientation {
+	case catalog.OrientColumn, catalog.OrientParquet:
+		s.canVec = !s.rowMode
+	}
+	if s.canVec {
+		s.zonePreds = zonePredsFromFilter(node.Filter, node.Schema.Len())
+	}
+	return s
+}
+
+// zonePredsFromFilter extracts the pushdown-able conjuncts of a scan
+// filter: <ColRef> <comparison> <non-NULL Const> over the projected
+// width, the shape zone maps can refute per page.
+func zonePredsFromFilter(filter expr.Expr, width int) []storage.ZonePred {
+	if filter == nil {
+		return nil
+	}
+	var preds []storage.ZonePred
+	for _, c := range expr.Conjuncts(filter, nil) {
+		bo, ok := c.(*expr.BinOp)
+		if !ok {
+			continue
+		}
+		cr, ok := bo.L.(*expr.ColRef)
+		if !ok || cr.Idx >= width {
+			continue
+		}
+		cst, ok := bo.R.(*expr.Const)
+		if !ok || cst.D.IsNull() {
+			continue
+		}
+		op, ok := zoneOpOf(bo.Op)
+		if !ok {
+			continue
+		}
+		preds = append(preds, storage.ZonePred{Col: cr.Idx, Op: op, Val: cst.D})
+	}
+	return preds
+}
+
+// zoneOpOf maps a comparison operator onto its zone-map counterpart.
+func zoneOpOf(op expr.BinOpKind) (storage.ZoneOp, bool) {
+	switch op {
+	case expr.OpEq:
+		return storage.ZoneEq, true
+	case expr.OpNe:
+		return storage.ZoneNe, true
+	case expr.OpLt:
+		return storage.ZoneLt, true
+	case expr.OpLe:
+		return storage.ZoneLe, true
+	case expr.OpGt:
+		return storage.ZoneGt, true
+	case expr.OpGe:
+		return storage.ZoneGe, true
+	}
+	return 0, false
+}
+
+// setOpStats implements statsSink: the scan attributes pages skipped and
+// runtime-filter row removals to its own slot (flushed once when the
+// producer goroutine exits; Stats is read only after Close joins it).
+func (s *scanOp) setOpStats(st *obs.OpStats) { s.opStats = st }
+
+// EnableVec implements VecSource: encoded delivery is possible when the
+// storage is columnar, the context allows batches, and the whole scan
+// filter is consumable by the vector kernels (no residual — a residual
+// would force materialization before handoff, defeating the point).
+func (s *scanOp) EnableVec() bool {
+	if !s.canVec || s.open {
+		return s.vecMode
+	}
+	if !expr.VecFilterable(s.node.Filter, s.node.Schema.Len()) {
+		return false
+	}
+	s.vecMode = true
+	return true
 }
 
 // Open implements Operator: it starts the storage reader goroutine. The
@@ -51,14 +145,137 @@ func (s *scanOp) Open() error {
 	s.stop = make(chan struct{})
 	s.open = true
 	s.wg.Add(1)
-	if s.rowMode {
+	switch {
+	case s.rowMode:
 		s.rowCh = make(chan types.Row, 256)
 		go s.produceRows()
-	} else {
+	case s.canVec:
+		if s.vecMode {
+			s.vch = make(chan *types.VecBatch, scanBatchDepth)
+		} else {
+			s.ch = make(chan *types.Batch, scanBatchDepth)
+		}
+		go s.produceVec()
+	default:
 		s.ch = make(chan *types.Batch, scanBatchDepth)
 		go s.produceBatches()
 	}
 	return nil
+}
+
+// produceVec is the compressed-execution producer for columnar tables:
+// per page set it applies runtime bloom filters (before decode), then
+// the vector filter kernels, then either hands the encoded batch to a
+// vec consumer or materializes survivors into a pooled batch.
+func (s *scanOp) produceVec() {
+	defer s.wg.Done()
+	st := &storage.ScanStats{}
+	var rtfRemoved int64
+	var hashBuf []byte
+	defer func() {
+		if s.opStats != nil {
+			s.opStats.PagesSkipped += st.PagesSkipped
+			s.opStats.RTFilterRows += rtfRemoved
+		}
+	}()
+	if s.vecMode {
+		defer close(s.vch)
+	} else {
+		defer close(s.ch)
+	}
+	for _, sf := range s.node.SegFiles {
+		if sf.SegmentID != s.ctx.Segment {
+			continue
+		}
+		err := storage.ScanVecBatches(s.ctx.FS, s.node.Table.Storage, s.node.Table.Schema, sf, s.node.Proj, s.zonePreds, st, func(vb *types.VecBatch) error {
+			for _, t := range s.node.RuntimeFilters {
+				if t.Col >= len(vb.Cols) || vb.SelCount() == 0 {
+					continue
+				}
+				bloom := s.ctx.Filters.Lookup(t.ID)
+				if bloom == nil {
+					continue // not published yet: pass unfiltered, stay correct
+				}
+				removed, buf, err := applyBloomVec(&vb.Cols[t.Col], bloom, vb, hashBuf)
+				hashBuf = buf
+				if err != nil {
+					types.PutVecBatch(vb)
+					return err
+				}
+				rtfRemoved += int64(removed)
+			}
+			residual, err := expr.FilterVec(s.node.Filter, vb)
+			if err != nil {
+				types.PutVecBatch(vb)
+				return err
+			}
+			if vb.SelCount() == 0 {
+				types.PutVecBatch(vb)
+				return nil
+			}
+			if s.vecMode {
+				// vecMode requires VecFilterable, so residual is nil here.
+				select {
+				case s.vch <- vb:
+					return nil
+				case <-s.stop:
+					types.PutVecBatch(vb)
+					return errScanStopped
+				case <-s.ctx.doneCh():
+					types.PutVecBatch(vb)
+					return s.ctx.cause()
+				}
+			}
+			b := types.GetBatch(0)
+			err = vb.Materialize(b)
+			types.PutVecBatch(vb)
+			if err != nil {
+				types.PutBatch(b)
+				return err
+			}
+			if residual != nil {
+				if err := expr.FilterBatch(residual, b); err != nil {
+					types.PutBatch(b)
+					return err
+				}
+			}
+			if b.Len() == 0 {
+				types.PutBatch(b)
+				return nil
+			}
+			select {
+			case s.ch <- b:
+				return nil
+			case <-s.stop:
+				types.PutBatch(b)
+				return errScanStopped
+			case <-s.ctx.doneCh():
+				types.PutBatch(b)
+				return s.ctx.cause()
+			}
+		})
+		if err == errScanStopped {
+			return
+		}
+		if err != nil {
+			s.errc <- err
+			return
+		}
+	}
+}
+
+// NextVecBatch implements VecSource.
+func (s *scanOp) NextVecBatch() (*types.VecBatch, error) {
+	vb, ok := <-s.vch
+	if !ok {
+		select {
+		case err := <-s.errc:
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+	return vb, nil
 }
 
 // produceBatches pushes filtered batches onto s.ch until exhaustion,
@@ -145,6 +362,17 @@ func (s *scanOp) NextBatch(b *types.Batch) (bool, error) {
 	if s.rowMode {
 		return nextBatchFromRows(s, b)
 	}
+	if s.vecMode {
+		// A consumer that enabled the vector path but pulls decoded
+		// batches anyway (mixed pipelines) gets survivors materialized.
+		vb, err := s.NextVecBatch()
+		if err != nil || vb == nil {
+			return false, err
+		}
+		err = vb.Materialize(b)
+		types.PutVecBatch(vb)
+		return err == nil, err
+	}
 	nb, ok := <-s.ch
 	if !ok {
 		select {
@@ -184,10 +412,15 @@ func (s *scanOp) Close() error {
 		s.open = false
 		close(s.stop)
 		// Drain so the producer goroutine exits.
-		if s.rowMode {
+		switch {
+		case s.rowMode:
 			for range s.rowCh {
 			}
-		} else {
+		case s.vecMode:
+			for vb := range s.vch {
+				types.PutVecBatch(vb)
+			}
+		default:
 			for b := range s.ch {
 				types.PutBatch(b)
 			}

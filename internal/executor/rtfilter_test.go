@@ -1,0 +1,381 @@
+package executor
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hawq/internal/catalog"
+	"hawq/internal/expr"
+	"hawq/internal/hdfs"
+	"hawq/internal/obs"
+	"hawq/internal/plan"
+	"hawq/internal/storage"
+	"hawq/internal/types"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	var b Bloom
+	rng := rand.New(rand.NewSource(7))
+	var buf []byte
+	added := make([]uint64, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		var h uint64
+		buf, h = rtfHash(buf, types.NewInt64(rng.Int63()))
+		b.Add(h)
+		added = append(added, h)
+	}
+	for _, h := range added {
+		if !b.MayContain(h) {
+			t.Fatal("false negative")
+		}
+	}
+	// False-positive rate should stay modest at this fill level.
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		var h uint64
+		buf, h = rtfHash(buf, types.NewString(fmt.Sprintf("absent-%d", i)))
+		if b.MayContain(h) {
+			fp++
+		}
+	}
+	if fp > 1500 {
+		t.Errorf("false positive rate %d/10000 too high", fp)
+	}
+	// Merge is a union.
+	var c, merged Bloom
+	var h uint64
+	buf, h = rtfHash(buf, types.NewInt64(-12345))
+	c.Add(h)
+	merged.Merge(&b)
+	merged.Merge(&c)
+	if !merged.MayContain(h) || !merged.MayContain(added[0]) {
+		t.Error("merge lost a member")
+	}
+}
+
+// TestRTFHashNormalizes pins that an INT32 build key and an INT64 probe
+// value hash identically (the same normalization joinKey applies).
+func TestRTFHashNormalizes(t *testing.T) {
+	_, h32 := rtfHash(nil, types.NewInt32(7))
+	_, h64 := rtfHash(nil, types.NewInt64(7))
+	if h32 != h64 {
+		t.Error("INT32 and INT64 of the same value hash differently")
+	}
+}
+
+func TestFilterHub(t *testing.T) {
+	hub := NewFilterHub()
+	hub.Expect(1, 2)
+	if hub.Lookup(1) != nil {
+		t.Fatal("filter visible before any publish")
+	}
+	var a, b Bloom
+	_, ha := rtfHash(nil, types.NewInt64(1))
+	_, hb := rtfHash(nil, types.NewInt64(2))
+	a.Add(ha)
+	b.Add(hb)
+	if err := hub.Publish(1, &a); err != nil {
+		t.Fatal(err)
+	}
+	if hub.Lookup(1) != nil {
+		t.Fatal("filter visible with one of two publishers")
+	}
+	if err := hub.Publish(1, &b); err != nil {
+		t.Fatal(err)
+	}
+	got := hub.Lookup(1)
+	if got == nil {
+		t.Fatal("filter not visible after all publishers")
+	}
+	if !got.MayContain(ha) || !got.MayContain(hb) {
+		t.Error("merged filter is not the union")
+	}
+	if err := hub.Publish(1, &a); err == nil {
+		t.Error("over-publish not rejected")
+	}
+	// Unregistered IDs are dropped silently and never become visible.
+	if err := hub.Publish(99, &a); err != nil {
+		t.Errorf("unregistered publish errored: %v", err)
+	}
+	if hub.Lookup(99) != nil {
+		t.Error("unregistered filter visible")
+	}
+	// nil hub is inert.
+	var nilHub *FilterHub
+	nilHub.Expect(1, 1)
+	if err := nilHub.Publish(1, &a); err != nil {
+		t.Error(err)
+	}
+	if nilHub.Lookup(1) != nil {
+		t.Error("nil hub returned a filter")
+	}
+}
+
+// writeCOTable writes one single-segment CO table and returns its scan
+// ingredients.
+func writeCOTable(t testing.TB, fs *hdfs.FileSystem, oid int64, name string, schema *types.Schema, rows []types.Row) (*catalog.TableDesc, []catalog.SegFile) {
+	t.Helper()
+	desc := &catalog.TableDesc{
+		OID: oid, Name: name, Schema: schema,
+		Storage: catalog.StorageSpec{Orientation: catalog.OrientColumn, Codec: "quicklz"},
+	}
+	sf := catalog.SegFile{TableOID: oid, SegmentID: 0, SegNo: 1, Path: fmt.Sprintf("/d/%d/0/1", oid)}
+	w, err := storage.NewWriter(fs, desc.Storage, schema, sf, hdfs.CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sf.LogicalLen, sf.ColLens = w.Lens()
+	sf.Tuples = w.Tuples()
+	return desc, []catalog.SegFile{sf}
+}
+
+// runtimeFilterJoin builds probe-scan ⋈ build-values with one runtime
+// filter wired between them.
+func runtimeFilterJoin(desc *catalog.TableDesc, segFiles []catalog.SegFile, build *plan.Values, withFilter bool) *plan.HashJoin {
+	scan := &plan.Scan{
+		Table: desc, Proj: []int{0, 1}, SegFiles: segFiles,
+		Schema: intsSchema("k", "v"),
+	}
+	j := &plan.HashJoin{
+		Kind: plan.InnerJoin, Left: scan, Right: build,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+		Schema: scan.Schema.Concat(build.Schema),
+	}
+	if withFilter {
+		scan.RuntimeFilters = []plan.RuntimeFilterTarget{{ID: 1, Col: 0}}
+		j.RuntimeFilters = []plan.RuntimeFilterSpec{{ID: 1, BuildKey: 0}}
+	}
+	return j
+}
+
+// TestRuntimeFilterJoin checks the full loop: the build side publishes
+// its bloom, the probe-side scan consults it before decode, rows the
+// build can't match are shed (observable in the counter), and results
+// are identical to the unfiltered join.
+func TestRuntimeFilterJoin(t *testing.T) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, types.Row{types.NewInt64(int64(i)), types.NewInt64(int64(i % 97))})
+	}
+	desc, segFiles := writeCOTable(t, fs, 1, "probe", intsSchema("k", "v"), rows)
+	build := valuesNode(intsSchema("bk", "bv"), []int64{10, 1}, []int64{11, 2}, []int64{4800, 3})
+
+	run := func(withFilter bool) ([][]int64, int64) {
+		counter := obs.GetCounter("executor.rows_removed_by_runtime_filter")
+		before := counter.Value()
+		ctx := &Context{Segment: 0, FS: fs}
+		if withFilter {
+			ctx.Filters = NewFilterHub()
+			ctx.Filters.Expect(1, 1)
+		}
+		got := rowsToInts(collect(t, ctx, runtimeFilterJoin(desc, segFiles, build, withFilter)))
+		sort.Slice(got, func(i, j int) bool { return fmt.Sprint(got[i]) < fmt.Sprint(got[j]) })
+		return got, counter.Value() - before
+	}
+
+	plain, removedOff := run(false)
+	filtered, removedOn := run(true)
+	if len(plain) != 3 {
+		t.Fatalf("unfiltered join returned %d rows, want 3", len(plain))
+	}
+	if !reflect.DeepEqual(plain, filtered) {
+		t.Fatalf("runtime filter changed results:\noff=%v\non=%v", plain, filtered)
+	}
+	if removedOff != 0 {
+		t.Errorf("counter moved %d with no hub", removedOff)
+	}
+	// 5000 probe rows, 3 joinable: nearly everything should be shed
+	// before decode (modulo bloom false positives).
+	if removedOn < 4000 {
+		t.Errorf("runtime filter removed only %d of ~4997 removable rows", removedOn)
+	}
+}
+
+// TestRuntimeFilterStats checks the scan attributes its removals (and
+// zone-map page skips) to its OpStats slot for EXPLAIN ANALYZE.
+func TestRuntimeFilterStats(t *testing.T) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, types.Row{types.NewInt64(int64(i)), types.NewInt64(int64(i))})
+	}
+	desc, segFiles := writeCOTable(t, fs, 2, "probe2", intsSchema("k", "v"), rows)
+	build := valuesNode(intsSchema("bk", "bv"), []int64{42, 1})
+	j := runtimeFilterJoin(desc, segFiles, build, true)
+	ctx := &Context{Segment: 0, FS: fs}
+	ctx.Filters = NewFilterHub()
+	ctx.Filters.Expect(1, 1)
+	ctx.Stats = NewStatsRecorder(nil, j, 0, 0)
+	op, err := Build(ctx, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Drain(nil, op, func(types.Row) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ss := ctx.Stats.Stats()
+	var rtf int64
+	for _, opst := range ss.Ops {
+		rtf += opst.RTFilterRows
+	}
+	if rtf < 4000 {
+		t.Errorf("OpStats recorded %d runtime-filter removals, want ~4999", rtf)
+	}
+}
+
+// TestZoneMapStats checks pages_skipped reaches OpStats through the
+// scan's pushed-down predicate.
+func TestZoneMapStats(t *testing.T) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 20000)
+	for i := 0; i < 20000; i++ { // sorted key: tight zone maps
+		rows = append(rows, types.Row{types.NewInt64(int64(i)), types.NewInt64(int64(i % 7))})
+	}
+	desc, segFiles := writeCOTable(t, fs, 3, "zoned", intsSchema("k", "v"), rows)
+	scan := &plan.Scan{
+		Table: desc, Proj: []int{0, 1}, SegFiles: segFiles,
+		Filter: expr.NewBinOp(expr.OpLt, &expr.ColRef{Idx: 0, K: types.KindInt64}, expr.NewConst(types.NewInt64(100))),
+		Schema: intsSchema("k", "v"),
+	}
+	ctx := &Context{Segment: 0, FS: fs}
+	ctx.Stats = NewStatsRecorder(nil, scan, 0, 0)
+	op, err := Build(ctx, scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := Drain(nil, op, func(types.Row) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("scan returned %d rows, want 100", n)
+	}
+	ss := ctx.Stats.Stats()
+	if len(ss.Ops) == 0 || ss.Ops[0].PagesSkipped == 0 {
+		t.Error("no pages skipped recorded on a selective sorted-key scan")
+	}
+}
+
+// TestAggVecMatchesRowPath is the encoded-execution property test at
+// the operator level: a hash aggregate absorbing still-encoded vector
+// batches from a CO scan must produce exactly the rows the row-at-a-time
+// path does, across random data shapes.
+func TestAggVecMatchesRowPath(t *testing.T) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	schema := types.NewSchema(
+		types.Column{Name: "g", Kind: types.KindString},
+		types.Column{Name: "k", Kind: types.KindInt64},
+		types.Column{Name: "v", Kind: types.KindInt64},
+	)
+	for trial := 0; trial < 4; trial++ {
+		n := 500 + rng.Intn(3000)
+		rows := make([]types.Row, 0, n)
+		for i := 0; i < n; i++ {
+			g := types.NewString(fmt.Sprintf("g%d", rng.Intn(5)))
+			if rng.Intn(10) == 0 {
+				g = types.Null
+			}
+			rows = append(rows, types.Row{g, types.NewInt64(int64(i / 50)), types.NewInt64(rng.Int63n(1000))})
+		}
+		desc, segFiles := writeCOTable(t, fs, int64(10+trial), fmt.Sprintf("agg%d", trial), schema, rows)
+		mkAgg := func() *plan.HashAgg {
+			return &plan.HashAgg{
+				Input: &plan.Scan{
+					Table: desc, Proj: []int{0, 1, 2}, SegFiles: segFiles,
+					Filter: expr.NewBinOp(expr.OpGe, &expr.ColRef{Idx: 1, K: types.KindInt64}, expr.NewConst(types.NewInt64(3))),
+					Schema: schema,
+				},
+				Phase:  plan.AggSingle,
+				Groups: []expr.Expr{&expr.ColRef{Idx: 0, K: types.KindString}},
+				Aggs: []expr.AggSpec{
+					{Kind: expr.AggSum, Arg: &expr.ColRef{Idx: 2, K: types.KindInt64}},
+					{Kind: expr.AggCountStar},
+					{Kind: expr.AggMin, Arg: &expr.ColRef{Idx: 1, K: types.KindInt64}},
+				},
+				Schema: types.NewSchema(
+					types.Column{Name: "g", Kind: types.KindString},
+					types.Column{Name: "s", Kind: types.KindInt64},
+					types.Column{Name: "c", Kind: types.KindInt64},
+					types.Column{Name: "m", Kind: types.KindInt64},
+				),
+			}
+		}
+		vecRows := collect(t, &Context{Segment: 0, FS: fs}, mkAgg())
+		rowRows := collect(t, &Context{Segment: 0, FS: fs, RowMode: true}, mkAgg())
+		key := func(r types.Row) string { return fmt.Sprint(r) }
+		sort.Slice(vecRows, func(i, j int) bool { return key(vecRows[i]) < key(vecRows[j]) })
+		sort.Slice(rowRows, func(i, j int) bool { return key(rowRows[i]) < key(rowRows[j]) })
+		if !reflect.DeepEqual(vecRows, rowRows) {
+			t.Fatalf("trial %d: vec agg != row agg\nvec=%v\nrow=%v", trial, vecRows, rowRows)
+		}
+	}
+}
+
+// BenchmarkJoinRuntimeFilter measures the probe-side effect of runtime
+// bloom filters: a selective build side against a 50k-row CO probe
+// table, with the filter off and on.
+func BenchmarkJoinRuntimeFilter(b *testing.B) {
+	fs, err := hdfs.New(hdfs.Config{DataNodes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		rows = append(rows, types.Row{types.NewInt64(int64(i)), types.NewInt64(int64(i % 1000))})
+	}
+	desc, segFiles := writeCOTable(b, fs, 1, "probe", intsSchema("k", "v"), rows)
+	var buildRows [][]int64
+	for i := 0; i < 100; i++ {
+		buildRows = append(buildRows, []int64{int64(i * 13), int64(i)})
+	}
+	build := valuesNode(intsSchema("bk", "bv"), buildRows...)
+
+	run := func(b *testing.B, withFilter bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := &Context{Segment: 0, FS: fs}
+			if withFilter {
+				ctx.Filters = NewFilterHub()
+				ctx.Filters.Expect(1, 1)
+			}
+			op, err := Build(ctx, runtimeFilterJoin(desc, segFiles, build, withFilter))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			if err := Drain(nil, op, func(types.Row) error { n++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("join returned nothing")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -48,6 +48,19 @@ func partOf(key string, level, fanout int) int {
 	return int(h % uint64(fanout))
 }
 
+// partOfBytes is partOf over a reusable byte-slice key: same hash, same
+// partition for the same bytes, no string conversion on the hot path.
+func partOfBytes(key []byte, level, fanout int) int {
+	h := uint64(14695981039346656037)
+	h ^= uint64(level) + 0x9e3779b97f4a7c15
+	h *= 1099511628211
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(fanout))
+}
+
 // spillable reports whether budget-triggered spilling is available
 // (the dispatcher gave this node a workfile store and a work_mem cap).
 func (ctx *Context) spillable() bool {
@@ -193,6 +206,12 @@ func newSpillPartition(ctx *Context, level int, st *obs.OpStats) (*spillPartitio
 // add writes a row to its key's partition file.
 func (sp *spillPartition) add(key string, row types.Row) error {
 	return sp.files[partOf(key, sp.level, spillFanout)].AppendRow(row)
+}
+
+// addBytes is add over a reusable byte-slice key (AppendRow copies the
+// row, so neither argument is retained).
+func (sp *spillPartition) addBytes(key []byte, row types.Row) error {
+	return sp.files[partOfBytes(key, sp.level, spillFanout)].AppendRow(row)
 }
 
 // finish completes the write phase of every partition file and charges

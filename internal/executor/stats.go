@@ -84,7 +84,9 @@ func (r *StatsRecorder) wrap(n plan.Node, op Operator) Operator {
 		sink.setOpStats(st)
 	}
 	if bop, ok := op.(BatchOperator); ok {
-		return &batchStatsOp{rowStatsOp: rowStatsOp{in: op, st: st, clk: r.clk}, bin: bop}
+		d := &batchStatsOp{rowStatsOp: rowStatsOp{in: op, st: st, clk: r.clk}, bin: bop}
+		d.vs, _ = op.(VecSource)
+		return d
 	}
 	return &rowStatsOp{in: op, st: st, clk: r.clk}
 }
@@ -131,6 +133,7 @@ func (o *rowStatsOp) Close() error {
 type batchStatsOp struct {
 	rowStatsOp
 	bin BatchOperator
+	vs  VecSource // non-nil when the wrapped operator can emit encoded vectors
 }
 
 // NextBatch implements BatchOperator.
@@ -143,4 +146,23 @@ func (o *batchStatsOp) NextBatch(b *types.Batch) (bool, error) {
 		o.st.Rows += int64(b.Len())
 	}
 	return ok, err
+}
+
+// EnableVec implements VecSource by delegation; a decorated operator
+// without a vector path reports false.
+func (o *batchStatsOp) EnableVec() bool {
+	return o.vs != nil && o.vs.EnableVec()
+}
+
+// NextVecBatch implements VecSource, charging the encoded batch's
+// selected rows to the same slot the decoded path would.
+func (o *batchStatsOp) NextVecBatch() (*types.VecBatch, error) {
+	start := o.clk.Now()
+	vb, err := o.vs.NextVecBatch()
+	o.st.Wall += o.clk.Since(start)
+	if vb != nil && err == nil {
+		o.st.Batches++
+		o.st.Rows += int64(vb.SelCount())
+	}
+	return vb, err
 }

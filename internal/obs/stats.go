@@ -29,6 +29,12 @@ type OpStats struct {
 	SpillFiles int64
 	// PeakMem is the operator's high-water memory reservation in bytes.
 	PeakMem int64
+	// PagesSkipped counts storage pages a scan pruned via zone maps
+	// before decompression (scan operators only).
+	PagesSkipped int64
+	// RTFilterRows counts probe-side rows a scan dropped via runtime
+	// bloom filters before decode (scan operators only).
+	RTFilterRows int64
 	// Wall is cumulative wall time spent inside the operator and its
 	// children (inclusive, Postgres-style), measured on the injected
 	// clock.Clock — zero under clock.Sim unless the test advances time.

@@ -29,6 +29,11 @@ type NodeStats struct {
 	Bytes      int64
 	SpillBytes int64
 	SpillFiles int64
+	// PagesSkipped and RTFilterRows are summed over the gang: storage
+	// pages pruned via zone maps, and probe rows removed by runtime
+	// bloom filters before decode (scans only).
+	PagesSkipped int64
+	RTFilterRows int64
 	// PeakMem is the largest single-segment memory high-water mark.
 	PeakMem int64
 	// MaxWall is the slowest gang member's cumulative operator time.
@@ -72,6 +77,8 @@ func (p *Plan) MergeStats(stats []obs.SliceStats) [][]NodeStats {
 			n.Bytes += op.Bytes
 			n.SpillBytes += op.SpillBytes
 			n.SpillFiles += op.SpillFiles
+			n.PagesSkipped += op.PagesSkipped
+			n.RTFilterRows += op.RTFilterRows
 			if op.PeakMem > n.PeakMem {
 				n.PeakMem = op.PeakMem
 			}
@@ -112,6 +119,12 @@ func (p *Plan) ExplainAnalyze(stats []obs.SliceStats, resultRows int, elapsed ti
 			}
 			if n.SpillBytes > 0 || n.SpillFiles > 0 {
 				fmt.Fprintf(&b, " spill_bytes=%d spill_files=%d", n.SpillBytes, n.SpillFiles)
+			}
+			if n.PagesSkipped > 0 {
+				fmt.Fprintf(&b, " pages_skipped=%d", n.PagesSkipped)
+			}
+			if n.RTFilterRows > 0 {
+				fmt.Fprintf(&b, " rtfilter_removed=%d", n.RTFilterRows)
 			}
 			if n.PeakMem > 0 {
 				fmt.Fprintf(&b, " peak_mem=%d", n.PeakMem)

@@ -29,6 +29,12 @@ type Planner struct {
 	// DisableColocation makes every join redistribute, ignoring existing
 	// distributions (ablation).
 	DisableColocation bool
+	// DisableRuntimeFilters turns off runtime bloom-filter planning
+	// (hash-join build sides feeding probe-side scans), for ablation.
+	DisableRuntimeFilters bool
+
+	// rtfSeq numbers runtime filters within the statement being planned.
+	rtfSeq int32
 }
 
 // distKind classifies how a relation's rows are spread across the

@@ -1,0 +1,91 @@
+package planner
+
+import (
+	"hawq/internal/expr"
+	"hawq/internal/plan"
+)
+
+// attachRuntimeFilters annotates a freshly built hash join with runtime
+// bloom filters: for each equi-key pair, the probe (left) key column is
+// traced down to a base-table scan, which gets a RuntimeFilterTarget;
+// the join records the matching RuntimeFilterSpec over its build key.
+// Only Inner and Semi joins qualify — Left/Anti joins must emit (or
+// test) unmatched probe rows, so shedding them at the scan would change
+// results.
+//
+// The trace is conservative: it descends only through operators where
+// dropping an input row whose key is absent from the build side cannot
+// change the join's output — filters, column-preserving projections,
+// motions, sorts, distinct, the left side of lower joins, and all
+// branches of an append. It stops at Limit (dropping rows changes which
+// rows fill the limit) and at aggregates (an aggregate's output column
+// no longer maps to the scanned value, and dropping inputs changes
+// group results).
+func (p *Planner) attachRuntimeFilters(j *plan.HashJoin) {
+	if p.DisableRuntimeFilters {
+		return
+	}
+	if j.Kind != plan.InnerJoin && j.Kind != plan.SemiJoin {
+		return
+	}
+	for i := range j.LeftKeys {
+		p.rtfSeq++
+		id := p.rtfSeq
+		if traceRuntimeFilter(j.Left, j.LeftKeys[i], id) {
+			j.RuntimeFilters = append(j.RuntimeFilters, plan.RuntimeFilterSpec{ID: id, BuildKey: j.RightKeys[i]})
+		} else {
+			p.rtfSeq-- // no consumer attached; reuse the ID
+		}
+	}
+}
+
+// traceRuntimeFilter walks output column col of n down to a scan and
+// attaches the filter target there, reporting whether any scan was
+// reached.
+func traceRuntimeFilter(n plan.Node, col int, id int32) bool {
+	switch v := n.(type) {
+	case *plan.Scan:
+		v.RuntimeFilters = append(v.RuntimeFilters, plan.RuntimeFilterTarget{ID: id, Col: col})
+		return true
+	case *plan.Select:
+		return traceRuntimeFilter(v.Input, col, id)
+	case *plan.Motion:
+		return traceRuntimeFilter(v.Input, col, id)
+	case *plan.SenderHint:
+		return traceRuntimeFilter(v.Input, col, id)
+	case *plan.Sort:
+		return traceRuntimeFilter(v.Input, col, id)
+	case *plan.Distinct:
+		return traceRuntimeFilter(v.Input, col, id)
+	case *plan.Project:
+		if col >= len(v.Exprs) {
+			return false
+		}
+		if cr, ok := v.Exprs[col].(*expr.ColRef); ok {
+			return traceRuntimeFilter(v.Input, cr.Idx, id)
+		}
+		return false
+	case *plan.HashJoin:
+		// Probe-side columns pass through every join kind unchanged;
+		// dropping a probe row here only removes output rows carrying a
+		// key the upper build side doesn't contain.
+		if col < v.Left.OutSchema().Len() {
+			return traceRuntimeFilter(v.Left, col, id)
+		}
+		return false
+	case *plan.NestLoopJoin:
+		if col < v.Left.OutSchema().Len() {
+			return traceRuntimeFilter(v.Left, col, id)
+		}
+		return false
+	case *plan.Append:
+		any := false
+		for _, c := range v.Inputs {
+			if traceRuntimeFilter(c, col, id) {
+				any = true
+			}
+		}
+		return any
+	}
+	return false
+}

@@ -16,21 +16,31 @@ import (
 // the same row boundaries, so the i'th block of every column covers the
 // same rows — the property the scanner relies on to zip columns back
 // into rows.
+//
+// Rows are buffered as datums (not pre-encoded bytes) so each flush can
+// pick a per-page lightweight encoding (RLE, dictionary, flat) and
+// compute the page's zone map before framing the v2 block.
 type coWriter struct {
 	writers []*hdfs.FileWriter
 	codec   compress.Codec
-	bufs    [][]byte
+	vals    [][]types.Datum
+	size    int
 	rows    int
 	target  int
 	lens    []int64
 	tuples  int64
+	// pageBuf, zoneBuf and blockBuf are per-flush scratch, reused so a
+	// steady append stream allocates only when a page outgrows them.
+	pageBuf  []byte
+	zoneBuf  []byte
+	blockBuf []byte
 }
 
 func newCOWriter(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema, sf catalog.SegFile, opts hdfs.CreateOptions) (*coWriter, error) {
 	n := schema.Len()
 	w := &coWriter{
 		codec:  codec,
-		bufs:   make([][]byte, n),
+		vals:   make([][]types.Datum, n),
 		target: DefaultBlockTarget,
 		lens:   make([]int64, n),
 		tuples: sf.Tuples,
@@ -49,38 +59,46 @@ func newCOWriter(fs *hdfs.FileSystem, codec compress.Codec, schema *types.Schema
 	return w, nil
 }
 
+// datumSizeEst approximates one datum's flat encoded size, used only to
+// decide when a buffered page is full.
+func datumSizeEst(d types.Datum) int { return 10 + len(d.S) }
+
 // Append implements Writer.
 func (w *coWriter) Append(row types.Row) error {
-	if len(row) != len(w.bufs) {
-		return fmt.Errorf("storage: CO row width %d, want %d", len(row), len(w.bufs))
+	if len(row) != len(w.vals) {
+		return fmt.Errorf("storage: CO row width %d, want %d", len(row), len(w.vals))
 	}
-	size := 0
 	for i, d := range row {
-		w.bufs[i] = types.EncodeDatum(w.bufs[i], d)
-		size += len(w.bufs[i])
+		w.vals[i] = append(w.vals[i], d)
+		w.size += datumSizeEst(d)
 	}
 	w.rows++
 	w.tuples++
-	if size >= w.target*len(w.bufs) {
+	if w.size >= w.target*len(w.vals) {
 		return w.Flush()
 	}
 	return nil
 }
 
-// Flush implements Writer.
+// Flush implements Writer: every column emits one v2 block (page
+// encoding + zone map + compressed payload) covering the same rows.
 func (w *coWriter) Flush() error {
 	if w.rows == 0 {
 		return nil
 	}
-	for i, buf := range w.bufs {
-		block := appendBlock(nil, w.codec, w.rows, buf)
+	for i, vals := range w.vals {
+		enc, payload := encodePage(w.pageBuf[:0], vals)
+		zone := buildZone(w.zoneBuf[:0], vals)
+		block := appendBlockV2(w.blockBuf[:0], w.codec, w.rows, enc, zone, payload)
 		if _, err := w.writers[i].Write(block); err != nil {
 			return err
 		}
 		w.lens[i] += int64(len(block))
-		w.bufs[i] = buf[:0]
+		w.pageBuf, w.zoneBuf, w.blockBuf = payload[:0], zone[:0], block[:0]
+		w.vals[i] = vals[:0]
 	}
 	w.rows = 0
+	w.size = 0
 	return nil
 }
 
@@ -109,33 +127,35 @@ func (w *coWriter) Lens() (int64, []int64) {
 // Tuples implements Writer.
 func (w *coWriter) Tuples() int64 { return w.tuples }
 
-// scanCOBatches reads only the projected column files and decodes each
-// aligned block set column-wise straight into one batch arena — the
-// columnar layout means every column's datums for a block are
-// contiguous, so no per-row materialization happens at all.
-func scanCOBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(*types.Batch) error) error {
+// scanCOVec is the CO scan core: it walks the projected column files'
+// aligned blocks in lockstep, consults every page's zone map against
+// the pushed-down predicates before touching the payload, and hands
+// surviving pages to fn as still-encoded vectors. Both the batch and
+// row scan paths are wrappers over it.
+func scanCOVec(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, preds []ZonePred, st *ScanStats, fn func(*types.VecBatch) error) error {
 	if len(sf.ColLens) == 0 {
 		return nil // never committed
 	}
 	if len(proj) == 0 {
 		// Zero-column scan (COUNT(*)): walk column 0's block headers and
-		// emit batches of empty rows.
+		// emit batches of empty rows — under v2 this never decompresses
+		// a single page.
 		data, err := readRegion(fs, ColFilePath(sf.Path, 0), sf.ColLens[0])
 		if err != nil {
 			return err
 		}
 		it := &blockIter{data: data}
 		for {
-			n, _, err := it.next(codec)
+			h, err := it.nextHeader()
 			if err == io.EOF {
 				return nil
 			}
 			if err != nil {
 				return err
 			}
-			b := types.GetBatch(0)
-			b.Extend(n)
-			if err := fn(b); err != nil {
+			vb := types.GetVecBatch(0)
+			vb.SetLen(h.rows)
+			if err := fn(vb); err != nil {
 				return err
 			}
 		}
@@ -151,12 +171,12 @@ func scanCOBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile
 		}
 		iters[j] = &blockIter{data: data}
 	}
+	hdrs := make([]pageHdr, len(proj))
 	for {
-		// Advance all columns to their next aligned block.
+		// Advance all columns to their next aligned block header.
 		rc := -1
-		raws := make([][]byte, len(proj))
 		for j, it := range iters {
-			n, raw, err := it.next(codec)
+			h, err := it.nextHeader()
 			if err == io.EOF {
 				if j == 0 {
 					return nil
@@ -167,117 +187,87 @@ func scanCOBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile
 				return err
 			}
 			if rc == -1 {
-				rc = n
-			} else if n != rc {
-				return fmt.Errorf("storage: CO block row counts diverge (%d vs %d)", rc, n)
+				rc = h.rows
+			} else if h.rows != rc {
+				return fmt.Errorf("storage: CO block row counts diverge (%d vs %d)", rc, h.rows)
 			}
-			raws[j] = raw
+			hdrs[j] = h
 		}
 		if rc <= 0 {
 			continue
 		}
-		b := types.GetBatch(len(proj))
-		b.Extend(rc)
-		for j := range iters {
-			pos := 0
-			for i := 0; i < rc; i++ {
-				d, n, err := types.DecodeDatum(raws[j][pos:])
-				if err != nil {
-					types.PutBatch(b)
-					return err
-				}
-				pos += n
-				b.Row(i)[j] = d
+		// One impossible conjunct against any column's zone map rules
+		// out the whole aligned page set before any checksum work.
+		skip := false
+		for j := range hdrs {
+			if !pageMayMatch(hdrs[j].zone, j, preds) {
+				skip = true
+				break
 			}
 		}
-		if err := fn(b); err != nil {
+		if skip {
+			st.notePageSkipped()
+			continue
+		}
+		vb := types.GetVecBatch(len(proj))
+		vb.SetLen(rc)
+		for j := range hdrs {
+			raw, err := hdrs[j].payload(codec)
+			if err != nil {
+				types.PutVecBatch(vb)
+				return err
+			}
+			if err := decodePage(hdrs[j].enc, raw, rc, &vb.Cols[j]); err != nil {
+				types.PutVecBatch(vb)
+				return err
+			}
+		}
+		if err := fn(vb); err != nil {
 			return err
 		}
 	}
 }
 
+// scanCOBatches reads only the projected column files and materializes
+// each aligned block set into one batch arena. It accepts both v1 and
+// v2 column files (the vec core treats a v1 block as one flat page).
+func scanCOBatches(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(*types.Batch) error) error {
+	return scanCOVec(fs, codec, sf, proj, nil, nil, func(vb *types.VecBatch) error {
+		b := types.GetBatch(0)
+		if err := vb.Materialize(b); err != nil {
+			types.PutBatch(b)
+			types.PutVecBatch(vb)
+			return err
+		}
+		types.PutVecBatch(vb)
+		return fn(b)
+	})
+}
+
 // scanCO reads only the projected column files and zips their block
 // streams back into rows.
 func scanCO(fs *hdfs.FileSystem, codec compress.Codec, sf catalog.SegFile, proj []int, fn func(types.Row) error) error {
-	if len(sf.ColLens) == 0 {
-		return nil // never committed
-	}
-	if len(proj) == 0 {
-		// Zero-column scan (COUNT(*)): walk column 0's block headers.
-		data, err := readRegion(fs, ColFilePath(sf.Path, 0), sf.ColLens[0])
-		if err != nil {
-			return err
-		}
-		it := &blockIter{data: data}
-		for {
-			n, _, err := it.next(codec)
-			if err == io.EOF {
-				return nil
-			}
+	cols := make([][]types.Datum, len(proj))
+	return scanCOVec(fs, codec, sf, proj, nil, nil, func(vb *types.VecBatch) error {
+		n := vb.Len()
+		for j := range vb.Cols {
+			var err error
+			cols[j], err = vb.Cols[j].Decode(cols[j][:0])
 			if err != nil {
+				types.PutVecBatch(vb)
 				return err
 			}
-			for i := 0; i < n; i++ {
-				if err := fn(types.Row{}); err != nil {
-					return err
-				}
+		}
+		types.PutVecBatch(vb)
+		for i := 0; i < n; i++ {
+			out := make(types.Row, len(proj))
+			for j := range cols {
+				out[j] = cols[j][i]
 			}
-		}
-	}
-	iters := make([]*blockIter, len(proj))
-	for j, c := range proj {
-		if c >= len(sf.ColLens) {
-			return fmt.Errorf("storage: CO projection column %d out of range", c)
-		}
-		data, err := readRegion(fs, ColFilePath(sf.Path, c), sf.ColLens[c])
-		if err != nil {
-			return err
-		}
-		iters[j] = &blockIter{data: data}
-	}
-	// Current decoded block per projected column.
-	raws := make([][]byte, len(proj))
-	pos := make([]int, len(proj))
-	remaining := 0
-	for {
-		if remaining == 0 {
-			// Advance all columns to their next block.
-			rc := -1
-			for j, it := range iters {
-				n, raw, err := it.next(codec)
-				if err == io.EOF {
-					if j == 0 {
-						return nil
-					}
-					return fmt.Errorf("storage: CO column files out of sync (early EOF)")
-				}
-				if err != nil {
-					return err
-				}
-				if rc == -1 {
-					rc = n
-				} else if n != rc {
-					return fmt.Errorf("storage: CO block row counts diverge (%d vs %d)", rc, n)
-				}
-				raws[j], pos[j] = raw, 0
-			}
-			if rc <= 0 {
-				continue
-			}
-			remaining = rc
-		}
-		out := make(types.Row, len(proj))
-		for j := range iters {
-			d, n, err := types.DecodeDatum(raws[j][pos[j]:])
-			if err != nil {
+			if err := fn(out); err != nil {
 				return err
 			}
-			pos[j] += n
-			out[j] = d
 		}
-		remaining--
-		if err := fn(out); err != nil {
-			return err
-		}
-	}
+		return nil
+	})
 }

@@ -1,0 +1,324 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hawq/internal/types"
+)
+
+// Per-page lightweight encodings (the enc byte in a v2 page header).
+// The payload these describe is what gets compressed by the block
+// codec, so a well-encoded page is both smaller on disk and cheaper to
+// evaluate: predicates run once per run or per dictionary entry.
+const (
+	// pageEncFlat is the v1 layout: one EncodeDatum per row.
+	pageEncFlat = 0
+	// pageEncRLE stores (runLen uvarint, EncodeDatum value) pairs.
+	pageEncRLE = 1
+	// pageEncDict stores a dictionary (count uvarint, then the entries)
+	// followed by one uvarint code per row.
+	pageEncDict = 2
+)
+
+// maxDictEntries caps the per-page dictionary. A page whose column
+// exceeds it is not dictionary-encodable — a 64 KiB page with more
+// distinct strings than this gains little from a dictionary anyway.
+const maxDictEntries = 256
+
+// encodePage picks the cheapest lightweight encoding for one page of a
+// column and returns the encoding id and the raw (pre-compression)
+// payload appended to dst. The policy is deliberately simple and fully
+// deterministic: RLE when the average run length reaches 2 (sorted or
+// low-cardinality clustered data), a dictionary for string pages whose
+// distinct count is small, flat otherwise.
+func encodePage(dst []byte, vals []types.Datum) (byte, []byte) {
+	n := len(vals)
+	if n == 0 {
+		return pageEncFlat, dst
+	}
+	runs := 1
+	stringsOnly := vals[0].K == types.KindString || vals[0].K == types.KindNull
+	for i := 1; i < n; i++ {
+		if vals[i] != vals[i-1] {
+			runs++
+		}
+		if k := vals[i].K; k != types.KindString && k != types.KindNull {
+			stringsOnly = false
+		}
+	}
+	if runs*2 <= n {
+		for i := 0; i < n; {
+			j := i + 1
+			for j < n && vals[j] == vals[i] {
+				j++
+			}
+			dst = binary.AppendUvarint(dst, uint64(j-i))
+			dst = types.EncodeDatum(dst, vals[i])
+			i = j
+		}
+		return pageEncRLE, dst
+	}
+	if stringsOnly {
+		// Build the dictionary in first-appearance order so identical
+		// input pages always produce identical bytes (on-disk output
+		// must not depend on map iteration order).
+		codes := make([]int32, n)
+		index := make(map[types.Datum]int32, 16)
+		var entries []types.Datum
+		ok := true
+		for i, d := range vals {
+			c, seen := index[d]
+			if !seen {
+				if len(entries) >= maxDictEntries {
+					ok = false
+					break
+				}
+				c = int32(len(entries))
+				index[d] = c
+				entries = append(entries, d)
+			}
+			codes[i] = c
+		}
+		if ok && n >= 2*len(entries) {
+			dst = binary.AppendUvarint(dst, uint64(len(entries)))
+			for _, e := range entries {
+				dst = types.EncodeDatum(dst, e)
+			}
+			for _, c := range codes {
+				dst = binary.AppendUvarint(dst, uint64(c))
+			}
+			return pageEncDict, dst
+		}
+	}
+	for _, d := range vals {
+		dst = types.EncodeDatum(dst, d)
+	}
+	return pageEncFlat, dst
+}
+
+// decodePage parses one page payload into v according to its encoding.
+// Flat pages become zero-copy VecRaw vectors (nothing is decoded until
+// a consumer materializes); RLE and dictionary pages decode only their
+// run values / dictionary entries, which is the point of the exercise.
+func decodePage(enc byte, raw []byte, rowCount int, v *types.Vector) error {
+	v.N = rowCount
+	switch enc {
+	case pageEncFlat:
+		v.Enc = types.VecRaw
+		v.Raw = raw
+		return nil
+	case pageEncRLE:
+		v.Enc = types.VecRLE
+		pos, total := 0, 0
+		for pos < len(raw) {
+			run, n := binary.Uvarint(raw[pos:])
+			if n <= 0 || run == 0 {
+				return fmt.Errorf("storage: bad RLE run header")
+			}
+			pos += n
+			d, n, err := types.DecodeDatum(raw[pos:])
+			if err != nil {
+				return fmt.Errorf("storage: RLE value: %w", err)
+			}
+			pos += n
+			total += int(run)
+			if total > rowCount {
+				return fmt.Errorf("storage: RLE runs exceed page row count %d", rowCount)
+			}
+			v.Values = append(v.Values, d)
+			v.Runs = append(v.Runs, int32(run))
+		}
+		if total != rowCount {
+			return fmt.Errorf("storage: RLE runs cover %d of %d rows", total, rowCount)
+		}
+		return nil
+	case pageEncDict:
+		v.Enc = types.VecDict
+		size, n := binary.Uvarint(raw)
+		if n <= 0 || size > maxDictEntries {
+			return fmt.Errorf("storage: bad dictionary size")
+		}
+		pos := n
+		for i := 0; i < int(size); i++ {
+			d, n, err := types.DecodeDatum(raw[pos:])
+			if err != nil {
+				return fmt.Errorf("storage: dictionary entry %d: %w", i, err)
+			}
+			pos += n
+			v.Values = append(v.Values, d)
+		}
+		for i := 0; i < rowCount; i++ {
+			c, n := binary.Uvarint(raw[pos:])
+			if n <= 0 {
+				return fmt.Errorf("storage: truncated dictionary code %d", i)
+			}
+			if c >= size {
+				return fmt.Errorf("storage: dictionary code %d out of range (%d entries)", c, size)
+			}
+			pos += n
+			v.Codes = append(v.Codes, int32(c))
+		}
+		if pos != len(raw) {
+			return fmt.Errorf("storage: %d trailing bytes after dictionary page", len(raw)-pos)
+		}
+		return nil
+	default:
+		return fmt.Errorf("storage: unknown page encoding %d", enc)
+	}
+}
+
+// Zone-map flags (first byte of the zone bytes in a v2 page header).
+const (
+	// zoneNone means no zone information — the page may contain
+	// anything, so it can never be skipped.
+	zoneNone = 0x00
+	// zoneMinMax is followed by EncodeDatum(min) and EncodeDatum(max)
+	// over the page's non-NULL values.
+	zoneMinMax = 0x01
+	// zoneAllNull marks a page of only NULLs: every ordinary comparison
+	// predicate fails on it, so it is always skippable.
+	zoneAllNull = 0x02
+)
+
+// buildZone appends the zone map for one page of a column: min/max over
+// the non-NULL values, or the all-NULL marker. A page with values the
+// comparator can't order (mixed incomparable kinds, which a typed
+// column never produces) degrades to zoneNone rather than lying.
+func buildZone(dst []byte, vals []types.Datum) []byte {
+	var minD, maxD types.Datum
+	seen := false
+	for _, d := range vals {
+		if d.IsNull() {
+			continue
+		}
+		if !seen {
+			minD, maxD, seen = d, d, true
+			continue
+		}
+		if !zoneComparable(d.K, minD.K) {
+			return append(dst, zoneNone)
+		}
+		if types.Compare(d, minD) < 0 {
+			minD = d
+		}
+		if types.Compare(d, maxD) > 0 {
+			maxD = d
+		}
+	}
+	if !seen {
+		return append(dst, zoneAllNull)
+	}
+	dst = append(dst, zoneMinMax)
+	dst = types.EncodeDatum(dst, minD)
+	return types.EncodeDatum(dst, maxD)
+}
+
+// zoneComparable reports whether types.Compare can order kinds a and b,
+// mirroring its comparability classes (it panics on anything else, and
+// a pruning decision must never panic on data read from disk).
+func zoneComparable(a, b types.Kind) bool {
+	class := func(k types.Kind) int {
+		switch k {
+		case types.KindInt32, types.KindInt64, types.KindFloat64, types.KindDecimal:
+			return 1
+		case types.KindDate:
+			return 2
+		case types.KindBool:
+			return 3
+		case types.KindString, types.KindBytes:
+			return 4
+		default:
+			return 0
+		}
+	}
+	ca, cb := class(a), class(b)
+	return ca != 0 && ca == cb
+}
+
+// ZoneOp is a comparison operator in a scan's pushed-down zone
+// predicate. It deliberately duplicates the comparison subset of the
+// expression language so storage does not import expr.
+type ZoneOp uint8
+
+// Zone predicate operators, matching SQL comparison semantics over
+// non-NULL operands.
+const (
+	ZoneEq ZoneOp = iota
+	ZoneNe
+	ZoneLt
+	ZoneLe
+	ZoneGt
+	ZoneGe
+)
+
+// ZonePred is one pushed-down conjunct of the form <column> <op>
+// <constant>: Col indexes the scan's projected columns (the same space
+// a scan filter's column references use), and Val is the non-NULL
+// comparison constant.
+type ZonePred struct {
+	Col int
+	Op  ZoneOp
+	Val types.Datum
+}
+
+// zoneMayMatch reports whether any row of a page whose zone bytes are
+// zone could satisfy pred. NULL rows never satisfy a comparison, so a
+// page is skippable as soon as no non-NULL value in [min, max] can
+// pass. Any parsing or comparability doubt answers true — pruning is
+// an optimization, never a correctness gate.
+func zoneMayMatch(zone []byte, pred ZonePred) bool {
+	if len(zone) == 0 || pred.Val.IsNull() {
+		return true
+	}
+	switch zone[0] {
+	case zoneAllNull:
+		return false
+	case zoneMinMax:
+		minD, n, err := types.DecodeDatum(zone[1:])
+		if err != nil {
+			return true
+		}
+		maxD, _, err := types.DecodeDatum(zone[1+n:])
+		if err != nil {
+			return true
+		}
+		if !zoneComparable(minD.K, pred.Val.K) || !zoneComparable(maxD.K, pred.Val.K) {
+			return true
+		}
+		cmpMin := types.Compare(pred.Val, minD) // val vs min
+		cmpMax := types.Compare(pred.Val, maxD) // val vs max
+		switch pred.Op {
+		case ZoneEq:
+			return cmpMin >= 0 && cmpMax <= 0
+		case ZoneNe:
+			// Only a single-valued page of exactly val is skippable.
+			return !(cmpMin == 0 && cmpMax == 0 && types.Compare(minD, maxD) == 0)
+		case ZoneLt:
+			return cmpMin > 0 // min < val
+		case ZoneLe:
+			return cmpMin >= 0 // min <= val
+		case ZoneGt:
+			return cmpMax < 0 // max > val
+		case ZoneGe:
+			return cmpMax <= 0 // max >= val
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// pageMayMatch evaluates every pushed-down predicate on col against the
+// page's zone bytes; one impossible conjunct rules the whole page out.
+func pageMayMatch(zone []byte, col int, preds []ZonePred) bool {
+	for _, p := range preds {
+		if p.Col != col {
+			continue
+		}
+		if !zoneMayMatch(zone, p) {
+			return false
+		}
+	}
+	return true
+}

@@ -20,13 +20,44 @@ import (
 	"hawq/internal/catalog"
 	"hawq/internal/compress"
 	"hawq/internal/hdfs"
+	"hawq/internal/obs"
 	"hawq/internal/types"
 )
 
 // DefaultBlockTarget is the uncompressed block size writers aim for.
 const DefaultBlockTarget = 64 * 1024
 
+// blockMagic marks a v1 block: flat datum payload, no page metadata.
+// Readers still accept it so files written before encodings and zone
+// maps keep scanning.
 const blockMagic = 0xA7
+
+// blockMagicV2 marks a v2 block, whose header additionally carries the
+// page encoding byte and the zone-map bytes. CO writers emit only v2
+// blocks; AO blocks stay v1 (a row-oriented payload has no per-column
+// encoding to describe).
+const blockMagicV2 = 0xA8
+
+// pagesSkipped counts pages (CO aligned block sets, Parquet row groups)
+// whose zone maps proved no row could match a pushed-down predicate, so
+// they were never checksummed, decompressed, or decoded.
+var pagesSkipped = obs.GetCounter("storage.pages_skipped")
+
+// ScanStats accumulates per-scan counters the executor surfaces in
+// EXPLAIN ANALYZE. A nil *ScanStats is accepted everywhere and counts
+// nothing.
+type ScanStats struct {
+	// PagesSkipped counts logical pages skipped via zone maps.
+	PagesSkipped int64
+}
+
+// notePageSkipped records one logical page pruned by a zone map.
+func (st *ScanStats) notePageSkipped() {
+	pagesSkipped.Inc()
+	if st != nil {
+		st.PagesSkipped++
+	}
+}
 
 // Writer appends rows to one segment file (lane) of a table.
 type Writer interface {
@@ -124,12 +155,48 @@ func ScanBatches(fs *hdfs.FileSystem, spec catalog.StorageSpec, schema *types.Sc
 	}
 }
 
+// ErrNoVecScan reports that a storage orientation has no encoded-vector
+// scan path (AO stores whole rows, so there are no column vectors to
+// hand over); callers fall back to ScanBatches.
+var ErrNoVecScan = fmt.Errorf("storage: orientation has no vector scan")
+
+// ScanVecBatches is the compressed-execution variant of ScanBatches for
+// the columnar formats: fn receives each page set as a types.VecBatch
+// of still-encoded column vectors (flat pages arrive as undecoded
+// VecRaw streams), so predicate and aggregation kernels can run before
+// any decode. Pages ruled out by preds against the on-page zone maps
+// are skipped before checksum and decompression and counted in st.
+// Ownership of each vec batch transfers to fn, which must release it
+// with types.PutVecBatch (or hand it on).
+//
+// Row orientation returns ErrNoVecScan.
+func ScanVecBatches(fs *hdfs.FileSystem, spec catalog.StorageSpec, schema *types.Schema, sf catalog.SegFile, proj []int, preds []ZonePred, st *ScanStats, fn func(*types.VecBatch) error) error {
+	codec, err := compress.Lookup(spec.Codec)
+	if err != nil {
+		return err
+	}
+	if proj == nil {
+		proj = make([]int, schema.Len())
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	switch spec.Orientation {
+	case catalog.OrientColumn:
+		return scanCOVec(fs, codec, sf, proj, preds, st, fn)
+	case catalog.OrientParquet:
+		return scanParquetVec(fs, codec, sf, proj, preds, st, fn)
+	default:
+		return ErrNoVecScan
+	}
+}
+
 // ColFilePath returns the HDFS path of column i of a CO table lane.
 func ColFilePath(base string, col int) string {
 	return fmt.Sprintf("%s.c%d", base, col)
 }
 
-// appendBlock frames payload as one checksummed, compressed block:
+// appendBlock frames payload as one checksummed, compressed v1 block:
 //
 //	magic(1) | rowCount uvarint | rawLen uvarint | compLen uvarint |
 //	crc32(comp)(4) | comp bytes
@@ -145,56 +212,146 @@ func appendBlock(dst []byte, codec compress.Codec, rowCount int, raw []byte) []b
 	return append(dst, comp...)
 }
 
+// appendBlockV2 frames one encoded column page as a v2 block:
+//
+//	magic(1) | enc(1) | rowCount uvarint | zoneLen uvarint | zone |
+//	rawLen uvarint | compLen uvarint | crc32(comp)(4) | comp bytes
+//
+// The encoding byte and zone map sit before the compressed payload so
+// a reader can decide to skip the page without checksumming or
+// decompressing it.
+func appendBlockV2(dst []byte, codec compress.Codec, rowCount int, enc byte, zone, raw []byte) []byte {
+	comp := codec.Compress(nil, raw)
+	dst = append(dst, blockMagicV2, enc)
+	dst = binary.AppendUvarint(dst, uint64(rowCount))
+	dst = binary.AppendUvarint(dst, uint64(len(zone)))
+	dst = append(dst, zone...)
+	dst = binary.AppendUvarint(dst, uint64(len(raw)))
+	dst = binary.AppendUvarint(dst, uint64(len(comp)))
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(comp))
+	dst = append(dst, crc[:]...)
+	return append(dst, comp...)
+}
+
+// pageHdr is one parsed block header: everything needed for a skip
+// decision, plus the still-compressed, still-unverified payload for
+// pages that survive it.
+type pageHdr struct {
+	// rows is the page row count.
+	rows int
+	// enc is the page encoding (pageEncFlat for v1 blocks).
+	enc byte
+	// zone holds the zone-map bytes (nil for v1 blocks).
+	zone []byte
+	// comp is the compressed payload; crc is its expected checksum and
+	// rawLen the expected decompressed length.
+	comp   []byte
+	crc    uint32
+	rawLen int
+	// off is the block's offset in the region, for error messages.
+	off int
+}
+
+// payload verifies the checksum and decompresses the page. Deferring
+// this until after the zone-map decision is what makes page skipping
+// pay: a skipped page costs exactly one header parse.
+func (h *pageHdr) payload(codec compress.Codec) ([]byte, error) {
+	if crc32.ChecksumIEEE(h.comp) != h.crc {
+		return nil, fmt.Errorf("storage: block checksum mismatch at offset %d", h.off)
+	}
+	raw, err := codec.Decompress(nil, h.comp)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if len(raw) != h.rawLen {
+		return nil, fmt.Errorf("storage: block raw length %d, want %d", len(raw), h.rawLen)
+	}
+	return raw, nil
+}
+
 // blockIter walks the blocks in a byte region.
 type blockIter struct {
 	data []byte
 	pos  int
 }
 
-// next returns the next block's row count and decompressed payload, or
-// io.EOF at the end of the region.
-func (it *blockIter) next(codec compress.Codec) (int, []byte, error) {
+// nextHeader parses the next block's header (v1 or v2), advancing the
+// iterator past the whole block, or returns io.EOF at the end of the
+// region. The payload stays compressed and unverified inside the
+// returned header until pageHdr.payload is asked for it.
+func (it *blockIter) nextHeader() (pageHdr, error) {
+	var h pageHdr
 	if it.pos >= len(it.data) {
-		return 0, nil, io.EOF
+		return h, io.EOF
 	}
 	d := it.data[it.pos:]
-	if d[0] != blockMagic {
-		return 0, nil, fmt.Errorf("storage: bad block magic 0x%02x at offset %d", d[0], it.pos)
-	}
+	h.off = it.pos
 	p := 1
+	switch d[0] {
+	case blockMagic:
+	case blockMagicV2:
+		if len(d) < 2 {
+			return h, fmt.Errorf("storage: truncated block header")
+		}
+		h.enc = d[1]
+		p = 2
+	default:
+		return h, fmt.Errorf("storage: bad block magic 0x%02x at offset %d", d[0], it.pos)
+	}
 	rowCount, n := binary.Uvarint(d[p:])
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("storage: truncated block header")
+		return h, fmt.Errorf("storage: truncated block header")
 	}
 	p += n
+	h.rows = int(rowCount)
+	if d[0] == blockMagicV2 {
+		zoneLen, n := binary.Uvarint(d[p:])
+		if n <= 0 {
+			return h, fmt.Errorf("storage: truncated block header")
+		}
+		p += n
+		if uint64(len(d)-p) < zoneLen {
+			return h, fmt.Errorf("storage: truncated zone map")
+		}
+		h.zone = d[p : p+int(zoneLen)]
+		p += int(zoneLen)
+	}
 	rawLen, n := binary.Uvarint(d[p:])
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("storage: truncated block header")
+		return h, fmt.Errorf("storage: truncated block header")
 	}
 	p += n
+	h.rawLen = int(rawLen)
 	compLen, n := binary.Uvarint(d[p:])
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("storage: truncated block header")
+		return h, fmt.Errorf("storage: truncated block header")
 	}
 	p += n
 	if len(d) < p+4+int(compLen) {
-		return 0, nil, fmt.Errorf("storage: truncated block body")
+		return h, fmt.Errorf("storage: truncated block body")
 	}
-	wantCRC := binary.BigEndian.Uint32(d[p:])
+	h.crc = binary.BigEndian.Uint32(d[p:])
 	p += 4
-	comp := d[p : p+int(compLen)]
-	if crc32.ChecksumIEEE(comp) != wantCRC {
-		return 0, nil, fmt.Errorf("storage: block checksum mismatch at offset %d", it.pos)
-	}
-	raw, err := codec.Decompress(nil, comp)
-	if err != nil {
-		return 0, nil, fmt.Errorf("storage: %w", err)
-	}
-	if len(raw) != int(rawLen) {
-		return 0, nil, fmt.Errorf("storage: block raw length %d, want %d", len(raw), rawLen)
-	}
+	h.comp = d[p : p+int(compLen)]
 	it.pos += p + int(compLen)
-	return int(rowCount), raw, nil
+	return h, nil
+}
+
+// next returns the next block's row count and decompressed payload, or
+// io.EOF at the end of the region. For v2 blocks the payload is the
+// page-encoded stream (callers that need row values go through
+// decodePage); AO files only ever contain v1 flat blocks.
+func (it *blockIter) next(codec compress.Codec) (int, []byte, error) {
+	h, err := it.nextHeader()
+	if err != nil {
+		return 0, nil, err
+	}
+	raw, err := h.payload(codec)
+	if err != nil {
+		return 0, nil, err
+	}
+	return h.rows, raw, nil
 }
 
 // readRegion reads [0, length) of an HDFS file. A zero length yields nil

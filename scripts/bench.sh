@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # bench.sh runs the vectorized-execution micro-benchmarks (row vs batch
-# for encode/decode, storage scans, the scan→filter→project pipeline,
-# hash aggregation, and motion loopback) plus the workload-manager
+# for encode/decode, storage scans — including the encoded CO path with
+# zone-map page skipping against the filter-batch baseline — the
+# scan→filter→project pipeline, hash aggregation, and motion loopback),
+# the runtime bloom-filter join microbench (probe-side scan with the
+# build-side filter off vs on) plus the workload-manager
 # spill microbench (in-memory vs workfile-spilling hash join, with
 # spilled bytes per op) and the observability overhead microbench
 # (scan→filter→project with per-operator stats off vs on; the on/off
@@ -37,7 +40,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     RACE=(-race)
 fi
 
-PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback|BenchmarkSpillJoin|BenchmarkStatsOverhead'
+PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback|BenchmarkSpillJoin|BenchmarkStatsOverhead|BenchmarkJoinRuntimeFilter'
 PKGS="./internal/types ./internal/storage ./internal/executor"
 
 OUT="BENCH_micro.json"
