@@ -120,6 +120,7 @@ var defaultDeterminismPkgs = []string{
 	"internal/resource",
 	"internal/stinger",
 	"internal/tpch",
+	"internal/wal",
 }
 
 // defaultCtxflowPkgs lists the query-path packages (relative to the

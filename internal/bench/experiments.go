@@ -284,14 +284,14 @@ func lineitemBytes(e *engine.Engine) (int64, error) {
 	cl := e.Cluster()
 	t := cl.TxMgr.Begin(0)
 	defer t.Commit()
-	desc, err := cl.Cat.LookupTable(t.Snapshot(), "lineitem")
+	desc, err := cl.Cat().LookupTable(t.Snapshot(), "lineitem")
 	if err != nil {
 		return 0, err
 	}
 	// LogicalLen is the committed byte count for every format (for CO it
 	// is the sum over column files).
 	var total int64
-	for _, sf := range cl.Cat.AllSegFiles(t.Snapshot(), desc.OID) {
+	for _, sf := range cl.Cat().AllSegFiles(t.Snapshot(), desc.OID) {
 		total += sf.LogicalLen
 	}
 	return total, nil

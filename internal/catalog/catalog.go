@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hawq/internal/tx"
 	"hawq/internal/types"
@@ -129,10 +130,12 @@ type SegmentInfo struct {
 }
 
 // Catalog is the unified catalog service. All access is by transaction
-// snapshot; all mutations are WAL-logged.
+// snapshot; all mutations are WAL-logged. The WAL is held through an
+// atomic pointer so promotion can swap it (the promoted standby starts a
+// fresh log epoch) while queries are in flight.
 type Catalog struct {
 	mu      sync.Mutex
-	wal     *tx.WAL
+	wal     atomic.Pointer[tx.WAL]
 	sys     map[string]*SysTable
 	nextOID int64
 }
@@ -152,7 +155,10 @@ const (
 // wal (pass a fresh WAL for a primary, or nil for a standby replica that
 // is populated purely by ApplyRecord).
 func New(wal *tx.WAL) *Catalog {
-	c := &Catalog{wal: wal, sys: map[string]*SysTable{}, nextOID: 16384}
+	c := &Catalog{sys: map[string]*SysTable{}, nextOID: 16384}
+	if wal != nil {
+		c.wal.Store(wal)
+	}
 	add := func(name string, cols ...types.Column) {
 		c.sys[name] = NewSysTable(name, types.NewSchema(cols...))
 	}
@@ -236,20 +242,30 @@ func (c *Catalog) SysTable(name string) (*SysTable, error) {
 	return t, nil
 }
 
+// SetWAL swaps the log mutations are recorded to. Promotion installs a
+// fresh WAL epoch; recovery installs the durable log once replay is done
+// (replay itself must not re-log).
+func (c *Catalog) SetWAL(w *tx.WAL) { c.wal.Store(w) }
+
+// WAL returns the current log (nil for a pure replica).
+func (c *Catalog) WAL() *tx.WAL { return c.wal.Load() }
+
 // insert writes a row to a system table and WAL-logs it.
 func (c *Catalog) insert(xid tx.XID, table string, row types.Row) uint64 {
 	t := c.sys[table]
 	id := t.Insert(xid, row)
-	if c.wal != nil {
-		c.wal.Append(tx.Record{Type: tx.RecInsert, XID: xid, Table: table, RowID: id, Data: types.EncodeRow(nil, row)})
+	if w := c.wal.Load(); w != nil {
+		w.Append(tx.Record{Type: tx.RecInsert, XID: xid, Table: table, RowID: id, Data: types.EncodeRow(nil, row)})
 	}
 	return id
 }
 
 // delete stamps a row deleted and WAL-logs it.
 func (c *Catalog) delete(xid tx.XID, table string, id uint64) {
-	if c.sys[table].Delete(xid, id) && c.wal != nil {
-		c.wal.Append(tx.Record{Type: tx.RecDelete, XID: xid, Table: table, RowID: id})
+	if c.sys[table].Delete(xid, id) {
+		if w := c.wal.Load(); w != nil {
+			w.Append(tx.Record{Type: tx.RecDelete, XID: xid, Table: table, RowID: id})
+		}
 	}
 }
 

@@ -270,7 +270,7 @@ func TestStandbyReplayFromWAL(t *testing.T) {
 
 	// Standby attaches: catch up on the backlog, then stream.
 	standby := New(nil)
-	backlog := wal.Subscribe(func(r tx.Record) {
+	_, backlog := wal.Subscribe(func(r tx.Record) {
 		if err := standby.ApplyRecord(r); err != nil {
 			t.Errorf("apply: %v", err)
 		}

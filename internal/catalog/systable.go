@@ -12,6 +12,7 @@ package catalog
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"hawq/internal/tx"
@@ -25,6 +26,7 @@ type SysTable struct {
 
 	mu      sync.RWMutex
 	rows    []sysRow
+	byID    map[uint64]int // row ID → index in rows (IDs are never reused)
 	nextRow uint64
 }
 
@@ -37,7 +39,7 @@ type sysRow struct {
 
 // NewSysTable creates an empty system table.
 func NewSysTable(name string, schema *types.Schema) *SysTable {
-	return &SysTable{Name: name, Schema: schema, nextRow: 1}
+	return &SysTable{Name: name, Schema: schema, nextRow: 1, byID: map[uint64]int{}}
 }
 
 // Insert adds a row version created by xid and returns its row ID.
@@ -50,30 +52,38 @@ func (t *SysTable) Insert(xid tx.XID, row types.Row) uint64 {
 	id := t.nextRow
 	t.nextRow++
 	t.rows = append(t.rows, sysRow{id: id, xmin: xid, data: row.Clone()})
+	t.byID[id] = len(t.rows) - 1
 	return id
 }
 
 // InsertWithID adds a row with a caller-chosen ID (WAL replay on the
-// standby, where IDs must match the primary).
-func (t *SysTable) InsertWithID(xid tx.XID, id uint64, row types.Row) {
+// standby and during recovery, where IDs must match the primary). It is
+// idempotent: a row ID already present is left untouched, so records
+// that straddle a checkpoint snapshot can be replayed on top of it. The
+// return reports whether the row was inserted.
+func (t *SysTable) InsertWithID(xid tx.XID, id uint64, row types.Row) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if id >= t.nextRow {
 		t.nextRow = id + 1
 	}
+	if _, ok := t.byID[id]; ok {
+		return false
+	}
 	t.rows = append(t.rows, sysRow{id: id, xmin: xid, data: row.Clone()})
+	t.byID[id] = len(t.rows) - 1
+	return true
 }
 
 // Delete stamps xmax on the row version with the given ID. It reports
-// whether a live version was found.
+// whether a live version was found; re-stamping an already-deleted row
+// is a no-op, which makes WAL replay of deletes idempotent.
 func (t *SysTable) Delete(xid tx.XID, id uint64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for i := range t.rows {
-		if t.rows[i].id == id && t.rows[i].xmax == tx.InvalidXID {
-			t.rows[i].xmax = xid
-			return true
-		}
+	if i, ok := t.byID[id]; ok && t.rows[i].xmax == tx.InvalidXID {
+		t.rows[i].xmax = xid
+		return true
 	}
 	return false
 }
@@ -108,7 +118,83 @@ func (t *SysTable) Vacuum(horizon tx.Snapshot) int {
 		kept = append(kept, r)
 	}
 	t.rows = kept
+	t.reindexLocked()
 	return removed
+}
+
+// reindexLocked rebuilds the row-ID index after compaction. Callers hold
+// t.mu.
+func (t *SysTable) reindexLocked() {
+	t.byID = make(map[uint64]int, len(t.rows))
+	for i := range t.rows {
+		t.byID[t.rows[i].id] = i
+	}
+}
+
+// versions calls fn for every stored row version, visible or not, in
+// row-ID order (snapshot serialization and the crash harness's canonical
+// dump).
+func (t *SysTable) versions(fn func(id uint64, xmin, xmax tx.XID, row types.Row)) {
+	t.mu.RLock()
+	rows := make([]sysRow, len(t.rows))
+	copy(rows, t.rows)
+	t.mu.RUnlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	for _, r := range rows {
+		fn(r.id, r.xmin, r.xmax, r.data)
+	}
+}
+
+// state returns a copy of the versions plus the next row ID (snapshot
+// serialization).
+func (t *SysTable) state() ([]sysRow, uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]sysRow, len(t.rows))
+	copy(rows, t.rows)
+	return rows, t.nextRow
+}
+
+// restore replaces the table contents (checkpoint restore). Rows are
+// cloned; the index is rebuilt.
+func (t *SysTable) restore(rows []sysRow, nextRow uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = make([]sysRow, len(rows))
+	for i, r := range rows {
+		r.data = r.data.Clone()
+		t.rows[i] = r
+	}
+	if nextRow < 1 {
+		nextRow = 1
+	}
+	t.nextRow = nextRow
+	t.reindexLocked()
+}
+
+// discardUncommitted removes versions created by transactions that are
+// not committed and clears delete stamps from such transactions
+// (promotion fencing: the failed primary's in-flight work must vanish).
+// It returns the number of versions touched.
+func (t *SysTable) discardUncommitted(committed func(tx.XID) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	n := 0
+	for _, r := range t.rows {
+		if !committed(r.xmin) {
+			n++
+			continue
+		}
+		if r.xmax != tx.InvalidXID && !committed(r.xmax) {
+			r.xmax = tx.InvalidXID
+			n++
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	t.reindexLocked()
+	return n
 }
 
 // Len returns the number of stored row versions (all, not just visible).

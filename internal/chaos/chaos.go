@@ -80,6 +80,7 @@ const (
 	FaultFailVolume  = "fail-volume"
 	FaultCancel      = "cancel"
 	FaultSpillCancel = "spill-cancel"
+	FaultPromote     = "promote-standby"
 )
 
 // faultMenu is the deck the scheduler draws from; FaultNone appears
@@ -87,7 +88,7 @@ const (
 var faultMenu = []string{
 	FaultNone, FaultNone, FaultKillSegment, FaultLossBurst,
 	FaultStalledPeer, FaultKillDN, FaultFailVolume, FaultCancel,
-	FaultSpillCancel,
+	FaultSpillCancel, FaultPromote,
 }
 
 // StepReport records one step's schedule and outcome.
@@ -257,6 +258,11 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 
+	// A warm standby master follows the catalog WAL from the start, so
+	// the promote-standby fault can fail the active master over
+	// mid-query.
+	e.Cluster().StartStandby()
+
 	// Fault-free baselines: the ground truth each faulted run must
 	// reproduce when it succeeds.
 	s := e.NewSession()
@@ -353,6 +359,11 @@ func runStep(e *engine.Engine, s *engine.Session, sim *clock.Sim, rng *rand.Rand
 		fire(func() { cl.FS.DataNode(step.Target).FailVolume(0) })
 	case FaultCancel:
 		fire(s.Cancel)
+	case FaultPromote:
+		// Master failover mid-query: the standby's catalog replica takes
+		// over, in-flight transactions abort, and the query either
+		// completes against the old snapshot or fails cleanly.
+		fire(func() { cl.Promote() })
 	case FaultSpillCancel:
 		// Memory pressure plus cancellation: a tiny seeded work_mem
 		// pushes the query's hash and sort state into workfiles, and the
@@ -391,6 +402,11 @@ func runStep(e *engine.Engine, s *engine.Session, sim *clock.Sim, rng *rand.Rand
 		}
 	}
 	cl.FS.ReplicationCheck()
+	if !cl.HasStandby() {
+		// Promotion consumed the standby; attach a fresh one so later
+		// promote-standby steps have a replica to fail over to.
+		cl.StartStandby()
+	}
 
 	// Invariants: bounded virtual time, no workfile outliving its query
 	// (dispatch tears every store down before returning, success or

@@ -211,3 +211,89 @@ func TestScheduleIsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestPromoteFault fails the master over while a query is in flight
+// and checks the promoted catalog serves exactly the committed state:
+// the query completes correctly or fails cleanly, the old primary's
+// WAL subscription is detached, and the promoted master answers
+// queries and accepts new DDL.
+func TestPromoteFault(t *testing.T) {
+	h, err := newHarness(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.close()
+
+	s := h.eng.NewSession()
+	if _, err := s.Query("CREATE TABLE pairs (k INT8, v INT8) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO pairs VALUES ")
+	for i := 0; i < 100; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i*13%101)
+	}
+	if _, err := s.Query(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Query("SELECT count(*) FROM pairs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(base.Rows)
+
+	cl := h.eng.Cluster()
+	cl.StartStandby()
+	oldWAL := cl.WAL()
+
+	// Fire the promotion on a virtual-time fuse while the query runs.
+	tm := h.sim.NewTimer(5 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer tm.Stop()
+		<-tm.C()
+		cl.Promote()
+	}()
+	res, qerr := s.Query("SELECT count(*) FROM pairs")
+	<-done
+
+	if qerr != nil {
+		if strings.TrimSpace(qerr.Error()) == "" {
+			t.Fatal("query under promotion failed with an empty error")
+		}
+	} else if got := canonical(res.Rows); got != want {
+		t.Fatalf("wrong rows under promotion: got %q want %q", got, want)
+	}
+
+	// The promotion must detach the standby's log-shipping subscription
+	// (a leak here double-applies records into the active catalog).
+	if n := oldWAL.Subscribers(); n != 0 {
+		t.Fatalf("old WAL still has %d subscribers after promotion", n)
+	}
+	if cl.HasStandby() {
+		t.Fatal("standby still registered after promotion")
+	}
+
+	// The promoted master serves the committed catalog and takes DDL.
+	res2, err := s.Query("SELECT count(*) FROM pairs")
+	if err != nil {
+		t.Fatalf("query after promotion: %v", err)
+	}
+	if got := canonical(res2.Rows); got != want {
+		t.Fatalf("promoted catalog answers wrong: got %q want %q", got, want)
+	}
+	if _, err := s.Query("CREATE TABLE post_promote (k INT8) DISTRIBUTED BY (k)"); err != nil {
+		t.Fatalf("DDL after promotion: %v", err)
+	}
+	res3, err := s.Query("SELECT count(*) FROM post_promote")
+	if err != nil {
+		t.Fatalf("query new table after promotion: %v", err)
+	}
+	if len(res3.Rows) != 1 {
+		t.Fatalf("count over new table returned %d rows", len(res3.Rows))
+	}
+}

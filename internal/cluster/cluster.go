@@ -30,6 +30,7 @@ import (
 	"hawq/internal/retry"
 	"hawq/internal/tx"
 	"hawq/internal/types"
+	"hawq/internal/wal"
 )
 
 // Config sizes a cluster.
@@ -76,16 +77,37 @@ type Config struct {
 	// RowMode disables the executor's vectorized batch path cluster-wide,
 	// forcing tuple-at-a-time execution (debugging escape hatch).
 	RowMode bool
+	// WALDisk is the device the master's catalog WAL is persisted on
+	// (wal.NewDirDisk for real files, wal.NewFaultDisk under the crash
+	// harness). nil keeps the log volatile and in-memory, as before this
+	// option existed — tests that do not care about durability pay
+	// nothing. When set, cluster boot runs ARIES-lite recovery: restore
+	// the newest checkpoint, redo committed transactions past it, and
+	// discard in-flight ones (§2.6).
+	WALDisk wal.Disk
+	// WALSegmentBytes rolls WAL segment files at this size (0: 256 KiB).
+	WALSegmentBytes int
+	// WALGroupWindow batches commit fsyncs: the group-commit leader
+	// waits this long (on Clock) for followers before one fsync covers
+	// the batch. 0 syncs per commit.
+	WALGroupWindow time.Duration
+	// CheckpointEvery writes a catalog checkpoint after this many WAL
+	// records (0 disables automatic checkpoints; Checkpoint() is always
+	// available).
+	CheckpointEvery int
 }
 
-// Cluster is a running HAWQ cluster.
+// Cluster is a running HAWQ cluster. The active catalog and WAL are held
+// behind atomic pointers (see Cat and WAL): Promote swaps them while
+// queries are dispatching, so direct fields would be a data race.
 type Cluster struct {
-	cfg   Config
-	FS    *hdfs.FileSystem
-	Cat   *catalog.Catalog
-	TxMgr *tx.Manager
-	Locks *tx.LockManager
-	WAL   *tx.WAL
+	cfg    Config
+	FS     *hdfs.FileSystem
+	TxMgr  *tx.Manager
+	Locks  *tx.LockManager
+	master *Master
+	cat    atomic.Pointer[catalog.Catalog]
+	wal    atomic.Pointer[tx.WAL]
 
 	book      *interconnect.AddrBook
 	qdNode    interconnect.Node
@@ -146,24 +168,41 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: spill codec: %w", err)
 		}
 	}
-	wal := tx.NewWAL()
+	m, err := OpenMaster(MasterOptions{
+		Disk:            cfg.WALDisk,
+		SegmentBytes:    cfg.WALSegmentBytes,
+		GroupWindow:     cfg.WALGroupWindow,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Clock:           cfg.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
-		cfg:   cfg,
-		FS:    fs,
-		Cat:   catalog.New(wal),
-		TxMgr: tx.NewManager(),
-		Locks: tx.NewLockManager(),
-		WAL:   wal,
-		book:  interconnect.NewAddrBook(),
-		lanes: newLaneManager(),
-		clk:   clock.Default(cfg.Clock),
+		cfg:    cfg,
+		FS:     fs,
+		TxMgr:  m.TxMgr,
+		Locks:  tx.NewLockManager(),
+		master: m,
+		book:   interconnect.NewAddrBook(),
+		lanes:  newLaneManager(),
+		clk:    clock.Default(cfg.Clock),
 
 		spillCodec: spillCodec,
 	}
+	c.cat.Store(m.Cat)
+	c.wal.Store(m.WAL)
 	if c.qdNode, err = c.newNode(plan.QDSegment); err != nil {
 		return nil, err
 	}
 	boot := c.TxMgr.Begin(tx.ReadCommitted)
+	// A recovered catalog already carries segment rows; re-register only
+	// what is missing and flip recovered segments back to "up" (the
+	// processes restart with the master).
+	known := map[int]catalog.SegmentInfo{}
+	for _, si := range c.Cat().Segments(boot.Snapshot()) {
+		known[si.ID] = si
+	}
 	for i := 0; i < cfg.Segments; i++ {
 		seg := &Segment{ID: i, LocalHost: fmt.Sprintf("dn%d", i%cfg.DataNodes)}
 		if seg.node, err = c.newNode(interconnect.SegID(i)); err != nil {
@@ -171,13 +210,39 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.segments = append(c.segments, seg)
-		c.Cat.RegisterSegment(boot, catalog.SegmentInfo{ID: i, Host: seg.LocalHost, Port: 0, Status: "up"})
+		if si, ok := known[i]; ok {
+			if si.Status != "up" {
+				if err := c.Cat().SetSegmentStatus(boot, i, "up"); err != nil {
+					boot.Abort()
+					return nil, err
+				}
+			}
+		} else {
+			c.Cat().RegisterSegment(boot, catalog.SegmentInfo{ID: i, Host: seg.LocalHost, Port: 0, Status: "up"})
+		}
 	}
 	if err := boot.Commit(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
+
+// Cat returns the active catalog. Always re-read it per statement: after
+// a standby promotion the pointer changes.
+func (c *Cluster) Cat() *catalog.Catalog { return c.cat.Load() }
+
+// WAL returns the active write-ahead log (the shipping side; durability
+// lives behind it in the wal.Log sink).
+func (c *Cluster) WAL() *tx.WAL { return c.wal.Load() }
+
+// Log returns the durable log, nil for volatile clusters.
+func (c *Cluster) Log() *wal.Log { return c.master.Log }
+
+// Checkpoint forces a catalog checkpoint (durable clusters only).
+func (c *Cluster) Checkpoint() error { return c.master.Checkpoint() }
+
+// Recovery reports what boot-time recovery salvaged.
+func (c *Cluster) Recovery() RecoveryStats { return c.master.Recovery }
 
 func (c *Cluster) newNode(id interconnect.SegID) (interconnect.Node, error) {
 	if c.cfg.Interconnect == "tcp" {
@@ -231,7 +296,8 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	err := c.qdNode.Close()
+	err := c.master.Close()
+	err = errors.Join(err, c.qdNode.Close())
 	for _, s := range c.segments {
 		s.mu.Lock()
 		if s.node != nil {
@@ -316,7 +382,7 @@ func (c *Cluster) FaultCheck() []int {
 			}
 			s.mu.Unlock()
 			t := c.TxMgr.Begin(tx.ReadCommitted)
-			if err := c.Cat.SetSegmentStatus(t, s.ID, "down"); err == nil {
+			if err := c.Cat().SetSegmentStatus(t, s.ID, "down"); err == nil {
 				// The next detector pass retries if the commit lost a
 				// race; the in-memory down flag is already set.
 				//hawqcheck:ignore errdrop
@@ -350,7 +416,7 @@ func (c *Cluster) Recover(segID int) error {
 	s.retryAt = time.Time{}
 	s.mu.Unlock()
 	t := c.TxMgr.Begin(tx.ReadCommitted)
-	if err := c.Cat.SetSegmentStatus(t, segID, "up"); err != nil {
+	if err := c.Cat().SetSegmentStatus(t, segID, "up"); err != nil {
 		t.Abort()
 		return err
 	}

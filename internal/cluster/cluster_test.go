@@ -24,7 +24,7 @@ func TestBootRegistersSegments(t *testing.T) {
 	c := testCluster(t, 3)
 	tr := c.TxMgr.Begin(tx.ReadCommitted)
 	defer tr.Commit()
-	segs := c.Cat.Segments(tr.Snapshot())
+	segs := c.Cat().Segments(tr.Snapshot())
 	if len(segs) != 3 {
 		t.Fatalf("segments = %d", len(segs))
 	}
@@ -105,7 +105,7 @@ func TestFaultDetectorAndRecovery(t *testing.T) {
 		t.Fatalf("marked = %v", marked)
 	}
 	tr := c.TxMgr.Begin(tx.ReadCommitted)
-	segs := c.Cat.Segments(tr.Snapshot())
+	segs := c.Cat().Segments(tr.Snapshot())
 	tr.Commit()
 	if segs[1].Status != "down" {
 		t.Fatalf("catalog status = %s", segs[1].Status)
@@ -148,7 +148,7 @@ func TestAcquireLaneTruncatesGarbage(t *testing.T) {
 		Schema:  types.NewSchema(types.Column{Name: "k", Kind: types.KindInt64}),
 		Storage: catalog.StorageSpec{Orientation: catalog.OrientRow, Codec: "none"},
 	}
-	if _, err := c.Cat.CreateTable(tr, desc); err != nil {
+	if _, err := c.Cat().CreateTable(tr, desc); err != nil {
 		t.Fatal(err)
 	}
 	segno, files, err := c.AcquireLane(tr, desc)

@@ -75,7 +75,7 @@ func (c *Cluster) AcquireLane(t *tx.Tx, desc *catalog.TableDesc) (int, map[int]c
 	snap := t.Snapshot()
 	maxSeg := -1
 	for segID := range c.segments {
-		if n := c.Cat.MaxSegNo(snap, desc.OID, segID); n > maxSeg {
+		if n := c.Cat().MaxSegNo(snap, desc.OID, segID); n > maxSeg {
 			maxSeg = n
 		}
 	}
@@ -94,7 +94,7 @@ func (c *Cluster) AcquireLane(t *tx.Tx, desc *catalog.TableDesc) (int, map[int]c
 	for segID := range c.segments {
 		var sf catalog.SegFile
 		found := false
-		for _, f := range c.Cat.SegFiles(snap, desc.OID, segID) {
+		for _, f := range c.Cat().SegFiles(snap, desc.OID, segID) {
 			if f.SegNo == segno {
 				sf, found = f, true
 				break
@@ -107,7 +107,7 @@ func (c *Cluster) AcquireLane(t *tx.Tx, desc *catalog.TableDesc) (int, map[int]c
 				SegNo:     segno,
 				Path:      LanePath(desc.OID, segID, segno),
 			}
-			c.Cat.AddSegFile(t, sf)
+			c.Cat().AddSegFile(t, sf)
 		}
 		// Truncate garbage left by an aborted writer beyond the
 		// committed logical length (§5: "the garbage data needs to be

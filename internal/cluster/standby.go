@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 
 	"hawq/internal/catalog"
@@ -8,13 +9,16 @@ import (
 )
 
 // Standby is the warm standby master (§2.6): it holds a catalog replica
-// kept current by WAL log shipping. Since the master stores no user data,
-// replicating the catalog is all a failover needs.
+// bootstrapped from a catalog snapshot and kept current by WAL log
+// shipping, with LSN-gap detection — a skipped record means the replica
+// has silently diverged and must not be promoted.
 type Standby struct {
 	Cat *catalog.Catalog
 
-	mu  sync.Mutex
-	err error
+	mu      sync.Mutex
+	err     error
+	subID   int
+	lastLSN uint64
 }
 
 // Err returns the first WAL-replay error, if any. A standby with a
@@ -23,6 +27,13 @@ func (sb *Standby) Err() error {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
 	return sb.err
+}
+
+// LastLSN returns the last log record the standby applied.
+func (sb *Standby) LastLSN() uint64 {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.lastLSN
 }
 
 // recordErr keeps the first replay failure.
@@ -37,35 +48,89 @@ func (sb *Standby) recordErr(err error) {
 	}
 }
 
-// StartStandby attaches a standby master: it catches up on the WAL
-// backlog, then applies records as they stream.
+// apply replays one shipped record, checking LSN continuity. Records may
+// be delivered twice around the subscription point (snapshot + backlog
+// overlap); replay is idempotent, so an LSN at or below the watermark is
+// skipped, while a gap marks the replica diverged.
+func (sb *Standby) apply(r tx.Record) {
+	sb.mu.Lock()
+	if r.LSN <= sb.lastLSN {
+		sb.mu.Unlock()
+		return
+	}
+	if sb.lastLSN != 0 && r.LSN != sb.lastLSN+1 {
+		sb.mu.Unlock()
+		sb.recordErr(fmt.Errorf("cluster: standby LSN gap: got %d after %d", r.LSN, sb.lastLSN))
+		return
+	}
+	sb.lastLSN = r.LSN
+	sb.mu.Unlock()
+	sb.recordErr(sb.Cat.ApplyRecord(r))
+}
+
+// StartStandby attaches a standby master: it bootstraps from a
+// full-fidelity catalog snapshot, catches up on the WAL backlog, then
+// applies records as they stream. Calling it again after a promotion
+// attaches a fresh standby to the new primary epoch.
 func (c *Cluster) StartStandby() *Standby {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.standby != nil {
 		return c.standby
 	}
+	cat := c.Cat()
 	sb := &Standby{Cat: catalog.New(nil)}
-	backlog := c.WAL.Subscribe(func(r tx.Record) {
-		sb.recordErr(sb.Cat.ApplyRecord(r))
-	})
+	// Bootstrap: copy the primary catalog verbatim (uncommitted versions
+	// included — the shared CLOG governs visibility), then subscribe.
+	// Records logged between the snapshot and the subscription are in
+	// the backlog; the overlap is deduplicated by the LSN watermark and
+	// idempotent replay.
+	snap := cat.Snapshot(nil, nil)
+	if _, err := sb.Cat.RestoreSnapshot(snap); err != nil {
+		sb.recordErr(err)
+	}
+	subID, backlog := c.WAL().Subscribe(sb.apply)
+	sb.subID = subID
 	for _, r := range backlog {
-		sb.recordErr(sb.Cat.ApplyRecord(r))
+		sb.apply(r)
 	}
 	c.standby = sb
 	return sb
 }
 
+// HasStandby reports whether a standby is attached.
+func (c *Cluster) HasStandby() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.standby != nil
+}
+
 // Promote makes the standby's catalog the cluster's active catalog (the
-// failover path when the primary master host dies). A new WAL begins at
-// promotion; the old primary must be rebuilt as a standby before it can
-// return.
+// failover path when the primary master host dies). Correctness under a
+// mid-transaction crash requires four steps, in order: detach the
+// standby's WAL subscription (a leftover subscription double-applies
+// every new record into the active catalog), abort the failed primary's
+// in-flight transactions in the CLOG, purge their row versions from the
+// promoted replica, and start a fresh WAL epoch continuing the LSN
+// sequence so late-attaching standbys see no gap. The old durable log
+// belongs to the dead primary's host and is not carried over; wiring a
+// new wal.Disk into the promoted master is a deployment concern.
 func (c *Cluster) Promote() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.standby == nil {
 		return
 	}
-	c.Cat = c.standby.Cat
+	sb := c.standby
 	c.standby = nil
+	c.WAL().Unsubscribe(sb.subID)
+	c.TxMgr.AbortInFlight()
+	sb.Cat.DiscardUncommitted(func(x tx.XID) bool {
+		return c.TxMgr.StatusOf(x) == tx.StatusCommitted
+	})
+	w := tx.NewWALAt(nil, sb.LastLSN()+1)
+	sb.Cat.SetWAL(w)
+	c.TxMgr.AttachWAL(w)
+	c.cat.Store(sb.Cat)
+	c.wal.Store(w)
 }

@@ -66,7 +66,7 @@ func resolveStorage(o sqlparser.StorageOptions) (catalog.StorageSpec, error) {
 }
 
 func (s *Session) runCreateTable(t *tx.Tx, stmt *sqlparser.CreateTableStmt) (*Result, error) {
-	cat := s.eng.cl.Cat
+	cat := s.eng.cl.Cat()
 	if stmt.IfNotExists {
 		if _, err := cat.LookupTable(t.Snapshot(), stmt.Name); err == nil {
 			return &Result{Tag: "CREATE TABLE"}, nil
@@ -236,14 +236,14 @@ func (s *Session) runCreateExternal(t *tx.Tx, stmt *sqlparser.CreateExternalTabl
 		Location: stmt.Location,
 		Format:   stmt.Format,
 	}
-	if _, err := s.eng.cl.Cat.CreateTable(t, desc); err != nil {
+	if _, err := s.eng.cl.Cat().CreateTable(t, desc); err != nil {
 		return nil, err
 	}
 	return &Result{Tag: "CREATE EXTERNAL TABLE"}, nil
 }
 
 func (s *Session) runDropTable(t *tx.Tx, stmt *sqlparser.DropTableStmt) (*Result, error) {
-	cat := s.eng.cl.Cat
+	cat := s.eng.cl.Cat()
 	desc, err := cat.LookupTable(t.Snapshot(), stmt.Name)
 	if err != nil {
 		if stmt.IfExists {
@@ -280,7 +280,7 @@ func (s *Session) runDropTable(t *tx.Tx, stmt *sqlparser.DropTableStmt) (*Result
 }
 
 func (s *Session) runTruncate(t *tx.Tx, stmt *sqlparser.TruncateStmt) (*Result, error) {
-	cat := s.eng.cl.Cat
+	cat := s.eng.cl.Cat()
 	desc, err := cat.LookupTable(t.Snapshot(), stmt.Name)
 	if err != nil {
 		return nil, err
@@ -314,7 +314,7 @@ func (s *Session) runTruncate(t *tx.Tx, stmt *sqlparser.TruncateStmt) (*Result, 
 // segment-file catalog plus per-column min/max/NDV computed by running
 // aggregate queries through the engine itself.
 func (s *Session) runAnalyze(ctx context.Context, t *tx.Tx, stmt *sqlparser.AnalyzeStmt) (*Result, error) {
-	cat := s.eng.cl.Cat
+	cat := s.eng.cl.Cat()
 	var targets []*catalog.TableDesc
 	if stmt.Table != "" {
 		desc, err := cat.LookupTable(t.Snapshot(), stmt.Table)
@@ -403,6 +403,6 @@ func (s *Session) analyzeExternal(t *tx.Tx, desc *catalog.TableDesc) error {
 	if err != nil {
 		return err
 	}
-	s.eng.cl.Cat.SetRelStats(t, desc.OID, catalog.RelStats{Rows: rows, Bytes: bytes})
+	s.eng.cl.Cat().SetRelStats(t, desc.OID, catalog.RelStats{Rows: rows, Bytes: bytes})
 	return nil
 }

@@ -18,7 +18,7 @@ import (
 // catalog as MVCC updates. The rows become visible at commit; an abort
 // truncates the appended bytes away (§5.3).
 func (s *Session) runInsert(ctx context.Context, t *tx.Tx, stmt *sqlparser.InsertStmt) (*Result, error) {
-	cat := s.eng.cl.Cat
+	cat := s.eng.cl.Cat()
 	name := strings.ToLower(stmt.Table)
 	if isSystemTable(name) {
 		res, err := cat.CaQL(t, stmt.String())
@@ -64,7 +64,7 @@ func (s *Session) runInsert(ctx context.Context, t *tx.Tx, stmt *sqlparser.Inser
 // insertTargets builds the insert target list with per-segment lane
 // files (§5.4).
 func (s *Session) insertTargets(t *tx.Tx, desc *catalog.TableDesc) ([]plan.InsertTarget, int, error) {
-	cat := s.eng.cl.Cat
+	cat := s.eng.cl.Cat()
 	targets := []plan.InsertTarget{{Table: desc}}
 	if desc.IsPartitionParent() {
 		kids, err := cat.PartitionChildren(t.Snapshot(), desc.OID)
@@ -112,7 +112,7 @@ func (s *Session) dispatchDML(ctx context.Context, t *tx.Tx, pl *plan.Plan) (*Re
 		affected += row[0].Int()
 	}
 	for _, u := range res.Updates {
-		if err := s.eng.cl.Cat.UpdateSegFile(t, u.File); err != nil {
+		if err := s.eng.cl.Cat().UpdateSegFile(t, u.File); err != nil {
 			return nil, err
 		}
 	}
@@ -150,7 +150,7 @@ func (s *Session) CopyFrom(table string, rows []types.Row) (int64, error) {
 
 func (s *Session) copyInTx(ctx context.Context, t *tx.Tx, table string, rows []types.Row) (*Result, error) {
 	name := strings.ToLower(table)
-	desc, err := s.eng.cl.Cat.LookupTable(t.Snapshot(), name)
+	desc, err := s.eng.cl.Cat().LookupTable(t.Snapshot(), name)
 	if err != nil {
 		return nil, err
 	}

@@ -89,7 +89,7 @@ func New(cfg Config) (*Engine, error) {
 	// manager (a catalog restored from WAL replay arrives with queues
 	// already defined).
 	boot := cl.TxMgr.Begin(tx.ReadCommitted)
-	for _, q := range cl.Cat.ListResourceQueues(boot.Snapshot()) {
+	for _, q := range cl.Cat().ListResourceQueues(boot.Snapshot()) {
 		// A name collision here means a corrupt catalog; first row wins.
 		//hawqcheck:ignore errdrop
 		e.res.Create(q.Name, int(q.ActiveStatements), q.MemLimit)
@@ -419,7 +419,7 @@ func (s *Session) runInTx(ctx context.Context, t *tx.Tx, stmt sqlparser.Statemen
 	case *sqlparser.DeleteStmt, *sqlparser.UpdateStmt:
 		return s.runCatalogDML(t, stmt)
 	case *sqlparser.VacuumStmt:
-		removed := s.eng.cl.Cat.VacuumAll(s.eng.cl.TxMgr.Horizon())
+		removed := s.eng.cl.Cat().VacuumAll(s.eng.cl.TxMgr.Horizon())
 		return &Result{Affected: int64(removed), Tag: fmt.Sprintf("VACUUM %d", removed)}, nil
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
@@ -445,7 +445,7 @@ func (s *Session) runCatalogDML(t *tx.Tx, stmt sqlparser.Statement) (*Result, er
 	if !isSystemTable(table) {
 		return nil, fmt.Errorf("engine: %s: user tables are append-only; use INSERT and TRUNCATE", table)
 	}
-	res, err := s.eng.cl.Cat.CaQL(t, stmt.String())
+	res, err := s.eng.cl.Cat().CaQL(t, stmt.String())
 	if err != nil {
 		return nil, err
 	}

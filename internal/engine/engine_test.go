@@ -428,15 +428,15 @@ func TestAnalyzeImprovesStats(t *testing.T) {
 	mustExec(t, s, "ANALYZE accounts")
 	tr := e.cl.TxMgr.Begin(0)
 	defer tr.Commit()
-	desc, err := e.cl.Cat.LookupTable(tr.Snapshot(), "accounts")
+	desc, err := e.cl.Cat().LookupTable(tr.Snapshot(), "accounts")
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, ok := e.cl.Cat.RelStatsFor(tr.Snapshot(), desc.OID)
+	rs, ok := e.cl.Cat().RelStatsFor(tr.Snapshot(), desc.OID)
 	if !ok || rs.Rows != 100 {
 		t.Fatalf("rel stats = %+v, %v", rs, ok)
 	}
-	cs, ok := e.cl.Cat.ColStatsFor(tr.Snapshot(), desc.OID, 1)
+	cs, ok := e.cl.Cat().ColStatsFor(tr.Snapshot(), desc.OID, 1)
 	if !ok || cs.NDistinct != 10 {
 		t.Fatalf("col stats = %+v, %v", cs, ok)
 	}

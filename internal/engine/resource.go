@@ -97,7 +97,7 @@ func (s *Session) runCreateResourceQueue(t *tx.Tx, stmt *sqlparser.CreateResourc
 		ActiveStatements: stmt.ActiveStatements,
 		MemLimit:         memLimit,
 	}
-	if err := s.eng.cl.Cat.CreateResourceQueue(t, d); err != nil {
+	if err := s.eng.cl.Cat().CreateResourceQueue(t, d); err != nil {
 		return nil, err
 	}
 	mgr := s.eng.res
@@ -113,7 +113,7 @@ func (s *Session) runCreateResourceQueue(t *tx.Tx, stmt *sqlparser.CreateResourc
 
 func (s *Session) runDropResourceQueue(t *tx.Tx, stmt *sqlparser.DropResourceQueueStmt) (*Result, error) {
 	name := strings.ToLower(stmt.Name)
-	if err := s.eng.cl.Cat.DropResourceQueue(t, name); err != nil {
+	if err := s.eng.cl.Cat().DropResourceQueue(t, name); err != nil {
 		if stmt.IfExists {
 			return &Result{Tag: "DROP RESOURCE QUEUE"}, nil
 		}

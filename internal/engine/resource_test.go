@@ -88,7 +88,7 @@ func TestResourceQueueBootstrapFromCatalog(t *testing.T) {
 	// A restarted engine rebuilds its runtime manager from the committed
 	// hawq_resqueue rows — the same list New replays at boot.
 	boot := e.cl.TxMgr.Begin(tx.ReadCommitted)
-	queues := e.cl.Cat.ListResourceQueues(boot.Snapshot())
+	queues := e.cl.Cat().ListResourceQueues(boot.Snapshot())
 	boot.Abort()
 	if len(queues) != 1 {
 		t.Fatalf("catalog queues = %+v", queues)

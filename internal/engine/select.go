@@ -22,7 +22,7 @@ import (
 func (s *Session) newPlanner(ctx context.Context, t *tx.Tx) *planner.Planner {
 	flags := s.eng.Flags()
 	p := &planner.Planner{
-		Cat:                   s.eng.cl.Cat,
+		Cat:                   s.eng.cl.Cat(),
 		Snap:                  t.Snapshot(),
 		NumSegments:           s.eng.cl.NumSegments(),
 		DisableDirectDispatch: flags.DisableDirectDispatch,
@@ -108,7 +108,7 @@ func (s *Session) runSelect(ctx context.Context, t *tx.Tx, stmt *sqlparser.Selec
 	// System-table queries go through CaQL on the master (§2.2).
 	if len(stmt.From) == 1 {
 		if tn, ok := stmt.From[0].(*sqlparser.TableName); ok && isSystemTable(tn.Name) {
-			res, err := s.eng.cl.Cat.CaQL(t, stmt.String())
+			res, err := s.eng.cl.Cat().CaQL(t, stmt.String())
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +286,7 @@ func (s *Session) runShow(t *tx.Tx, stmt *sqlparser.ShowStmt) (*Result, error) {
 			types.Column{Name: "status", Kind: types.KindString},
 		)
 		var rows []types.Row
-		for _, seg := range s.eng.cl.Cat.Segments(t.Snapshot()) {
+		for _, seg := range s.eng.cl.Cat().Segments(t.Snapshot()) {
 			rows = append(rows, types.Row{
 				types.NewInt32(int32(seg.ID)), types.NewString(seg.Host), types.NewString(seg.Status),
 			})
@@ -299,7 +299,7 @@ func (s *Session) runShow(t *tx.Tx, stmt *sqlparser.ShowStmt) (*Result, error) {
 			types.Column{Name: "orientation", Kind: types.KindString},
 		)
 		var rows []types.Row
-		for _, d := range s.eng.cl.Cat.ListTables(t.Snapshot()) {
+		for _, d := range s.eng.cl.Cat().ListTables(t.Snapshot()) {
 			if d.IsPartitionChild() {
 				continue
 			}

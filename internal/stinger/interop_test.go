@@ -34,11 +34,11 @@ func TestMapReduceReadsHAWQTableFiles(t *testing.T) {
 	// the catalog tells us where they are, the storage format is open.
 	cl := he.Cluster()
 	tr := cl.TxMgr.Begin(0)
-	desc, err := cl.Cat.LookupTable(tr.Snapshot(), "metrics")
+	desc, err := cl.Cat().LookupTable(tr.Snapshot(), "metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
-	segFiles := cl.Cat.AllSegFiles(tr.Snapshot(), desc.OID)
+	segFiles := cl.Cat().AllSegFiles(tr.Snapshot(), desc.OID)
 	tr.Commit()
 
 	rt, err := NewRuntime(cl.FS, testConfig(t))

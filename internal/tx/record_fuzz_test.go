@@ -1,0 +1,90 @@
+package tx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRecord feeds arbitrary bytes to DecodeRecord: it must never
+// panic, and whenever it succeeds the decoded record must re-encode and
+// re-decode to the same value (round-trip stability — no record is ever
+// invented that Encode could not have produced).
+func FuzzDecodeRecord(f *testing.F) {
+	seeds := []Record{
+		{},
+		{LSN: 1, Type: RecBegin, XID: 2},
+		{LSN: 7, Type: RecCommit, XID: 3},
+		{LSN: 9, Type: RecInsert, XID: 4, Table: "pg_class", RowID: 12, Data: []byte("row-bytes")},
+		{LSN: 10, Type: RecDelete, XID: 4, Table: "pg_attribute", RowID: 99},
+		{LSN: 11, Type: RecCheckpoint, Data: []byte{0x05}},
+	}
+	for _, r := range seeds {
+		f.Add(r.Encode())
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		r, err := DecodeRecord(buf)
+		if err != nil {
+			return
+		}
+		if !r.Type.valid() {
+			t.Fatalf("decode accepted invalid type %d", r.Type)
+		}
+		enc := r.Encode()
+		r2, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %+v: %v", r, err)
+		}
+		if r.LSN != r2.LSN || r.Type != r2.Type || r.XID != r2.XID ||
+			r.Table != r2.Table || r.RowID != r2.RowID || !bytes.Equal(r.Data, r2.Data) {
+			t.Fatalf("round trip changed record: %+v != %+v", r, r2)
+		}
+	})
+}
+
+// TestDecodeRecordTornTail truncates a valid encoding at every byte
+// boundary: every cut must either fail cleanly or (at the full length)
+// decode the original — never panic, never yield a different record.
+func TestDecodeRecordTornTail(t *testing.T) {
+	records := []Record{
+		{LSN: 1, Type: RecBegin, XID: 2},
+		{LSN: 300, Type: RecInsert, XID: 70000, Table: "pg_class", RowID: 1 << 40, Data: bytes.Repeat([]byte{0xab}, 200)},
+		{LSN: 5, Type: RecCheckpoint, Data: []byte{0x03}},
+	}
+	for _, want := range records {
+		enc := want.Encode()
+		for cut := 0; cut < len(enc); cut++ {
+			if r, err := DecodeRecord(enc[:cut]); err == nil {
+				// A shorter valid decode is only legal if it IS the record
+				// (trailing bytes of Data could in principle be elided —
+				// but the length prefix forbids that too).
+				t.Fatalf("cut %d of %d decoded %+v from a torn prefix", cut, len(enc), r)
+			}
+		}
+		got, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("full decode: %v", err)
+		}
+		if got.LSN != want.LSN || got.Type != want.Type || got.XID != want.XID ||
+			got.Table != want.Table || got.RowID != want.RowID || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("decode = %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestDecodeRecordRejectsBadType covers the satellite fix: an
+// out-of-range type byte must fail decode instead of producing a record
+// whose String() used to panic.
+func TestDecodeRecordRejectsBadType(t *testing.T) {
+	r := Record{LSN: 3, Type: RecCommit, XID: 9}
+	enc := r.Encode()
+	// The type byte follows the LSN uvarint (LSN 3 is one byte).
+	enc[1] = 200
+	if _, err := DecodeRecord(enc); err == nil {
+		t.Fatal("decode accepted record type 200")
+	}
+	// And String on a hostile value must not panic.
+	if s := RecordType(200).String(); s != "UNKNOWN(200)" {
+		t.Fatalf("String = %q", s)
+	}
+}

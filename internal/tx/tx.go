@@ -78,6 +78,13 @@ type Manager struct {
 	nextXID XID
 	status  map[XID]Status
 	running map[XID]struct{}
+	// floor: transactions below it are committed unless the status map
+	// says otherwise. A manager restored from a checkpoint cannot carry
+	// the full CLOG; every XID the snapshot could reference is < floor
+	// and either committed (its rows are in the snapshot) or aborted
+	// with no surviving rows, so "committed" is the safe default.
+	floor XID
+	wal   *WAL // optional durable log; commits flush through it
 }
 
 // NewManager creates a transaction manager. The bootstrap transaction is
@@ -88,6 +95,77 @@ func NewManager() *Manager {
 		status:  map[XID]Status{BootstrapXID: StatusCommitted},
 		running: map[XID]struct{}{},
 	}
+}
+
+// NewManagerAt creates a manager for a recovered master: XIDs resume at
+// nextXID and every XID below it is treated as committed. Recovery marks
+// replayed commits explicitly via MarkCommitted (a no-op under the floor,
+// but kept for clarity and for XIDs at or past it).
+func NewManagerAt(nextXID XID) *Manager {
+	if nextXID <= BootstrapXID {
+		nextXID = BootstrapXID + 1
+	}
+	return &Manager{
+		nextXID: nextXID,
+		status:  map[XID]Status{BootstrapXID: StatusCommitted},
+		running: map[XID]struct{}{},
+		floor:   nextXID,
+	}
+}
+
+// NextXID returns the next XID to be assigned (checkpoint floor).
+func (m *Manager) NextXID() XID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextXID
+}
+
+// MarkCommitted records xid as committed in the CLOG (recovery replay).
+func (m *Manager) MarkCommitted(xid XID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.status[xid] = StatusCommitted
+	if xid >= m.nextXID {
+		m.nextXID = xid + 1
+	}
+}
+
+// AttachWAL routes commits and aborts through w: Commit becomes durable
+// (the commit record is fsynced before the CLOG flips) and Abort logs an
+// abort record. Pass nil to detach.
+func (m *Manager) AttachWAL(w *WAL) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wal = w
+}
+
+func (m *Manager) walRef() *WAL {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wal
+}
+
+// AbortInFlight aborts every running transaction in the CLOG and returns
+// the victims. Promotion uses it to fence the failed primary's open
+// transactions: their handles still exist in dying sessions, but any
+// later Commit on them reports ErrAborted. Callbacks registered on the
+// handles do not run — the sessions that own them are gone.
+func (m *Manager) AbortInFlight() []XID {
+	m.mu.Lock()
+	out := make([]XID, 0, len(m.running))
+	for x := range m.running {
+		m.status[x] = StatusAborted
+		delete(m.running, x)
+		out = append(out, x)
+	}
+	w := m.wal
+	m.mu.Unlock()
+	if w != nil {
+		for _, x := range out {
+			w.clearDirty(x)
+		}
+	}
+	return out
 }
 
 // Begin starts a transaction and returns its handle.
@@ -106,20 +184,36 @@ func (m *Manager) Begin(level IsolationLevel) *Tx {
 	return t
 }
 
-// StatusOf returns a transaction's CLOG status.
+// StatusOf returns a transaction's CLOG status. XIDs below the recovery
+// floor default to committed (see NewManagerAt).
 func (m *Manager) StatusOf(xid XID) Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.status[xid]
+	return m.statusLocked(xid)
 }
 
-func (m *Manager) finish(xid XID, s Status) {
+func (m *Manager) statusLocked(xid XID) Status {
+	if s, ok := m.status[xid]; ok {
+		return s
+	}
+	if xid != InvalidXID && xid < m.floor {
+		return StatusCommitted
+	}
+	return StatusInProgress
+}
+
+// finish transitions xid to s if it is still in progress and returns the
+// resulting status — callers learn whether they won the transition or the
+// transaction was already finished (e.g. aborted by AbortInFlight).
+func (m *Manager) finish(xid XID, s Status) Status {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.status[xid] == StatusInProgress {
+	if m.statusLocked(xid) == StatusInProgress {
 		m.status[xid] = s
 		delete(m.running, xid)
+		return s
 	}
+	return m.statusLocked(xid)
 }
 
 // Horizon returns the vacuum horizon: a snapshot to which a transaction
@@ -240,7 +334,11 @@ func (t *Tx) OnAbort(f func()) {
 	t.onAbort = append(t.onAbort, f)
 }
 
-// Commit commits the transaction.
+// Commit commits the transaction. With a WAL attached to the manager the
+// commit record is forced to stable storage before the CLOG flips — the
+// write-ahead rule: no observer may see the transaction as committed
+// until a crash could no longer lose it. A durability failure aborts the
+// transaction and is reported to the caller.
 func (t *Tx) Commit() error {
 	t.mu.Lock()
 	if t.done {
@@ -251,13 +349,54 @@ func (t *Tx) Commit() error {
 		return nil
 	}
 	t.done = true
-	cbs := t.onCommit
+	commitCbs := t.onCommit
+	abortCbs := t.onAbort
 	t.mu.Unlock()
-	t.mgr.finish(t.xid, StatusCommitted)
-	for _, f := range cbs {
+	if t.mgr.StatusOf(t.xid) != StatusInProgress {
+		// Externally aborted (AbortInFlight during promotion) before we
+		// claimed the commit: surface the abort and clean up.
+		t.setAborted()
+		runAbortCbs(abortCbs)
+		return ErrAborted
+	}
+	w := t.mgr.walRef()
+	if w != nil {
+		if err := w.LogCommit(t.xid); err != nil {
+			t.setAborted()
+			t.mgr.finish(t.xid, StatusAborted)
+			w.clearDirty(t.xid)
+			runAbortCbs(abortCbs)
+			return fmt.Errorf("tx: commit not durable: %w", err)
+		}
+	}
+	got := t.mgr.finish(t.xid, StatusCommitted)
+	// Only now that the CLOG shows the final state may the WAL stop
+	// covering this transaction's records in checkpoint redo accounting
+	// (see WAL.clearDirty).
+	if w != nil {
+		w.clearDirty(t.xid)
+	}
+	if got != StatusCommitted {
+		t.setAborted()
+		runAbortCbs(abortCbs)
+		return ErrAborted
+	}
+	for _, f := range commitCbs {
 		f()
 	}
 	return nil
+}
+
+func (t *Tx) setAborted() {
+	t.mu.Lock()
+	t.aborted = true
+	t.mu.Unlock()
+}
+
+func runAbortCbs(cbs []func()) {
+	for i := len(cbs) - 1; i >= 0; i-- {
+		cbs[i]()
+	}
 }
 
 // Abort rolls the transaction back, running abort callbacks (HDFS
@@ -272,10 +411,15 @@ func (t *Tx) Abort() {
 	t.aborted = true
 	cbs := t.onAbort
 	t.mu.Unlock()
-	t.mgr.finish(t.xid, StatusAborted)
-	for i := len(cbs) - 1; i >= 0; i-- {
-		cbs[i]()
+	w := t.mgr.walRef()
+	if w != nil {
+		w.LogAbort(t.xid)
 	}
+	t.mgr.finish(t.xid, StatusAborted)
+	if w != nil {
+		w.clearDirty(t.xid)
+	}
+	runAbortCbs(cbs)
 }
 
 // Done reports whether the transaction has committed or aborted.

@@ -230,7 +230,7 @@ func TestWALAppendSubscribeReplay(t *testing.T) {
 	w.Append(Record{Type: RecInsert, XID: 7, Table: "pg_class", RowID: 3, Data: []byte("row")})
 
 	var shipped []Record
-	backlog := w.Subscribe(func(r Record) { shipped = append(shipped, r) })
+	_, backlog := w.Subscribe(func(r Record) { shipped = append(shipped, r) })
 	if len(backlog) != 2 {
 		t.Fatalf("backlog = %d", len(backlog))
 	}

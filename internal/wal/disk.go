@@ -1,0 +1,119 @@
+// Package wal is the master's durable write-ahead log (§2.6): segmented
+// append-only log files with per-record length + CRC32C framing, group
+// commit (batched fsync over clock.Clock), catalog checkpoint files, and
+// low-water-mark truncation. The log stores opaque tx.Record payloads;
+// LSN assignment and subscriber shipping stay in internal/tx, and the
+// catalog snapshot format belongs to internal/catalog — this package
+// only guarantees that acknowledged commits survive a crash and that a
+// torn tail is detected and truncated on recovery.
+//
+// Storage is pluggable through the Disk interface: DirDisk writes real
+// files in a directory, and FaultDisk is a deterministic in-memory
+// double that injects torn writes, partial fsyncs, and crash points at
+// any byte boundary — the substrate for the crash-point matrix in
+// internal/chaos and scripts/crash.sh.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File is an append-only log file handle.
+type File interface {
+	io.Writer
+	// Sync forces everything written so far to stable storage.
+	Sync() error
+	// Close releases the handle without syncing.
+	Close() error
+}
+
+// Disk is the storage device beneath the log: a flat namespace of
+// append-only files. Create truncates; Rename is atomic (checkpoint
+// installation relies on write-tmp → sync → rename).
+type Disk interface {
+	Create(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	List() ([]string, error)
+	Rename(oldName, newName string) error
+	Remove(name string) error
+}
+
+// DirDisk stores log files in a real directory — the production and
+// integration-test device.
+type DirDisk struct {
+	dir string
+}
+
+// NewDirDisk creates the directory if needed and returns a disk over it.
+func NewDirDisk(dir string) (*DirDisk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &DirDisk{dir: dir}, nil
+}
+
+func (d *DirDisk) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("wal: invalid file name %q", name)
+	}
+	return filepath.Join(d.dir, name), nil
+}
+
+// Create implements Disk.
+func (d *DirDisk) Create(name string) (File, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.Create(p)
+}
+
+// ReadFile implements Disk.
+func (d *DirDisk) ReadFile(name string) ([]byte, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(p)
+}
+
+// List implements Disk.
+func (d *DirDisk) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// Rename implements Disk.
+func (d *DirDisk) Rename(oldName, newName string) error {
+	op, err := d.path(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := d.path(newName)
+	if err != nil {
+		return err
+	}
+	return os.Rename(op, np)
+}
+
+// Remove implements Disk.
+func (d *DirDisk) Remove(name string) error {
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	return os.Remove(p)
+}

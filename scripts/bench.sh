@@ -9,7 +9,9 @@
 # spilled bytes per op) and the observability overhead microbench
 # (scan→filter→project with per-operator stats off vs on; the on/off
 # delta is the EXPLAIN ANALYZE instrumentation cost and must stay
-# under 5%), and the hawq-check self-benchmark (one full ten-analyzer
+# under 5%), the master crash-recovery microbench (rebooting the
+# catalog from a ~10k-record durable WAL), and the hawq-check
+# self-benchmark (one full ten-analyzer
 # run over the repository; budget <10s), and writes the results to
 # BENCH_micro.json as {"BenchmarkName/variant": {ns_op, b_op,
 # allocs_op}}.
@@ -40,8 +42,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
     RACE=(-race)
 fi
 
-PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback|BenchmarkSpillJoin|BenchmarkStatsOverhead|BenchmarkJoinRuntimeFilter'
-PKGS="./internal/types ./internal/storage ./internal/executor"
+PATTERN='BenchmarkEncodeRow|BenchmarkDecodeRow|BenchmarkScanAO|BenchmarkScanCO|BenchmarkScanParquet|BenchmarkScanFilterProject|BenchmarkHashAgg|BenchmarkMotionLoopback|BenchmarkSpillJoin|BenchmarkStatsOverhead|BenchmarkJoinRuntimeFilter|BenchmarkMasterRecovery'
+PKGS="./internal/types ./internal/storage ./internal/executor ./internal/cluster"
 
 OUT="BENCH_micro.json"
 RAW="$(mktemp)"

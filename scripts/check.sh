@@ -34,6 +34,13 @@
 #                                  fault schedules against TPC-H must
 #                                  yield correct results or clean
 #                                  errors, never hangs/leaks
+#   7. scripts/crash.sh          — the crash-recovery matrix under
+#                                  -race: the master is crashed at
+#                                  every fsync boundary and at seeded
+#                                  torn-write byte positions of seeded
+#                                  catalog workloads, and the recovered
+#                                  catalog must equal the committed
+#                                  prefix exactly
 #
 # Every step must pass. CI runs exactly this script; run it locally
 # before sending a change.
@@ -70,5 +77,8 @@ scripts/bench.sh --smoke
 
 echo "==> chaos harness (fixed seeds, -race)"
 scripts/chaos.sh
+
+echo "==> crash-recovery matrix (fixed seeds, -race)"
+scripts/crash.sh
 
 echo "All checks passed."
