@@ -132,6 +132,7 @@ var defaultCtxflowPkgs = []string{
 	"internal/executor",
 	"internal/interconnect",
 	"internal/resource",
+	"internal/task",
 }
 
 // defaultClockAllowPkgs lists the packages (relative to the module

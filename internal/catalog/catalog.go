@@ -149,6 +149,8 @@ const (
 	SysStatCol   = "hawq_stat_col"
 	SysSegment   = "hawq_segment"
 	SysResQueue  = "hawq_resqueue"
+	SysTask      = "hawq_task"
+	SysStatMod   = "hawq_stat_mod"
 )
 
 // New creates a catalog with empty system tables. Mutations are logged to
@@ -218,6 +220,23 @@ func New(wal *tx.WAL) *Catalog {
 		types.Column{Name: "rsqname", Kind: types.KindString},
 		types.Column{Name: "activelimit", Kind: types.KindInt64},
 		types.Column{Name: "memlimit", Kind: types.KindInt64},
+	)
+	add(SysTask,
+		types.Column{Name: "taskname", Kind: types.KindString},
+		types.Column{Name: "kind", Kind: types.KindString},
+		types.Column{Name: "target", Kind: types.KindString},
+		types.Column{Name: "intervalns", Kind: types.KindInt64},
+		types.Column{Name: "state", Kind: types.KindString},
+		types.Column{Name: "owner", Kind: types.KindString},
+		types.Column{Name: "leaseexpiry", Kind: types.KindInt64},
+		types.Column{Name: "lastrun", Kind: types.KindInt64},
+		types.Column{Name: "nextrun", Kind: types.KindInt64},
+		types.Column{Name: "retries", Kind: types.KindInt64},
+		types.Column{Name: "lasterror", Kind: types.KindString},
+	)
+	add(SysStatMod,
+		types.Column{Name: "tableoid", Kind: types.KindInt64},
+		types.Column{Name: "modrows", Kind: types.KindInt64},
 	)
 	return c
 }
@@ -405,7 +424,7 @@ func (c *Catalog) dropOne(t *tx.Tx, snap tx.Snapshot, oid int64) {
 		})
 		return ids
 	}
-	for _, table := range []string{SysClass, SysAttribute, SysAoseg, SysStatRel, SysStatCol} {
+	for _, table := range []string{SysClass, SysAttribute, SysAoseg, SysStatRel, SysStatCol, SysStatMod} {
 		oidCol := 0
 		if table != SysClass {
 			oidCol = 0 // all these key on tableoid in column 0 except SysClass's oid, also 0

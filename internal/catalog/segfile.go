@@ -118,6 +118,37 @@ func decodeSegFile(row types.Row) SegFile {
 	return f
 }
 
+// SwapSegFiles is the compaction catalog swap: it MVCC-deletes the
+// listed segnos of (table, segment) and registers the merged file in
+// their place, all inside the caller's transaction. Until commit every
+// concurrent snapshot keeps seeing the old small files; after commit
+// only the merged file is visible; an abort leaves the old set intact.
+// Every victim must still be visible — a missing one means a concurrent
+// writer got there first and the compaction must be retried.
+func (c *Catalog) SwapSegFiles(t *tx.Tx, tableOID int64, segmentID int, oldSegNos []int, merged SegFile) error {
+	snap := t.Snapshot()
+	want := make(map[int]bool, len(oldSegNos))
+	for _, n := range oldSegNos {
+		want[n] = true
+	}
+	var victims []uint64
+	c.sys[SysAoseg].Scan(snap, func(id uint64, row types.Row) bool {
+		if row[0].Int() == tableOID && row[1].Int() == int64(segmentID) && want[int(row[2].Int())] {
+			victims = append(victims, id)
+		}
+		return true
+	})
+	if len(victims) != len(want) {
+		return fmt.Errorf("catalog: compaction of table %d segment %d lost a segfile (want %d, found %d)",
+			tableOID, segmentID, len(want), len(victims))
+	}
+	for _, id := range victims {
+		c.delete(t.XID(), SysAoseg, id)
+	}
+	c.AddSegFile(t, merged)
+	return nil
+}
+
 // SetRelStats stores (replacing) table-level statistics.
 func (c *Catalog) SetRelStats(t *tx.Tx, oid int64, s RelStats) {
 	snap := t.Snapshot()

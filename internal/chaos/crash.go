@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hawq/internal/catalog"
 	"hawq/internal/cluster"
@@ -98,7 +99,8 @@ func crashWorkload(seed int64, n int) []CrashOp {
 	schemas := tpch.Schemas()
 	names := tpchSchemaNames()
 	var ops []CrashOp
-	var live []string // tables created and not yet dropped, in plan order
+	var live []string  // tables created and not yet dropped, in plan order
+	var tasks []string // maintenance tasks created, in plan order
 	nextID := 0
 
 	lookup := func(m *cluster.Master, t *tx.Tx, name string) (*catalog.TableDesc, error) {
@@ -134,7 +136,7 @@ func crashWorkload(seed int64, n int) []CrashOp {
 	addCreate() // the workload always starts with a table to mutate
 
 	for len(ops) < n {
-		switch k := rng.Intn(10); {
+		switch k := rng.Intn(13); {
 		case k < 3:
 			addCreate()
 		case k < 4 && len(live) > 1:
@@ -218,7 +220,7 @@ func crashWorkload(seed int64, n int) []CrashOp {
 					return nil
 				}),
 			})
-		default:
+		case k < 10:
 			// Explicit abort: writes records, then walks them back. Must
 			// never resurrect, before or after any crash.
 			base := names[rng.Intn(len(names))]
@@ -239,6 +241,107 @@ func crashWorkload(seed int64, n int) []CrashOp {
 					t.Abort()
 					return nil
 				},
+			})
+		case k < 11:
+			// Maintenance-task lifecycle: create a hawq_task row, or walk
+			// an existing one through the scheduler's claim transition.
+			// Task state must recover exactly like any other catalog row.
+			if len(tasks) == 0 || rng.Intn(2) == 0 {
+				tname := fmt.Sprintf("task_%d", nextID)
+				nextID++
+				interval := time.Duration(rng.Intn(60)+1) * time.Second
+				tasks = append(tasks, tname)
+				ops = append(ops, CrashOp{
+					Desc: "create task " + tname,
+					Run: inTx(func(m *cluster.Master, t *tx.Tx) error {
+						return m.Cat.CreateTask(t, catalog.TaskDesc{
+							Name: tname, Kind: catalog.TaskKindStatement,
+							Target: "ANALYZE", Interval: interval,
+							NextRun: int64(interval),
+						})
+					}),
+				})
+			} else {
+				tname := tasks[rng.Intn(len(tasks))]
+				lease := rng.Int63n(1 << 30)
+				ops = append(ops, CrashOp{
+					Desc: "claim task " + tname,
+					Run: inTx(func(m *cluster.Master, t *tx.Tx) error {
+						d, err := m.Cat.LookupTask(t.Snapshot(), tname)
+						if err != nil {
+							return err
+						}
+						d.State = catalog.TaskClaimed
+						d.Owner = "crash-owner"
+						d.LeaseExpiry = lease
+						return m.Cat.UpdateTask(t, *d)
+					}),
+				})
+			}
+		case k < 12:
+			// Modification counters: the insert-only churn rows the
+			// auto-ANALYZE sweep reads, occasionally reset like ANALYZE
+			// does.
+			target := live[rng.Intn(len(live))]
+			delta := rng.Int63n(500) + 1
+			reset := rng.Intn(4) == 0
+			desc := "bumpmod " + target
+			if reset {
+				desc = "resetmod " + target
+			}
+			ops = append(ops, CrashOp{
+				Desc: desc,
+				Run: inTx(func(m *cluster.Master, t *tx.Tx) error {
+					d, err := lookup(m, t, target)
+					if err != nil {
+						return err
+					}
+					if reset {
+						m.Cat.ResetModCount(t, d.OID)
+						return nil
+					}
+					m.Cat.BumpModCount(t, d.OID, delta)
+					return nil
+				}),
+			})
+		default:
+			// Compaction catalog swap: ensure at least two segment files
+			// exist, then replace them with one merged file — all in one
+			// transaction, so a crash landing inside it must recover to
+			// the old segfile set or the new one, never a mix.
+			target := live[rng.Intn(len(live))]
+			ops = append(ops, CrashOp{
+				Desc: "compactswap " + target,
+				Run: inTx(func(m *cluster.Master, t *tx.Tx) error {
+					desc, err := lookup(m, t, target)
+					if err != nil {
+						return err
+					}
+					sfs := m.Cat.SegFiles(t.Snapshot(), desc.OID, 0)
+					next := m.Cat.MaxSegNo(t.Snapshot(), desc.OID, 0) + 1
+					for len(sfs) < 2 {
+						sf := catalog.SegFile{
+							TableOID: desc.OID, SegmentID: 0, SegNo: next,
+							Path:       fmt.Sprintf("/%s/%d", target, next),
+							LogicalLen: 64, Tuples: 1,
+						}
+						m.Cat.AddSegFile(t, sf)
+						sfs = append(sfs, sf)
+						next++
+					}
+					var segnos []int
+					var tuples, bytes int64
+					for _, sf := range sfs {
+						segnos = append(segnos, sf.SegNo)
+						tuples += sf.Tuples
+						bytes += sf.LogicalLen
+					}
+					return m.Cat.SwapSegFiles(t, desc.OID, 0, segnos, catalog.SegFile{
+						TableOID: desc.OID, SegmentID: 0, SegNo: next,
+						Path:       fmt.Sprintf("/%s/merged_%d", target, next),
+						LogicalLen: bytes, Tuples: tuples,
+					})
+				}),
 			})
 		}
 	}

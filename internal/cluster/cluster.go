@@ -95,6 +95,26 @@ type Config struct {
 	// records (0 disables automatic checkpoints; Checkpoint() is always
 	// available).
 	CheckpointEvery int
+
+	// Background maintenance (consumed by the engine's task scheduler;
+	// the cluster itself only carries them). DisableTasks turns the
+	// scheduler off entirely. TaskSweep opts into scheduler-originated
+	// work — auto-ANALYZE and AO small-file compaction — which stays off
+	// by default so tests with golden plans keep static statistics.
+	DisableTasks bool
+	TaskSweep    bool
+	// TaskTick and TaskLease tune the scheduler loop (0: 1s / 30s).
+	TaskTick  time.Duration
+	TaskLease time.Duration
+	// AutoAnalyzeRatio fires auto-ANALYZE when modified/total rows meets
+	// it (0: 0.2); AutoAnalyzeMinRows is the absolute modified-row floor
+	// (0: 50). CompactSmallBytes classifies an undersized segfile
+	// (0: 64KB); CompactMinFiles is how many one segment needs before
+	// compaction is enqueued (0: 3).
+	AutoAnalyzeRatio   float64
+	AutoAnalyzeMinRows int64
+	CompactSmallBytes  int64
+	CompactMinFiles    int
 }
 
 // Cluster is a running HAWQ cluster. The active catalog and WAL are held
@@ -124,7 +144,24 @@ type Cluster struct {
 	mu      sync.Mutex
 	standby *Standby
 	closed  bool
+	// promoteHook runs after a successful Promote (outside the cluster
+	// lock): the engine resumes its background task scheduler here so
+	// reclaimed leases are processed on the promoted catalog.
+	promoteHook atomic.Pointer[func()]
 }
+
+// SetPromoteHook registers a function Promote calls after swapping in
+// the standby catalog (nil clears it).
+func (c *Cluster) SetPromoteHook(fn func()) {
+	if fn == nil {
+		c.promoteHook.Store(nil)
+		return
+	}
+	c.promoteHook.Store(&fn)
+}
+
+// Config returns the boot configuration (read-only).
+func (c *Cluster) Config() Config { return c.cfg }
 
 // Segment is one stateless compute segment (§2.6): it holds no private
 // persistent state, so any alive segment can substitute for a failed one.

@@ -117,8 +117,8 @@ func (c *Cluster) HasStandby() bool {
 // new wal.Disk into the promoted master is a deployment concern.
 func (c *Cluster) Promote() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.standby == nil {
+		c.mu.Unlock()
 		return
 	}
 	sb := c.standby
@@ -133,4 +133,10 @@ func (c *Cluster) Promote() {
 	c.TxMgr.AttachWAL(w)
 	c.cat.Store(sb.Cat)
 	c.wal.Store(w)
+	c.mu.Unlock()
+	// Outside the lock: the hook (the engine's task-scheduler resume)
+	// may open transactions against the promoted catalog.
+	if fn := c.promoteHook.Load(); fn != nil {
+		(*fn)()
+	}
 }

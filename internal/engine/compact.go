@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"hawq/internal/catalog"
+	"hawq/internal/cluster"
+	"hawq/internal/hdfs"
+	"hawq/internal/obs"
+	"hawq/internal/storage"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+var (
+	metCompactions    = obs.GetCounter("task.compactions")
+	metCompactedBytes = obs.GetCounter("task.compacted_bytes")
+)
+
+// defaultCompactSmallBytes mirrors the scheduler's default undersized
+// threshold for direct CompactTable calls.
+const defaultCompactSmallBytes = 64 << 10
+
+// CompactTable merges each segment's undersized AO files into one
+// larger file under a transactional catalog swap (the background
+// maintenance pass for §5.4's swimming lanes: every concurrent writer
+// epoch leaves another small file behind). The merged file is written
+// to a fresh segno first; the swap — delete the small files' catalog
+// rows, insert the merged row — happens in one transaction, so readers
+// see either the old set or the new file, never a mix. On abort the
+// merged HDFS file is removed; the old files' bytes are untouched until
+// after commit.
+func (e *Engine) CompactTable(ctx context.Context, name string) error {
+	s := e.NewSession()
+	t := e.cl.TxMgr.Begin(tx.ReadCommitted)
+	if err := s.compactInTx(ctx, t, name); err != nil {
+		t.Abort()
+		s.releaseTx(t)
+		return err
+	}
+	err := t.Commit()
+	s.releaseTx(t)
+	return err
+}
+
+func (s *Session) compactInTx(ctx context.Context, t *tx.Tx, name string) error {
+	cat := s.eng.cl.Cat()
+	name = strings.ToLower(name)
+	desc, err := cat.LookupTable(t.Snapshot(), name)
+	if err != nil {
+		return err
+	}
+	if desc.IsExternal() {
+		return fmt.Errorf("engine: cannot compact external table %s", name)
+	}
+	if desc.IsPartitionParent() {
+		return fmt.Errorf("engine: compact partition children of %s individually", name)
+	}
+	// Compaction rewrites committed data, so it excludes writers AND
+	// readers for its (short) duration; the lock is released at commit.
+	if err := s.eng.cl.Locks.Acquire(t.XID(), name, tx.AccessExclusive); err != nil {
+		return err
+	}
+	small := s.eng.compactThreshold()
+	snap := t.Snapshot()
+	bySeg := map[int][]catalog.SegFile{}
+	segIDs := []int{}
+	for _, sf := range cat.AllSegFiles(snap, desc.OID) {
+		if sf.Tuples > 0 && sf.LogicalLen > 0 && sf.LogicalLen < small {
+			if len(bySeg[sf.SegmentID]) == 0 {
+				segIDs = append(segIDs, sf.SegmentID)
+			}
+			bySeg[sf.SegmentID] = append(bySeg[sf.SegmentID], sf)
+		}
+	}
+	fs := s.eng.cl.FS
+	for _, segID := range segIDs {
+		files := bySeg[segID]
+		if len(files) < 2 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		merged, err := s.mergeSegFiles(ctx, t, desc, segID, files)
+		if err != nil {
+			return err
+		}
+		var segnos []int
+		var oldBytes, oldTuples int64
+		for _, f := range files {
+			segnos = append(segnos, f.SegNo)
+			oldBytes += f.LogicalLen
+			oldTuples += f.Tuples
+		}
+		if merged.Tuples != oldTuples {
+			return fmt.Errorf("engine: compaction of %s segment %d rewrote %d tuples, expected %d",
+				name, segID, merged.Tuples, oldTuples)
+		}
+		if err := cat.SwapSegFiles(t, desc.OID, segID, segnos, merged); err != nil {
+			return err
+		}
+		old := files
+		t.OnCommit(func() {
+			// The old small files are dead once the swap is visible;
+			// removal is best-effort cleanup (a leak, not corruption, if
+			// it fails — lane reuse truncates stale bytes anyway).
+			for _, f := range old {
+				deleteSegFilePhysical(fs, desc, f)
+			}
+			metCompactions.Inc()
+			metCompactedBytes.Add(oldBytes)
+		})
+	}
+	return nil
+}
+
+// mergeSegFiles rewrites a set of small files into one new file at a
+// fresh segno, registering abort-time cleanup of the new bytes.
+func (s *Session) mergeSegFiles(ctx context.Context, t *tx.Tx, desc *catalog.TableDesc, segID int, files []catalog.SegFile) (catalog.SegFile, error) {
+	fs := s.eng.cl.FS
+	segno := s.eng.cl.Cat().MaxSegNo(t.Snapshot(), desc.OID, segID) + 1
+	merged := catalog.SegFile{
+		TableOID:  desc.OID,
+		SegmentID: segID,
+		SegNo:     segno,
+		Path:      cluster.LanePath(desc.OID, segID, segno),
+	}
+	// A stale physical file can linger at the fresh path if an earlier
+	// compaction aborted and its cleanup failed; start from nothing.
+	deleteSegFilePhysical(fs, desc, merged)
+	w, err := storage.NewWriter(fs, desc.Storage, desc.Schema, merged,
+		hdfs.CreateOptions{Writer: fmt.Sprintf("compact-%d-%d", desc.OID, segID)})
+	if err != nil {
+		return merged, err
+	}
+	t.OnAbort(func() {
+		// Roll the new HDFS bytes back so an aborted compaction leaves
+		// no orphaned files (best-effort; see OnCommit cleanup).
+		deleteSegFilePhysical(fs, desc, merged)
+	})
+	for _, f := range files {
+		err := storage.Scan(fs, desc.Storage, desc.Schema, f, nil, func(row types.Row) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return w.Append(row)
+		})
+		if err != nil {
+			//hawqcheck:ignore errdrop — already failing; Close only flushes more garbage
+			w.Close()
+			return merged, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return merged, err
+	}
+	merged.LogicalLen, merged.ColLens = w.Lens()
+	merged.Tuples = w.Tuples()
+	return merged, nil
+}
+
+// compactThreshold is the undersized-file cutoff, from the engine
+// config or the scheduler default.
+func (e *Engine) compactThreshold() int64 {
+	if n := e.cl.Config().CompactSmallBytes; n > 0 {
+		return n
+	}
+	return defaultCompactSmallBytes
+}
+
+// deleteSegFilePhysical removes a segment file's HDFS bytes: the single
+// lane file for row/parquet orientation, one file per column for CO.
+func deleteSegFilePhysical(fs *hdfs.FileSystem, desc *catalog.TableDesc, sf catalog.SegFile) {
+	paths := []string{sf.Path}
+	if desc.Storage.Orientation == catalog.OrientColumn {
+		paths = paths[:0]
+		for i := range desc.Schema.Columns {
+			paths = append(paths, storage.ColFilePath(sf.Path, i))
+		}
+	}
+	for _, p := range paths {
+		// Best-effort: a missing file is fine, a leaked one is a leak.
+		//hawqcheck:ignore errdrop
+		fs.Delete(p, false)
+	}
+}

@@ -298,9 +298,16 @@ func (s *Session) runTruncate(t *tx.Tx, stmt *sqlparser.TruncateStmt) (*Result, 
 	}
 	fs := s.eng.cl.FS
 	for _, d := range targets {
-		dropped := cat.DropSegFiles(t, d.OID)
+		var droppedTuples int64
+		for _, sf := range cat.DropSegFiles(t, d.OID) {
+			droppedTuples += sf.Tuples
+		}
+		// Removing every row is churn like any other: counted so the
+		// auto-ANALYZE sweep refreshes the now-stale statistics.
+		if droppedTuples > 0 {
+			cat.BumpModCount(t, d.OID, droppedTuples)
+		}
 		oid := d.OID
-		_ = dropped
 		t.OnCommit(func() {
 			// Best-effort post-commit cleanup; see runDrop.
 			//hawqcheck:ignore errdrop
@@ -355,6 +362,11 @@ func (s *Session) runAnalyze(ctx context.Context, t *tx.Tx, stmt *sqlparser.Anal
 			}
 		}
 		cat.SetRelStats(t, desc.OID, catalog.RelStats{Rows: rows, Bytes: bytes})
+		// Fresh statistics zero the churn the auto-ANALYZE sweep watches.
+		cat.ResetModCount(t, desc.OID)
+		for _, oid := range countOids {
+			cat.ResetModCount(t, oid)
+		}
 		if rows == 0 || desc.IsPartitionChild() {
 			continue
 		}

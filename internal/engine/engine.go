@@ -19,6 +19,7 @@ import (
 	"hawq/internal/obs"
 	"hawq/internal/resource"
 	"hawq/internal/sqlparser"
+	"hawq/internal/task"
 	"hawq/internal/tx"
 	"hawq/internal/types"
 )
@@ -55,7 +56,10 @@ type Engine struct {
 	// slow is the engine-wide slow-query log: sessions with
 	// slow_query_log_threshold set record statements that ran at least
 	// that long, together with their EXPLAIN ANALYZE summary.
-	slow  *obs.SlowLog
+	slow *obs.SlowLog
+	// sched is the background maintenance daemon (nil when disabled):
+	// auto-ANALYZE, AO compaction, and user-defined periodic tasks.
+	sched *task.Scheduler
 	mu    sync.Mutex
 	flags PlannerFlags
 }
@@ -95,6 +99,9 @@ func New(cfg Config) (*Engine, error) {
 		e.res.Create(q.Name, int(q.ActiveStatements), q.MemLimit)
 	}
 	boot.Abort()
+	if !cfg.DisableTasks {
+		e.startScheduler(cfg)
+	}
 	return e, nil
 }
 
@@ -107,8 +114,14 @@ func (e *Engine) ResourceQueues() []resource.QueueStats { return e.res.List() }
 // benchmarks).
 func (e *Engine) Cluster() *cluster.Cluster { return e.cl }
 
-// Close shuts the engine down.
-func (e *Engine) Close() error { return e.cl.Close() }
+// Close shuts the engine down: the maintenance daemon first (so no
+// task transaction races teardown), then the cluster.
+func (e *Engine) Close() error {
+	if e.sched != nil {
+		e.sched.Stop()
+	}
+	return e.cl.Close()
+}
 
 // Result is the outcome of one statement.
 type Result struct {
@@ -404,6 +417,10 @@ func (s *Session) runInTx(ctx context.Context, t *tx.Tx, stmt sqlparser.Statemen
 		return s.runCreateExternal(t, v)
 	case *sqlparser.DropTableStmt:
 		return s.runDropTable(t, v)
+	case *sqlparser.CreateTaskStmt:
+		return s.runCreateTask(t, v)
+	case *sqlparser.DropTaskStmt:
+		return s.runDropTask(t, v)
 	case *sqlparser.CreateResourceQueueStmt:
 		return s.runCreateResourceQueue(t, v)
 	case *sqlparser.DropResourceQueueStmt:

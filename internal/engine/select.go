@@ -318,6 +318,8 @@ func (s *Session) runShow(t *tx.Tx, stmt *sqlparser.ShowStmt) (*Result, error) {
 		}
 		schema := types.NewSchema(types.Column{Name: "resource_queue", Kind: types.KindString})
 		return &Result{Schema: schema, Rows: []types.Row{{types.NewString(name)}}, Tag: "SHOW"}, nil
+	case "tasks":
+		return s.runShowTasks(t)
 	case "resource_queues":
 		schema := types.NewSchema(
 			types.Column{Name: "name", Kind: types.KindString},

@@ -9,7 +9,14 @@ import (
 // present, else the tuple counts the segment-file catalog tracks for
 // free, else a default.
 func (p *Planner) tableRows(desc *catalog.TableDesc) float64 {
-	if rs, ok := p.Cat.RelStatsFor(p.Snap, desc.OID); ok && rs.Rows > 0 {
+	if rs, ok := p.Cat.RelStatsFor(p.Snap, desc.OID); ok {
+		// An analyzed-but-empty table is a known-empty table, not an
+		// unknown one: clamp to 1 row instead of falling through to the
+		// never-analyzed default (which would inflate it 1000x and drag
+		// join orders with it).
+		if rs.Rows < 1 {
+			return 1
+		}
 		return float64(rs.Rows)
 	}
 	var tuples int64

@@ -1,0 +1,65 @@
+package planner
+
+import (
+	"testing"
+
+	"hawq/internal/catalog"
+	"hawq/internal/tx"
+	"hawq/internal/types"
+)
+
+// TestTableRowsDistinguishesAnalyzedEmpty is the regression test for
+// the analyzed-but-empty fallthrough: RelStats.Rows == 0 used to be
+// treated as "never analyzed" and inflated to the 1000-row default,
+// dragging join orders with it.
+func TestTableRowsDistinguishesAnalyzedEmpty(t *testing.T) {
+	cat := catalog.New(tx.NewWAL())
+	mgr := tx.NewManager()
+	tr := mgr.Begin(tx.ReadCommitted)
+	defer tr.Abort()
+	mk := func(name string) *catalog.TableDesc {
+		desc := &catalog.TableDesc{
+			Name:    name,
+			Schema:  &types.Schema{Columns: []types.Column{{Name: "k", Kind: types.KindInt64}}},
+			Dist:    catalog.DistPolicy{Cols: []int{0}},
+			Storage: catalog.StorageSpec{Orientation: catalog.OrientRow, Codec: "none"},
+		}
+		if _, err := cat.CreateTable(tr, desc); err != nil {
+			t.Fatal(err)
+		}
+		return desc
+	}
+
+	analyzedEmpty := mk("analyzed_empty")
+	cat.SetRelStats(tr, analyzedEmpty.OID, catalog.RelStats{Rows: 0})
+
+	analyzedFull := mk("analyzed_full")
+	cat.SetRelStats(tr, analyzedFull.OID, catalog.RelStats{Rows: 250})
+
+	loaded := mk("loaded_unanalyzed")
+	cat.AddSegFile(tr, catalog.SegFile{TableOID: loaded.OID, SegmentID: 0, SegNo: 1,
+		Path: "/t/1", LogicalLen: 640, Tuples: 40})
+	cat.AddSegFile(tr, catalog.SegFile{TableOID: loaded.OID, SegmentID: 1, SegNo: 1,
+		Path: "/t/2", LogicalLen: 320, Tuples: 20})
+
+	unknown := mk("unknown")
+
+	p := &Planner{Cat: cat, Snap: tr.Snapshot(), NumSegments: 2}
+	cases := []struct {
+		desc *catalog.TableDesc
+		want float64
+	}{
+		// Analyzed, empty: a known-empty table estimates 1, not 1000.
+		{analyzedEmpty, 1},
+		{analyzedFull, 250},
+		// Never analyzed but loaded: segfile tuple counts.
+		{loaded, 60},
+		// Never analyzed, never loaded: the default.
+		{unknown, 1000},
+	}
+	for _, c := range cases {
+		if got := p.tableRows(c.desc); got != c.want {
+			t.Errorf("tableRows(%s) = %v, want %v", c.desc.Name, got, c.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // ColumnDef is one column in CREATE TABLE.
@@ -142,6 +143,50 @@ func (*DropResourceQueueStmt) stmt() {}
 
 // String renders the node back to SQL text.
 func (d *DropResourceQueueStmt) String() string { return "DROP RESOURCE QUEUE " + d.Name }
+
+// CreateTaskStmt is CREATE TASK name SCHEDULE EVERY <interval> AS <stmt>:
+// a user-defined periodic statement registered with the background
+// maintenance scheduler (poor-man's materialized view refresh).
+type CreateTaskStmt struct {
+	Name string
+	// Every is the firing period.
+	Every time.Duration
+	// Stmt is the statement the scheduler executes each period.
+	Stmt Statement
+}
+
+func (*CreateTaskStmt) stmt() {}
+
+// String renders the node back to SQL text.
+func (c *CreateTaskStmt) String() string {
+	return fmt.Sprintf("CREATE TASK %s SCHEDULE EVERY %s AS %s", c.Name, intervalSQL(c.Every), c.Stmt)
+}
+
+// intervalSQL renders a duration as the largest whole unit the grammar
+// accepts, so String() output re-parses to the same period.
+func intervalSQL(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%d HOURS", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%d MINUTES", d/time.Minute)
+	case d >= time.Second && d%time.Second == 0:
+		return fmt.Sprintf("%d SECONDS", d/time.Second)
+	default:
+		return fmt.Sprintf("%d MILLISECONDS", d/time.Millisecond)
+	}
+}
+
+// DropTaskStmt is DROP TASK [IF EXISTS] name.
+type DropTaskStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTaskStmt) stmt() {}
+
+// String renders the node back to SQL text.
+func (d *DropTaskStmt) String() string { return "DROP TASK " + d.Name }
 
 // DropTableStmt is DROP TABLE.
 type DropTableStmt struct {

@@ -1,6 +1,10 @@
 package sqlparser
 
-import "strconv"
+import (
+	"strconv"
+	"strings"
+	"time"
+)
 
 func (p *parser) parseCreate() (Statement, error) {
 	p.next() // create
@@ -9,6 +13,9 @@ func (p *parser) parseCreate() (Statement, error) {
 	}
 	if p.matchKw("resource") {
 		return p.parseCreateResourceQueue()
+	}
+	if p.matchKw("task") {
+		return p.parseCreateTask()
 	}
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
@@ -128,6 +135,69 @@ func (p *parser) parseCreateResourceQueue() (Statement, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// parseCreateTask parses CREATE TASK name SCHEDULE EVERY <n> <unit> AS
+// <stmt>, registering a user-defined periodic statement.
+func (p *parser) parseCreateTask() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("schedule"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("every"); err != nil {
+		return nil, err
+	}
+	every, err := p.parseScheduleInterval()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("as"); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch inner.(type) {
+	case *CreateTaskStmt, *DropTaskStmt:
+		return nil, p.errf("a task cannot define another task")
+	}
+	return &CreateTaskStmt{Name: name, Every: every, Stmt: inner}, nil
+}
+
+// parseScheduleInterval parses <n> <unit> where unit is milliseconds,
+// seconds, minutes, hours or days (singular or plural).
+func (p *parser) parseScheduleInterval() (time.Duration, error) {
+	n, err := p.parseInt()
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, p.errf("schedule interval must be positive")
+	}
+	unit, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	var base time.Duration
+	switch strings.TrimSuffix(unit, "s") {
+	case "millisecond":
+		base = time.Millisecond
+	case "second":
+		base = time.Second
+	case "minute":
+		base = time.Minute
+	case "hour":
+		base = time.Hour
+	case "day":
+		base = 24 * time.Hour
+	default:
+		return 0, p.errf("unknown schedule unit %q", unit)
+	}
+	return time.Duration(n) * base, nil
 }
 
 func (p *parser) parseColumnDefs() ([]ColumnDef, error) {

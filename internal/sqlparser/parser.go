@@ -285,6 +285,21 @@ func (p *parser) parseDrop() (Statement, error) {
 		d.Name = name
 		return d, nil
 	}
+	if p.matchKw("task") {
+		d := &DropTaskStmt{}
+		if p.matchKw("if") {
+			if err := p.expectKw("exists"); err != nil {
+				return nil, err
+			}
+			d.IfExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d.Name = name
+		return d, nil
+	}
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,90 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseCreateTask(t *testing.T) {
+	s, err := ParseOne("CREATE TASK nightly SCHEDULE EVERY 12 HOURS AS ANALYZE orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.(*CreateTaskStmt)
+	if !ok {
+		t.Fatalf("got %T, want *CreateTaskStmt", s)
+	}
+	if c.Name != "nightly" || c.Every != 12*time.Hour {
+		t.Errorf("stmt = %+v", c)
+	}
+	if _, ok := c.Stmt.(*AnalyzeStmt); !ok {
+		t.Errorf("inner statement = %T, want *AnalyzeStmt", c.Stmt)
+	}
+	// String() renders back to parseable SQL.
+	if got := c.String(); got != "CREATE TASK nightly SCHEDULE EVERY 12 HOURS AS ANALYZE orders" {
+		t.Errorf("String() = %q", got)
+	}
+	if _, err := ParseOne(c.String()); err != nil {
+		t.Errorf("String() does not re-parse: %v", err)
+	}
+}
+
+func TestParseCreateTaskUnits(t *testing.T) {
+	cases := map[string]time.Duration{
+		"500 MILLISECONDS": 500 * time.Millisecond,
+		"1 SECOND":         time.Second,
+		"30 seconds":       30 * time.Second,
+		"5 MINUTES":        5 * time.Minute,
+		"2 hours":          2 * time.Hour,
+		"1 DAY":            24 * time.Hour,
+	}
+	for unit, want := range cases {
+		s, err := ParseOne("CREATE TASK t SCHEDULE EVERY " + unit + " AS SELECT 1")
+		if err != nil {
+			t.Errorf("%s: %v", unit, err)
+			continue
+		}
+		if got := s.(*CreateTaskStmt).Every; got != want {
+			t.Errorf("%s: interval = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseCreateTaskErrors(t *testing.T) {
+	cases := []struct {
+		sql, want string
+	}{
+		{"CREATE TASK t SCHEDULE EVERY 0 SECONDS AS SELECT 1", "positive"},
+		{"CREATE TASK t SCHEDULE EVERY 5 FORTNIGHTS AS SELECT 1", "unknown schedule unit"},
+		{"CREATE TASK t SCHEDULE EVERY 5 SECONDS AS CREATE TASK u SCHEDULE EVERY 5 SECONDS AS SELECT 1", "cannot define another task"},
+		{"CREATE TASK t AS SELECT 1", "expected"},
+	}
+	for _, c := range cases {
+		_, err := ParseOne(c.sql)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want substring %q", c.sql, err, c.want)
+		}
+	}
+}
+
+func TestParseDropTask(t *testing.T) {
+	s, err := ParseOne("DROP TASK nightly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s.(*DropTaskStmt)
+	if !ok {
+		t.Fatalf("got %T, want *DropTaskStmt", s)
+	}
+	if d.Name != "nightly" || d.IfExists {
+		t.Errorf("stmt = %+v", d)
+	}
+	s, err = ParseOne("DROP TASK IF EXISTS nightly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.(*DropTaskStmt); !d.IfExists {
+		t.Errorf("IF EXISTS not recorded: %+v", d)
+	}
+}

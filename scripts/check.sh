@@ -11,8 +11,8 @@
 #                                  (lockorder, ctxflow, batchlife,
 #                                  clockwall, wiresafe). Fails on any
 #                                  non-suppressed finding and archives
-#                                  the -json report as
-#                                  hawq-check-report.json for CI
+#                                  the -json report under build/ (an
+#                                  untracked artifacts dir) for CI
 #                                  upload.
 #   4. go test -race ./...       — full test suite under the race
 #                                  detector, including the goroutine
@@ -56,11 +56,21 @@ go vet ./...
 echo "==> hawq-check ./..."
 go run ./cmd/hawq-check ./...
 
-echo "==> hawq-check -json report (hawq-check-report.json)"
-go run ./cmd/hawq-check -json ./... > hawq-check-report.json
+echo "==> hawq-check -json report (build/hawq-check-report.json)"
+mkdir -p build
+go run ./cmd/hawq-check -json ./... > build/hawq-check-report.json
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> task scheduler smoke (-race)"
+# The whole scheduler unit suite, plus the deterministic clock.Sim
+# end-to-end runs: auto-ANALYZE flips a join order, compaction
+# round-trips a fragmented AO table byte-identically.
+go test -race -count=1 ./internal/task
+go test -race -count=1 \
+    -run 'TestCreateTask|TestAutoAnalyzeChangesPlanE2E|TestAutoCompactionE2E|TestCompactionAbort|TestFailoverTaskHandoffE2E' \
+    ./internal/engine
 
 echo "==> low-work_mem spill gate (-race)"
 go test -race -count=1 \
