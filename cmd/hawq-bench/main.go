@@ -7,21 +7,27 @@
 //	hawq-bench -exp fig6            # one experiment
 //	hawq-bench -exp all             # everything (slow)
 //	hawq-bench -exp fig8 -segments 8 -sf-small 0.005
+//	hawq-bench -exp concurrency -concurrency 1,8,64,256,1024 -out BENCH_concurrency.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hawq/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13a fig13b ablations all")
+	exp := flag.String("exp", "all", "experiment: fig6 fig7 fig8 fig9 fig10 fig11a fig11b fig12 fig13a fig13b ablations concurrency all")
 	segments := flag.Int("segments", 4, "HAWQ segments")
 	sfSmall := flag.Float64("sf-small", 0.002, "TPC-H scale factor for the CPU-bound regime")
 	sfLarge := flag.Float64("sf-large", 0.01, "TPC-H scale factor for the IO-bound regime")
+	levels := flag.String("concurrency", "1,8,64,256,1024", "session counts for -exp concurrency (comma-separated)")
+	ops := flag.Int("ops", 512, "statement budget per (level, mode) cell for -exp concurrency")
+	out := flag.String("out", "", "write -exp concurrency results as JSON to this path")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -31,6 +37,38 @@ func main() {
 		SpillDir: os.TempDir(),
 	}
 	cfg.Defaults()
+
+	// The concurrency sweep has its own shape (JSON artifact, extra
+	// flags), so it runs outside the figure table.
+	if *exp == "concurrency" {
+		var lv []int
+		for _, part := range strings.Split(*levels, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -concurrency level %q\n", part)
+				os.Exit(2)
+			}
+			lv = append(lv, n)
+		}
+		res, err := bench.RunConcurrency(bench.ConcurrencyConfig{
+			Bench:       cfg,
+			Levels:      lv,
+			OpsPerLevel: *ops,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concurrency: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Report())
+		if *out != "" {
+			if err := res.WriteJSON(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "concurrency: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return
+	}
 
 	type experiment struct {
 		name string

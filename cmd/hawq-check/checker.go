@@ -132,6 +132,7 @@ var defaultCtxflowPkgs = []string{
 	"internal/executor",
 	"internal/interconnect",
 	"internal/resource",
+	"internal/session",
 	"internal/task",
 }
 

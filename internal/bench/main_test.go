@@ -1,0 +1,12 @@
+package bench
+
+import (
+	"testing"
+
+	"hawq/internal/testutil"
+)
+
+// TestMain fails the suite if a benchmark harness leaks engine or
+// session goroutines — the concurrency sweep in particular spins up
+// hundreds of sessions and must leave nothing behind.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

@@ -138,6 +138,45 @@ type Catalog struct {
 	wal     atomic.Pointer[tx.WAL]
 	sys     map[string]*SysTable
 	nextOID int64
+	// onMutation, when set, is called with the writing XID for every
+	// mutation of a plan-relevant system table (see planRelevant). The
+	// cluster wires it to tx.Manager.MarkCatalogChange so committed
+	// catalog changes bump the plan-cache version.
+	onMutation atomic.Pointer[func(tx.XID)]
+}
+
+// planRelevant lists the system tables whose contents feed planning:
+// schemas, distribution, segment files (data visibility), statistics,
+// and segment status. Mutating any of them must invalidate cached plans;
+// churn counters, task rows, and resource queues do not affect plan
+// shape or results.
+var planRelevant = map[string]bool{
+	SysClass:     true,
+	SysAttribute: true,
+	SysAoseg:     true,
+	SysStatRel:   true,
+	SysStatCol:   true,
+	SysSegment:   true,
+}
+
+// SetMutationHook registers fn to observe plan-relevant catalog writes
+// (nil unregisters). The hook runs on the writer's goroutine while the
+// writing transaction is still in progress.
+func (c *Catalog) SetMutationHook(fn func(tx.XID)) {
+	if fn == nil {
+		c.onMutation.Store(nil)
+		return
+	}
+	c.onMutation.Store(&fn)
+}
+
+func (c *Catalog) noteMutation(xid tx.XID, table string) {
+	if !planRelevant[table] {
+		return
+	}
+	if fn := c.onMutation.Load(); fn != nil {
+		(*fn)(xid)
+	}
 }
 
 // System table names.
@@ -276,6 +315,7 @@ func (c *Catalog) insert(xid tx.XID, table string, row types.Row) uint64 {
 	if w := c.wal.Load(); w != nil {
 		w.Append(tx.Record{Type: tx.RecInsert, XID: xid, Table: table, RowID: id, Data: types.EncodeRow(nil, row)})
 	}
+	c.noteMutation(xid, table)
 	return id
 }
 
@@ -285,6 +325,7 @@ func (c *Catalog) delete(xid tx.XID, table string, id uint64) {
 		if w := c.wal.Load(); w != nil {
 			w.Append(tx.Record{Type: tx.RecDelete, XID: xid, Table: table, RowID: id})
 		}
+		c.noteMutation(xid, table)
 	}
 }
 

@@ -139,6 +139,89 @@ func (c *Conn) Query(sql string) ([]*Result, error) {
 	}
 }
 
+// readUnit collects one ready-terminated response unit, returning the
+// result (when the unit carried one) or the server's error.
+func (c *Conn) readUnit() (*Result, error) {
+	cur := &Result{}
+	var serverErr error
+	for {
+		typ, payload, err := readMsg(c.rw)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case MsgRowDesc:
+			schema, err := decodeSchema(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur.Schema = schema
+		case MsgDataRow:
+			row, _, err := types.DecodeRow(payload)
+			if err != nil {
+				return nil, err
+			}
+			cur.Rows = append(cur.Rows, row)
+		case MsgComplete:
+			cur.Tag = string(payload)
+		case MsgParseOK, MsgBindOK:
+			// Acknowledgements carry no data.
+		case MsgError:
+			serverErr = fmt.Errorf("server: %s", payload)
+		case MsgReady:
+			return cur, serverErr
+		default:
+			return nil, fmt.Errorf("client: unexpected message %q", typ)
+		}
+	}
+}
+
+// Prepare registers a named prepared statement via the extended
+// protocol's Parse message. The SQL may use $1..$n placeholders.
+func (c *Conn) Prepare(name, sql string) error {
+	if err := writeMsg(c.rw, MsgParse, encodeParse(name, sql)); err != nil {
+		return err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return err
+	}
+	_, err := c.readUnit()
+	return err
+}
+
+// ExecPrepared runs a prepared statement with the given argument
+// values, pipelining Bind and Execute in one round trip.
+func (c *Conn) ExecPrepared(name string, args ...types.Datum) (*Result, error) {
+	if err := writeMsg(c.rw, MsgBind, encodeBind("", name, args)); err != nil {
+		return nil, err
+	}
+	if err := writeMsg(c.rw, MsgExecute, encodeExecute("")); err != nil {
+		return nil, err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return nil, err
+	}
+	// Two units come back: the bind acknowledgement, then the execution.
+	if _, err := c.readUnit(); err != nil {
+		// Drain the execute unit before surfacing the bind error.
+		//hawqcheck:ignore errdrop
+		c.readUnit()
+		return nil, err
+	}
+	return c.readUnit()
+}
+
+// Deallocate drops a prepared statement ("" drops all), via simple
+// query.
+func (c *Conn) Deallocate(name string) error {
+	if name == "" {
+		_, err := c.QueryOne("DEALLOCATE ALL")
+		return err
+	}
+	_, err := c.QueryOne("DEALLOCATE " + name)
+	return err
+}
+
 // Set changes a session setting (work_mem, resource_queue,
 // statement_timeout, ...). The value travels single-quoted so sizes
 // like "64kB" survive the round trip.

@@ -8,12 +8,21 @@
 // Messages:
 //
 //	client → server:  'Q' simple query (SQL text)
+//	                  'P' parse (prepare a named statement from SQL)
+//	                  'B' bind (create a portal: named statement + args)
+//	                  'E' execute (run a portal)
 //	                  'X' terminate
 //	                  'F' cancel request (8-byte backend key; sent on a
 //	                      separate connection, as in PostgreSQL)
 //	server → client:  'K' backend key data (8-byte cancellation key),
 //	                  'T' row description, 'D' data row,
-//	                  'C' command complete (tag), 'E' error, 'Z' ready
+//	                  'C' command complete (tag), '1' parse complete,
+//	                  '2' bind complete, 'E' error, 'Z' ready
+//
+// ('E' appears in both directions with different meanings, as a type
+// tag is only interpreted in the direction it travels.) Every client →
+// server message is answered by a unit of responses terminated by
+// ready, so the extended-protocol messages may be pipelined.
 package client
 
 import (
@@ -27,12 +36,17 @@ import (
 // Message type tags.
 const (
 	MsgQuery      = 'Q'
+	MsgParse      = 'P'
+	MsgBind       = 'B'
+	MsgExecute    = 'E'
 	MsgTerminate  = 'X'
 	MsgCancel     = 'F'
 	MsgBackendKey = 'K'
 	MsgRowDesc    = 'T'
 	MsgDataRow    = 'D'
 	MsgComplete   = 'C'
+	MsgParseOK    = '1'
+	MsgBindOK     = '2'
 	MsgError      = 'E'
 	MsgReady      = 'Z'
 )
@@ -66,6 +80,76 @@ func readMsg(r io.Reader) (byte, []byte, error) {
 		return 0, nil, err
 	}
 	return hdr[0], payload, nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// readString reads a uvarint-length-prefixed string, returning the
+// bytes consumed. It never reads past the buffer: malformed input is an
+// error, not a panic (these decoders face untrusted peers).
+func readString(buf []byte) (string, int, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || l > uint64(len(buf)-n) {
+		return "", 0, fmt.Errorf("client: truncated string field")
+	}
+	return string(buf[n : n+int(l)]), n + int(l), nil
+}
+
+// encodeParse renders a Parse payload: statement name, then SQL text.
+func encodeParse(name, sql string) []byte {
+	return append(appendString(nil, name), sql...)
+}
+
+// decodeParse reverses encodeParse.
+func decodeParse(buf []byte) (name, sql string, err error) {
+	name, n, err := readString(buf)
+	if err != nil {
+		return "", "", fmt.Errorf("client: bad parse message: %w", err)
+	}
+	return name, string(buf[n:]), nil
+}
+
+// encodeBind renders a Bind payload: portal name, statement name, then
+// the argument values as an encoded row.
+func encodeBind(portal, stmt string, args []types.Datum) []byte {
+	buf := appendString(nil, portal)
+	buf = appendString(buf, stmt)
+	return types.EncodeRow(buf, types.Row(args))
+}
+
+// decodeBind reverses encodeBind.
+func decodeBind(buf []byte) (portal, stmt string, args types.Row, err error) {
+	portal, n, err := readString(buf)
+	if err != nil {
+		return "", "", nil, fmt.Errorf("client: bad bind message: %w", err)
+	}
+	stmt, m, err := readString(buf[n:])
+	if err != nil {
+		return "", "", nil, fmt.Errorf("client: bad bind message: %w", err)
+	}
+	args, _, err = types.DecodeRow(buf[n+m:])
+	if err != nil {
+		return "", "", nil, fmt.Errorf("client: bad bind message: %w", err)
+	}
+	return portal, stmt, args, nil
+}
+
+// encodeExecute renders an Execute payload: the portal name.
+func encodeExecute(portal string) []byte {
+	return appendString(nil, portal)
+}
+
+// decodeExecute reverses encodeExecute.
+func decodeExecute(buf []byte) (string, error) {
+	portal, n, err := readString(buf)
+	if err != nil || n != len(buf) {
+		return "", fmt.Errorf("client: bad execute message")
+	}
+	return portal, nil
 }
 
 // encodeSchema renders a row description payload.

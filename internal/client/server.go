@@ -6,10 +6,15 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hawq/internal/engine"
 	"hawq/internal/types"
 )
+
+// defaultDrainTimeout bounds how long Close waits for busy connections
+// to finish their in-flight statement before canceling them.
+const defaultDrainTimeout = 5 * time.Second
 
 // Server exposes an engine over the wire protocol. Each connection gets
 // its own session (and therefore its own transaction state), as with the
@@ -19,15 +24,52 @@ type Server struct {
 	ln  net.Listener
 	wg  sync.WaitGroup
 
-	// sessions maps backend keys to live sessions so a cancel request
-	// arriving on a separate connection (the session's own connection
-	// is busy executing the query) can find its target.
-	smu      sync.Mutex
-	sessions map[uint64]*engine.Session
-	nextKey  atomic.Uint64
+	// conns maps backend keys to live connections, for cancel requests
+	// arriving on a separate connection and for shutdown draining.
+	smu     sync.Mutex
+	conns   map[uint64]*connState
+	nextKey atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
+
+	// drain is how long Close waits for in-flight statements.
+	drain time.Duration
+}
+
+// connState tracks one connection's lifecycle for graceful shutdown:
+// busy marks an executing statement unit, stop tells the serve loop to
+// exit once the current unit (if any) completes.
+type connState struct {
+	conn net.Conn
+	sess *engine.Session
+	mu   sync.Mutex
+	busy bool
+	stop bool
+}
+
+// beginUnit marks the connection busy; false means the server is
+// draining and no new statement may start.
+func (cs *connState) beginUnit() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.stop {
+		return false
+	}
+	cs.busy = true
+	return true
+}
+
+func (cs *connState) endUnit() {
+	cs.mu.Lock()
+	cs.busy = false
+	cs.mu.Unlock()
+}
+
+func (cs *connState) stopping() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stop
 }
 
 // NewServer starts listening on addr ("127.0.0.1:0" for an ephemeral
@@ -37,7 +79,7 @@ func NewServer(eng *engine.Engine, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	s := &Server{eng: eng, ln: ln, sessions: make(map[uint64]*engine.Session)}
+	s := &Server{eng: eng, ln: ln, conns: make(map[uint64]*connState), drain: defaultDrainTimeout}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -46,7 +88,16 @@ func NewServer(eng *engine.Engine, addr string) (*Server, error) {
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// SetDrainTimeout adjusts how long Close waits for in-flight statements
+// (tests; callers must set it before Close).
+func (s *Server) SetDrainTimeout(d time.Duration) { s.drain = d }
+
+// Close stops the server gracefully: no new connections or statements
+// are accepted, idle connections close immediately, and busy ones get
+// until the drain deadline to finish their in-flight statement — after
+// which they are canceled and the sockets force-closed. Close returns
+// only when every connection goroutine has exited, so a clean return
+// means no leaks.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -56,7 +107,48 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	err := s.ln.Close()
-	s.wg.Wait()
+	// Mark every connection stopping under the lock, but close sockets
+	// outside it: a Close can block, and serve goroutines need s.smu to
+	// deregister.
+	var idle []net.Conn
+	s.smu.Lock()
+	for _, cs := range s.conns {
+		cs.mu.Lock()
+		cs.stop = true
+		busy := cs.busy
+		cs.mu.Unlock()
+		if !busy {
+			idle = append(idle, cs.conn)
+		}
+	}
+	s.smu.Unlock()
+	for _, c := range idle {
+		// Idle: unblock the pending read now.
+		c.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := s.eng.Cluster().Clock().NewTimer(s.drain)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C():
+		// Drain deadline passed: abort whatever is still running.
+		var stuck []*connState
+		s.smu.Lock()
+		for _, cs := range s.conns {
+			stuck = append(stuck, cs)
+		}
+		s.smu.Unlock()
+		for _, cs := range stuck {
+			cs.sess.Cancel()
+			cs.conn.Close()
+		}
+		<-done
+	}
 	return err
 }
 
@@ -82,16 +174,26 @@ func (s *Server) acceptLoop() {
 // and aborts the in-flight statement.
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
-	sess := s.eng.NewSession()
+	cs := &connState{conn: conn, sess: s.eng.NewSession()}
 	key := s.nextKey.Add(1)
 	s.smu.Lock()
-	s.sessions[key] = sess
+	s.conns[key] = cs
 	s.smu.Unlock()
 	defer func() {
 		s.smu.Lock()
-		delete(s.sessions, key)
+		delete(s.conns, key)
 		s.smu.Unlock()
 	}()
+	// A connection accepted in the instant the server began closing
+	// must drain like the rest.
+	s.mu.Lock()
+	if s.closed {
+		cs.stop = true
+	}
+	s.mu.Unlock()
+	if cs.stopping() {
+		return
+	}
 	var keyBuf [8]byte
 	binary.BigEndian.PutUint64(keyBuf[:], key)
 	if err := writeMsg(conn, MsgBackendKey, keyBuf[:]); err != nil {
@@ -100,33 +202,53 @@ func (s *Server) serve(conn net.Conn) {
 	if err := writeMsg(conn, MsgReady, nil); err != nil {
 		return
 	}
+	// portals are the connection's bound statements (extended protocol);
+	// only the serve goroutine touches them.
+	portals := map[string]portalState{}
 	for {
 		typ, payload, err := readMsg(conn)
 		if err != nil {
 			return
 		}
+		if !cs.beginUnit() {
+			return
+		}
 		switch typ {
 		case MsgTerminate:
+			cs.endUnit()
 			return
 		case MsgQuery:
-			if err := s.handleQuery(conn, sess, string(payload)); err != nil {
-				return
-			}
+			err = s.handleQuery(conn, cs.sess, string(payload))
+		case MsgParse:
+			err = s.handleParse(conn, cs.sess, payload)
+		case MsgBind:
+			err = s.handleBind(conn, portals, payload)
+		case MsgExecute:
+			err = s.handleExecute(conn, cs.sess, portals, payload)
 		case MsgCancel:
 			// Cancel connections do their work and hang up.
 			if len(payload) == 8 {
 				s.cancelSession(binary.BigEndian.Uint64(payload))
 			}
+			cs.endUnit()
 			return
 		default:
-			if err := writeMsg(conn, MsgError, []byte(fmt.Sprintf("unexpected message %q", typ))); err != nil {
-				return
-			}
-			if err := writeMsg(conn, MsgReady, nil); err != nil {
-				return
+			if err = writeMsg(conn, MsgError, []byte(fmt.Sprintf("unexpected message %q", typ))); err == nil {
+				err = writeMsg(conn, MsgReady, nil)
 			}
 		}
+		cs.endUnit()
+		if err != nil || cs.stopping() {
+			return
+		}
 	}
+}
+
+// portalState is one bound portal: a prepared statement name plus the
+// argument values to run it with.
+type portalState struct {
+	stmt string
+	args types.Row
 }
 
 // cancelSession aborts the in-flight statement of the session holding
@@ -134,11 +256,19 @@ func (s *Server) serve(conn net.Conn) {
 // may have disconnected already).
 func (s *Server) cancelSession(key uint64) {
 	s.smu.Lock()
-	sess := s.sessions[key]
+	cs := s.conns[key]
 	s.smu.Unlock()
-	if sess != nil {
-		sess.Cancel()
+	if cs != nil {
+		cs.sess.Cancel()
 	}
+}
+
+// respondError sends an error unit (error + ready).
+func respondError(conn net.Conn, err error) error {
+	if werr := writeMsg(conn, MsgError, []byte(err.Error())); werr != nil {
+		return werr
+	}
+	return writeMsg(conn, MsgReady, nil)
 }
 
 // handleQuery executes one query and streams its results. The returned
@@ -147,27 +277,81 @@ func (s *Server) cancelSession(key uint64) {
 func (s *Server) handleQuery(conn net.Conn, sess *engine.Session, sql string) error {
 	results, err := sess.Execute(sql)
 	if err != nil {
-		if werr := writeMsg(conn, MsgError, []byte(err.Error())); werr != nil {
-			return werr
-		}
-		return writeMsg(conn, MsgReady, nil)
+		return respondError(conn, err)
 	}
 	for _, res := range results {
-		if res.Schema != nil {
-			if err := writeMsg(conn, MsgRowDesc, encodeSchema(res.Schema)); err != nil {
-				return err
-			}
-			var buf []byte
-			for _, row := range res.Rows {
-				buf = types.EncodeRow(buf[:0], row)
-				if err := writeMsg(conn, MsgDataRow, buf); err != nil {
-					return err
-				}
-			}
-		}
-		if err := writeMsg(conn, MsgComplete, []byte(res.Tag)); err != nil {
+		if err := writeResult(conn, res); err != nil {
 			return err
 		}
 	}
 	return writeMsg(conn, MsgReady, nil)
+}
+
+// handleParse registers a prepared statement in the connection's
+// session.
+func (s *Server) handleParse(conn net.Conn, sess *engine.Session, payload []byte) error {
+	name, sql, err := decodeParse(payload)
+	if err == nil {
+		err = sess.Prepare(name, sql)
+	}
+	if err != nil {
+		return respondError(conn, err)
+	}
+	if err := writeMsg(conn, MsgParseOK, nil); err != nil {
+		return err
+	}
+	return writeMsg(conn, MsgReady, nil)
+}
+
+// handleBind creates (or replaces) a portal binding argument values to
+// a prepared statement. Validation of the statement name and argument
+// count happens at execute time, where the engine resolves the portal.
+func (s *Server) handleBind(conn net.Conn, portals map[string]portalState, payload []byte) error {
+	portal, stmt, args, err := decodeBind(payload)
+	if err != nil {
+		return respondError(conn, err)
+	}
+	portals[portal] = portalState{stmt: stmt, args: args}
+	if err := writeMsg(conn, MsgBindOK, nil); err != nil {
+		return err
+	}
+	return writeMsg(conn, MsgReady, nil)
+}
+
+// handleExecute runs a bound portal and streams its result.
+func (s *Server) handleExecute(conn net.Conn, sess *engine.Session, portals map[string]portalState, payload []byte) error {
+	portal, err := decodeExecute(payload)
+	if err != nil {
+		return respondError(conn, err)
+	}
+	ps, ok := portals[portal]
+	if !ok {
+		return respondError(conn, fmt.Errorf("portal %q does not exist", portal))
+	}
+	res, err := sess.ExecutePrepared(ps.stmt, ps.args...)
+	if err != nil {
+		return respondError(conn, err)
+	}
+	if err := writeResult(conn, res); err != nil {
+		return err
+	}
+	return writeMsg(conn, MsgReady, nil)
+}
+
+// writeResult streams one statement result: row description and rows
+// when present, then the command tag.
+func writeResult(conn net.Conn, res *engine.Result) error {
+	if res.Schema != nil {
+		if err := writeMsg(conn, MsgRowDesc, encodeSchema(res.Schema)); err != nil {
+			return err
+		}
+		var buf []byte
+		for _, row := range res.Rows {
+			buf = types.EncodeRow(buf[:0], row)
+			if err := writeMsg(conn, MsgDataRow, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return writeMsg(conn, MsgComplete, []byte(res.Tag))
 }

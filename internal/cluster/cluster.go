@@ -229,6 +229,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.cat.Store(m.Cat)
 	c.wal.Store(m.WAL)
+	// Plan-relevant catalog writes mark their transaction in the manager,
+	// whose commit path bumps the snapshot-visible catalog version that
+	// keys the engine's plan cache.
+	m.Cat.SetMutationHook(c.TxMgr.MarkCatalogChange)
 	if c.qdNode, err = c.newNode(plan.QDSegment); err != nil {
 		return nil, err
 	}

@@ -131,6 +131,9 @@ func (c *Cluster) Promote() {
 	w := tx.NewWALAt(nil, sb.LastLSN()+1)
 	sb.Cat.SetWAL(w)
 	c.TxMgr.AttachWAL(w)
+	// The promoted replica takes over the mutation hook so its future
+	// catalog writes keep bumping the plan-cache version.
+	sb.Cat.SetMutationHook(c.TxMgr.MarkCatalogChange)
 	c.cat.Store(sb.Cat)
 	c.wal.Store(w)
 	c.mu.Unlock()

@@ -367,10 +367,14 @@ func (s *Session) runAnalyze(ctx context.Context, t *tx.Tx, stmt *sqlparser.Anal
 		for _, oid := range countOids {
 			cat.ResetModCount(t, oid)
 		}
-		if rows == 0 || desc.IsPartitionChild() {
+		if rows == 0 {
 			continue
 		}
-		// Column statistics via self-issued aggregates.
+		// Column statistics via self-issued aggregates. Partition
+		// children get their own per-column stats too: partition
+		// elimination prices each child scan individually, and the
+		// stats refresh must be observable in EXPLAIN after an
+		// auto-ANALYZE pass invalidates cached plans.
 		for i, col := range desc.Schema.Columns {
 			q := fmt.Sprintf("SELECT min(%s), max(%s), count(DISTINCT %s), count(%s) FROM %s",
 				col.Name, col.Name, col.Name, col.Name, desc.Name)

@@ -12,17 +12,22 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hawq/internal/clock"
 	"hawq/internal/cluster"
 	"hawq/internal/obs"
 	"hawq/internal/resource"
+	"hawq/internal/session"
 	"hawq/internal/sqlparser"
 	"hawq/internal/task"
 	"hawq/internal/tx"
 	"hawq/internal/types"
 )
+
+// DefaultPlanCacheSize is the boot value of the plan_cache_size setting.
+const DefaultPlanCacheSize = 256
 
 // ErrStatementTimeout is the cancellation cause when a statement
 // exceeds the session's statement_timeout.
@@ -60,8 +65,13 @@ type Engine struct {
 	// sched is the background maintenance daemon (nil when disabled):
 	// auto-ANALYZE, AO compaction, and user-defined periodic tasks.
 	sched *task.Scheduler
-	mu    sync.Mutex
-	flags PlannerFlags
+	// planCache is the engine-wide compiled-plan cache (§2.4's
+	// parse-once / dispatch-many path); sized by plan_cache_size.
+	planCache *session.PlanCache
+	// flags holds the planner ablation flags behind an atomic pointer:
+	// hundreds of concurrent sessions read them per statement, so a
+	// mutex here was a measurable contention wall.
+	flags atomic.Pointer[PlannerFlags]
 }
 
 // SlowLog exposes the engine-wide slow-query log (tests and
@@ -70,17 +80,17 @@ func (e *Engine) SlowLog() *obs.SlowLog { return e.slow }
 
 // SetFlags replaces the planner ablation flags.
 func (e *Engine) SetFlags(f PlannerFlags) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.flags = f
+	e.flags.Store(&f)
 }
 
 // Flags returns the current planner ablation flags.
 func (e *Engine) Flags() PlannerFlags {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.flags
+	return *e.flags.Load()
 }
+
+// PlanCache exposes the engine-wide plan cache (tests and monitoring;
+// SHOW plan_cache serves the same data over SQL).
+func (e *Engine) PlanCache() *session.PlanCache { return e.planCache }
 
 // New boots an engine.
 func New(cfg Config) (*Engine, error) {
@@ -88,7 +98,13 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{cl: cl, res: resource.NewManager(cl.Clock()), slow: obs.NewSlowLog(0)}
+	e := &Engine{
+		cl:        cl,
+		res:       resource.NewManager(cl.Clock()),
+		slow:      obs.NewSlowLog(0),
+		planCache: session.NewPlanCache(DefaultPlanCacheSize),
+	}
+	e.flags.Store(&PlannerFlags{})
 	// Mirror any catalog-persisted resource queues into the runtime
 	// manager (a catalog restored from WAL replay arrives with queues
 	// already defined).
@@ -102,6 +118,17 @@ func New(cfg Config) (*Engine, error) {
 	if !cfg.DisableTasks {
 		e.startScheduler(cfg)
 	}
+	// On standby promotion, drop every cached plan (belt and braces: the
+	// promoted catalog is rebuilt from WAL replay, and the transaction
+	// manager is shared so the catalog version stays monotonic, but a
+	// fresh epoch should never serve pre-failover plans) and resume a
+	// paused maintenance scheduler.
+	e.cl.SetPromoteHook(func() {
+		e.planCache.Flush()
+		if e.sched != nil {
+			e.sched.Resume()
+		}
+	})
 	return e, nil
 }
 
@@ -160,6 +187,17 @@ type Session struct {
 	// dispatch of the current statement, when the session collected
 	// stats for the slow-query log. Cleared at statement start.
 	lastStats string
+	// prep holds the session's prepared statements (lazily allocated on
+	// the first PREPARE).
+	prep *session.Registry
+	// noPlanCache opts this session out of the engine plan cache
+	// (SET plan_cache = off), for the cache ablation benchmarks.
+	noPlanCache bool
+	// curParams holds the current statement's parameter values while an
+	// EXECUTE is in flight (nil otherwise). Planners built for the
+	// statement — including nested subquery planners — resolve $n
+	// placeholders against it.
+	curParams []types.Datum
 
 	// qmu guards qcancel, the cancel function of the statement
 	// currently executing (nil between statements).
@@ -337,11 +375,52 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 				return nil, fmt.Errorf("engine: resource queue %q does not exist", name)
 			}
 			s.queue = name
+		case "plan_cache":
+			on, err := parseOnOff(v.Value)
+			if err != nil {
+				return nil, err
+			}
+			s.noPlanCache = !on
+		case "plan_cache_size":
+			n, err := strconv.Atoi(strings.TrimSpace(v.Value))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("engine: bad plan_cache_size %q", v.Value)
+			}
+			s.eng.planCache.Resize(n)
 		}
 		return &Result{Tag: "SET"}, nil
+	case *sqlparser.PrepareStmt:
+		return s.runPrepare(v)
+	case *sqlparser.DeallocateStmt:
+		return s.runDeallocate(v)
+	case *sqlparser.ExecuteStmt:
+		inner, args, err := s.resolveExecute(v)
+		if err != nil {
+			return nil, err
+		}
+		return s.runTransactional(stmt, inner, args)
 	}
-	// Transactional statements: use the session transaction, or an
-	// implicit autocommit one.
+	return s.runTransactional(stmt, stmt, nil)
+}
+
+// parseOnOff reads a boolean-valued setting.
+func parseOnOff(v string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "on", "true", "1", "yes":
+		return true, nil
+	case "off", "false", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("engine: bad boolean value %q", v)
+}
+
+// runTransactional executes a transactional statement in the session
+// transaction or an implicit autocommit one. display is the statement
+// as the client wrote it (what the slow-query log records), inner is
+// the statement actually executed — they differ for EXECUTE, which
+// runs the prepared statement's body with args bound to its $n
+// placeholders.
+func (s *Session) runTransactional(display, inner sqlparser.Statement, args []types.Datum) (*Result, error) {
 	t := s.cur
 	auto := false
 	if t == nil {
@@ -351,24 +430,26 @@ func (s *Session) executeStmt(stmt sqlparser.Statement) (*Result, error) {
 	clk := s.eng.cl.Clock()
 	start := clk.Now()
 	s.lastStats = ""
+	s.curParams = args
+	defer func() { s.curParams = nil }()
 	engineQueries.Inc()
 	ctx, done := s.beginStatement()
-	release, err := s.admit(ctx, stmt)
+	release, err := s.admit(ctx, inner)
 	if err != nil {
 		done()
 		if auto {
 			t.Abort()
 			s.releaseTx(t)
 		}
-		s.noteStatementDone(stmt, clk.Since(start), err)
+		s.noteStatementDone(display, clk.Since(start), err)
 		return nil, err
 	}
-	res, err := s.runInTx(ctx, t, stmt)
+	res, err := s.runInTx(ctx, t, inner)
 	if release != nil {
 		release()
 	}
 	done()
-	s.noteStatementDone(stmt, clk.Since(start), err)
+	s.noteStatementDone(display, clk.Since(start), err)
 	if auto {
 		if err != nil {
 			t.Abort()

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+
+	"hawq/internal/planner"
+	"hawq/internal/session"
+	"hawq/internal/sqlparser"
+	"hawq/internal/types"
+)
+
+// Prepared statements (§2.4's parse-once / dispatch-many path). PREPARE
+// parses and registers the statement body; EXECUTE resolves it, binds
+// the argument values, and runs it through the normal transactional
+// machinery. The plan cache in runSelectRows is what makes the repeat
+// executions cheap: the first EXECUTE plans generically (placeholders
+// stay symbolic) and later ones reuse the cached plan with fresh
+// parameter values bound in.
+
+// registry returns the session's prepared-statement registry, creating
+// it on first use.
+func (s *Session) registry() *session.Registry {
+	if s.prep == nil {
+		s.prep = session.NewRegistry()
+	}
+	return s.prep
+}
+
+// runPrepare registers a parsed PREPARE statement. Like SET, it is
+// session state, not a transactional statement.
+func (s *Session) runPrepare(v *sqlparser.PrepareStmt) (*Result, error) {
+	p := &session.Prepared{
+		Name:      v.Name,
+		Stmt:      v.Stmt,
+		SQL:       v.Stmt.String(),
+		NumParams: sqlparser.MaxParam(v.Stmt),
+	}
+	if err := s.registry().Put(p); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "PREPARE"}, nil
+}
+
+// runDeallocate removes one prepared statement, or all of them.
+func (s *Session) runDeallocate(v *sqlparser.DeallocateStmt) (*Result, error) {
+	if v.All {
+		s.registry().Clear()
+		return &Result{Tag: "DEALLOCATE ALL"}, nil
+	}
+	if err := s.registry().Remove(v.Name); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "DEALLOCATE"}, nil
+}
+
+// resolveExecute looks up the prepared statement an EXECUTE names and
+// evaluates its argument list to datum values. Arguments are constant
+// scalar expressions (literals, arithmetic on literals); they cannot
+// reference columns or other placeholders.
+func (s *Session) resolveExecute(v *sqlparser.ExecuteStmt) (sqlparser.Statement, []types.Datum, error) {
+	p, err := s.registry().Get(v.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.ValidateArgCount(len(v.Args)); err != nil {
+		return nil, nil, err
+	}
+	args := make([]types.Datum, len(v.Args))
+	for i, a := range v.Args {
+		d, err := planner.EvalConst(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: EXECUTE argument %d: %w", i+1, err)
+		}
+		args[i] = d
+	}
+	return p.Stmt, args, nil
+}
+
+// Prepare registers a prepared statement from raw SQL — the wire
+// protocol's Parse message and the benchmark driver use this instead of
+// the PREPARE syntax.
+func (s *Session) Prepare(name, sql string) error {
+	if name == "" {
+		return fmt.Errorf("engine: prepared statement name must not be empty")
+	}
+	stmts, err := sqlparser.Parse(sql)
+	if err != nil {
+		return err
+	}
+	if len(stmts) != 1 {
+		return fmt.Errorf("engine: Prepare requires exactly one statement, got %d", len(stmts))
+	}
+	inner := stmts[0]
+	switch inner.(type) {
+	case *sqlparser.PrepareStmt, *sqlparser.ExecuteStmt, *sqlparser.DeallocateStmt:
+		return fmt.Errorf("engine: cannot prepare a %T", inner)
+	}
+	if err := sqlparser.CheckParams(inner); err != nil {
+		return err
+	}
+	return s.registry().Put(&session.Prepared{
+		Name:      name,
+		Stmt:      inner,
+		SQL:       inner.String(),
+		NumParams: sqlparser.MaxParam(inner),
+	})
+}
+
+// ExecutePrepared runs a prepared statement with already-materialized
+// argument values — the wire protocol's Bind/Execute messages and the
+// benchmark driver use this instead of the EXECUTE syntax.
+func (s *Session) ExecutePrepared(name string, args ...types.Datum) (*Result, error) {
+	p, err := s.registry().Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ValidateArgCount(len(args)); err != nil {
+		return nil, err
+	}
+	return s.runTransactional(&sqlparser.ExecuteStmt{Name: name}, p.Stmt, args)
+}
+
+// Deallocate removes a prepared statement by name ("" removes all).
+func (s *Session) Deallocate(name string) error {
+	if name == "" {
+		s.registry().Clear()
+		return nil
+	}
+	return s.registry().Remove(name)
+}

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"hawq/internal/types"
+)
+
+func TestPrepareExecuteDeallocate(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	mustExec(t, s, "PREPARE getbal AS SELECT balance FROM accounts WHERE id = $1")
+	res := mustExec(t, s, "EXECUTE getbal (7)")
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "700.50" {
+		t.Fatalf("EXECUTE getbal(7) = %v", rowsString(res))
+	}
+	res = mustExec(t, s, "EXECUTE getbal (42)")
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "4200.50" {
+		t.Fatalf("EXECUTE getbal(42) = %v", rowsString(res))
+	}
+
+	// Wrong arity and unknown names are errors.
+	if _, err := s.Query("EXECUTE getbal (1, 2)"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := s.Query("EXECUTE nosuch"); err == nil {
+		t.Fatal("unknown prepared statement accepted")
+	}
+	// Duplicate names are errors until deallocated.
+	if _, err := s.Query("PREPARE getbal AS SELECT 1"); err == nil {
+		t.Fatal("duplicate PREPARE accepted")
+	}
+	mustExec(t, s, "DEALLOCATE getbal")
+	if _, err := s.Query("EXECUTE getbal (7)"); err == nil {
+		t.Fatal("EXECUTE after DEALLOCATE accepted")
+	}
+	mustExec(t, s, "PREPARE getbal AS SELECT count(*) FROM accounts")
+	mustExec(t, s, "DEALLOCATE ALL")
+	if _, err := s.Query("EXECUTE getbal"); err == nil {
+		t.Fatal("EXECUTE after DEALLOCATE ALL accepted")
+	}
+
+	// Placeholders must be contiguous from $1.
+	if _, err := s.Query("PREPARE bad AS SELECT balance FROM accounts WHERE id = $2"); err == nil {
+		t.Fatal("gap in parameter numbering accepted")
+	}
+	// Placeholders outside PREPARE are rejected.
+	if _, err := s.Query("SELECT balance FROM accounts WHERE id = $1"); err == nil {
+		t.Fatal("bare placeholder accepted")
+	}
+}
+
+func TestPreparedAPIAndParamKinds(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	// The wire-protocol entry points: Prepare / ExecutePrepared.
+	if err := s.Prepare("q", "SELECT owner, balance FROM accounts WHERE opened < $1 AND id <= $2 ORDER BY id"); err != nil {
+		t.Fatal(err)
+	}
+	// A string argument compared to a DATE column is cast via the
+	// inferred parameter kind.
+	res, err := s.ExecutePrepared("q", types.NewString("2013-06-01"), types.NewInt64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ids 1..5 open in months 2..6; only months before June qualify.
+	if len(res.Rows) != 4 {
+		t.Fatalf("date-bounded prepared query returned %v", rowsString(res))
+	}
+	if err := s.Deallocate("q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExecutePrepared("q", types.NewString("x"), types.NewInt64(1)); err == nil {
+		t.Fatal("ExecutePrepared after Deallocate accepted")
+	}
+}
+
+func TestPlanCacheHitRateAndParamRebinding(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	mustExec(t, s, "PREPARE getbal AS SELECT balance FROM accounts WHERE id = $1")
+	before := e.PlanCache().Stats()
+	const n = 50
+	for i := 1; i <= n; i++ {
+		res := mustExec(t, s, fmt.Sprintf("EXECUTE getbal (%d)", i))
+		want := fmt.Sprintf("%d.50", i*100)
+		if len(res.Rows) != 1 || res.Rows[0][0].String() != want {
+			t.Fatalf("EXECUTE getbal(%d) = %v, want %s", i, rowsString(res), want)
+		}
+	}
+	st := e.PlanCache().Stats()
+	hits := st.Hits - before.Hits
+	// First execution misses and stores; the other n-1 must all hit (the
+	// acceptance bar is a >90% hit rate on a repeated mix).
+	if hits < n-1 {
+		t.Fatalf("plan cache hits = %d of %d executions (stats %+v)", hits, n, st)
+	}
+}
+
+func TestPlanCacheSimpleQueryReuse(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	const q = "SELECT count(*) FROM accounts"
+	mustExec(t, s, q)
+	before := e.PlanCache().Stats()
+	mustExec(t, s, q)
+	st := e.PlanCache().Stats()
+	if st.Hits <= before.Hits {
+		t.Fatalf("repeated simple query did not hit the cache: %+v -> %+v", before, st)
+	}
+}
+
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	mustExec(t, s, "PREPARE cnt AS SELECT count(*) FROM accounts WHERE id <= $1")
+	res := mustExec(t, s, "EXECUTE cnt (1000)")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count = %v, want 100", res.Rows[0][0])
+	}
+	// Ensure the plan is cached (second execution hits).
+	before := e.PlanCache().Stats()
+	mustExec(t, s, "EXECUTE cnt (1000)")
+	if st := e.PlanCache().Stats(); st.Hits <= before.Hits {
+		t.Fatalf("expected a cache hit before invalidation: %+v", st)
+	}
+
+	// New data commits bump the catalog version (the segment-file
+	// catalog changed), so the cached plan — which embeds the visible
+	// file lists — must NOT be reused: a stale plan would return 100.
+	mustExec(t, s, "INSERT INTO accounts VALUES (101, 'newbie', 1.00, DATE '2013-05-01')")
+	res = mustExec(t, s, "EXECUTE cnt (1000)")
+	if res.Rows[0][0].Int() != 101 {
+		t.Fatalf("stale plan served after INSERT: count = %v, want 101", res.Rows[0][0])
+	}
+
+	// DDL on another table also invalidates (version is global), and
+	// dropping the queried table makes execution fail instead of
+	// serving rows from a dropped relation's cached plan.
+	mustExec(t, s, "DROP TABLE accounts")
+	if _, err := s.Query("EXECUTE cnt (1000)"); err == nil {
+		t.Fatal("cached plan served for a dropped table")
+	}
+}
+
+func TestPlanCacheDisableAndResize(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	mustExec(t, s, "SET plan_cache = off")
+	const q = "SELECT count(*) FROM accounts WHERE id <= 10"
+	mustExec(t, s, q)
+	before := e.PlanCache().Stats()
+	mustExec(t, s, q)
+	st := e.PlanCache().Stats()
+	if st.Hits != before.Hits || st.Stores != before.Stores {
+		t.Fatalf("session with plan_cache=off touched the cache: %+v -> %+v", before, st)
+	}
+	mustExec(t, s, "SET plan_cache = on")
+	mustExec(t, s, q)
+	mustExec(t, s, q)
+	if st := e.PlanCache().Stats(); st.Hits <= before.Hits {
+		t.Fatalf("re-enabled session did not hit the cache: %+v", st)
+	}
+
+	mustExec(t, s, "SET plan_cache_size = 0")
+	if st := e.PlanCache().Stats(); st.Size != 0 || st.Capacity != 0 {
+		t.Fatalf("plan_cache_size=0 did not flush: %+v", st)
+	}
+	mustExec(t, s, "SET plan_cache_size = 64")
+	res := mustExec(t, s, "SHOW plan_cache_size")
+	if res.Rows[0][0].Int() != 64 {
+		t.Fatalf("SHOW plan_cache_size = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, s, "SHOW plan_cache")
+	if len(res.Rows) != 7 {
+		t.Fatalf("SHOW plan_cache rows = %d", len(res.Rows))
+	}
+}
+
+func TestPlanCacheInsideExplicitTxWithOwnDDL(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	// Inside a transaction that already wrote plan-relevant catalog
+	// state, the cache is bypassed entirely: its own uncommitted writes
+	// are invisible to the global catalog version.
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO accounts VALUES (200, 'tx', 5.00, DATE '2013-01-01')")
+	res := mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 101 {
+		t.Fatalf("in-tx count = %v, want 101", res.Rows[0][0])
+	}
+	mustExec(t, s, "ROLLBACK")
+	res = mustExec(t, s, "SELECT count(*) FROM accounts")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("post-rollback count = %v, want 100", res.Rows[0][0])
+	}
+}
+
+// TestConcurrentPreparedExecutionWithDDL is the -race stress required by
+// the issue: many sessions concurrently preparing, executing and
+// deallocating while another session churns DDL and ANALYZE, which
+// invalidates cached plans. Correctness bar: no races, no panics, and
+// every successful count matches one of the legal table states.
+func TestConcurrentPreparedExecutionWithDDL(t *testing.T) {
+	e := newTestEngine(t, 4)
+	s := e.NewSession()
+	setupAccounts(t, s)
+
+	const sessions = 64
+	const iters = 15
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := e.NewSession()
+			name := fmt.Sprintf("q%d", g)
+			if err := sess.Prepare(name, "SELECT count(*) FROM accounts WHERE id >= $1"); err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < iters; i++ {
+				res, err := sess.ExecutePrepared(name, types.NewInt64(1))
+				if err != nil {
+					// Concurrent DDL may abort a statement; that is
+					// acceptable, wrong rows are not.
+					continue
+				}
+				got := res.Rows[0][0].Int()
+				if got < 100 || got > 100+int64(iters) {
+					errCh <- fmt.Errorf("session %d: impossible count %d", g, got)
+					return
+				}
+			}
+			if err := sess.Deallocate(name); err != nil {
+				errCh <- err
+			}
+		}(g)
+	}
+	// DDL/stats churn alongside the executors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ddl := e.NewSession()
+		for i := 0; i < iters; i++ {
+			if _, err := ddl.Query(fmt.Sprintf(
+				"INSERT INTO accounts VALUES (%d, 'x', 1.00, DATE '2013-01-01')", 1000+i)); err != nil {
+				continue
+			}
+			//hawqcheck:ignore errdrop
+			ddl.Query("ANALYZE accounts")
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil && !strings.Contains(err.Error(), "lock") {
+			t.Fatal(err)
+		}
+	}
+}

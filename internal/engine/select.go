@@ -9,9 +9,11 @@ import (
 
 	"hawq/internal/cluster"
 	"hawq/internal/obs"
+	"hawq/internal/plan"
 	"hawq/internal/planner"
 	"hawq/internal/resource"
 	"hawq/internal/retry"
+	"hawq/internal/session"
 	"hawq/internal/sqlparser"
 	"hawq/internal/tx"
 	"hawq/internal/types"
@@ -29,6 +31,11 @@ func (s *Session) newPlanner(ctx context.Context, t *tx.Tx) *planner.Planner {
 		DisablePartitionElim:  flags.DisablePartitionElim,
 		DisableColocation:     flags.DisableColocation,
 		DisableRuntimeFilters: flags.DisableRuntimeFilters,
+		// EXECUTE arguments default to specific planning: placeholders
+		// become constants, so direct dispatch and partition elimination
+		// see their values. The cache path opts into generic planning
+		// separately.
+		Params: s.curParams,
 	}
 	p.SubqueryEval = func(sub *sqlparser.SelectStmt) (types.Datum, error) {
 		rows, _, err := s.runSelectRows(ctx, t, sub)
@@ -143,8 +150,9 @@ func (s *Session) runSelectRows(ctx context.Context, t *tx.Tx, stmt *sqlparser.S
 			// this restart can use them again.
 			s.eng.cl.Reprobe()
 		}
-		p := s.newPlanner(ctx, t)
-		pl, err := p.PlanSelect(stmt)
+		// Only first attempts consult the plan cache: a restart follows a
+		// segment-state change the cached plan predates.
+		pl, err := s.planCached(ctx, t, stmt, n == 1)
 		if err != nil {
 			return retry.Permanent(err)
 		}
@@ -168,6 +176,71 @@ func (s *Session) runSelectRows(ctx context.Context, t *tx.Tx, stmt *sqlparser.S
 		return nil, nil, err
 	}
 	return rows, schema, nil
+}
+
+// planCached returns a dispatch-ready plan for a SELECT, consulting the
+// engine-wide plan cache when it may: first attempt, session opted in,
+// and the transaction has no uncommitted plan-relevant catalog writes of
+// its own (the cache key's catalog version only covers committed state).
+//
+// Cached entries hold pristine decoded plans — parameters unbound, no
+// resource stamps — keyed by canonical SQL + cluster shape + planner
+// flags, and validated against the snapshot's catalog version. A hit
+// deep-clones the entry (sharing immutable leaves, far cheaper than a
+// decompress + gob decode) and binds the current EXECUTE arguments; a
+// miss plans generically when the statement has placeholders (so the
+// plan is value-independent), stores a pristine clone, then binds.
+// Statements whose generic planning fails (e.g. a $n LIKE pattern) fall
+// back to an uncached value-specific plan.
+func (s *Session) planCached(ctx context.Context, t *tx.Tx, stmt *sqlparser.SelectStmt, firstAttempt bool) (*plan.Plan, error) {
+	p := s.newPlanner(ctx, t)
+	cache := s.eng.planCache
+	if !firstAttempt || s.noPlanCache || s.eng.cl.TxMgr.IsCatalogDirty(t.XID()) {
+		return p.PlanSelect(stmt)
+	}
+	flags := s.eng.Flags()
+	key := session.Fingerprint(stmt.String(), s.eng.cl.NumSegments(),
+		flags.DisableDirectDispatch, flags.DisablePartitionElim,
+		flags.DisableColocation, flags.DisableRuntimeFilters)
+	ver := p.Snap.CatVer
+	if v, ok := cache.Get(key, ver); ok {
+		if cached, isPlan := v.(*plan.Plan); isPlan {
+			if pl, err := cached.Clone(); err == nil {
+				if len(pl.ParamKinds) > 0 {
+					err = pl.BindParams(s.curParams)
+				}
+				if err == nil {
+					return pl, nil
+				}
+			}
+		}
+		// Unclonable or unbindable entries fall through to planning.
+	}
+	if sqlparser.MaxParam(stmt) > 0 && len(s.curParams) > 0 {
+		gp := s.newPlanner(ctx, t)
+		gp.Snap = p.Snap // same snapshot as the lookup version
+		gp.Params = nil
+		gp.GenericParams = true
+		if pl, err := gp.PlanSelect(stmt); err == nil {
+			if keep, cerr := pl.Clone(); cerr == nil {
+				cache.Put(key, ver, keep)
+			}
+			if berr := pl.BindParams(s.curParams); berr == nil {
+				return pl, nil
+			}
+		}
+		// Fall back to the specific plan; its error (if any) is the one
+		// the user sees.
+		return p.PlanSelect(stmt)
+	}
+	pl, err := p.PlanSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if keep, cerr := pl.Clone(); cerr == nil {
+		cache.Put(key, ver, keep)
+	}
+	return pl, nil
 }
 
 // classifyDispatchErr decides whether a failed dispatch is worth
@@ -306,6 +379,26 @@ func (s *Session) runShow(t *tx.Tx, stmt *sqlparser.ShowStmt) (*Result, error) {
 			rows = append(rows, types.Row{
 				types.NewString(d.Name), types.NewString(d.Dist.String()), types.NewString(d.Storage.Orientation),
 			})
+		}
+		return &Result{Schema: schema, Rows: rows, Tag: "SHOW"}, nil
+	case "plan_cache_size":
+		st := s.eng.planCache.Stats()
+		schema := types.NewSchema(types.Column{Name: "plan_cache_size", Kind: types.KindInt64})
+		return &Result{Schema: schema, Rows: []types.Row{{types.NewInt64(int64(st.Capacity))}}, Tag: "SHOW"}, nil
+	case "plan_cache":
+		st := s.eng.planCache.Stats()
+		schema := types.NewSchema(
+			types.Column{Name: "metric", Kind: types.KindString},
+			types.Column{Name: "value", Kind: types.KindInt64},
+		)
+		rows := []types.Row{
+			{types.NewString("size"), types.NewInt64(int64(st.Size))},
+			{types.NewString("capacity"), types.NewInt64(int64(st.Capacity))},
+			{types.NewString("hits"), types.NewInt64(st.Hits)},
+			{types.NewString("misses"), types.NewInt64(st.Misses)},
+			{types.NewString("invalidations"), types.NewInt64(st.Invalidations)},
+			{types.NewString("evictions"), types.NewInt64(st.Evictions)},
+			{types.NewString("stores"), types.NewInt64(st.Stores)},
 		}
 		return &Result{Schema: schema, Rows: rows, Tag: "SHOW"}, nil
 	case "work_mem":

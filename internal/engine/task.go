@@ -38,7 +38,6 @@ func (e *Engine) startScheduler(cfg Config) {
 		CompactMinFiles:   cfg.CompactMinFiles,
 		DisableSweep:      !cfg.TaskSweep,
 	})
-	e.cl.SetPromoteHook(e.sched.Resume)
 	e.sched.Start()
 }
 

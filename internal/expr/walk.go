@@ -13,7 +13,7 @@ func Walk(e Expr, fn func(Expr)) {
 	}
 	fn(e)
 	switch v := e.(type) {
-	case *ColRef, *Const:
+	case *ColRef, *Const, *Param:
 	case *BinOp:
 		Walk(v.L, fn)
 		Walk(v.R, fn)

@@ -40,6 +40,7 @@ func init() {
 	gob.Register(&expr.Case{})
 	gob.Register(&expr.Cast{})
 	gob.Register(&expr.FuncCall{})
+	gob.Register(&expr.Param{})
 }
 
 // planCodec compresses serialized plans; complex plans reach megabytes,

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"fmt"
+
+	"hawq/internal/expr"
+	"hawq/internal/types"
+)
+
+// BindParams binds every expr.Param placeholder in the plan to its
+// positional argument value, casting each value to the kind the planner
+// inferred at prepare time. It is called on a freshly decoded plan copy
+// (cached plans stay pristine) before dispatch; the dispatcher's
+// re-encode then ships the bound values to the QEs.
+func (p *Plan) BindParams(args []types.Datum) error {
+	// A plan may reference a prefix of the EXECUTE arguments: a scalar
+	// subquery planned on its own uses only the placeholders it
+	// mentions. Extra arguments are fine; missing ones are not.
+	if len(args) < len(p.ParamKinds) {
+		return fmt.Errorf("plan: expected %d parameters, got %d", len(p.ParamKinds), len(args))
+	}
+	cast := make([]types.Datum, len(p.ParamKinds))
+	for i := range p.ParamKinds {
+		a := args[i]
+		k := p.ParamKinds[i]
+		if k == types.KindNull || a.IsNull() {
+			cast[i] = a
+			continue
+		}
+		c, err := types.Cast(a, k)
+		if err != nil {
+			return fmt.Errorf("plan: parameter $%d: %w", i+1, err)
+		}
+		cast[i] = c
+	}
+	var bindErr error
+	p.Walk(func(n Node) {
+		for _, e := range NodeExprs(n) {
+			if e == nil {
+				continue
+			}
+			if err := expr.BindParams(e, cast); err != nil && bindErr == nil {
+				bindErr = err
+			}
+		}
+	})
+	if bindErr != nil {
+		return bindErr
+	}
+	return p.bindDirectDispatch(cast)
+}
+
+// bindDirectDispatch resolves the deferred direct-dispatch decisions a
+// generic plan carries: each slice whose distribution keys are pinned
+// by placeholders shrinks to the single segment hashing the bound
+// values, exactly as a plan-time constant would have (§3's single value
+// lookup, preserved across the plan cache). HashDatum already hashes
+// equal-comparing datums equally, so casting the argument to the
+// inferred column kind keeps the choice consistent with the insert and
+// redistribute paths.
+func (p *Plan) bindDirectDispatch(cast []types.Datum) error {
+	for _, dd := range p.DeferredDirect {
+		vals := make(types.Row, len(dd.Keys))
+		for i, k := range dd.Keys {
+			if k.Param < 0 {
+				vals[i] = k.Const
+				continue
+			}
+			if k.Param >= len(cast) {
+				return fmt.Errorf("plan: direct dispatch references parameter $%d, got %d", k.Param+1, len(cast))
+			}
+			vals[i] = cast[k.Param]
+		}
+		if dd.SliceID < 0 || dd.SliceID >= len(p.Slices) {
+			return fmt.Errorf("plan: direct dispatch names slice %d of %d", dd.SliceID, len(p.Slices))
+		}
+		seg := []int{int(types.HashRowCols(vals, nil) % uint64(p.NumSegments))}
+		p.Slices[dd.SliceID].Segments = seg
+		// The receiving side's sender list must shrink with the gang, or
+		// the parent slice waits forever for EOS from segments that were
+		// never dispatched.
+		p.Walk(func(n Node) {
+			if r, ok := n.(*MotionRecv); ok && int(r.ID) == dd.SliceID {
+				r.Senders = seg
+			}
+		})
+	}
+	return nil
+}

@@ -56,14 +56,43 @@ type Plan struct {
 	// with the rest of the plan, so stateless QEs need no extra
 	// coordination to know stats are wanted.
 	CollectStats bool
+	// ParamKinds records, for generic (parameterized) plans, the kind each
+	// $n placeholder was inferred to have, indexed by parameter position.
+	// EXECUTE casts argument values to these kinds before BindParams.
+	// Empty for plans without placeholders.
+	ParamKinds []types.Kind
+	// DeferredDirect lists slices whose direct-dispatch target could not
+	// be computed at plan time because a distribution key is pinned by a
+	// $n placeholder (generic plans). BindParams hashes the bound values
+	// and shrinks each slice to its single target segment, so a cached
+	// plan keeps §3's single-segment point-lookup dispatch.
+	DeferredDirect []DirectDispatch
+}
+
+// DirectDispatch records one deferred direct-dispatch decision: the
+// slice to pin and, per distribution key column, either the parameter
+// position supplying the value or the constant already known.
+type DirectDispatch struct {
+	SliceID int
+	Keys    []DirectKey
+}
+
+// DirectKey is one distribution-key value source: Param >= 0 names a
+// $n placeholder (0-based), otherwise Const holds the plan-time value.
+type DirectKey struct {
+	Param int
+	Const types.Datum
 }
 
 // SenderHint lets the planner pin a motion's child slice to a subset of
 // segments (direct dispatch). It is attached by wrapping the motion
-// input; nil hints mean "all segments".
+// input; nil hints mean "all segments". DeferredKeys, when set, defers
+// the choice to BindParams: Segments stays the full gang at plan time
+// and the bound parameter values pick the one target segment.
 type SenderHint struct {
-	Input    Node
-	Segments []int
+	Input        Node
+	Segments     []int
+	DeferredKeys []DirectKey
 }
 
 // OutSchema implements Node.
@@ -73,7 +102,12 @@ func (h *SenderHint) OutSchema() *types.Schema { return h.Input.OutSchema() }
 func (h *SenderHint) Children() []Node { return []Node{h.Input} }
 
 // Label implements Node.
-func (h *SenderHint) Label() string { return fmt.Sprintf("Direct Dispatch %v", h.Segments) }
+func (h *SenderHint) Label() string {
+	if len(h.DeferredKeys) > 0 {
+		return "Direct Dispatch (bound at execute)"
+	}
+	return fmt.Sprintf("Direct Dispatch %v", h.Segments)
+}
 
 // Build slices a plan tree at its motion boundaries. root is the full
 // tree (with Motion nodes); topSegments is where the top slice runs
@@ -100,13 +134,19 @@ func (b *builder) walk(n Node, parent *Slice) Node {
 	case *Motion:
 		segs := b.all
 		child := v.Input
+		var deferred []DirectKey
 		if hint, ok := child.(*SenderHint); ok {
 			segs = hint.Segments
+			deferred = hint.DeferredKeys
 			child = hint.Input
 			v.Input = child
 		}
 		s := &Slice{ID: len(b.plan.Slices), Segments: segs}
 		b.plan.Slices = append(b.plan.Slices, s)
+		if len(deferred) > 0 {
+			b.plan.DeferredDirect = append(b.plan.DeferredDirect,
+				DirectDispatch{SliceID: s.ID, Keys: deferred})
+		}
 		// The slice index is the motion's unique ID within the query.
 		v.ID = int16(s.ID)
 		v.Receivers = parent.Segments

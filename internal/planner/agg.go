@@ -81,7 +81,7 @@ func (p *Planner) planAggregation(rel *relation, stmt *sqlparser.SelectStmt) (*r
 		return rel, nil, nil
 	}
 
-	b := &binder{scope: rel.scope(), subquery: p.scalarSubquery()}
+	b := &binder{scope: rel.scope(), subquery: p.scalarSubquery(), params: p.paramBinder()}
 	// Bind group expressions.
 	groupExprs := make([]expr.Expr, len(stmt.GroupBy))
 	groupNames := make([]string, len(stmt.GroupBy))
@@ -138,7 +138,7 @@ func (p *Planner) planAggregation(rel *relation, stmt *sqlparser.SelectStmt) (*r
 	outRel.cols = schemaCols(outSchema)
 	// Apply HAVING.
 	if stmt.Having != nil {
-		hb := &binder{scope: outRel.scope(), aggScope: scp, subquery: p.scalarSubquery()}
+		hb := &binder{scope: outRel.scope(), aggScope: scp, subquery: p.scalarSubquery(), params: p.paramBinder()}
 		pred, err := hb.bind(stmt.Having)
 		if err != nil {
 			return nil, nil, err

@@ -65,6 +65,9 @@ type binder struct {
 	// expressions over an aggregation bind group expressions and
 	// aggregate calls to the aggregate output row.
 	aggScope *aggScope
+	// params resolves $n placeholders (prepared statements); nil rejects
+	// them.
+	params *paramBinder
 }
 
 // aggScope maps group expressions and aggregate calls (by syntax string)
@@ -98,6 +101,8 @@ func (b *binder) bind(e sqlparser.Expr) (expr.Expr, error) {
 		}
 		c := b.scope.schema.Columns[idx]
 		return &expr.ColRef{Idx: idx, K: c.Kind, Name: v.String()}, nil
+	case *sqlparser.ParamExpr:
+		return b.params.bind(v.Idx)
 	case *sqlparser.NumLit:
 		return bindNumLit(v)
 	case *sqlparser.StrLit:
@@ -135,6 +140,18 @@ func (b *binder) bind(e sqlparser.Expr) (expr.Expr, error) {
 		}
 		pat, ok := v.Pattern.(*sqlparser.StrLit)
 		if !ok {
+			// A $n pattern works in specific mode, where the placeholder
+			// binds to its string value at plan time (generic plans cannot
+			// cache a LIKE pattern and fall back to specific planning).
+			if pe, isParam := v.Pattern.(*sqlparser.ParamExpr); isParam {
+				bound, err := b.params.bind(pe.Idx)
+				if err != nil {
+					return nil, err
+				}
+				if c, isConst := bound.(*expr.Const); isConst && c.D.K == types.KindString {
+					return &expr.Like{E: inner, Pattern: c.D.S, Negate: v.Negate}, nil
+				}
+			}
 			return nil, fmt.Errorf("planner: LIKE pattern must be a string literal")
 		}
 		return &expr.Like{E: inner, Pattern: pat.S, Negate: v.Negate}, nil
@@ -151,6 +168,7 @@ func (b *binder) bind(e sqlparser.Expr) (expr.Expr, error) {
 			if items[i], err = b.bind(it); err != nil {
 				return nil, err
 			}
+			b.params.infer(items[i], inner)
 		}
 		return &expr.InList{E: inner, Items: items, Negate: v.Negate}, nil
 	case *sqlparser.BetweenExpr:
@@ -166,6 +184,8 @@ func (b *binder) bind(e sqlparser.Expr) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		b.params.infer(lo, inner)
+		b.params.infer(hi, inner)
 		return &expr.Between{E: inner, Lo: lo, Hi: hi, Negate: v.Negate}, nil
 	case *sqlparser.IsNullExpr:
 		inner, err := b.bind(v.E)
@@ -305,6 +325,8 @@ func (b *binder) bindBinary(v *sqlparser.BinExpr) (expr.Expr, error) {
 	default:
 		return nil, fmt.Errorf("planner: unknown operator %q", v.Op)
 	}
+	b.params.infer(l, r)
+	b.params.infer(r, l)
 	// Comparing a date column with a string literal: coerce the literal.
 	if op >= expr.OpEq && op <= expr.OpGe {
 		l, r = coerceComparison(l, r)

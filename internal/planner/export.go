@@ -47,6 +47,18 @@ func BindWithAggregates(e sqlparser.Expr, groups, aggs []string, schema *types.S
 	return b.bind(e)
 }
 
+// EvalConst binds and evaluates a constant scalar expression — no
+// columns, placeholders, or subqueries. EXECUTE argument lists go
+// through this.
+func EvalConst(e sqlparser.Expr) (types.Datum, error) {
+	b := &binder{scope: &scope{schema: types.NewSchema()}}
+	bound, err := b.bind(e)
+	if err != nil {
+		return types.Null, err
+	}
+	return bound.Eval(nil)
+}
+
 // CollectAggregates finds the distinct aggregate calls in an expression
 // (by rendered syntax), appending to out/seen.
 func CollectAggregates(e sqlparser.Expr, out *[]*sqlparser.FuncExpr, seen map[string]bool) {

@@ -125,7 +125,7 @@ func (p *Planner) evalValuesRows(stmt *sqlparser.InsertStmt, schema *types.Schem
 			colIdx = append(colIdx, i)
 		}
 	}
-	b := &binder{scope: &scope{schema: types.NewSchema()}, subquery: p.scalarSubquery()}
+	b := &binder{scope: &scope{schema: types.NewSchema()}, subquery: p.scalarSubquery(), params: p.paramBinder()}
 	var rows []types.Row
 	for _, astRow := range stmt.Rows {
 		if len(astRow) != len(colIdx) {

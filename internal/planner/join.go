@@ -101,7 +101,7 @@ func (p *Planner) orderJoins(units []*fromUnit, edges []joinEdge) (*relation, er
 		if usedEdges[ei] {
 			continue
 		}
-		b := &binder{scope: cur.scope(), subquery: p.scalarSubquery()}
+		b := &binder{scope: cur.scope(), subquery: p.scalarSubquery(), params: p.paramBinder()}
 		bound, err := b.bind(e.raw)
 		if err != nil {
 			return nil, err
@@ -430,7 +430,7 @@ func (p *Planner) applySemiJoin(outer *relation, su *semiUnit) (*relation, error
 	}
 	// Outer join keys.
 	var leftKeys []int
-	bOuter := &binder{scope: outerScope, subquery: p.scalarSubquery()}
+	bOuter := &binder{scope: outerScope, subquery: p.scalarSubquery(), params: p.paramBinder()}
 	if su.outerExpr != nil {
 		bound, err := bOuter.bind(su.outerExpr)
 		if err != nil {

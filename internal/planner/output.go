@@ -19,7 +19,7 @@ func (p *Planner) planOutput(rel *relation, aggScp *aggScope, stmt *sqlparser.Se
 	if err != nil {
 		return nil, err
 	}
-	b := &binder{scope: rel.scope(), aggScope: aggScp, subquery: p.scalarSubquery()}
+	b := &binder{scope: rel.scope(), aggScope: aggScp, subquery: p.scalarSubquery(), params: p.paramBinder()}
 	var exprs []expr.Expr
 	var outCols []types.Column
 	identity := aggScp == nil
@@ -90,10 +90,10 @@ func (p *Planner) planOutput(rel *relation, aggScp *aggScope, stmt *sqlparser.Se
 	out := rel
 	if !identity {
 		node := &plan.Project{Input: rel.node, Exprs: exprs, Schema: outSchema}
-		out = &relation{node: node, cols: schemaCols(outSchema), dist: projectDist(rel.dist, exprs), rows: rel.rows, direct: rel.direct}
+		out = &relation{node: node, cols: schemaCols(outSchema), dist: projectDist(rel.dist, exprs), rows: rel.rows, direct: rel.direct, directKeys: rel.directKeys}
 	} else {
 		// Keep the (possibly renamed) output names.
-		out = &relation{node: rel.node, cols: schemaCols(outSchema), dist: rel.dist, rows: rel.rows, direct: rel.direct}
+		out = &relation{node: rel.node, cols: schemaCols(outSchema), dist: rel.dist, rows: rel.rows, direct: rel.direct, directKeys: rel.directKeys}
 	}
 
 	if stmt.Distinct {

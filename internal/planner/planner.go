@@ -33,8 +33,80 @@ type Planner struct {
 	// (hash-join build sides feeding probe-side scans), for ablation.
 	DisableRuntimeFilters bool
 
+	// Params supplies EXECUTE argument values for $n placeholders, bound
+	// into the plan as constants (specific planning; the plan must not be
+	// cached across different argument values).
+	Params []types.Datum
+	// GenericParams plans $n placeholders as execution-time expr.Param
+	// nodes instead, so the plan is value-independent and cacheable; the
+	// emitted plan's ParamKinds records each placeholder's inferred kind.
+	GenericParams bool
+
 	// rtfSeq numbers runtime filters within the statement being planned.
 	rtfSeq int32
+	// prm is the lazily created shared placeholder binder.
+	prm *paramBinder
+}
+
+// paramBinder resolves $n placeholders during binding. In specific mode
+// each placeholder becomes a Const holding the EXECUTE argument; in
+// generic mode it becomes an expr.Param whose kind is inferred from
+// comparison context.
+type paramBinder struct {
+	vals    []types.Datum // specific mode values (nil in generic mode)
+	generic bool
+	kinds   []types.Kind // generic mode: inferred kind per 0-based index
+}
+
+// paramBinder returns the planner's shared placeholder binder, creating
+// it on first use.
+func (p *Planner) paramBinder() *paramBinder {
+	if p.prm == nil {
+		p.prm = &paramBinder{vals: p.Params, generic: p.GenericParams}
+	}
+	return p.prm
+}
+
+// bind resolves the 1-based placeholder idx.
+func (pb *paramBinder) bind(idx int) (expr.Expr, error) {
+	if pb == nil || (!pb.generic && pb.vals == nil) {
+		return nil, fmt.Errorf("planner: parameter $%d not allowed in this context", idx)
+	}
+	if pb.generic {
+		for len(pb.kinds) < idx {
+			pb.kinds = append(pb.kinds, types.KindNull)
+		}
+		return &expr.Param{Idx: idx - 1, K: pb.kinds[idx-1]}, nil
+	}
+	if idx > len(pb.vals) {
+		return nil, fmt.Errorf("planner: parameter $%d out of range (%d supplied)", idx, len(pb.vals))
+	}
+	return expr.NewConst(pb.vals[idx-1]), nil
+}
+
+// infer fixes an unknown-kind Param on one side of a comparison or
+// arithmetic to the other side's kind, so EXECUTE can cast argument
+// values before binding (e.g. a date column compared to $1 makes $1 a
+// date even when the argument arrives as a string).
+func (pb *paramBinder) infer(a, b expr.Expr) {
+	if pb == nil || !pb.generic {
+		return
+	}
+	pa, ok := a.(*expr.Param)
+	if !ok || pa.K != types.KindNull {
+		return
+	}
+	if _, otherParam := b.(*expr.Param); otherParam {
+		return
+	}
+	k := b.Kind()
+	if k == types.KindNull {
+		return
+	}
+	pa.K = k
+	if pa.Idx < len(pb.kinds) && pb.kinds[pa.Idx] == types.KindNull {
+		pb.kinds[pa.Idx] = k
+	}
 }
 
 // distKind classifies how a relation's rows are spread across the
@@ -63,6 +135,11 @@ type relation struct {
 	// direct, when non-nil, lists the only segments holding data
 	// (direct dispatch, §3). Lost on joins.
 	direct []int
+	// directKeys, when non-nil, defers the direct-dispatch segment
+	// choice to bind time: the distribution key is pinned by $n
+	// placeholders (generic plans), so BindParams hashes the bound
+	// values. Lost on joins, like direct.
+	directKeys []plan.DirectKey
 	// equiv holds classes of output columns known equal (join keys of
 	// equi-joins), letting distribution matching see through joins:
 	// a relation hashed on o_orderkey is equally hashed on l_orderkey
@@ -117,6 +194,9 @@ func (p *Planner) PlanSelect(stmt *sqlparser.SelectStmt) (*plan.Plan, error) {
 	}
 	rel = p.gatherToQD(rel)
 	sliced := plan.Build(rel.node, []int{plan.QDSegment}, p.allSegments(), p.NumSegments)
+	if p.prm != nil && p.prm.generic {
+		sliced.ParamKinds = p.prm.kinds
+	}
 	return sliced, nil
 }
 
@@ -127,8 +207,13 @@ func (p *Planner) gatherToQD(rel *relation) *relation {
 		return rel
 	}
 	var input plan.Node = rel.node
-	if rel.direct != nil && !p.DisableDirectDispatch {
-		input = &plan.SenderHint{Input: input, Segments: rel.direct}
+	if !p.DisableDirectDispatch {
+		switch {
+		case rel.direct != nil:
+			input = &plan.SenderHint{Input: input, Segments: rel.direct}
+		case rel.directKeys != nil:
+			input = &plan.SenderHint{Input: input, Segments: p.allSegments(), DeferredKeys: rel.directKeys}
+		}
 	}
 	m := &plan.Motion{Type: plan.GatherMotion, Input: input}
 	return &relation{node: m, cols: rel.cols, dist: distInfo{kind: distQD}, rows: rel.rows}

@@ -404,3 +404,47 @@ func TestScalarSubqueryInlined(t *testing.T) {
 		t.Errorf("constant not inlined:\n%s", pl.Explain())
 	}
 }
+
+func TestDeferredDirectDispatchOnParam(t *testing.T) {
+	p, tr := fixture(t)
+	defer tr.Commit()
+	// A generic plan pins the dist key with $1: the segment choice is
+	// deferred to bind time, not lost.
+	p.GenericParams = true
+	pl := planOf(t, p, "SELECT * FROM orders WHERE o_orderkey = $1")
+	p.GenericParams = false
+	if len(pl.DeferredDirect) != 1 {
+		t.Fatalf("deferred direct = %+v:\n%s", pl.DeferredDirect, pl.Explain())
+	}
+	dd := pl.DeferredDirect[0]
+	if len(dd.Keys) != 1 || dd.Keys[0].Param != 0 {
+		t.Fatalf("deferred keys = %+v", dd.Keys)
+	}
+	if got := len(pl.Slices[dd.SliceID].Segments); got != 4 {
+		t.Fatalf("unbound generic plan segments = %d, want 4", got)
+	}
+	// Binding must pick exactly the segment the constant plan picks.
+	want := planOf(t, p, "SELECT * FROM orders WHERE o_orderkey = 42")
+	if err := pl.BindParams([]types.Datum{types.NewInt64(42)}); err != nil {
+		t.Fatal(err)
+	}
+	got := pl.Slices[dd.SliceID].Segments
+	if len(got) != 1 || got[0] != want.Slices[1].Segments[0] {
+		t.Fatalf("bound segments = %v, constant plan = %v", got, want.Slices[1].Segments)
+	}
+	// The receiver's sender list shrinks with the gang.
+	pl.Walk(func(n plan.Node) {
+		if r, ok := n.(*plan.MotionRecv); ok && int(r.ID) == dd.SliceID {
+			if len(r.Senders) != 1 || r.Senders[0] != got[0] {
+				t.Fatalf("recv senders = %v, want %v", r.Senders, got)
+			}
+		}
+	})
+	// With direct dispatch disabled nothing is deferred.
+	p.DisableDirectDispatch = true
+	p.GenericParams = true
+	pl = planOf(t, p, "SELECT * FROM orders WHERE o_orderkey = $1")
+	if len(pl.DeferredDirect) != 0 {
+		t.Fatalf("ablation still deferred: %+v", pl.DeferredDirect)
+	}
+}

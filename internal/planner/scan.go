@@ -81,7 +81,7 @@ func (p *Planner) planFromWhere(stmt *sqlparser.SelectStmt) (*relation, error) {
 	}
 	// Residual predicates over the full join.
 	for _, c := range residual {
-		b := &binder{scope: rel.scope(), subquery: p.scalarSubquery()}
+		b := &binder{scope: rel.scope(), subquery: p.scalarSubquery(), params: p.paramBinder()}
 		bound, err := b.bind(c)
 		if err != nil {
 			return nil, err
@@ -89,7 +89,7 @@ func (p *Planner) planFromWhere(stmt *sqlparser.SelectStmt) (*relation, error) {
 		sel := selectivity(c)
 		rel = &relation{
 			node: &plan.Select{Input: rel.node, Pred: bound},
-			cols: rel.cols, dist: rel.dist, rows: rel.rows * sel, direct: rel.direct,
+			cols: rel.cols, dist: rel.dist, rows: rel.rows * sel, direct: rel.direct, directKeys: rel.directKeys,
 		}
 	}
 	// Semi/anti-join predicates (EXISTS / IN subqueries).
@@ -157,7 +157,7 @@ func (p *Planner) materialize(u *fromUnit) error {
 	if u.rel != nil {
 		// Derived/join units: apply pushed filters as a Select.
 		for _, c := range u.pushed {
-			b := &binder{scope: u.rel.scope(), subquery: p.scalarSubquery()}
+			b := &binder{scope: u.rel.scope(), subquery: p.scalarSubquery(), params: p.paramBinder()}
 			bound, err := b.bind(c)
 			if err != nil {
 				return err
@@ -191,7 +191,7 @@ func (p *Planner) materialize(u *fromUnit) error {
 func (p *Planner) scanRelation(desc *catalog.TableDesc, alias string, pushed []sqlparser.Expr, sc *scope) (*relation, error) {
 	var filter expr.Expr
 	sel := 1.0
-	b := &binder{scope: sc, subquery: p.scalarSubquery()}
+	b := &binder{scope: sc, subquery: p.scalarSubquery(), params: p.paramBinder()}
 	for _, c := range pushed {
 		bound, err := b.bind(c)
 		if err != nil {
@@ -260,19 +260,33 @@ func (p *Planner) scanRelation(desc *catalog.TableDesc, alias string, pushed []s
 			cols = []int{0} // default distribution: first column
 		}
 		rel.dist = distInfo{kind: distHash, cols: cols}
-		// Direct dispatch: all dist cols pinned by equality constants.
-		if seg, ok := p.directSegment(desc, cols, pushed, sc); ok && !p.DisableDirectDispatch {
-			rel.direct = []int{seg}
+		// Direct dispatch: all dist cols pinned by equality constants
+		// (segment known now) or by $n placeholders (segment chosen at
+		// bind time, so generic cached plans keep the fast path).
+		if !p.DisableDirectDispatch {
+			if seg, keys, ok := p.directSegment(desc, cols, pushed, sc); ok {
+				if keys == nil {
+					rel.direct = []int{seg}
+				} else {
+					rel.directKeys = keys
+				}
+			}
 		}
 	}
 	return rel, nil
 }
 
-// directSegment checks for "distcol = const" constraints pinning the scan
-// to one segment (§3: single value lookup).
-func (p *Planner) directSegment(desc *catalog.TableDesc, distCols []int, pushed []sqlparser.Expr, sc *scope) (int, bool) {
-	vals := make(types.Row, len(distCols))
-	found := 0
+// directSegment checks for "distcol = const" (or, in generic mode,
+// "distcol = $n") constraints pinning the scan to one segment (§3:
+// single value lookup). When every distribution column is pinned and at
+// least one pin is a placeholder, the segment cannot be computed yet:
+// the per-column value sources come back as keys for the plan to
+// resolve in BindParams. With constants only, keys is nil and the
+// segment is final.
+func (p *Planner) directSegment(desc *catalog.TableDesc, distCols []int, pushed []sqlparser.Expr, sc *scope) (int, []plan.DirectKey, bool) {
+	keys := make([]plan.DirectKey, len(distCols))
+	pinned := make([]bool, len(distCols))
+	found, params := 0, 0
 	for _, c := range pushed {
 		be, ok := c.(*sqlparser.BinExpr)
 		if !ok || be.Op != "=" {
@@ -286,13 +300,18 @@ func (p *Planner) directSegment(desc *catalog.TableDesc, distCols []int, pushed 
 		if !ok {
 			continue
 		}
-		b := &binder{scope: sc}
+		b := &binder{scope: sc, params: p.paramBinder()}
 		lb, err := b.bind(lit)
 		if err != nil {
 			continue
 		}
-		konst, ok := lb.(*expr.Const)
-		if !ok {
+		key := plan.DirectKey{Param: -1}
+		switch v := lb.(type) {
+		case *expr.Const:
+			key.Const = v.D
+		case *expr.Param:
+			key.Param = v.Idx
+		default:
 			continue
 		}
 		idx, err := sc.resolve(ident)
@@ -300,17 +319,28 @@ func (p *Planner) directSegment(desc *catalog.TableDesc, distCols []int, pushed 
 			continue
 		}
 		for i, dc := range distCols {
-			if dc == idx && vals[i].IsNull() {
-				vals[i] = konst.D
+			if dc == idx && !pinned[i] {
+				keys[i] = key
+				pinned[i] = true
 				found++
+				if key.Param >= 0 {
+					params++
+				}
 			}
 		}
 	}
 	if found != len(distCols) {
-		return 0, false
+		return 0, nil, false
+	}
+	if params > 0 {
+		return 0, keys, true
+	}
+	vals := make(types.Row, len(distCols))
+	for i, k := range keys {
+		vals[i] = k.Const
 	}
 	h := hashDistRow(vals)
-	return int(h % uint64(p.NumSegments)), true
+	return int(h % uint64(p.NumSegments)), nil, true
 }
 
 // hashDistRow hashes distribution key values the same way the
@@ -361,7 +391,7 @@ func (p *Planner) partitionPruned(kid *catalog.TableDesc, pushed []sqlparser.Exp
 		if err != nil || idx != kid.PartCol {
 			continue
 		}
-		b := &binder{scope: sc}
+		b := &binder{scope: sc, params: p.paramBinder()}
 		bound, err := b.bind(lit)
 		if err != nil {
 			continue
@@ -528,7 +558,7 @@ func (p *Planner) planExplicitJoin(j *sqlparser.Join) (*relation, error) {
 					continue
 				}
 			}
-			b := &binder{scope: combined, subquery: p.scalarSubquery()}
+			b := &binder{scope: combined, subquery: p.scalarSubquery(), params: p.paramBinder()}
 			bound, err := b.bind(c)
 			if err != nil {
 				return nil, err

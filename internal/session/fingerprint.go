@@ -1,0 +1,42 @@
+package session
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fingerprint derives the plan-cache key for a statement. The canonical
+// SQL rendering normalizes whitespace, case and parenthesization, so
+// textually different spellings of the same statement share an entry.
+// Everything else that changes the emitted plan but is not covered by
+// the catalog version must be folded in here: cluster size and the
+// planner ablation flags today.
+//
+// The catalog version is deliberately NOT part of the key: lookups carry
+// it separately so a version change invalidates (replaces) the entry
+// instead of leaking one entry per version.
+func Fingerprint(canonicalSQL string, numSegments int, flags ...bool) string {
+	var b strings.Builder
+	b.Grow(len(canonicalSQL) + 16)
+	b.WriteString(canonicalSQL)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(numSegments))
+	for _, f := range flags {
+		if f {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ValidateArgCount checks an EXECUTE argument list against the prepared
+// statement's placeholder count.
+func (p *Prepared) ValidateArgCount(n int) error {
+	if n != p.NumParams {
+		return fmt.Errorf("session: prepared statement %q requires %d parameters, got %d", p.Name, p.NumParams, n)
+	}
+	return nil
+}

@@ -14,7 +14,8 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokOp // punctuation and operators
+	tokOp    // punctuation and operators
+	tokParam // $n positional parameter; val holds the digits
 )
 
 type token struct {
@@ -59,6 +60,13 @@ func lex(src string) ([]token, error) {
 		case isDigit(c) || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
 			l.lexNumber()
 			l.toks = append(l.toks, token{kind: tokNumber, val: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start})
+		case c == '$' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.pos++ // '$'
+			digits := l.pos
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokParam, val: l.src[digits:l.pos], raw: l.src[start:l.pos], pos: start})
 		case isIdentStart(c):
 			l.lexIdent()
 			raw := l.src[start:l.pos]

@@ -230,6 +230,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case tokString:
 		p.next()
 		return &StrLit{S: t.val}, nil
+	case tokParam:
+		p.next()
+		idx, err := strconv.Atoi(t.val)
+		if err != nil || idx <= 0 {
+			return nil, p.errf("bad parameter %q", t.raw)
+		}
+		return &ParamExpr{Idx: idx}, nil
 	case tokOp:
 		if t.val == "(" {
 			p.next()

@@ -195,6 +195,12 @@ func (p *parser) parseStatement() (Statement, error) {
 	case "vacuum":
 		p.next()
 		return &VacuumStmt{}, nil
+	case "prepare":
+		return p.parsePrepare()
+	case "execute":
+		return p.parseExecute()
+	case "deallocate":
+		return p.parseDeallocate()
 	}
 	return nil, p.errf("unsupported statement %q", t.raw)
 }

@@ -85,15 +85,25 @@ type Manager struct {
 	// with no surviving rows, so "committed" is the safe default.
 	floor XID
 	wal   *WAL // optional durable log; commits flush through it
+	// catVer counts committed catalog changes that can invalidate cached
+	// plans. It is bumped inside finish(), under the same mutex that
+	// builds snapshots, so a snapshot and its CatVer are captured
+	// atomically: equal CatVer values imply identical plan-relevant
+	// catalog views.
+	catVer uint64
+	// catDirty marks in-progress transactions that have written
+	// plan-relevant catalog rows; commit bumps catVer, abort just clears.
+	catDirty map[XID]struct{}
 }
 
 // NewManager creates a transaction manager. The bootstrap transaction is
 // pre-committed.
 func NewManager() *Manager {
 	return &Manager{
-		nextXID: BootstrapXID + 1,
-		status:  map[XID]Status{BootstrapXID: StatusCommitted},
-		running: map[XID]struct{}{},
+		nextXID:  BootstrapXID + 1,
+		status:   map[XID]Status{BootstrapXID: StatusCommitted},
+		running:  map[XID]struct{}{},
+		catDirty: map[XID]struct{}{},
 	}
 }
 
@@ -106,11 +116,41 @@ func NewManagerAt(nextXID XID) *Manager {
 		nextXID = BootstrapXID + 1
 	}
 	return &Manager{
-		nextXID: nextXID,
-		status:  map[XID]Status{BootstrapXID: StatusCommitted},
-		running: map[XID]struct{}{},
-		floor:   nextXID,
+		nextXID:  nextXID,
+		status:   map[XID]Status{BootstrapXID: StatusCommitted},
+		running:  map[XID]struct{}{},
+		floor:    nextXID,
+		catDirty: map[XID]struct{}{},
 	}
+}
+
+// MarkCatalogChange records that xid wrote a plan-relevant catalog row.
+// If xid later commits, the manager's catalog version is bumped in the
+// same critical section that flips the CLOG, so no snapshot can observe
+// the new catalog contents under the old version.
+func (m *Manager) MarkCatalogChange(xid XID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.catDirty[xid] = struct{}{}
+}
+
+// IsCatalogDirty reports whether xid has uncommitted plan-relevant
+// catalog writes. Sessions bypass the plan cache while their own
+// transaction is dirty: the writes are visible to the transaction's
+// snapshots but not reflected in catVer until commit.
+func (m *Manager) IsCatalogDirty(xid XID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.catDirty[xid]
+	return ok
+}
+
+// CatVer returns the current catalog version (for observability; plan
+// cache lookups use the CatVer captured in their snapshot).
+func (m *Manager) CatVer() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.catVer
 }
 
 // NextXID returns the next XID to be assigned (checkpoint floor).
@@ -156,6 +196,7 @@ func (m *Manager) AbortInFlight() []XID {
 	for x := range m.running {
 		m.status[x] = StatusAborted
 		delete(m.running, x)
+		delete(m.catDirty, x)
 		out = append(out, x)
 	}
 	w := m.wal
@@ -211,6 +252,12 @@ func (m *Manager) finish(xid XID, s Status) Status {
 	if m.statusLocked(xid) == StatusInProgress {
 		m.status[xid] = s
 		delete(m.running, xid)
+		if _, dirty := m.catDirty[xid]; dirty {
+			delete(m.catDirty, xid)
+			if s == StatusCommitted {
+				m.catVer++
+			}
+		}
 		return s
 	}
 	return m.statusLocked(xid)
@@ -242,7 +289,7 @@ func (m *Manager) snapshotLocked(cur XID) Snapshot {
 			running[x] = struct{}{}
 		}
 	}
-	return Snapshot{XMax: m.nextXID, Running: running, Cur: cur, mgr: m}
+	return Snapshot{XMax: m.nextXID, Running: running, Cur: cur, CatVer: m.catVer, mgr: m}
 }
 
 // Snapshot is the set of transaction effects visible to a statement. A
@@ -254,7 +301,12 @@ type Snapshot struct {
 	Running map[XID]struct{}
 	// Cur is the observing transaction (its own effects are visible).
 	Cur XID
-	mgr *Manager
+	// CatVer is the manager's catalog version at snapshot time, captured
+	// under the same mutex that fixes the Running set. Two snapshots with
+	// equal CatVer see identical plan-relevant catalog contents, which
+	// makes it a sound plan-cache key component.
+	CatVer uint64
+	mgr    *Manager
 }
 
 // XidVisible reports whether effects of xid are visible.

@@ -16,11 +16,19 @@
 # BENCH_micro.json as {"BenchmarkName/variant": {ns_op, b_op,
 # allocs_op}}.
 #
+# It then runs the concurrent-serving sweep (hawq-bench -exp
+# concurrency): a closed-loop multi-session driver over the TPC-H mix
+# at 1..1024 sessions, prepared vs prepared_nocache vs simple, writing
+# QPS and p50/p95/p99 latency to BENCH_concurrency.json.
+#
 # Usage:
 #   scripts/bench.sh            # full run (benchtime 2s per benchmark)
 #   scripts/bench.sh --smoke    # single-iteration run under -race (CI);
-#                               # exercises every benchmark but does NOT
-#                               # overwrite BENCH_micro.json
+#                               # exercises every benchmark plus a
+#                               # reduced concurrency sweep, but does
+#                               # NOT overwrite BENCH_micro.json or
+#                               # BENCH_concurrency.json (the smoke
+#                               # sweep's JSON goes under build/)
 #
 # The row/batch pairs share one benchmark with /row and /batch
 # sub-benchmarks, so the JSON always carries both sides of each
@@ -59,7 +67,14 @@ echo "==> hawq-check self-runtime (benchtime 1x)"
 go test "${RACE[@]+"${RACE[@]}"}" -run '^$' -bench 'BenchmarkHawqCheckSelf' -benchmem -benchtime 1x -count 1 ./cmd/hawq-check | tee -a "$RAW"
 
 if [[ "$SMOKE" == 1 ]]; then
-    echo "==> smoke run OK (BENCH_micro.json left untouched)"
+    # Reduced concurrency sweep under -race: the serving path is
+    # exercised end to end, but the tracked artifact stays the full
+    # run's numbers.
+    echo "==> concurrency smoke (-race, levels 1,16)"
+    mkdir -p build
+    go run -race ./cmd/hawq-bench -exp concurrency \
+        -concurrency 1,16 -ops 64 -out build/BENCH_concurrency.smoke.json
+    echo "==> smoke run OK (BENCH_micro.json, BENCH_concurrency.json left untouched)"
     exit 0
 fi
 
@@ -95,3 +110,8 @@ END {
 ' "$RAW" > "$OUT"
 
 echo "==> wrote $OUT"
+
+echo "==> concurrency sweep (hawq-bench -exp concurrency)"
+go run ./cmd/hawq-bench -exp concurrency -out BENCH_concurrency.json
+
+echo "==> wrote BENCH_concurrency.json"

@@ -26,6 +26,15 @@
 #                                  path (per-slice stats piggybacked on
 #                                  gang completion, merged on the QD)
 #                                  re-run explicitly under -race
+#   4d. concurrent-serving gate  — the prepared-statement / plan-cache
+#                                  path re-run explicitly under -race:
+#                                  256 in-process sessions complete the
+#                                  TPC-H mix with zero leaks, ≥64
+#                                  sessions race concurrent DDL
+#                                  invalidation, the extended wire
+#                                  protocol survives hostile frames,
+#                                  and a 16-session hawq-bench
+#                                  concurrency cell runs end to end
 #   5. scripts/bench.sh --smoke  — every micro-benchmark for one
 #                                  iteration under -race, so the bench
 #                                  harness itself can't rot
@@ -81,6 +90,15 @@ echo "==> EXPLAIN ANALYZE smoke (-race)"
 go test -race -count=1 \
     -run 'TestExplainAnalyze|TestStatsRecorderCounts|TestSlowQueryLog|TestShowMetrics' \
     ./internal/executor ./internal/engine ./internal/tpch
+
+echo "==> concurrent serving gate (-race)"
+go test -race -count=1 \
+    -run 'TestConcurrency256Sessions|TestConcurrencySmoke' ./internal/bench
+go test -race -count=1 \
+    -run 'TestExtendedProtocol|TestGracefulClose|TestMalformedFrames' ./internal/client
+go test -race -count=1 \
+    -run 'TestConcurrentPreparedExecutionWithDDL|TestPlanCache|TestPrepareExecuteDeallocate' ./internal/engine
+go run -race ./cmd/hawq-bench -exp concurrency -concurrency 16 -ops 64
 
 echo "==> bench smoke (-benchtime=1x -race)"
 scripts/bench.sh --smoke
